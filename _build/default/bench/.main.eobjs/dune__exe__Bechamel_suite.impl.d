@@ -1,0 +1,1 @@
+bench/bechamel_suite.ml: Analyze Bechamel Benchmark Harness Hashtbl Instance List Perseas Printf Sci Sim Staged Test Time Toolkit Workloads

@@ -1,0 +1,62 @@
+(* Wall-clock micro-benchmarks of the hot code paths behind each
+   table/figure, via Bechamel.  Virtual-time results (the paper's
+   numbers) come from the Harness experiments; these measure how fast
+   the simulator itself executes them, one Test.make per artefact. *)
+
+open Bechamel
+open Toolkit
+
+let make_perseas_tx () =
+  let bed = Harness.Testbed.perseas_bed () in
+  let module W = Workloads.Debit_credit.Make (Perseas.Engine) in
+  let rng = Sim.Rng.create 7 in
+  let db = W.setup bed.perseas ~params:Workloads.Debit_credit.small_params in
+  fun () -> W.transaction db rng
+
+let make_synthetic_tx tx_size =
+  let bed = Harness.Testbed.perseas_bed () in
+  let module S = Workloads.Synthetic.Make (Perseas.Engine) in
+  let rng = Sim.Rng.create 42 in
+  let db = S.setup bed.perseas ~db_size:(1 lsl 20) in
+  fun () -> S.transaction db rng ~tx_size
+
+let make_order_entry_tx () =
+  let bed = Harness.Testbed.perseas_bed () in
+  let module W = Workloads.Order_entry.Make (Perseas.Engine) in
+  let rng = Sim.Rng.create 11 in
+  let db = W.setup bed.perseas ~params:Workloads.Order_entry.small_params in
+  fun () -> W.transaction db rng
+
+let make_sci_latency () =
+  let p = Sci.Params.default in
+  fun () -> ignore (Sci.Model.write_range p ~off:0 ~len:128 ())
+
+let tests =
+  [
+    Test.make ~name:"fig5:sci-write-latency-model" (Staged.stage (make_sci_latency ()));
+    Test.make ~name:"fig6:synthetic-tx-4B" (Staged.stage (make_synthetic_tx 4));
+    Test.make ~name:"fig6:synthetic-tx-4KB" (Staged.stage (make_synthetic_tx 4096));
+    Test.make ~name:"table1:debit-credit-tx" (Staged.stage (make_perseas_tx ()));
+    Test.make ~name:"table1:order-entry-tx" (Staged.stage (make_order_entry_tx ()));
+  ]
+
+let benchmark test =
+  let instances = Instance.[ monotonic_clock ] in
+  let cfg = Benchmark.cfg ~limit:2000 ~quota:(Time.second 0.5) ~kde:(Some 1000) () in
+  Benchmark.all cfg instances test
+
+let analyze results =
+  let ols = Analyze.ols ~bootstrap:0 ~r_square:true ~predictors:[| "run" |] in
+  Analyze.all ols Instance.monotonic_clock results
+
+let run () =
+  List.iter
+    (fun test ->
+      let results = analyze (benchmark test) in
+      Hashtbl.iter
+        (fun name ols ->
+          match Analyze.OLS.estimates ols with
+          | Some [ est ] -> Printf.printf "%-32s %12.1f ns/run\n" name est
+          | _ -> Printf.printf "%-32s (no estimate)\n" name)
+        results)
+    tests

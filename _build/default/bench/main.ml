@@ -1,0 +1,34 @@
+(* Benchmark harness entry point: regenerates every table and figure of
+   the paper's evaluation (see DESIGN.md's experiment index).
+
+   Usage:
+     dune exec bench/main.exe                 # all experiments
+     dune exec bench/main.exe -- fig6 table1  # a subset
+     dune exec bench/main.exe -- --list
+     dune exec bench/main.exe -- --bechamel   # wall-clock micro-benches *)
+
+let list_experiments () =
+  print_endline "Available experiments:";
+  List.iter
+    (fun (name, descr, _) -> Printf.printf "  %-18s %s\n" name descr)
+    Harness.Experiments.names
+
+let () =
+  let args = List.tl (Array.to_list Sys.argv) in
+  match args with
+  | [] ->
+      Harness.Experiments.all ();
+      print_endline "\nAll experiments done; CSVs are under results/."
+  | [ "--list" ] -> list_experiments ()
+  | [ "--bechamel" ] -> Bechamel_suite.run ()
+  | names ->
+      List.iter
+        (fun name ->
+          match
+            List.find_opt (fun (n, _, _) -> n = name) Harness.Experiments.names
+          with
+          | Some (_, _, run) -> run ()
+          | None ->
+              Printf.eprintf "unknown experiment %S (try --list)\n" name;
+              exit 2)
+        names

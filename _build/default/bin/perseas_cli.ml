@@ -1,0 +1,264 @@
+(* perseas — command-line front end to the PERSEAS reproduction.
+
+   Subcommands:
+     experiments [NAME...]   regenerate paper tables/figures (all by default)
+     workload                run one workload on one engine and report tps
+     availability            run the failure/repair Monte Carlo
+     crash-demo              crash a primary mid-commit and recover, verbosely
+
+   Examples:
+     perseas_cli experiments fig6 table1
+     perseas_cli workload -e rvm -w debit-credit -n 2000
+     perseas_cli workload -e perseas -w synthetic --tx-size 4096
+     perseas_cli availability --trials 500 *)
+
+open Cmdliner
+
+let setup_logs verbose =
+  Logs.set_reporter (Logs_fmt.reporter ());
+  Logs.set_level (Some (if verbose then Logs.Debug else Logs.Warning))
+
+let verbose =
+  let doc = "Enable verbose logging (mirror losses, recovery notes)." in
+  Arg.(value & flag & info [ "v"; "verbose" ] ~doc)
+
+(* ------------------------------------------------------------------ *)
+(* experiments                                                         *)
+
+let experiments_cmd =
+  let names =
+    let doc = "Experiments to run (see --list). All when omitted." in
+    Arg.(value & pos_all string [] & info [] ~docv:"NAME" ~doc)
+  in
+  let list_flag =
+    let doc = "List available experiments and exit." in
+    Arg.(value & flag & info [ "list" ] ~doc)
+  in
+  let run verbose list names =
+    setup_logs verbose;
+    if list then begin
+      List.iter
+        (fun (name, descr, _) -> Printf.printf "  %-18s %s\n" name descr)
+        Harness.Experiments.names;
+      `Ok ()
+    end
+    else if names = [] then begin
+      Harness.Experiments.all ();
+      `Ok ()
+    end
+    else
+      let missing =
+        List.filter
+          (fun n -> not (List.exists (fun (m, _, _) -> m = n) Harness.Experiments.names))
+          names
+      in
+      if missing <> [] then `Error (false, "unknown experiment(s): " ^ String.concat ", " missing)
+      else begin
+        List.iter
+          (fun n ->
+            let _, _, f = List.find (fun (m, _, _) -> m = n) Harness.Experiments.names in
+            f ())
+          names;
+        `Ok ()
+      end
+  in
+  let doc = "Regenerate the paper's tables and figures (CSV copies under results/)." in
+  Cmd.v (Cmd.info "experiments" ~doc)
+    Term.(ret (const run $ verbose $ list_flag $ names))
+
+(* ------------------------------------------------------------------ *)
+(* workload                                                            *)
+
+let engine_arg =
+  let all = [ "perseas"; "rvm"; "rvm-rio"; "vista"; "remote-wal" ] in
+  let doc = "Engine: " ^ String.concat ", " all ^ "." in
+  Arg.(value & opt (enum (List.map (fun e -> (e, e)) all)) "perseas" & info [ "e"; "engine" ] ~doc)
+
+let workload_arg =
+  let all = [ "debit-credit"; "order-entry"; "synthetic" ] in
+  let doc = "Workload: " ^ String.concat ", " all ^ "." in
+  Arg.(
+    value
+    & opt (enum (List.map (fun w -> (w, w)) all)) "debit-credit"
+    & info [ "w"; "workload" ] ~doc)
+
+let iters_arg =
+  Arg.(value & opt int 10_000 & info [ "n"; "iters" ] ~doc:"Measured transactions.")
+
+let warmup_arg = Arg.(value & opt int 500 & info [ "warmup" ] ~doc:"Unmeasured warmup transactions.")
+
+let tx_size_arg =
+  Arg.(value & opt int 256 & info [ "tx-size" ] ~doc:"Bytes touched per synthetic transaction.")
+
+let mirrors_arg =
+  Arg.(value & opt int 1 & info [ "m"; "mirrors" ] ~doc:"Mirror count (PERSEAS only).")
+
+let histogram_arg =
+  Arg.(value & flag & info [ "histogram" ] ~doc:"Print a log-scale latency histogram.")
+
+let instance_of = function
+  | "perseas" -> Harness.Testbed.perseas_instance ()
+  | "rvm" -> Harness.Testbed.rvm_instance ()
+  | "rvm-rio" -> Harness.Testbed.rvm_instance ~rio:true ()
+  | "vista" -> Harness.Testbed.vista_instance ()
+  | "remote-wal" -> Harness.Testbed.remote_wal_instance ()
+  | other -> invalid_arg other
+
+let replicated_perseas_instance k : Harness.Testbed.instance =
+  let clock = Sim.Clock.create () in
+  let dram = 64 * 1024 * 1024 in
+  let specs =
+    Cluster.spec ~dram_size:dram ~power_supply:0 "primary"
+    :: List.init k (fun i ->
+           Cluster.spec ~dram_size:dram ~power_supply:(i + 1) (Printf.sprintf "mirror%d" i))
+  in
+  let cluster = Cluster.create ~clock specs in
+  let clients =
+    List.init k (fun i ->
+        Netram.Client.create ~cluster ~local:0
+          ~server:(Netram.Server.create (Cluster.node cluster (i + 1))))
+  in
+  let engine = Perseas.init_replicated clients in
+  (module struct
+    module E = Perseas.Engine
+
+    let engine = engine
+    let clock = clock
+    let label = Printf.sprintf "PERSEAS(x%d)" k
+    let finish () = ()
+  end)
+
+let workload_cmd =
+  let run verbose engine workload iters warmup tx_size mirrors histogram =
+    setup_logs verbose;
+    if iters <= 0 || warmup < 0 then `Error (false, "iters must be positive")
+    else begin
+      let ((module I : Harness.Testbed.INSTANCE) as inst) =
+        if engine = "perseas" && mirrors > 1 then replicated_perseas_instance mirrors
+        else instance_of engine
+      in
+      let hist = Sim.Stats.Histogram.create ~buckets_per_decade:3 () in
+      let observed tx i =
+        let t0 = Sim.Clock.now I.clock in
+        tx i;
+        Sim.Stats.Histogram.add hist (Sim.Time.to_us (Sim.Clock.now I.clock - t0))
+      in
+      let result =
+        match workload with
+        | "debit-credit" ->
+            let module W = Workloads.Debit_credit.Make (I.E) in
+            let rng = Sim.Rng.create 7 in
+            let db = W.setup I.engine ~params:Workloads.Debit_credit.default_params in
+            let r =
+              Harness.Measure.run ~clock:I.clock ~finish:I.finish ~warmup ~iters
+                (observed (fun _ -> W.transaction db rng))
+            in
+            assert (W.consistent db);
+            r
+        | "order-entry" ->
+            let module W = Workloads.Order_entry.Make (I.E) in
+            let rng = Sim.Rng.create 11 in
+            let db = W.setup I.engine ~params:Workloads.Order_entry.default_params in
+            let r =
+              Harness.Measure.run ~clock:I.clock ~finish:I.finish ~warmup ~iters
+                (observed (fun _ -> W.transaction db rng))
+            in
+            assert (W.consistent db);
+            r
+        | "synthetic" ->
+            let module S = Workloads.Synthetic.Make (I.E) in
+            let rng = Sim.Rng.create 42 in
+            let db = S.setup I.engine ~db_size:(8 * 1024 * 1024) in
+            Harness.Measure.run ~clock:I.clock ~finish:I.finish ~warmup ~iters
+              (observed (fun _ -> S.transaction db rng ~tx_size))
+        | other -> invalid_arg other
+      in
+      Format.printf "%s / %s: %a@." (Harness.Testbed.label inst) workload Harness.Measure.pp_result
+        result;
+      if histogram && Sim.Stats.Histogram.count hist > 0 then begin
+        print_endline "latency histogram (us):";
+        List.iter
+          (fun (lo, hi, n) -> Printf.printf "  [%8.2f, %8.2f)  %s\n" lo hi (String.make (max 1 (60 * n / iters)) '#'))
+          (Sim.Stats.Histogram.buckets hist)
+      end;
+      `Ok ()
+    end
+  in
+  let doc = "Run one workload on one engine in virtual time and report throughput." in
+  Cmd.v (Cmd.info "workload" ~doc)
+    Term.(
+      ret
+        (const run $ verbose $ engine_arg $ workload_arg $ iters_arg $ warmup_arg $ tx_size_arg
+       $ mirrors_arg $ histogram_arg))
+
+(* ------------------------------------------------------------------ *)
+(* availability                                                        *)
+
+let availability_cmd =
+  let trials = Arg.(value & opt int 200 & info [ "trials" ] ~doc:"Monte-Carlo trials.") in
+  let years =
+    Arg.(value & opt float 10. & info [ "years" ] ~doc:"Simulated horizon per trial, in years.")
+  in
+  let run verbose trials years =
+    setup_logs verbose;
+    if trials <= 0 || years <= 0. then `Error (false, "trials and years must be positive")
+    else begin
+      let params =
+        { Harness.Availability.default_params with horizon = Sim.Time.s (years *. 365. *. 86_400.) }
+      in
+      List.iter
+        (fun d ->
+          Format.printf "%a@." Harness.Availability.pp_result
+            (Harness.Availability.simulate ~params ~trials d))
+        Harness.Availability.standard_deployments;
+      `Ok ()
+    end
+  in
+  let doc = "Failure/repair Monte Carlo over the paper's deployments." in
+  Cmd.v (Cmd.info "availability" ~doc) Term.(ret (const run $ verbose $ trials $ years))
+
+(* ------------------------------------------------------------------ *)
+(* crash-demo                                                          *)
+
+let crash_demo_cmd =
+  let cut = Arg.(value & opt int 2 & info [ "cut" ] ~doc:"Crash after this many commit packets.") in
+  let run verbose cut =
+    setup_logs verbose;
+    let bed = Harness.Testbed.perseas_bed () in
+    let t = bed.perseas in
+    let seg = Perseas.malloc t ~name:"demo" ~size:4096 in
+    Perseas.write t seg ~off:0 (Bytes.make 4096 '.');
+    Perseas.init_remote_db t;
+    Printf.printf "database live, epoch %Ld\n" (Perseas.epoch t);
+    let txn = Perseas.begin_transaction t in
+    Perseas.set_range txn seg ~off:0 ~len:512;
+    Perseas.write t seg ~off:0 (Bytes.make 512 'X');
+    let total = Perseas.commit_packets txn in
+    Printf.printf "commit will send %d packets; crashing after %d\n" total cut;
+    let exception Crash in
+    let sent = ref 0 in
+    Perseas.set_packet_hook t (Some (fun () -> if !sent >= cut then raise Crash else incr sent));
+    (match Perseas.commit txn with
+    | () -> print_endline "commit completed (cut beyond packet count)"
+    | exception Crash -> print_endline "primary crashed mid-commit");
+    Perseas.set_packet_hook t None;
+    ignore (Cluster.crash_node bed.cluster 0 Cluster.Failure.Software_error);
+    let t2 = Perseas.recover ~cluster:bed.cluster ~local:2 ~server:bed.server () in
+    let seg2 = Option.get (Perseas.segment t2 "demo") in
+    let first = Bytes.get (Perseas.read t2 seg2 ~off:0 ~len:1) 0 in
+    Printf.printf "recovered on the spare node: epoch %Ld, first byte %C -> the transaction %s\n"
+      (Perseas.epoch t2) first
+      (if first = 'X' then "survived (commit point reached)" else "was rolled back atomically");
+    `Ok ()
+  in
+  let doc = "Crash the primary mid-commit at a chosen packet and recover on a spare node." in
+  Cmd.v (Cmd.info "crash-demo" ~doc) Term.(ret (const run $ verbose $ cut))
+
+(* ------------------------------------------------------------------ *)
+
+let main =
+  let doc = "PERSEAS: lightweight transactions on networks of workstations (ICDCS 1998)" in
+  let info = Cmd.info "perseas_cli" ~version:"1.0.0" ~doc in
+  Cmd.group info [ experiments_cmd; workload_cmd; availability_cmd; crash_demo_cmd ]
+
+let () = exit (Cmd.eval main)

@@ -1,0 +1,1 @@
+examples/bank.ml: Cluster Harness Int64 List Option Perseas Printf Sim String Workloads

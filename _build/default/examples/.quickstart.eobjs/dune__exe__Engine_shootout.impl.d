@@ -1,0 +1,1 @@
+examples/engine_shootout.ml: Harness List Sim Workloads

@@ -1,0 +1,1 @@
+examples/inventory.ml: Cluster Harness Int64 Netram Option Perseas Printf Sim Workloads

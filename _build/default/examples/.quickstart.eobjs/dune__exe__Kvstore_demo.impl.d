@@ -1,0 +1,1 @@
+examples/kvstore_demo.ml: Cluster Kvstore List Netram Option Perseas Printf Sim

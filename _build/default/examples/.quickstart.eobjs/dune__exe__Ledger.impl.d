@@ -1,0 +1,1 @@
+examples/ledger.ml: Btree Cluster Harness Int64 List Option Perseas Printf Sim

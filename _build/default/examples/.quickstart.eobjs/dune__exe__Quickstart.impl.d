@@ -1,0 +1,1 @@
+examples/quickstart.ml: Cluster Netram Option Perseas Printf Sim

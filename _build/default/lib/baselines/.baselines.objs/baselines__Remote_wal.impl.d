@@ -1,0 +1,1 @@
+lib/baselines/remote_wal.ml: Array Bytes Clock Cluster Disk Float Int64 List Mem Netram Perseas Printf Sci Sim Time

@@ -1,0 +1,1 @@
+lib/baselines/remote_wal.mli: Cluster Disk Netram Perseas Sim Time

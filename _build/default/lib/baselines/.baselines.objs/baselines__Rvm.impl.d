@@ -1,0 +1,1 @@
+lib/baselines/rvm.ml: Array Bytes Clock Cluster Disk Int32 Int64 List Mem Perseas Printf Sci Sim Time

@@ -1,0 +1,1 @@
+lib/baselines/rvm.mli: Cluster Disk Perseas Sim Time

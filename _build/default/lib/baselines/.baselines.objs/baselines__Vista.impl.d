@@ -1,0 +1,1 @@
+lib/baselines/vista.ml: Array Bytes Char Clock Cluster Disk Int64 List Perseas Printf Sim Time

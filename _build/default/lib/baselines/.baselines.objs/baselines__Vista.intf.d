@@ -1,0 +1,1 @@
+lib/baselines/vista.mli: Cluster Disk Perseas Sim Time

@@ -1,0 +1,399 @@
+type config = { max_nodes : int; degree : int }
+
+let default_config = { max_nodes = 4096; degree = 16 }
+
+exception Tree_full
+
+module Make (E : Perseas.Txn_intf.S) = struct
+  type t = {
+    config : config;
+    engine : E.t;
+    meta : E.segment;  (** root (4), allocated nodes (4), length (4). *)
+    slab : E.segment;
+  }
+
+  (* Node layout: is_leaf (4), nkeys (4), next_leaf (4), pad (4),
+     keys (degree x 8), slots (degree+1 x 8) — values for leaves
+     (slot i pairs with key i), child node ids for internal nodes
+     (slot i = child left of key i; slot nkeys = rightmost child). *)
+  let node_size config = 16 + (config.degree * 8) + ((config.degree + 1) * 8)
+
+  (* A node image materialised for manipulation. *)
+  type node = {
+    idx : int; (* 1-based; 0 is nil *)
+    mutable leaf : bool;
+    mutable nkeys : int;
+    mutable next_leaf : int;
+    keys : int64 array; (* length degree + 1: one overflow slot *)
+    slots : int64 array; (* length degree + 2 *)
+  }
+
+  let validate config =
+    if config.degree < 4 || config.degree mod 2 <> 0 then
+      invalid_arg "Btree: degree must be even and at least 4";
+    if config.max_nodes < 4 then invalid_arg "Btree: max_nodes too small"
+
+  let segment_names name = (name ^ ".btmeta", name ^ ".btslab")
+
+  let create ?(config = default_config) engine ~name =
+    validate config;
+    let meta_name, slab_name = segment_names name in
+    let meta = E.malloc engine ~name:meta_name ~size:64 in
+    let slab = E.malloc engine ~name:slab_name ~size:(config.max_nodes * node_size config) in
+    let t = { config; engine; meta; slab } in
+    (* Root = node 1, an empty leaf; one node allocated. *)
+    let b = Bytes.create 12 in
+    Bytes.set_int32_le b 0 1l;
+    Bytes.set_int32_le b 4 1l;
+    Bytes.set_int32_le b 8 0l;
+    E.write engine meta ~off:0 b;
+    let leaf = Bytes.make (node_size config) '\000' in
+    Bytes.set_int32_le leaf 0 1l (* is_leaf *);
+    E.write engine slab ~off:0 leaf;
+    t
+
+  let attach ?(config = default_config) engine ~name =
+    validate config;
+    let meta_name, slab_name = segment_names name in
+    let find n =
+      match E.find_segment engine n with
+      | Some seg -> seg
+      | None -> failwith (Printf.sprintf "Btree.attach: segment %S not found" n)
+    in
+    { config; engine; meta = find meta_name; slab = find slab_name }
+
+  let read_u32 t seg off = Int32.to_int (Bytes.get_int32_le (E.read t.engine seg ~off ~len:4) 0)
+  let root t = read_u32 t t.meta 0
+  let allocated t = read_u32 t t.meta 4
+  let length t = read_u32 t t.meta 8
+
+  let node_off t idx = (idx - 1) * node_size t.config
+
+  let load t idx =
+    let b = E.read t.engine t.slab ~off:(node_off t idx) ~len:(node_size t.config) in
+    let d = t.config.degree in
+    let keys = Array.make (d + 1) 0L in
+    let slots = Array.make (d + 2) 0L in
+    let nkeys = Int32.to_int (Bytes.get_int32_le b 4) in
+    for i = 0 to min (d - 1) (nkeys - 1) do
+      keys.(i) <- Bytes.get_int64_le b (16 + (i * 8))
+    done;
+    for i = 0 to min d nkeys do
+      slots.(i) <- Bytes.get_int64_le b (16 + (d * 8) + (i * 8))
+    done;
+    {
+      idx;
+      leaf = Bytes.get_int32_le b 0 = 1l;
+      nkeys;
+      next_leaf = Int32.to_int (Bytes.get_int32_le b 8);
+      keys;
+      slots;
+    }
+
+  (* Persist a node under the open transaction: the whole node image is
+     covered by one set_range, so abort/recovery restores it. *)
+  let store txn t (n : node) =
+    let d = t.config.degree in
+    let b = Bytes.make (node_size t.config) '\000' in
+    Bytes.set_int32_le b 0 (if n.leaf then 1l else 0l);
+    Bytes.set_int32_le b 4 (Int32.of_int n.nkeys);
+    Bytes.set_int32_le b 8 (Int32.of_int n.next_leaf);
+    for i = 0 to n.nkeys - 1 do
+      Bytes.set_int64_le b (16 + (i * 8)) n.keys.(i)
+    done;
+    for i = 0 to n.nkeys do
+      Bytes.set_int64_le b (16 + (d * 8) + (i * 8)) n.slots.(i)
+    done;
+    E.set_range txn t.slab ~off:(node_off t n.idx) ~len:(node_size t.config);
+    E.write t.engine t.slab ~off:(node_off t n.idx) b
+
+  let store_meta txn t ~root ~allocated ~length =
+    let b = Bytes.create 12 in
+    Bytes.set_int32_le b 0 (Int32.of_int root);
+    Bytes.set_int32_le b 4 (Int32.of_int allocated);
+    Bytes.set_int32_le b 8 (Int32.of_int length);
+    E.set_range txn t.meta ~off:0 ~len:12;
+    E.write t.engine t.meta ~off:0 b
+
+  (* Fresh in-memory node; persisted by the caller. *)
+  let fresh t idx ~leaf =
+    let d = t.config.degree in
+    { idx; leaf; nkeys = 0; next_leaf = 0; keys = Array.make (d + 1) 0L; slots = Array.make (d + 2) 0L }
+
+  (* Position of the child to descend into / key insert point. *)
+  let search_position (n : node) key =
+    let rec go i = if i < n.nkeys && Int64.compare n.keys.(i) key <= 0 then go (i + 1) else i in
+    go 0
+
+  let rec descend t idx key path =
+    let n = load t idx in
+    if n.leaf then (n, path)
+    else
+      let pos = search_position n key in
+      descend t (Int64.to_int n.slots.(pos)) key ((n, pos) :: path)
+
+  let find t key =
+    let leaf, _ = descend t (root t) key [] in
+    let rec scan i =
+      if i >= leaf.nkeys then None
+      else if Int64.equal leaf.keys.(i) key then Some leaf.slots.(i)
+      else scan (i + 1)
+    in
+    scan 0
+
+  let mem t key = find t key <> None
+
+  let insert_into_arrays (n : node) pos key slot =
+    for i = n.nkeys downto pos + 1 do
+      n.keys.(i) <- n.keys.(i - 1)
+    done;
+    (if n.leaf then
+       for i = n.nkeys downto pos + 1 do
+         n.slots.(i) <- n.slots.(i - 1)
+       done
+     else
+       for i = n.nkeys + 1 downto pos + 2 do
+         n.slots.(i) <- n.slots.(i - 1)
+       done);
+    n.keys.(pos) <- key;
+    if n.leaf then n.slots.(pos) <- slot else n.slots.(pos + 1) <- slot;
+    n.nkeys <- n.nkeys + 1
+
+  let insert t ~key ~value =
+    let txn = E.begin_transaction t.engine in
+    let leaf, path = descend t (root t) key [] in
+    (* Overwrite in place if present. *)
+    let rec existing i =
+      if i >= leaf.nkeys then None else if Int64.equal leaf.keys.(i) key then Some i else existing (i + 1)
+    in
+    match existing 0 with
+    | Some i ->
+        leaf.slots.(i) <- value;
+        store txn t leaf;
+        E.commit txn
+    | None ->
+        let allocated0 = allocated t and length0 = length t and root0 = root t in
+        let next_node = ref allocated0 in
+        let alloc_node ~leaf =
+          if !next_node >= t.config.max_nodes then begin
+            E.abort txn;
+            raise Tree_full
+          end;
+          incr next_node;
+          fresh t !next_node ~leaf
+        in
+        insert_into_arrays leaf (search_position leaf key) key value;
+        (* Split overflowing nodes up the path. *)
+        let rec fixup (n : node) path =
+          if n.nkeys <= t.config.degree then begin
+            store txn t n;
+            None
+          end
+          else begin
+            let right = alloc_node ~leaf:n.leaf in
+            let mid = n.nkeys / 2 in
+            let separator =
+              if n.leaf then begin
+                (* Leaf split: right keeps keys[mid..]; separator is a
+                   copy of its first key. *)
+                right.nkeys <- n.nkeys - mid;
+                for i = 0 to right.nkeys - 1 do
+                  right.keys.(i) <- n.keys.(mid + i);
+                  right.slots.(i) <- n.slots.(mid + i)
+                done;
+                right.next_leaf <- n.next_leaf;
+                n.next_leaf <- right.idx;
+                n.nkeys <- mid;
+                right.keys.(0)
+              end
+              else begin
+                (* Internal split: the middle key moves up. *)
+                let sep = n.keys.(mid) in
+                right.nkeys <- n.nkeys - mid - 1;
+                for i = 0 to right.nkeys - 1 do
+                  right.keys.(i) <- n.keys.(mid + 1 + i)
+                done;
+                for i = 0 to right.nkeys do
+                  right.slots.(i) <- n.slots.(mid + 1 + i)
+                done;
+                n.nkeys <- mid;
+                sep
+              end
+            in
+            store txn t n;
+            store txn t right;
+            match path with
+            | (parent, pos) :: rest ->
+                (* Insert separator and the right child into the parent. *)
+                for i = parent.nkeys downto pos + 1 do
+                  parent.keys.(i) <- parent.keys.(i - 1)
+                done;
+                for i = parent.nkeys + 1 downto pos + 2 do
+                  parent.slots.(i) <- parent.slots.(i - 1)
+                done;
+                parent.keys.(pos) <- separator;
+                parent.slots.(pos + 1) <- Int64.of_int right.idx;
+                parent.nkeys <- parent.nkeys + 1;
+                fixup parent rest
+            | [] ->
+                (* Split the root: grow the tree. *)
+                let new_root = alloc_node ~leaf:false in
+                new_root.nkeys <- 1;
+                new_root.keys.(0) <- separator;
+                new_root.slots.(0) <- Int64.of_int n.idx;
+                new_root.slots.(1) <- Int64.of_int right.idx;
+                store txn t new_root;
+                Some new_root.idx
+          end
+        in
+        let new_root = fixup leaf path in
+        store_meta txn t
+          ~root:(Option.value ~default:root0 new_root)
+          ~allocated:!next_node ~length:(length0 + 1);
+        E.commit txn
+
+  let delete t key =
+    let txn = E.begin_transaction t.engine in
+    let leaf, _ = descend t (root t) key [] in
+    let rec position i =
+      if i >= leaf.nkeys then None else if Int64.equal leaf.keys.(i) key then Some i else position (i + 1)
+    in
+    match position 0 with
+    | None ->
+        E.abort txn;
+        false
+    | Some pos ->
+        (* Lazy deletion: shift the leaf's arrays; internal separators
+           may keep referring to the deleted key, which is harmless for
+           search (separators only guide descent). *)
+        for i = pos to leaf.nkeys - 2 do
+          leaf.keys.(i) <- leaf.keys.(i + 1);
+          leaf.slots.(i) <- leaf.slots.(i + 1)
+        done;
+        leaf.nkeys <- leaf.nkeys - 1;
+        store txn t leaf;
+        store_meta txn t ~root:(root t) ~allocated:(allocated t) ~length:(length t - 1);
+        E.commit txn;
+        true
+
+  let leftmost_leaf t =
+    let rec go idx =
+      let n = load t idx in
+      if n.leaf then n else go (Int64.to_int n.slots.(0))
+    in
+    go (root t)
+
+  let iter t f =
+    let rec walk (n : node) =
+      for i = 0 to n.nkeys - 1 do
+        f n.keys.(i) n.slots.(i)
+      done;
+      if n.next_leaf <> 0 then walk (load t n.next_leaf)
+    in
+    walk (leftmost_leaf t)
+
+  let range t ~lo ~hi =
+    if Int64.compare lo hi > 0 then []
+    else begin
+      let leaf, _ = descend t (root t) lo [] in
+      let out = ref [] in
+      let rec walk (n : node) =
+        let continue = ref true in
+        for i = 0 to n.nkeys - 1 do
+          if Int64.compare n.keys.(i) lo >= 0 then
+            if Int64.compare n.keys.(i) hi <= 0 then out := (n.keys.(i), n.slots.(i)) :: !out
+            else continue := false
+        done;
+        if !continue && n.next_leaf <> 0 then walk (load t n.next_leaf)
+      in
+      walk leaf;
+      List.rev !out
+    end
+
+  let min_binding t =
+    let rec first (n : node) =
+      if n.nkeys > 0 then Some (n.keys.(0), n.slots.(0))
+      else if n.next_leaf <> 0 then first (load t n.next_leaf)
+      else None
+    in
+    first (leftmost_leaf t)
+
+  let max_binding t =
+    let rec last best (n : node) =
+      let best = if n.nkeys > 0 then Some (n.keys.(n.nkeys - 1), n.slots.(n.nkeys - 1)) else best in
+      if n.next_leaf = 0 then best else last best (load t n.next_leaf)
+    in
+    last None (leftmost_leaf t)
+
+  let height t =
+    let rec go idx acc =
+      let n = load t idx in
+      if n.leaf then acc else go (Int64.to_int n.slots.(0)) (acc + 1)
+    in
+    go (root t) 1
+
+  let check_invariants t =
+    let exception Bad of string in
+    let bad fmt = Printf.ksprintf (fun s -> raise (Bad s)) fmt in
+    try
+      let leaves_in_tree_order = ref [] in
+      let visited = ref 0 in
+      (* Bounds are exclusive lo, inclusive-of-range hi semantics:
+         keys k in a subtree under separator pair (lo, hi) satisfy
+         lo <= k < hi (B+ convention with copied-up separators). *)
+      let rec walk idx ~lo ~hi ~depth =
+        if idx <= 0 || idx > allocated t then bad "node id %d out of range" idx;
+        incr visited;
+        if !visited > allocated t + 1 then bad "cycle suspected";
+        let n = load t idx in
+        if n.nkeys > t.config.degree then bad "node %d overfull" idx;
+        for i = 0 to n.nkeys - 2 do
+          if Int64.compare n.keys.(i) n.keys.(i + 1) >= 0 then bad "node %d keys unsorted" idx
+        done;
+        Array.iteri
+          (fun i k ->
+            if i < n.nkeys then begin
+              (match lo with Some l when Int64.compare k l < 0 -> bad "node %d key below bound" idx | _ -> ());
+              match hi with Some h when Int64.compare k h >= 0 -> bad "node %d key above bound" idx | _ -> ()
+            end)
+          n.keys;
+        if n.leaf then begin
+          leaves_in_tree_order := (n.idx, depth) :: !leaves_in_tree_order
+        end
+        else begin
+          if n.nkeys = 0 then bad "internal node %d empty" idx;
+          for i = 0 to n.nkeys do
+            let lo' = if i = 0 then lo else Some n.keys.(i - 1) in
+            let hi' = if i = n.nkeys then hi else Some n.keys.(i) in
+            walk (Int64.to_int n.slots.(i)) ~lo:lo' ~hi:hi' ~depth:(depth + 1)
+          done
+        end
+      in
+      walk (root t) ~lo:None ~hi:None ~depth:0;
+      (* All leaves at one depth. *)
+      let leaves = List.rev !leaves_in_tree_order in
+      (match leaves with
+      | (_, d0) :: rest -> List.iter (fun (_, d) -> if d <> d0 then bad "leaf depths differ") rest
+      | [] -> bad "no leaves");
+      (* The leaf chain visits exactly the tree's leaves, in order. *)
+      let chain = ref [] in
+      let rec follow (n : node) steps =
+        if steps > allocated t then bad "leaf chain cycle";
+        chain := n.idx :: !chain;
+        if n.next_leaf <> 0 then follow (load t n.next_leaf) (steps + 1)
+      in
+      follow (leftmost_leaf t) 0;
+      if List.rev !chain <> List.map fst leaves then bad "leaf chain disagrees with tree order";
+      (* Global key order along the chain, and the length counter. *)
+      let count = ref 0 in
+      let prev = ref None in
+      iter t (fun k _ ->
+          incr count;
+          (match !prev with
+          | Some p when Int64.compare p k >= 0 -> bad "chain keys not strictly increasing"
+          | _ -> ());
+          prev := Some k);
+      if !count <> length t then bad "length %d but %d keys" (length t) !count;
+      Ok ()
+    with Bad msg -> Error msg
+end

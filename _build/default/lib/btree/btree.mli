@@ -1,0 +1,60 @@
+(** A transactional B+-tree over any PERSEAS-style engine.
+
+    The ordered companion to {!Kvstore}: 64-bit keys mapped to 64-bit
+    values (typically offsets into other segments), supporting exact
+    lookups and in-order range scans through linked leaves.  Every
+    mutation is one engine transaction, so a crash mid-split leaves the
+    tree either before or after the insert — the structural invariants
+    (sorted nodes, separator consistency, linked-leaf order) are
+    machine-checked by {!Make.check_invariants} and exercised by the
+    crash tests.
+
+    Deletion is {e lazy}: keys are removed from their leaf without
+    rebalancing (underfull nodes persist, as in several production
+    B-trees); the affected space is reclaimed when a leaf empties. *)
+
+type config = {
+  max_nodes : int;  (** Capacity of the node slab. *)
+  degree : int;  (** Max keys per node; at least 4, even. *)
+}
+
+val default_config : config
+(** 4096 nodes of degree 16 — about a million keys. *)
+
+exception Tree_full
+
+module Make (E : Perseas.Txn_intf.S) : sig
+  type t
+
+  val create : ?config:config -> E.t -> name:string -> t
+  (** Allocate and format the tree's segments; call before the engine's
+      [init_done]. *)
+
+  val attach : ?config:config -> E.t -> name:string -> t
+  (** Re-open after recovery; [config] must match [create]'s. *)
+
+  val insert : t -> key:int64 -> value:int64 -> unit
+  (** Insert or overwrite, atomically.  Raises {!Tree_full} when the
+      node slab is exhausted. *)
+
+  val find : t -> int64 -> int64 option
+  val mem : t -> int64 -> bool
+
+  val delete : t -> int64 -> bool
+  (** [true] if the key was present.  Atomic. *)
+
+  val range : t -> lo:int64 -> hi:int64 -> (int64 * int64) list
+  (** Bindings with [lo <= key <= hi], in ascending key order. *)
+
+  val min_binding : t -> (int64 * int64) option
+  val max_binding : t -> (int64 * int64) option
+  val length : t -> int
+  val iter : t -> (int64 -> int64 -> unit) -> unit
+  (** Ascending key order. *)
+
+  val height : t -> int
+
+  val check_invariants : t -> (unit, string) result
+  (** Sorted keys, separator bounds, uniform leaf depth, leaf-chain
+      order, node accounting. *)
+end

@@ -1,0 +1,1 @@
+lib/cluster/cluster.ml: Array Clock Failure List Node Printf Sci Sim

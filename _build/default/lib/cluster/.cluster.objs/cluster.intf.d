@@ -1,0 +1,1 @@
+lib/cluster/cluster.mli: Clock Failure Node Sci Sim

@@ -1,0 +1,1 @@
+lib/cluster/failure.ml: Disk Format Sim

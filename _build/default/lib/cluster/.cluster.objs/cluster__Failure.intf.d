@@ -1,0 +1,1 @@
+lib/cluster/failure.mli: Disk Format Sim

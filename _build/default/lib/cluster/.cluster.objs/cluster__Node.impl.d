@@ -1,0 +1,1 @@
+lib/cluster/node.ml: Clock Failure Mem Printf Sci Sim

@@ -1,0 +1,58 @@
+open Sim
+module Failure = Failure
+module Node = Node
+
+type t = { clock : Clock.t; nic : Sci.Nic.t; nodes : Node.t array }
+
+type node_spec = {
+  name : string;
+  dram_size : int;
+  power_supply : int;
+  ups : bool;
+}
+
+let spec ?(ups = false) ?(dram_size = 64 * 1024 * 1024) ?(power_supply = 0) name =
+  { name; dram_size; power_supply; ups }
+
+let create ?params ~clock specs =
+  if specs = [] then invalid_arg "Cluster.create: at least one node required";
+  let nodes =
+    List.mapi
+      (fun id s ->
+        Node.create ~ups:s.ups ~id ~name:s.name ~dram_size:s.dram_size
+          ~power_supply:s.power_supply clock)
+      specs
+    |> Array.of_list
+  in
+  { clock; nic = Sci.Nic.create ?params clock; nodes }
+
+let clock t = t.clock
+let nic t = t.nic
+let size t = Array.length t.nodes
+
+let node t i =
+  if i < 0 || i >= Array.length t.nodes then invalid_arg (Printf.sprintf "Cluster.node: no node %d" i);
+  t.nodes.(i)
+
+let nodes t = Array.to_list t.nodes
+
+let hops t ~src ~dst =
+  let n = Array.length t.nodes in
+  if src < 0 || src >= n || dst < 0 || dst >= n then invalid_arg "Cluster.hops: unknown node";
+  (dst - src + n) mod n
+
+let crash_node t i kind = Node.crash (node t i) kind
+
+let crash_power_supply t supply =
+  Array.to_list t.nodes
+  |> List.filter_map (fun n ->
+         if Node.power_supply n = supply && Node.is_up n then
+           match Node.crash n Failure.Power_outage with
+           | `Crashed -> Some (Node.id n)
+           | `Survived -> None
+         else None)
+
+let restart_node t i = Node.restart (node t i)
+
+let up_nodes t =
+  Array.to_list t.nodes |> List.filter Node.is_up |> List.map Node.id

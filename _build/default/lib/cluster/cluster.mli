@@ -1,0 +1,48 @@
+open Sim
+
+(** A network of workstations on an SCI ring.
+
+    All nodes share one virtual clock and one NIC cost model.  The
+    cluster knows which node sits on which power supply, so a power
+    outage takes down every node wired to the failed supply at once —
+    the correlated-failure case the paper's mirroring policy (different
+    supplies for primary and mirror) is designed to dodge. *)
+
+module Failure = Failure
+module Node = Node
+
+type t
+
+type node_spec = {
+  name : string;
+  dram_size : int;
+  power_supply : int;
+  ups : bool;
+}
+
+val spec : ?ups:bool -> ?dram_size:int -> ?power_supply:int -> string -> node_spec
+(** Convenience constructor; defaults: 64 MB DRAM, supply 0, no UPS. *)
+
+val create : ?params:Sci.Params.t -> clock:Clock.t -> node_spec list -> t
+(** At least one node is required. *)
+
+val clock : t -> Clock.t
+val nic : t -> Sci.Nic.t
+val size : t -> int
+val node : t -> int -> Node.t
+(** Raises [Invalid_argument] on an unknown node id. *)
+
+val nodes : t -> Node.t list
+
+val hops : t -> src:int -> dst:int -> int
+(** SCI ring distance from [src] to [dst] (unidirectional ring);
+    0 when [src = dst]. *)
+
+val crash_node : t -> int -> Failure.kind -> [ `Crashed | `Survived ]
+
+val crash_power_supply : t -> int -> int list
+(** Power outage on a supply: crashes every non-UPS node wired to it;
+    returns the ids of the nodes that went down. *)
+
+val restart_node : t -> int -> unit
+val up_nodes : t -> int list

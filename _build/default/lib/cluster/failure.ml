@@ -1,0 +1,16 @@
+type kind = Disk.Device.failure = Power_outage | Hardware_error | Software_error
+
+let all = [ Power_outage; Hardware_error; Software_error ]
+
+let to_string = function
+  | Power_outage -> "power-outage"
+  | Hardware_error -> "hardware-error"
+  | Software_error -> "software-error"
+
+let pp ppf k = Format.pp_print_string ppf (to_string k)
+
+let random rng =
+  match Sim.Rng.int rng 3 with
+  | 0 -> Power_outage
+  | 1 -> Hardware_error
+  | _ -> Software_error

@@ -1,0 +1,15 @@
+(** Failure kinds and their semantics (paper §1).
+
+    Power outages take down every node on the affected power supply at
+    once — which is why PERSEAS mirrors across nodes on {e different}
+    supplies.  Hardware and software errors strike nodes independently.
+    A UPS absorbs power outages entirely (the node keeps running). *)
+
+type kind = Disk.Device.failure = Power_outage | Hardware_error | Software_error
+
+val all : kind list
+val to_string : kind -> string
+val pp : Format.formatter -> kind -> unit
+
+val random : Sim.Rng.t -> kind
+(** Uniform over the three kinds. *)

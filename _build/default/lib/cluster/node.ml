@@ -1,0 +1,64 @@
+open Sim
+
+type t = {
+  id : int;
+  name : string;
+  power_supply : int;
+  ups : bool;
+  clock : Clock.t;
+  memory : Mem.Image.t;
+  mutable alloc : Mem.Allocator.t;
+  mutable up : bool;
+  mutable crashes : int;
+}
+
+let create ?(ups = false) ~id ~name ~dram_size ~power_supply clock =
+  {
+    id;
+    name;
+    power_supply;
+    ups;
+    clock;
+    memory = Mem.Image.create ~size:dram_size;
+    alloc = Mem.Allocator.create ~size:dram_size ();
+    up = true;
+    crashes = 0;
+  }
+
+let id t = t.id
+let name t = t.name
+let power_supply t = t.power_supply
+let has_ups t = t.ups
+let clock t = t.clock
+
+let dram t =
+  if not t.up then failwith (Printf.sprintf "Node.dram: node %s is down" t.name);
+  t.memory
+
+let allocator t =
+  if not t.up then failwith (Printf.sprintf "Node.allocator: node %s is down" t.name);
+  t.alloc
+
+let is_up t = t.up
+let crashes_since_start t = t.crashes
+
+let crash t kind =
+  if not t.up then `Crashed
+  else if kind = Failure.Power_outage && t.ups then `Survived
+  else begin
+    t.up <- false;
+    t.crashes <- t.crashes + 1;
+    Mem.Image.wipe t.memory;
+    `Crashed
+  end
+
+let restart t =
+  if not t.up then begin
+    t.alloc <- Mem.Allocator.create ~size:(Mem.Image.size t.memory) ();
+    t.up <- true
+  end
+
+let local_copy t ?(params = Sci.Params.default) ~src_off ~dst_off ~len () =
+  let memory = dram t in
+  Mem.Image.blit ~src:memory ~src_off ~dst:memory ~dst_off ~len;
+  Clock.advance t.clock (Sci.Model.local_copy params len)

@@ -1,0 +1,49 @@
+open Sim
+
+(** A workstation: DRAM, a CPU, a power supply, optionally a UPS.
+
+    Crashing a node wipes its DRAM (a rebooted OS reinitialises memory)
+    and makes it unreachable until restart; a node with a UPS simply
+    survives power outages.  The DRAM is a real byte image, so "the
+    mirror still holds the data" is an observable fact, not an
+    assumption.  Stable-storage devices (disk, Rio) are separate
+    {!Disk.Device} values hosted alongside a node by the testbeds. *)
+
+type t
+
+val create :
+  ?ups:bool ->
+  id:int ->
+  name:string ->
+  dram_size:int ->
+  power_supply:int ->
+  Clock.t ->
+  t
+
+val id : t -> int
+val name : t -> string
+val power_supply : t -> int
+val has_ups : t -> bool
+val clock : t -> Clock.t
+
+val dram : t -> Mem.Image.t
+(** Raises [Failure] when the node is down: a crashed node's memory is
+    unreachable until restart. *)
+
+val allocator : t -> Mem.Allocator.t
+(** Allocator over the node's whole DRAM; reset on restart. *)
+
+val is_up : t -> bool
+val crashes_since_start : t -> int
+
+val crash : t -> Failure.kind -> [ `Crashed | `Survived ]
+(** Apply a failure.  [`Survived] when a UPS absorbs a power outage;
+    otherwise the node goes down and its DRAM is wiped. Crashing an
+    already-down node is a no-op ([`Crashed]). *)
+
+val restart : t -> unit
+(** Bring a crashed node back up with empty (wiped) DRAM and a fresh
+    allocator.  No-op when already up. *)
+
+val local_copy : t -> ?params:Sci.Params.t -> src_off:int -> dst_off:int -> len:int -> unit -> unit
+(** An in-DRAM memcpy: moves real bytes and charges the CPU cost. *)

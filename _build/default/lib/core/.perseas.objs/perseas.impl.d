@@ -1,0 +1,1 @@
+lib/core/perseas.ml: Array Bytes Clock Cluster Disk Int32 Int64 Layout List Logs Mem Netram Printf Sci Sim Time Txn_intf

@@ -1,0 +1,1 @@
+lib/core/perseas.mli: Cluster Disk Layout Netram Txn_intf

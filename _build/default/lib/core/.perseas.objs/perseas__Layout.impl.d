@@ -1,0 +1,1 @@
+lib/core/layout.ml: Bytes Char Int32 Int64 Printf String

@@ -1,0 +1,1 @@
+lib/core/txn_intf.ml:

@@ -1,0 +1,103 @@
+let max_name_length = 32
+let default_namespace = "perseas"
+
+let valid_namespace ns =
+  ns <> "" && String.length ns <= max_name_length && not (String.contains ns '!')
+
+let check_namespace ns =
+  if not (valid_namespace ns) then invalid_arg (Printf.sprintf "Layout: invalid namespace %S" ns)
+
+let meta_name ~ns =
+  check_namespace ns;
+  ns ^ "!meta"
+
+let undo_name ~ns =
+  check_namespace ns;
+  ns ^ "!undo"
+
+let meta_segment_name = meta_name ~ns:default_namespace
+let undo_segment_name = undo_name ~ns:default_namespace
+
+let db_export_name ?(ns = default_namespace) name =
+  check_namespace ns;
+  let n = String.length name in
+  if n = 0 then invalid_arg "Layout.db_export_name: empty name";
+  if n > max_name_length then invalid_arg "Layout.db_export_name: name too long";
+  if String.contains name '!' then invalid_arg "Layout.db_export_name: '!' is reserved";
+  ns ^ "!db!" ^ name
+
+let meta_magic = 0x5045525345415331L (* "PERSEAS1" *)
+let meta_header_size = 24
+let meta_table_entry_size = max_name_length + 16
+let meta_size ~max_segments = 64 + (max_segments * meta_table_entry_size)
+
+let write_meta_magic b = Bytes.set_int64_le b 0 meta_magic
+let read_meta_magic b = Bytes.get_int64_le b 0
+let epoch_offset = 8
+let write_epoch b e = Bytes.set_int64_le b epoch_offset e
+let read_epoch b = Bytes.get_int64_le b epoch_offset
+let write_nsegs b n = Bytes.set_int64_le b 16 (Int64.of_int n)
+let read_nsegs b = Int64.to_int (Bytes.get_int64_le b 16)
+
+let table_off index = 64 + (index * meta_table_entry_size)
+
+let write_table_entry b ~index ~name ~size =
+  let off = table_off index in
+  Bytes.fill b off max_name_length '\000';
+  Bytes.blit_string name 0 b off (String.length name);
+  Bytes.set_int64_le b (off + max_name_length) (Int64.of_int size);
+  Bytes.set_int64_le b (off + max_name_length + 8) 0L
+
+let read_table_entry b ~index =
+  let off = table_off index in
+  let raw = Bytes.sub_string b off max_name_length in
+  let name = match String.index_opt raw '\000' with Some i -> String.sub raw 0 i | None -> raw in
+  let size = Int64.to_int (Bytes.get_int64_le b (off + max_name_length)) in
+  if name = "" || size <= 0 then failwith "Layout.read_table_entry: corrupt entry";
+  (name, size)
+
+type undo_header = { epoch : int64; seg_index : int; off : int; len : int }
+
+let undo_header_size = 24
+
+let align64 x = (x + 63) land lnot 63
+let undo_slot ~off ~payload_len = align64 (off + undo_header_size + payload_len)
+
+let fnv32 seed data off len =
+  let h = ref seed in
+  for i = off to off + len - 1 do
+    h := (!h lxor Char.code (Bytes.get data i)) * 0x01000193 land 0xFFFFFFFF
+  done;
+  !h
+
+let header_checksum_seed (h : undo_header) =
+  let mix = Int64.to_int (Int64.logand h.epoch 0x3FFFFFFFL) in
+  (0x811c9dc5 lxor mix lxor (h.seg_index * 131) lxor (h.off * 31) lxor (h.len * 7))
+  land 0xFFFFFFFF
+
+let encode_undo h ~payload =
+  if Bytes.length payload <> h.len then invalid_arg "Layout.encode_undo: payload length mismatch";
+  let b = Bytes.create (undo_header_size + h.len) in
+  Bytes.set_int64_le b 0 h.epoch;
+  Bytes.set_int32_le b 8 (Int32.of_int h.seg_index);
+  Bytes.set_int32_le b 12 (Int32.of_int h.off);
+  Bytes.set_int32_le b 16 (Int32.of_int h.len);
+  let crc = fnv32 (header_checksum_seed h) payload 0 h.len in
+  Bytes.set_int32_le b 20 (Int32.of_int crc);
+  Bytes.blit payload 0 b undo_header_size h.len;
+  b
+
+let decode_undo_header b ~off =
+  if off < 0 || off + undo_header_size > Bytes.length b then None
+  else
+    let epoch = Bytes.get_int64_le b off in
+    let seg_index = Int32.to_int (Bytes.get_int32_le b (off + 8)) in
+    let off' = Int32.to_int (Bytes.get_int32_le b (off + 12)) in
+    let len = Int32.to_int (Bytes.get_int32_le b (off + 16)) in
+    if seg_index < 0 || off' < 0 || len <= 0 || off + undo_header_size + len > Bytes.length b then None
+    else Some { epoch; seg_index; off = off'; len }
+
+let verify_undo b ~off (h : undo_header) =
+  let stored = Int32.to_int (Bytes.get_int32_le b (off + 20)) land 0xFFFFFFFF in
+  let crc = fnv32 (header_checksum_seed h) b (off + undo_header_size) h.len in
+  stored = crc

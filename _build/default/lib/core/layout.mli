@@ -1,0 +1,78 @@
+(** On-memory layouts of PERSEAS' recoverable metadata.
+
+    Everything a recovering workstation needs lives in remote memory in
+    these formats: the metadata segment (epoch + segment table) and the
+    undo-log records.  Serialisation is to/from concrete bytes so that a
+    node that has never seen the database can parse them after
+    connecting with [sci_connect_segment]. *)
+
+val meta_segment_name : string
+(** Default-namespace metadata name, [meta_name ~ns:default_namespace]. *)
+
+val undo_segment_name : string
+
+val default_namespace : string
+
+val valid_namespace : string -> bool
+(** Non-empty, at most {!max_name_length} bytes, no ['!']. *)
+
+val meta_name : ns:string -> string
+val undo_name : ns:string -> string
+
+val db_export_name : ?ns:string -> string -> string
+(** Directory name of a database segment's mirror, within a namespace
+    (several databases can then share one memory server).  Raises
+    [Invalid_argument] on the empty string, names over
+    {!max_name_length}, names containing ['!'] (reserved), or an
+    invalid namespace. *)
+
+val max_name_length : int
+
+(** {1 Metadata segment} *)
+
+val meta_magic : int64
+val meta_header_size : int
+(** magic, epoch, segment count. *)
+
+val meta_table_entry_size : int
+val meta_size : max_segments:int -> int
+
+val write_meta_magic : bytes -> unit
+val read_meta_magic : bytes -> int64
+val epoch_offset : int
+(** Byte offset of the epoch word inside the metadata segment — the
+    8-byte field whose remote update is the commit point. *)
+
+val write_epoch : bytes -> int64 -> unit
+val read_epoch : bytes -> int64
+val write_nsegs : bytes -> int -> unit
+val read_nsegs : bytes -> int
+
+val write_table_entry : bytes -> index:int -> name:string -> size:int -> unit
+val read_table_entry : bytes -> index:int -> string * int
+(** Raises [Failure] on a corrupt entry. *)
+
+(** {1 Undo records}
+
+    A record is a 24-byte header followed by the before-image:
+    epoch (8), segment index (4), offset (4), length (4), checksum (4,
+    over header fields and payload).  Records start on 64-byte
+    boundaries so each lands remotely as whole SCI buffers. *)
+
+type undo_header = { epoch : int64; seg_index : int; off : int; len : int }
+
+val undo_header_size : int
+val undo_slot : off:int -> payload_len:int -> int
+(** Offset of the next record given one at [off] with that payload. *)
+
+val encode_undo : undo_header -> payload:bytes -> bytes
+(** Header and payload as one buffer, checksummed. *)
+
+val decode_undo_header : bytes -> off:int -> undo_header option
+(** [None] if the bytes at [off] cannot be a record header (bad sizes).
+    The checksum still has to be verified against the payload with
+    {!verify_undo}. *)
+
+val verify_undo : bytes -> off:int -> undo_header -> bool
+(** Checks the stored checksum against header + payload read from the
+    same buffer. *)

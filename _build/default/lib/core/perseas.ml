@@ -1,0 +1,758 @@
+open Sim
+module Txn_intf = Txn_intf
+module Layout = Layout
+module Node = Cluster.Node
+module Client = Netram.Client
+module Remote_segment = Netram.Remote_segment
+
+let src = Logs.Src.create "perseas" ~doc:"PERSEAS transaction library"
+
+module Log = (val Logs.src_log src : Logs.LOG)
+
+type config = {
+  undo_capacity : int;
+  max_segments : int;
+  strict_updates : bool;
+  optimized_memcpy : bool;
+  namespace : string;
+}
+
+let default_config =
+  {
+    undo_capacity = (1024 * 1024) + (64 * 1024);
+    max_segments = 64;
+    strict_updates = true;
+    optimized_memcpy = true;
+    namespace = Layout.default_namespace;
+  }
+
+exception Undo_overflow
+exception All_mirrors_lost
+
+type mirror = {
+  m_client : Client.t;
+  mutable m_meta : Remote_segment.t;
+  mutable m_undo : Remote_segment.t;
+  mutable m_alive : bool;
+}
+
+type segment = {
+  seg_name : string;
+  index : int;
+  size : int;
+  mutable local : Mem.Segment.t;
+  mutable remotes : Remote_segment.t array; (* parallel to t.mirrors *)
+}
+
+type stats = {
+  begun : int;
+  committed : int;
+  aborted : int;
+  set_ranges : int;
+  undo_bytes_logged : int;
+  local_copy_bytes : int;
+  mirrors_lost : int;
+}
+
+type t = {
+  config : config;
+  cluster : Cluster.t;
+  local_id : int;
+  mutable mirrors : mirror array;
+  mutable segs : segment list; (* creation order, reversed *)
+  mutable meta_local : Mem.Segment.t;
+  mutable undo_local : Mem.Segment.t;
+  mutable epoch : int64;
+  mutable ready : bool;
+  mutable active : txn option;
+  mutable hook : (unit -> unit) option;
+  mutable st_begun : int;
+  mutable st_committed : int;
+  mutable st_aborted : int;
+  mutable st_set_ranges : int;
+  mutable st_undo_bytes : int;
+  mutable st_local_copy_bytes : int;
+  mutable st_mirrors_lost : int;
+}
+
+and range = { r_seg : segment; r_off : int; r_len : int; staging_off : int (* payload offset in undo staging *) }
+
+and txn = { owner : t; mutable ranges : range list (* newest first *); mutable tail : int; mutable open_ : bool }
+
+type mirror_info = { node_id : int; alive : bool }
+
+(* Small fixed bookkeeping costs of the user-level library calls. *)
+let t_begin = Time.us 0.1
+let t_set_range = Time.us 0.05
+let t_commit = Time.us 0.2
+
+let clock t = Cluster.clock t.cluster
+let local_node t = Cluster.node t.cluster t.local_id
+let local_dram t = Node.dram (local_node t)
+let params t = Sci.Nic.params (Cluster.nic t.cluster)
+
+let charge_local_copy t len =
+  Clock.advance (clock t) (Sci.Model.local_copy (params t) len);
+  t.st_local_copy_bytes <- t.st_local_copy_bytes + len
+
+let alloc_local t ?(align = 64) size what =
+  match Mem.Allocator.alloc (Node.allocator (local_node t)) ~align size with
+  | Some seg -> seg
+  | None -> failwith (Printf.sprintf "Perseas: out of local memory for %s (%d bytes)" what size)
+
+let meta_size t = Layout.meta_size ~max_segments:t.config.max_segments
+
+(* ------------------------------------------------------------------ *)
+(* Mirror-set plumbing                                                  *)
+
+let live_mirror_list t =
+  Array.to_list t.mirrors |> List.filter (fun m -> m.m_alive)
+
+let live_mirrors t =
+  List.map (fun m -> Node.id (Client.server m.m_client |> Netram.Server.node)) (live_mirror_list t)
+
+let mirrors t =
+  Array.to_list t.mirrors
+  |> List.map (fun m ->
+         { node_id = Node.id (Netram.Server.node (Client.server m.m_client)); alive = m.m_alive })
+
+let mirror_count t = List.length (live_mirror_list t)
+
+(* A mirror that fails during a remote operation is dropped from the
+   set (degraded mode); when the last one goes, the library refuses to
+   continue — committing without any mirror would silently forfeit
+   recoverability. *)
+let with_mirror t m f =
+  if not m.m_alive then None
+  else
+    try Some (f ())
+    with Failure msg ->
+      m.m_alive <- false;
+      t.st_mirrors_lost <- t.st_mirrors_lost + 1;
+      Log.warn (fun k ->
+          k "mirror on node %d lost (%s); continuing degraded with %d mirror(s)"
+            (Node.id (Netram.Server.node (Client.server m.m_client)))
+            msg (mirror_count t));
+      None
+
+let each_live_mirror t f =
+  Array.iteri (fun i m -> if m.m_alive then ignore (with_mirror t m (fun () -> f i m))) t.mirrors;
+  if mirror_count t = 0 then raise All_mirrors_lost
+
+(* ------------------------------------------------------------------ *)
+(* Initialisation                                                       *)
+
+let fresh_mirror client ~config =
+  let meta_bytes = Layout.meta_size ~max_segments:config.max_segments in
+  {
+    m_client = client;
+    m_meta = Client.malloc client ~name:(Layout.meta_name ~ns:config.namespace) ~size:meta_bytes;
+    m_undo = Client.malloc client ~name:(Layout.undo_name ~ns:config.namespace) ~size:config.undo_capacity;
+    m_alive = true;
+  }
+
+let init_replicated ?(config = default_config) clients =
+  if clients = [] then invalid_arg "Perseas.init_replicated: at least one mirror required";
+  if config.undo_capacity < 4096 then invalid_arg "Perseas.init: undo_capacity too small";
+  if config.max_segments <= 0 then invalid_arg "Perseas.init: max_segments must be positive";
+  if not (Layout.valid_namespace config.namespace) then invalid_arg "Perseas.init: invalid namespace";
+  let first = List.hd clients in
+  let cluster = Client.cluster first in
+  let local_id = Node.id (Client.local_node first) in
+  List.iter
+    (fun c ->
+      if Client.cluster c != cluster then invalid_arg "Perseas.init: clients span different clusters";
+      if Node.id (Client.local_node c) <> local_id then
+        invalid_arg "Perseas.init: clients must share the local node")
+    clients;
+  let server_ids = List.map (fun c -> Node.id (Netram.Server.node (Client.server c))) clients in
+  if List.length (List.sort_uniq compare server_ids) <> List.length server_ids then
+    invalid_arg "Perseas.init: duplicate mirror nodes";
+  let mirrors = Array.of_list (List.map (fun c -> fresh_mirror c ~config) clients) in
+  let t =
+    {
+      config;
+      cluster;
+      local_id;
+      mirrors;
+      segs = [];
+      meta_local = Mem.Segment.v ~base:0 ~len:1 (* placeholder, set below *);
+      undo_local = Mem.Segment.v ~base:0 ~len:1;
+      epoch = 0L;
+      ready = false;
+      active = None;
+      hook = None;
+      st_begun = 0;
+      st_committed = 0;
+      st_aborted = 0;
+      st_set_ranges = 0;
+      st_undo_bytes = 0;
+      st_local_copy_bytes = 0;
+      st_mirrors_lost = 0;
+    }
+  in
+  t.meta_local <- alloc_local t (meta_size t) "metadata staging";
+  t.undo_local <- alloc_local t config.undo_capacity "undo log";
+  t
+
+let init ?config client = init_replicated ?config [ client ]
+
+let client t = (Array.get t.mirrors 0).m_client
+let config t = t.config
+let cluster t = t.cluster
+let remote_ready t = t.ready
+let epoch t = t.epoch
+let segments t = List.rev t.segs
+let segment t name = List.find_opt (fun s -> s.seg_name = name) t.segs
+let segment_name s = s.seg_name
+let segment_size s = s.size
+
+let malloc t ~name ~size =
+  if t.ready then failwith "Perseas.malloc: database already initialised";
+  if size <= 0 then invalid_arg "Perseas.malloc: size must be positive";
+  if List.length t.segs >= t.config.max_segments then failwith "Perseas.malloc: too many segments";
+  if segment t name <> None then failwith (Printf.sprintf "Perseas.malloc: segment %S exists" name);
+  let export_name = Layout.db_export_name ~ns:t.config.namespace name in
+  let local = alloc_local t size (Printf.sprintf "segment %S" name) in
+  let remotes =
+    Array.map (fun m -> Client.malloc m.m_client ~name:export_name ~size) t.mirrors
+  in
+  let seg = { seg_name = name; index = List.length t.segs; size; local; remotes } in
+  t.segs <- seg :: t.segs;
+  seg
+
+(* Run a transfer plan packet by packet, giving the fault-injection
+   hook a chance to "crash the node" before each packet goes out. *)
+let run_plan t plan =
+  List.iter
+    (fun step ->
+      (match t.hook with Some f -> f () | None -> ());
+      Sci.Nic.apply_step (Cluster.nic t.cluster) step)
+    (Sci.Nic.plan_steps plan)
+
+let write_meta_staging t =
+  let image = local_dram t in
+  let b = Bytes.make (meta_size t) '\000' in
+  Layout.write_meta_magic b;
+  Layout.write_epoch b t.epoch;
+  Layout.write_nsegs b (List.length t.segs);
+  List.iter (fun s -> Layout.write_table_entry b ~index:s.index ~name:s.seg_name ~size:s.size) t.segs;
+  Mem.Image.write_bytes image ~off:(Mem.Segment.base t.meta_local) b
+
+let push_meta_to t m =
+  run_plan t
+    (Client.plan_write m.m_client ~widen:t.config.optimized_memcpy m.m_meta ~seg_off:0
+       ~src_off:(Mem.Segment.base t.meta_local) ~len:(meta_size t))
+
+let push_meta t =
+  write_meta_staging t;
+  each_live_mirror t (fun _ m -> push_meta_to t m)
+
+let push_segment_to t m seg handle =
+  run_plan t
+    (Client.plan_write m.m_client ~widen:t.config.optimized_memcpy handle ~seg_off:0
+       ~src_off:(Mem.Segment.base seg.local) ~len:seg.size)
+
+let push_segment t seg =
+  each_live_mirror t (fun i m -> push_segment_to t m seg seg.remotes.(i))
+
+let init_remote_db t =
+  if t.ready then failwith "Perseas.init_remote_db: already initialised";
+  List.iter (push_segment t) t.segs;
+  t.epoch <- 1L;
+  push_meta t;
+  t.ready <- true
+
+(* The commit point: remotely overwrite the 8-byte epoch word on every
+   mirror.  Each store is one SCI packet (atomic); mirrors whose epoch
+   write was cut short by a crash are reconciled by recovery, which
+   trusts the highest epoch among the survivors. *)
+let stage_epoch t new_epoch =
+  Mem.Image.write_u64 (local_dram t) (Mem.Segment.base t.meta_local + Layout.epoch_offset) new_epoch
+
+let plan_epoch_write t m =
+  Client.plan_write m.m_client m.m_meta ~seg_off:Layout.epoch_offset
+    ~src_off:(Mem.Segment.base t.meta_local + Layout.epoch_offset)
+    ~len:8
+
+let begin_transaction t =
+  if not t.ready then failwith "Perseas.begin_transaction: call init_remote_db first";
+  (match t.active with Some _ -> failwith "Perseas.begin_transaction: transaction already open" | None -> ());
+  Clock.advance (clock t) t_begin;
+  let txn = { owner = t; ranges = []; tail = 0; open_ = true } in
+  t.active <- Some txn;
+  t.st_begun <- t.st_begun + 1;
+  txn
+
+let check_open txn op = if not txn.open_ then failwith (Printf.sprintf "Perseas.%s: transaction is closed" op)
+
+let check_seg_range seg ~off ~len op =
+  if off < 0 || len < 0 || off + len > seg.size then
+    invalid_arg
+      (Printf.sprintf "Perseas.%s: [%d,+%d) outside segment %S of %d bytes" op off len seg.seg_name
+         seg.size)
+
+let set_range txn seg ~off ~len =
+  check_open txn "set_range";
+  check_seg_range seg ~off ~len "set_range";
+  if len = 0 then invalid_arg "Perseas.set_range: empty range";
+  let t = txn.owner in
+  Clock.advance (clock t) t_set_range;
+  let record_len = Layout.undo_header_size + len in
+  if txn.tail + record_len > t.config.undo_capacity then raise Undo_overflow;
+  let image = local_dram t in
+  (* Figure 3, step 1: before-image into the local undo log. *)
+  let payload = Mem.Image.read_bytes image ~off:(Mem.Segment.base seg.local + off) ~len in
+  let record =
+    Layout.encode_undo { Layout.epoch = t.epoch; seg_index = seg.index; off; len } ~payload
+  in
+  let slot = txn.tail in
+  Mem.Image.write_bytes image ~off:(Mem.Segment.base t.undo_local + slot) record;
+  charge_local_copy t record_len;
+  (* Figure 3, step 2: push the record to every remote undo log. *)
+  each_live_mirror t (fun _ m ->
+      run_plan t
+        (Client.plan_write m.m_client ~widen:t.config.optimized_memcpy m.m_undo ~seg_off:slot
+           ~src_off:(Mem.Segment.base t.undo_local + slot) ~len:record_len));
+  txn.ranges <-
+    { r_seg = seg; r_off = off; r_len = len; staging_off = slot + Layout.undo_header_size }
+    :: txn.ranges;
+  txn.tail <- Layout.undo_slot ~off:slot ~payload_len:len;
+  t.st_set_ranges <- t.st_set_ranges + 1;
+  t.st_undo_bytes <- t.st_undo_bytes + len
+
+let close txn =
+  txn.open_ <- false;
+  txn.owner.active <- None
+
+let data_plans_for txn i m =
+  let t = txn.owner in
+  List.rev_map
+    (fun r ->
+      Client.plan_write m.m_client ~widen:t.config.optimized_memcpy r.r_seg.remotes.(i)
+        ~seg_off:r.r_off ~src_off:(Mem.Segment.base r.r_seg.local + r.r_off) ~len:r.r_len)
+    txn.ranges
+
+let commit txn =
+  check_open txn "commit";
+  let t = txn.owner in
+  Clock.advance (clock t) t_commit;
+  (* Figure 3, step 3: propagate updated ranges to every mirror, then
+     bump the epoch everywhere — the per-mirror single-packet commit
+     point. *)
+  each_live_mirror t (fun i m -> List.iter (run_plan t) (data_plans_for txn i m));
+  stage_epoch t (Int64.add t.epoch 1L);
+  each_live_mirror t (fun _ m -> run_plan t (plan_epoch_write t m));
+  t.epoch <- Int64.add t.epoch 1L;
+  t.st_committed <- t.st_committed + 1;
+  close txn
+
+let commit_packets txn =
+  check_open txn "commit_packets";
+  let t = txn.owner in
+  stage_epoch t (Int64.add t.epoch 1L);
+  let count = ref 0 in
+  Array.iteri
+    (fun i m ->
+      if m.m_alive then begin
+        List.iter (fun plan -> count := !count + List.length (Sci.Nic.plan_steps plan)) (data_plans_for txn i m);
+        count := !count + List.length (Sci.Nic.plan_steps (plan_epoch_write t m))
+      end)
+    t.mirrors;
+  stage_epoch t t.epoch;
+  !count
+
+let abort txn =
+  check_open txn "abort";
+  let t = txn.owner in
+  let image = local_dram t in
+  (* Local memory copies only: restore each range from the undo log,
+     newest first. *)
+  List.iter
+    (fun r ->
+      Mem.Image.blit ~src:image ~src_off:(Mem.Segment.base t.undo_local + r.staging_off)
+        ~dst:image ~dst_off:(Mem.Segment.base r.r_seg.local + r.r_off) ~len:r.r_len;
+      charge_local_copy t r.r_len)
+    txn.ranges;
+  t.st_aborted <- t.st_aborted + 1;
+  close txn
+
+let covered txn seg ~off ~len =
+  List.exists
+    (fun r -> r.r_seg == seg && r.r_off <= off && off + len <= r.r_off + r.r_len)
+    txn.ranges
+
+let write t seg ~off data =
+  let len = Bytes.length data in
+  check_seg_range seg ~off ~len "write";
+  if t.ready && t.config.strict_updates then begin
+    match t.active with
+    | Some txn when covered txn seg ~off ~len -> ()
+    | Some _ -> failwith (Printf.sprintf "Perseas.write: [%d,+%d) of %S not covered by set_range" off len seg.seg_name)
+    | None -> failwith "Perseas.write: no open transaction"
+  end;
+  Mem.Image.write_bytes (local_dram t) ~off:(Mem.Segment.base seg.local + off) data;
+  charge_local_copy t len
+
+let read t seg ~off ~len =
+  check_seg_range seg ~off ~len "read";
+  Mem.Image.read_bytes (local_dram t) ~off:(Mem.Segment.base seg.local + off) ~len
+
+let write_u32 t seg ~off v =
+  let b = Bytes.create 4 in
+  Bytes.set_int32_le b 0 (Int32.of_int v);
+  write t seg ~off b
+
+let read_u32 t seg ~off =
+  check_seg_range seg ~off ~len:4 "read_u32";
+  Mem.Image.read_u32 (local_dram t) (Mem.Segment.base seg.local + off)
+
+let write_u64 t seg ~off v =
+  let b = Bytes.create 8 in
+  Bytes.set_int64_le b 0 v;
+  write t seg ~off b
+
+let read_u64 t seg ~off =
+  check_seg_range seg ~off ~len:8 "read_u64";
+  Mem.Image.read_u64 (local_dram t) (Mem.Segment.base seg.local + off)
+
+let checksum t seg =
+  Mem.Image.checksum (local_dram t) ~off:(Mem.Segment.base seg.local) ~len:seg.size
+
+let mirror_checksums t seg =
+  Array.to_list t.mirrors
+  |> List.mapi (fun i m -> (i, m))
+  |> List.filter_map (fun (i, m) ->
+         if not m.m_alive then None
+         else
+           let image = Node.dram (Netram.Server.node (Client.server m.m_client)) in
+           Some (i, Mem.Image.checksum image ~off:(Remote_segment.base seg.remotes.(i)) ~len:seg.size))
+
+let mirror_checksum t seg =
+  match mirror_checksums t seg with
+  | (_, c) :: _ -> c
+  | [] -> raise All_mirrors_lost
+
+(* Operational scrub: compare every segment against every live mirror
+   (no virtual time charged — a test/ops oracle, not a protocol step). *)
+let verify_mirrors t =
+  List.concat_map
+    (fun seg ->
+      let local = checksum t seg in
+      List.filter_map
+        (fun (i, c) -> if c <> local then Some (seg.seg_name, i) else None)
+        (mirror_checksums t seg))
+    t.segs
+
+let set_packet_hook t hook = t.hook <- hook
+
+let stats t =
+  {
+    begun = t.st_begun;
+    committed = t.st_committed;
+    aborted = t.st_aborted;
+    set_ranges = t.st_set_ranges;
+    undo_bytes_logged = t.st_undo_bytes;
+    local_copy_bytes = t.st_local_copy_bytes;
+    mirrors_lost = t.st_mirrors_lost;
+  }
+
+(* ------------------------------------------------------------------ *)
+(* Mirror management                                                    *)
+
+(* Export-or-reconnect every PERSEAS object on [server] and bring it in
+   sync with the local database.  Handles both a brand-new server and a
+   stale ex-mirror whose directory still holds old segments. *)
+let connect_or_export client ~name ~size =
+  match Client.connect client ~name with
+  | Some h when Remote_segment.len h = size -> h
+  | Some h ->
+      Client.free client h;
+      Client.malloc client ~name ~size
+  | None -> Client.malloc client ~name ~size
+
+let attach_mirror t ~server =
+  (match t.active with
+  | Some _ -> failwith "Perseas.attach_mirror: close the open transaction first"
+  | None -> ());
+  let existing =
+    Array.to_list t.mirrors
+    |> List.exists (fun m ->
+           m.m_alive
+           && Node.id (Netram.Server.node (Client.server m.m_client))
+              = Node.id (Netram.Server.node server))
+  in
+  if existing then invalid_arg "Perseas.attach_mirror: node already mirrors this database";
+  let client = Client.create ~cluster:t.cluster ~local:t.local_id ~server in
+  let m =
+    {
+      m_client = client;
+      m_meta =
+        connect_or_export client ~name:(Layout.meta_name ~ns:t.config.namespace) ~size:(meta_size t);
+      m_undo =
+        connect_or_export client
+          ~name:(Layout.undo_name ~ns:t.config.namespace)
+          ~size:t.config.undo_capacity;
+      m_alive = true;
+    }
+  in
+  (* Grow the mirror arrays. *)
+  t.mirrors <- Array.append t.mirrors [| m |];
+  List.iter
+    (fun seg ->
+      let handle =
+        connect_or_export client
+          ~name:(Layout.db_export_name ~ns:t.config.namespace seg.seg_name)
+          ~size:seg.size
+      in
+      seg.remotes <- Array.append seg.remotes [| handle |];
+      if t.ready then push_segment_to t m seg handle)
+    (segments t);
+  if t.ready then begin
+    (* Bump the epoch so stale undo records (here and on every other
+       mirror) can never be replayed against the fresh copy. *)
+    t.epoch <- Int64.add t.epoch 1L;
+    push_meta t
+  end
+
+let detach_mirror t ~node_id =
+  let found = ref false in
+  Array.iter
+    (fun m ->
+      if m.m_alive && Node.id (Netram.Server.node (Client.server m.m_client)) = node_id then begin
+        m.m_alive <- false;
+        found := true
+      end)
+    t.mirrors;
+  if not !found then invalid_arg (Printf.sprintf "Perseas.detach_mirror: node %d is not a live mirror" node_id);
+  if mirror_count t = 0 then
+    Log.warn (fun k -> k "last mirror detached: the database is no longer recoverable")
+
+let remirror t ~server =
+  (match t.active with
+  | Some _ -> failwith "Perseas.remirror: close the open transaction first"
+  | None -> ());
+  Array.iter (fun m -> m.m_alive <- false) t.mirrors;
+  t.mirrors <- [||];
+  List.iter (fun seg -> seg.remotes <- [||]) t.segs;
+  attach_mirror t ~server
+
+(* ------------------------------------------------------------------ *)
+(* Recovery                                                             *)
+
+let required what = function
+  | Some v -> v
+  | None -> failwith (Printf.sprintf "Perseas.recover: %s not found on the memory server" what)
+
+(* Undo records of the current epoch, scanned on the remote copy.
+   Returns them oldest-first together with their headers. *)
+let scan_remote_undo ~undo_bytes ~current_epoch =
+  let rec walk acc off =
+    match Layout.decode_undo_header undo_bytes ~off with
+    | Some h when h.Layout.epoch = current_epoch && Layout.verify_undo undo_bytes ~off h ->
+        walk ((off, h) :: acc) (Layout.undo_slot ~off ~payload_len:h.Layout.len)
+    | _ -> List.rev acc
+  in
+  walk [] 0
+
+(* Probe one candidate mirror server: its epoch if it holds a readable
+   PERSEAS metadata segment. *)
+let probe_server ~cluster ~local ~ns server =
+  if not (Netram.Server.is_alive server) then None
+  else
+    let client = Client.create ~cluster ~local ~server in
+    match Client.connect client ~name:(Layout.meta_name ~ns) with
+    | None -> None
+    | Some meta ->
+        let image = Node.dram (Netram.Server.node server) in
+        let header =
+          Mem.Image.read_bytes image ~off:(Remote_segment.base meta) ~len:Layout.meta_header_size
+        in
+        if Layout.read_meta_magic header <> Layout.meta_magic then None
+        else Some (client, meta, Layout.read_epoch header)
+
+let recover_replicated ?(config = default_config) ~cluster ~local ~servers () =
+  if servers = [] then invalid_arg "Perseas.recover: no candidate servers";
+  let candidates =
+    List.filter_map (probe_server ~cluster ~local ~ns:config.namespace) servers
+  in
+  (* Trust the mirror that reached the highest epoch: it is the only
+     one that may have seen the latest commit point. *)
+  let client, meta_remote, current_epoch =
+    match List.sort (fun (_, _, a) (_, _, b) -> compare b a) candidates with
+    | best :: _ -> best
+    | [] -> failwith "Perseas.recover: no server holds a recoverable database"
+  in
+  let server = Client.server client in
+  let undo_remote =
+    required "undo segment" (Client.connect client ~name:(Layout.undo_name ~ns:config.namespace))
+  in
+  let remote_image = Node.dram (Netram.Server.node server) in
+  let meta_bytes =
+    Mem.Image.read_bytes remote_image ~off:(Remote_segment.base meta_remote)
+      ~len:(Remote_segment.len meta_remote)
+  in
+  (* Charge the remote reads that fetch metadata and the undo area. *)
+  let nic = Cluster.nic cluster in
+  let hops = max 1 (Cluster.hops cluster ~src:local ~dst:(Node.id (Netram.Server.node server))) in
+  let p = Sci.Nic.params nic in
+  Clock.advance (Cluster.clock cluster)
+    (Sci.Model.read_range p ~hops ~off:(Remote_segment.base meta_remote)
+       ~len:(Remote_segment.len meta_remote) ());
+  let nsegs = Layout.read_nsegs meta_bytes in
+  if nsegs < 0 || nsegs > config.max_segments then failwith "Perseas.recover: corrupt segment count";
+  let table = List.init nsegs (fun index -> Layout.read_table_entry meta_bytes ~index) in
+  let remotes =
+    List.map
+      (fun (name, size) ->
+        let h =
+          required
+            (Printf.sprintf "segment %S" name)
+            (Client.connect client ~name:(Layout.db_export_name ~ns:config.namespace name))
+        in
+        if Remote_segment.len h <> size then failwith (Printf.sprintf "Perseas.recover: size mismatch for %S" name);
+        (name, size, h))
+      table
+  in
+  (* Repair a half-propagated commit: copy current-epoch before-images
+     from the remote undo log back over the remote database, newest
+     first.  These are local memory copies on the remote node. *)
+  let undo_bytes =
+    Mem.Image.read_bytes remote_image ~off:(Remote_segment.base undo_remote)
+      ~len:(Remote_segment.len undo_remote)
+  in
+  Clock.advance (Cluster.clock cluster)
+    (Sci.Model.read_range p ~hops ~off:(Remote_segment.base undo_remote)
+       ~len:(min (Remote_segment.len undo_remote) 4096) ());
+  let records = scan_remote_undo ~undo_bytes ~current_epoch in
+  List.iter
+    (fun (off, (h : Layout.undo_header)) ->
+      let _, _, handle =
+        try List.nth remotes h.seg_index
+        with _ -> failwith "Perseas.recover: undo record names unknown segment"
+      in
+      if h.off + h.len <= Remote_segment.len handle then begin
+        let payload_off = Remote_segment.base undo_remote + off + Layout.undo_header_size in
+        Mem.Image.blit ~src:remote_image ~src_off:payload_off ~dst:remote_image
+          ~dst_off:(Remote_segment.base handle + h.off) ~len:h.len;
+        Clock.advance (Cluster.clock cluster) (Sci.Model.local_copy p h.len)
+      end)
+    (List.rev records);
+  (* Invalidate the applied records by bumping the epoch remotely. *)
+  let new_epoch = Int64.add current_epoch 1L in
+  Mem.Image.write_u64 remote_image (Remote_segment.base meta_remote + Layout.epoch_offset) new_epoch;
+  Clock.advance (Cluster.clock cluster) (Sci.Model.local_copy p 8);
+  (* Build the new library instance and fetch every segment with one
+     remote-to-local copy (paper, end of section 3). *)
+  let t =
+    {
+      config;
+      cluster;
+      local_id = local;
+      mirrors = [| { m_client = client; m_meta = meta_remote; m_undo = undo_remote; m_alive = true } |];
+      segs = [];
+      meta_local = Mem.Segment.v ~base:0 ~len:1;
+      undo_local = Mem.Segment.v ~base:0 ~len:1;
+      epoch = new_epoch;
+      ready = true;
+      active = None;
+      hook = None;
+      st_begun = 0;
+      st_committed = 0;
+      st_aborted = 0;
+      st_set_ranges = 0;
+      st_undo_bytes = 0;
+      st_local_copy_bytes = 0;
+      st_mirrors_lost = 0;
+    }
+  in
+  t.meta_local <- alloc_local t (meta_size t) "metadata staging";
+  t.undo_local <- alloc_local t config.undo_capacity "undo log";
+  write_meta_staging t;
+  t.segs <-
+    List.rev
+      (List.mapi
+         (fun index (name, size, handle) ->
+           let local = alloc_local t size (Printf.sprintf "segment %S" name) in
+           Client.read client handle ~seg_off:0 ~dst_off:(Mem.Segment.base local) ~len:size;
+           { seg_name = name; index; size; local; remotes = [| handle |] })
+         remotes);
+  (* Re-establish the remaining mirrors: the survivors may be behind
+     (their epoch writes were cut by the crash), so they get a full
+     resync — which attach_mirror performs. *)
+  List.iter
+    (fun s ->
+      if Netram.Server.is_alive s && Node.id (Netram.Server.node s) <> Node.id (Netram.Server.node server)
+      then
+        try attach_mirror t ~server:s
+        with Failure msg ->
+          Log.warn (fun k ->
+              k "could not re-attach mirror on node %d during recovery: %s"
+                (Node.id (Netram.Server.node s)) msg))
+    servers;
+  t
+
+let recover ?config ~cluster ~local ~server () =
+  recover_replicated ?config ~cluster ~local ~servers:[ server ] ()
+
+(* ------------------------------------------------------------------ *)
+(* Archive: graceful shutdown to stable storage (paper, section 1:
+   scheduled shutdowns are the one case where the whole cluster may go
+   down, so the database writes itself out first). *)
+
+let archive t device =
+  (match t.active with
+  | Some _ -> failwith "Perseas.archive: close the open transaction first"
+  | None -> ());
+  if not t.ready then failwith "Perseas.archive: nothing to archive before init_remote_db";
+  let image = local_dram t in
+  let b = Bytes.make (meta_size t) '\000' in
+  Layout.write_meta_magic b;
+  Layout.write_epoch b t.epoch;
+  Layout.write_nsegs b (List.length t.segs);
+  List.iter (fun s -> Layout.write_table_entry b ~index:s.index ~name:s.seg_name ~size:s.size) t.segs;
+  Disk.Device.write device ~off:0 b;
+  let off = ref (meta_size t) in
+  List.iter
+    (fun seg ->
+      if !off + seg.size > Disk.Device.capacity device then failwith "Perseas.archive: device too small";
+      Disk.Device.write device ~off:!off
+        (Mem.Image.read_bytes image ~off:(Mem.Segment.base seg.local) ~len:seg.size);
+      off := !off + seg.size)
+    (segments t)
+
+let restore_from_archive ?(config = default_config) ~clients device =
+  let meta = Disk.Device.read device ~off:0 ~len:(Layout.meta_size ~max_segments:config.max_segments) in
+  if Layout.read_meta_magic meta <> Layout.meta_magic then
+    failwith "Perseas.restore_from_archive: no archive on this device";
+  let nsegs = Layout.read_nsegs meta in
+  if nsegs < 0 || nsegs > config.max_segments then
+    failwith "Perseas.restore_from_archive: corrupt segment count";
+  let t = init_replicated ~config clients in
+  let off = ref (meta_size t) in
+  for index = 0 to nsegs - 1 do
+    let name, size = Layout.read_table_entry meta ~index in
+    let seg = malloc t ~name ~size in
+    let data = Disk.Device.read device ~off:!off ~len:size in
+    write t seg ~off:0 data;
+    off := !off + size
+  done;
+  init_remote_db t;
+  t
+
+module Engine = struct
+  type nonrec t = t
+  type nonrec segment = segment
+  type nonrec txn = txn
+
+  let name = "PERSEAS"
+  let malloc = malloc
+  let find_segment = segment
+  let init_done = init_remote_db
+  let begin_transaction = begin_transaction
+  let set_range txn seg ~off ~len = set_range txn seg ~off ~len
+  let commit = commit
+  let abort = abort
+  let write = write
+  let read = read
+end

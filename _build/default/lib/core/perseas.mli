@@ -1,0 +1,245 @@
+(** PERSEAS: a transaction library for main-memory databases on a
+    reliable network RAM (the paper's contribution).
+
+    Every database segment lives twice: in the local node's DRAM and,
+    mirrored, in the memory exported by a remote node's server.  A
+    transaction makes three kinds of memory copies and no disk access
+    (paper, Figure 3):
+
+    + [set_range] copies the before-image into the local undo log and
+      pushes it to the remote undo log with a remote write;
+    + the application updates the declared ranges in the local database;
+    + [commit] copies each updated range to the remote mirror and then
+      atomically bumps the remotely-mirrored {e epoch} — a single
+      8-byte remote store, which is the commit point.
+
+    If the local node crashes at any instant, {!recover} rebuilds the
+    database on any workstation that can reach the mirror: undo records
+    tagged with the current epoch are applied back over the remote
+    database (discarding a half-propagated commit), the epoch is bumped
+    to invalidate them, and the segments are fetched with
+    remote-to-local copies. *)
+
+module Txn_intf = Txn_intf
+module Layout = Layout
+
+type t
+type segment
+type txn
+
+type config = {
+  undo_capacity : int;  (** Bytes reserved for the undo log (both copies). *)
+  max_segments : int;
+  strict_updates : bool;
+      (** After {!init_remote_db}, reject writes outside a declared
+          [set_range] of the open transaction (catches protocol bugs). *)
+  optimized_memcpy : bool;
+      (** Use the §4 [sci_memcpy] 64-byte-alignment optimisation for
+          remote copies (default).  Disable for the ablation bench. *)
+  namespace : string;
+      (** Prefix of this database's exported-segment names, so several
+          independent databases can share one memory server.  Recovery
+          must use the same namespace. *)
+}
+
+val default_config : config
+(** 1 MiB + slack of undo space, 64 segments, strict updates. *)
+
+exception Undo_overflow
+(** A transaction declared more before-image bytes than the undo log
+    holds; abort it and retry with a larger [undo_capacity]. *)
+
+exception All_mirrors_lost
+(** Every mirror node has failed: the library refuses to continue,
+    since committing without a mirror would silently forfeit
+    recoverability.  Attach a fresh mirror ({!attach_mirror}) — the
+    local copy is still intact. *)
+
+(** {1 Initialisation} *)
+
+val init : ?config:config -> Netram.Client.t -> t
+(** [PERSEAS_init]: binds the library to a local node and a remote
+    memory server, and allocates the undo and metadata mirrors.
+    Equivalent to {!init_replicated} with a single mirror. *)
+
+val init_replicated : ?config:config -> Netram.Client.t list -> t
+(** Mirror the database on several remote nodes at once (the paper's
+    "at least two different PCs").  All clients must run on the same
+    local node of the same cluster and target distinct servers.
+    Data can then be lost only if the primary and {e every} mirror
+    fail in the same window. *)
+
+val client : t -> Netram.Client.t
+(** The first mirror's client (convenience for single-mirror setups). *)
+
+val cluster : t -> Cluster.t
+val config : t -> config
+
+val malloc : t -> name:string -> size:int -> segment
+(** [PERSEAS_malloc]: allocate a local database segment (64-byte
+    aligned) and prepare its remote mirror.  Only legal before
+    {!init_remote_db}.  Raises [Failure] on duplicate names, exhausted
+    memory or too many segments. *)
+
+val init_remote_db : t -> unit
+(** [PERSEAS_init_remote_db]: copy every segment's initial contents to
+    its mirror and publish the metadata (magic, epoch, segment table)
+    remotely.  From this point the database is recoverable. *)
+
+val remote_ready : t -> bool
+val epoch : t -> int64
+
+(** {1 Mirror management}
+
+    A mirror that fails mid-operation is dropped from the set and the
+    library continues degraded (a warning is logged and
+    [stats.mirrors_lost] is bumped); when the last mirror goes,
+    operations raise {!All_mirrors_lost}. *)
+
+type mirror_info = { node_id : int; alive : bool }
+
+val mirrors : t -> mirror_info list
+val live_mirrors : t -> int list
+(** Node ids of the mirrors still in the set. *)
+
+val mirror_count : t -> int
+
+val attach_mirror : t -> server:Netram.Server.t -> unit
+(** Bring a new mirror into the set: export (or reconnect and resync)
+    every segment plus metadata on [server] and copy the current
+    database there.  The epoch is bumped so stale undo records can
+    never replay against the fresh copy.  Raises [Invalid_argument] if
+    the node already mirrors this database. *)
+
+val detach_mirror : t -> node_id:int -> unit
+(** Remove a mirror from the set (e.g. planned maintenance). *)
+
+val remirror : t -> server:Netram.Server.t -> unit
+(** Drop every current mirror and re-mirror on a single fresh server —
+    the "mirror died" recovery path for two-node setups. *)
+
+val segment : t -> string -> segment option
+val segments : t -> segment list
+val segment_name : segment -> string
+val segment_size : segment -> int
+
+(** {1 Transactions} *)
+
+val begin_transaction : t -> txn
+(** Raises [Failure] before {!init_remote_db} or when a transaction is
+    already open (PERSEAS serves one sequential application). *)
+
+val set_range : txn -> segment -> off:int -> len:int -> unit
+(** [PERSEAS_set_range]: log the before-image of
+    [\[off, off+len)] locally and remotely.  Must precede the updates
+    it covers.  Raises {!Undo_overflow} or [Invalid_argument]. *)
+
+val commit : txn -> unit
+(** [PERSEAS_commit_transaction]. *)
+
+val abort : txn -> unit
+(** [PERSEAS_abort_transaction]: restores declared ranges from the
+    local undo log (local memory copies only). *)
+
+(** {1 Database access}
+
+    Reads and writes go to the local copy.  Writes charge the CPU copy
+    cost; with [strict_updates] they must fall inside a declared range
+    of the open transaction once the store is live. *)
+
+val write : t -> segment -> off:int -> bytes -> unit
+val read : t -> segment -> off:int -> len:int -> bytes
+val write_u32 : t -> segment -> off:int -> int -> unit
+val read_u32 : t -> segment -> off:int -> int
+val write_u64 : t -> segment -> off:int -> int64 -> unit
+val read_u64 : t -> segment -> off:int -> int64
+val checksum : t -> segment -> int64
+
+val mirror_checksum : t -> segment -> int64
+(** Checksum of the first live mirror's copy (test oracle; charges
+    nothing).  Raises {!All_mirrors_lost} when no mirror survives. *)
+
+val mirror_checksums : t -> segment -> (int * int64) list
+(** Checksums of every live mirror's copy, by mirror index. *)
+
+val verify_mirrors : t -> (string * int) list
+(** Operational scrub: [(segment, mirror index)] pairs whose mirror
+    copy diverges from the local database.  Empty outside a commit.
+    Charges no virtual time (an offline oracle). *)
+
+(** {1 Recovery} *)
+
+val recover :
+  ?config:config -> cluster:Cluster.t -> local:int -> server:Netram.Server.t -> unit -> t
+(** Rebuild the database on node [local] from the mirror held by
+    [server]: reconnect the metadata and undo segments by name, repair
+    a half-committed transaction from the remote undo log, invalidate
+    it by bumping the epoch, and fetch every segment with
+    remote-to-local copies.  Works on the original primary after
+    reboot, or on any other workstation — the paper's availability
+    property.  Raises [Failure] when the server holds no database. *)
+
+val recover_replicated :
+  ?config:config ->
+  cluster:Cluster.t ->
+  local:int ->
+  servers:Netram.Server.t list ->
+  unit ->
+  t
+(** Multi-mirror recovery: probe every candidate server, trust the one
+    whose metadata reached the {e highest} epoch (only it can have seen
+    the latest commit point), repair it from its undo log, rebuild the
+    local database from it, and resync the other surviving mirrors with
+    a full copy.  Raises [Failure] when no candidate holds a
+    recoverable database. *)
+
+(** {1 Archive}
+
+    The one planned case where the whole cluster goes dark (paper §1:
+    "unless scheduled by the system administrators, in which case the
+    database can gracefully shut down"): write everything to stable
+    storage, and cold-start from it later on any cluster. *)
+
+val archive : t -> Disk.Device.t -> unit
+(** Write the metadata and every segment to the device (synchronous,
+    charged).  Raises [Failure] with an open transaction, before
+    {!init_remote_db}, or if the device is too small. *)
+
+val restore_from_archive :
+  ?config:config -> clients:Netram.Client.t list -> Disk.Device.t -> t
+(** Cold start: rebuild the database from an archive and mirror it on
+    the given servers ({!init_remote_db} included — the instance is
+    live on return). *)
+
+(** {1 Fault injection}
+
+    The hook runs before {e every} remote packet PERSEAS sends (undo
+    writes, commit propagation, the epoch write).  Raising from it
+    models the primary dying at that instant with the packet unsent;
+    tests crash the node and exercise {!recover} at every possible cut
+    point. *)
+
+val set_packet_hook : t -> (unit -> unit) option -> unit
+
+val commit_packets : txn -> int
+(** Number of remote packets {!commit} would send now (dry run):
+    data-propagation packets plus one epoch packet. *)
+
+(** {1 Statistics} *)
+
+type stats = {
+  begun : int;
+  committed : int;
+  aborted : int;
+  set_ranges : int;
+  undo_bytes_logged : int;  (** Before-image payload bytes. *)
+  local_copy_bytes : int;  (** Bytes moved by local memcpys. *)
+  mirrors_lost : int;  (** Mirrors dropped after failing mid-operation. *)
+}
+
+val stats : t -> stats
+
+(** {1 Engine view} *)
+
+module Engine :
+  Txn_intf.S with type t = t and type segment = segment and type txn = txn

@@ -1,0 +1,47 @@
+(** The engine-generic transactional interface.
+
+    PERSEAS and the three baselines (RVM, RVM-Rio, Vista) all expose
+    this signature, so the workloads and the benchmark harness run the
+    same code against every engine — the comparison measures the
+    engines, not benchmark-code differences.
+
+    Protocol contract (same as the paper's API):
+    - create segments with [malloc] and fill them with [write] while
+      the store is still cold, then call [init_done] once;
+    - afterwards, updates happen inside transactions: [begin_transaction],
+      one [set_range] per region {e before} modifying it, the
+      modifications via [write], then [commit] or [abort]. *)
+
+module type S = sig
+  type t
+  type segment
+  type txn
+
+  val name : string
+  (** Engine name as printed in benchmark tables. *)
+
+  val malloc : t -> name:string -> size:int -> segment
+
+  val find_segment : t -> string -> segment option
+  (** Look an existing segment up by name (e.g. after recovery). *)
+
+  val init_done : t -> unit
+  (** [PERSEAS_init_remote_db] / the initial checkpoint: the database
+      contents become recoverable, and strict update rules apply from
+      here on. *)
+
+  val begin_transaction : t -> txn
+
+  val set_range : txn -> segment -> off:int -> len:int -> unit
+  (** Declare an update range; logs its before-image.  Must precede the
+      [write]s it covers. *)
+
+  val commit : txn -> unit
+  val abort : txn -> unit
+
+  val write : t -> segment -> off:int -> bytes -> unit
+  (** After [init_done], only legal inside an open transaction and
+      within a [set_range]-declared region. *)
+
+  val read : t -> segment -> off:int -> len:int -> bytes
+end

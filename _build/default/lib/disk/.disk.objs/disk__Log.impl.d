@@ -1,0 +1,1 @@
+lib/disk/log.ml: Bytes Char Device Int32 Int64 List

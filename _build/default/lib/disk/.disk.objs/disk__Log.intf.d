@@ -1,0 +1,1 @@
+lib/disk/log.mli: Device

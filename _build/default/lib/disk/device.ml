@@ -1,0 +1,166 @@
+open Sim
+
+type magnetic_geometry = {
+  avg_seek : Time.t;
+  track_skip : Time.t;
+  rpm : int;
+  transfer_bytes_per_s : float;
+  near_threshold : int;
+}
+
+let default_geometry =
+  {
+    avg_seek = Time.ms 10.;
+    track_skip = Time.ms 1.;
+    rpm = 5400;
+    transfer_bytes_per_s = 8e6;
+    near_threshold = 64 * 1024;
+  }
+
+let projected_geometry ?(base = default_geometry) ~years () =
+  if years < 0 then invalid_arg "Device.projected_geometry: negative years";
+  let y = float_of_int years in
+  let latency = 0.9 ** y (* -10 %/year *) in
+  let bandwidth = 1.2 ** y (* +20 %/year *) in
+  {
+    base with
+    avg_seek = max 1 (int_of_float (float_of_int base.avg_seek *. latency));
+    track_skip = max 1 (int_of_float (float_of_int base.track_skip *. latency));
+    rpm = int_of_float (float_of_int base.rpm /. latency);
+    transfer_bytes_per_s = base.transfer_bytes_per_s *. bandwidth;
+  }
+
+type rio_config = { write_overhead : Time.t; bytes_per_s : float; ups : bool }
+
+let default_rio = { write_overhead = Time.us 1.3; bytes_per_s = 80e6; ups = false }
+
+type backend = Magnetic of magnetic_geometry | Rio of rio_config
+
+type failure = Power_outage | Hardware_error | Software_error
+
+type pending = { off : int; data : bytes }
+
+type t = {
+  clock : Clock.t;
+  backend : backend;
+  stable : Mem.Image.t;
+  mutable buffer : pending list; (* newest first *)
+  mutable head : int; (* magnetic head position *)
+  mutable io_time : Time.t;
+  mutable writes : int;
+}
+
+let create ~clock ~backend ~capacity =
+  { clock; backend; stable = Mem.Image.create ~size:capacity; buffer = []; head = 0; io_time = Time.zero; writes = 0 }
+
+let capacity t = Mem.Image.size t.stable
+let backend t = t.backend
+
+let rotational_avg g = Time.s (60. /. float_of_int g.rpm /. 2.)
+
+(* Even a sequential synchronous append waits on the platter: by the
+   time the next force arrives the target sector has passed under the
+   head, so every access pays average rotational delay; seeks are paid
+   only when the head has to move far. *)
+let magnetic_cost t g ~off ~len =
+  let near = off >= t.head && off - t.head <= g.near_threshold in
+  let seek = if near then (if off = t.head then Time.zero else g.track_skip) else g.avg_seek in
+  seek + rotational_avg g + Time.of_bandwidth ~bytes_per_s:g.transfer_bytes_per_s len
+
+let charge t cost =
+  Clock.advance t.clock cost;
+  t.io_time <- t.io_time + cost
+
+let access_cost t ~off ~len =
+  match t.backend with
+  | Magnetic g ->
+      let cost = magnetic_cost t g ~off ~len in
+      t.head <- off + len;
+      cost
+  | Rio r -> r.write_overhead + Time.of_bandwidth ~bytes_per_s:r.bytes_per_s len
+
+let write t ~off data =
+  let len = Bytes.length data in
+  charge t (access_cost t ~off ~len);
+  Mem.Image.write_bytes t.stable ~off data;
+  t.writes <- t.writes + 1
+
+let write_buffered t ~off data = t.buffer <- { off; data = Bytes.copy data } :: t.buffer
+
+(* Contiguous buffered writes (log appends) coalesce into one device
+   access, so forcing a batch of records pays one rotational delay —
+   this is what makes group commit effective for the WAL baselines. *)
+let sync t =
+  let in_order = List.rev t.buffer in
+  let flush_run = function
+    | [] -> ()
+    | run ->
+        let run = List.rev run in
+        let first = List.hd run in
+        let total = List.fold_left (fun acc p -> acc + Bytes.length p.data) 0 run in
+        let merged = Bytes.create total in
+        ignore
+          (List.fold_left
+             (fun pos p ->
+               Bytes.blit p.data 0 merged pos (Bytes.length p.data);
+               pos + Bytes.length p.data)
+             0 run);
+        write t ~off:first.off merged
+  in
+  let rec group current current_end = function
+    | [] -> flush_run current
+    | p :: rest ->
+        if current <> [] && p.off = current_end then group (p :: current) (p.off + Bytes.length p.data) rest
+        else begin
+          flush_run current;
+          group [ p ] (p.off + Bytes.length p.data) rest
+        end
+  in
+  group [] 0 in_order;
+  t.buffer <- []
+
+let buffered_bytes t = List.fold_left (fun acc p -> acc + Bytes.length p.data) 0 t.buffer
+
+let read t ~off ~len =
+  let cost =
+    match t.backend with
+    | Magnetic g ->
+        let c = magnetic_cost t g ~off ~len in
+        t.head <- off + len;
+        c
+    | Rio r -> r.write_overhead + Time.of_bandwidth ~bytes_per_s:r.bytes_per_s len
+  in
+  charge t cost;
+  let result = Mem.Image.read_bytes t.stable ~off ~len in
+  (* Read-through: newer buffered writes overlay stable contents. *)
+  List.iter
+    (fun p ->
+      let p_end = p.off + Bytes.length p.data and r_end = off + len in
+      let lo = max off p.off and hi = min r_end p_end in
+      if lo < hi then Bytes.blit p.data (lo - p.off) result (lo - off) (hi - lo))
+    (List.rev t.buffer);
+  result
+
+let peek t ~off ~len =
+  let result = Mem.Image.read_bytes t.stable ~off ~len in
+  List.iter
+    (fun p ->
+      let p_end = p.off + Bytes.length p.data and r_end = off + len in
+      let lo = max off p.off and hi = min r_end p_end in
+      if lo < hi then Bytes.blit p.data (lo - p.off) result (lo - off) (hi - lo))
+    (List.rev t.buffer);
+  result
+
+let survives backend failure =
+  match (backend, failure) with
+  | Magnetic _, _ -> true
+  | Rio r, Power_outage -> r.ups
+  | Rio _, Hardware_error -> false
+  | Rio _, Software_error -> true
+
+let crash t failure =
+  t.buffer <- [];
+  if not (survives t.backend failure) then Mem.Image.wipe t.stable
+
+let total_io_time t = t.io_time
+let writes_performed t = t.writes

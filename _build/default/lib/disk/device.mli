@@ -1,0 +1,82 @@
+open Sim
+
+(** Stable-storage device: a magnetic disk model, or the Rio file cache.
+
+    The magnetic model charges seek + rotational + transfer time with a
+    head-position-aware sequential-append fast path — the cost structure
+    that gates write-ahead-logging systems (RVM).  The Rio model is the
+    same API at memory speed, with Rio's crash semantics: contents
+    survive software crashes (the OS protects the file cache) and, when
+    the node has a UPS, power outages too.
+
+    Contents are held in a real {!Mem.Image}; the crash model decides
+    which bytes survive which failure kinds. *)
+
+type magnetic_geometry = {
+  avg_seek : Time.t;  (** Average seek when the head must move. *)
+  track_skip : Time.t;  (** Short head move (near-sequential access). *)
+  rpm : int;  (** Spindle speed; average rotational delay is half a turn. *)
+  transfer_bytes_per_s : float;
+  near_threshold : int;  (** Accesses within this many bytes of the head count as near. *)
+}
+
+val default_geometry : magnetic_geometry
+(** A 1997-class disk: 10 ms average seek, 5400 rpm, 8 MB/s media rate. *)
+
+val projected_geometry : ?base:magnetic_geometry -> years:int -> unit -> magnetic_geometry
+(** The paper's §6 trend for disks: latency improves ~10 %/year
+    (seeks, spindle speed) and throughput ~20 %/year. *)
+
+type rio_config = {
+  write_overhead : Time.t;  (** Fixed cost of a protected cache write. *)
+  bytes_per_s : float;  (** Memory-speed bandwidth. *)
+  ups : bool;  (** Whether the hosting node has a UPS. *)
+}
+
+val default_rio : rio_config
+
+type backend = Magnetic of magnetic_geometry | Rio of rio_config
+
+type failure = Power_outage | Hardware_error | Software_error
+
+type t
+
+val create : clock:Clock.t -> backend:backend -> capacity:int -> t
+val capacity : t -> int
+val backend : t -> backend
+
+val write : t -> off:int -> bytes -> unit
+(** Synchronous write: returns after the bytes are stable; charges the
+    full device cost. *)
+
+val write_buffered : t -> off:int -> bytes -> unit
+(** Queue the write in the volatile device buffer at negligible cost;
+    it becomes stable at the next {!sync} (or is lost in a crash). *)
+
+val sync : t -> unit
+(** Flush buffered writes to stable storage, charging their cost. *)
+
+val buffered_bytes : t -> int
+
+val read : t -> off:int -> len:int -> bytes
+(** Reads see stable contents plus any still-buffered writes (the
+    device buffer is read-through), and charge transfer cost. *)
+
+val peek : t -> off:int -> len:int -> bytes
+(** Zero-cost read of stable contents overlaid with buffered writes.
+    Meaningful for memory-backed (Rio) devices, where loads are plain
+    DRAM reads; using it to dodge magnetic read costs would be a
+    modelling bug, so benches never peek magnetic devices. *)
+
+val crash : t -> failure -> unit
+(** Apply a failure: buffered writes are always lost; stable contents
+    are wiped exactly when the backend does not survive the failure
+    kind (magnetic survives everything; Rio loses contents on a power
+    outage without UPS and on hardware errors). *)
+
+val survives : backend -> failure -> bool
+
+val total_io_time : t -> Time.t
+(** Cumulated virtual time this device has charged. *)
+
+val writes_performed : t -> int

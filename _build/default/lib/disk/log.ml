@@ -1,0 +1,109 @@
+let log_magic = 0x5045524Cl (* "PERL" *)
+let record_magic = 0x5245434Cl (* "RECL" *)
+
+let header_size = 4 + 8 (* magic + generation *)
+let frame_header = 4 + 8 + 4 + 8 (* magic + generation + length + crc *)
+let record_overhead = frame_header
+
+type t = {
+  device : Device.t;
+  base : int;
+  size : int;
+  mutable generation : int64;
+  mutable tail : int; (* next write offset, relative to device *)
+  mutable next_lsn : int;
+}
+
+let fnv64 data =
+  let h = ref 0xcbf29ce484222325L in
+  Bytes.iter
+    (fun c ->
+      h := Int64.logxor !h (Int64.of_int (Char.code c));
+      h := Int64.mul !h 0x100000001b3L)
+    data;
+  !h
+
+let write_header t =
+  let b = Bytes.create header_size in
+  Bytes.set_int32_le b 0 log_magic;
+  Bytes.set_int64_le b 4 t.generation;
+  Device.write t.device ~off:t.base b
+
+let create device ~base ~size =
+  if size <= header_size + frame_header then invalid_arg "Log.create: region too small";
+  let t = { device; base; size; generation = 1L; tail = base + header_size; next_lsn = 0 } in
+  write_header t;
+  t
+
+let frame t payload =
+  let len = Bytes.length payload in
+  let b = Bytes.create (frame_header + len) in
+  Bytes.set_int32_le b 0 record_magic;
+  Bytes.set_int64_le b 4 t.generation;
+  Bytes.set_int32_le b 12 (Int32.of_int len);
+  Bytes.set_int64_le b 16 (fnv64 payload);
+  Bytes.blit payload 0 b frame_header len;
+  b
+
+let append t payload =
+  let b = frame t payload in
+  if t.tail + Bytes.length b > t.base + t.size then failwith "Log.append: log full";
+  Device.write_buffered t.device ~off:t.tail b;
+  t.tail <- t.tail + Bytes.length b;
+  let lsn = t.next_lsn in
+  t.next_lsn <- lsn + 1;
+  lsn
+
+let force t = Device.sync t.device
+
+let scan t =
+  (* Walk stable records of the current generation from the head. *)
+  let records = ref [] in
+  let pos = ref (t.base + header_size) in
+  let finished = ref false in
+  while not !finished do
+    if !pos + frame_header > t.base + t.size then finished := true
+    else begin
+      let hdr = Device.read t.device ~off:!pos ~len:frame_header in
+      let magic = Bytes.get_int32_le hdr 0 in
+      let gen = Bytes.get_int64_le hdr 4 in
+      let len = Int32.to_int (Bytes.get_int32_le hdr 12) in
+      let crc = Bytes.get_int64_le hdr 16 in
+      if magic <> record_magic || gen <> t.generation || len < 0
+         || !pos + frame_header + len > t.base + t.size
+      then finished := true
+      else begin
+        let payload = Device.read t.device ~off:(!pos + frame_header) ~len in
+        if fnv64 payload <> crc then finished := true
+        else begin
+          records := payload :: !records;
+          pos := !pos + frame_header + len
+        end
+      end
+    end
+  done;
+  (List.rev !records, !pos)
+
+let attach device ~base ~size =
+  let hdr = Device.read device ~off:base ~len:header_size in
+  let magic = Bytes.get_int32_le hdr 0 in
+  if magic <> log_magic then failwith "Log.attach: no log header found";
+  let generation = Bytes.get_int64_le hdr 4 in
+  let t = { device; base; size; generation; tail = base + header_size; next_lsn = 0 } in
+  let records, tail = scan t in
+  t.tail <- tail;
+  t.next_lsn <- List.length records;
+  t
+
+let replay t =
+  let records, _ = scan t in
+  List.mapi (fun i payload -> (i, payload)) records
+
+let truncate t =
+  t.generation <- Int64.add t.generation 1L;
+  t.tail <- t.base + header_size;
+  t.next_lsn <- 0;
+  write_header t
+
+let used_bytes t = t.tail - t.base + Device.buffered_bytes t.device
+let capacity t = t.size

@@ -1,0 +1,39 @@
+(** Append-only log on a stable-storage device (the WAL redo file).
+
+    Records are framed with a magic, a length and a checksum so that
+    {!replay} after a crash recovers exactly the prefix of records whose
+    force completed — a torn or never-forced tail is detected and
+    discarded, which is the standard WAL contract RVM relies on. *)
+
+type t
+
+val create : Device.t -> base:int -> size:int -> t
+(** Format a fresh, empty log in [\[base, base+size)] of the device. *)
+
+val attach : Device.t -> base:int -> size:int -> t
+(** Re-open an existing log after a crash without reformatting; the
+    tail is found by scanning (see {!replay}). *)
+
+val append : t -> bytes -> int
+(** Buffer a record; returns its LSN (0-based sequence number).  The
+    record is {e not} stable until {!force}.  Raises [Failure] when the
+    log region is full — callers must {!truncate}. *)
+
+val force : t -> unit
+(** Make all appended records stable (one synchronous device access —
+    the group-commit point). *)
+
+val replay : t -> (int * bytes) list
+(** All stable, well-formed records in append order, stopping at the
+    first torn or missing record. *)
+
+val truncate : t -> unit
+(** Drop all records (after they have been applied to the database
+    file); reformats the head frame stably. *)
+
+val used_bytes : t -> int
+(** Bytes of the region consumed by stable + buffered records. *)
+
+val capacity : t -> int
+val record_overhead : int
+(** Framing bytes added to each record. *)

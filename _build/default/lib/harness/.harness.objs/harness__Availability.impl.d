@@ -1,0 +1,1 @@
+lib/harness/availability.ml: Array Clock Events Float Format Fun List Rng Sim Time

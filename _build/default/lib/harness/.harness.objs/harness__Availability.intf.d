@@ -1,0 +1,1 @@
+lib/harness/availability.mli: Format Sim Time

@@ -1,0 +1,1 @@
+lib/harness/experiments.ml: Availability Baselines Btree Bytes Clock Cluster Disk Filename Int64 Kvstore List Measure Netram Option Perseas Printf Rng Sci Sim Table Testbed Time Workloads

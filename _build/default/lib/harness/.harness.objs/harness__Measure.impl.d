@@ -1,0 +1,1 @@
+lib/harness/measure.ml: Clock Format Sim Stats Time

@@ -1,0 +1,1 @@
+lib/harness/measure.mli: Clock Format Sim Time

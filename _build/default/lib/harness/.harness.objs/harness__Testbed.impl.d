@@ -1,0 +1,1 @@
+lib/harness/testbed.ml: Baselines Clock Cluster Disk Netram Perseas Sim

@@ -1,0 +1,1 @@
+lib/harness/testbed.mli: Baselines Clock Cluster Netram Perseas Sci Sim

@@ -1,0 +1,688 @@
+open Sim
+
+let results_dir = "results"
+let csv_path name = Filename.concat results_dir (name ^ ".csv")
+
+let kb n = n * 1024
+let mb n = n * 1024 * 1024
+
+(* ------------------------------------------------------------------ *)
+(* Workload drivers (functor applications over packed instances)       *)
+
+(* The functor-applied [db] type cannot leave this function's scope,
+   so callers receive a monomorphic measurement closure instead. *)
+let with_synthetic (module I : Testbed.INSTANCE) ~db_size k =
+  let module S = Workloads.Synthetic.Make (I.E) in
+  let db = S.setup I.engine ~db_size in
+  k (fun ~tx_size ~warmup ~iters ->
+      let rng = Rng.create (42 + tx_size) in
+      Measure.run ~clock:I.clock ~finish:I.finish ~warmup ~iters (fun _ ->
+          S.transaction db rng ~tx_size))
+
+let run_debit_credit (module I : Testbed.INSTANCE) ~params ~warmup ~iters =
+  let module W = Workloads.Debit_credit.Make (I.E) in
+  let rng = Rng.create 7 in
+  let db = W.setup I.engine ~params in
+  let result =
+    Measure.run ~clock:I.clock ~finish:I.finish ~warmup ~iters (fun _ -> W.transaction db rng)
+  in
+  assert (W.consistent db);
+  result
+
+let run_order_entry (module I : Testbed.INSTANCE) ~params ~warmup ~iters =
+  let module W = Workloads.Order_entry.Make (I.E) in
+  let rng = Rng.create 11 in
+  let db = W.setup I.engine ~params in
+  let result =
+    Measure.run ~clock:I.clock ~finish:I.finish ~warmup ~iters (fun _ -> W.transaction db rng)
+  in
+  assert (W.consistent db);
+  result
+
+(* ------------------------------------------------------------------ *)
+(* F5: SCI remote write latency vs data size                           *)
+
+let fig5 () =
+  let p = Sci.Params.default in
+  (* Two series, as the figure's "WordOffsetN" naming implies: stores
+     starting at the first word of a buffer, and stores starting at the
+     last word (so every size crosses a buffer boundary). *)
+  let rows =
+    List.init 50 (fun i ->
+        let size = 4 * (i + 1) in
+        let pkts = Sci.Packet.of_range p ~off:0 ~len:size in
+        let lat0 = Sci.Model.write_range p ~off:0 ~len:size () in
+        let lat15 = Sci.Model.write_range p ~off:60 ~len:size () in
+        [
+          string_of_int size;
+          string_of_int (Sci.Packet.count Sci.Packet.Full64 pkts);
+          string_of_int (Sci.Packet.count Sci.Packet.Part16 pkts);
+          Table.fmt_us (Time.to_us lat0);
+          Table.fmt_us (Time.to_us lat15);
+        ])
+  in
+  let header =
+    [ "size (B)"; "64B pkts"; "16B pkts"; "offset 0 (us)"; "offset 60 (us)" ]
+  in
+  Table.print ~title:"Figure 5: SCI remote write latency (by word offset)" ~header rows;
+  Printf.printf "(4-byte store: %.2f us, paper: 2.7 us)\n"
+    (Time.to_us (Sci.Model.write_range p ~off:0 ~len:4 ()));
+  Table.save_csv ~path:(csv_path "fig5") ~header rows
+
+(* ------------------------------------------------------------------ *)
+(* F6: PERSEAS transaction overhead vs transaction size                *)
+
+let fig6_sizes = [ 4; 16; 64; 256; 1024; 4096; 16384; 65536; 262144; 1048576 ]
+
+let fig6 () =
+  let inst = Testbed.perseas_instance () in
+  let rows =
+    with_synthetic inst ~db_size:(mb 8) (fun run_at ->
+        List.map
+          (fun tx_size ->
+            let iters = max 30 (min 2000 (2_000_000 / tx_size)) in
+            let r = run_at ~tx_size ~warmup:5 ~iters in
+            [ string_of_int tx_size; Table.fmt_us r.Measure.mean_us; Table.fmt_tps r.Measure.tps ])
+          fig6_sizes)
+  in
+  let header = [ "tx size (B)"; "overhead (us)"; "tps" ] in
+  Table.print ~title:"Figure 6: PERSEAS transaction overhead vs size (8 MB database)" ~header rows;
+  Table.save_csv ~path:(csv_path "fig6") ~header rows
+
+(* ------------------------------------------------------------------ *)
+(* T1: debit-credit and order-entry on PERSEAS                         *)
+
+let table1 () =
+  let dc =
+    run_debit_credit (Testbed.perseas_instance ())
+      ~params:Workloads.Debit_credit.default_params ~warmup:1000 ~iters:20_000
+  in
+  let oe =
+    run_order_entry (Testbed.perseas_instance ())
+      ~params:Workloads.Order_entry.default_params ~warmup:1000 ~iters:20_000
+  in
+  let header = [ "benchmark"; "tps"; "mean (us)"; "p99 (us)" ] in
+  let rows =
+    [
+      [ "debit-credit"; Table.fmt_tps dc.tps; Table.fmt_us dc.mean_us; Table.fmt_us dc.p99_us ];
+      [ "order-entry"; Table.fmt_tps oe.tps; Table.fmt_us oe.mean_us; Table.fmt_us oe.p99_us ];
+    ]
+  in
+  Table.print ~title:"Table 1: PERSEAS throughput (paper: 22k / 10k tps)" ~header rows;
+  Table.save_csv ~path:(csv_path "table1") ~header rows
+
+(* ------------------------------------------------------------------ *)
+(* C1: small synthetic transactions across engines                     *)
+
+let compare_synthetic () =
+  let results =
+    List.map
+      (fun inst ->
+        let r =
+          with_synthetic inst ~db_size:(mb 1) (fun run_at -> run_at ~tx_size:4 ~warmup:200 ~iters:5000)
+        in
+        (Testbed.label inst, r))
+      (Testbed.all_instances ())
+  in
+  let perseas_tps =
+    match List.assoc_opt "PERSEAS" results with Some r -> r.Measure.tps | None -> nan
+  in
+  let header = [ "engine"; "tps"; "mean (us)"; "PERSEAS speedup" ] in
+  let rows =
+    List.map
+      (fun (label, (r : Measure.result)) ->
+        [
+          label;
+          Table.fmt_tps r.tps;
+          Table.fmt_us r.mean_us;
+          (if label = "PERSEAS" then "1.0x" else Table.fmt_ratio (perseas_tps /. r.tps));
+        ])
+      results
+  in
+  Table.print
+    ~title:"Comparison: 4-byte synthetic transactions (paper: PERSEAS orders of magnitude over RVM)"
+    ~header rows;
+  Table.save_csv ~path:(csv_path "compare_synthetic") ~header rows
+
+(* ------------------------------------------------------------------ *)
+(* C2: debit-credit and order-entry across engines                     *)
+
+let compare_bench () =
+  let bench name runner =
+    let results =
+      List.map
+        (fun inst ->
+          let iters = if Testbed.label inst = "RVM" then 2000 else 10_000 in
+          let r = runner inst ~warmup:(iters / 10) ~iters in
+          (Testbed.label inst, r))
+        (Testbed.all_instances ())
+    in
+    let header = [ "engine"; "tps"; "mean (us)" ] in
+    let rows =
+      List.map
+        (fun (label, (r : Measure.result)) ->
+          [ label; Table.fmt_tps r.tps; Table.fmt_us r.mean_us ])
+        results
+    in
+    Table.print ~title:(Printf.sprintf "Comparison: %s across engines" name) ~header rows;
+    Table.save_csv ~path:(csv_path ("compare_" ^ name)) ~header rows
+  in
+  bench "debit-credit" (fun inst ~warmup ~iters ->
+      run_debit_credit inst ~params:Workloads.Debit_credit.default_params ~warmup ~iters);
+  bench "order-entry" (fun inst ~warmup ~iters ->
+      run_order_entry inst ~params:Workloads.Order_entry.default_params ~warmup ~iters)
+
+(* ------------------------------------------------------------------ *)
+(* S1: throughput vs database size                                     *)
+
+let db_size_sweep () =
+  let header = [ "accounts"; "db size (MB)"; "tps" ] in
+  let rows =
+    List.map
+      (fun accounts ->
+        let params = { Workloads.Debit_credit.default_params with accounts_per_branch = accounts } in
+        let inst = Testbed.perseas_instance ~dram_mb:192 () in
+        let r = run_debit_credit inst ~params ~warmup:500 ~iters:10_000 in
+        let db_mb =
+          float_of_int (accounts * Workloads.Debit_credit.record_size) /. 1048576.
+        in
+        [ Table.fmt_int accounts; Printf.sprintf "%.1f" db_mb; Table.fmt_tps r.tps ])
+      [ 1_000; 10_000; 100_000; 400_000 ]
+  in
+  Table.print
+    ~title:"Database size sweep: debit-credit on PERSEAS (paper: flat while DB < memory)" ~header
+    rows;
+  Table.save_csv ~path:(csv_path "db_size_sweep") ~header rows
+
+(* ------------------------------------------------------------------ *)
+(* R1: crash mid-commit, recover on spare node and rebooted primary    *)
+
+let recovery () =
+  let scenario ~db_size ~recover_on =
+    let bed = Testbed.perseas_bed ~dram_mb:128 () in
+    let module S = Workloads.Synthetic.Make (Perseas.Engine) in
+    let rng = Rng.create 23 in
+    let db = S.setup bed.perseas ~db_size in
+    for _ = 1 to 50 do
+      S.transaction db rng ~tx_size:256
+    done;
+    (* Crash in the middle of a committing transaction's packet stream. *)
+    let seg = Option.get (Perseas.segment bed.perseas "synthetic") in
+    let txn = Perseas.begin_transaction bed.perseas in
+    Perseas.set_range txn seg ~off:0 ~len:(kb 16);
+    Perseas.write bed.perseas seg ~off:0 (Bytes.make (kb 16) 'X');
+    let total = Perseas.commit_packets txn in
+    let cut = total / 2 in
+    let sent = ref 0 in
+    let exception Crash in
+    Perseas.set_packet_hook bed.perseas
+      (Some (fun () -> if !sent >= cut then raise Crash else incr sent));
+    (match Perseas.commit txn with () -> assert false | exception Crash -> ());
+    ignore (Cluster.crash_node bed.cluster 0 Cluster.Failure.Software_error);
+    let local =
+      match recover_on with
+      | `Spare -> 2
+      | `Primary ->
+          Cluster.restart_node bed.cluster 0;
+          0
+    in
+    let t0 = Clock.now bed.clock in
+    let recovered = Perseas.recover ~cluster:bed.cluster ~local ~server:bed.server () in
+    let elapsed = Clock.now bed.clock - t0 in
+    let seg' = Option.get (Perseas.segment recovered "synthetic") in
+    assert (Perseas.checksum recovered seg' = Perseas.mirror_checksum recovered seg');
+    elapsed
+  in
+  let header = [ "db size (MB)"; "recover on"; "recovery time (ms)" ] in
+  let rows =
+    List.concat_map
+      (fun size_mb ->
+        List.map
+          (fun (where, where_label) ->
+            let elapsed = scenario ~db_size:(mb size_mb) ~recover_on:where in
+            [ string_of_int size_mb; where_label; Table.fmt_ms (Time.to_ms elapsed) ])
+          [ (`Spare, "spare node"); (`Primary, "rebooted primary") ])
+      [ 1; 4; 16 ]
+  in
+  Table.print
+    ~title:"Recovery: crash mid-commit, rebuild from the mirror (atomicity checked)" ~header rows;
+  Table.save_csv ~path:(csv_path "recovery") ~header rows
+
+(* ------------------------------------------------------------------ *)
+(* A1: per-transaction copy and I/O counts                             *)
+
+let copy_counts () =
+  let iters = 1000 in
+  let header =
+    [ "engine"; "local copy B/txn"; "remote pkts/txn"; "remote B/txn"; "disk writes/txn" ]
+  in
+  let perseas_row =
+    let bed = Testbed.perseas_bed () in
+    let module W = Workloads.Debit_credit.Make (Perseas.Engine) in
+    let rng = Rng.create 7 in
+    let db = W.setup bed.perseas ~params:Workloads.Debit_credit.small_params in
+    let nic = Cluster.nic bed.cluster in
+    Sci.Nic.reset_counters nic;
+    let stats0 = Perseas.stats bed.perseas in
+    for _ = 1 to iters do
+      W.transaction db rng
+    done;
+    let stats1 = Perseas.stats bed.perseas in
+    let c = Sci.Nic.counters nic in
+    let per x = Printf.sprintf "%.1f" (float_of_int x /. float_of_int iters) in
+    [
+      "PERSEAS";
+      per (stats1.local_copy_bytes - stats0.local_copy_bytes);
+      per (c.packets64 + c.packets16);
+      per c.bytes_written;
+      "0.0";
+    ]
+  in
+  let baseline_row label make_instance =
+    let (module I : Testbed.INSTANCE), device = make_instance () in
+    let module W = Workloads.Debit_credit.Make (I.E) in
+    let rng = Rng.create 7 in
+    let db = W.setup I.engine ~params:Workloads.Debit_credit.small_params in
+    let writes0 = Disk.Device.writes_performed device in
+    for _ = 1 to iters do
+      W.transaction db rng
+    done;
+    I.finish ();
+    let writes1 = Disk.Device.writes_performed device in
+    let per x = Printf.sprintf "%.1f" (float_of_int x /. float_of_int iters) in
+    [ label; "-"; "0.0"; "0.0"; per (writes1 - writes0) ]
+  in
+  let rvm_with_device ~rio () =
+    let clock = Clock.create () in
+    let cluster = Cluster.create ~clock [ Cluster.spec "host" ] in
+    let node = Cluster.node cluster 0 in
+    let backend =
+      if rio then Disk.Device.Rio { Disk.Device.default_rio with ups = true }
+      else Disk.Device.Magnetic Disk.Device.default_geometry
+    in
+    let device = Disk.Device.create ~clock ~backend ~capacity:(mb 64) in
+    let engine = Baselines.Rvm.create ~node ~device () in
+    ( (module struct
+        module E = Baselines.Rvm.Engine
+
+        let engine = engine
+        let clock = clock
+        let label = Baselines.Rvm.name_for device
+        let finish () = Baselines.Rvm.flush engine
+      end : Testbed.INSTANCE),
+      device )
+  in
+  let vista_with_device () =
+    let clock = Clock.create () in
+    let cluster = Cluster.create ~clock [ Cluster.spec "host" ] in
+    let node = Cluster.node cluster 0 in
+    let device =
+      Disk.Device.create ~clock
+        ~backend:(Disk.Device.Rio { Disk.Device.default_rio with ups = true })
+        ~capacity:(mb 64)
+    in
+    let engine = Baselines.Vista.create ~node ~device () in
+    ( (module struct
+        module E = Baselines.Vista.Engine
+
+        let engine = engine
+        let clock = clock
+        let label = "Vista"
+        let finish () = ()
+      end : Testbed.INSTANCE),
+      device )
+  in
+  let rows =
+    [
+      perseas_row;
+      baseline_row "RVM" (rvm_with_device ~rio:false);
+      baseline_row "RVM-Rio" (rvm_with_device ~rio:true);
+      baseline_row "Vista" vista_with_device;
+    ]
+  in
+  Table.print
+    ~title:
+      "Copy counts per debit-credit transaction (Fig 2 vs Fig 3: PERSEAS does memory copies only)"
+    ~header rows;
+  Table.save_csv ~path:(csv_path "copy_counts") ~header rows
+
+(* ------------------------------------------------------------------ *)
+(* A2: sci_memcpy 64-byte-alignment ablation                           *)
+
+let ablation_memcpy () =
+  let measure ~optimized tx_size =
+    let config = { Perseas.default_config with optimized_memcpy = optimized } in
+    let inst = Testbed.perseas_instance ~config () in
+    let r = with_synthetic inst ~db_size:(mb 4) (fun run_at -> run_at ~tx_size ~warmup:20 ~iters:500) in
+    r.Measure.mean_us
+  in
+  let header = [ "tx size (B)"; "optimized (us)"; "naive (us)"; "speedup" ] in
+  let rows =
+    List.map
+      (fun size ->
+        let opt = measure ~optimized:true size in
+        let naive = measure ~optimized:false size in
+        [
+          string_of_int size;
+          Table.fmt_us opt;
+          Table.fmt_us naive;
+          Table.fmt_ratio (naive /. opt);
+        ])
+      [ 64; 256; 1024; 4096; 65536 ]
+  in
+  Table.print ~title:"Ablation: sci_memcpy 64-byte-aligned region copies (section 4)" ~header rows;
+  Table.save_csv ~path:(csv_path "ablation_memcpy") ~header rows
+
+(* ------------------------------------------------------------------ *)
+(* A3: RVM group commit vs PERSEAS                                     *)
+
+let group_commit () =
+  let header = [ "engine"; "group size"; "tps" ] in
+  let rvm_rows =
+    List.map
+      (fun group ->
+        let config = { Baselines.Rvm.default_config with group_commit = group } in
+        let inst = Testbed.rvm_instance ~config () in
+        let r =
+          run_debit_credit inst ~params:Workloads.Debit_credit.default_params ~warmup:200
+            ~iters:2000
+        in
+        [ "RVM"; string_of_int group; Table.fmt_tps r.tps ])
+      [ 1; 2; 4; 8; 16; 32; 64 ]
+  in
+  let perseas_row =
+    let r =
+      run_debit_credit (Testbed.perseas_instance ())
+        ~params:Workloads.Debit_credit.default_params ~warmup:500 ~iters:10_000
+    in
+    [ "PERSEAS"; "-"; Table.fmt_tps r.tps ]
+  in
+  let rows = rvm_rows @ [ perseas_row ] in
+  Table.print
+    ~title:"Group commit: RVM batched log forces vs PERSEAS (section 6 claim)" ~header rows;
+  Table.save_csv ~path:(csv_path "group_commit") ~header rows
+
+(* ------------------------------------------------------------------ *)
+(* C3: Remote-WAL (Ioanidis et al.) burst vs sustained load            *)
+
+let remote_wal_load () =
+  (* Burst commits run at remote-memory speed; sustained load backs up
+     behind the asynchronous disk writer — section 2's critique of the
+     remote-memory WAL.  PERSEAS has no disk anywhere, so its rate is
+     flat.  Measure tps over windows of increasing depth into a long
+     run. *)
+  let windows = [ 500; 1000; 2000; 4000; 8000; 16000 ] in
+  let series (module I : Testbed.INSTANCE) =
+    let module W = Workloads.Debit_credit.Make (I.E) in
+    let rng = Rng.create 5 in
+    let db = W.setup I.engine ~params:Workloads.Debit_credit.small_params in
+    let done_ = ref 0 in
+    List.map
+      (fun upto ->
+        let t0 = Clock.now I.clock in
+        let batch = upto - !done_ in
+        for _ = 1 to batch do
+          W.transaction db rng
+        done;
+        done_ := upto;
+        float_of_int batch /. Time.to_s (Clock.now I.clock - t0))
+      windows
+  in
+  let rwal = series (Testbed.remote_wal_instance ()) in
+  let perseas = series (Testbed.perseas_instance ()) in
+  let header = [ "txns so far"; "RemoteWAL tps (window)"; "PERSEAS tps (window)" ] in
+  let rows =
+    List.map2
+      (fun (upto, r) p -> [ Table.fmt_int upto; Table.fmt_tps r; Table.fmt_tps p ])
+      (List.combine windows rwal) perseas
+  in
+  Table.print
+    ~title:
+      "Remote-memory WAL under load: bursts at network speed, sustained rate disk-bound (section 2)"
+    ~header rows;
+  Table.save_csv ~path:(csv_path "remote_wal_load") ~header rows
+
+(* ------------------------------------------------------------------ *)
+(* A4: replication degree                                              *)
+
+let replication_degree () =
+  let tps_with_mirrors k =
+    let clock = Clock.create () in
+    let dram = 64 * 1024 * 1024 in
+    let specs =
+      Cluster.spec ~dram_size:dram ~power_supply:0 "primary"
+      :: List.init k (fun i ->
+             Cluster.spec ~dram_size:dram ~power_supply:(i + 1) (Printf.sprintf "mirror%d" i))
+    in
+    let cluster = Cluster.create ~clock specs in
+    let servers = List.init k (fun i -> Netram.Server.create (Cluster.node cluster (i + 1))) in
+    let clients = List.map (fun server -> Netram.Client.create ~cluster ~local:0 ~server) servers in
+    let t = Perseas.init_replicated clients in
+    let module W = Workloads.Debit_credit.Make (Perseas.Engine) in
+    let rng = Rng.create 4 in
+    let db = W.setup t ~params:Workloads.Debit_credit.small_params in
+    let r = Measure.run ~clock ~warmup:500 ~iters:5000 (fun _ -> W.transaction db rng) in
+    r.Measure.tps
+  in
+  let base = tps_with_mirrors 1 in
+  let header = [ "mirrors"; "tps"; "vs 1 mirror" ] in
+  let rows =
+    List.map
+      (fun k ->
+        let tps = if k = 1 then base else tps_with_mirrors k in
+        [ string_of_int k; Table.fmt_tps tps; Printf.sprintf "%.2fx" (tps /. base) ])
+      [ 1; 2; 3; 4 ]
+  in
+  Table.print
+    ~title:"Replication degree: debit-credit throughput vs number of mirrors (section 1)"
+    ~header rows;
+  Table.save_csv ~path:(csv_path "replication_degree") ~header rows
+
+(* ------------------------------------------------------------------ *)
+(* R2: availability and data-loss Monte Carlo                          *)
+
+let availability () =
+  let header =
+    [ "deployment"; "availability %"; "loss events / decade"; "trials with loss %" ]
+  in
+  let rows =
+    List.map
+      (fun d ->
+        let r = Availability.simulate ~trials:200 d in
+        [
+          r.Availability.label;
+          Printf.sprintf "%.4f" (100. *. r.availability);
+          Printf.sprintf "%.3f" r.loss_events_per_decade;
+          Printf.sprintf "%.1f" (100. *. r.trials_with_loss);
+        ])
+      Availability.standard_deployments
+  in
+  Table.print
+    ~title:
+      "Availability Monte Carlo, 10-year horizon x200 trials (section 1's reliability argument)"
+    ~header rows;
+  Table.save_csv ~path:(csv_path "availability") ~header rows
+
+(* ------------------------------------------------------------------ *)
+(* T2: technology-trend projection (section 6)                         *)
+
+let trend () =
+  (* "The performance benefits of our approach will increase with time":
+     interconnects improve 20-45 %/year, disks 10-20 %/year.  Project
+     both cost models forward and watch the PERSEAS/RVM gap widen. *)
+  let perseas_at years =
+    let params = Sci.Params.projected ~years () in
+    let bed = Testbed.perseas_bed ~params () in
+    let module W = Workloads.Debit_credit.Make (Perseas.Engine) in
+    let rng = Rng.create 3 in
+    let db = W.setup bed.perseas ~params:Workloads.Debit_credit.small_params in
+    let r = Measure.run ~clock:bed.clock ~warmup:500 ~iters:5000 (fun _ -> W.transaction db rng) in
+    r.Measure.tps
+  in
+  let rvm_at years =
+    let clock = Clock.create () in
+    let cluster = Cluster.create ~clock [ Cluster.spec "host" ] in
+    let node = Cluster.node cluster 0 in
+    let geometry = Disk.Device.projected_geometry ~years () in
+    let device =
+      Disk.Device.create ~clock ~backend:(Disk.Device.Magnetic geometry) ~capacity:(mb 64)
+    in
+    let engine = Baselines.Rvm.create ~node ~device () in
+    let module W = Workloads.Debit_credit.Make (Baselines.Rvm.Engine) in
+    let rng = Rng.create 3 in
+    let db = W.setup engine ~params:Workloads.Debit_credit.small_params in
+    let r =
+      Measure.run ~clock
+        ~finish:(fun () -> Baselines.Rvm.flush engine)
+        ~warmup:100 ~iters:1000
+        (fun _ -> W.transaction db rng)
+    in
+    r.Measure.tps
+  in
+  let header = [ "year"; "PERSEAS tps"; "RVM tps"; "speedup" ] in
+  let rows =
+    List.map
+      (fun years ->
+        let p = perseas_at years and r = rvm_at years in
+        [ string_of_int (1998 + years); Table.fmt_tps p; Table.fmt_tps r; Table.fmt_ratio (p /. r) ])
+      [ 0; 2; 4; 6; 8 ]
+  in
+  Table.print
+    ~title:"Technology trend: projected PERSEAS vs RVM, debit-credit (section 6 claim)" ~header
+    rows;
+  Table.save_csv ~path:(csv_path "trend") ~header rows
+
+(* ------------------------------------------------------------------ *)
+(* R3: remote-memory paging vs disk swap                               *)
+
+let paging () =
+  (* The project this paper grew from: use idle cluster memory instead
+     of the swap disk.  Sweep the resident-set fraction and compare the
+     average access time of a random workload over a 16 MB address
+     space. *)
+  let module Pager = Netram.Pager in
+  let pages = 4096 (* 16 MB *) in
+  let accesses = 20_000 in
+  let run ~backing_of ~frames =
+    let clock = Clock.create () in
+    let cluster =
+      Cluster.create ~clock
+        [
+          Cluster.spec ~dram_size:(mb 64) ~power_supply:0 "local";
+          Cluster.spec ~dram_size:(mb 64) ~power_supply:1 "memory-server";
+        ]
+    in
+    let pager = Pager.create ~backing:(backing_of clock cluster) ~node:(Cluster.node cluster 0) ~pages ~frames () in
+    let rng = Rng.create 31 in
+    let t0 = Clock.now clock in
+    for _ = 1 to accesses do
+      let page = Rng.int rng pages in
+      let addr = (page * Pager.page_size) + Rng.int rng (Pager.page_size - 8) in
+      if Rng.bool rng then ignore (Pager.read pager ~addr ~len:8)
+      else Pager.write pager ~addr (Bytes.make 8 'w')
+    done;
+    let elapsed = Clock.now clock - t0 in
+    (Time.to_us elapsed /. float_of_int accesses, (Pager.stats pager).faults)
+  in
+  let remote_backing _clock cluster =
+    Pager.Remote_memory
+      (Netram.Client.create ~cluster ~local:0 ~server:(Netram.Server.create (Cluster.node cluster 1)))
+  in
+  let disk_backing clock _cluster =
+    Pager.Swap_disk
+      (Disk.Device.create ~clock ~backend:(Disk.Device.Magnetic Disk.Device.default_geometry)
+         ~capacity:(pages * Pager.page_size))
+  in
+  let header =
+    [ "resident %"; "faults"; "remote us/access"; "disk us/access"; "remote speedup" ]
+  in
+  let rows =
+    List.map
+      (fun percent ->
+        let frames = max 1 (pages * percent / 100) in
+        let remote_us, faults = run ~backing_of:remote_backing ~frames in
+        let disk_us, _ = run ~backing_of:disk_backing ~frames in
+        [
+          string_of_int percent;
+          Table.fmt_int faults;
+          Table.fmt_us remote_us;
+          Table.fmt_us disk_us;
+          Table.fmt_ratio (disk_us /. remote_us);
+        ])
+      [ 25; 50; 75; 90; 99 ]
+  in
+  Table.print
+    ~title:"Remote-memory paging vs disk swap: random access over a 16 MB space" ~header rows;
+  Table.save_csv ~path:(csv_path "paging") ~header rows
+
+(* ------------------------------------------------------------------ *)
+(* D1: application-layer data structures on PERSEAS vs Vista           *)
+
+let datastores () =
+  (* What the intro's applications actually pay: operations per second
+     of a transactional hash map and B+-tree on PERSEAS vs Vista (the
+     fastest single-node alternative). *)
+  let run_on (module I : Testbed.INSTANCE) =
+    let module KV = Kvstore.Make (I.E) in
+    let module BT = Btree.Make (I.E) in
+    let kv = KV.create I.engine ~name:"bench-kv" in
+    let bt = BT.create I.engine ~name:"bench-bt" in
+    I.E.init_done I.engine;
+    let rng = Rng.create 13 in
+    let measure iters f =
+      for i = 1 to iters / 10 do
+        f i
+      done;
+      let t0 = Clock.now I.clock in
+      for i = 1 to iters do
+        f i
+      done;
+      float_of_int iters /. Time.to_s (Clock.now I.clock - t0)
+    in
+    (* Reads (get / range) are plain memory loads — free in virtual
+       time — so only mutating operations are rated here. *)
+    let kv_put = measure 5000 (fun i -> KV.put kv (Printf.sprintf "key%d" (i mod 800)) (string_of_int i)) in
+    let kv_cycle =
+      measure 2500 (fun i ->
+          let key = Printf.sprintf "cyc%d" (i mod 100) in
+          if KV.mem kv key then ignore (KV.delete kv key) else KV.put kv key "x")
+    in
+    let bt_insert =
+      measure 5000 (fun i ->
+          BT.insert bt ~key:(Int64.of_int (Rng.int rng 100_000)) ~value:(Int64.of_int i))
+    in
+    (I.label, kv_put, kv_cycle, bt_insert)
+  in
+  let header = [ "engine"; "kv put/s"; "kv put-delete cycle/s"; "btree insert/s" ] in
+  let rows =
+    List.map
+      (fun (label, a, b, c) -> [ label; Table.fmt_tps a; Table.fmt_tps b; Table.fmt_tps c ])
+      (* PERSEAS pays the mirror; Vista pays protected local stores. *)
+      [ run_on (Testbed.perseas_instance ()); run_on (Testbed.vista_instance ()) ]
+  in
+  Table.print ~title:"Application data structures: transactional ops/s" ~header rows;
+  Table.save_csv ~path:(csv_path "datastores") ~header rows
+
+(* ------------------------------------------------------------------ *)
+
+let names =
+  [
+    ("fig5", "Figure 5: SCI remote write latency vs size", fig5);
+    ("fig6", "Figure 6: PERSEAS transaction overhead vs size", fig6);
+    ("table1", "Table 1: PERSEAS debit-credit / order-entry throughput", table1);
+    ("compare-synthetic", "Small synthetic transactions across engines", compare_synthetic);
+    ("compare-bench", "debit-credit and order-entry across engines", compare_bench);
+    ("db-size-sweep", "PERSEAS throughput vs database size", db_size_sweep);
+    ("recovery", "Crash mid-commit and recover from the mirror", recovery);
+    ("copy-counts", "Per-transaction copy and I/O counts", copy_counts);
+    ("ablation-memcpy", "sci_memcpy alignment optimisation on/off", ablation_memcpy);
+    ("group-commit", "RVM group commit vs PERSEAS", group_commit);
+    ("remote-wal-load", "Remote-memory WAL: burst vs sustained load", remote_wal_load);
+    ("replication-degree", "PERSEAS throughput vs number of mirrors", replication_degree);
+    ("availability", "Availability / data-loss Monte Carlo", availability);
+    ("trend", "Technology-trend projection: the gap widens", trend);
+    ("paging", "Remote-memory paging vs disk swap", paging);
+    ("datastores", "Transactional hash map and B+-tree ops/s", datastores);
+  ]
+
+let all () = List.iter (fun (_, _, run) -> run ()) names

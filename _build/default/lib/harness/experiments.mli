@@ -1,0 +1,71 @@
+(** One function per paper artefact (see DESIGN.md's experiment index).
+
+    Every experiment prints an aligned table to stdout and saves the
+    same rows as CSV under [results/].  All numbers are virtual-time
+    and deterministic. *)
+
+val fig5 : unit -> unit
+(** Figure 5: SCI remote-write latency vs. data size (4–200 B). *)
+
+val fig6 : unit -> unit
+(** Figure 6: PERSEAS transaction overhead vs. transaction size
+    (4 B – 1 MB). *)
+
+val table1 : unit -> unit
+(** Table 1: PERSEAS throughput for debit-credit and order-entry. *)
+
+val compare_synthetic : unit -> unit
+(** §5.1 comparison: small synthetic transactions across PERSEAS, RVM,
+    RVM-Rio and Vista (the orders-of-magnitude claims). *)
+
+val compare_bench : unit -> unit
+(** §5.1 comparison: debit-credit and order-entry across all engines. *)
+
+val db_size_sweep : unit -> unit
+(** §5.1 claim: PERSEAS throughput is flat while the database fits in
+    main memory. *)
+
+val recovery : unit -> unit
+(** §3/§6: crash the primary mid-commit and recover on the spare node
+    and on the rebooted primary; reports recovery time vs DB size. *)
+
+val copy_counts : unit -> unit
+(** Figure 2 vs Figure 3: per-transaction copy and I/O counts for each
+    engine (PERSEAS: three memory copies, no disk). *)
+
+val ablation_memcpy : unit -> unit
+(** §4 ablation: the 64-byte-aligned [sci_memcpy] optimisation on and
+    off. *)
+
+val group_commit : unit -> unit
+(** §6: RVM with group commit (batch sizes 1–64) vs PERSEAS. *)
+
+val remote_wal_load : unit -> unit
+(** §2 critique of the remote-memory WAL (Ioanidis et al.): commit
+    bursts run at network speed but sustained throughput is bound by
+    the background disk writer; PERSEAS stays flat. *)
+
+val replication_degree : unit -> unit
+(** §1 "at least two PCs": cost of extra mirrors. *)
+
+val availability : unit -> unit
+(** §1 reliability argument quantified: Monte-Carlo availability and
+    data-loss probability of the paper's deployments. *)
+
+val trend : unit -> unit
+(** §6: project interconnect and disk trends forward; the PERSEAS/RVM
+    speedup widens every year. *)
+
+val paging : unit -> unit
+(** The project context (remote paging): random access over a larger-
+    than-memory space, remote-memory backing vs a swap disk. *)
+
+val datastores : unit -> unit
+(** Application-layer cost: transactional hash-map and B+-tree
+    operation rates on PERSEAS vs Vista. *)
+
+val names : (string * string * (unit -> unit)) list
+(** [(cli-name, description, run)] for every experiment. *)
+
+val all : unit -> unit
+(** Run every experiment in DESIGN.md order. *)

@@ -1,0 +1,38 @@
+open Sim
+
+type result = {
+  tps : float;
+  mean_us : float;
+  p50_us : float;
+  p99_us : float;
+  elapsed : Time.t;
+  iters : int;
+}
+
+let run ~clock ?(finish = fun () -> ()) ~warmup ~iters tx =
+  if iters <= 0 then invalid_arg "Measure.run: iters must be positive";
+  for i = 0 to warmup - 1 do
+    tx i
+  done;
+  finish ();
+  let series = Stats.Series.create () in
+  let t0 = Clock.now clock in
+  for i = 0 to iters - 1 do
+    let s = Clock.now clock in
+    tx (warmup + i);
+    Stats.Series.add series (Time.to_us (Clock.now clock - s))
+  done;
+  finish ();
+  let elapsed = Clock.now clock - t0 in
+  {
+    tps = float_of_int iters /. Time.to_s elapsed;
+    mean_us = Stats.Series.mean series;
+    p50_us = Stats.Series.median series;
+    p99_us = Stats.Series.percentile series 99.;
+    elapsed;
+    iters;
+  }
+
+let pp_result ppf r =
+  Format.fprintf ppf "%.0f tps (mean %.2fus, p50 %.2fus, p99 %.2fus over %d txns)" r.tps r.mean_us
+    r.p50_us r.p99_us r.iters

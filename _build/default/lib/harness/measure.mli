@@ -1,0 +1,23 @@
+open Sim
+
+(** Virtual-time measurement protocol: warm up, then measure a number
+    of transactions against the engine's clock.  Results are exact and
+    deterministic — the "clock" only moves when a cost model charges
+    it. *)
+
+type result = {
+  tps : float;  (** Transactions per (virtual) second. *)
+  mean_us : float;  (** Mean transaction latency. *)
+  p50_us : float;
+  p99_us : float;
+  elapsed : Time.t;  (** Total virtual time of the measured phase. *)
+  iters : int;
+}
+
+val run : clock:Clock.t -> ?finish:(unit -> unit) -> warmup:int -> iters:int -> (int -> unit) -> result
+(** [run ~clock ~warmup ~iters tx] executes [tx i] for [warmup] rounds
+    unmeasured, then [iters] measured rounds (with per-transaction
+    latencies), calling [finish] before reading the final clock so
+    buffered work (group commit) is accounted. *)
+
+val pp_result : Format.formatter -> result -> unit

@@ -1,0 +1,64 @@
+let looks_numeric s =
+  s <> ""
+  && String.for_all (fun c -> (c >= '0' && c <= '9') || c = '.' || c = '-' || c = ' ' || c = 'x' || c = '%') s
+
+let print ?title ~header rows =
+  let all = header :: rows in
+  let ncols = List.fold_left (fun acc r -> max acc (List.length r)) 0 all in
+  let pad r = r @ List.init (ncols - List.length r) (fun _ -> "") in
+  let all = List.map pad all in
+  let widths = Array.make ncols 0 in
+  List.iter (List.iteri (fun i cell -> widths.(i) <- max widths.(i) (String.length cell))) all;
+  (match title with Some t -> Printf.printf "\n== %s ==\n" t | None -> ());
+  let render is_header row =
+    let cells =
+      List.mapi
+        (fun i cell ->
+          let w = widths.(i) in
+          if (not is_header) && looks_numeric cell then Printf.sprintf "%*s" w cell
+          else Printf.sprintf "%-*s" w cell)
+        row
+    in
+    print_endline (String.concat "  " cells)
+  in
+  (match all with
+  | h :: rest ->
+      render true h;
+      print_endline (String.concat "  " (List.init ncols (fun i -> String.make widths.(i) '-')));
+      List.iter (render false) rest
+  | [] -> ());
+  ()
+
+let save_csv ~path ~header rows =
+  let dir = Filename.dirname path in
+  if dir <> "." && not (Sys.file_exists dir) then Sys.mkdir dir 0o755;
+  let oc = open_out path in
+  let escape cell =
+    if String.exists (fun c -> c = ',' || c = '"' || c = '\n') cell then
+      "\"" ^ String.concat "\"\"" (String.split_on_char '"' cell) ^ "\""
+    else cell
+  in
+  let emit row = output_string oc (String.concat "," (List.map escape row) ^ "\n") in
+  emit header;
+  List.iter emit rows;
+  close_out oc
+
+let fmt_int n =
+  let s = string_of_int (abs n) in
+  let buffer = Buffer.create 16 in
+  let len = String.length s in
+  String.iteri
+    (fun i c ->
+      if i > 0 && (len - i) mod 3 = 0 then Buffer.add_char buffer ' ';
+      Buffer.add_char buffer c)
+    s;
+  (if n < 0 then "-" else "") ^ Buffer.contents buffer
+
+let fmt_tps x = fmt_int (int_of_float (Float.round x))
+
+let fmt_us x = if x < 100. then Printf.sprintf "%.2f" x else fmt_int (int_of_float (Float.round x))
+
+let fmt_ms x = Printf.sprintf "%.2f" x
+
+let fmt_ratio x =
+  if x >= 100. then fmt_int (int_of_float (Float.round x)) ^ "x" else Printf.sprintf "%.1fx" x

@@ -1,0 +1,18 @@
+(** Plain-text table rendering and CSV output for the benchmark
+    harness. *)
+
+val print : ?title:string -> header:string list -> string list list -> unit
+(** Render an aligned table to stdout.  Numeric-looking cells are
+    right-aligned. *)
+
+val save_csv : path:string -> header:string list -> string list list -> unit
+(** Write the same rows as CSV (creating parent directories). *)
+
+val fmt_int : int -> string
+(** Thousands-separated integer, e.g. ["95 321"]. *)
+
+val fmt_tps : float -> string
+val fmt_us : float -> string
+val fmt_ms : float -> string
+val fmt_ratio : float -> string
+(** e.g. ["2 113x"]. *)

@@ -1,0 +1,233 @@
+type config = {
+  buckets : int;
+  capacity : int;
+  max_key : int;
+  max_value : int;
+}
+
+let default_config = { buckets = 1024; capacity = 4096; max_key = 64; max_value = 256 }
+
+exception Store_full
+exception Oversized of string
+
+let fnv32 s =
+  let h = ref 0x811c9dc5 in
+  String.iter (fun c -> h := (!h lxor Char.code c) * 0x01000193 land 0x3FFFFFFF) s;
+  !h
+
+module Make (E : Perseas.Txn_intf.S) = struct
+  type t = {
+    config : config;
+    engine : E.t;
+    meta : E.segment;  (** count (4), free-list head (4). *)
+    dir : E.segment;  (** one u32 slot per bucket: entry index + 1, 0 = nil. *)
+    slab : E.segment;  (** capacity fixed-size entries. *)
+  }
+
+  (* Entry layout: next (4), key_len (4), val_len (4), pad (4),
+     key bytes (max_key), value bytes (max_value). *)
+  let entry_header = 16
+  let entry_size config = entry_header + config.max_key + config.max_value
+  let entry_off t idx = (idx - 1) * entry_size t.config
+  let key_off t idx = entry_off t idx + entry_header
+  let value_off t idx = entry_off t idx + entry_header + t.config.max_key
+
+  let u32_bytes v =
+    let b = Bytes.create 4 in
+    Bytes.set_int32_le b 0 (Int32.of_int v);
+    b
+
+  let read_u32 t seg off = Int32.to_int (Bytes.get_int32_le (E.read t.engine seg ~off ~len:4) 0)
+  let write_u32 t seg off v = E.write t.engine seg ~off (u32_bytes v)
+
+  let validate config =
+    if config.buckets <= 0 || config.capacity <= 0 then invalid_arg "Kvstore: empty geometry";
+    if config.max_key <= 0 || config.max_value <= 0 then invalid_arg "Kvstore: zero-sized fields"
+
+  let segment_names name = (name ^ ".kvmeta", name ^ ".kvdir", name ^ ".kvslab")
+
+  let create ?(config = default_config) engine ~name =
+    validate config;
+    let meta_name, dir_name, slab_name = segment_names name in
+    let meta = E.malloc engine ~name:meta_name ~size:64 in
+    let dir = E.malloc engine ~name:dir_name ~size:(config.buckets * 4) in
+    let slab = E.malloc engine ~name:slab_name ~size:(config.capacity * entry_size config) in
+    let t = { config; engine; meta; dir; slab } in
+    (* Format: empty buckets (zero-fill is the fresh state) and a free
+       list threading every entry. *)
+    for idx = 1 to config.capacity do
+      write_u32 t slab (entry_off t idx) (if idx = config.capacity then 0 else idx + 1)
+    done;
+    write_u32 t meta 0 0;
+    write_u32 t meta 4 1;
+    t
+
+  let attach ?(config = default_config) engine ~name =
+    validate config;
+    let meta_name, dir_name, slab_name = segment_names name in
+    let find n =
+      match E.find_segment engine n with
+      | Some seg -> seg
+      | None -> failwith (Printf.sprintf "Kvstore.attach: segment %S not found" n)
+    in
+    { config; engine; meta = find meta_name; dir = find dir_name; slab = find slab_name }
+
+  let length t = read_u32 t t.meta 0
+  let capacity t = t.config.capacity
+
+  let bucket t key = fnv32 key mod t.config.buckets
+
+  let entry_key t idx =
+    let len = read_u32 t t.slab (entry_off t idx + 4) in
+    Bytes.to_string (E.read t.engine t.slab ~off:(key_off t idx) ~len)
+
+  let entry_value t idx =
+    let len = read_u32 t t.slab (entry_off t idx + 8) in
+    Bytes.to_string (E.read t.engine t.slab ~off:(value_off t idx) ~len)
+
+  let entry_next t idx = read_u32 t t.slab (entry_off t idx)
+
+  (* Find [key] in its bucket chain; returns (predecessor, index). *)
+  let find_entry t key =
+    let rec walk pred idx =
+      if idx = 0 then None
+      else if entry_key t idx = key then Some (pred, idx)
+      else walk idx (entry_next t idx)
+    in
+    walk 0 (read_u32 t t.dir (bucket t key * 4))
+
+  let get t key = Option.map (fun (_, idx) -> entry_value t idx) (find_entry t key)
+  let mem t key = find_entry t key <> None
+
+  let check_sizes t key value =
+    if String.length key > t.config.max_key || key = "" then Oversized key |> raise;
+    if String.length value > t.config.max_value then Oversized value |> raise
+
+  let put t key value =
+    check_sizes t key value;
+    let txn = E.begin_transaction t.engine in
+    match find_entry t key with
+    | Some (_, idx) ->
+        (* Update in place: value length and value bytes. *)
+        E.set_range txn t.slab ~off:(entry_off t idx + 8) ~len:4;
+        write_u32 t t.slab (entry_off t idx + 8) (String.length value);
+        if String.length value > 0 then begin
+          E.set_range txn t.slab ~off:(value_off t idx) ~len:(String.length value);
+          E.write t.engine t.slab ~off:(value_off t idx) (Bytes.of_string value)
+        end;
+        E.commit txn
+    | None ->
+        let free = read_u32 t t.meta 4 in
+        if free = 0 then begin
+          E.abort txn;
+          raise Store_full
+        end;
+        let next_free = entry_next t free in
+        let b = bucket t key in
+        let head = read_u32 t t.dir (b * 4) in
+        (* New entry: header + key + value in one covered range. *)
+        let write_len = entry_header + t.config.max_key + String.length value in
+        E.set_range txn t.slab ~off:(entry_off t free) ~len:write_len;
+        write_u32 t t.slab (entry_off t free) head;
+        write_u32 t t.slab (entry_off t free + 4) (String.length key);
+        write_u32 t t.slab (entry_off t free + 8) (String.length value);
+        write_u32 t t.slab (entry_off t free + 12) 0;
+        E.write t.engine t.slab ~off:(key_off t free) (Bytes.of_string key);
+        if String.length value > 0 then
+          E.write t.engine t.slab ~off:(value_off t free) (Bytes.of_string value);
+        (* Bucket head and allocation metadata. *)
+        E.set_range txn t.dir ~off:(b * 4) ~len:4;
+        write_u32 t t.dir (b * 4) free;
+        E.set_range txn t.meta ~off:0 ~len:8;
+        write_u32 t t.meta 0 (length t + 1);
+        write_u32 t t.meta 4 next_free;
+        E.commit txn
+
+  let delete t key =
+    let txn = E.begin_transaction t.engine in
+    match find_entry t key with
+    | None ->
+        E.abort txn;
+        false
+    | Some (pred, idx) ->
+        let next = entry_next t idx in
+        if pred = 0 then begin
+          let b = bucket t key in
+          E.set_range txn t.dir ~off:(bucket t key * 4) ~len:4;
+          write_u32 t t.dir (b * 4) next
+        end
+        else begin
+          E.set_range txn t.slab ~off:(entry_off t pred) ~len:4;
+          write_u32 t t.slab (entry_off t pred) next
+        end;
+        (* Push the slot onto the free list. *)
+        let free = read_u32 t t.meta 4 in
+        E.set_range txn t.slab ~off:(entry_off t idx) ~len:4;
+        write_u32 t t.slab (entry_off t idx) free;
+        E.set_range txn t.meta ~off:0 ~len:8;
+        write_u32 t t.meta 0 (length t - 1);
+        write_u32 t t.meta 4 idx;
+        E.commit txn;
+        true
+
+  let iter t f =
+    for b = 0 to t.config.buckets - 1 do
+      let rec walk idx =
+        if idx <> 0 then begin
+          f (entry_key t idx) (entry_value t idx);
+          walk (entry_next t idx)
+        end
+      in
+      walk (read_u32 t t.dir (b * 4))
+    done
+
+  let fold t ~init ~f =
+    let acc = ref init in
+    iter t (fun k v -> acc := f !acc k v);
+    !acc
+
+  let check_invariants t =
+    let cap = t.config.capacity in
+    let seen = Array.make (cap + 1) `Unseen in
+    let err fmt = Printf.ksprintf (fun s -> Error s) fmt in
+    let exception Bad of string in
+    try
+      (* Bucket chains. *)
+      let chained = ref 0 in
+      for b = 0 to t.config.buckets - 1 do
+        let rec walk idx steps =
+          if idx <> 0 then begin
+            if idx < 0 || idx > cap then raise (Bad (Printf.sprintf "bucket %d: index %d out of range" b idx));
+            if steps > cap then raise (Bad (Printf.sprintf "bucket %d: cycle" b));
+            if seen.(idx) <> `Unseen then raise (Bad (Printf.sprintf "entry %d reached twice" idx));
+            seen.(idx) <- `Chained;
+            incr chained;
+            let klen = read_u32 t t.slab (entry_off t idx + 4) in
+            let vlen = read_u32 t t.slab (entry_off t idx + 8) in
+            if klen <= 0 || klen > t.config.max_key then raise (Bad (Printf.sprintf "entry %d: bad key length" idx));
+            if vlen < 0 || vlen > t.config.max_value then raise (Bad (Printf.sprintf "entry %d: bad value length" idx));
+            if bucket t (entry_key t idx) <> b then raise (Bad (Printf.sprintf "entry %d: in the wrong bucket" idx));
+            walk (entry_next t idx) (steps + 1)
+          end
+        in
+        walk (read_u32 t t.dir (b * 4)) 0
+      done;
+      (* Free list. *)
+      let free = ref 0 in
+      let rec walk idx steps =
+        if idx <> 0 then begin
+          if idx < 0 || idx > cap then raise (Bad (Printf.sprintf "free list: index %d out of range" idx));
+          if steps > cap then raise (Bad "free list: cycle");
+          if seen.(idx) <> `Unseen then raise (Bad (Printf.sprintf "entry %d both chained and free" idx));
+          seen.(idx) <- `Free;
+          incr free;
+          walk (entry_next t idx) (steps + 1)
+        end
+      in
+      walk (read_u32 t t.meta 4) 0;
+      if !chained + !free <> cap then
+        err "slab not partitioned: %d chained + %d free <> %d" !chained !free cap
+      else if length t <> !chained then err "count %d but %d chained entries" (length t) !chained
+      else Ok ()
+    with Bad msg -> Error msg
+end

@@ -1,0 +1,65 @@
+(** A transactional key-value store over any PERSEAS-style engine.
+
+    This is the kind of application the paper motivates: a
+    main-memory data repository whose every mutation is an atomic,
+    recoverable transaction.  The store is a chained hash table laid
+    out in three engine segments (bucket directory, entry slab,
+    allocation metadata); each [put]/[delete] runs as one transaction,
+    so a crash mid-operation leaves the map either before or after the
+    operation — never a broken chain — and, on PERSEAS, the whole map
+    survives on the mirror.
+
+    Being a functor over {!Perseas.Txn_intf.S}, the same store runs on
+    PERSEAS, RVM, RVM-Rio, Vista or RemoteWAL unchanged. *)
+
+type config = {
+  buckets : int;  (** Hash directory size. *)
+  capacity : int;  (** Maximum number of live entries. *)
+  max_key : int;  (** Longest key, in bytes. *)
+  max_value : int;  (** Longest value, in bytes. *)
+}
+
+val default_config : config
+(** 1024 buckets, 4096 entries, 64-byte keys, 256-byte values. *)
+
+exception Store_full
+exception Oversized of string  (** Key or value exceeds the configured maxima. *)
+
+module Make (E : Perseas.Txn_intf.S) : sig
+  type t
+
+  val create : ?config:config -> E.t -> name:string -> t
+  (** Allocate and format the store's segments.  Must run before the
+      engine's [init_done]; the engine remains usable for other
+      segments.  [name] prefixes the segment names, so several stores
+      can share one engine. *)
+
+  val attach : ?config:config -> E.t -> name:string -> t
+  (** Re-open an existing store after recovery (the segments already
+      exist in the recovered engine); [config] must match [create]'s. *)
+
+  val put : t -> string -> string -> unit
+  (** Insert or update, atomically.  Raises {!Store_full} or
+      {!Oversized}. *)
+
+  val get : t -> string -> string option
+  (** Read-only: no transaction needed. *)
+
+  val mem : t -> string -> bool
+
+  val delete : t -> string -> bool
+  (** [true] if the key existed.  Atomic. *)
+
+  val length : t -> int
+  val capacity : t -> int
+
+  val iter : t -> (string -> string -> unit) -> unit
+  (** Visit every binding (no particular order). *)
+
+  val fold : t -> init:'a -> f:('a -> string -> string -> 'a) -> 'a
+
+  val check_invariants : t -> (unit, string) result
+  (** Structural audit: chains acyclic and bucket-consistent, free
+      list and chains partition the slab, stored lengths in range.
+      Used by the crash-recovery tests. *)
+end

@@ -1,0 +1,1 @@
+lib/mem/allocator.ml: Format Hashtbl List Printf Result Segment

@@ -1,0 +1,1 @@
+lib/mem/image.ml: Bytes Char Int32 Int64 Printf

@@ -1,0 +1,1 @@
+lib/mem/segment.mli: Format

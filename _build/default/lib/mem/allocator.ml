@@ -1,0 +1,125 @@
+type block = { base : int; len : int }
+
+type t = {
+  range_base : int;
+  range_size : int;
+  mutable free_list : block list; (* sorted by base, coalesced *)
+  live : (int, int) Hashtbl.t; (* base -> len *)
+  mutable live_bytes : int;
+}
+
+let create ?(base = 0) ~size () =
+  if base < 0 then invalid_arg "Allocator.create: negative base";
+  if size <= 0 then invalid_arg "Allocator.create: non-positive size";
+  {
+    range_base = base;
+    range_size = size;
+    free_list = [ { base; len = size } ];
+    live = Hashtbl.create 64;
+    live_bytes = 0;
+  }
+
+let is_power_of_two n = n > 0 && n land (n - 1) = 0
+let align_up x a = (x + a - 1) land lnot (a - 1)
+
+let alloc t ?(align = 1) n =
+  if n <= 0 then invalid_arg "Allocator.alloc: non-positive size";
+  if not (is_power_of_two align) then invalid_arg "Allocator.alloc: align not a power of two";
+  (* First fit: walk the free list looking for a block in which an
+     aligned sub-range of [n] bytes fits; split off leading padding and
+     trailing remainder back to the free list. *)
+  let rec walk acc = function
+    | [] -> None
+    | b :: rest ->
+        let aligned = align_up b.base align in
+        if aligned + n <= b.base + b.len then begin
+          let before = if aligned > b.base then [ { base = b.base; len = aligned - b.base } ] else [] in
+          let after_base = aligned + n in
+          let after =
+            if after_base < b.base + b.len then [ { base = after_base; len = b.base + b.len - after_base } ]
+            else []
+          in
+          t.free_list <- List.rev_append acc (before @ after @ rest);
+          Hashtbl.replace t.live aligned n;
+          t.live_bytes <- t.live_bytes + n;
+          Some (Segment.v ~base:aligned ~len:n)
+        end
+        else walk (b :: acc) rest
+  in
+  walk [] t.free_list
+
+let alloc_exn t ?align n =
+  match alloc t ?align n with
+  | Some seg -> seg
+  | None -> failwith (Printf.sprintf "Allocator.alloc_exn: out of memory (%d bytes requested)" n)
+
+let is_live t seg =
+  match Hashtbl.find_opt t.live (Segment.base seg) with
+  | Some len -> len = Segment.len seg
+  | None -> false
+
+let free t seg =
+  if not (is_live t seg) then
+    invalid_arg (Format.asprintf "Allocator.free: %a is not a live block" Segment.pp seg);
+  Hashtbl.remove t.live (Segment.base seg);
+  t.live_bytes <- t.live_bytes - Segment.len seg;
+  let blk = { base = Segment.base seg; len = Segment.len seg } in
+  let rec insert = function
+    | [] -> [ blk ]
+    | b :: rest when blk.base < b.base -> blk :: b :: rest
+    | b :: rest -> b :: insert rest
+  in
+  let rec coalesce = function
+    | a :: b :: rest when a.base + a.len = b.base -> coalesce ({ base = a.base; len = a.len + b.len } :: rest)
+    | a :: rest -> a :: coalesce rest
+    | [] -> []
+  in
+  t.free_list <- coalesce (insert t.free_list)
+
+let live_segments t =
+  Hashtbl.fold (fun base len acc -> Segment.v ~base ~len :: acc) t.live []
+  |> List.sort (fun a b -> compare (Segment.base a) (Segment.base b))
+
+let bytes_free t = List.fold_left (fun acc b -> acc + b.len) 0 t.free_list
+let bytes_live t = t.live_bytes
+
+let check_invariants t =
+  let ( let* ) r f = Result.bind r f in
+  let rec sorted_coalesced = function
+    | a :: b :: rest ->
+        if a.base + a.len > b.base then Error (Printf.sprintf "free blocks overlap or unsorted at %#x" b.base)
+        else if a.base + a.len = b.base then Error (Printf.sprintf "uncoalesced free blocks at %#x" b.base)
+        else sorted_coalesced (b :: rest)
+    | _ -> Ok ()
+  in
+  let* () = sorted_coalesced t.free_list in
+  let* () =
+    if
+      List.for_all
+        (fun b -> b.base >= t.range_base && b.base + b.len <= t.range_base + t.range_size && b.len > 0)
+        t.free_list
+    then Ok ()
+    else Error "free block outside managed range"
+  in
+  let live = live_segments t in
+  let rec live_disjoint = function
+    | a :: b :: rest ->
+        if Segment.overlaps a b then Error (Format.asprintf "live blocks overlap: %a %a" Segment.pp a Segment.pp b)
+        else live_disjoint (b :: rest)
+    | _ -> Ok ()
+  in
+  let* () = live_disjoint live in
+  let* () =
+    if
+      List.for_all
+        (fun s ->
+          List.for_all
+            (fun b -> not (Segment.overlaps s (Segment.v ~base:b.base ~len:b.len)))
+            t.free_list)
+        live
+    then Ok ()
+    else Error "live block overlaps free block"
+  in
+  let accounted = bytes_free t + bytes_live t in
+  if accounted = t.range_size then Ok ()
+  else Error (Printf.sprintf "accounting mismatch: free+live = %d, size = %d" accounted t.range_size)

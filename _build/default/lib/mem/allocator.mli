@@ -1,0 +1,36 @@
+(** First-fit allocator over a memory range.
+
+    Manages the address space of a node's exportable memory (and of the
+    local database heap).  Blocks can be aligned, which the SCI layer
+    uses to place mirrored segments on 64-byte boundaries so remote
+    copies packetise efficiently. *)
+
+type t
+
+val create : ?base:int -> size:int -> unit -> t
+(** An allocator managing [\[base, base+size)].  Default [base] 0. *)
+
+val alloc : t -> ?align:int -> int -> Segment.t option
+(** [alloc t ~align n] returns a free block of [n] bytes whose base is a
+    multiple of [align] (default 1, must be a power of two), or [None]
+    when no block fits.  [n] must be positive. *)
+
+val alloc_exn : t -> ?align:int -> int -> Segment.t
+(** Like {!alloc} but raises [Failure] on exhaustion. *)
+
+val free : t -> Segment.t -> unit
+(** Returns a block to the free list, coalescing with neighbours.
+    Raises [Invalid_argument] if the segment was not live (double free
+    or never allocated). *)
+
+val is_live : t -> Segment.t -> bool
+val live_segments : t -> Segment.t list
+(** Live blocks in ascending base order. *)
+
+val bytes_free : t -> int
+val bytes_live : t -> int
+
+val check_invariants : t -> (unit, string) result
+(** Validates: free list sorted, gap-coalesced, disjoint from live
+    blocks, and [free + live + alignment padding = size].  Used by the
+    property tests. *)

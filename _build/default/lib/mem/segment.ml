@@ -1,0 +1,17 @@
+type t = { base : int; len : int }
+
+let v ~base ~len =
+  if base < 0 then invalid_arg "Segment.v: negative base";
+  if len <= 0 then invalid_arg "Segment.v: non-positive length";
+  { base; len }
+
+let base t = t.base
+let len t = t.len
+let last t = t.base + t.len - 1
+
+let contains t ~off ~len =
+  len >= 0 && off >= t.base && off + len <= t.base + t.len
+
+let overlaps a b = a.base < b.base + b.len && b.base < a.base + a.len
+let equal a b = a.base = b.base && a.len = b.len
+let pp ppf t = Format.fprintf ppf "[%#x..%#x)" t.base (t.base + t.len)

@@ -1,0 +1,20 @@
+(** A contiguous region of an {!Image}. *)
+
+type t = private { base : int; len : int }
+
+val v : base:int -> len:int -> t
+(** Raises [Invalid_argument] on a negative base or non-positive
+    length. *)
+
+val base : t -> int
+val len : t -> int
+val last : t -> int
+(** Offset of the final byte, [base + len - 1]. *)
+
+val contains : t -> off:int -> len:int -> bool
+(** Whether [\[off, off+len)] (relative to the image) lies inside the
+    segment. *)
+
+val overlaps : t -> t -> bool
+val equal : t -> t -> bool
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,1 @@
+lib/netram/client.ml: Clock Cluster Printf Remote_segment Sci Server Sim Time

@@ -1,0 +1,1 @@
+lib/netram/client.mli: Cluster Mem Remote_segment Sci Server Sim Time

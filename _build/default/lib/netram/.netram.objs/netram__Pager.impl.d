@@ -1,0 +1,1 @@
+lib/netram/pager.ml: Array Bytes Client Clock Cluster Disk Fun List Mem Printf Remote_segment Sci Sim Time

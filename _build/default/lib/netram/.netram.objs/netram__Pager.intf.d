@@ -1,0 +1,1 @@
+lib/netram/pager.mli: Client Cluster Disk Sim Time

@@ -1,0 +1,1 @@
+lib/netram/remote_segment.mli: Format Mem

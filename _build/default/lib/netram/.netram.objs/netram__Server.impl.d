@@ -1,0 +1,1 @@
+lib/netram/server.ml: Cluster Hashtbl List Mem Printf Remote_segment

@@ -1,0 +1,1 @@
+lib/netram/server.mli: Cluster Remote_segment

@@ -1,0 +1,91 @@
+open Sim
+module Node = Cluster.Node
+
+type t = { cluster : Cluster.t; local : int; server : Server.t }
+
+let create ~cluster ~local ~server =
+  let server_id = Node.id (Server.node server) in
+  if server_id = local then invalid_arg "Client.create: client and server share a node";
+  ignore (Cluster.node cluster local);
+  { cluster; local; server }
+
+let cluster t = t.cluster
+let local_node t = Cluster.node t.cluster t.local
+let server t = t.server
+let hops t = Cluster.hops t.cluster ~src:t.local ~dst:(Node.id (Server.node t.server))
+
+let rpc_time t =
+  let p = Sci.Nic.params (Cluster.nic t.cluster) in
+  let hop_extra = (hops t - 1 + (Cluster.size t.cluster - hops t - 1)) * p.t_hop in
+  (* Request out, reply back around the ring, plus server handling. *)
+  (2 * (p.t_base + p.t_pkt16)) + hop_extra + Time.us 2.0
+
+let charge_rpc t = Clock.advance (Cluster.clock t.cluster) (rpc_time t)
+
+let malloc t ~name ~size =
+  charge_rpc t;
+  Server.export t.server ~name ~size
+
+let free t handle =
+  charge_rpc t;
+  Server.release t.server handle
+
+let connect t ~name =
+  charge_rpc t;
+  Server.lookup t.server ~name
+
+let check_handle t (h : Remote_segment.t) op =
+  if not (Server.is_alive t.server) then
+    failwith (Printf.sprintf "Client.%s: memory server is gone" op);
+  if h.owner <> Node.id (Server.node t.server) then
+    failwith (Printf.sprintf "Client.%s: handle %s belongs to another server" op h.name);
+  if h.owner_generation <> Node.crashes_since_start (Server.node t.server) then
+    failwith (Printf.sprintf "Client.%s: stale handle %s (owner rebooted)" op h.name);
+  if not (Server.is_exported t.server h) then
+    failwith (Printf.sprintf "Client.%s: handle %s is no longer exported" op h.name)
+
+let check_range (h : Remote_segment.t) ~seg_off ~len op =
+  if seg_off < 0 || len < 0 || seg_off + len > Remote_segment.len h then
+    invalid_arg
+      (Printf.sprintf "Client.%s: range [%d,+%d) outside segment %s of %d bytes" op seg_off len
+         h.name (Remote_segment.len h))
+
+let remote_dram t = Node.dram (Server.node t.server)
+
+let do_plan_write ?window t (h : Remote_segment.t) ~seg_off ~src_off ~len =
+  check_handle t h "write";
+  check_range h ~seg_off ~len "write";
+  Sci.Nic.plan_write (Cluster.nic t.cluster) ~hops:(max 1 (hops t)) ?window
+    ~src:(Node.dram (local_node t)) ~src_off ~dst:(remote_dram t)
+    ~dst_off:(Remote_segment.base h + seg_off) ~len ()
+
+let plan_write t ?(widen = true) h ~seg_off ~src_off ~len =
+  if widen then do_plan_write ~window:h.Remote_segment.seg t h ~seg_off ~src_off ~len
+  else do_plan_write t h ~seg_off ~src_off ~len
+
+let write t h ~seg_off ~src_off ~len =
+  Sci.Nic.run (Cluster.nic t.cluster) (plan_write t h ~seg_off ~src_off ~len)
+
+let write_raw t h ~seg_off ~src_off ~len =
+  Sci.Nic.run (Cluster.nic t.cluster) (do_plan_write t h ~seg_off ~src_off ~len)
+
+let read_to_image t (h : Remote_segment.t) ~seg_off ~dst ~dst_off ~len =
+  check_handle t h "read";
+  check_range h ~seg_off ~len "read";
+  Sci.Nic.read (Cluster.nic t.cluster) ~hops:(max 1 (hops t)) ~src:(remote_dram t)
+    ~src_off:(Remote_segment.base h + seg_off) ~dst ~dst_off ~len ()
+
+let read t h ~seg_off ~dst_off ~len =
+  read_to_image t h ~seg_off ~dst:(Node.dram (local_node t)) ~dst_off ~len
+
+let write_u64 t (h : Remote_segment.t) ~seg_off v =
+  check_handle t h "write_u64";
+  check_range h ~seg_off ~len:8 "write_u64";
+  Sci.Nic.write_u64 (Cluster.nic t.cluster) ~hops:(max 1 (hops t)) ~dst:(remote_dram t)
+    ~dst_off:(Remote_segment.base h + seg_off) v
+
+let read_u64 t (h : Remote_segment.t) ~seg_off =
+  check_handle t h "read_u64";
+  check_range h ~seg_off ~len:8 "read_u64";
+  Sci.Nic.read_u64 (Cluster.nic t.cluster) ~hops:(max 1 (hops t)) ~src:(remote_dram t)
+    ~src_off:(Remote_segment.base h + seg_off) ()

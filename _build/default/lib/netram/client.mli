@@ -1,0 +1,66 @@
+open Sim
+
+(** Client side of the reliable network RAM (the [sci_*] functions of
+    §4: [sci_get_new_segment], [sci_free_segment], [sci_memcpy],
+    [sci_connect_segment]).
+
+    A client runs on a local node and talks to a {!Server} on a remote
+    node over the cluster's SCI ring.  Requests (malloc/free/connect)
+    are round-trip messages; data movement ([memcpy]) is raw remote
+    memory access through the mapped segment, packet by packet. *)
+
+type t
+
+val create : cluster:Cluster.t -> local:int -> server:Server.t -> t
+(** [local] is the id of the node the client runs on.  Raises
+    [Invalid_argument] if client and server share a node. *)
+
+val cluster : t -> Cluster.t
+val local_node : t -> Cluster.Node.t
+val server : t -> Server.t
+val hops : t -> int
+
+val malloc : t -> name:string -> size:int -> Remote_segment.t
+(** [sci_get_new_segment]: round trip to the server, which exports a
+    fresh 64-byte-aligned segment and maps it for us. *)
+
+val free : t -> Remote_segment.t -> unit
+(** [sci_free_segment]. *)
+
+val connect : t -> name:string -> Remote_segment.t option
+(** [sci_connect_segment]: re-map an already-exported segment after a
+    client crash (or from a different workstation during recovery). *)
+
+(** {1 Data movement}
+
+    All offsets are relative to the segment base.  Every call checks
+    the handle is fresh and the range in bounds, moves real bytes, and
+    charges the SCI model's virtual time. *)
+
+val write : t -> Remote_segment.t -> seg_off:int -> src_off:int -> len:int -> unit
+(** [sci_memcpy] local→remote: copies from the local node's DRAM at
+    [src_off] into the remote segment, with the §4 64-byte-alignment
+    optimisation (the widening window is the segment itself). *)
+
+val write_raw : t -> Remote_segment.t -> seg_off:int -> src_off:int -> len:int -> unit
+(** Same, but without the alignment widening — the naive memcpy used by
+    the A2 ablation. *)
+
+val plan_write : t -> ?widen:bool -> Remote_segment.t -> seg_off:int -> src_off:int -> len:int -> Sci.Nic.plan
+(** The packet-level plan of {!write}, for fault injection. *)
+
+val read : t -> Remote_segment.t -> seg_off:int -> dst_off:int -> len:int -> unit
+(** Remote→local copy (recovery path). *)
+
+val read_to_image : t -> Remote_segment.t -> seg_off:int -> dst:Mem.Image.t -> dst_off:int -> len:int -> unit
+(** Remote→arbitrary-image copy; recovery onto a {e different} node
+    reads into that node's DRAM. *)
+
+val write_u64 : t -> Remote_segment.t -> seg_off:int -> int64 -> unit
+(** One small remote store (a single 16-byte SCI packet — atomic). *)
+
+val read_u64 : t -> Remote_segment.t -> seg_off:int -> int64
+
+val rpc_time : t -> Time.t
+(** Virtual cost of one control round trip (charged by malloc/free/
+    connect). *)

@@ -1,0 +1,205 @@
+open Sim
+module Node = Cluster.Node
+
+let page_size = 4096
+
+type backing =
+  | Remote_memory of Client.t
+  | Swap_disk of Disk.Device.t
+
+type backing_state =
+  | Remote of { client : Client.t; segment : Remote_segment.t }
+  | Swap of { device : Disk.Device.t }
+
+type page_state = Absent | Resident of int (* frame index *)
+
+type frame = { mutable page : int; mutable dirty : bool; mutable last_use : int }
+
+type t = {
+  node : Node.t;
+  backing : backing_state;
+  slab : Mem.Segment.t; (* frames * page_size bytes of node DRAM *)
+  page_table : page_state array;
+  frame_table : frame array;
+  mutable tick : int;
+  mutable free_frames : int list;
+  mutable st_faults : int;
+  mutable st_evictions : int;
+  mutable st_writebacks : int;
+  mutable st_hits : int;
+  mutable st_fault_time : Time.t;
+}
+
+type stats = { faults : int; evictions : int; writebacks : int; hits : int }
+
+let pages t = Array.length t.page_table
+let frames t = Array.length t.frame_table
+let clock t = Node.clock t.node
+let dram t = Node.dram t.node
+
+let create ~backing ~node ~pages ~frames () =
+  if pages <= 0 then invalid_arg "Pager.create: pages must be positive";
+  if frames <= 0 || frames > pages then invalid_arg "Pager.create: frames must be in [1, pages]";
+  let backing =
+    match backing with
+    | Remote_memory client ->
+        let segment = Client.malloc client ~name:"pager!space" ~size:(pages * page_size) in
+        Remote { client; segment }
+    | Swap_disk device ->
+        if Disk.Device.capacity device < pages * page_size then
+          invalid_arg "Pager.create: swap device too small";
+        Swap { device }
+  in
+  let slab =
+    match Mem.Allocator.alloc (Node.allocator node) ~align:64 (frames * page_size) with
+    | Some seg -> seg
+    | None -> failwith "Pager.create: out of node memory for the resident set"
+  in
+  {
+    node;
+    backing;
+    slab;
+    page_table = Array.make pages Absent;
+    frame_table = Array.init frames (fun _ -> { page = -1; dirty = false; last_use = 0 });
+    tick = 0;
+    free_frames = List.init frames Fun.id;
+    st_faults = 0;
+    st_evictions = 0;
+    st_writebacks = 0;
+    st_hits = 0;
+    st_fault_time = Time.zero;
+  }
+
+let frame_off t frame = Mem.Segment.base t.slab + (frame * page_size)
+
+let charged t f =
+  let t0 = Clock.now (clock t) in
+  f ();
+  t.st_fault_time <- t.st_fault_time + (Clock.now (clock t) - t0)
+
+(* Backing I/O: a whole page at a time, real bytes, charged. *)
+let backing_read t ~page ~frame =
+  match t.backing with
+  | Remote { client; segment } ->
+      Client.read_to_image client segment ~seg_off:(page * page_size) ~dst:(dram t)
+        ~dst_off:(frame_off t frame) ~len:page_size
+  | Swap { device } ->
+      let data = Disk.Device.read device ~off:(page * page_size) ~len:page_size in
+      Mem.Image.write_bytes (dram t) ~off:(frame_off t frame) data
+
+let backing_write t ~page ~frame =
+  match t.backing with
+  | Remote { client; segment } ->
+      (* The local frame is in this node's DRAM: a plain remote write. *)
+      Client.write client segment ~seg_off:(page * page_size) ~src_off:(frame_off t frame)
+        ~len:page_size
+  | Swap { device } ->
+      Disk.Device.write device ~off:(page * page_size)
+        (Mem.Image.read_bytes (dram t) ~off:(frame_off t frame) ~len:page_size)
+
+let evict t frame =
+  let f = t.frame_table.(frame) in
+  if f.page >= 0 then begin
+    t.page_table.(f.page) <- Absent;
+    t.st_evictions <- t.st_evictions + 1;
+    if f.dirty then begin
+      t.st_writebacks <- t.st_writebacks + 1;
+      charged t (fun () -> backing_write t ~page:f.page ~frame)
+    end;
+    f.page <- -1;
+    f.dirty <- false
+  end
+
+let pick_victim t =
+  (* Least recently used. *)
+  let best = ref 0 in
+  Array.iteri
+    (fun i f -> if f.last_use < t.frame_table.(!best).last_use then best := i)
+    t.frame_table;
+  !best
+
+let ensure_resident t page =
+  t.tick <- t.tick + 1;
+  match t.page_table.(page) with
+  | Resident frame ->
+      t.frame_table.(frame).last_use <- t.tick;
+      t.st_hits <- t.st_hits + 1;
+      frame
+  | Absent ->
+      let frame =
+        match t.free_frames with
+        | f :: rest ->
+            t.free_frames <- rest;
+            f
+        | [] ->
+            let victim = pick_victim t in
+            evict t victim;
+            victim
+      in
+      t.st_faults <- t.st_faults + 1;
+      charged t (fun () -> backing_read t ~page ~frame);
+      let f = t.frame_table.(frame) in
+      f.page <- page;
+      f.dirty <- false;
+      f.last_use <- t.tick;
+      t.page_table.(page) <- Resident frame;
+      frame
+
+let check_range t ~addr ~len op =
+  if addr < 0 || len < 0 || addr + len > pages t * page_size then
+    invalid_arg (Printf.sprintf "Pager.%s: [%d,+%d) outside the address space" op addr len)
+
+let for_each_page t ~addr ~len f =
+  let rec go addr remaining data_off =
+    if remaining > 0 then begin
+      let page = addr / page_size in
+      let in_page = addr mod page_size in
+      let chunk = min remaining (page_size - in_page) in
+      f ~page ~in_page ~data_off ~chunk;
+      go (addr + chunk) (remaining - chunk) (data_off + chunk)
+    end
+  in
+  go addr len 0;
+  Clock.advance (clock t) (Sci.Model.local_copy Sci.Params.default len)
+
+let read t ~addr ~len =
+  check_range t ~addr ~len "read";
+  let out = Bytes.create len in
+  for_each_page t ~addr ~len (fun ~page ~in_page ~data_off ~chunk ->
+      let frame = ensure_resident t page in
+      Bytes.blit
+        (Mem.Image.read_bytes (dram t) ~off:(frame_off t frame + in_page) ~len:chunk)
+        0 out data_off chunk);
+  out
+
+let write t ~addr data =
+  let len = Bytes.length data in
+  check_range t ~addr ~len "write";
+  for_each_page t ~addr ~len (fun ~page ~in_page ~data_off ~chunk ->
+      let frame = ensure_resident t page in
+      Mem.Image.write_bytes (dram t)
+        ~off:(frame_off t frame + in_page)
+        (Bytes.sub data data_off chunk);
+      t.frame_table.(frame).dirty <- true)
+
+let read_u64 t ~addr = Bytes.get_int64_le (read t ~addr ~len:8) 0
+
+let write_u64 t ~addr v =
+  let b = Bytes.create 8 in
+  Bytes.set_int64_le b 0 v;
+  write t ~addr b
+
+let flush t =
+  Array.iteri
+    (fun frame f ->
+      if f.page >= 0 && f.dirty then begin
+        t.st_writebacks <- t.st_writebacks + 1;
+        charged t (fun () -> backing_write t ~page:f.page ~frame);
+        f.dirty <- false
+      end)
+    t.frame_table
+
+let stats t =
+  { faults = t.st_faults; evictions = t.st_evictions; writebacks = t.st_writebacks; hits = t.st_hits }
+
+let fault_time t = t.st_fault_time

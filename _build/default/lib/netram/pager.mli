@@ -1,0 +1,54 @@
+open Sim
+
+(** Remote-memory paging: the sister use of network RAM in the paper's
+    project ("exploitation of idle memory in a workstation cluster" —
+    the related work's reliable remote memory pager).
+
+    A pager exposes a flat paged address space larger than its local
+    resident set.  Page faults fetch pages from the backing store and
+    evict least-recently-used frames (writing them back when dirty).
+    The backing store is either {e remote memory} over the SCI network
+    or a {e swap partition} on a magnetic disk — the comparison the
+    remote-paging literature makes, reproduced by the [paging] bench:
+    a remote-memory fault costs ~150 µs, a disk fault ~15 ms. *)
+
+type backing =
+  | Remote_memory of Client.t
+      (** Pages live in a segment exported by a memory server. *)
+  | Swap_disk of Disk.Device.t
+      (** Pages live in a swap region of a device. *)
+
+type t
+
+val create :
+  backing:backing -> node:Cluster.Node.t -> pages:int -> frames:int -> unit -> t
+(** An address space of [pages] 4 KiB pages with [frames] resident
+    frames of the node's DRAM.  [frames] must be in [\[1, pages\]];
+    the backing store must be able to hold [pages] pages. *)
+
+val page_size : int
+val pages : t -> int
+val frames : t -> int
+
+val read : t -> addr:int -> len:int -> bytes
+(** May span pages; faults and evicts as needed, charging the backing
+    store's costs plus the CPU copy. *)
+
+val write : t -> addr:int -> bytes -> unit
+
+val read_u64 : t -> addr:int -> int64
+val write_u64 : t -> addr:int -> int64 -> unit
+
+val flush : t -> unit
+(** Write every dirty resident page back to the backing store. *)
+
+type stats = {
+  faults : int;
+  evictions : int;
+  writebacks : int;  (** Dirty evictions (plus flushes). *)
+  hits : int;
+}
+
+val stats : t -> stats
+val fault_time : t -> Time.t
+(** Cumulative virtual time spent servicing faults and writebacks. *)

@@ -1,0 +1,42 @@
+(** The memory server process (paper §4).
+
+    Runs on the remote workstation; accepts [remote malloc] and
+    [remote free] requests and manipulates its node's physical memory,
+    keeping a directory of exported segments by name so that a client
+    that crashed — or a brand-new workstation taking over recovery —
+    can reconnect to existing segments with [connect_segment].
+
+    The directory lives with the server process: if the {e server's}
+    node crashes, exports are gone (and so are the mirrored bytes); the
+    client-side library is what survives that case, by re-mirroring. *)
+
+type t
+
+val create : Cluster.Node.t -> t
+(** Start a server on a node.  Raises [Failure] if the node is down. *)
+
+val node : t -> Cluster.Node.t
+
+val is_alive : t -> bool
+(** False once the hosting node has crashed (even after restart: a
+    restarted node needs a fresh server and has lost all exports). *)
+
+val export : t -> name:string -> size:int -> Remote_segment.t
+(** Allocate [size] bytes of the node's memory (64-byte aligned, so
+    mirrored copies packetise as whole SCI buffers) and register them
+    under [name].  Raises [Failure] if the server is dead, the name is
+    taken, or memory is exhausted. *)
+
+val release : t -> Remote_segment.t -> unit
+(** Free an exported segment.  Raises [Failure] on a stale handle or
+    unknown export. *)
+
+val lookup : t -> name:string -> Remote_segment.t option
+(** The [connect_segment] directory query. *)
+
+val is_exported : t -> Remote_segment.t -> bool
+(** Whether the handle still maps an exported segment (false after
+    {!release} — the mapping is revoked). *)
+
+val exports : t -> Remote_segment.t list
+val exported_bytes : t -> int

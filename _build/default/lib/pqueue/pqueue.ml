@@ -1,0 +1,110 @@
+type config = { slots : int; max_item : int }
+
+let default_config = { slots = 1024; max_item = 256 }
+
+exception Queue_full
+exception Item_too_large
+
+module Make (E : Perseas.Txn_intf.S) = struct
+  type t = {
+    config : config;
+    engine : E.t;
+    meta : E.segment;  (** head (8), tail (8): monotonically increasing cursors. *)
+    ring : E.segment;  (** slots x (4-byte length + payload). *)
+  }
+
+  let slot_size config = 4 + config.max_item
+
+  let validate config =
+    if config.slots <= 0 || config.max_item <= 0 then invalid_arg "Pqueue: empty geometry"
+
+  let segment_names name = (name ^ ".qmeta", name ^ ".qring")
+
+  let create ?(config = default_config) engine ~name =
+    validate config;
+    let meta_name, ring_name = segment_names name in
+    let meta = E.malloc engine ~name:meta_name ~size:64 in
+    let ring = E.malloc engine ~name:ring_name ~size:(config.slots * slot_size config) in
+    (* Zero cursors are the fresh state. *)
+    { config; engine; meta; ring }
+
+  let attach ?(config = default_config) engine ~name =
+    validate config;
+    let meta_name, ring_name = segment_names name in
+    let find n =
+      match E.find_segment engine n with
+      | Some seg -> seg
+      | None -> failwith (Printf.sprintf "Pqueue.attach: segment %S not found" n)
+    in
+    { config; engine; meta = find meta_name; ring = find ring_name }
+
+  let read_i64 t off = Bytes.get_int64_le (E.read t.engine t.meta ~off ~len:8) 0
+  let head t = Int64.to_int (read_i64 t 0) (* next to dequeue *)
+  let tail t = Int64.to_int (read_i64 t 8) (* next to enqueue *)
+  let length t = tail t - head t
+  let is_empty t = length t = 0
+  let capacity t = t.config.slots
+
+  let write_i64 t off v =
+    let b = Bytes.create 8 in
+    Bytes.set_int64_le b 0 (Int64.of_int v);
+    E.write t.engine t.meta ~off b
+
+  let slot_off t cursor = cursor mod t.config.slots * slot_size t.config
+
+  let read_slot t cursor =
+    let off = slot_off t cursor in
+    let len = Int32.to_int (Bytes.get_int32_le (E.read t.engine t.ring ~off ~len:4) 0) in
+    if len < 0 || len > t.config.max_item then
+      failwith (Printf.sprintf "Pqueue: corrupt slot length %d" len);
+    Bytes.to_string (E.read t.engine t.ring ~off:(off + 4) ~len)
+
+  let enqueue t item =
+    if String.length item > t.config.max_item then raise Item_too_large;
+    let txn = E.begin_transaction t.engine in
+    if length t >= t.config.slots then begin
+      E.abort txn;
+      raise Queue_full
+    end;
+    let cursor = tail t in
+    let off = slot_off t cursor in
+    E.set_range txn t.ring ~off ~len:(4 + String.length item);
+    let header = Bytes.create 4 in
+    Bytes.set_int32_le header 0 (Int32.of_int (String.length item));
+    E.write t.engine t.ring ~off header;
+    if item <> "" then E.write t.engine t.ring ~off:(off + 4) (Bytes.of_string item);
+    E.set_range txn t.meta ~off:8 ~len:8;
+    write_i64 t 8 (cursor + 1);
+    E.commit txn
+
+  let peek t = if is_empty t then None else Some (read_slot t (head t))
+
+  let dequeue t =
+    let txn = E.begin_transaction t.engine in
+    if is_empty t then begin
+      E.abort txn;
+      None
+    end
+    else begin
+      let cursor = head t in
+      let item = read_slot t cursor in
+      E.set_range txn t.meta ~off:0 ~len:8;
+      write_i64 t 0 (cursor + 1);
+      E.commit txn;
+      Some item
+    end
+
+  let to_list t =
+    let rec go cursor acc = if cursor >= tail t then List.rev acc else go (cursor + 1) (read_slot t cursor :: acc) in
+    go (head t) []
+
+  let check_invariants t =
+    let h = head t and tl = tail t in
+    if h < 0 || tl < h then Error (Printf.sprintf "cursor disorder: head %d tail %d" h tl)
+    else if tl - h > t.config.slots then Error "more elements than slots"
+    else
+      try
+        ignore (to_list t);
+        Ok ()
+      with Failure m -> Error m
+end

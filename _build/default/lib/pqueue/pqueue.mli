@@ -1,0 +1,49 @@
+(** A persistent FIFO queue over any PERSEAS-style engine.
+
+    A fixed-capacity ring of fixed-size slots: [enqueue] and [dequeue]
+    are each one transaction, so a crash never loses or duplicates an
+    element — the producer/consumer cursor moves atomically with the
+    payload.  The shape under many message brokers' durable queues,
+    here mirrored in remote memory by PERSEAS (or logged by the
+    baseline engines). *)
+
+type config = {
+  slots : int;  (** Ring capacity. *)
+  max_item : int;  (** Largest element, in bytes. *)
+}
+
+val default_config : config
+(** 1024 slots of up to 256 bytes. *)
+
+exception Queue_full
+exception Item_too_large
+
+module Make (E : Perseas.Txn_intf.S) : sig
+  type t
+
+  val create : ?config:config -> E.t -> name:string -> t
+  (** Allocate and format the queue's segments; call before the
+      engine's [init_done]. *)
+
+  val attach : ?config:config -> E.t -> name:string -> t
+  (** Re-open after recovery; [config] must match [create]'s. *)
+
+  val enqueue : t -> string -> unit
+  (** Atomic append.  Raises {!Queue_full} or {!Item_too_large}. *)
+
+  val dequeue : t -> string option
+  (** Atomic removal of the oldest element; [None] when empty. *)
+
+  val peek : t -> string option
+  (** The oldest element without removing it (read-only). *)
+
+  val length : t -> int
+  val is_empty : t -> bool
+  val capacity : t -> int
+
+  val to_list : t -> string list
+  (** Oldest first (read-only). *)
+
+  val check_invariants : t -> (unit, string) result
+  (** Cursor sanity and slot-length bounds. *)
+end

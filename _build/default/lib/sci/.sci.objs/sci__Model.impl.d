@@ -1,0 +1,1 @@
+lib/sci/model.ml: Packet Params Sim Time

@@ -1,0 +1,1 @@
+lib/sci/model.mli: Packet Params Sim Time

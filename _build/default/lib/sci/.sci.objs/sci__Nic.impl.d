@@ -1,0 +1,1 @@
+lib/sci/nic.ml: Clock List Mem Packet Params Sim Time

@@ -1,0 +1,1 @@
+lib/sci/nic.mli: Clock Mem Params Sim Time

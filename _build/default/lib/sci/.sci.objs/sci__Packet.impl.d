@@ -1,0 +1,1 @@
+lib/sci/packet.ml: Format List Params

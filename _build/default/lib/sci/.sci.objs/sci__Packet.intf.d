@@ -1,0 +1,1 @@
+lib/sci/packet.mli: Format Params

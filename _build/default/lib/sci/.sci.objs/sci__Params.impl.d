@@ -1,0 +1,1 @@
+lib/sci/params.ml: Float Printf Sim Time

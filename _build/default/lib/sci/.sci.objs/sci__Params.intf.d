@@ -1,0 +1,1 @@
+lib/sci/params.mli: Sim Time

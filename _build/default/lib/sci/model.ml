@@ -1,0 +1,44 @@
+open Sim
+
+let hop_cost (p : Params.t) hops =
+  if hops < 1 then invalid_arg "Model: hops must be >= 1";
+  (hops - 1) * p.t_hop
+
+let write_burst (p : Params.t) ?(hops = 1) pkts ~ends_on_last_word =
+  match pkts with
+  | [] -> Time.zero
+  | _ ->
+      let full64 = Packet.count Full64 pkts and part16 = Packet.count Part16 pkts in
+      let cost64 =
+        if full64 = 0 then 0
+        else p.t_pkt64_first + ((full64 - 1) * p.t_pkt64_stream)
+      in
+      let cost16 = part16 * p.t_pkt16 in
+      let bonus = if ends_on_last_word then p.t_lastword_bonus else Time.zero in
+      p.t_base + cost64 + cost16 + hop_cost p hops - bonus
+
+let write_range p ?hops ~off ~len () =
+  if len = 0 then Time.zero
+  else
+    write_burst p ?hops
+      (Packet.of_range p ~off ~len)
+      ~ends_on_last_word:(Packet.ends_on_last_word p ~off ~len)
+
+let read_range (p : Params.t) ?(hops = 1) ~off ~len () =
+  if len < 0 then invalid_arg "Model.read_range: negative length";
+  if len = 0 then Time.zero
+  else
+    let pkts = Packet.of_range p ~off ~len in
+    let full64 = Packet.count Full64 pkts and part16 = Packet.count Part16 pkts in
+    let cost64 =
+      if full64 = 0 then 0 else p.t_read_pkt64_first + ((full64 - 1) * p.t_read_pkt64_stream)
+    in
+    (* A partial sub-block read costs a full request/response, modelled
+       at the first-packet read rate scaled to the sub-block. *)
+    let cost16 = part16 * p.t_pkt16 * 2 in
+    p.t_read_base + cost64 + cost16 + hop_cost p hops
+
+let local_copy (p : Params.t) n =
+  if n < 0 then invalid_arg "Model.local_copy: negative length";
+  if n = 0 then Time.zero
+  else p.local_copy_overhead + Time.of_bandwidth ~bytes_per_s:p.local_copy_bytes_per_s n

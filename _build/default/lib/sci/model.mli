@@ -1,0 +1,26 @@
+open Sim
+
+(** End-to-end latency of SCI bursts (the Figure 5 model).
+
+    A burst is one logical store or read of a contiguous range,
+    packetised by {!Packet.of_range}.  Within a burst, the first
+    64-byte packet pays the full pipeline cost and subsequent 64-byte
+    packets stream behind it; 16-byte packet trains do not stream.
+    A burst ending on a buffer's last word flushes early and saves
+    [t_lastword_bonus]. *)
+
+val write_burst : Params.t -> ?hops:int -> Packet.t list -> ends_on_last_word:bool -> Time.t
+(** One-way latency until the last byte of the burst has landed in the
+    remote memory.  [hops] is the ring distance (default 1); each hop
+    beyond the first adds [t_hop].  The empty burst costs zero. *)
+
+val write_range : Params.t -> ?hops:int -> off:int -> len:int -> unit -> Time.t
+(** [write_burst] of [Packet.of_range ~off ~len], with the last-word
+    bonus computed from the range. *)
+
+val read_range : Params.t -> ?hops:int -> off:int -> len:int -> unit -> Time.t
+(** Latency of a remote read of the range (request/response; used by
+    recovery's remote-to-local copies). *)
+
+val local_copy : Params.t -> int -> Time.t
+(** CPU cost of a local memcpy of [n] bytes. *)

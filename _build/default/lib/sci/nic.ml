@@ -1,0 +1,178 @@
+open Sim
+
+type t = {
+  params : Params.t;
+  clock : Clock.t;
+  mutable bursts : int;
+  mutable packets64 : int;
+  mutable packets16 : int;
+  mutable bytes_written : int;
+  mutable bytes_read : int;
+}
+
+type counters = {
+  bursts : int;
+  packets64 : int;
+  packets16 : int;
+  bytes_written : int;
+  bytes_read : int;
+}
+
+let create ?(params = Params.default) clock =
+  (match Params.validate params with
+  | Ok () -> ()
+  | Error msg -> invalid_arg ("Nic.create: invalid params: " ^ msg));
+  { params; clock; bursts = 0; packets64 = 0; packets16 = 0; bytes_written = 0; bytes_read = 0 }
+
+let params (t : t) = t.params
+let clock (t : t) = t.clock
+
+let counters (t : t) : counters =
+  {
+    bursts = t.bursts;
+    packets64 = t.packets64;
+    packets16 = t.packets16;
+    bytes_written = t.bytes_written;
+    bytes_read = t.bytes_read;
+  }
+
+let reset_counters (t : t) =
+  t.bursts <- 0;
+  t.packets64 <- 0;
+  t.packets16 <- 0;
+  t.bytes_written <- 0;
+  t.bytes_read <- 0
+
+type direction = Write | Read
+
+type step = {
+  src : Mem.Image.t;
+  src_off : int;
+  dst : Mem.Image.t;
+  dst_off : int;
+  len : int;
+  cost : Time.t;
+  kind : Packet.kind;
+  direction : direction;
+}
+
+type plan = { steps : step list; latency : Time.t; bytes : int }
+
+let align_down x a = x / a * a
+let align_up x a = (x + a - 1) / a * a
+
+(* Widen [dst_off, dst_off+len) to the enclosing 64-byte aligned region,
+   clamped to the window; gives the sci_memcpy behaviour of section 4. *)
+let widen (p : Params.t) ~window ~dst_off ~len =
+  let lo = max (Mem.Segment.base window) (align_down dst_off p.buffer_bytes) in
+  let hi = min (Mem.Segment.base window + Mem.Segment.len window) (align_up (dst_off + len) p.buffer_bytes) in
+  if lo <= dst_off && hi >= dst_off + len then (lo, hi - lo) else (dst_off, len)
+
+let step_costs (p : Params.t) ~hops ~direction ~ends_on_last_word pkts =
+  (* Distribute the burst latency over the packets so that partial
+     application (a crash mid-burst) accounts time sensibly and full
+     application matches Model.write_burst / read costs exactly. *)
+  let base, first64, stream64, pkt16 =
+    match direction with
+    | Write -> (p.t_base, p.t_pkt64_first, p.t_pkt64_stream, p.t_pkt16)
+    | Read -> (p.t_read_base, p.t_read_pkt64_first, p.t_read_pkt64_stream, 2 * p.t_pkt16)
+  in
+  let hop_extra = (hops - 1) * p.t_hop in
+  let n = List.length pkts in
+  let seen_full64 = ref false in
+  List.mapi
+    (fun i (pkt : Packet.t) ->
+      let packet_cost =
+        match pkt.kind with
+        | Packet.Part16 -> pkt16
+        | Packet.Full64 ->
+            let first = not !seen_full64 in
+            seen_full64 := true;
+            if first then first64 else stream64
+      in
+      let extra = if i = 0 then base + hop_extra else Time.zero in
+      let bonus = if i = n - 1 && ends_on_last_word then p.t_lastword_bonus else Time.zero in
+      max Time.zero (packet_cost + extra - bonus))
+    pkts
+
+let make_plan t ~hops ~direction ~src ~src_off ~dst ~dst_off ~off ~len =
+  if len < 0 then invalid_arg "Nic: negative length";
+  if len = 0 then { steps = []; latency = Time.zero; bytes = 0 }
+  else begin
+    let p = t.params in
+    let pkts = Packet.of_range p ~off ~len in
+    let ends = direction = Write && Packet.ends_on_last_word p ~off ~len in
+    let costs = step_costs p ~hops ~direction ~ends_on_last_word:ends pkts in
+    let steps =
+      List.map2
+        (fun (pkt : Packet.t) cost ->
+          let delta = pkt.addr - off in
+          {
+            src;
+            src_off = src_off + delta;
+            dst;
+            dst_off = dst_off + delta;
+            len = pkt.len;
+            cost;
+            kind = pkt.kind;
+            direction;
+          })
+        pkts costs
+    in
+    let latency = List.fold_left (fun acc s -> acc + s.cost) Time.zero steps in
+    { steps; latency; bytes = len }
+  end
+
+let plan_write t ?(hops = 1) ?window ~src ~src_off ~dst ~dst_off ~len () =
+  let p = t.params in
+  let dst_off', len' =
+    match window with
+    | Some window
+      when len > Params.memcpy_threshold p
+           && src_off mod p.buffer_bytes = dst_off mod p.buffer_bytes ->
+        widen p ~window ~dst_off ~len
+    | _ -> (dst_off, len)
+  in
+  let src_off' = src_off + (dst_off' - dst_off) in
+  (* Packetisation happens in destination (remote physical) address
+     space: [off] below is the remote address of the first byte. *)
+  make_plan t ~hops ~direction:Write ~src ~src_off:src_off' ~dst ~dst_off:dst_off' ~off:dst_off'
+    ~len:len'
+
+let plan_read t ?(hops = 1) ~src ~src_off ~dst ~dst_off ~len () =
+  make_plan t ~hops ~direction:Read ~src ~src_off ~dst ~dst_off ~off:src_off ~len
+
+let plan_steps plan = plan.steps
+let plan_latency plan = plan.latency
+let plan_bytes plan = plan.bytes
+
+let apply_step (t : t) step =
+  Mem.Image.blit ~src:step.src ~src_off:step.src_off ~dst:step.dst ~dst_off:step.dst_off
+    ~len:step.len;
+  Clock.advance t.clock step.cost;
+  (match step.kind with
+  | Packet.Full64 -> t.packets64 <- t.packets64 + 1
+  | Packet.Part16 -> t.packets16 <- t.packets16 + 1);
+  match step.direction with
+  | Write -> t.bytes_written <- t.bytes_written + step.len
+  | Read -> t.bytes_read <- t.bytes_read + step.len
+
+let run (t : t) plan =
+  if plan.steps <> [] then t.bursts <- t.bursts + 1;
+  List.iter (apply_step t) plan.steps
+
+let write t ?hops ?window ~src ~src_off ~dst ~dst_off ~len () =
+  run t (plan_write t ?hops ?window ~src ~src_off ~dst ~dst_off ~len ())
+
+let read t ?hops ~src ~src_off ~dst ~dst_off ~len () =
+  run t (plan_read t ?hops ~src ~src_off ~dst ~dst_off ~len ())
+
+let scratch = Mem.Image.create ~size:8
+
+let write_u64 t ?hops ~dst ~dst_off v =
+  Mem.Image.write_u64 scratch 0 v;
+  write t ?hops ~src:scratch ~src_off:0 ~dst ~dst_off ~len:8 ()
+
+let read_u64 t ?hops ~src ~src_off () =
+  read t ?hops ~src ~src_off ~dst:scratch ~dst_off:0 ~len:8 ();
+  Mem.Image.read_u64 scratch 0

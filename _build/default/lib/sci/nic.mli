@@ -1,0 +1,114 @@
+open Sim
+
+(** A PCI-SCI adapter instance: performs remote transfers between
+    memory images, charging virtual time to a clock and keeping traffic
+    counters.
+
+    Transfers are exposed as {e plans} made of packet-level {e steps} so
+    that callers (PERSEAS commit, the fault injector, the tests) can
+    observe or interrupt a copy between any two packets — the paper's
+    recovery logic exists precisely because a crash can strike after
+    some but not all packets of a remote copy have landed. *)
+
+type t
+
+type counters = {
+  bursts : int;
+  packets64 : int;
+  packets16 : int;
+  bytes_written : int;
+  bytes_read : int;
+}
+
+val create : ?params:Params.t -> Clock.t -> t
+val params : t -> Params.t
+val clock : t -> Clock.t
+val counters : t -> counters
+val reset_counters : t -> unit
+
+(** {1 Transfer plans} *)
+
+type step
+(** One packet: applying it copies that packet's bytes and charges its
+    share of the burst latency. *)
+
+type plan
+
+val plan_write :
+  t ->
+  ?hops:int ->
+  ?window:Mem.Segment.t ->
+  src:Mem.Image.t ->
+  src_off:int ->
+  dst:Mem.Image.t ->
+  dst_off:int ->
+  len:int ->
+  unit ->
+  plan
+(** The optimised [sci_memcpy] of §4: copies larger than the 32-byte
+    threshold are widened to the enclosing 64-byte-aligned region so the
+    card emits whole 64-byte packets; the widening never leaves
+    [window] (a segment in destination coordinates — pass the mirrored
+    segment so neighbouring bytes of the same segment may be re-copied,
+    which is safe because source and destination are mirrors).  Without
+    [window], no widening happens (raw store).  [src_off] and [dst_off]
+    must be congruent modulo 64 for widening to apply (mirrored
+    segments are 64-byte aligned, so they always are). *)
+
+val plan_read :
+  t ->
+  ?hops:int ->
+  src:Mem.Image.t ->
+  src_off:int ->
+  dst:Mem.Image.t ->
+  dst_off:int ->
+  len:int ->
+  unit ->
+  plan
+(** A remote-to-local copy (recovery path).  Never widened. *)
+
+val plan_steps : plan -> step list
+val plan_latency : plan -> Time.t
+(** Total virtual time the plan charges when fully applied. *)
+
+val plan_bytes : plan -> int
+(** Bytes the plan moves (may exceed the requested [len] when the copy
+    was widened to 64-byte alignment). *)
+
+val apply_step : t -> step -> unit
+(** Copy the step's bytes and advance the clock by the step's cost. *)
+
+val run : t -> plan -> unit
+(** Apply every step in order. *)
+
+(** {1 Convenience wrappers} *)
+
+val write :
+  t ->
+  ?hops:int ->
+  ?window:Mem.Segment.t ->
+  src:Mem.Image.t ->
+  src_off:int ->
+  dst:Mem.Image.t ->
+  dst_off:int ->
+  len:int ->
+  unit ->
+  unit
+(** [run] of [plan_write]. *)
+
+val read :
+  t ->
+  ?hops:int ->
+  src:Mem.Image.t ->
+  src_off:int ->
+  dst:Mem.Image.t ->
+  dst_off:int ->
+  len:int ->
+  unit ->
+  unit
+
+val write_u64 : t -> ?hops:int -> dst:Mem.Image.t -> dst_off:int -> int64 -> unit
+(** An 8-byte remote store (one 16-byte packet — atomic on the wire);
+    PERSEAS uses it for the commit-point epoch write. *)
+
+val read_u64 : t -> ?hops:int -> src:Mem.Image.t -> src_off:int -> unit -> int64

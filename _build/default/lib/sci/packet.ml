@@ -1,0 +1,42 @@
+type kind = Full64 | Part16
+
+type t = { addr : int; len : int; kind : kind }
+
+let of_range (p : Params.t) ~off ~len =
+  if off < 0 || len < 0 then invalid_arg "Packet.of_range: negative range";
+  let buf = p.buffer_bytes and sub = p.subblock_bytes in
+  let finish = off + len in
+  (* Walk buffer by buffer; emit one Full64 per fully-covered buffer and
+     one Part16 per touched sub-block otherwise. *)
+  let rec buffers acc pos =
+    if pos >= finish then List.rev acc
+    else
+      let buf_base = pos / buf * buf in
+      let buf_end = buf_base + buf in
+      let cover_end = min finish buf_end in
+      if pos = buf_base && cover_end = buf_end then
+        buffers ({ addr = buf_base; len = buf; kind = Full64 } :: acc) buf_end
+      else
+        let rec subblocks acc pos =
+          if pos >= cover_end then acc
+          else
+            let sb_base = pos / sub * sub in
+            let sb_end = min cover_end (sb_base + sub) in
+            subblocks ({ addr = pos; len = sb_end - pos; kind = Part16 } :: acc) sb_end
+        in
+        buffers (subblocks acc pos) cover_end
+  in
+  buffers [] off
+
+let total_bytes pkts = List.fold_left (fun acc pkt -> acc + pkt.len) 0 pkts
+let count kind pkts = List.length (List.filter (fun pkt -> pkt.kind = kind) pkts)
+
+let ends_on_last_word (p : Params.t) ~off ~len =
+  len > 0 && (off + len - 1) mod p.buffer_bytes >= p.buffer_bytes - 4
+
+let buffer_index (p : Params.t) addr = addr / p.buffer_bytes mod p.write_buffers
+
+let pp ppf t =
+  Format.fprintf ppf "%s[%#x..%#x)"
+    (match t.kind with Full64 -> "full64" | Part16 -> "part16")
+    t.addr (t.addr + t.len)

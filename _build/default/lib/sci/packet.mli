@@ -1,0 +1,35 @@
+(** SCI packetisation of a store burst.
+
+    A store to the range [\[off, off+len)] of remote physical memory is
+    chopped along 64-byte buffer boundaries.  A buffer whose 64 bytes
+    are all covered flushes as one [Full64] packet; a partially covered
+    buffer flushes as one [Part16] packet per touched 16-byte sub-block
+    (so a 4-byte store crossing a 16-byte boundary needs two packets,
+    matching §4). *)
+
+type kind = Full64 | Part16
+
+type t = { addr : int; len : int; kind : kind }
+(** One SCI packet: it carries the remote-memory bytes
+    [\[addr, addr+len)].  For [Full64], [len] is the buffer size; for
+    [Part16], [len <= 16] (a sub-block clipped to the stored range). *)
+
+val of_range : Params.t -> off:int -> len:int -> t list
+(** Raw store-gathering packetisation of [\[off, off+len)], in address
+    order.  [len = 0] yields [\[\]].  Raises [Invalid_argument] on
+    negative [off] or [len]. *)
+
+val total_bytes : t list -> int
+(** Sum of payload lengths; [of_range] conserves the range length. *)
+
+val count : kind -> t list -> int
+
+val ends_on_last_word : Params.t -> off:int -> len:int -> bool
+(** Whether the store's final byte is in the last word (last 4 bytes)
+    of an SCI buffer — such stores flush faster (§4). *)
+
+val buffer_index : Params.t -> int -> int
+(** [buffer_index p addr] is the card buffer the address maps to:
+    bits 6..8 of the physical address (for the default geometry). *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,1 @@
+lib/sim/events.ml: Array Clock Hashtbl Option Time

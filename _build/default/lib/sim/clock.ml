@@ -1,0 +1,12 @@
+type t = { mutable now : Time.t }
+
+let create ?(at = Time.zero) () = { now = at }
+let now c = c.now
+
+let advance c d =
+  if d < 0 then invalid_arg "Clock.advance: negative duration";
+  c.now <- c.now + d
+
+let advance_to c t = if t > c.now then c.now <- t
+let elapsed_since c t0 = c.now - t0
+let pp ppf c = Format.fprintf ppf "t=%a" Time.pp c.now

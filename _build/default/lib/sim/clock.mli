@@ -1,0 +1,26 @@
+(** The virtual clock.
+
+    A clock only moves forward.  Components charge virtual time to the
+    clock as they model work (memory copies, NIC packets, disk seeks);
+    benchmarks read the clock before and after a workload to compute
+    virtual latency and throughput. *)
+
+type t
+
+val create : ?at:Time.t -> unit -> t
+(** A fresh clock, starting at [at] (default {!Time.zero}). *)
+
+val now : t -> Time.t
+
+val advance : t -> Time.t -> unit
+(** [advance c d] moves the clock forward by duration [d].
+    Raises [Invalid_argument] if [d] is negative. *)
+
+val advance_to : t -> Time.t -> unit
+(** [advance_to c t] moves the clock forward to absolute time [t].
+    A no-op if [t] is in the past (the clock never goes backwards). *)
+
+val elapsed_since : t -> Time.t -> Time.t
+(** [elapsed_since c t0] is [now c - t0]. *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,129 @@
+type event = { at : Time.t; seq : int; action : unit -> unit }
+
+type handle = int
+
+module Heap = struct
+  (* Binary min-heap on (at, seq). *)
+  type t = { mutable data : event array; mutable len : int }
+
+  let dummy = { at = 0; seq = -1; action = ignore }
+  let create () = { data = Array.make 32 dummy; len = 0 }
+  let less a b = a.at < b.at || (a.at = b.at && a.seq < b.seq)
+
+  let push h e =
+    if h.len = Array.length h.data then begin
+      let bigger = Array.make (2 * h.len) dummy in
+      Array.blit h.data 0 bigger 0 h.len;
+      h.data <- bigger
+    end;
+    h.data.(h.len) <- e;
+    h.len <- h.len + 1;
+    let i = ref (h.len - 1) in
+    while
+      !i > 0
+      &&
+      let parent = (!i - 1) / 2 in
+      less h.data.(!i) h.data.(parent)
+    do
+      let parent = (!i - 1) / 2 in
+      let tmp = h.data.(!i) in
+      h.data.(!i) <- h.data.(parent);
+      h.data.(parent) <- tmp;
+      i := parent
+    done
+
+  let peek h = if h.len = 0 then None else Some h.data.(0)
+
+  let pop h =
+    match peek h with
+    | None -> None
+    | Some top ->
+        h.len <- h.len - 1;
+        h.data.(0) <- h.data.(h.len);
+        h.data.(h.len) <- dummy;
+        let i = ref 0 in
+        let continue = ref true in
+        while !continue do
+          let l = (2 * !i) + 1 and r = (2 * !i) + 2 in
+          let smallest = ref !i in
+          if l < h.len && less h.data.(l) h.data.(!smallest) then smallest := l;
+          if r < h.len && less h.data.(r) h.data.(!smallest) then smallest := r;
+          if !smallest = !i then continue := false
+          else begin
+            let tmp = h.data.(!i) in
+            h.data.(!i) <- h.data.(!smallest);
+            h.data.(!smallest) <- tmp;
+            i := !smallest
+          end
+        done;
+        Some top
+end
+
+type t = {
+  clock : Clock.t;
+  heap : Heap.t;
+  cancelled : (int, unit) Hashtbl.t;
+  mutable next_seq : int;
+  mutable live : int;
+}
+
+let create clock =
+  { clock; heap = Heap.create (); cancelled = Hashtbl.create 16; next_seq = 0; live = 0 }
+
+let schedule t ~at action =
+  if at < Clock.now t.clock then invalid_arg "Events.schedule: time in the past";
+  let seq = t.next_seq in
+  t.next_seq <- seq + 1;
+  Heap.push t.heap { at; seq; action };
+  t.live <- t.live + 1;
+  seq
+
+let schedule_after t ~delay action = schedule t ~at:(Clock.now t.clock + delay) action
+
+let cancel t h =
+  if not (Hashtbl.mem t.cancelled h) then begin
+    Hashtbl.add t.cancelled h ();
+    t.live <- t.live - 1
+  end
+
+let pending t = t.live
+
+let rec next_live t =
+  match Heap.peek t.heap with
+  | None -> None
+  | Some e ->
+      if Hashtbl.mem t.cancelled e.seq then begin
+        ignore (Heap.pop t.heap);
+        Hashtbl.remove t.cancelled e.seq;
+        next_live t
+      end
+      else Some e
+
+let next_at t = Option.map (fun e -> e.at) (next_live t)
+
+let fire t e =
+  ignore (Heap.pop t.heap);
+  t.live <- t.live - 1;
+  e.action ()
+
+let run_due t =
+  let rec loop () =
+    match next_live t with
+    | Some e when e.at <= Clock.now t.clock ->
+        fire t e;
+        loop ()
+    | _ -> ()
+  in
+  loop ()
+
+let run_until t horizon =
+  let rec loop () =
+    match next_live t with
+    | Some e when e.at <= horizon ->
+        Clock.advance_to t.clock e.at;
+        fire t e;
+        loop ()
+    | _ -> ()
+  in
+  loop ();
+  Clock.advance_to t.clock horizon

@@ -1,0 +1,40 @@
+(** Event queue for timed callbacks.
+
+    Used by the failure injector and by long-horizon experiments (e.g.
+    scheduled crashes during a workload).  Events with equal firing
+    times run in scheduling order, which keeps runs deterministic. *)
+
+type t
+
+type handle
+(** Identifies a scheduled event so it can be cancelled. *)
+
+val create : Clock.t -> t
+(** An event queue driven by the given clock. *)
+
+val schedule : t -> at:Time.t -> (unit -> unit) -> handle
+(** [schedule q ~at f] arranges for [f] to run when the queue is pumped
+    past absolute time [at].  Raises [Invalid_argument] if [at] is
+    before the clock's current time. *)
+
+val schedule_after : t -> delay:Time.t -> (unit -> unit) -> handle
+(** Like {!schedule} with [at = now + delay]. *)
+
+val cancel : t -> handle -> unit
+(** Cancelling an already-fired or already-cancelled event is a no-op. *)
+
+val pending : t -> int
+(** Number of scheduled, not-yet-fired, not-cancelled events. *)
+
+val run_due : t -> unit
+(** Fire every event whose time is [<=] the clock's current time, in
+    time order.  Events scheduled by handlers themselves fire too if
+    they are already due. *)
+
+val run_until : t -> Time.t -> unit
+(** Advance the clock stepwise through every event up to and including
+    time [t], firing each at its own timestamp, then leave the clock at
+    [t]. *)
+
+val next_at : t -> Time.t option
+(** Firing time of the earliest pending event, if any. *)

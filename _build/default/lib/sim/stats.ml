@@ -1,0 +1,142 @@
+module Summary = struct
+  type t = {
+    mutable count : int;
+    mutable mean : float;
+    mutable m2 : float;
+    mutable min : float;
+    mutable max : float;
+  }
+
+  let create () = { count = 0; mean = 0.; m2 = 0.; min = nan; max = nan }
+
+  let add t x =
+    t.count <- t.count + 1;
+    let delta = x -. t.mean in
+    t.mean <- t.mean +. (delta /. float_of_int t.count);
+    t.m2 <- t.m2 +. (delta *. (x -. t.mean));
+    if t.count = 1 then begin
+      t.min <- x;
+      t.max <- x
+    end
+    else begin
+      if x < t.min then t.min <- x;
+      if x > t.max then t.max <- x
+    end
+
+  let count t = t.count
+  let mean t = t.mean
+  let variance t = if t.count < 2 then 0. else t.m2 /. float_of_int (t.count - 1)
+  let stddev t = sqrt (variance t)
+
+  let min t =
+    if t.count = 0 then invalid_arg "Stats.Summary.min: empty";
+    t.min
+
+  let max t =
+    if t.count = 0 then invalid_arg "Stats.Summary.max: empty";
+    t.max
+end
+
+module Series = struct
+  type t = {
+    mutable data : float array;
+    mutable len : int;
+    mutable sorted : float array option;
+  }
+
+  let create () = { data = Array.make 64 0.; len = 0; sorted = None }
+
+  let add t x =
+    if t.len = Array.length t.data then begin
+      let bigger = Array.make (2 * t.len) 0. in
+      Array.blit t.data 0 bigger 0 t.len;
+      t.data <- bigger
+    end;
+    t.data.(t.len) <- x;
+    t.len <- t.len + 1;
+    t.sorted <- None
+
+  let count t = t.len
+
+  let sorted t =
+    match t.sorted with
+    | Some a -> a
+    | None ->
+        let a = Array.sub t.data 0 t.len in
+        Array.sort compare a;
+        t.sorted <- Some a;
+        a
+
+  let mean t =
+    if t.len = 0 then invalid_arg "Stats.Series.mean: empty";
+    let sum = ref 0. in
+    for i = 0 to t.len - 1 do
+      sum := !sum +. t.data.(i)
+    done;
+    !sum /. float_of_int t.len
+
+  let min t =
+    if t.len = 0 then invalid_arg "Stats.Series.min: empty";
+    (sorted t).(0)
+
+  let max t =
+    if t.len = 0 then invalid_arg "Stats.Series.max: empty";
+    (sorted t).(t.len - 1)
+
+  let percentile t p =
+    if t.len = 0 then invalid_arg "Stats.Series.percentile: empty";
+    if p < 0. || p > 100. then invalid_arg "Stats.Series.percentile: p out of range";
+    let a = sorted t in
+    let rank = p /. 100. *. float_of_int (t.len - 1) in
+    let lo = int_of_float (floor rank) and hi = int_of_float (ceil rank) in
+    if lo = hi then a.(lo)
+    else
+      let frac = rank -. float_of_int lo in
+      a.(lo) +. (frac *. (a.(hi) -. a.(lo)))
+
+  let median t = percentile t 50.
+  let to_array t = Array.copy (sorted t)
+end
+
+module Histogram = struct
+  type t = {
+    buckets_per_decade : int;
+    counts : (int, int ref) Hashtbl.t;
+    mutable total : int;
+  }
+
+  let create ?(buckets_per_decade = 5) () =
+    if buckets_per_decade <= 0 then invalid_arg "Histogram.create";
+    { buckets_per_decade; counts = Hashtbl.create 32; total = 0 }
+
+  let bucket_of t x =
+    if x <= 0. then min_int
+    else int_of_float (floor (log10 x *. float_of_int t.buckets_per_decade))
+
+  let add t x =
+    let b = bucket_of t x in
+    (match Hashtbl.find_opt t.counts b with
+    | Some r -> incr r
+    | None -> Hashtbl.add t.counts b (ref 1));
+    t.total <- t.total + 1
+
+  let count t = t.total
+
+  let bounds t b =
+    if b = min_int then (0., 0.)
+    else
+      let k = float_of_int t.buckets_per_decade in
+      (10. ** (float_of_int b /. k), 10. ** (float_of_int (b + 1) /. k))
+
+  let buckets t =
+    Hashtbl.fold (fun b r acc -> (b, !r) :: acc) t.counts []
+    |> List.sort compare
+    |> List.map (fun (b, n) ->
+           let lo, hi = bounds t b in
+           (lo, hi, n))
+
+  let pp ppf t =
+    List.iter
+      (fun (lo, hi, n) -> Format.fprintf ppf "[%.3g, %.3g): %d@." lo hi n)
+      (buckets t)
+end

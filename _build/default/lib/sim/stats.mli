@@ -1,0 +1,58 @@
+(** Statistics for benchmark results.
+
+    {!Summary} keeps O(1) online aggregates (Welford); {!Series} keeps
+    every sample so exact percentiles can be reported, which is what the
+    benchmark harness uses (sample counts are modest). *)
+
+module Summary : sig
+  type t
+
+  val create : unit -> t
+  val add : t -> float -> unit
+  val count : t -> int
+  val mean : t -> float
+  val variance : t -> float
+  (** Sample variance (n-1 denominator); 0 when fewer than two samples. *)
+
+  val stddev : t -> float
+  val min : t -> float
+  (** Raises [Invalid_argument] when empty. *)
+
+  val max : t -> float
+  (** Raises [Invalid_argument] when empty. *)
+end
+
+module Series : sig
+  type t
+
+  val create : unit -> t
+  val add : t -> float -> unit
+  val count : t -> int
+  val mean : t -> float
+  val min : t -> float
+  val max : t -> float
+
+  val percentile : t -> float -> float
+  (** [percentile s p] with [p] in [\[0,100\]], by linear interpolation
+      between closest ranks.  Raises [Invalid_argument] when empty or
+      [p] out of range. *)
+
+  val median : t -> float
+  val to_array : t -> float array
+  (** A sorted copy of the samples. *)
+end
+
+module Histogram : sig
+  type t
+  (** Log-scaled histogram of non-negative values, for latency
+      distributions spanning several orders of magnitude. *)
+
+  val create : ?buckets_per_decade:int -> unit -> t
+  val add : t -> float -> unit
+  val count : t -> int
+
+  val buckets : t -> (float * float * int) list
+  (** Non-empty buckets as [(lo, hi, count)], ascending. *)
+
+  val pp : Format.formatter -> t -> unit
+end

@@ -1,0 +1,25 @@
+type t = int
+
+let zero = 0
+let ns n = n
+let us x = int_of_float (Float.round (x *. 1e3))
+let ms x = int_of_float (Float.round (x *. 1e6))
+let s x = int_of_float (Float.round (x *. 1e9))
+let to_ns t = t
+let to_us t = float_of_int t /. 1e3
+let to_ms t = float_of_int t /. 1e6
+let to_s t = float_of_int t /. 1e9
+
+let of_bandwidth ~bytes_per_s n =
+  if bytes_per_s <= 0. then invalid_arg "Time.of_bandwidth: bandwidth <= 0";
+  if n < 0 then invalid_arg "Time.of_bandwidth: negative byte count";
+  int_of_float (Float.round (float_of_int n /. bytes_per_s *. 1e9))
+
+let pp ppf t =
+  let abs = abs t in
+  if abs < 1_000 then Format.fprintf ppf "%dns" t
+  else if abs < 1_000_000 then Format.fprintf ppf "%.2fus" (to_us t)
+  else if abs < 1_000_000_000 then Format.fprintf ppf "%.2fms" (to_ms t)
+  else Format.fprintf ppf "%.3fs" (to_s t)
+
+let to_string t = Format.asprintf "%a" pp t

@@ -1,0 +1,39 @@
+(** Virtual time and durations.
+
+    All simulated timing in this repository is expressed as integer
+    nanoseconds of virtual time.  Using integers keeps every experiment
+    deterministic and machine independent; using nanoseconds gives enough
+    resolution to model sub-microsecond NIC effects while still covering
+    ~292 years of simulated time in a 63-bit [int]. *)
+
+type t = int
+(** A point in virtual time, or a duration, in nanoseconds. *)
+
+val zero : t
+
+val ns : int -> t
+(** [ns n] is [n] nanoseconds. *)
+
+val us : float -> t
+(** [us x] is [x] microseconds, rounded to the nearest nanosecond. *)
+
+val ms : float -> t
+(** [ms x] is [x] milliseconds, rounded to the nearest nanosecond. *)
+
+val s : float -> t
+(** [s x] is [x] seconds, rounded to the nearest nanosecond. *)
+
+val to_ns : t -> int
+val to_us : t -> float
+val to_ms : t -> float
+val to_s : t -> float
+
+val of_bandwidth : bytes_per_s:float -> int -> t
+(** [of_bandwidth ~bytes_per_s n] is the time needed to move [n] bytes at
+    the given sustained bandwidth.  Raises [Invalid_argument] if the
+    bandwidth is not strictly positive or [n] is negative. *)
+
+val pp : Format.formatter -> t -> unit
+(** Human-readable rendering with an adaptive unit (ns/µs/ms/s). *)
+
+val to_string : t -> string

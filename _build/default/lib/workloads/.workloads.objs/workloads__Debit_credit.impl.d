@@ -1,0 +1,1 @@
+lib/workloads/debit_credit.ml: Bytes Int32 Int64 List Perseas Sim Util

@@ -1,0 +1,1 @@
+lib/workloads/debit_credit.mli: Perseas Sim

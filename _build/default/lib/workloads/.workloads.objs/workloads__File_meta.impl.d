@@ -1,0 +1,1 @@
+lib/workloads/file_meta.ml: Bytes Char Hashtbl Int32 Int64 List Option Perseas Printf Sim String Util

@@ -1,0 +1,1 @@
+lib/workloads/file_meta.mli: Perseas Sim

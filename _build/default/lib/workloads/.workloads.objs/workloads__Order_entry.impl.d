@@ -1,0 +1,1 @@
+lib/workloads/order_entry.ml: Array Bytes Int32 Int64 List Perseas Sim Util

@@ -1,0 +1,1 @@
+lib/workloads/order_entry.mli: Perseas Sim

@@ -1,0 +1,1 @@
+lib/workloads/synthetic.ml: Bytes Char Perseas Sim Util

@@ -1,0 +1,1 @@
+lib/workloads/util.ml: Bytes Char Int32 Int64

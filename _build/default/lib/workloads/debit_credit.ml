@@ -1,0 +1,129 @@
+(** The [debit-credit] benchmark: banking transactions "very similar to
+    TPC-B" (paper §5).
+
+    Schema per scale unit (a branch): 1 branch record, 10 tellers,
+    100 000 accounts, each 100 bytes with the balance in the first
+    8 bytes, plus a circular history of 64-byte entries.  A transaction
+    picks a random account/teller/branch, applies a random delta to the
+    three balances and appends a history record — four small
+    [set_range]d updates, the paper's write-dominated small-transaction
+    profile.
+
+    Invariant (the TPC-B consistency condition, used by the tests):
+    the sums of account, teller and branch balances are always equal. *)
+
+let record_size = 100
+let history_slot = 64
+let accounts_per_branch = 100_000
+let tellers_per_branch = 10
+
+type params = { scale : int; accounts_per_branch : int; history_slots : int }
+
+let default_params = { scale = 1; accounts_per_branch; history_slots = 8192 }
+
+(** A smaller schema for unit tests and quick runs. *)
+let small_params = { scale = 1; accounts_per_branch = 1000; history_slots = 256 }
+
+module Make (E : Perseas.Txn_intf.S) = struct
+  type db = {
+    engine : E.t;
+    params : params;
+    accounts : E.segment;
+    tellers : E.segment;
+    branches : E.segment;
+    history : E.segment;
+    n_accounts : int;
+    n_tellers : int;
+    n_branches : int;
+    mutable hist_head : int;
+    mutable tx_counter : int;
+  }
+
+  let setup engine ~params =
+    let n_branches = params.scale in
+    let n_tellers = tellers_per_branch * params.scale in
+    let n_accounts = params.accounts_per_branch * params.scale in
+    let accounts = E.malloc engine ~name:"accounts" ~size:(n_accounts * record_size) in
+    let tellers = E.malloc engine ~name:"tellers" ~size:(n_tellers * record_size) in
+    let branches = E.malloc engine ~name:"branches" ~size:(n_branches * record_size) in
+    let history = E.malloc engine ~name:"history" ~size:(params.history_slots * history_slot) in
+    (* All balances start at zero; zero-fill is the segments' initial
+       state, so only the record ids need writing. *)
+    let init_table seg n =
+      for i = 0 to n - 1 do
+        E.write engine seg ~off:((i * record_size) + 8) (Util.u32_bytes i)
+      done
+    in
+    init_table accounts n_accounts;
+    init_table tellers n_tellers;
+    init_table branches n_branches;
+    E.init_done engine;
+    {
+      engine;
+      params;
+      accounts;
+      tellers;
+      branches;
+      history;
+      n_accounts;
+      n_tellers;
+      n_branches;
+      hist_head = 0;
+      tx_counter = 0;
+    }
+
+  let add_balance db seg index delta =
+    let off = index * record_size in
+    let balance = Util.get_i64 (E.read db.engine seg ~off ~len:8) 0 in
+    E.write db.engine seg ~off (Util.i64_bytes (Int64.add balance delta))
+
+  let transaction db rng =
+    let account = Sim.Rng.int rng db.n_accounts in
+    let teller = Sim.Rng.int rng db.n_tellers in
+    let branch = Sim.Rng.int rng db.n_branches in
+    let delta = Int64.of_int (Sim.Rng.int_in rng (-99_999) 99_999) in
+    let slot = db.hist_head in
+    db.hist_head <- (db.hist_head + 1) mod db.params.history_slots;
+    db.tx_counter <- db.tx_counter + 1;
+    let txn = E.begin_transaction db.engine in
+    E.set_range txn db.accounts ~off:(account * record_size) ~len:8;
+    E.set_range txn db.tellers ~off:(teller * record_size) ~len:8;
+    E.set_range txn db.branches ~off:(branch * record_size) ~len:8;
+    E.set_range txn db.history ~off:(slot * history_slot) ~len:history_slot;
+    add_balance db db.accounts account delta;
+    add_balance db db.tellers teller delta;
+    add_balance db db.branches branch delta;
+    let entry = Bytes.make history_slot '\000' in
+    Bytes.set_int32_le entry 0 (Int32.of_int account);
+    Bytes.set_int32_le entry 4 (Int32.of_int teller);
+    Bytes.set_int32_le entry 8 (Int32.of_int branch);
+    Bytes.set_int64_le entry 12 delta;
+    Bytes.set_int64_le entry 20 (Int64.of_int db.tx_counter);
+    E.write db.engine db.history ~off:(slot * history_slot) entry;
+    E.commit txn
+
+  let sum_balances db seg n =
+    let total = ref 0L in
+    for i = 0 to n - 1 do
+      total := Int64.add !total (Util.get_i64 (E.read db.engine seg ~off:(i * record_size) ~len:8) 0)
+    done;
+    !total
+
+  (** The TPC-B consistency condition. *)
+  let consistent db =
+    let a = sum_balances db db.accounts db.n_accounts in
+    let t = sum_balances db db.tellers db.n_tellers in
+    let b = sum_balances db db.branches db.n_branches in
+    a = t && t = b
+
+  let checksum db =
+    List.fold_left
+      (fun acc (seg, n) -> Int64.logxor acc (Util.fnv64 (E.read db.engine seg ~off:0 ~len:n)))
+      0L
+      [
+        (db.accounts, db.n_accounts * record_size);
+        (db.tellers, db.n_tellers * record_size);
+        (db.branches, db.n_branches * record_size);
+        (db.history, db.params.history_slots * history_slot);
+      ]
+end

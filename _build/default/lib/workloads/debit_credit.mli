@@ -1,0 +1,50 @@
+(** The [debit-credit] benchmark: banking transactions "very similar to
+    TPC-B" (paper §5).
+
+    Schema per scale unit (a branch): 1 branch record, 10 tellers,
+    100 000 accounts, each {!record_size} bytes with the balance in the
+    first 8 bytes, plus a circular history of {!history_slot}-byte
+    entries.  A transaction applies one random delta to an account, a
+    teller and a branch balance and appends a history record — four
+    small [set_range]d updates, the paper's write-dominated
+    small-transaction profile. *)
+
+val record_size : int
+val history_slot : int
+val accounts_per_branch : int
+val tellers_per_branch : int
+
+type params = { scale : int; accounts_per_branch : int; history_slots : int }
+
+val default_params : params
+(** TPC-B scale 1: 100 000 accounts (~10 MB). *)
+
+val small_params : params
+(** A reduced schema for unit tests and quick runs. *)
+
+module Make (E : Perseas.Txn_intf.S) : sig
+  type db = {
+    engine : E.t;
+    params : params;
+    accounts : E.segment;
+    tellers : E.segment;
+    branches : E.segment;
+    history : E.segment;
+    n_accounts : int;
+    n_tellers : int;
+    n_branches : int;
+    mutable hist_head : int;
+    mutable tx_counter : int;
+  }
+  (** Transparent so recovery tests can rebind the segments of a
+      recovered engine. *)
+
+  val setup : E.t -> params:params -> db
+  val transaction : db -> Sim.Rng.t -> unit
+
+  val consistent : db -> bool
+  (** The TPC-B consistency condition: account, teller and branch
+      balance totals are equal. *)
+
+  val checksum : db -> int64
+end

@@ -1,0 +1,254 @@
+(** A file-system-metadata workload: the third application domain the
+    paper's introduction motivates (transactions "useful to several
+    systems, ranging from CAD environments, to file systems and
+    databases").
+
+    The schema is a miniature file system's metadata: an inode table
+    (type, size, link count), a flat directory of fixed-size entries
+    (name hash → inode), and an inode allocation bitmap.  Each
+    operation — create, unlink, rename, append — touches two or three
+    of those structures and must be atomic: a crash between "allocate
+    inode" and "insert directory entry" is exactly the classic
+    metadata-corruption scenario journalling file systems exist for.
+
+    Invariants (used by the tests): every directory entry points to an
+    allocated inode whose link count equals its number of directory
+    entries; allocated-bit count equals live inode count. *)
+
+let inode_size = 32 (* type/flags (4), links (4), size (8), mtime (8), pad *)
+let dentry_size = 48 (* inode (4), name_len (4), name (40) *)
+let max_name = 40
+
+type params = { inodes : int; dentries : int }
+
+let default_params = { inodes = 4096; dentries = 4096 }
+let small_params = { inodes = 128; dentries = 128 }
+
+module Make (E : Perseas.Txn_intf.S) = struct
+  type db = {
+    engine : E.t;
+    params : params;
+    inodes : E.segment;
+    dentries : E.segment;
+    bitmap : E.segment;
+    mutable op_counter : int;
+    mutable live_files : string list; (* model: names present *)
+  }
+
+  let setup engine ~(params : params) =
+    let inodes = E.malloc engine ~name:"inodes" ~size:(params.inodes * inode_size) in
+    let dentries = E.malloc engine ~name:"dentries" ~size:(params.dentries * dentry_size) in
+    let bitmap = E.malloc engine ~name:"inode-bitmap" ~size:((params.inodes + 7) / 8) in
+    E.init_done engine;
+    { engine; params; inodes; dentries; bitmap; op_counter = 0; live_files = [] }
+
+  let read_u32 db seg off = Int32.to_int (Bytes.get_int32_le (E.read db.engine seg ~off ~len:4) 0)
+
+  let write_u32 db seg off v =
+    let b = Bytes.create 4 in
+    Bytes.set_int32_le b 0 (Int32.of_int v);
+    E.write db.engine seg ~off b
+
+  let bit_get db i =
+    let byte = Char.code (Bytes.get (E.read db.engine db.bitmap ~off:(i / 8) ~len:1) 0) in
+    byte land (1 lsl (i mod 8)) <> 0
+
+  let bit_set txn db i v =
+    E.set_range txn db.bitmap ~off:(i / 8) ~len:1;
+    let byte = Char.code (Bytes.get (E.read db.engine db.bitmap ~off:(i / 8) ~len:1) 0) in
+    let byte' = if v then byte lor (1 lsl (i mod 8)) else byte land lnot (1 lsl (i mod 8)) in
+    E.write db.engine db.bitmap ~off:(i / 8) (Bytes.make 1 (Char.chr byte'))
+
+  let find_free_inode db =
+    let rec scan i = if i >= db.params.inodes then None else if bit_get db i then scan (i + 1) else Some i in
+    scan 0
+
+  let dentry_inode db slot = read_u32 db db.dentries (slot * dentry_size)
+
+  let dentry_name db slot =
+    let len = read_u32 db db.dentries ((slot * dentry_size) + 4) in
+    Bytes.to_string (E.read db.engine db.dentries ~off:((slot * dentry_size) + 8) ~len)
+
+  (* Directory entries: slot 0 means free (inode numbers are 1-based
+     in entries). *)
+  let find_dentry db name =
+    let rec scan slot =
+      if slot >= db.params.dentries then None
+      else if dentry_inode db slot <> 0 && dentry_name db slot = name then Some slot
+      else scan (slot + 1)
+    in
+    scan 0
+
+  let find_free_dentry db =
+    let rec scan slot =
+      if slot >= db.params.dentries then None
+      else if dentry_inode db slot = 0 then Some slot
+      else scan (slot + 1)
+    in
+    scan 0
+
+  exception Fs_full
+  exception Bad_name of string
+
+  let check_name name =
+    if name = "" || String.length name > max_name then raise (Bad_name name)
+
+  let inode_links db ino = read_u32 db db.inodes ((ino * inode_size) + 4)
+
+  let write_dentry txn db slot ~ino ~name =
+    E.set_range txn db.dentries ~off:(slot * dentry_size) ~len:dentry_size;
+    write_u32 db db.dentries (slot * dentry_size) ino;
+    write_u32 db db.dentries ((slot * dentry_size) + 4) (String.length name);
+    let padded = Bytes.make max_name '\000' in
+    Bytes.blit_string name 0 padded 0 (String.length name);
+    E.write db.engine db.dentries ~off:((slot * dentry_size) + 8) padded
+
+  let clear_dentry txn db slot =
+    E.set_range txn db.dentries ~off:(slot * dentry_size) ~len:8;
+    write_u32 db db.dentries (slot * dentry_size) 0;
+    write_u32 db db.dentries ((slot * dentry_size) + 4) 0
+
+  let set_links txn db ino links =
+    E.set_range txn db.inodes ~off:((ino * inode_size) + 4) ~len:4;
+    write_u32 db db.inodes ((ino * inode_size) + 4) links
+
+  (* create: allocate an inode, set links=1, insert a directory entry. *)
+  let create db name =
+    check_name name;
+    if find_dentry db name <> None then invalid_arg "File_meta.create: name exists";
+    let txn = E.begin_transaction db.engine in
+    match (find_free_inode db, find_free_dentry db) with
+    | Some ino, Some slot ->
+        bit_set txn db ino true;
+        E.set_range txn db.inodes ~off:(ino * inode_size) ~len:inode_size;
+        write_u32 db db.inodes (ino * inode_size) 1 (* regular file *);
+        write_u32 db db.inodes ((ino * inode_size) + 4) 1 (* links *);
+        E.write db.engine db.inodes
+          ~off:((ino * inode_size) + 8)
+          (Bytes.make 16 '\000');
+        write_dentry txn db slot ~ino:(ino + 1) ~name;
+        E.commit txn;
+        db.op_counter <- db.op_counter + 1;
+        db.live_files <- name :: db.live_files
+    | _ ->
+        E.abort txn;
+        raise Fs_full
+
+  (* unlink: remove the entry; free the inode when links reach 0. *)
+  let unlink db name =
+    match find_dentry db name with
+    | None -> false
+    | Some slot ->
+        let ino = dentry_inode db slot - 1 in
+        let txn = E.begin_transaction db.engine in
+        clear_dentry txn db slot;
+        let links = inode_links db ino in
+        set_links txn db ino (links - 1);
+        if links = 1 then bit_set txn db ino false;
+        E.commit txn;
+        db.op_counter <- db.op_counter + 1;
+        db.live_files <- List.filter (fun n -> n <> name) db.live_files;
+        true
+
+  (* rename: rewrite the entry's name in place — atomic, so a crash
+     never shows neither or both names. *)
+  let rename db ~from ~to_ =
+    check_name to_;
+    if find_dentry db to_ <> None then invalid_arg "File_meta.rename: target exists";
+    match find_dentry db from with
+    | None -> false
+    | Some slot ->
+        let ino = dentry_inode db slot in
+        let txn = E.begin_transaction db.engine in
+        write_dentry txn db slot ~ino ~name:to_;
+        E.commit txn;
+        db.op_counter <- db.op_counter + 1;
+        db.live_files <- to_ :: List.filter (fun n -> n <> from) db.live_files;
+        true
+
+  (* append: bump size and mtime (the metadata half of a write). *)
+  let append db name bytes =
+    match find_dentry db name with
+    | None -> false
+    | Some slot ->
+        let ino = dentry_inode db slot - 1 in
+        let off = (ino * inode_size) + 8 in
+        let txn = E.begin_transaction db.engine in
+        E.set_range txn db.inodes ~off ~len:16;
+        let size = Bytes.get_int64_le (E.read db.engine db.inodes ~off ~len:8) 0 in
+        let b = Bytes.create 16 in
+        Bytes.set_int64_le b 0 (Int64.add size (Int64.of_int bytes));
+        Bytes.set_int64_le b 8 (Int64.of_int db.op_counter);
+        E.write db.engine db.inodes ~off b;
+        E.commit txn;
+        db.op_counter <- db.op_counter + 1;
+        true
+
+  let exists db name = find_dentry db name <> None
+
+  let file_size db name =
+    Option.map
+      (fun slot ->
+        let ino = dentry_inode db slot - 1 in
+        Int64.to_int (Bytes.get_int64_le (E.read db.engine db.inodes ~off:((ino * inode_size) + 8) ~len:8) 0))
+      (find_dentry db name)
+
+  let live_count db =
+    let n = ref 0 in
+    for slot = 0 to db.params.dentries - 1 do
+      if dentry_inode db slot <> 0 then incr n
+    done;
+    !n
+
+  (* One mixed metadata transaction, TPC-style random choice. *)
+  let transaction db rng =
+    let roll = Sim.Rng.int rng 100 in
+    let name i = Printf.sprintf "file-%04d" i in
+    if roll < 40 || db.live_files = [] then begin
+      (* create (or recreate) *)
+      let candidate = name (Sim.Rng.int rng db.params.dentries) in
+      if not (exists db candidate) then (try create db candidate with Fs_full -> ())
+      else ignore (append db candidate (Sim.Rng.int_in rng 1 4096))
+    end
+    else
+      let victim = List.nth db.live_files (Sim.Rng.int rng (List.length db.live_files)) in
+      if roll < 65 then ignore (append db victim (Sim.Rng.int_in rng 1 4096))
+      else if roll < 85 then ignore (unlink db victim)
+      else begin
+        let target = name (Sim.Rng.int rng db.params.dentries) ^ "-r" in
+        if not (exists db target) then ignore (rename db ~from:victim ~to_:target)
+      end
+
+  (* Invariants: entries point at allocated inodes with matching link
+     counts; the bitmap population equals the number of inodes
+     referenced. *)
+  let consistent db =
+    let refs = Hashtbl.create 64 in
+    let ok = ref true in
+    for slot = 0 to db.params.dentries - 1 do
+      let ino = dentry_inode db slot in
+      if ino <> 0 then begin
+        let ino = ino - 1 in
+        if ino < 0 || ino >= db.params.inodes || not (bit_get db ino) then ok := false
+        else Hashtbl.replace refs ino (1 + Option.value ~default:0 (Hashtbl.find_opt refs ino))
+      end
+    done;
+    let allocated = ref 0 in
+    for ino = 0 to db.params.inodes - 1 do
+      if bit_get db ino then begin
+        incr allocated;
+        if Hashtbl.find_opt refs ino <> Some (inode_links db ino) then ok := false
+      end
+    done;
+    !ok && !allocated = Hashtbl.length refs
+
+  let checksum db =
+    List.fold_left
+      (fun acc (seg, len) -> Int64.logxor acc (Util.fnv64 (E.read db.engine seg ~off:0 ~len)))
+      0L
+      [
+        (db.inodes, db.params.inodes * inode_size);
+        (db.dentries, db.params.dentries * dentry_size);
+        (db.bitmap, (db.params.inodes + 7) / 8);
+      ]
+end

@@ -1,0 +1,66 @@
+(** A file-system-metadata workload: the third application domain the
+    paper's introduction motivates ("... ranging from CAD environments,
+    to file systems and databases").
+
+    The schema is a miniature file system's metadata — inode table,
+    flat directory, inode allocation bitmap — and each operation
+    (create, unlink, rename, append) is one atomic transaction, closing
+    the classic crash window between "allocate inode" and "insert
+    directory entry". *)
+
+val inode_size : int
+val dentry_size : int
+val max_name : int
+
+type params = { inodes : int; dentries : int }
+
+val default_params : params
+val small_params : params
+
+module Make (E : Perseas.Txn_intf.S) : sig
+  type db = {
+    engine : E.t;
+    params : params;
+    inodes : E.segment;
+    dentries : E.segment;
+    bitmap : E.segment;
+    mutable op_counter : int;
+    mutable live_files : string list;
+  }
+  (** Transparent so recovery tests can rebind the segments of a
+      recovered engine ([live_files] is advisory bookkeeping for the
+      random workload, not part of the persistent state). *)
+
+  exception Fs_full
+  exception Bad_name of string
+
+  val setup : E.t -> params:params -> db
+
+  val create : db -> string -> unit
+  (** Allocate an inode and insert a directory entry, atomically.
+      Raises {!Fs_full}, {!Bad_name}, or [Invalid_argument] if the name
+      exists. *)
+
+  val unlink : db -> string -> bool
+  (** Remove the entry; frees the inode when its link count drops to
+      zero.  [false] when absent. *)
+
+  val rename : db -> from:string -> to_:string -> bool
+  (** Atomic rename; raises [Invalid_argument] if the target exists. *)
+
+  val append : db -> string -> int -> bool
+  (** Metadata half of a write: bump size and mtime. *)
+
+  val exists : db -> string -> bool
+  val file_size : db -> string -> int option
+  val live_count : db -> int
+
+  val transaction : db -> Sim.Rng.t -> unit
+  (** One random metadata operation (weighted mix). *)
+
+  val consistent : db -> bool
+  (** Directory entries point at allocated inodes with matching link
+      counts; bitmap population matches. *)
+
+  val checksum : db -> int64
+end

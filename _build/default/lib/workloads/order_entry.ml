@@ -1,0 +1,190 @@
+(** The [order-entry] benchmark: "follows TPC-C and models the
+    activities of a wholesale supplier" (paper §5).
+
+    The default profile is the TPC-C {e new-order} transaction: take
+    the next order number from a random district, decrement the
+    quantity (and bump year-to-date and order-count) of 5–15 random
+    stock items, and insert an order header plus its order lines — a
+    dozen or so small scattered updates per transaction, several times
+    the write set of debit-credit, which is why its throughput is a few
+    times lower (Table 1).  {!Make.payment} adds TPC-C's second
+    transaction type (customer balance + district year-to-date), and
+    {!Make.mixed_transaction} runs the standard 55/45-ish mix.
+
+    Invariants used by tests: the sum of stock [order_cnt] fields
+    equals the total number of order lines ever inserted, and district
+    year-to-date totals equal the sum of customer payments. *)
+
+let district_size = 64
+let stock_size = 32
+let order_size = 32
+let line_size = 24
+let max_lines = 15
+
+let customer_size = 64
+
+type params = {
+  scale : int;
+  districts : int;
+  stock_items : int;
+  order_slots : int;
+  customers : int;
+}
+
+let default_params =
+  { scale = 1; districts = 10; stock_items = 10_000; order_slots = 4096; customers = 3000 }
+
+let small_params = { scale = 1; districts = 4; stock_items = 500; order_slots = 128; customers = 64 }
+
+(* Stock record: quantity (8), ytd (8), order_cnt (8), pad (8). *)
+let stock_initial_quantity = 1_000_000L
+
+module Make (E : Perseas.Txn_intf.S) = struct
+  type db = {
+    engine : E.t;
+    params : params;
+    districts : E.segment;
+    stock : E.segment;
+    orders : E.segment;
+    lines : E.segment;
+    customers : E.segment;
+    n_districts : int;
+    n_stock : int;
+    n_customers : int;
+    mutable lines_inserted : int;
+    mutable payments_total : int64;
+  }
+
+  let setup engine ~(params : params) =
+    let n_districts = params.districts * params.scale in
+    let n_stock = params.stock_items * params.scale in
+    let districts = E.malloc engine ~name:"districts" ~size:(n_districts * district_size) in
+    let stock = E.malloc engine ~name:"stock" ~size:(n_stock * stock_size) in
+    let orders = E.malloc engine ~name:"orders" ~size:(params.order_slots * order_size) in
+    let lines = E.malloc engine ~name:"lines" ~size:(params.order_slots * max_lines * line_size) in
+    let n_customers = params.customers * params.scale in
+    let customers = E.malloc engine ~name:"customers" ~size:(n_customers * customer_size) in
+    for i = 0 to n_stock - 1 do
+      E.write engine stock ~off:(i * stock_size) (Util.i64_bytes stock_initial_quantity)
+    done;
+    E.init_done engine;
+    {
+      engine;
+      params;
+      districts;
+      stock;
+      orders;
+      lines;
+      customers;
+      n_districts;
+      n_stock;
+      n_customers;
+      lines_inserted = 0;
+      payments_total = 0L;
+    }
+
+  let read_i64 db seg off = Util.get_i64 (E.read db.engine seg ~off ~len:8) 0
+
+  let transaction db rng =
+    let district = Sim.Rng.int rng db.n_districts in
+    let n_items = Sim.Rng.int_in rng 5 max_lines in
+    let items = Array.init n_items (fun _ -> Sim.Rng.int rng db.n_stock) in
+    let quantities = Array.init n_items (fun _ -> Sim.Rng.int_in rng 1 10) in
+    let txn = E.begin_transaction db.engine in
+    (* District: take the next order id. *)
+    let d_off = district * district_size in
+    E.set_range txn db.districts ~off:d_off ~len:8;
+    let o_id = read_i64 db db.districts d_off in
+    E.write db.engine db.districts ~off:d_off (Util.i64_bytes (Int64.add o_id 1L));
+    let slot = Int64.to_int (Int64.rem o_id (Int64.of_int db.params.order_slots)) in
+    (* Stock: quantity, ytd and order count of each ordered item. *)
+    Array.iteri
+      (fun i item ->
+        let s_off = item * stock_size in
+        E.set_range txn db.stock ~off:s_off ~len:24;
+        let qty = read_i64 db db.stock s_off in
+        let q = Int64.of_int quantities.(i) in
+        (* TPC-C restocking rule. *)
+        let qty' = if Int64.compare qty (Int64.add q 10L) < 0 then Int64.add (Int64.sub qty q) 91L else Int64.sub qty q in
+        E.write db.engine db.stock ~off:s_off (Util.i64_bytes qty');
+        let ytd = read_i64 db db.stock (s_off + 8) in
+        E.write db.engine db.stock ~off:(s_off + 8) (Util.i64_bytes (Int64.add ytd q));
+        let cnt = read_i64 db db.stock (s_off + 16) in
+        E.write db.engine db.stock ~off:(s_off + 16) (Util.i64_bytes (Int64.add cnt 1L)))
+      items;
+    (* Order header. *)
+    let o_off = slot * order_size in
+    E.set_range txn db.orders ~off:o_off ~len:order_size;
+    let header = Bytes.make order_size '\000' in
+    Bytes.set_int64_le header 0 o_id;
+    Bytes.set_int32_le header 8 (Int32.of_int district);
+    Bytes.set_int32_le header 12 (Int32.of_int n_items);
+    E.write db.engine db.orders ~off:o_off header;
+    (* Order lines, contiguous in the slot. *)
+    let l_off = slot * max_lines * line_size in
+    E.set_range txn db.lines ~off:l_off ~len:(n_items * line_size);
+    let line_block = Bytes.make (n_items * line_size) '\000' in
+    Array.iteri
+      (fun i item ->
+        Bytes.set_int64_le line_block (i * line_size) o_id;
+        Bytes.set_int32_le line_block ((i * line_size) + 8) (Int32.of_int item);
+        Bytes.set_int32_le line_block ((i * line_size) + 12) (Int32.of_int quantities.(i)))
+      items;
+    E.write db.engine db.lines ~off:l_off line_block;
+    E.commit txn;
+    db.lines_inserted <- db.lines_inserted + n_items
+
+  (* TPC-C payment: debit a customer's balance, credit the district's
+     year-to-date (district record offset 8). *)
+  let payment db rng =
+    let district = Sim.Rng.int rng db.n_districts in
+    let customer = Sim.Rng.int rng db.n_customers in
+    let amount = Int64.of_int (Sim.Rng.int_in rng 1 5000) in
+    let txn = E.begin_transaction db.engine in
+    let c_off = customer * customer_size in
+    E.set_range txn db.customers ~off:c_off ~len:8;
+    let balance = read_i64 db db.customers c_off in
+    E.write db.engine db.customers ~off:c_off (Util.i64_bytes (Int64.sub balance amount));
+    let d_off = (district * district_size) + 8 in
+    E.set_range txn db.districts ~off:d_off ~len:8;
+    let ytd = read_i64 db db.districts d_off in
+    E.write db.engine db.districts ~off:d_off (Util.i64_bytes (Int64.add ytd amount));
+    E.commit txn;
+    db.payments_total <- Int64.add db.payments_total amount
+
+  (* The TPC-C-ish mix: roughly half new-order, half payment. *)
+  let mixed_transaction db rng =
+    if Sim.Rng.int rng 100 < 55 then transaction db rng else payment db rng
+
+  (** Invariant: total stock order counts equal lines inserted. *)
+  let consistent db =
+    let total = ref 0L in
+    for i = 0 to db.n_stock - 1 do
+      total := Int64.add !total (read_i64 db db.stock ((i * stock_size) + 16))
+    done;
+    if Int64.to_int !total <> db.lines_inserted then false
+    else begin
+      (* Payment invariant: district YTDs equal total payments, and
+         mirror the (negated) sum of customer balances. *)
+      let ytd = ref 0L and balances = ref 0L in
+      for d = 0 to db.n_districts - 1 do
+        ytd := Int64.add !ytd (read_i64 db db.districts ((d * district_size) + 8))
+      done;
+      for c = 0 to db.n_customers - 1 do
+        balances := Int64.add !balances (read_i64 db db.customers (c * customer_size))
+      done;
+      Int64.equal !ytd db.payments_total && Int64.equal !balances (Int64.neg db.payments_total)
+    end
+
+  let checksum db =
+    List.fold_left
+      (fun acc (seg, n) -> Int64.logxor acc (Util.fnv64 (E.read db.engine seg ~off:0 ~len:n)))
+      0L
+      [
+        (db.districts, db.n_districts * district_size);
+        (db.stock, db.n_stock * stock_size);
+        (db.orders, db.params.order_slots * order_size);
+        (db.lines, db.params.order_slots * max_lines * line_size);
+        (db.customers, db.n_customers * customer_size);
+      ]
+end

@@ -1,0 +1,60 @@
+(** The [order-entry] benchmark: "follows TPC-C and models the
+    activities of a wholesale supplier" (paper §5).
+
+    {!Make.transaction} is the TPC-C {e new-order} profile (district
+    counter, 5–15 stock rows, order header + lines);
+    {!Make.payment} is the {e payment} profile (customer balance,
+    district year-to-date); {!Make.mixed_transaction} runs the
+    roughly-half-and-half mix. *)
+
+val district_size : int
+val stock_size : int
+val order_size : int
+val line_size : int
+val customer_size : int
+val max_lines : int
+val stock_initial_quantity : int64
+
+type params = {
+  scale : int;
+  districts : int;
+  stock_items : int;
+  order_slots : int;
+  customers : int;
+}
+
+val default_params : params
+val small_params : params
+
+module Make (E : Perseas.Txn_intf.S) : sig
+  type db = {
+    engine : E.t;
+    params : params;
+    districts : E.segment;
+    stock : E.segment;
+    orders : E.segment;
+    lines : E.segment;
+    customers : E.segment;
+    n_districts : int;
+    n_stock : int;
+    n_customers : int;
+    mutable lines_inserted : int;
+    mutable payments_total : int64;
+  }
+  (** Transparent so recovery tests can rebind the segments of a
+      recovered engine. *)
+
+  val setup : E.t -> params:params -> db
+  val transaction : db -> Sim.Rng.t -> unit
+  (** One new-order transaction. *)
+
+  val payment : db -> Sim.Rng.t -> unit
+  val mixed_transaction : db -> Sim.Rng.t -> unit
+
+  val consistent : db -> bool
+  (** Stock order-counts equal order lines inserted; district
+      year-to-date totals equal payments taken and mirror the negated
+      customer balances. *)
+
+  val checksum : db -> int64
+end

@@ -1,0 +1,38 @@
+(** The paper's [synthetic] benchmark: each transaction modifies a
+    random location of the database; the modified size is the swept
+    parameter (4 bytes … 1 MB, Figure 6). *)
+
+module Make (E : Perseas.Txn_intf.S) = struct
+  type db = { engine : E.t; seg : E.segment; db_size : int }
+
+  let setup engine ~db_size =
+    if db_size <= 0 then invalid_arg "Synthetic.setup: db_size must be positive";
+    let seg = E.malloc engine ~name:"synthetic" ~size:db_size in
+    (* A recognisable non-zero fill so mirror/recovery comparisons are
+       meaningful. *)
+    let chunk = 64 * 1024 in
+    let pattern = Bytes.init (min chunk db_size) (fun i -> Char.chr (i land 0xff)) in
+    let rec fill off =
+      if off < db_size then begin
+        let len = min (Bytes.length pattern) (db_size - off) in
+        E.write engine seg ~off (if len = Bytes.length pattern then pattern else Bytes.sub pattern 0 len);
+        fill (off + len)
+      end
+    in
+    fill 0;
+    E.init_done engine;
+    { engine; seg; db_size }
+
+  (** One transaction updating [tx_size] bytes at a random offset.
+      [tx_size] must not exceed the database size. *)
+  let transaction db rng ~tx_size =
+    if tx_size <= 0 || tx_size > db.db_size then invalid_arg "Synthetic.transaction: bad tx_size";
+    let off = Sim.Rng.int rng (db.db_size - tx_size + 1) in
+    let txn = E.begin_transaction db.engine in
+    E.set_range txn db.seg ~off ~len:tx_size;
+    let fresh = Bytes.init tx_size (fun i -> Char.chr ((off + i) land 0xff lxor 0x5a)) in
+    E.write db.engine db.seg ~off fresh;
+    E.commit txn
+
+  let checksum db = Util.fnv64 (E.read db.engine db.seg ~off:0 ~len:db.db_size)
+end

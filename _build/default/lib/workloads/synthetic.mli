@@ -1,0 +1,19 @@
+(** The paper's [synthetic] benchmark (§5, Figure 6): each transaction
+    modifies one random location of the database; the modified size is
+    the swept parameter (4 bytes … 1 MB). *)
+
+module Make (E : Perseas.Txn_intf.S) : sig
+  type db = { engine : E.t; seg : E.segment; db_size : int }
+
+  val setup : E.t -> db_size:int -> db
+  (** Allocate and fill a [db_size]-byte database with a recognisable
+      pattern, then call the engine's [init_done]. *)
+
+  val transaction : db -> Sim.Rng.t -> tx_size:int -> unit
+  (** One transaction rewriting [tx_size] bytes at a random offset.
+      Raises [Invalid_argument] when [tx_size] is outside
+      [\[1, db_size\]]. *)
+
+  val checksum : db -> int64
+  (** Digest of the whole database (test oracle). *)
+end

@@ -1,0 +1,22 @@
+(** Shared helpers for workload implementations. *)
+
+let fnv64 data =
+  let h = ref 0xcbf29ce484222325L in
+  Bytes.iter
+    (fun c ->
+      h := Int64.logxor !h (Int64.of_int (Char.code c));
+      h := Int64.mul !h 0x100000001b3L)
+    data;
+  !h
+
+let get_i64 b off = Bytes.get_int64_le b off
+
+let i64_bytes v =
+  let b = Bytes.create 8 in
+  Bytes.set_int64_le b 0 v;
+  b
+
+let u32_bytes v =
+  let b = Bytes.create 4 in
+  Bytes.set_int32_le b 0 (Int32.of_int v);
+  b

@@ -1,0 +1,8 @@
+(** Shared helpers for workload implementations. *)
+
+val fnv64 : bytes -> int64
+(** FNV-1a digest, the common checksum of the workload oracles. *)
+
+val get_i64 : bytes -> int -> int64
+val i64_bytes : int64 -> bytes
+val u32_bytes : int -> bytes

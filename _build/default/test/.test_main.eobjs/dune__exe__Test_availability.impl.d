@@ -1,0 +1,1 @@
+test/test_availability.ml: Alcotest Harness Printf Sim Time

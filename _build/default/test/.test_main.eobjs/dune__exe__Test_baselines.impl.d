@@ -1,0 +1,1 @@
+test/test_baselines.ml: Alcotest Baselines Bytes Char Clock Cluster Disk Gen List Option QCheck QCheck_alcotest Sim String Time

@@ -1,0 +1,1 @@
+test/test_btree.ml: Alcotest Array Btree Cluster Gen Harness Int64 List Map Option Perseas Printf QCheck QCheck_alcotest Sim

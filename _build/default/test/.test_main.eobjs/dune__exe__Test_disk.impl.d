@@ -1,0 +1,1 @@
+test/test_disk.ml: Alcotest Bytes Clock Disk Gen List QCheck QCheck_alcotest Sci Sim Time

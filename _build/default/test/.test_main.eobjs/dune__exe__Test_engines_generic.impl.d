@@ -1,0 +1,1 @@
+test/test_engines_generic.ml: Alcotest Baselines Btree Cluster Disk Harness Hashtbl Int64 Kvstore List Map Printf Sim String Workloads

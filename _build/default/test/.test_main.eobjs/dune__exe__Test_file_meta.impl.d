@@ -1,0 +1,1 @@
+test/test_file_meta.ml: Alcotest Cluster Gen Harness Hashtbl List Option Perseas Printf QCheck QCheck_alcotest Sim String Workloads

@@ -1,0 +1,1 @@
+test/test_harness.ml: Alcotest Clock Cluster Filename Harness List Sim Sys Time

@@ -1,0 +1,1 @@
+test/test_integration.ml: Alcotest Bytes Cluster Harness Int64 List Netram Option Perseas Printf Rng Sim Workloads

@@ -1,0 +1,1 @@
+test/test_kvstore.ml: Alcotest Cluster Gen Harness Hashtbl Kvstore List Perseas Printf QCheck QCheck_alcotest String

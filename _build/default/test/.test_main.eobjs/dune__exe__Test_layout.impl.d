@@ -1,0 +1,1 @@
+test/test_layout.ml: Alcotest Bytes Gen Int64 Perseas QCheck QCheck_alcotest String

@@ -1,0 +1,1 @@
+test/test_mem.ml: Alcotest Allocator Bytes Gen Image List Mem QCheck QCheck_alcotest Segment Sim

@@ -1,0 +1,1 @@
+test/test_netram.ml: Alcotest Bytes Clock Cluster List Mem Netram Sim

@@ -1,0 +1,1 @@
+test/test_pager.ml: Alcotest Bytes Char Clock Cluster Disk Gen Int64 List Mem Netram Printf QCheck QCheck_alcotest Sim Time

@@ -1,0 +1,1 @@
+test/test_perseas.ml: Alcotest Bytes Char Clock Cluster Disk Gen List Netram Option Perseas Printf QCheck QCheck_alcotest Sci Sim Time

@@ -1,0 +1,1 @@
+test/test_pqueue.ml: Alcotest Cluster Gen Harness List Perseas Pqueue QCheck QCheck_alcotest Queue String

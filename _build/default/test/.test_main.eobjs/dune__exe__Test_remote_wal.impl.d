@@ -1,0 +1,1 @@
+test/test_remote_wal.ml: Alcotest Baselines Bytes Char Clock Cluster Disk Gen List Netram Option Printf QCheck QCheck_alcotest Sim Time

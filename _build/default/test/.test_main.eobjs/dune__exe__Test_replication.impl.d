@@ -1,0 +1,1 @@
+test/test_replication.ml: Alcotest Bytes Char Clock Cluster List Netram Option Perseas Printf QCheck QCheck_alcotest Sim String

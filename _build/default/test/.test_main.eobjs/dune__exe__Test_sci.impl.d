@@ -1,0 +1,1 @@
+test/test_sci.ml: Alcotest Bytes Clock List Mem Printf QCheck QCheck_alcotest Sci Sim String Time

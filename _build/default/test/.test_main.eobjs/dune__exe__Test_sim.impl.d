@@ -1,0 +1,1 @@
+test/test_sim.ml: Alcotest Array Clock Events Float Fun Gen List QCheck QCheck_alcotest Rng Sim Stats Time

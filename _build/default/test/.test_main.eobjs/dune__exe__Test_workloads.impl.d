@@ -1,0 +1,1 @@
+test/test_workloads.ml: Alcotest Clock Harness List QCheck QCheck_alcotest Rng Sim Workloads

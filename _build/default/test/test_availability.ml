@@ -1,0 +1,91 @@
+module A = Harness.Availability
+open Sim
+
+let check = Alcotest.check
+let check_bool = check Alcotest.bool
+
+let run ?params d = A.simulate ?params ~trials:60 ~seed:7 d
+
+let test_deterministic () =
+  let a = A.simulate ~trials:20 ~seed:3 A.perseas_two_supplies in
+  let b = A.simulate ~trials:20 ~seed:3 A.perseas_two_supplies in
+  check (Alcotest.float 0.) "same availability" a.availability b.availability;
+  check (Alcotest.float 0.) "same losses" a.loss_events_per_decade b.loss_events_per_decade;
+  let c = A.simulate ~trials:20 ~seed:4 A.perseas_two_supplies in
+  check_bool "different seed differs" true
+    (c.availability <> a.availability || c.loss_events_per_decade <> a.loss_events_per_decade)
+
+let test_disk_never_loses_data () =
+  let r = run A.rvm_single_node in
+  check (Alcotest.float 0.) "no losses" 0. r.loss_events_per_decade;
+  (* ...but hardware repairs keep it down a couple of percent. *)
+  check_bool "availability below 99%" true (r.availability < 0.99);
+  check_bool "availability above 95%" true (r.availability > 0.95)
+
+let test_supply_separation_matters () =
+  (* The paper's deployment rule: same-supply mirrors lose data on
+     every outage; separate supplies almost never. *)
+  let same = run A.perseas_same_supply in
+  let diff = run A.perseas_two_supplies in
+  check_bool "same-supply loses roughly per outage" true (same.loss_events_per_decade > 30.);
+  check_bool "separate supplies at least 10x safer" true
+    (diff.loss_events_per_decade *. 10. < same.loss_events_per_decade)
+
+let test_more_mirrors_safer () =
+  let two = run A.perseas_two_supplies in
+  let three = run A.perseas_three_way in
+  check_bool "3-way loses no more than 2-way" true
+    (three.loss_events_per_decade <= two.loss_events_per_decade)
+
+let test_perseas_more_available_than_single_node () =
+  let disk = run A.rvm_single_node in
+  let perseas = run A.perseas_two_supplies in
+  check_bool "mirrored memory beats a single machine" true
+    (perseas.availability > disk.availability)
+
+let test_ups_malfunction_hurts_rio () =
+  let params flaky = { A.default_params with ups_malfunction = flaky } in
+  let solid = A.simulate ~params:(params 0.0) ~trials:60 ~seed:7 A.rio_ups_single_node in
+  let flaky = A.simulate ~params:(params 0.5) ~trials:60 ~seed:7 A.rio_ups_single_node in
+  check (Alcotest.float 0.) "perfect UPS never loses" 0. solid.loss_events_per_decade;
+  check_bool "flaky UPS loses data" true (flaky.loss_events_per_decade > 1.)
+
+let test_no_failures_no_downtime () =
+  (* "Practically never": ~137-year MTBFs against a 1-day horizon (the
+     largest representable virtual durations are ~292 years). *)
+  let forever = Time.s (86_400. *. 50_000.) in
+  let params =
+    {
+      A.default_params with
+      software_mtbf = forever;
+      hardware_mtbf = forever;
+      outage_mtbf = forever;
+      horizon = Time.s 86_400.;
+    }
+  in
+  let r = A.simulate ~params ~trials:5 ~seed:1 A.perseas_two_supplies in
+  check (Alcotest.float 1e-12) "fully available" 1.0 r.availability;
+  check (Alcotest.float 0.) "no losses" 0. r.loss_events_per_decade
+
+let test_fast_remirror_reduces_losses () =
+  let with_delay d =
+    let params = { A.default_params with remirror_delay = d } in
+    (A.simulate ~params ~trials:80 ~seed:11 A.perseas_two_supplies).loss_events_per_decade
+  in
+  let fast = with_delay (Time.s 60.) in
+  let slow = with_delay (Time.s 86_400.) in
+  check_bool
+    (Printf.sprintf "1-minute remirror (%.2f) beats 1-day (%.2f)" fast slow)
+    true (fast <= slow)
+
+let suite =
+  [
+    ("simulation is deterministic per seed", `Quick, test_deterministic);
+    ("disk never loses data but is less available", `Quick, test_disk_never_loses_data);
+    ("power-supply separation matters", `Quick, test_supply_separation_matters);
+    ("more mirrors are safer", `Quick, test_more_mirrors_safer);
+    ("PERSEAS beats single-node availability", `Quick, test_perseas_more_available_than_single_node);
+    ("UPS malfunction hurts Rio", `Quick, test_ups_malfunction_hurts_rio);
+    ("no failures, no downtime", `Quick, test_no_failures_no_downtime);
+    ("fast remirroring reduces losses", `Quick, test_fast_remirror_reduces_losses);
+  ]

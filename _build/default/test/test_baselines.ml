@@ -1,0 +1,281 @@
+open Sim
+module Rvm = Baselines.Rvm
+module Vista = Baselines.Vista
+module Device = Disk.Device
+
+let check = Alcotest.check
+let check_int = check Alcotest.int
+let check_bool = check Alcotest.bool
+let check_i64 = check Alcotest.int64
+
+let node_with_clock () =
+  let clock = Clock.create () in
+  let cluster = Cluster.create ~clock [ Cluster.spec ~dram_size:(8 * 1024 * 1024) "host" ] in
+  (clock, Cluster.node cluster 0)
+
+let magnetic_device clock = Device.create ~clock ~backend:(Device.Magnetic Device.default_geometry) ~capacity:(16 * 1024 * 1024)
+
+let rio_device ?(ups = true) clock =
+  Device.create ~clock ~backend:(Device.Rio { Device.default_rio with ups }) ~capacity:(16 * 1024 * 1024)
+
+(* ------------------------------------------------------------------ *)
+(* RVM *)
+
+let rvm_db ?config ?(rio = false) () =
+  let clock, node = node_with_clock () in
+  let device = if rio then rio_device clock else magnetic_device clock in
+  let t = Rvm.create ?config ~node ~device () in
+  let seg = Rvm.Engine.malloc t ~name:"db" ~size:4096 in
+  Rvm.Engine.write t seg ~off:0 (Bytes.init 4096 (fun i -> Char.chr (i land 0xff)));
+  Rvm.Engine.init_done t;
+  (clock, node, device, t, seg)
+
+let test_rvm_commit_applies_and_logs () =
+  let _, _, _, t, seg = rvm_db () in
+  let txn = Rvm.Engine.begin_transaction t in
+  Rvm.Engine.set_range txn seg ~off:0 ~len:16;
+  Rvm.Engine.write t seg ~off:0 (Bytes.make 16 'R');
+  Rvm.Engine.commit txn;
+  check Alcotest.string "applied" (String.make 16 'R')
+    (Bytes.to_string (Rvm.Engine.read t seg ~off:0 ~len:16));
+  check_int "one force" 1 (Rvm.forces t)
+
+let test_rvm_commit_pays_disk () =
+  let clock, _, _, t, seg = rvm_db () in
+  let t0 = Clock.now clock in
+  let txn = Rvm.Engine.begin_transaction t in
+  Rvm.Engine.set_range txn seg ~off:0 ~len:4;
+  Rvm.Engine.write t seg ~off:0 (Bytes.make 4 'x');
+  Rvm.Engine.commit txn;
+  (* Synchronous log force: milliseconds, not microseconds. *)
+  check_bool "commit costs >= 5ms" true (Clock.now clock - t0 >= Time.ms 5.)
+
+let test_rvm_rio_commit_is_fast () =
+  let clock, _, _, t, seg = rvm_db ~rio:true () in
+  let t0 = Clock.now clock in
+  let txn = Rvm.Engine.begin_transaction t in
+  Rvm.Engine.set_range txn seg ~off:0 ~len:4;
+  Rvm.Engine.write t seg ~off:0 (Bytes.make 4 'x');
+  Rvm.Engine.commit txn;
+  (* Same code over Rio: the software overhead dominates (~tens of us). *)
+  let dt = Clock.now clock - t0 in
+  check_bool "under 1ms" true (dt < Time.ms 1.);
+  check_bool "but has RVM software cost" true (dt >= Time.us 50.)
+
+let test_rvm_abort () =
+  let _, _, _, t, seg = rvm_db () in
+  let before = Rvm.checksum t seg in
+  let txn = Rvm.Engine.begin_transaction t in
+  Rvm.Engine.set_range txn seg ~off:100 ~len:50;
+  Rvm.Engine.write t seg ~off:100 (Bytes.make 50 'Z');
+  Rvm.Engine.abort txn;
+  check_i64 "restored" before (Rvm.checksum t seg);
+  check_int "no force on abort" 0 (Rvm.forces t)
+
+let test_rvm_group_commit_batches_forces () =
+  let config = { Rvm.default_config with group_commit = 4 } in
+  let _, _, _, t, seg = rvm_db ~config () in
+  for i = 1 to 8 do
+    let txn = Rvm.Engine.begin_transaction t in
+    Rvm.Engine.set_range txn seg ~off:(i * 8) ~len:8;
+    Rvm.Engine.write t seg ~off:(i * 8) (Bytes.make 8 'g');
+    Rvm.Engine.commit txn
+  done;
+  check_int "two forces for eight commits" 2 (Rvm.forces t);
+  (* A ninth commit stays pending until flush. *)
+  let txn = Rvm.Engine.begin_transaction t in
+  Rvm.Engine.set_range txn seg ~off:0 ~len:8;
+  Rvm.Engine.write t seg ~off:0 (Bytes.make 8 'h');
+  Rvm.Engine.commit txn;
+  check_int "still two" 2 (Rvm.forces t);
+  Rvm.flush t;
+  check_int "flush forces" 3 (Rvm.forces t)
+
+let test_rvm_recover_after_crash () =
+  let _, node, device, t, seg = rvm_db () in
+  let txn = Rvm.Engine.begin_transaction t in
+  Rvm.Engine.set_range txn seg ~off:0 ~len:32;
+  Rvm.Engine.write t seg ~off:0 (Bytes.make 32 'V');
+  Rvm.Engine.commit txn;
+  let expect = Rvm.checksum t seg in
+  (* The machine dies: memory gone, disk intact. *)
+  ignore (Cluster.Node.crash node Cluster.Failure.Power_outage);
+  Device.crash device Device.Power_outage;
+  Cluster.Node.restart node;
+  let t2 = Rvm.recover ~node ~device () in
+  let seg2 = Option.get (Rvm.segment_by_name t2 "db") in
+  check_i64 "state recovered from log+file" expect (Rvm.checksum t2 seg2)
+
+let test_rvm_unforced_commit_lost_in_crash () =
+  (* With group commit, an unforced transaction is durably lost — the
+     durability lag the optimisation trades away. *)
+  let config = { Rvm.default_config with group_commit = 16 } in
+  let _, node, device, t, seg = rvm_db ~config () in
+  let before = Rvm.checksum t seg in
+  let txn = Rvm.Engine.begin_transaction t in
+  Rvm.Engine.set_range txn seg ~off:0 ~len:8;
+  Rvm.Engine.write t seg ~off:0 (Bytes.make 8 'L');
+  Rvm.Engine.commit txn;
+  ignore (Cluster.Node.crash node Cluster.Failure.Power_outage);
+  Device.crash device Device.Power_outage;
+  Cluster.Node.restart node;
+  let t2 = Rvm.recover ~node ~device () in
+  let seg2 = Option.get (Rvm.segment_by_name t2 "db") in
+  check_i64 "pre-state (commit was lost)" before (Rvm.checksum t2 seg2)
+
+let test_rvm_truncation_roundtrip () =
+  let config = { Rvm.default_config with log_size = 8192; truncate_threshold = 0.3 } in
+  let _, node, device, t, seg = rvm_db ~config () in
+  for i = 0 to 99 do
+    let txn = Rvm.Engine.begin_transaction t in
+    Rvm.Engine.set_range txn seg ~off:(i * 16 mod 4000) ~len:16;
+    Rvm.Engine.write t seg ~off:(i * 16 mod 4000) (Bytes.make 16 (Char.chr (65 + (i mod 26))));
+    Rvm.Engine.commit txn
+  done;
+  check_bool "log truncated at least once" true (Rvm.truncations t > 0);
+  let expect = Rvm.checksum t seg in
+  ignore (Cluster.Node.crash node Cluster.Failure.Software_error);
+  Cluster.Node.restart node;
+  (* The same layout config must be used to re-open the store. *)
+  let t2 = Rvm.recover ~config ~node ~device () in
+  check_i64 "recovers across truncations" expect (Rvm.checksum t2 (Option.get (Rvm.segment_by_name t2 "db")))
+
+let test_rvm_rio_loses_data_without_ups () =
+  let clock, node = node_with_clock () in
+  let device = rio_device ~ups:false clock in
+  let t = Rvm.create ~node ~device () in
+  let seg = Rvm.Engine.malloc t ~name:"db" ~size:256 in
+  Rvm.Engine.write t seg ~off:0 (Bytes.make 256 'd');
+  Rvm.Engine.init_done t;
+  ignore (Cluster.Node.crash node Cluster.Failure.Power_outage);
+  Device.crash device Device.Power_outage;
+  Cluster.Node.restart node;
+  try
+    ignore (Rvm.recover ~node ~device ());
+    Alcotest.fail "expected recovery failure (Rio lost to power outage)"
+  with Failure _ -> ()
+
+(* ------------------------------------------------------------------ *)
+(* Vista *)
+
+let vista_db ?config () =
+  let clock, node = node_with_clock () in
+  let device = rio_device clock in
+  let t = Vista.create ?config ~node ~device () in
+  let seg = Vista.Engine.malloc t ~name:"db" ~size:4096 in
+  Vista.Engine.write t seg ~off:0 (Bytes.init 4096 (fun i -> Char.chr (i land 0xff)));
+  Vista.Engine.init_done t;
+  (clock, node, device, t, seg)
+
+let test_vista_requires_rio () =
+  let clock, node = node_with_clock () in
+  let device = magnetic_device clock in
+  try
+    ignore (Vista.create ~node ~device ());
+    Alcotest.fail "expected Invalid_argument"
+  with Invalid_argument _ -> ()
+
+let test_vista_commit_cheap () =
+  let clock, _, _, t, seg = vista_db () in
+  let t0 = Clock.now clock in
+  let txn = Vista.Engine.begin_transaction t in
+  Vista.Engine.set_range txn seg ~off:0 ~len:4;
+  Vista.Engine.write t seg ~off:0 (Bytes.make 4 'v');
+  Vista.Engine.commit txn;
+  check_bool "a few microseconds" true (Clock.now clock - t0 < Time.us 10.)
+
+let test_vista_abort_restores () =
+  let _, _, _, t, seg = vista_db () in
+  let before = Vista.checksum t seg in
+  let txn = Vista.Engine.begin_transaction t in
+  Vista.Engine.set_range txn seg ~off:0 ~len:100;
+  Vista.Engine.write t seg ~off:0 (Bytes.make 100 'W');
+  Vista.Engine.abort txn;
+  check_i64 "restored" before (Vista.checksum t seg)
+
+let test_vista_recover_in_flight_rolls_back () =
+  let _, node, device, t, seg = vista_db () in
+  let before = Vista.checksum t seg in
+  let txn = Vista.Engine.begin_transaction t in
+  Vista.Engine.set_range txn seg ~off:50 ~len:200;
+  Vista.Engine.write t seg ~off:50 (Bytes.make 200 'U');
+  ignore txn;
+  (* Crash without committing: Rio keeps the (dirty) database plus the
+     undo records; recovery must roll the transaction back. *)
+  ignore (Cluster.Node.crash node Cluster.Failure.Software_error);
+  Device.crash device Device.Software_error;
+  Cluster.Node.restart node;
+  let t2 = Vista.recover ~node ~device () in
+  let seg2 = Option.get (Vista.segment_by_name t2 "db") in
+  check_i64 "rolled back" before (Vista.checksum t2 seg2)
+
+let test_vista_recover_committed_persists () =
+  let _, node, device, t, seg = vista_db () in
+  let txn = Vista.Engine.begin_transaction t in
+  Vista.Engine.set_range txn seg ~off:0 ~len:64;
+  Vista.Engine.write t seg ~off:0 (Bytes.make 64 'K');
+  Vista.Engine.commit txn;
+  let expect = Vista.checksum t seg in
+  ignore (Cluster.Node.crash node Cluster.Failure.Software_error);
+  Device.crash device Device.Software_error;
+  Cluster.Node.restart node;
+  let t2 = Vista.recover ~node ~device () in
+  check_i64 "committed state" expect (Vista.checksum t2 (Option.get (Vista.segment_by_name t2 "db")))
+
+let test_vista_dies_on_power_without_ups () =
+  let clock, node = node_with_clock () in
+  let device = rio_device ~ups:false clock in
+  let t = Vista.create ~node ~device () in
+  let seg = Vista.Engine.malloc t ~name:"db" ~size:64 in
+  ignore seg;
+  Vista.Engine.init_done t;
+  Device.crash device Device.Power_outage;
+  try
+    ignore (Vista.recover ~node ~device ());
+    Alcotest.fail "expected failure"
+  with Failure _ -> ()
+
+let prop_rvm_vista_abort_identity =
+  QCheck.Test.make ~name:"baseline aborts are identities" ~count:50
+    QCheck.(list_of_size (Gen.int_range 1 4) (pair (int_bound 4000) (int_range 1 90)))
+    (fun raw ->
+      let ranges = List.map (fun (off, len) -> (min off (4096 - len), len)) raw in
+      let _, _, _, rt, rseg = rvm_db () in
+      let rvm_before = Rvm.checksum rt rseg in
+      let txn = Rvm.Engine.begin_transaction rt in
+      List.iter
+        (fun (off, len) ->
+          Rvm.Engine.set_range txn rseg ~off ~len;
+          Rvm.Engine.write rt rseg ~off (Bytes.make len '!'))
+        ranges;
+      Rvm.Engine.abort txn;
+      let _, _, _, vt, vseg = vista_db () in
+      let vista_before = Vista.checksum vt vseg in
+      let txn = Vista.Engine.begin_transaction vt in
+      List.iter
+        (fun (off, len) ->
+          Vista.Engine.set_range txn vseg ~off ~len;
+          Vista.Engine.write vt vseg ~off (Bytes.make len '!'))
+        ranges;
+      Vista.Engine.abort txn;
+      Rvm.checksum rt rseg = rvm_before && Vista.checksum vt vseg = vista_before)
+
+let suite =
+  [
+    ("rvm: commit applies and forces the log", `Quick, test_rvm_commit_applies_and_logs);
+    ("rvm: commit pays the disk", `Quick, test_rvm_commit_pays_disk);
+    ("rvm-rio: commit at software-overhead speed", `Quick, test_rvm_rio_commit_is_fast);
+    ("rvm: abort restores", `Quick, test_rvm_abort);
+    ("rvm: group commit batches forces", `Quick, test_rvm_group_commit_batches_forces);
+    ("rvm: crash recovery from db file + log", `Quick, test_rvm_recover_after_crash);
+    ("rvm: unforced group commit lost in crash", `Quick, test_rvm_unforced_commit_lost_in_crash);
+    ("rvm: recovery across log truncations", `Quick, test_rvm_truncation_roundtrip);
+    ("rvm-rio: lost without UPS on power outage", `Quick, test_rvm_rio_loses_data_without_ups);
+    ("vista: requires Rio", `Quick, test_vista_requires_rio);
+    ("vista: commit is a few stores", `Quick, test_vista_commit_cheap);
+    ("vista: abort restores", `Quick, test_vista_abort_restores);
+    ("vista: recovery rolls back in-flight txn", `Quick, test_vista_recover_in_flight_rolls_back);
+    ("vista: recovery keeps committed txn", `Quick, test_vista_recover_committed_persists);
+    ("vista: dies on power outage without UPS", `Quick, test_vista_dies_on_power_without_ups);
+    QCheck_alcotest.to_alcotest prop_rvm_vista_abort_identity;
+  ]

@@ -1,0 +1,257 @@
+module BT = Btree.Make (Perseas.Engine)
+module P = Perseas
+
+let check = Alcotest.check
+let check_int = check Alcotest.int
+let check_bool = check Alcotest.bool
+let check_i64_opt = check (Alcotest.option Alcotest.int64)
+
+let small = { Btree.max_nodes = 512; degree = 4 }
+
+let fresh ?(config = small) () =
+  let bed = Harness.Testbed.perseas_bed ~dram_mb:8 () in
+  let bt = BT.create ~config bed.perseas ~name:"index" in
+  Perseas.init_remote_db bed.perseas;
+  (bed, bt)
+
+let ok bt =
+  match BT.check_invariants bt with Ok () -> () | Error m -> Alcotest.fail ("invariants: " ^ m)
+
+let i64 = Int64.of_int
+
+let test_insert_find () =
+  let _, bt = fresh () in
+  BT.insert bt ~key:10L ~value:100L;
+  BT.insert bt ~key:5L ~value:50L;
+  BT.insert bt ~key:20L ~value:200L;
+  check_i64_opt "find 10" (Some 100L) (BT.find bt 10L);
+  check_i64_opt "find 5" (Some 50L) (BT.find bt 5L);
+  check_i64_opt "missing" None (BT.find bt 7L);
+  check_int "length" 3 (BT.length bt);
+  ok bt
+
+let test_overwrite () =
+  let _, bt = fresh () in
+  BT.insert bt ~key:1L ~value:1L;
+  BT.insert bt ~key:1L ~value:2L;
+  check_i64_opt "overwritten" (Some 2L) (BT.find bt 1L);
+  check_int "no duplicate" 1 (BT.length bt);
+  ok bt
+
+let test_splits_grow_height () =
+  let _, bt = fresh () in
+  check_int "height 1" 1 (BT.height bt);
+  for i = 1 to 100 do
+    BT.insert bt ~key:(i64 i) ~value:(i64 (i * 10))
+  done;
+  check_bool "tree grew" true (BT.height bt >= 3);
+  check_int "all there" 100 (BT.length bt);
+  for i = 1 to 100 do
+    check_i64_opt (Printf.sprintf "key %d" i) (Some (i64 (i * 10))) (BT.find bt (i64 i))
+  done;
+  ok bt
+
+let test_descending_and_random_orders () =
+  let orders =
+    [
+      List.init 80 (fun i -> 80 - i);
+      (let a = Array.init 80 (fun i -> i + 1) in
+       Sim.Rng.shuffle (Sim.Rng.create 3) a;
+       Array.to_list a);
+    ]
+  in
+  List.iter
+    (fun order ->
+      let _, bt = fresh () in
+      List.iter (fun i -> BT.insert bt ~key:(i64 i) ~value:(i64 i)) order;
+      ok bt;
+      check_int "all present" 80 (BT.length bt);
+      check_i64_opt "min" (Some 1L) (Option.map fst (BT.min_binding bt));
+      check_i64_opt "max" (Some 80L) (Option.map fst (BT.max_binding bt)))
+    orders
+
+let test_range_scan () =
+  let _, bt = fresh () in
+  List.iter (fun i -> BT.insert bt ~key:(i64 (i * 10)) ~value:(i64 i)) [ 1; 2; 3; 4; 5; 6; 7; 8 ];
+  let r = BT.range bt ~lo:25L ~hi:55L in
+  check (Alcotest.list (Alcotest.pair Alcotest.int64 Alcotest.int64)) "inclusive range"
+    [ (30L, 3L); (40L, 4L); (50L, 5L) ]
+    r;
+  check_int "full range" 8 (List.length (BT.range bt ~lo:Int64.min_int ~hi:Int64.max_int));
+  check_int "empty range" 0 (List.length (BT.range bt ~lo:41L ~hi:49L));
+  check_int "inverted range" 0 (List.length (BT.range bt ~lo:50L ~hi:30L))
+
+let test_delete () =
+  let _, bt = fresh () in
+  for i = 1 to 50 do
+    BT.insert bt ~key:(i64 i) ~value:(i64 i)
+  done;
+  check_bool "delete" true (BT.delete bt 25L);
+  check_bool "gone" false (BT.mem bt 25L);
+  check_bool "delete again" false (BT.delete bt 25L);
+  check_int "49 left" 49 (BT.length bt);
+  ok bt;
+  (* Deleted keys disappear from range scans; reinsert works. *)
+  check_int "range skips deleted" 10 (List.length (BT.range bt ~lo:20L ~hi:30L));
+  BT.insert bt ~key:25L ~value:999L;
+  check_i64_opt "reinserted" (Some 999L) (BT.find bt 25L);
+  ok bt
+
+let test_delete_everything () =
+  let _, bt = fresh () in
+  for i = 1 to 60 do
+    BT.insert bt ~key:(i64 i) ~value:(i64 i)
+  done;
+  for i = 1 to 60 do
+    check_bool "deleted" true (BT.delete bt (i64 i))
+  done;
+  check_int "empty" 0 (BT.length bt);
+  check_i64_opt "no min" None (Option.map fst (BT.min_binding bt));
+  check_i64_opt "no max" None (Option.map fst (BT.max_binding bt));
+  ok bt;
+  (* And refill after total emptiness. *)
+  for i = 100 to 140 do
+    BT.insert bt ~key:(i64 i) ~value:(i64 i)
+  done;
+  check_int "refilled" 41 (BT.length bt);
+  ok bt
+
+let test_tree_full () =
+  let config = { Btree.max_nodes = 4; degree = 4 } in
+  let _, bt = fresh ~config () in
+  try
+    for i = 1 to 100 do
+      BT.insert bt ~key:(i64 i) ~value:0L
+    done;
+    Alcotest.fail "expected Tree_full"
+  with Btree.Tree_full ->
+    (* The failed insert aborted: the tree is still consistent. *)
+    ok bt
+
+let test_iter_in_order () =
+  let _, bt = fresh () in
+  let a = Array.init 70 (fun i -> i + 1) in
+  Sim.Rng.shuffle (Sim.Rng.create 9) a;
+  Array.iter (fun i -> BT.insert bt ~key:(i64 i) ~value:(i64 i)) a;
+  let seen = ref [] in
+  BT.iter bt (fun k _ -> seen := k :: !seen);
+  check (Alcotest.list Alcotest.int64) "ascending" (List.init 70 (fun i -> i64 (i + 1)))
+    (List.rev !seen)
+
+let test_mirror_in_sync () =
+  let bed, bt = fresh () in
+  for i = 1 to 64 do
+    BT.insert bt ~key:(i64 (i * 7)) ~value:(i64 i)
+  done;
+  ignore (BT.delete bt 21L);
+  List.iter
+    (fun seg ->
+      check Alcotest.int64
+        (P.segment_name seg ^ " mirrored")
+        (P.checksum bed.perseas seg)
+        (P.mirror_checksum bed.perseas seg))
+    (P.segments bed.perseas)
+
+let test_survives_crash () =
+  let bed, bt = fresh () in
+  for i = 1 to 40 do
+    BT.insert bt ~key:(i64 i) ~value:(i64 (i * 2))
+  done;
+  ignore (Cluster.crash_node bed.cluster 0 Cluster.Failure.Power_outage);
+  let t2 = P.recover ~cluster:bed.cluster ~local:2 ~server:bed.server () in
+  let bt2 = BT.attach ~config:small t2 ~name:"index" in
+  ok bt2;
+  check_int "all keys back" 40 (BT.length bt2);
+  check_i64_opt "spot check" (Some 34L) (BT.find bt2 17L);
+  BT.insert bt2 ~key:1000L ~value:1L;
+  ok bt2
+
+let test_crash_mid_split_is_atomic () =
+  (* The nastiest case: crash during a commit whose transaction split
+     nodes (possibly growing the root).  At every packet cut the
+     recovered tree must be structurally sound and contain either the
+     old or the new key set. *)
+  let run cut =
+    let bed, bt = fresh () in
+    (* Fill so the next insert splits. *)
+    for i = 1 to 16 do
+      BT.insert bt ~key:(i64 (i * 2)) ~value:(i64 i)
+    done;
+    let exception Crash in
+    let sent = ref 0 in
+    Perseas.set_packet_hook bed.perseas
+      (Some (fun () -> if !sent >= cut then raise Crash else incr sent));
+    let crashed =
+      try
+        BT.insert bt ~key:7L ~value:777L;
+        false
+      with Crash -> true
+    in
+    Perseas.set_packet_hook bed.perseas None;
+    if crashed then begin
+      ignore (Cluster.crash_node bed.cluster 0 Cluster.Failure.Software_error);
+      let t2 = P.recover ~cluster:bed.cluster ~local:2 ~server:bed.server () in
+      let bt2 = BT.attach ~config:small t2 ~name:"index" in
+      (match BT.check_invariants bt2 with
+      | Ok () -> ()
+      | Error m -> Alcotest.failf "broken tree at cut %d: %s" cut m);
+      (match BT.find bt2 7L with
+      | Some v -> check Alcotest.int64 "new value complete" 777L v
+      | None -> check_int "old key set" 16 (BT.length bt2));
+      for i = 1 to 16 do
+        check_i64_opt "old keys intact" (Some (i64 i)) (BT.find bt2 (i64 (i * 2)))
+      done;
+      true
+    end
+    else false
+  in
+  let cut = ref 0 in
+  while run !cut do
+    incr cut
+  done
+
+let prop_model_equivalence =
+  QCheck.Test.make ~name:"btree matches a Map model" ~count:50
+    QCheck.(
+      list_of_size (Gen.int_range 0 150) (triple (int_bound 2) (int_bound 60) (int_bound 1000)))
+    (fun ops ->
+      let _, bt = fresh () in
+      let module M = Map.Make (Int64) in
+      let model = ref M.empty in
+      List.iter
+        (fun (op, k, v) ->
+          let key = i64 k and value = i64 v in
+          match op with
+          | 0 ->
+              BT.insert bt ~key ~value;
+              model := M.add key value !model
+          | 1 ->
+              let expect = M.mem key !model in
+              if BT.delete bt key <> expect then QCheck.Test.fail_report "delete disagrees";
+              model := M.remove key !model
+          | _ ->
+              if BT.find bt key <> M.find_opt key !model then
+                QCheck.Test.fail_report "find disagrees")
+        ops;
+      (match BT.check_invariants bt with
+      | Ok () -> ()
+      | Error m -> QCheck.Test.fail_report m);
+      BT.length bt = M.cardinal !model
+      && BT.range bt ~lo:Int64.min_int ~hi:Int64.max_int = M.bindings !model)
+
+let suite =
+  [
+    ("insert and find", `Quick, test_insert_find);
+    ("overwrite", `Quick, test_overwrite);
+    ("splits grow the tree", `Quick, test_splits_grow_height);
+    ("descending and random insert orders", `Quick, test_descending_and_random_orders);
+    ("range scans", `Quick, test_range_scan);
+    ("delete", `Quick, test_delete);
+    ("delete everything, then refill", `Quick, test_delete_everything);
+    ("tree-full aborts cleanly", `Quick, test_tree_full);
+    ("iteration is in key order", `Quick, test_iter_in_order);
+    ("mirror stays in sync", `Quick, test_mirror_in_sync);
+    ("survives crash and reattaches", `Quick, test_survives_crash);
+    ("crash mid-split is atomic at every cut", `Slow, test_crash_mid_split_is_atomic);
+    QCheck_alcotest.to_alcotest prop_model_equivalence;
+  ]

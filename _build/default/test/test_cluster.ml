@@ -1,0 +1,113 @@
+open Sim
+module Node = Cluster.Node
+module Failure = Cluster.Failure
+
+let check = Alcotest.check
+let check_int = check Alcotest.int
+let check_bool = check Alcotest.bool
+
+let three_nodes ?(ups_on = []) () =
+  let clock = Clock.create () in
+  let spec i name supply =
+    Cluster.spec ~ups:(List.mem i ups_on) ~dram_size:(1 lsl 20) ~power_supply:supply name
+  in
+  (clock, Cluster.create ~clock [ spec 0 "a" 0; spec 1 "b" 1; spec 2 "c" 0 ])
+
+let test_ring_hops () =
+  let _, c = three_nodes () in
+  check_int "self" 0 (Cluster.hops c ~src:0 ~dst:0);
+  check_int "next" 1 (Cluster.hops c ~src:0 ~dst:1);
+  check_int "two" 2 (Cluster.hops c ~src:0 ~dst:2);
+  check_int "wraps" 1 (Cluster.hops c ~src:2 ~dst:0)
+
+let test_crash_wipes_dram () =
+  let _, c = three_nodes () in
+  let n = Cluster.node c 0 in
+  Mem.Image.write_bytes (Node.dram n) ~off:0 (Bytes.of_string "precious");
+  check Alcotest.string "written" "precious" (Bytes.to_string (Mem.Image.read_bytes (Node.dram n) ~off:0 ~len:8));
+  (match Node.crash n Failure.Software_error with
+  | `Crashed -> ()
+  | `Survived -> Alcotest.fail "expected crash");
+  check_bool "down" false (Node.is_up n);
+  (try
+     ignore (Node.dram n);
+     Alcotest.fail "dram of a down node must be unreachable"
+   with Failure _ -> ());
+  Node.restart n;
+  check_bool "up again" true (Node.is_up n);
+  check_bool "memory gone" true
+    (Bytes.to_string (Mem.Image.read_bytes (Node.dram n) ~off:0 ~len:8) <> "precious")
+
+let test_ups_absorbs_power_outage () =
+  let _, c = three_nodes ~ups_on:[ 1 ] () in
+  let n = Cluster.node c 1 in
+  (match Node.crash n Failure.Power_outage with
+  | `Survived -> ()
+  | `Crashed -> Alcotest.fail "UPS node must survive a power outage");
+  check_bool "still up" true (Node.is_up n);
+  (* ...but not software errors. *)
+  match Node.crash n Failure.Software_error with
+  | `Crashed -> ()
+  | `Survived -> Alcotest.fail "UPS does not help a software crash"
+
+let test_power_supply_correlation () =
+  let _, c = three_nodes () in
+  (* Nodes 0 and 2 share supply 0; node 1 is on supply 1. *)
+  let downed = Cluster.crash_power_supply c 0 in
+  check (Alcotest.list Alcotest.int) "both nodes on supply 0 down" [ 0; 2 ] (List.sort compare downed);
+  check (Alcotest.list Alcotest.int) "node on supply 1 alive" [ 1 ] (Cluster.up_nodes c)
+
+let test_power_supply_spares_ups () =
+  let _, c = three_nodes ~ups_on:[ 2 ] () in
+  let downed = Cluster.crash_power_supply c 0 in
+  check (Alcotest.list Alcotest.int) "only the non-UPS node" [ 0 ] downed;
+  check (Alcotest.list Alcotest.int) "two survivors" [ 1; 2 ] (List.sort compare (Cluster.up_nodes c))
+
+let test_crash_counts_and_restart_allocator () =
+  let _, c = three_nodes () in
+  let n = Cluster.node c 0 in
+  let seg = Mem.Allocator.alloc_exn (Node.allocator n) 100 in
+  check_int "no crashes yet" 0 (Node.crashes_since_start n);
+  ignore (Node.crash n Failure.Hardware_error);
+  Node.restart n;
+  check_int "one crash" 1 (Node.crashes_since_start n);
+  (* A fresh allocator after restart: the old segment is no longer live. *)
+  check_bool "old segment not live" false (Mem.Allocator.is_live (Node.allocator n) seg);
+  ignore (Mem.Allocator.alloc_exn (Node.allocator n) (1 lsl 20))
+
+let test_local_copy_moves_and_charges () =
+  let clock, c = three_nodes () in
+  let n = Cluster.node c 0 in
+  Mem.Image.write_bytes (Node.dram n) ~off:0 (Bytes.of_string "move-me");
+  Node.local_copy n ~src_off:0 ~dst_off:100 ~len:7 ();
+  check Alcotest.string "copied" "move-me" (Bytes.to_string (Mem.Image.read_bytes (Node.dram n) ~off:100 ~len:7));
+  check_bool "charged" true (Clock.now clock > 0)
+
+let test_crash_idempotent () =
+  let _, c = three_nodes () in
+  let n = Cluster.node c 0 in
+  ignore (Node.crash n Failure.Software_error);
+  (match Node.crash n Failure.Software_error with
+  | `Crashed -> ()
+  | `Survived -> Alcotest.fail "crashing a down node is `Crashed");
+  check_int "counted once" 1 (Node.crashes_since_start n)
+
+let test_empty_cluster_rejected () =
+  let clock = Clock.create () in
+  try
+    ignore (Cluster.create ~clock []);
+    Alcotest.fail "expected Invalid_argument"
+  with Invalid_argument _ -> ()
+
+let suite =
+  [
+    ("ring hop distances", `Quick, test_ring_hops);
+    ("crash wipes DRAM and blocks access", `Quick, test_crash_wipes_dram);
+    ("UPS absorbs power outages only", `Quick, test_ups_absorbs_power_outage);
+    ("power supply failure is correlated", `Quick, test_power_supply_correlation);
+    ("power supply failure spares UPS nodes", `Quick, test_power_supply_spares_ups);
+    ("restart resets allocator, counts crashes", `Quick, test_crash_counts_and_restart_allocator);
+    ("local copy moves bytes and charges", `Quick, test_local_copy_moves_and_charges);
+    ("crash is idempotent", `Quick, test_crash_idempotent);
+    ("empty cluster rejected", `Quick, test_empty_cluster_rejected);
+  ]

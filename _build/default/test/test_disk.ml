@@ -1,0 +1,229 @@
+open Sim
+module Device = Disk.Device
+module Log = Disk.Log
+
+let check = Alcotest.check
+let check_int = check Alcotest.int
+let check_bool = check Alcotest.bool
+
+let magnetic () =
+  let clock = Clock.create () in
+  (clock, Device.create ~clock ~backend:(Device.Magnetic Device.default_geometry) ~capacity:(1 lsl 20))
+
+let rio ?(ups = false) () =
+  let clock = Clock.create () in
+  (clock, Device.create ~clock ~backend:(Device.Rio { Device.default_rio with ups }) ~capacity:(1 lsl 20))
+
+(* ------------------------------------------------------------------ *)
+(* Device *)
+
+let test_write_read_roundtrip () =
+  let _, d = magnetic () in
+  Device.write d ~off:100 (Bytes.of_string "stable");
+  check Alcotest.string "roundtrip" "stable" (Bytes.to_string (Device.read d ~off:100 ~len:6))
+
+let test_magnetic_costs_rotation () =
+  let clock, d = magnetic () in
+  Device.write d ~off:0 (Bytes.make 512 'x');
+  (* Sequential start: rotational delay but no seek. *)
+  check_bool "first write pays rotation" true (Clock.now clock >= Time.ms 5.);
+  check_bool "no seek at the head" true (Clock.now clock < Time.ms 10.);
+  let t1 = Clock.now clock in
+  Device.write d ~off:(512 * 1024) (Bytes.make 512 'x');
+  let jump = Clock.now clock - t1 in
+  (* A far jump pays the average seek on top of rotation. *)
+  check_bool "far write pays seek" true (jump >= Time.ms 15.);
+  let t2 = Clock.now clock in
+  Device.write d ~off:(512 * 1024 + 512) (Bytes.make 512 'x');
+  let seq = Clock.now clock - t2 in
+  check_bool "sequential cheaper than far" true (seq < jump);
+  check_bool "but still pays rotation" true (seq >= Time.ms 5.)
+
+let test_rio_is_memory_speed () =
+  let clock, d = rio () in
+  Device.write d ~off:0 (Bytes.make 64 'x');
+  check_bool "about a microsecond" true (Clock.now clock < Time.us 5.)
+
+let test_buffered_writes_and_sync () =
+  let clock, d = magnetic () in
+  Device.write_buffered d ~off:0 (Bytes.of_string "aaaa");
+  Device.write_buffered d ~off:4 (Bytes.of_string "bbbb");
+  check_int "buffered" 8 (Device.buffered_bytes d);
+  check_int "free until sync" 0 (Clock.now clock);
+  (* Read-through sees buffered data. *)
+  check Alcotest.string "read-through" "aaaabbbb" (Bytes.to_string (Device.read d ~off:0 ~len:8));
+  let t_read = Clock.now clock in
+  Device.sync d;
+  check_int "drained" 0 (Device.buffered_bytes d);
+  check_bool "sync charged" true (Clock.now clock > t_read);
+  check Alcotest.string "stable now" "aaaabbbb" (Bytes.to_string (Device.read d ~off:0 ~len:8))
+
+let test_sync_coalesces_contiguous () =
+  let _, d = magnetic () in
+  let w0 = Device.writes_performed d in
+  for i = 0 to 9 do
+    Device.write_buffered d ~off:(i * 16) (Bytes.make 16 'x')
+  done;
+  Device.sync d;
+  check_int "one coalesced device write" 1 (Device.writes_performed d - w0)
+
+let test_sync_does_not_coalesce_gaps () =
+  let _, d = magnetic () in
+  let w0 = Device.writes_performed d in
+  Device.write_buffered d ~off:0 (Bytes.make 16 'x');
+  Device.write_buffered d ~off:100 (Bytes.make 16 'y');
+  Device.sync d;
+  check_int "two runs" 2 (Device.writes_performed d - w0)
+
+let test_crash_semantics () =
+  (* Magnetic survives everything; buffered data always dies. *)
+  let _, d = magnetic () in
+  Device.write d ~off:0 (Bytes.of_string "keep");
+  Device.write_buffered d ~off:10 (Bytes.of_string "lose");
+  Device.crash d Device.Power_outage;
+  check Alcotest.string "stable kept" "keep" (Bytes.to_string (Device.read d ~off:0 ~len:4));
+  check_int "buffer lost" 0 (Device.buffered_bytes d);
+  check_bool "buffered bytes gone" true (Bytes.to_string (Device.read d ~off:10 ~len:4) <> "lose")
+
+let test_rio_crash_matrix () =
+  check_bool "rio survives software crash" true
+    (Device.survives (Device.Rio Device.default_rio) Device.Software_error);
+  check_bool "rio loses power without UPS" false
+    (Device.survives (Device.Rio Device.default_rio) Device.Power_outage);
+  check_bool "rio+UPS survives power" true
+    (Device.survives (Device.Rio { Device.default_rio with ups = true }) Device.Power_outage);
+  check_bool "rio loses hardware" false
+    (Device.survives (Device.Rio Device.default_rio) Device.Hardware_error);
+  let _, d = rio () in
+  Device.write d ~off:0 (Bytes.of_string "data");
+  Device.crash d Device.Software_error;
+  check Alcotest.string "software crash survived" "data" (Bytes.to_string (Device.peek d ~off:0 ~len:4));
+  Device.crash d Device.Power_outage;
+  check_bool "power outage wiped" true (Bytes.to_string (Device.peek d ~off:0 ~len:4) <> "data")
+
+let test_peek_free () =
+  let clock, d = rio () in
+  Device.write d ~off:0 (Bytes.of_string "zero-cost");
+  let t = Clock.now clock in
+  ignore (Device.peek d ~off:0 ~len:9);
+  check_int "peek charges nothing" t (Clock.now clock)
+
+let test_projected_geometry () =
+  let g0 = Device.projected_geometry ~years:0 () in
+  let g5 = Device.projected_geometry ~years:5 () in
+  check_int "year 0 unchanged" Device.default_geometry.avg_seek g0.avg_seek;
+  check_bool "seeks improve" true (g5.avg_seek < g0.avg_seek);
+  check_bool "spindle speeds up" true (g5.rpm > g0.rpm);
+  check_bool "transfer improves" true (g5.transfer_bytes_per_s > g0.transfer_bytes_per_s);
+  (* Disk access improves far slower than the network (section 6). *)
+  let disk_ratio = float_of_int g5.avg_seek /. float_of_int g0.avg_seek in
+  let p5 = Sci.Params.projected ~years:5 () in
+  let net_ratio = float_of_int p5.t_base /. float_of_int Sci.Params.default.t_base in
+  check_bool "network gains outpace disk" true (net_ratio < disk_ratio)
+
+(* ------------------------------------------------------------------ *)
+(* Log *)
+
+let test_log_append_replay () =
+  let _, d = magnetic () in
+  let log = Log.create d ~base:0 ~size:65536 in
+  let l0 = Log.append log (Bytes.of_string "first") in
+  let l1 = Log.append log (Bytes.of_string "second") in
+  check_int "lsn 0" 0 l0;
+  check_int "lsn 1" 1 l1;
+  Log.force log;
+  let replayed = Log.replay log in
+  check_int "two records" 2 (List.length replayed);
+  check Alcotest.string "payload 0" "first" (Bytes.to_string (List.assoc 0 replayed));
+  check Alcotest.string "payload 1" "second" (Bytes.to_string (List.assoc 1 replayed))
+
+let test_log_unforced_tail_lost () =
+  let _, d = magnetic () in
+  let log = Log.create d ~base:0 ~size:65536 in
+  ignore (Log.append log (Bytes.of_string "stable"));
+  Log.force log;
+  ignore (Log.append log (Bytes.of_string "torn"));
+  (* Crash before force: the buffered tail evaporates. *)
+  Device.crash d Device.Software_error;
+  let log' = Log.attach d ~base:0 ~size:65536 in
+  let replayed = Log.replay log' in
+  check_int "only the forced record" 1 (List.length replayed);
+  check Alcotest.string "survivor" "stable" (Bytes.to_string (List.assoc 0 replayed))
+
+let test_log_truncate_invalidates_old_records () =
+  let _, d = magnetic () in
+  let log = Log.create d ~base:0 ~size:65536 in
+  ignore (Log.append log (Bytes.of_string "old-one"));
+  ignore (Log.append log (Bytes.of_string "old-two"));
+  Log.force log;
+  Log.truncate log;
+  check_int "empty after truncate" 0 (List.length (Log.replay log));
+  (* New records after truncation replay alone even though stale bytes
+     of the same length sit right behind them. *)
+  ignore (Log.append log (Bytes.of_string "new-one"));
+  Log.force log;
+  let replayed = Log.replay log in
+  check_int "one record" 1 (List.length replayed);
+  check Alcotest.string "the new one" "new-one" (Bytes.to_string (List.assoc 0 replayed));
+  (* Same after a crash + attach. *)
+  Device.crash d Device.Software_error;
+  let log' = Log.attach d ~base:0 ~size:65536 in
+  check_int "attach sees one" 1 (List.length (Log.replay log'))
+
+let test_log_full () =
+  let _, d = magnetic () in
+  let log = Log.create d ~base:0 ~size:256 in
+  (try
+     for _ = 1 to 100 do
+       ignore (Log.append log (Bytes.make 32 'x'))
+     done;
+     Alcotest.fail "expected log-full failure"
+   with Failure _ -> ())
+
+let test_log_attach_continues_lsns () =
+  let _, d = magnetic () in
+  let log = Log.create d ~base:0 ~size:65536 in
+  ignore (Log.append log (Bytes.of_string "a"));
+  ignore (Log.append log (Bytes.of_string "b"));
+  Log.force log;
+  let log' = Log.attach d ~base:0 ~size:65536 in
+  let l = Log.append log' (Bytes.of_string "c") in
+  check_int "lsn continues" 2 l
+
+let prop_log_replay_prefix =
+  QCheck.Test.make ~name:"log replays exactly the forced prefix" ~count:100
+    QCheck.(
+      pair
+        (list_of_size (Gen.int_range 0 20) (string_gen_of_size (Gen.int_range 0 64) Gen.printable))
+        (list_of_size (Gen.int_range 0 5) (string_gen_of_size (Gen.int_range 0 64) Gen.printable)))
+    (fun (forced, unforced) ->
+      let clock = Clock.create () in
+      let d = Device.create ~clock ~backend:(Device.Magnetic Device.default_geometry) ~capacity:(1 lsl 20) in
+      let log = Log.create d ~base:0 ~size:(1 lsl 19) in
+      List.iter (fun s -> ignore (Log.append log (Bytes.of_string s))) forced;
+      Log.force log;
+      List.iter (fun s -> ignore (Log.append log (Bytes.of_string s))) unforced;
+      Device.crash d Device.Software_error;
+      let log' = Log.attach d ~base:0 ~size:(1 lsl 19) in
+      let replayed = List.map (fun (_, b) -> Bytes.to_string b) (Log.replay log') in
+      replayed = forced)
+
+let suite =
+  [
+    ("device: write/read roundtrip", `Quick, test_write_read_roundtrip);
+    ("device: magnetic cost model", `Quick, test_magnetic_costs_rotation);
+    ("device: rio at memory speed", `Quick, test_rio_is_memory_speed);
+    ("device: buffered writes and sync", `Quick, test_buffered_writes_and_sync);
+    ("device: sync coalesces contiguous runs", `Quick, test_sync_coalesces_contiguous);
+    ("device: sync keeps gaps separate", `Quick, test_sync_does_not_coalesce_gaps);
+    ("device: crash drops buffers, keeps stable", `Quick, test_crash_semantics);
+    ("device: rio crash matrix", `Quick, test_rio_crash_matrix);
+    ("device: peek is free", `Quick, test_peek_free);
+    ("device: projected geometry trend", `Quick, test_projected_geometry);
+    ("log: append and replay", `Quick, test_log_append_replay);
+    ("log: unforced tail lost in crash", `Quick, test_log_unforced_tail_lost);
+    ("log: truncate invalidates old records", `Quick, test_log_truncate_invalidates_old_records);
+    ("log: full log rejected", `Quick, test_log_full);
+    ("log: attach continues LSNs", `Quick, test_log_attach_continues_lsns);
+    QCheck_alcotest.to_alcotest prop_log_replay_prefix;
+  ]

@@ -1,0 +1,164 @@
+module FS = Workloads.File_meta.Make (Perseas.Engine)
+module P = Perseas
+
+let check = Alcotest.check
+let check_int = check Alcotest.int
+let check_bool = check Alcotest.bool
+
+let fresh ?(params = Workloads.File_meta.small_params) () =
+  let bed = Harness.Testbed.perseas_bed ~dram_mb:8 () in
+  (bed, FS.setup bed.perseas ~params)
+
+let ok fs = check_bool "consistent" true (FS.consistent fs)
+
+let test_create_unlink () =
+  let _, fs = fresh () in
+  FS.create fs "a.txt";
+  FS.create fs "b.txt";
+  check_bool "exists" true (FS.exists fs "a.txt");
+  check_int "two live" 2 (FS.live_count fs);
+  ok fs;
+  check_bool "unlink" true (FS.unlink fs "a.txt");
+  check_bool "gone" false (FS.exists fs "a.txt");
+  check_bool "unlink absent" false (FS.unlink fs "a.txt");
+  check_int "one live" 1 (FS.live_count fs);
+  ok fs
+
+let test_inode_reuse () =
+  let params = { Workloads.File_meta.inodes = 4; dentries = 8 } in
+  let _, fs = fresh ~params () in
+  List.iter (FS.create fs) [ "f1"; "f2"; "f3"; "f4" ];
+  (try
+     FS.create fs "f5";
+     Alcotest.fail "expected Fs_full"
+   with FS.Fs_full -> ());
+  check_bool "free one" true (FS.unlink fs "f2");
+  FS.create fs "f5";
+  check_int "four live" 4 (FS.live_count fs);
+  ok fs
+
+let test_rename () =
+  let _, fs = fresh () in
+  FS.create fs "old-name";
+  ignore (FS.append fs "old-name" 1000);
+  check_bool "renamed" true (FS.rename fs ~from:"old-name" ~to_:"new-name");
+  check_bool "old gone" false (FS.exists fs "old-name");
+  check_bool "new there" true (FS.exists fs "new-name");
+  check (Alcotest.option Alcotest.int) "size follows" (Some 1000) (FS.file_size fs "new-name");
+  (try
+     ignore (FS.rename fs ~from:"new-name" ~to_:"new-name");
+     Alcotest.fail "rename onto itself"
+   with Invalid_argument _ -> ());
+  ok fs
+
+let test_append_accumulates () =
+  let _, fs = fresh () in
+  FS.create fs "log";
+  ignore (FS.append fs "log" 100);
+  ignore (FS.append fs "log" 200);
+  check (Alcotest.option Alcotest.int) "size" (Some 300) (FS.file_size fs "log");
+  check_bool "append to absent" false (FS.append fs "nope" 10)
+
+let test_bad_names () =
+  let _, fs = fresh () in
+  (try
+     FS.create fs "";
+     Alcotest.fail "empty name"
+   with FS.Bad_name _ -> ());
+  try
+    FS.create fs (String.make 60 'n');
+    Alcotest.fail "long name"
+  with FS.Bad_name _ -> ()
+
+let test_mixed_workload_consistent () =
+  let _, fs = fresh () in
+  let rng = Sim.Rng.create 17 in
+  for _ = 1 to 400 do
+    FS.transaction fs rng
+  done;
+  ok fs
+
+let test_crash_mid_create_is_atomic () =
+  (* The classic corruption scenario: crash between inode allocation
+     and directory insertion.  Cut at every packet; the recovered file
+     system must be consistent, with the file fully there or fully
+     absent. *)
+  let run cut =
+    let bed, fs = fresh () in
+    FS.create fs "existing";
+    let exception Crash in
+    let sent = ref 0 in
+    P.set_packet_hook bed.perseas
+      (Some (fun () -> if !sent >= cut then raise Crash else incr sent));
+    let crashed = try FS.create fs "victim" |> fun () -> false with Crash -> true in
+    P.set_packet_hook bed.perseas None;
+    if crashed then begin
+      ignore (Cluster.crash_node bed.cluster 0 Cluster.Failure.Software_error);
+      let t2 = P.recover ~cluster:bed.cluster ~local:2 ~server:bed.server () in
+      let fs2 =
+        {
+          fs with
+          FS.engine = t2;
+          inodes = Option.get (P.segment t2 "inodes");
+          dentries = Option.get (P.segment t2 "dentries");
+          bitmap = Option.get (P.segment t2 "inode-bitmap");
+        }
+      in
+      check_bool (Printf.sprintf "consistent after cut %d" cut) true (FS.consistent fs2);
+      check_bool "pre-existing file intact" true (FS.exists fs2 "existing");
+      (match FS.live_count fs2 with
+      | 1 | 2 -> ()
+      | n -> Alcotest.failf "unexpected live count %d at cut %d" n cut);
+      true
+    end
+    else false
+  in
+  let cut = ref 0 in
+  while run !cut do
+    incr cut
+  done
+
+let prop_model_equivalence =
+  QCheck.Test.make ~name:"file-meta matches a set model" ~count:40
+    QCheck.(list_of_size (Gen.int_range 0 60) (pair (int_bound 3) (int_bound 15)))
+    (fun ops ->
+      let _, fs = fresh () in
+      let model = Hashtbl.create 32 in
+      List.iter
+        (fun (op, i) ->
+          let name = Printf.sprintf "n%d" i in
+          match op with
+          | 0 ->
+              if not (Hashtbl.mem model name) then begin
+                (try
+                   FS.create fs name;
+                   Hashtbl.replace model name 0
+                 with FS.Fs_full -> ())
+              end
+          | 1 ->
+              let expect = Hashtbl.mem model name in
+              if FS.unlink fs name <> expect then QCheck.Test.fail_report "unlink disagrees";
+              Hashtbl.remove model name
+          | 2 ->
+              let expect = Hashtbl.mem model name in
+              if FS.append fs name 10 <> expect then QCheck.Test.fail_report "append disagrees";
+              if expect then Hashtbl.replace model name (Hashtbl.find model name + 10)
+          | _ ->
+              if FS.exists fs name <> Hashtbl.mem model name then
+                QCheck.Test.fail_report "exists disagrees")
+        ops;
+      FS.consistent fs
+      && FS.live_count fs = Hashtbl.length model
+      && Hashtbl.fold (fun name size acc -> acc && FS.file_size fs name = Some size) model true)
+
+let suite =
+  [
+    ("create and unlink", `Quick, test_create_unlink);
+    ("inode exhaustion and reuse", `Quick, test_inode_reuse);
+    ("rename", `Quick, test_rename);
+    ("append accumulates size", `Quick, test_append_accumulates);
+    ("bad names rejected", `Quick, test_bad_names);
+    ("mixed workload stays consistent", `Quick, test_mixed_workload_consistent);
+    ("crash mid-create is atomic at every cut", `Slow, test_crash_mid_create_is_atomic);
+    QCheck_alcotest.to_alcotest prop_model_equivalence;
+  ]

@@ -1,0 +1,122 @@
+open Sim
+
+let check = Alcotest.check
+let check_int = check Alcotest.int
+let check_bool = check Alcotest.bool
+let check_str = check Alcotest.string
+
+(* ------------------------------------------------------------------ *)
+(* Table formatting *)
+
+let test_fmt_int () =
+  check_str "small" "7" (Harness.Table.fmt_int 7);
+  check_str "thousands" "1 234" (Harness.Table.fmt_int 1234);
+  check_str "millions" "12 345 678" (Harness.Table.fmt_int 12_345_678);
+  check_str "negative" "-9 999" (Harness.Table.fmt_int (-9999))
+
+let test_fmt_tps_and_us () =
+  check_str "tps rounds" "1 234" (Harness.Table.fmt_tps 1233.7);
+  check_str "us small keeps decimals" "12.34" (Harness.Table.fmt_us 12.34);
+  check_str "us large groups" "1 235" (Harness.Table.fmt_us 1234.6);
+  check_str "ratio small" "2.5x" (Harness.Table.fmt_ratio 2.49);
+  check_str "ratio large" "2 500x" (Harness.Table.fmt_ratio 2499.9)
+
+let test_csv_roundtrip () =
+  let path = Filename.temp_file "perseas-test" ".csv" in
+  Harness.Table.save_csv ~path ~header:[ "a"; "b" ]
+    [ [ "1"; "plain" ]; [ "2"; "with,comma" ]; [ "3"; "with\"quote" ] ];
+  let ic = open_in path in
+  let lines = ref [] in
+  (try
+     while true do
+       lines := input_line ic :: !lines
+     done
+   with End_of_file -> close_in ic);
+  Sys.remove path;
+  let lines = List.rev !lines in
+  check_int "4 lines" 4 (List.length lines);
+  check_str "header" "a,b" (List.nth lines 0);
+  check_str "escaped comma" "2,\"with,comma\"" (List.nth lines 2);
+  check_str "escaped quote" "3,\"with\"\"quote\"" (List.nth lines 3)
+
+(* ------------------------------------------------------------------ *)
+(* Measure *)
+
+let test_measure_counts_only_measured_phase () =
+  let clock = Clock.create () in
+  let tx _ = Clock.advance clock (Time.us 10.) in
+  let r = Harness.Measure.run ~clock ~warmup:5 ~iters:100 tx in
+  check_int "iters" 100 r.iters;
+  check (Alcotest.float 1e-6) "mean 10us" 10. r.mean_us;
+  check (Alcotest.float 1e-6) "p99 10us" 10. r.p99_us;
+  check (Alcotest.float 0.5) "tps 100k" 100_000. r.tps;
+  check_int "elapsed excludes warmup" (Time.us 1000.) r.elapsed
+
+let test_measure_finish_accounted () =
+  let clock = Clock.create () in
+  let pending = ref 0 in
+  let tx _ = incr pending in
+  let finish () =
+    Clock.advance clock (Time.us (float_of_int !pending));
+    pending := 0
+  in
+  let r = Harness.Measure.run ~clock ~finish ~warmup:0 ~iters:100 tx in
+  (* All work is deferred to finish: throughput must still account it. *)
+  check (Alcotest.float 1.) "tps includes finish" 1_000_000. r.tps
+
+let test_measure_percentiles () =
+  let clock = Clock.create () in
+  let i = ref 0 in
+  let tx _ =
+    incr i;
+    Clock.advance clock (Time.us (if !i mod 100 = 0 then 1000. else 10.))
+  in
+  let r = Harness.Measure.run ~clock ~warmup:0 ~iters:1000 tx in
+  check (Alcotest.float 1e-6) "p50 ignores outliers" 10. r.p50_us;
+  check_bool "p99 near the outlier" true (r.p99_us >= 10.);
+  check_bool "mean pulled up" true (r.mean_us > 10.)
+
+let test_measure_rejects_bad_iters () =
+  let clock = Clock.create () in
+  try
+    ignore (Harness.Measure.run ~clock ~warmup:0 ~iters:0 (fun _ -> ()));
+    Alcotest.fail "expected Invalid_argument"
+  with Invalid_argument _ -> ()
+
+(* ------------------------------------------------------------------ *)
+(* Testbeds *)
+
+let test_all_instances_labels () =
+  let labels = List.map Harness.Testbed.label (Harness.Testbed.all_instances ()) in
+  check (Alcotest.list Alcotest.string) "the five engines"
+    [ "PERSEAS"; "RVM"; "RVM-Rio"; "Vista"; "RemoteWAL" ]
+    labels
+
+let test_instances_independent_clocks () =
+  let a = Harness.Testbed.perseas_instance () in
+  let b = Harness.Testbed.perseas_instance () in
+  Clock.advance (Harness.Testbed.clock_of a) (Time.ms 5.);
+  check_bool "separate clocks" true
+    (Clock.now (Harness.Testbed.clock_of b) < Time.ms 1.)
+
+let test_perseas_bed_deployment () =
+  let bed = Harness.Testbed.perseas_bed () in
+  check_int "three nodes" 3 (Cluster.size bed.cluster);
+  (* Primary and mirror on different power supplies — the paper's rule. *)
+  check_bool "separate supplies" true
+    (Cluster.Node.power_supply (Cluster.node bed.cluster 0)
+    <> Cluster.Node.power_supply (Cluster.node bed.cluster 1))
+
+let suite =
+  [
+    ("table: integer grouping", `Quick, test_fmt_int);
+    ("table: tps/us/ratio formats", `Quick, test_fmt_tps_and_us);
+    ("table: csv escaping roundtrip", `Quick, test_csv_roundtrip);
+    ("measure: measured phase only", `Quick, test_measure_counts_only_measured_phase);
+    ("measure: finish is accounted", `Quick, test_measure_finish_accounted);
+    ("measure: percentiles", `Quick, test_measure_percentiles);
+    ("measure: rejects bad iters", `Quick, test_measure_rejects_bad_iters);
+    ("testbed: all engines present", `Quick, test_all_instances_labels);
+    ("testbed: instances are isolated", `Quick, test_instances_independent_clocks);
+    ("testbed: paper deployment rules", `Quick, test_perseas_bed_deployment);
+  ]

@@ -1,0 +1,265 @@
+(* End-to-end scenarios across the whole stack: realistic workloads,
+   crashes at awkward moments, recovery on other workstations, and the
+   availability property the paper advertises. *)
+
+open Sim
+module P = Perseas
+module Node = Cluster.Node
+
+let check = Alcotest.check
+let check_bool = check Alcotest.bool
+let check_i64 = check Alcotest.int64
+
+let bed () = Harness.Testbed.perseas_bed ~dram_mb:32 ()
+
+(* A banking day with a crash in the middle: run debit-credit, crash
+   the primary at a random packet of a random transaction, recover on
+   the spare, and keep going — the invariant must hold throughout. *)
+let test_bank_crash_and_continue () =
+  let b = bed () in
+  let module W = Workloads.Debit_credit.Make (P.Engine) in
+  let rng = Rng.create 100 in
+  let db = W.setup b.perseas ~params:Workloads.Debit_credit.small_params in
+  for _ = 1 to 200 do
+    W.transaction db rng
+  done;
+  check_bool "consistent before crash" true (W.consistent db);
+  (* Crash inside some later transaction. *)
+  let exception Boom in
+  let countdown = ref 23 in
+  P.set_packet_hook b.perseas
+    (Some (fun () -> if !countdown = 0 then raise Boom else decr countdown));
+  (try
+     for _ = 1 to 50 do
+       W.transaction db rng
+     done;
+     Alcotest.fail "hook should have fired"
+   with Boom -> ());
+  P.set_packet_hook b.perseas None;
+  ignore (Cluster.crash_node b.cluster 0 Cluster.Failure.Software_error);
+  (* Recover on the spare workstation; the recovered store must pass
+     the TPC-B consistency condition. *)
+  let t2 = P.recover ~cluster:b.cluster ~local:2 ~server:b.server () in
+  let sum_first_8 seg_name n stride =
+    let seg = Option.get (P.segment t2 seg_name) in
+    let total = ref 0L in
+    for i = 0 to n - 1 do
+      total := Int64.add !total (P.read_u64 t2 seg ~off:(i * stride))
+    done;
+    !total
+  in
+  let params = Workloads.Debit_credit.small_params in
+  let rs = Workloads.Debit_credit.record_size in
+  let a = sum_first_8 "accounts" params.accounts_per_branch rs in
+  let t = sum_first_8 "tellers" (10 * params.scale) rs in
+  let br = sum_first_8 "branches" params.scale rs in
+  check_i64 "accounts = tellers" a t;
+  check_i64 "tellers = branches" t br;
+  (* Every segment's local copy must equal its mirror after recovery. *)
+  List.iter
+    (fun seg -> check_i64 (P.segment_name seg ^ " mirrored") (P.checksum t2 seg) (P.mirror_checksum t2 seg))
+    (P.segments t2)
+
+(* The paper's availability pitch: with the primary out cold, a fresh
+   workstation takes over immediately; when the primary finally comes
+   back it can recover too, from the same mirror, seeing the spare's
+   later commits. *)
+let test_failover_then_failback () =
+  let b = bed () in
+  let seg = P.malloc b.perseas ~name:"kv" ~size:4096 in
+  P.init_remote_db b.perseas;
+  let put t seg k v =
+    let txn = P.begin_transaction t in
+    P.set_range txn seg ~off:(k * 8) ~len:8;
+    P.write_u64 t seg ~off:(k * 8) v;
+    P.commit txn
+  in
+  put b.perseas seg 1 100L;
+  ignore (Cluster.crash_node b.cluster 0 Cluster.Failure.Hardware_error);
+  (* Spare takes over and commits more work. *)
+  let spare = P.recover ~cluster:b.cluster ~local:2 ~server:b.server () in
+  let seg_s = Option.get (P.segment spare "kv") in
+  check_i64 "sees old value" 100L (P.read_u64 spare seg_s ~off:8);
+  put spare seg_s 2 200L;
+  (* Primary comes back much later and recovers: it must see both. *)
+  ignore (Cluster.crash_node b.cluster 2 Cluster.Failure.Software_error);
+  Cluster.restart_node b.cluster 0;
+  let back = P.recover ~cluster:b.cluster ~local:0 ~server:b.server () in
+  let seg_b = Option.get (P.segment back "kv") in
+  check_i64 "old value" 100L (P.read_u64 back seg_b ~off:8);
+  check_i64 "spare's commit" 200L (P.read_u64 back seg_b ~off:16)
+
+(* Double-crash scenario the paper concedes: if both the primary and
+   the mirror die in the same window, the data is gone. *)
+let test_double_crash_loses_data () =
+  let b = bed () in
+  let _seg = P.malloc b.perseas ~name:"doomed" ~size:256 in
+  P.init_remote_db b.perseas;
+  ignore (Cluster.crash_node b.cluster 0 Cluster.Failure.Software_error);
+  ignore (Cluster.crash_node b.cluster 1 Cluster.Failure.Software_error);
+  Cluster.restart_node b.cluster 1;
+  let server2 = Netram.Server.create (Cluster.node b.cluster 1) in
+  try
+    ignore (P.recover ~cluster:b.cluster ~local:2 ~server:server2 ());
+    Alcotest.fail "expected unrecoverable failure"
+  with Failure _ -> ()
+
+(* ...but a correlated power outage on the *primary's* supply does not
+   hurt, because the mirror hangs off a different supply (the paper's
+   §1 deployment rule). *)
+let test_correlated_power_outage_survivable () =
+  let b = bed () in
+  let seg = P.malloc b.perseas ~name:"kv" ~size:256 in
+  P.write b.perseas seg ~off:0 (Bytes.of_string "important");
+  P.init_remote_db b.perseas;
+  let downed = Cluster.crash_power_supply b.cluster 0 in
+  check (Alcotest.list Alcotest.int) "only primary down" [ 0 ] downed;
+  let t2 = P.recover ~cluster:b.cluster ~local:2 ~server:b.server () in
+  check Alcotest.string "data intact" "important"
+    (Bytes.to_string (P.read t2 (Option.get (P.segment t2 "kv")) ~off:0 ~len:9))
+
+(* Mirror maintenance mid-workload: kill the mirror, re-mirror to the
+   spare, keep transacting, then crash the primary and recover from
+   the new mirror. *)
+let test_mirror_migration_under_load () =
+  let b = bed () in
+  let module W = Workloads.Debit_credit.Make (P.Engine) in
+  let rng = Rng.create 55 in
+  let db = W.setup b.perseas ~params:Workloads.Debit_credit.small_params in
+  for _ = 1 to 100 do
+    W.transaction db rng
+  done;
+  ignore (Cluster.crash_node b.cluster 1 Cluster.Failure.Hardware_error);
+  let server2 = Netram.Server.create (Cluster.node b.cluster 2) in
+  P.remirror b.perseas ~server:server2;
+  for _ = 1 to 100 do
+    W.transaction db rng
+  done;
+  check_bool "consistent" true (W.consistent db);
+  ignore (Cluster.crash_node b.cluster 0 Cluster.Failure.Power_outage);
+  Cluster.restart_node b.cluster 0;
+  let t2 = P.recover ~cluster:b.cluster ~local:0 ~server:server2 () in
+  List.iter
+    (fun seg -> check_i64 "mirrored" (P.checksum t2 seg) (P.mirror_checksum t2 seg))
+    (P.segments t2)
+
+(* Recovery must be idempotent: recovering twice from the same mirror
+   state (e.g. the recovering node crashes right after recovery)
+   produces the same database. *)
+let test_recovery_idempotent () =
+  let b = bed () in
+  let seg = P.malloc b.perseas ~name:"kv" ~size:1024 in
+  P.write b.perseas seg ~off:0 (Bytes.make 1024 'i');
+  P.init_remote_db b.perseas;
+  let exception Boom in
+  let txn = P.begin_transaction b.perseas in
+  P.set_range txn seg ~off:0 ~len:512;
+  P.write b.perseas seg ~off:0 (Bytes.make 512 'j');
+  let n = ref 0 in
+  P.set_packet_hook b.perseas (Some (fun () -> if !n >= 3 then raise Boom else incr n));
+  (match P.commit txn with () -> Alcotest.fail "expected crash" | exception Boom -> ());
+  ignore (Cluster.crash_node b.cluster 0 Cluster.Failure.Software_error);
+  let t2 = P.recover ~cluster:b.cluster ~local:2 ~server:b.server () in
+  let c2 = P.checksum t2 (Option.get (P.segment t2 "kv")) in
+  ignore (Cluster.crash_node b.cluster 2 Cluster.Failure.Software_error);
+  Cluster.restart_node b.cluster 2;
+  let t3 = P.recover ~cluster:b.cluster ~local:2 ~server:b.server () in
+  let c3 = P.checksum t3 (Option.get (P.segment t3 "kv")) in
+  check_i64 "idempotent" c2 c3
+
+(* Virtual-time sanity: PERSEAS transactions are orders of magnitude
+   faster than disk-based RVM on the same workload — checked here so a
+   regression in the cost models fails the test suite, not just the
+   benchmark report. *)
+let test_order_of_magnitude_vs_rvm () =
+  let tps (module I : Harness.Testbed.INSTANCE) iters =
+    let module W = Workloads.Debit_credit.Make (I.E) in
+    let rng = Rng.create 3 in
+    let db = W.setup I.engine ~params:Workloads.Debit_credit.small_params in
+    let r = Harness.Measure.run ~clock:I.clock ~finish:I.finish ~warmup:50 ~iters (fun _ ->
+        W.transaction db rng)
+    in
+    r.Harness.Measure.tps
+  in
+  let perseas = tps (Harness.Testbed.perseas_instance ()) 2000 in
+  let rvm = tps (Harness.Testbed.rvm_instance ()) 300 in
+  let vista = tps (Harness.Testbed.vista_instance ()) 2000 in
+  check_bool "PERSEAS >= 100x RVM" true (perseas >= 100. *. rvm);
+  check_bool "PERSEAS within 10x of Vista" true (vista /. perseas < 10.);
+  check_bool "PERSEAS > 20k tps" true (perseas > 20_000.)
+
+(* Torture: several random crashes over one long banking run — crash
+   at a random packet, recover on an alternating node, keep going; the
+   invariant and the mirror scrub must hold after every round. *)
+let test_repeated_crash_torture () =
+  let bed = Harness.Testbed.perseas_bed ~dram_mb:16 () in
+  let module W = Workloads.Debit_credit.Make (P.Engine) in
+  let rng = Rng.create 2026 in
+  let db = W.setup bed.perseas ~params:Workloads.Debit_credit.small_params in
+  let engine = ref bed.perseas in
+  let db = ref db in
+  let home = ref 0 in
+  for round = 1 to 6 do
+    let exception Boom in
+    let fuse = ref (200 + Rng.int rng 400) in
+    P.set_packet_hook !engine (Some (fun () -> if !fuse = 0 then raise Boom else decr fuse));
+    (try
+       for _ = 1 to 200 do
+         W.transaction !db rng
+       done
+     with Boom -> ());
+    P.set_packet_hook !engine None;
+    ignore (Cluster.crash_node bed.cluster !home Cluster.Failure.Software_error);
+    (* Recover on the other non-mirror node. *)
+    let next = if !home = 0 then 2 else 0 in
+    Cluster.restart_node bed.cluster next;
+    let t2 = P.recover ~cluster:bed.cluster ~local:next ~server:bed.server () in
+    check (Alcotest.list (Alcotest.pair Alcotest.string Alcotest.int))
+      (Printf.sprintf "round %d scrub clean" round)
+      [] (P.verify_mirrors t2);
+    home := next;
+    engine := t2;
+    (* Rebind the workload db to the recovered engine. *)
+    db :=
+      {
+        !db with
+        W.engine = t2;
+        accounts = Option.get (P.segment t2 "accounts");
+        tellers = Option.get (P.segment t2 "tellers");
+        branches = Option.get (P.segment t2 "branches");
+        history = Option.get (P.segment t2 "history");
+      };
+    check_bool (Printf.sprintf "round %d invariant" round) true (W.consistent !db);
+    (* And the system keeps serving transactions. *)
+    for _ = 1 to 50 do
+      W.transaction !db rng
+    done
+  done
+
+let test_verify_mirrors_scrub () =
+  let bed = Harness.Testbed.perseas_bed ~dram_mb:8 () in
+  let seg = P.malloc bed.perseas ~name:"kv" ~size:1024 in
+  P.init_remote_db bed.perseas;
+  check (Alcotest.list (Alcotest.pair Alcotest.string Alcotest.int)) "clean after init" []
+    (P.verify_mirrors bed.perseas);
+  let txn = P.begin_transaction bed.perseas in
+  P.set_range txn seg ~off:0 ~len:64;
+  P.write bed.perseas seg ~off:0 (Bytes.make 64 's');
+  (* Mid-transaction, before commit, local diverges from the mirror. *)
+  check_bool "divergent mid-txn" true (P.verify_mirrors bed.perseas <> []);
+  P.commit txn;
+  check (Alcotest.list (Alcotest.pair Alcotest.string Alcotest.int)) "clean after commit" []
+    (P.verify_mirrors bed.perseas)
+
+let suite =
+  [
+    ("bank day with crash and takeover", `Slow, test_bank_crash_and_continue);
+    ("repeated crash torture", `Slow, test_repeated_crash_torture);
+    ("verify_mirrors scrub", `Quick, test_verify_mirrors_scrub);
+    ("failover to spare, failback to primary", `Quick, test_failover_then_failback);
+    ("double crash loses data (paper's caveat)", `Quick, test_double_crash_loses_data);
+    ("correlated power outage survivable", `Quick, test_correlated_power_outage_survivable);
+    ("mirror migration under load", `Slow, test_mirror_migration_under_load);
+    ("recovery is idempotent", `Quick, test_recovery_idempotent);
+    ("orders-of-magnitude speedup holds", `Slow, test_order_of_magnitude_vs_rvm);
+  ]

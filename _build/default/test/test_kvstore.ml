@@ -1,0 +1,240 @@
+module KV = Kvstore.Make (Perseas.Engine)
+module P = Perseas
+
+let check = Alcotest.check
+let check_int = check Alcotest.int
+let check_bool = check Alcotest.bool
+let check_str_opt = check (Alcotest.option Alcotest.string)
+
+let small = { Kvstore.buckets = 16; capacity = 64; max_key = 24; max_value = 48 }
+
+let fresh ?(config = small) () =
+  let bed = Harness.Testbed.perseas_bed ~dram_mb:8 () in
+  let kv = KV.create ~config bed.perseas ~name:"store" in
+  Perseas.init_remote_db bed.perseas;
+  (bed, kv)
+
+let ok_invariants kv =
+  match KV.check_invariants kv with Ok () -> () | Error m -> Alcotest.fail ("invariants: " ^ m)
+
+let test_put_get_roundtrip () =
+  let _, kv = fresh () in
+  KV.put kv "alpha" "1";
+  KV.put kv "beta" "2";
+  check_str_opt "alpha" (Some "1") (KV.get kv "alpha");
+  check_str_opt "beta" (Some "2") (KV.get kv "beta");
+  check_str_opt "missing" None (KV.get kv "gamma");
+  check_int "length" 2 (KV.length kv);
+  ok_invariants kv
+
+let test_update_in_place () =
+  let _, kv = fresh () in
+  KV.put kv "k" "first";
+  KV.put kv "k" "second-and-longer";
+  check_str_opt "updated" (Some "second-and-longer") (KV.get kv "k");
+  KV.put kv "k" "s";
+  check_str_opt "shrunk" (Some "s") (KV.get kv "k");
+  KV.put kv "k" "";
+  check_str_opt "empty value" (Some "") (KV.get kv "k");
+  check_int "still one binding" 1 (KV.length kv);
+  ok_invariants kv
+
+let test_delete () =
+  let _, kv = fresh () in
+  KV.put kv "a" "1";
+  KV.put kv "b" "2";
+  check_bool "delete existing" true (KV.delete kv "a");
+  check_bool "delete absent" false (KV.delete kv "a");
+  check_str_opt "gone" None (KV.get kv "a");
+  check_str_opt "kept" (Some "2") (KV.get kv "b");
+  check_int "length" 1 (KV.length kv);
+  ok_invariants kv
+
+let test_collision_chains () =
+  (* One bucket forces every key into a single chain. *)
+  let config = { small with buckets = 1; capacity = 32 } in
+  let _, kv = fresh ~config () in
+  for i = 0 to 19 do
+    KV.put kv (Printf.sprintf "key%02d" i) (string_of_int i)
+  done;
+  ok_invariants kv;
+  for i = 0 to 19 do
+    check_str_opt "chained get" (Some (string_of_int i)) (KV.get kv (Printf.sprintf "key%02d" i))
+  done;
+  (* Delete from the middle, the head and the tail of the chain. *)
+  List.iter
+    (fun i -> check_bool "chain delete" true (KV.delete kv (Printf.sprintf "key%02d" i)))
+    [ 10; 0; 19 ];
+  ok_invariants kv;
+  check_int "17 left" 17 (KV.length kv);
+  check_str_opt "middle gone" None (KV.get kv "key10")
+
+let test_capacity_and_reuse () =
+  let config = { small with buckets = 4; capacity = 8 } in
+  let _, kv = fresh ~config () in
+  for i = 0 to 7 do
+    KV.put kv (Printf.sprintf "k%d" i) "x"
+  done;
+  (try
+     KV.put kv "overflow" "x";
+     Alcotest.fail "expected Store_full"
+   with Kvstore.Store_full -> ());
+  (* Updating an existing key is still fine when full. *)
+  KV.put kv "k3" "updated";
+  check_bool "free a slot" true (KV.delete kv "k0");
+  KV.put kv "replacement" "y";
+  check_str_opt "reused slot" (Some "y") (KV.get kv "replacement");
+  check_int "full again" 8 (KV.length kv);
+  ok_invariants kv
+
+let test_oversized_rejected () =
+  let _, kv = fresh () in
+  (try
+     KV.put kv (String.make 100 'k') "v";
+     Alcotest.fail "key too long"
+   with Kvstore.Oversized _ -> ());
+  (try
+     KV.put kv "k" (String.make 100 'v');
+     Alcotest.fail "value too long"
+   with Kvstore.Oversized _ -> ());
+  try
+    KV.put kv "" "v";
+    Alcotest.fail "empty key"
+  with Kvstore.Oversized _ -> ()
+
+let test_iter_fold () =
+  let _, kv = fresh () in
+  List.iter (fun (k, v) -> KV.put kv k v) [ ("x", "1"); ("y", "2"); ("z", "3") ];
+  let total = KV.fold kv ~init:0 ~f:(fun acc _ v -> acc + int_of_string v) in
+  check_int "fold sums" 6 total;
+  let count = ref 0 in
+  KV.iter kv (fun _ _ -> incr count);
+  check_int "iter visits all" 3 !count
+
+let test_mirror_in_sync () =
+  let bed, kv = fresh () in
+  for i = 0 to 30 do
+    KV.put kv (Printf.sprintf "key%d" i) (String.make (i mod 40) 'v')
+  done;
+  ignore (KV.delete kv "key7");
+  List.iter
+    (fun seg ->
+      check (Alcotest.int64)
+        (P.segment_name seg ^ " mirrored")
+        (P.checksum bed.perseas seg)
+        (P.mirror_checksum bed.perseas seg))
+    (P.segments bed.perseas)
+
+let test_survives_crash_and_attach () =
+  let bed, kv = fresh () in
+  for i = 0 to 20 do
+    KV.put kv (Printf.sprintf "key%d" i) (string_of_int (i * i))
+  done;
+  ignore (KV.delete kv "key5");
+  ignore (Cluster.crash_node bed.cluster 0 Cluster.Failure.Power_outage);
+  let t2 = P.recover ~cluster:bed.cluster ~local:2 ~server:bed.server () in
+  let kv2 = KV.attach ~config:small t2 ~name:"store" in
+  ok_invariants kv2;
+  check_int "20 bindings" 20 (KV.length kv2);
+  check_str_opt "key3" (Some "9") (KV.get kv2 "key3");
+  check_str_opt "key5 deleted" None (KV.get kv2 "key5");
+  (* The recovered store accepts new transactions. *)
+  KV.put kv2 "after-recovery" "yes";
+  check_str_opt "new put" (Some "yes") (KV.get kv2 "after-recovery")
+
+let test_crash_mid_put_is_atomic () =
+  (* Cut the commit of a put at every packet: after recovery the store
+     must contain either the old map or the new map, with invariants
+     intact — no broken chains, no leaked slots. *)
+  let run cut =
+    let bed, kv = fresh () in
+    for i = 0 to 9 do
+      KV.put kv (Printf.sprintf "pre%d" i) (string_of_int i)
+    done;
+    let exception Crash in
+    let sent = ref 0 in
+    Perseas.set_packet_hook bed.perseas
+      (Some (fun () -> if !sent >= cut then raise Crash else incr sent));
+    let crashed = try KV.put kv "victim" "payload" |> fun () -> false with Crash -> true in
+    Perseas.set_packet_hook bed.perseas None;
+    if crashed then begin
+      ignore (Cluster.crash_node bed.cluster 0 Cluster.Failure.Software_error);
+      let t2 = P.recover ~cluster:bed.cluster ~local:2 ~server:bed.server () in
+      let kv2 = KV.attach ~config:small t2 ~name:"store" in
+      ok_invariants kv2;
+      (match KV.get kv2 "victim" with
+      | Some v -> check Alcotest.string "complete value" "payload" v
+      | None -> check_int "old map intact" 10 (KV.length kv2));
+      for i = 0 to 9 do
+        check_str_opt "pre-keys intact" (Some (string_of_int i)) (KV.get kv2 (Printf.sprintf "pre%d" i))
+      done;
+      true
+    end
+    else false
+  in
+  let cut = ref 0 in
+  while run !cut do
+    incr cut
+  done
+
+let prop_model_equivalence =
+  (* Random op sequence against a Hashtbl model. *)
+  QCheck.Test.make ~name:"kvstore matches a Hashtbl model" ~count:60
+    QCheck.(
+      list_of_size (Gen.int_range 0 120)
+        (triple (int_bound 2) (int_bound 30) (string_gen_of_size (Gen.int_range 0 20) Gen.printable)))
+    (fun ops ->
+      let _, kv = fresh () in
+      let model = Hashtbl.create 64 in
+      List.iter
+        (fun (op, ki, v) ->
+          let key = Printf.sprintf "key%d" ki in
+          match op with
+          | 0 ->
+              (try
+                 KV.put kv key v;
+                 Hashtbl.replace model key v
+               with Kvstore.Store_full -> ())
+          | 1 ->
+              let expected = Hashtbl.mem model key in
+              if KV.delete kv key <> expected then QCheck.Test.fail_report "delete disagrees";
+              Hashtbl.remove model key
+          | _ ->
+              if KV.get kv key <> Hashtbl.find_opt model key then
+                QCheck.Test.fail_report "get disagrees")
+        ops;
+      (match KV.check_invariants kv with
+      | Ok () -> ()
+      | Error m -> QCheck.Test.fail_report m);
+      KV.length kv = Hashtbl.length model
+      && KV.fold kv ~init:true ~f:(fun acc k v -> acc && Hashtbl.find_opt model k = Some v))
+
+let test_two_stores_one_engine () =
+  let bed = Harness.Testbed.perseas_bed ~dram_mb:8 () in
+  let a = KV.create ~config:small bed.perseas ~name:"users" in
+  let b = KV.create ~config:small bed.perseas ~name:"sessions" in
+  Perseas.init_remote_db bed.perseas;
+  KV.put a "alice" "admin";
+  KV.put b "alice" "token-1";
+  check_str_opt "store a" (Some "admin") (KV.get a "alice");
+  check_str_opt "store b" (Some "token-1") (KV.get b "alice");
+  ignore (KV.delete a "alice");
+  check_str_opt "b unaffected" (Some "token-1") (KV.get b "alice");
+  ok_invariants a;
+  ok_invariants b
+
+let suite =
+  [
+    ("put/get roundtrip", `Quick, test_put_get_roundtrip);
+    ("update in place", `Quick, test_update_in_place);
+    ("delete", `Quick, test_delete);
+    ("collision chains", `Quick, test_collision_chains);
+    ("capacity and slot reuse", `Quick, test_capacity_and_reuse);
+    ("oversized keys/values rejected", `Quick, test_oversized_rejected);
+    ("iter and fold", `Quick, test_iter_fold);
+    ("mirror stays in sync", `Quick, test_mirror_in_sync);
+    ("survives crash, reattaches", `Quick, test_survives_crash_and_attach);
+    ("crash mid-put is atomic at every cut", `Slow, test_crash_mid_put_is_atomic);
+    QCheck_alcotest.to_alcotest prop_model_equivalence;
+    ("two stores share an engine", `Quick, test_two_stores_one_engine);
+  ]

@@ -1,0 +1,136 @@
+module L = Perseas.Layout
+
+let check = Alcotest.check
+let check_int = check Alcotest.int
+let check_bool = check Alcotest.bool
+let check_str = check Alcotest.string
+
+(* ------------------------------------------------------------------ *)
+(* Names and namespaces *)
+
+let test_export_names () =
+  check_str "default db name" "perseas!db!accounts" (L.db_export_name "accounts");
+  check_str "namespaced db name" "bank!db!accounts" (L.db_export_name ~ns:"bank" "accounts");
+  check_str "meta" "bank!meta" (L.meta_name ~ns:"bank");
+  check_str "undo" "bank!undo" (L.undo_name ~ns:"bank");
+  let expect_invalid f = try f (); Alcotest.fail "expected Invalid_argument" with Invalid_argument _ -> () in
+  expect_invalid (fun () -> ignore (L.db_export_name ""));
+  expect_invalid (fun () -> ignore (L.db_export_name "has!bang"));
+  expect_invalid (fun () -> ignore (L.db_export_name (String.make 40 'x')));
+  expect_invalid (fun () -> ignore (L.db_export_name ~ns:"bad!ns" "ok"));
+  expect_invalid (fun () -> ignore (L.meta_name ~ns:""))
+
+let test_namespace_validity () =
+  check_bool "default ok" true (L.valid_namespace L.default_namespace);
+  check_bool "empty bad" false (L.valid_namespace "");
+  check_bool "bang bad" false (L.valid_namespace "a!b");
+  check_bool "too long bad" false (L.valid_namespace (String.make 33 'n'))
+
+(* ------------------------------------------------------------------ *)
+(* Metadata segment *)
+
+let test_meta_roundtrip () =
+  let b = Bytes.make (L.meta_size ~max_segments:8) '\000' in
+  L.write_meta_magic b;
+  L.write_epoch b 42L;
+  L.write_nsegs b 2;
+  L.write_table_entry b ~index:0 ~name:"alpha" ~size:1000;
+  L.write_table_entry b ~index:1 ~name:"beta" ~size:2000;
+  check Alcotest.int64 "magic" L.meta_magic (L.read_meta_magic b);
+  check Alcotest.int64 "epoch" 42L (L.read_epoch b);
+  check_int "nsegs" 2 (L.read_nsegs b);
+  let n0, s0 = L.read_table_entry b ~index:0 in
+  let n1, s1 = L.read_table_entry b ~index:1 in
+  check_str "name 0" "alpha" n0;
+  check_int "size 0" 1000 s0;
+  check_str "name 1" "beta" n1;
+  check_int "size 1" 2000 s1
+
+let test_meta_corrupt_entry () =
+  let b = Bytes.make (L.meta_size ~max_segments:4) '\000' in
+  try
+    ignore (L.read_table_entry b ~index:0);
+    Alcotest.fail "expected failure on blank entry"
+  with Failure _ -> ()
+
+let test_epoch_field_is_8_bytes_at_fixed_offset () =
+  (* The commit point depends on this: one sub-16-byte field. *)
+  check_int "offset" 8 L.epoch_offset;
+  check_bool "within one 16-byte sub-block" true (L.epoch_offset / 16 = (L.epoch_offset + 7) / 16)
+
+(* ------------------------------------------------------------------ *)
+(* Undo records *)
+
+let test_undo_roundtrip () =
+  let payload = Bytes.of_string "before-image" in
+  let h = { L.epoch = 7L; seg_index = 3; off = 100; len = Bytes.length payload } in
+  let rec_ = L.encode_undo h ~payload in
+  check_int "size" (L.undo_header_size + Bytes.length payload) (Bytes.length rec_);
+  (match L.decode_undo_header rec_ ~off:0 with
+  | Some h' ->
+      check Alcotest.int64 "epoch" h.epoch h'.L.epoch;
+      check_int "seg" h.seg_index h'.L.seg_index;
+      check_int "off" h.off h'.L.off;
+      check_int "len" h.len h'.L.len
+  | None -> Alcotest.fail "decode failed");
+  check_bool "checksum verifies" true (L.verify_undo rec_ ~off:0 h)
+
+let test_undo_detects_corruption () =
+  let payload = Bytes.make 32 'p' in
+  let h = { L.epoch = 1L; seg_index = 0; off = 0; len = 32 } in
+  let rec_ = L.encode_undo h ~payload in
+  (* Flip one payload byte: the checksum must catch it. *)
+  Bytes.set rec_ (L.undo_header_size + 5) 'X';
+  check_bool "corrupt payload rejected" false (L.verify_undo rec_ ~off:0 h)
+
+let test_undo_slot_alignment () =
+  check_int "empty record slots to 64" 64 (L.undo_slot ~off:0 ~payload_len:4);
+  check_int "bigger record" 128 (L.undo_slot ~off:0 ~payload_len:64);
+  check_int "chained" 192 (L.undo_slot ~off:64 ~payload_len:100);
+  check_bool "always 64-aligned" true (L.undo_slot ~off:64 ~payload_len:17 mod 64 = 0)
+
+let test_undo_decode_bounds () =
+  let payload = Bytes.make 8 'z' in
+  let h = { L.epoch = 1L; seg_index = 0; off = 0; len = 8 } in
+  let rec_ = L.encode_undo h ~payload in
+  (* Truncated buffer: header says 8 payload bytes but they are cut off. *)
+  let truncated = Bytes.sub rec_ 0 (L.undo_header_size + 4) in
+  check_bool "truncated record rejected" true (L.decode_undo_header truncated ~off:0 = None);
+  check_bool "off out of range" true (L.decode_undo_header rec_ ~off:100 = None)
+
+let prop_undo_roundtrip =
+  QCheck.Test.make ~name:"undo records roundtrip for arbitrary payloads" ~count:300
+    QCheck.(
+      quad (int_bound 1000) (int_bound 63) (int_bound 100_000)
+        (string_gen_of_size (Gen.int_range 1 512) Gen.char))
+    (fun (epoch, seg_index, off, payload) ->
+      let payload = Bytes.of_string payload in
+      let h = { L.epoch = Int64.of_int epoch; seg_index; off; len = Bytes.length payload } in
+      let rec_ = L.encode_undo h ~payload in
+      match L.decode_undo_header rec_ ~off:0 with
+      | Some h' -> h' = h && L.verify_undo rec_ ~off:0 h'
+      | None -> false)
+
+let prop_undo_garbage_rejected =
+  QCheck.Test.make ~name:"random garbage never verifies as an undo record" ~count:300
+    QCheck.(string_gen_of_size (Gen.return 128) Gen.char)
+    (fun garbage ->
+      let b = Bytes.of_string garbage in
+      match L.decode_undo_header b ~off:0 with
+      | None -> true
+      | Some h -> not (L.verify_undo b ~off:0 h) || h.L.len <= 128 - L.undo_header_size)
+
+let suite =
+  [
+    ("export names and namespaces", `Quick, test_export_names);
+    ("namespace validity", `Quick, test_namespace_validity);
+    ("metadata roundtrip", `Quick, test_meta_roundtrip);
+    ("corrupt table entry rejected", `Quick, test_meta_corrupt_entry);
+    ("epoch field placement", `Quick, test_epoch_field_is_8_bytes_at_fixed_offset);
+    ("undo record roundtrip", `Quick, test_undo_roundtrip);
+    ("undo checksum catches corruption", `Quick, test_undo_detects_corruption);
+    ("undo slot alignment", `Quick, test_undo_slot_alignment);
+    ("undo decode bounds", `Quick, test_undo_decode_bounds);
+    QCheck_alcotest.to_alcotest prop_undo_roundtrip;
+    QCheck_alcotest.to_alcotest prop_undo_garbage_rejected;
+  ]

@@ -1,0 +1,25 @@
+let () =
+  Alcotest.run "perseas"
+    [
+      ("sim", Test_sim.suite);
+      ("mem", Test_mem.suite);
+      ("sci", Test_sci.suite);
+      ("disk", Test_disk.suite);
+      ("cluster", Test_cluster.suite);
+      ("netram", Test_netram.suite);
+      ("pager", Test_pager.suite);
+      ("layout", Test_layout.suite);
+      ("perseas", Test_perseas.suite);
+      ("replication", Test_replication.suite);
+      ("baselines", Test_baselines.suite);
+      ("remote-wal", Test_remote_wal.suite);
+      ("workloads", Test_workloads.suite);
+      ("file-meta", Test_file_meta.suite);
+      ("kvstore", Test_kvstore.suite);
+      ("btree", Test_btree.suite);
+      ("pqueue", Test_pqueue.suite);
+      ("engines-generic", Test_engines_generic.suite);
+      ("harness", Test_harness.suite);
+      ("availability", Test_availability.suite);
+      ("integration", Test_integration.suite);
+    ]

@@ -1,0 +1,220 @@
+open Sim
+module Node = Cluster.Node
+module Server = Netram.Server
+module Client = Netram.Client
+
+let check = Alcotest.check
+let check_int = check Alcotest.int
+let check_bool = check Alcotest.bool
+
+let bed () =
+  let clock = Clock.create () in
+  let cluster =
+    Cluster.create ~clock
+      [
+        Cluster.spec ~dram_size:(1 lsl 20) ~power_supply:0 "local";
+        Cluster.spec ~dram_size:(1 lsl 20) ~power_supply:1 "remote";
+        Cluster.spec ~dram_size:(1 lsl 20) ~power_supply:2 "third";
+      ]
+  in
+  let server = Server.create (Cluster.node cluster 1) in
+  let client = Client.create ~cluster ~local:0 ~server in
+  (clock, cluster, server, client)
+
+(* ------------------------------------------------------------------ *)
+(* Server *)
+
+let test_export_aligned_and_named () =
+  let _, _, server, _ = bed () in
+  let h = Server.export server ~name:"seg-a" ~size:100 in
+  check_int "64-byte aligned" 0 (Netram.Remote_segment.base h mod 64);
+  check_int "size" 100 (Netram.Remote_segment.len h);
+  check_bool "lookup finds it" true (Server.lookup server ~name:"seg-a" = Some h);
+  check_int "exported bytes" 100 (Server.exported_bytes server)
+
+let test_export_duplicate_name () =
+  let _, _, server, _ = bed () in
+  ignore (Server.export server ~name:"dup" ~size:10);
+  try
+    ignore (Server.export server ~name:"dup" ~size:10);
+    Alcotest.fail "expected duplicate-name failure"
+  with Failure _ -> ()
+
+let test_release_frees_memory () =
+  let _, _, server, _ = bed () in
+  let h = Server.export server ~name:"gone" ~size:256 in
+  Server.release server h;
+  check_bool "lookup empty" true (Server.lookup server ~name:"gone" = None);
+  check_int "bytes zero" 0 (Server.exported_bytes server);
+  (* The space can be re-exported. *)
+  ignore (Server.export server ~name:"gone" ~size:256)
+
+let test_server_dies_with_node () =
+  let _, cluster, server, _ = bed () in
+  ignore (Cluster.crash_node cluster 1 Cluster.Failure.Software_error);
+  check_bool "dead" false (Server.is_alive server);
+  (try
+     ignore (Server.export server ~name:"x" ~size:8);
+     Alcotest.fail "expected failure on dead server"
+   with Failure _ -> ());
+  (* Even after the node restarts, the old server (and its directory)
+     is gone for good. *)
+  Cluster.restart_node cluster 1;
+  check_bool "still dead after restart" false (Server.is_alive server)
+
+let test_export_exhaustion () =
+  let _, _, server, _ = bed () in
+  try
+    ignore (Server.export server ~name:"too-big" ~size:(2 lsl 20));
+    Alcotest.fail "expected out-of-memory failure"
+  with Failure _ -> ()
+
+(* ------------------------------------------------------------------ *)
+(* Client *)
+
+let test_malloc_write_read_roundtrip () =
+  let clock, _, _, client = bed () in
+  let h = Client.malloc client ~name:"db" ~size:1024 in
+  let local = Node.dram (Client.local_node client) in
+  Mem.Image.write_bytes local ~off:0 (Bytes.of_string "mirror-me");
+  let t0 = Clock.now clock in
+  Client.write client h ~seg_off:100 ~src_off:0 ~len:9;
+  check_bool "write charged" true (Clock.now clock > t0);
+  (* Read it back into a different local offset. *)
+  Client.read client h ~seg_off:100 ~dst_off:500 ~len:9;
+  check Alcotest.string "roundtrip" "mirror-me" (Bytes.to_string (Mem.Image.read_bytes local ~off:500 ~len:9))
+
+let test_rpc_charges_time () =
+  let clock, _, _, client = bed () in
+  let t0 = Clock.now clock in
+  ignore (Client.malloc client ~name:"x" ~size:64);
+  check_bool "rpc cost" true (Clock.now clock - t0 >= Client.rpc_time client)
+
+let test_connect_after_client_crash () =
+  let _, cluster, server, client = bed () in
+  let h = Client.malloc client ~name:"persistent" ~size:128 in
+  let local = Node.dram (Client.local_node client) in
+  Mem.Image.write_bytes local ~off:0 (Bytes.of_string "survives");
+  Client.write client h ~seg_off:0 ~src_off:0 ~len:8;
+  (* Local node dies; a brand-new client on the third node reconnects
+     by name and reads the mirrored bytes. *)
+  ignore (Cluster.crash_node cluster 0 Cluster.Failure.Power_outage);
+  let client2 = Client.create ~cluster ~local:2 ~server in
+  let h2 =
+    match Client.connect client2 ~name:"persistent" with
+    | Some h2 -> h2
+    | None -> Alcotest.fail "connect_segment found nothing"
+  in
+  check_int "same placement" (Netram.Remote_segment.base h) (Netram.Remote_segment.base h2);
+  Client.read client2 h2 ~seg_off:0 ~dst_off:0 ~len:8;
+  check Alcotest.string "mirrored data visible from third node" "survives"
+    (Bytes.to_string (Mem.Image.read_bytes (Node.dram (Cluster.node cluster 2)) ~off:0 ~len:8))
+
+let test_stale_handle_after_server_crash () =
+  let _, cluster, _, client = bed () in
+  let h = Client.malloc client ~name:"stale" ~size:64 in
+  ignore (Cluster.crash_node cluster 1 Cluster.Failure.Software_error);
+  Cluster.restart_node cluster 1;
+  try
+    Client.write client h ~seg_off:0 ~src_off:0 ~len:8;
+    Alcotest.fail "expected stale-handle failure"
+  with Failure _ -> ()
+
+let test_range_checks () =
+  let _, _, _, client = bed () in
+  let h = Client.malloc client ~name:"bounds" ~size:64 in
+  try
+    Client.write client h ~seg_off:60 ~src_off:0 ~len:8;
+    Alcotest.fail "expected range failure"
+  with Invalid_argument _ -> ()
+
+let test_same_node_client_rejected () =
+  let _, cluster, server, _ = bed () in
+  try
+    ignore (Client.create ~cluster ~local:1 ~server);
+    Alcotest.fail "expected Invalid_argument"
+  with Invalid_argument _ -> ()
+
+let test_write_u64_roundtrip () =
+  let _, _, _, client = bed () in
+  let h = Client.malloc client ~name:"word" ~size:64 in
+  Client.write_u64 client h ~seg_off:8 0x0123456789abcdefL;
+  check Alcotest.int64 "u64" 0x0123456789abcdefL (Client.read_u64 client h ~seg_off:8)
+
+let test_mirror_survives_local_power_outage () =
+  (* The paper's core scenario: primary and mirror on different power
+     supplies; losing the primary's supply leaves the mirror intact. *)
+  let _, cluster, server, client = bed () in
+  let h = Client.malloc client ~name:"db" ~size:64 in
+  let local = Node.dram (Client.local_node client) in
+  Mem.Image.write_bytes local ~off:0 (Bytes.of_string "critical");
+  Client.write client h ~seg_off:0 ~src_off:0 ~len:8;
+  let downed = Cluster.crash_power_supply cluster 0 in
+  check (Alcotest.list Alcotest.int) "only the primary died" [ 0 ] downed;
+  check_bool "server alive" true (Server.is_alive server);
+  let remote = Node.dram (Cluster.node cluster 1) in
+  check Alcotest.string "mirror holds the bytes" "critical"
+    (Bytes.to_string (Mem.Image.read_bytes remote ~off:(Netram.Remote_segment.base h) ~len:8))
+
+let test_exports_listing () =
+  let _, _, server, _ = bed () in
+  let a = Server.export server ~name:"a" ~size:100 in
+  let b = Server.export server ~name:"b" ~size:200 in
+  let exports = Server.exports server in
+  check_int "two exports" 2 (List.length exports);
+  (* Ascending base order. *)
+  check_bool "sorted by base" true
+    (List.map Netram.Remote_segment.base exports
+    = List.sort compare [ Netram.Remote_segment.base a; Netram.Remote_segment.base b ]);
+  check_int "bytes" 300 (Server.exported_bytes server)
+
+let test_multi_hop_costs_more () =
+  let clock = Clock.create () in
+  let cluster =
+    Cluster.create ~clock
+      (List.init 5 (fun i -> Cluster.spec ~dram_size:(1 lsl 20) ~power_supply:i (string_of_int i)))
+  in
+  (* Server 4 is four hops from node 0 on the unidirectional ring. *)
+  let far_server = Server.create (Cluster.node cluster 4) in
+  let near_server = Server.create (Cluster.node cluster 1) in
+  let far = Client.create ~cluster ~local:0 ~server:far_server in
+  let near = Client.create ~cluster ~local:0 ~server:near_server in
+  let h_far = Client.malloc far ~name:"far" ~size:64 in
+  let h_near = Client.malloc near ~name:"near" ~size:64 in
+  let cost client h =
+    let t0 = Clock.now clock in
+    Client.write client h ~seg_off:0 ~src_off:0 ~len:8;
+    Clock.now clock - t0
+  in
+  check_bool "more hops, more latency" true (cost far h_far > cost near h_near)
+
+let test_write_after_free_fails () =
+  let _, _, _, client = bed () in
+  let h = Client.malloc client ~name:"temp" ~size:64 in
+  Client.free client h;
+  try
+    Client.write client h ~seg_off:0 ~src_off:0 ~len:8;
+    Alcotest.fail "expected failure on freed segment"
+  with Failure _ ->
+    (* The memory is genuinely reusable. *)
+    ignore (Client.malloc client ~name:"temp" ~size:64)
+
+let suite =
+  [
+    ("server: export aligned and named", `Quick, test_export_aligned_and_named);
+    ("server: duplicate names rejected", `Quick, test_export_duplicate_name);
+    ("server: release frees memory", `Quick, test_release_frees_memory);
+    ("server: dies with its node", `Quick, test_server_dies_with_node);
+    ("server: exhaustion reported", `Quick, test_export_exhaustion);
+    ("client: malloc/write/read roundtrip", `Quick, test_malloc_write_read_roundtrip);
+    ("client: rpc charges time", `Quick, test_rpc_charges_time);
+    ("client: connect_segment after client crash", `Quick, test_connect_after_client_crash);
+    ("client: stale handle after server reboot", `Quick, test_stale_handle_after_server_crash);
+    ("client: range checks", `Quick, test_range_checks);
+    ("client: same-node client rejected", `Quick, test_same_node_client_rejected);
+    ("client: u64 roundtrip", `Quick, test_write_u64_roundtrip);
+    ("mirror survives primary power outage", `Quick, test_mirror_survives_local_power_outage);
+    ("server: exports listing and accounting", `Quick, test_exports_listing);
+    ("client: ring distance affects latency", `Quick, test_multi_hop_costs_more);
+    ("client: write after free fails", `Quick, test_write_after_free_fails);
+  ]

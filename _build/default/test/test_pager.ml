@@ -1,0 +1,175 @@
+open Sim
+module Pager = Netram.Pager
+module Node = Cluster.Node
+
+let check = Alcotest.check
+let check_int = check Alcotest.int
+let check_bool = check Alcotest.bool
+
+let remote_bed ?(pages = 32) ?(frames = 8) () =
+  let clock = Clock.create () in
+  let cluster =
+    Cluster.create ~clock
+      [
+        Cluster.spec ~dram_size:(4 * 1024 * 1024) ~power_supply:0 "local";
+        Cluster.spec ~dram_size:(4 * 1024 * 1024) ~power_supply:1 "memory-server";
+      ]
+  in
+  let server = Netram.Server.create (Cluster.node cluster 1) in
+  let client = Netram.Client.create ~cluster ~local:0 ~server in
+  let pager =
+    Pager.create ~backing:(Pager.Remote_memory client) ~node:(Cluster.node cluster 0) ~pages
+      ~frames ()
+  in
+  (clock, cluster, pager)
+
+let swap_bed ?(pages = 32) ?(frames = 8) () =
+  let clock = Clock.create () in
+  let cluster = Cluster.create ~clock [ Cluster.spec ~dram_size:(4 * 1024 * 1024) "local" ] in
+  let device =
+    Disk.Device.create ~clock ~backend:(Disk.Device.Magnetic Disk.Device.default_geometry)
+      ~capacity:(pages * Pager.page_size)
+  in
+  let pager =
+    Pager.create ~backing:(Pager.Swap_disk device) ~node:(Cluster.node cluster 0) ~pages ~frames ()
+  in
+  (clock, pager)
+
+let test_rw_within_resident_set () =
+  let _, _, p = remote_bed () in
+  Pager.write p ~addr:100 (Bytes.of_string "resident");
+  check Alcotest.string "roundtrip" "resident" (Bytes.to_string (Pager.read p ~addr:100 ~len:8));
+  let s = Pager.stats p in
+  check_int "one fault (first touch)" 1 s.faults;
+  check_int "one hit (read)" 1 s.hits;
+  check_int "no evictions" 0 s.evictions
+
+let test_data_survives_eviction () =
+  let _, _, p = remote_bed ~pages:32 ~frames:4 () in
+  (* Write a distinct stamp into every page, blowing out the resident
+     set many times over. *)
+  for page = 0 to 31 do
+    Pager.write_u64 p ~addr:(page * Pager.page_size) (Int64.of_int (page * 1000))
+  done;
+  for page = 0 to 31 do
+    check Alcotest.int64
+      (Printf.sprintf "page %d intact" page)
+      (Int64.of_int (page * 1000))
+      (Pager.read_u64 p ~addr:(page * Pager.page_size))
+  done;
+  let s = Pager.stats p in
+  check_bool "evictions happened" true (s.evictions > 0);
+  check_bool "dirty pages written back" true (s.writebacks > 0)
+
+let test_cross_page_access () =
+  let _, _, p = remote_bed () in
+  let addr = Pager.page_size - 4 in
+  Pager.write p ~addr (Bytes.of_string "spanning!");
+  check Alcotest.string "crosses the boundary" "spanning!"
+    (Bytes.to_string (Pager.read p ~addr ~len:9))
+
+let test_lru_policy () =
+  let _, _, p = remote_bed ~pages:8 ~frames:2 () in
+  let touch page = ignore (Pager.read_u64 p ~addr:(page * Pager.page_size)) in
+  touch 0;
+  touch 1;
+  (* Re-touch 0 so page 1 is the LRU victim. *)
+  touch 0;
+  touch 2;
+  (* 0 must still be resident: touching it again faults nothing new. *)
+  let faults_before = (Pager.stats p).faults in
+  touch 0;
+  check_int "page 0 kept (MRU)" faults_before (Pager.stats p).faults;
+  touch 1;
+  check_int "page 1 was evicted" (faults_before + 1) (Pager.stats p).faults
+
+let test_remote_fault_orders_faster_than_disk () =
+  (* The remote-paging pitch: a fault served from network memory is
+     ~100x cheaper than one served from a swap disk. *)
+  let _, _, rp = remote_bed ~pages:64 ~frames:8 () in
+  let _, sp = swap_bed ~pages:64 ~frames:8 () in
+  let thrash p =
+    for i = 0 to 255 do
+      ignore (Pager.read_u64 p ~addr:(i * 17 mod 64 * Pager.page_size))
+    done
+  in
+  thrash rp;
+  thrash sp;
+  let rt = Pager.fault_time rp and st = Pager.fault_time sp in
+  check_bool "same fault counts" true ((Pager.stats rp).faults = (Pager.stats sp).faults);
+  check_bool
+    (Printf.sprintf "remote (%s) at least 20x faster than disk (%s)" (Time.to_string rt)
+       (Time.to_string st))
+    true
+    (Time.to_ns st > 20 * Time.to_ns rt)
+
+let test_flush_writes_dirty_pages () =
+  let _, cluster, p = remote_bed ~pages:4 ~frames:4 () in
+  Pager.write_u64 p ~addr:0 42L;
+  Pager.flush p;
+  (* The page now lives remotely: its bytes are visible in the memory
+     server's DRAM (and the local copy is clean). *)
+  let server_node = Cluster.node cluster 1 in
+  let remote = Node.dram server_node in
+  let found = ref false in
+  (* Scan the server's memory for the stamp (the segment's base is an
+     implementation detail of the allocator). *)
+  let size = Mem.Image.size remote in
+  let i = ref 0 in
+  while (not !found) && !i + 8 <= size do
+    if Mem.Image.read_u64 remote !i = 42L then found := true;
+    i := !i + 8
+  done;
+  check_bool "stamp reached the server" true !found;
+  check_bool "flush counted" true ((Pager.stats p).writebacks >= 1)
+
+let test_bounds_and_validation () =
+  let _, _, p = remote_bed ~pages:4 ~frames:2 () in
+  (try
+     ignore (Pager.read p ~addr:(4 * Pager.page_size) ~len:1);
+     Alcotest.fail "out of range"
+   with Invalid_argument _ -> ());
+  let clock = Clock.create () in
+  let cluster = Cluster.create ~clock [ Cluster.spec "x" ] in
+  try
+    ignore
+      (Pager.create
+         ~backing:
+           (Pager.Swap_disk
+              (Disk.Device.create ~clock
+                 ~backend:(Disk.Device.Magnetic Disk.Device.default_geometry)
+                 ~capacity:1024))
+         ~node:(Cluster.node cluster 0) ~pages:16 ~frames:4 ());
+    Alcotest.fail "swap too small"
+  with Invalid_argument _ -> ()
+
+let prop_pager_matches_flat_memory =
+  QCheck.Test.make ~name:"paged reads/writes match a flat byte array" ~count:40
+    QCheck.(
+      list_of_size (Gen.int_range 1 80)
+        (triple bool (int_bound (16 * 4096 - 64)) (int_range 1 64)))
+    (fun ops ->
+      let _, _, p = remote_bed ~pages:16 ~frames:3 () in
+      let model = Bytes.make (16 * Pager.page_size) '\000' in
+      List.for_all
+        (fun (is_write, addr, len) ->
+          if is_write then begin
+            let data = Bytes.init len (fun i -> Char.chr ((addr + i) land 0xff)) in
+            Pager.write p ~addr data;
+            Bytes.blit data 0 model addr len;
+            true
+          end
+          else Pager.read p ~addr ~len = Bytes.sub model addr len)
+        ops)
+
+let suite =
+  [
+    ("read/write within the resident set", `Quick, test_rw_within_resident_set);
+    ("data survives eviction", `Quick, test_data_survives_eviction);
+    ("cross-page access", `Quick, test_cross_page_access);
+    ("LRU eviction policy", `Quick, test_lru_policy);
+    ("remote faults beat disk faults", `Quick, test_remote_fault_orders_faster_than_disk);
+    ("flush pushes dirty pages to the server", `Quick, test_flush_writes_dirty_pages);
+    ("bounds and validation", `Quick, test_bounds_and_validation);
+    QCheck_alcotest.to_alcotest prop_pager_matches_flat_memory;
+  ]

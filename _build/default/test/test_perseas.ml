@@ -1,0 +1,533 @@
+open Sim
+module P = Perseas
+module Node = Cluster.Node
+
+let check = Alcotest.check
+let check_int = check Alcotest.int
+let check_bool = check Alcotest.bool
+let check_i64 = check Alcotest.int64
+
+type bed = {
+  clock : Clock.t;
+  cluster : Cluster.t;
+  server : Netram.Server.t;
+  t : P.t;
+}
+
+let bed ?config ?(dram = 4 * 1024 * 1024) () =
+  let clock = Clock.create () in
+  let cluster =
+    Cluster.create ~clock
+      [
+        Cluster.spec ~dram_size:dram ~power_supply:0 "primary";
+        Cluster.spec ~dram_size:dram ~power_supply:1 "mirror";
+        Cluster.spec ~dram_size:dram ~power_supply:2 "spare";
+      ]
+  in
+  let server = Netram.Server.create (Cluster.node cluster 1) in
+  let client = Netram.Client.create ~cluster ~local:0 ~server in
+  { clock; cluster; server; t = P.init ?config client }
+
+let with_db ?config ?dram ?(size = 4096) () =
+  let b = bed ?config ?dram () in
+  let seg = P.malloc b.t ~name:"db" ~size in
+  P.write b.t seg ~off:0 (Bytes.init size (fun i -> Char.chr (i land 0xff)));
+  P.init_remote_db b.t;
+  (b, seg)
+
+(* ------------------------------------------------------------------ *)
+(* Lifecycle and protocol rules *)
+
+let test_init_mirrors_whole_db () =
+  let b, seg = with_db () in
+  check_i64 "mirror equals local" (P.checksum b.t seg) (P.mirror_checksum b.t seg);
+  check_bool "ready" true (P.remote_ready b.t);
+  check_i64 "epoch 1" 1L (P.epoch b.t)
+
+let test_malloc_rules () =
+  let b = bed () in
+  let _seg = P.malloc b.t ~name:"a" ~size:64 in
+  (try
+     ignore (P.malloc b.t ~name:"a" ~size:64);
+     Alcotest.fail "duplicate name"
+   with Failure _ -> ());
+  (try
+     ignore (P.malloc b.t ~name:"has!bang" ~size:64);
+     Alcotest.fail "reserved char"
+   with Invalid_argument _ -> ());
+  P.init_remote_db b.t;
+  try
+    ignore (P.malloc b.t ~name:"late" ~size:64);
+    Alcotest.fail "malloc after init"
+  with Failure _ -> ()
+
+let test_transaction_rules () =
+  let b, seg = with_db () in
+  (* No nested transactions. *)
+  let txn = P.begin_transaction b.t in
+  (try
+     ignore (P.begin_transaction b.t);
+     Alcotest.fail "nested begin"
+   with Failure _ -> ());
+  P.set_range txn seg ~off:0 ~len:8;
+  P.commit txn;
+  (* Closed transactions reject everything. *)
+  (try
+     P.commit txn;
+     Alcotest.fail "double commit"
+   with Failure _ -> ());
+  try
+    P.set_range txn seg ~off:0 ~len:8;
+    Alcotest.fail "set_range on closed txn"
+  with Failure _ -> ()
+
+let test_strict_updates_enforced () =
+  let b, seg = with_db () in
+  (* Writes outside a transaction are rejected once live. *)
+  (try
+     P.write b.t seg ~off:0 (Bytes.make 4 'x');
+     Alcotest.fail "write without txn"
+   with Failure _ -> ());
+  let txn = P.begin_transaction b.t in
+  P.set_range txn seg ~off:100 ~len:16;
+  (* Covered write fine; uncovered rejected. *)
+  P.write b.t seg ~off:104 (Bytes.make 8 'y');
+  (try
+     P.write b.t seg ~off:200 (Bytes.make 4 'z');
+     Alcotest.fail "uncovered write"
+   with Failure _ -> ());
+  P.abort txn
+
+let test_relaxed_updates () =
+  let config = { P.default_config with strict_updates = false } in
+  let b, seg = with_db ~config () in
+  (* Without strict mode the library trusts the application. *)
+  P.write b.t seg ~off:0 (Bytes.make 4 'x');
+  check Alcotest.string "wrote" "xxxx" (Bytes.to_string (P.read b.t seg ~off:0 ~len:4))
+
+let test_commit_updates_mirror () =
+  let b, seg = with_db () in
+  let txn = P.begin_transaction b.t in
+  P.set_range txn seg ~off:10 ~len:100;
+  P.write b.t seg ~off:10 (Bytes.make 100 'N');
+  P.commit txn;
+  check_i64 "mirror in sync" (P.checksum b.t seg) (P.mirror_checksum b.t seg);
+  check_i64 "epoch bumped" 2L (P.epoch b.t)
+
+let test_abort_restores_locally () =
+  let b, seg = with_db () in
+  let before = P.checksum b.t seg in
+  let nic = Cluster.nic b.cluster in
+  let txn = P.begin_transaction b.t in
+  P.set_range txn seg ~off:0 ~len:64;
+  P.write b.t seg ~off:0 (Bytes.make 64 'Z');
+  let written_before_abort = (Sci.Nic.counters nic).bytes_written in
+  P.abort txn;
+  check_i64 "local restored" before (P.checksum b.t seg);
+  (* Abort is local memory copies only: no new remote traffic. *)
+  check_int "no remote writes during abort" written_before_abort (Sci.Nic.counters nic).bytes_written;
+  (* And the database is still usable and consistent remotely. *)
+  let txn = P.begin_transaction b.t in
+  P.set_range txn seg ~off:0 ~len:8;
+  P.write b.t seg ~off:0 (Bytes.make 8 'q');
+  P.commit txn;
+  check_i64 "mirror after abort+commit" (P.checksum b.t seg) (P.mirror_checksum b.t seg)
+
+let test_multiple_ranges_and_overlap_abort () =
+  let b, seg = with_db () in
+  let before = P.checksum b.t seg in
+  let txn = P.begin_transaction b.t in
+  P.set_range txn seg ~off:0 ~len:32;
+  P.set_range txn seg ~off:100 ~len:32;
+  P.write b.t seg ~off:0 (Bytes.make 32 'a');
+  P.write b.t seg ~off:100 (Bytes.make 32 'b');
+  P.abort txn;
+  check_i64 "both ranges restored" before (P.checksum b.t seg)
+
+let test_undo_overflow () =
+  let config = { P.default_config with undo_capacity = 4096 } in
+  let b, seg = with_db ~config () in
+  let txn = P.begin_transaction b.t in
+  (try
+     P.set_range txn seg ~off:0 ~len:4090;
+     Alcotest.fail "expected Undo_overflow"
+   with P.Undo_overflow -> ());
+  P.abort txn
+
+let test_set_range_validation () =
+  let b, seg = with_db () in
+  let txn = P.begin_transaction b.t in
+  (try
+     P.set_range txn seg ~off:4090 ~len:100;
+     Alcotest.fail "out of bounds"
+   with Invalid_argument _ -> ());
+  (try
+     P.set_range txn seg ~off:0 ~len:0;
+     Alcotest.fail "empty range"
+   with Invalid_argument _ -> ());
+  P.abort txn
+
+let test_helpers_roundtrip () =
+  let b, seg = with_db () in
+  let txn = P.begin_transaction b.t in
+  P.set_range txn seg ~off:0 ~len:16;
+  P.write_u32 b.t seg ~off:0 0xcafe;
+  P.write_u64 b.t seg ~off:8 77L;
+  check_int "u32" 0xcafe (P.read_u32 b.t seg ~off:0);
+  check_i64 "u64" 77L (P.read_u64 b.t seg ~off:8);
+  P.commit txn
+
+let test_stats_accounting () =
+  let b, seg = with_db () in
+  let txn = P.begin_transaction b.t in
+  P.set_range txn seg ~off:0 ~len:10;
+  P.write b.t seg ~off:0 (Bytes.make 10 'x');
+  P.commit txn;
+  let txn = P.begin_transaction b.t in
+  P.set_range txn seg ~off:0 ~len:10;
+  P.abort txn;
+  let s = P.stats b.t in
+  check_int "begun" 2 s.begun;
+  check_int "committed" 1 s.committed;
+  check_int "aborted" 1 s.aborted;
+  check_int "set_ranges" 2 s.set_ranges;
+  check_int "undo bytes" 20 s.undo_bytes_logged
+
+let test_epoch_write_is_single_packet () =
+  let b, seg = with_db () in
+  let txn = P.begin_transaction b.t in
+  P.set_range txn seg ~off:0 ~len:4;
+  P.write b.t seg ~off:0 (Bytes.make 4 'x');
+  (* 4-byte data = 1 packet, plus exactly 1 packet for the atomic
+     commit point. *)
+  check_int "2 packets" 2 (P.commit_packets txn);
+  P.commit txn
+
+(* ------------------------------------------------------------------ *)
+(* Recovery *)
+
+let crash_primary b = ignore (Cluster.crash_node b.cluster 0 Cluster.Failure.Software_error)
+
+let test_recover_after_clean_commit () =
+  let b, seg = with_db () in
+  let txn = P.begin_transaction b.t in
+  P.set_range txn seg ~off:0 ~len:256;
+  P.write b.t seg ~off:0 (Bytes.make 256 'C');
+  P.commit txn;
+  let expect = P.checksum b.t seg in
+  crash_primary b;
+  let t2 = P.recover ~cluster:b.cluster ~local:2 ~server:b.server () in
+  let seg2 = Option.get (P.segment t2 "db") in
+  check_i64 "post-commit state" expect (P.checksum t2 seg2);
+  check_i64 "mirror consistent" (P.checksum t2 seg2) (P.mirror_checksum t2 seg2);
+  check_bool "epoch advanced by recovery" true (P.epoch t2 > 2L)
+
+let test_recover_multiple_segments () =
+  let b = bed () in
+  let a = P.malloc b.t ~name:"alpha" ~size:512 in
+  let c = P.malloc b.t ~name:"beta" ~size:1024 in
+  P.write b.t a ~off:0 (Bytes.make 512 'a');
+  P.write b.t c ~off:0 (Bytes.make 1024 'b');
+  P.init_remote_db b.t;
+  let ca = P.checksum b.t a and cb = P.checksum b.t c in
+  crash_primary b;
+  let t2 = P.recover ~cluster:b.cluster ~local:2 ~server:b.server () in
+  check_int "two segments" 2 (List.length (P.segments t2));
+  check_i64 "alpha" ca (P.checksum t2 (Option.get (P.segment t2 "alpha")));
+  check_i64 "beta" cb (P.checksum t2 (Option.get (P.segment t2 "beta")))
+
+let test_recovered_instance_supports_transactions () =
+  let b, seg = with_db () in
+  ignore seg;
+  crash_primary b;
+  let t2 = P.recover ~cluster:b.cluster ~local:2 ~server:b.server () in
+  let seg2 = Option.get (P.segment t2 "db") in
+  let txn = P.begin_transaction t2 in
+  P.set_range txn seg2 ~off:0 ~len:8;
+  P.write t2 seg2 ~off:0 (Bytes.make 8 'r');
+  P.commit txn;
+  check_i64 "mirror ok after recovered commit" (P.checksum t2 seg2) (P.mirror_checksum t2 seg2);
+  (* And survives a second crash-recover cycle, back on the rebooted
+     primary. *)
+  ignore (Cluster.crash_node b.cluster 2 Cluster.Failure.Hardware_error);
+  Cluster.restart_node b.cluster 0;
+  let t3 = P.recover ~cluster:b.cluster ~local:0 ~server:b.server () in
+  let seg3 = Option.get (P.segment t3 "db") in
+  check Alcotest.string "second recovery sees the commit" "rrrrrrrr"
+    (Bytes.to_string (P.read t3 seg3 ~off:0 ~len:8))
+
+let test_recover_on_rebooted_primary () =
+  let b, seg = with_db () in
+  let expect = P.checksum b.t seg in
+  crash_primary b;
+  Cluster.restart_node b.cluster 0;
+  let t2 = P.recover ~cluster:b.cluster ~local:0 ~server:b.server () in
+  check_i64 "state back" expect (P.checksum t2 (Option.get (P.segment t2 "db")))
+
+let test_recover_without_db_fails () =
+  let clock = Clock.create () in
+  let cluster =
+    Cluster.create ~clock [ Cluster.spec "a"; Cluster.spec ~power_supply:1 "b" ]
+  in
+  let server = Netram.Server.create (Cluster.node cluster 1) in
+  try
+    ignore (P.recover ~cluster ~local:0 ~server ());
+    Alcotest.fail "expected failure"
+  with Failure _ -> ()
+
+let test_remirror_after_mirror_death () =
+  let b, seg = with_db () in
+  let expect = P.checksum b.t seg in
+  (* The mirror dies; re-mirror onto the spare node's fresh server. *)
+  ignore (Cluster.crash_node b.cluster 1 Cluster.Failure.Hardware_error);
+  let server2 = Netram.Server.create (Cluster.node b.cluster 2) in
+  P.remirror b.t ~server:server2;
+  check_i64 "local intact" expect (P.checksum b.t seg);
+  check_i64 "new mirror in sync" expect (P.mirror_checksum b.t seg);
+  (* Transactions keep working against the new mirror... *)
+  let txn = P.begin_transaction b.t in
+  P.set_range txn seg ~off:0 ~len:8;
+  P.write b.t seg ~off:0 (Bytes.make 8 'm');
+  P.commit txn;
+  (* ...and the database survives a primary crash via the new mirror. *)
+  crash_primary b;
+  Cluster.restart_node b.cluster 0;
+  let t2 = P.recover ~cluster:b.cluster ~local:0 ~server:server2 () in
+  check Alcotest.string "recovered via new mirror" "mmmmmmmm"
+    (Bytes.to_string (P.read t2 (Option.get (P.segment t2 "db")) ~off:0 ~len:8))
+
+(* ------------------------------------------------------------------ *)
+(* Crash atomicity: exhaustive and property-based                      *)
+
+exception Injected
+
+(* Run one transaction and crash after [cut] remote packets (counted
+   across set_range undo pushes, commit data, and the epoch write);
+   recover on the spare node and return the recovered checksum together
+   with the pre/post oracles. *)
+let crash_scenario ~ranges ~cut =
+  let b, seg = with_db ~size:8192 () in
+  let pre = P.checksum b.t seg in
+  let sent = ref 0 in
+  let txn = P.begin_transaction b.t in
+  let hook () = if !sent >= cut then raise Injected else incr sent in
+  P.set_packet_hook b.t (Some hook);
+  let crashed =
+    try
+      List.iter
+        (fun (off, len, fill) ->
+          P.set_range txn seg ~off ~len;
+          P.set_packet_hook b.t None;
+          P.write b.t seg ~off (Bytes.make len fill);
+          P.set_packet_hook b.t (Some hook))
+        ranges;
+      P.commit txn;
+      false
+    with Injected -> true
+  in
+  P.set_packet_hook b.t None;
+  let post = P.checksum b.t seg in
+  if crashed then begin
+    crash_primary b;
+    let t2 = P.recover ~cluster:b.cluster ~local:2 ~server:b.server () in
+    let seg2 = Option.get (P.segment t2 "db") in
+    let got = P.checksum t2 seg2 in
+    let mirror = P.mirror_checksum t2 seg2 in
+    (`Crashed (got, mirror), pre, post)
+  end
+  else (`Completed post, pre, post)
+
+let test_crash_atomicity_exhaustive () =
+  (* Two ranges, one crossing several buffers: enumerate every cut. *)
+  let ranges = [ (100, 30, 'A'); (700, 200, 'B') ] in
+  (* Generous upper bound on packets; once the txn completes, higher
+     cuts are equivalent. *)
+  let rec go cut =
+    match crash_scenario ~ranges ~cut with
+    | `Completed final, pre, _ ->
+        check_bool "completed differs from pre" true (final <> pre)
+    | `Crashed (got, mirror), pre, post ->
+        if got <> pre && got <> post then
+          Alcotest.failf "atomicity violated at cut %d" cut;
+        check_i64 "recovered = mirror" mirror got;
+        if cut < 64 then go (cut + 1)
+  in
+  go 0
+
+let prop_crash_atomicity =
+  QCheck.Test.make ~name:"crash at random packet yields pre- or post-state" ~count:120
+    QCheck.(
+      pair (int_bound 40)
+        (list_of_size (Gen.int_range 1 4) (pair (int_bound 7000) (int_range 1 900))))
+    (fun (cut, raw_ranges) ->
+      let ranges =
+        List.mapi (fun i (off, len) -> (min off (8192 - len), len, Char.chr (65 + i))) raw_ranges
+      in
+      match crash_scenario ~ranges ~cut with
+      | `Completed _, _, _ -> true
+      | `Crashed (got, mirror), pre, post -> (got = pre || got = post) && got = mirror)
+
+let prop_commit_then_recover_is_post_state =
+  QCheck.Test.make ~name:"crash after commit point preserves the transaction" ~count:60
+    QCheck.(list_of_size (Gen.int_range 1 3) (pair (int_bound 7000) (int_range 1 500)))
+    (fun raw_ranges ->
+      let ranges =
+        List.mapi (fun i (off, len) -> (min off (8192 - len), len, Char.chr (97 + i))) raw_ranges
+      in
+      (* A cut beyond any possible packet count: transaction completes,
+         then the node dies; recovery must land on the post-state. *)
+      match crash_scenario ~ranges ~cut:100_000 with
+      | `Completed post, _, post' -> post = post'
+      | `Crashed _, _, _ -> false)
+
+let test_crash_during_set_range_only () =
+  (* Crash before commit even starts: recovery must give the pre-state
+     (the undo records alone must not corrupt anything). *)
+  for cut = 0 to 3 do
+    match crash_scenario ~ranges:[ (0, 100, 'S') ] ~cut with
+    | `Crashed (got, _), pre, _ -> check_i64 (Printf.sprintf "pre-state at cut %d" cut) pre got
+    | `Completed _, _, _ -> Alcotest.fail "should have crashed during set_range"
+  done
+
+(* ------------------------------------------------------------------ *)
+(* Archive: graceful shutdown to stable storage and cold restart       *)
+
+let test_archive_roundtrip () =
+  let b, seg = with_db () in
+  let txn = P.begin_transaction b.t in
+  P.set_range txn seg ~off:0 ~len:128;
+  P.write b.t seg ~off:0 (Bytes.make 128 'A');
+  P.commit txn;
+  let expect = P.checksum b.t seg in
+  let device =
+    Disk.Device.create ~clock:b.clock
+      ~backend:(Disk.Device.Magnetic Disk.Device.default_geometry)
+      ~capacity:(1 lsl 20)
+  in
+  let t0 = Clock.now b.clock in
+  P.archive b.t device;
+  check_bool "archive pays the disk" true (Clock.now b.clock - t0 > Time.ms 1.);
+  (* Scheduled shutdown: the whole cluster goes dark. *)
+  ignore (Cluster.crash_node b.cluster 0 Cluster.Failure.Power_outage);
+  ignore (Cluster.crash_node b.cluster 1 Cluster.Failure.Power_outage);
+  Cluster.restart_node b.cluster 0;
+  Cluster.restart_node b.cluster 1;
+  (* Cold start on the rebooted cluster from the archive. *)
+  let server = Netram.Server.create (Cluster.node b.cluster 1) in
+  let clients = [ Netram.Client.create ~cluster:b.cluster ~local:0 ~server ] in
+  let t2 = P.restore_from_archive ~clients device in
+  let seg2 = Option.get (P.segment t2 "db") in
+  check_i64 "restored state" expect (P.checksum t2 seg2);
+  check_bool "live again" true (P.remote_ready t2);
+  (* And transactional again. *)
+  let txn = P.begin_transaction t2 in
+  P.set_range txn seg2 ~off:0 ~len:8;
+  P.write t2 seg2 ~off:0 (Bytes.make 8 'z');
+  P.commit txn;
+  check_i64 "mirror ok" (P.checksum t2 seg2) (P.mirror_checksum t2 seg2)
+
+let test_archive_rules () =
+  let b, seg = with_db () in
+  let device =
+    Disk.Device.create ~clock:b.clock
+      ~backend:(Disk.Device.Magnetic Disk.Device.default_geometry)
+      ~capacity:(1 lsl 20)
+  in
+  (* No archive with an open transaction. *)
+  let txn = P.begin_transaction b.t in
+  P.set_range txn seg ~off:0 ~len:8;
+  (try
+     P.archive b.t device;
+     Alcotest.fail "archive with open txn"
+   with Failure _ -> ());
+  P.abort txn;
+  (* Restoring from a blank device fails cleanly. *)
+  let blank =
+    Disk.Device.create ~clock:b.clock
+      ~backend:(Disk.Device.Magnetic Disk.Device.default_geometry)
+      ~capacity:(1 lsl 20)
+  in
+  let server = Netram.Server.create (Cluster.node b.cluster 2) in
+  let clients = [ Netram.Client.create ~cluster:b.cluster ~local:0 ~server ] in
+  try
+    ignore (P.restore_from_archive ~clients blank);
+    Alcotest.fail "restore from blank device"
+  with Failure _ -> ()
+
+(* Two independent databases sharing one memory server, isolated by
+   namespace. *)
+let test_namespaces_share_a_server () =
+  let b = bed () in
+  let t_bank = b.t in
+  let client2 = Netram.Client.create ~cluster:b.cluster ~local:0 ~server:b.server in
+  let t_shop = P.init ~config:{ P.default_config with namespace = "shop" } client2 in
+  let bank_seg = P.malloc t_bank ~name:"table" ~size:512 in
+  let shop_seg = P.malloc t_shop ~name:"table" ~size:512 in
+  P.write t_bank bank_seg ~off:0 (Bytes.make 512 'b');
+  P.write t_shop shop_seg ~off:0 (Bytes.make 512 's');
+  P.init_remote_db t_bank;
+  P.init_remote_db t_shop;
+  let commit_one t seg fill =
+    let txn = P.begin_transaction t in
+    P.set_range txn seg ~off:0 ~len:8;
+    P.write t seg ~off:0 (Bytes.make 8 fill);
+    P.commit txn
+  in
+  commit_one t_bank bank_seg 'B';
+  commit_one t_shop shop_seg 'S';
+  (* Crash the primary: each database recovers under its own namespace
+     with its own contents. *)
+  crash_primary b;
+  let bank2 =
+    P.recover ~config:P.default_config ~cluster:b.cluster ~local:2 ~server:b.server ()
+  in
+  let shop2 =
+    P.recover
+      ~config:{ P.default_config with namespace = "shop" }
+      ~cluster:b.cluster ~local:2 ~server:b.server ()
+  in
+  check Alcotest.string "bank data" "BBBBBBBB"
+    (Bytes.to_string (P.read bank2 (Option.get (P.segment bank2 "table")) ~off:0 ~len:8));
+  check Alcotest.string "shop data" "SSSSSSSS"
+    (Bytes.to_string (P.read shop2 (Option.get (P.segment shop2 "table")) ~off:0 ~len:8))
+
+(* The default namespace rejects a second database on the same server. *)
+let test_namespace_collision_detected () =
+  let b = bed () in
+  ignore b.t;
+  let client2 = Netram.Client.create ~cluster:b.cluster ~local:0 ~server:b.server in
+  try
+    ignore (P.init client2);
+    Alcotest.fail "expected name collision"
+  with Failure _ -> ()
+
+let suite =
+  [
+    ("init mirrors the whole database", `Quick, test_init_mirrors_whole_db);
+    ("malloc naming and lifecycle rules", `Quick, test_malloc_rules);
+    ("transaction state rules", `Quick, test_transaction_rules);
+    ("strict update enforcement", `Quick, test_strict_updates_enforced);
+    ("relaxed update mode", `Quick, test_relaxed_updates);
+    ("commit updates the mirror", `Quick, test_commit_updates_mirror);
+    ("abort restores locally without remote traffic", `Quick, test_abort_restores_locally);
+    ("multi-range abort", `Quick, test_multiple_ranges_and_overlap_abort);
+    ("undo overflow", `Quick, test_undo_overflow);
+    ("set_range validation", `Quick, test_set_range_validation);
+    ("u32/u64 helpers", `Quick, test_helpers_roundtrip);
+    ("statistics accounting", `Quick, test_stats_accounting);
+    ("commit point is a single packet", `Quick, test_epoch_write_is_single_packet);
+    ("recover after clean commit", `Quick, test_recover_after_clean_commit);
+    ("recover multiple segments", `Quick, test_recover_multiple_segments);
+    ("recovered instance runs transactions", `Quick, test_recovered_instance_supports_transactions);
+    ("recover on rebooted primary", `Quick, test_recover_on_rebooted_primary);
+    ("recover without a database fails", `Quick, test_recover_without_db_fails);
+    ("remirror after mirror death", `Quick, test_remirror_after_mirror_death);
+    ("crash atomicity at every cut point", `Slow, test_crash_atomicity_exhaustive);
+    QCheck_alcotest.to_alcotest prop_crash_atomicity;
+    QCheck_alcotest.to_alcotest prop_commit_then_recover_is_post_state;
+    ("crash during set_range keeps pre-state", `Quick, test_crash_during_set_range_only);
+    ("archive and cold restart", `Quick, test_archive_roundtrip);
+    ("archive rules", `Quick, test_archive_rules);
+    ("namespaces share a server", `Quick, test_namespaces_share_a_server);
+    ("namespace collision detected", `Quick, test_namespace_collision_detected);
+  ]

@@ -1,0 +1,147 @@
+module Q = Pqueue.Make (Perseas.Engine)
+module P = Perseas
+
+let check = Alcotest.check
+let check_int = check Alcotest.int
+let check_bool = check Alcotest.bool
+let check_str_opt = check (Alcotest.option Alcotest.string)
+
+let small = { Pqueue.slots = 8; max_item = 32 }
+
+let fresh ?(config = small) () =
+  let bed = Harness.Testbed.perseas_bed ~dram_mb:8 () in
+  let q = Q.create ~config bed.perseas ~name:"queue" in
+  Perseas.init_remote_db bed.perseas;
+  (bed, q)
+
+let ok q = match Q.check_invariants q with Ok () -> () | Error m -> Alcotest.fail m
+
+let test_fifo_order () =
+  let _, q = fresh () in
+  check_bool "empty" true (Q.is_empty q);
+  Q.enqueue q "first";
+  Q.enqueue q "second";
+  Q.enqueue q "third";
+  check_int "length" 3 (Q.length q);
+  check_str_opt "peek" (Some "first") (Q.peek q);
+  check_str_opt "deq 1" (Some "first") (Q.dequeue q);
+  check_str_opt "deq 2" (Some "second") (Q.dequeue q);
+  check_str_opt "deq 3" (Some "third") (Q.dequeue q);
+  check_str_opt "empty again" None (Q.dequeue q);
+  ok q
+
+let test_ring_wraps () =
+  let _, q = fresh () in
+  (* Keep a few elements in flight while the cursors travel several
+     times around the 8-slot ring. *)
+  Q.enqueue q "0a";
+  Q.enqueue q "0b";
+  for i = 1 to 50 do
+    Q.enqueue q (string_of_int i)
+  |> fun () ->
+    if i > 2 then check_str_opt "in order across wraps" (Some (string_of_int (i - 2))) (Q.dequeue q)
+    else ignore (Q.dequeue q)
+  done;
+  ok q;
+  check_int "two in flight" 2 (Q.length q)
+
+let test_full_and_drain () =
+  let _, q = fresh () in
+  for i = 1 to 8 do
+    Q.enqueue q (string_of_int i)
+  done;
+  (try
+     Q.enqueue q "overflow";
+     Alcotest.fail "expected Queue_full"
+   with Pqueue.Queue_full -> ());
+  check (Alcotest.list Alcotest.string) "contents" (List.init 8 (fun i -> string_of_int (i + 1)))
+    (Q.to_list q);
+  for i = 1 to 8 do
+    check_str_opt "drain" (Some (string_of_int i)) (Q.dequeue q)
+  done;
+  check_bool "drained" true (Q.is_empty q);
+  Q.enqueue q "works again";
+  ok q
+
+let test_oversized_and_empty_items () =
+  let _, q = fresh () in
+  (try
+     Q.enqueue q (String.make 100 'x');
+     Alcotest.fail "expected Item_too_large"
+   with Pqueue.Item_too_large -> ());
+  Q.enqueue q "";
+  check_str_opt "empty item roundtrips" (Some "") (Q.dequeue q)
+
+let test_survives_crash () =
+  let bed, q = fresh () in
+  Q.enqueue q "durable-1";
+  Q.enqueue q "durable-2";
+  ignore (Q.dequeue q);
+  ignore (Cluster.crash_node bed.cluster 0 Cluster.Failure.Power_outage);
+  let t2 = P.recover ~cluster:bed.cluster ~local:2 ~server:bed.server () in
+  let q2 = Q.attach ~config:small t2 ~name:"queue" in
+  ok q2;
+  check_int "one element" 1 (Q.length q2);
+  check_str_opt "the right one" (Some "durable-2") (Q.dequeue q2)
+
+let test_crash_mid_enqueue_no_loss_no_dup () =
+  (* Cut every packet of an enqueue: after recovery the queue holds
+     either n or n+1 elements, and the surviving prefix is intact. *)
+  let run cut =
+    let bed, q = fresh () in
+    Q.enqueue q "stable-a";
+    Q.enqueue q "stable-b";
+    let exception Crash in
+    let sent = ref 0 in
+    P.set_packet_hook bed.perseas (Some (fun () -> if !sent >= cut then raise Crash else incr sent));
+    let crashed = try Q.enqueue q "victim" |> fun () -> false with Crash -> true in
+    P.set_packet_hook bed.perseas None;
+    if crashed then begin
+      ignore (Cluster.crash_node bed.cluster 0 Cluster.Failure.Software_error);
+      let t2 = P.recover ~cluster:bed.cluster ~local:2 ~server:bed.server () in
+      let q2 = Q.attach ~config:small t2 ~name:"queue" in
+      ok q2;
+      (match Q.to_list q2 with
+      | [ "stable-a"; "stable-b" ] | [ "stable-a"; "stable-b"; "victim" ] -> ()
+      | l -> Alcotest.failf "unexpected contents at cut %d: [%s]" cut (String.concat "; " l));
+      true
+    end
+    else false
+  in
+  let cut = ref 0 in
+  while run !cut do
+    incr cut
+  done
+
+let prop_queue_matches_model =
+  QCheck.Test.make ~name:"pqueue matches a Queue model" ~count:50
+    QCheck.(list_of_size (Gen.int_range 0 120) (pair bool (int_bound 999)))
+    (fun ops ->
+      let _, q = fresh ~config:{ Pqueue.slots = 16; max_item = 8 } () in
+      let model = Queue.create () in
+      List.for_all
+        (fun (is_enq, v) ->
+          if is_enq then begin
+            let item = string_of_int v in
+            match Q.enqueue q item with
+            | () ->
+                Queue.push item model;
+                true
+            | exception Pqueue.Queue_full -> Queue.length model = 16
+          end
+          else
+            let expect = if Queue.is_empty model then None else Some (Queue.pop model) in
+            Q.dequeue q = expect)
+        ops
+      && Q.length q = Queue.length model)
+
+let suite =
+  [
+    ("fifo order", `Quick, test_fifo_order);
+    ("ring wraps around", `Quick, test_ring_wraps);
+    ("full, drain, reuse", `Quick, test_full_and_drain);
+    ("oversized and empty items", `Quick, test_oversized_and_empty_items);
+    ("survives crash", `Quick, test_survives_crash);
+    ("crash mid-enqueue: no loss, no duplication", `Slow, test_crash_mid_enqueue_no_loss_no_dup);
+    QCheck_alcotest.to_alcotest prop_queue_matches_model;
+  ]

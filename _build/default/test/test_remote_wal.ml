@@ -1,0 +1,178 @@
+open Sim
+module Rwal = Baselines.Remote_wal
+module Device = Disk.Device
+module Node = Cluster.Node
+
+let check = Alcotest.check
+let check_int = check Alcotest.int
+let check_bool = check Alcotest.bool
+let check_i64 = check Alcotest.int64
+
+type bed = {
+  clock : Clock.t;
+  cluster : Cluster.t;
+  server : Netram.Server.t;
+  device : Device.t;
+  t : Rwal.t;
+}
+
+let bed ?config () =
+  let clock = Clock.create () in
+  let cluster =
+    Cluster.create ~clock
+      [
+        Cluster.spec ~dram_size:(8 * 1024 * 1024) ~power_supply:0 "primary";
+        Cluster.spec ~dram_size:(8 * 1024 * 1024) ~power_supply:1 "log-mirror";
+        Cluster.spec ~dram_size:(8 * 1024 * 1024) ~power_supply:2 "spare";
+      ]
+  in
+  let server = Netram.Server.create (Cluster.node cluster 1) in
+  let client = Netram.Client.create ~cluster ~local:0 ~server in
+  let device =
+    Device.create ~clock ~backend:(Device.Magnetic Device.default_geometry)
+      ~capacity:(16 * 1024 * 1024)
+  in
+  { clock; cluster; server; device; t = Rwal.create ?config ~client ~device () }
+
+let with_db ?config ?(size = 4096) () =
+  let b = bed ?config () in
+  let seg = Rwal.Engine.malloc b.t ~name:"db" ~size in
+  Rwal.Engine.write b.t seg ~off:0 (Bytes.init size (fun i -> Char.chr (i land 0xff)));
+  Rwal.Engine.init_done b.t;
+  (b, seg)
+
+let one_txn b seg ~off ~len fill =
+  let txn = Rwal.Engine.begin_transaction b.t in
+  Rwal.Engine.set_range txn seg ~off ~len;
+  Rwal.Engine.write b.t seg ~off (Bytes.make len fill);
+  Rwal.Engine.commit txn
+
+(* ------------------------------------------------------------------ *)
+
+let test_commit_at_network_speed_when_idle () =
+  let b, seg = with_db () in
+  let t0 = Clock.now b.clock in
+  one_txn b seg ~off:0 ~len:8 'n';
+  (* An idle system commits at remote-memory speed: tens of µs, no
+     disk in the path. *)
+  let dt = Clock.now b.clock - t0 in
+  check_bool "well under a millisecond" true (dt < Time.us 100.);
+  check_int "no stall yet" 0 (Rwal.stall_time b.t)
+
+let test_sustained_load_stalls_at_disk_rate () =
+  let b, seg = with_db () in
+  (* Fill the async writer's buffer... *)
+  for i = 0 to 7_999 do
+    one_txn b seg ~off:(i * 64 mod 4000) ~len:48 'l'
+  done;
+  check_bool "stalled" true (Rwal.stall_time b.t > Time.zero);
+  (* ...then measure the steady state: it converges to the drain rate
+     divided by the bytes each commit adds (72-byte records). *)
+  let t0 = Clock.now b.clock in
+  for i = 0 to 1_999 do
+    one_txn b seg ~off:(i * 64 mod 4000) ~len:48 'l'
+  done;
+  let tps = 2_000. /. Time.to_s (Clock.now b.clock - t0) in
+  let cfg = Rwal.config b.t in
+  let bound = cfg.drain_bytes_per_s /. 72. in
+  check_bool
+    (Printf.sprintf "disk-bound (%.0f tps vs %.0f)" tps bound)
+    true (tps <= bound *. 1.1 && tps >= bound /. 2.)
+
+let test_abort_restores () =
+  let b, seg = with_db () in
+  let before = Rwal.checksum b.t seg in
+  let txn = Rwal.Engine.begin_transaction b.t in
+  Rwal.Engine.set_range txn seg ~off:100 ~len:64;
+  Rwal.Engine.write b.t seg ~off:100 (Bytes.make 64 'x');
+  Rwal.Engine.abort txn;
+  check_i64 "restored" before (Rwal.checksum b.t seg)
+
+let recover_on b ~local =
+  Rwal.recover ~cluster:b.cluster ~local ~server:b.server ~device:b.device ()
+
+let test_recovery_replays_remote_log () =
+  let b, seg = with_db () in
+  one_txn b seg ~off:0 ~len:32 'R';
+  one_txn b seg ~off:500 ~len:32 'S';
+  let expect = Rwal.checksum b.t seg in
+  ignore (Cluster.crash_node b.cluster 0 Cluster.Failure.Power_outage);
+  Cluster.restart_node b.cluster 0;
+  let t2 = recover_on b ~local:0 in
+  let seg2 = Option.get (Rwal.segment_by_name t2 "db") in
+  check_i64 "state recovered from db file + remote log" expect (Rwal.checksum t2 seg2)
+
+let test_recovery_on_third_node () =
+  let b, seg = with_db () in
+  one_txn b seg ~off:64 ~len:16 'T';
+  let expect = Rwal.checksum b.t seg in
+  ignore (Cluster.crash_node b.cluster 0 Cluster.Failure.Software_error);
+  let t2 = recover_on b ~local:2 in
+  check_i64 "recovered elsewhere" expect
+    (Rwal.checksum t2 (Option.get (Rwal.segment_by_name t2 "db")))
+
+let test_uncommitted_txn_rolled_back () =
+  let b, seg = with_db () in
+  one_txn b seg ~off:0 ~len:16 'C';
+  let expect = Rwal.checksum b.t seg in
+  (* Updates without commit: local only, the remote tail was never
+     bumped. *)
+  let txn = Rwal.Engine.begin_transaction b.t in
+  Rwal.Engine.set_range txn seg ~off:200 ~len:100;
+  Rwal.Engine.write b.t seg ~off:200 (Bytes.make 100 'U');
+  ignore txn;
+  ignore (Cluster.crash_node b.cluster 0 Cluster.Failure.Software_error);
+  let t2 = recover_on b ~local:2 in
+  check_i64 "in-flight txn invisible" expect
+    (Rwal.checksum t2 (Option.get (Rwal.segment_by_name t2 "db")))
+
+let test_checkpoint_cycles_log () =
+  let config = { Rwal.default_config with log_capacity = 8 * 1024 } in
+  let b, seg = with_db ~config () in
+  for i = 0 to 199 do
+    one_txn b seg ~off:(i * 16 mod 4000) ~len:16 (Char.chr (65 + (i mod 26)))
+  done;
+  check_bool "checkpointed" true (Rwal.checkpoints b.t > 0);
+  let expect = Rwal.checksum b.t seg in
+  ignore (Cluster.crash_node b.cluster 0 Cluster.Failure.Software_error);
+  let t2 =
+    Rwal.recover ~config ~cluster:b.cluster ~local:2 ~server:b.server ~device:b.device ()
+  in
+  check_i64 "recovers across checkpoints" expect
+    (Rwal.checksum t2 (Option.get (Rwal.segment_by_name t2 "db")))
+
+let test_log_mirror_death_fails_ops () =
+  let b, seg = with_db () in
+  ignore (Cluster.crash_node b.cluster 1 Cluster.Failure.Hardware_error);
+  try
+    one_txn b seg ~off:0 ~len:8 'd';
+    Alcotest.fail "expected failure when the log mirror is gone"
+  with Failure _ -> ()
+
+let prop_recovery_equals_live_state =
+  QCheck.Test.make ~name:"remote-wal recovery equals the committed live state" ~count:40
+    QCheck.(list_of_size (Gen.int_range 1 12) (pair (int_bound 4000) (int_range 1 90)))
+    (fun raw ->
+      let b, seg = with_db () in
+      List.iteri
+        (fun i (off, len) ->
+          let off = min off (4096 - len) in
+          one_txn b seg ~off ~len (Char.chr (97 + (i mod 26))))
+        raw;
+      let expect = Rwal.checksum b.t seg in
+      ignore (Cluster.crash_node b.cluster 0 Cluster.Failure.Software_error);
+      let t2 = recover_on b ~local:2 in
+      Rwal.checksum t2 (Option.get (Rwal.segment_by_name t2 "db")) = expect)
+
+let suite =
+  [
+    ("idle commits at network speed", `Quick, test_commit_at_network_speed_when_idle);
+    ("sustained load stalls at disk rate", `Quick, test_sustained_load_stalls_at_disk_rate);
+    ("abort restores", `Quick, test_abort_restores);
+    ("recovery replays the remote log", `Quick, test_recovery_replays_remote_log);
+    ("recovery on a third node", `Quick, test_recovery_on_third_node);
+    ("uncommitted transaction rolled back", `Quick, test_uncommitted_txn_rolled_back);
+    ("checkpoints cycle the log", `Quick, test_checkpoint_cycles_log);
+    ("log-mirror death fails operations", `Quick, test_log_mirror_death_fails_ops);
+    QCheck_alcotest.to_alcotest prop_recovery_equals_live_state;
+  ]

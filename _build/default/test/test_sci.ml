@@ -1,0 +1,314 @@
+open Sim
+
+let p = Sci.Params.default
+let check = Alcotest.check
+let check_int = check Alcotest.int
+let check_bool = check Alcotest.bool
+
+(* ------------------------------------------------------------------ *)
+(* Packetisation *)
+
+let test_packet_small_store () =
+  let pkts = Sci.Packet.of_range p ~off:0 ~len:4 in
+  check_int "one packet" 1 (List.length pkts);
+  check_int "16B kind" 1 (Sci.Packet.count Sci.Packet.Part16 pkts)
+
+let test_packet_crossing_subblock () =
+  (* A store crossing a 16-byte boundary needs two packets (paper §4). *)
+  let pkts = Sci.Packet.of_range p ~off:12 ~len:8 in
+  check_int "two packets" 2 (List.length pkts);
+  check_int "conserves bytes" 8 (Sci.Packet.total_bytes pkts)
+
+let test_packet_full_buffer () =
+  let pkts = Sci.Packet.of_range p ~off:0 ~len:64 in
+  check_int "one full64" 1 (Sci.Packet.count Sci.Packet.Full64 pkts);
+  check_int "no part16" 0 (Sci.Packet.count Sci.Packet.Part16 pkts)
+
+let test_packet_mixed () =
+  (* 200 bytes from offset 0: 3 full buffers + one 8-byte tail. *)
+  let pkts = Sci.Packet.of_range p ~off:0 ~len:200 in
+  check_int "full64" 3 (Sci.Packet.count Sci.Packet.Full64 pkts);
+  check_int "part16" 1 (Sci.Packet.count Sci.Packet.Part16 pkts);
+  check_int "bytes" 200 (Sci.Packet.total_bytes pkts)
+
+let test_packet_unaligned_both_sides () =
+  (* [60, 132): 4 bytes in buffer 0, full buffer 1, 4 bytes in buffer 2. *)
+  let pkts = Sci.Packet.of_range p ~off:60 ~len:72 in
+  check_int "full64" 1 (Sci.Packet.count Sci.Packet.Full64 pkts);
+  check_int "part16" 2 (Sci.Packet.count Sci.Packet.Part16 pkts);
+  check_int "bytes" 72 (Sci.Packet.total_bytes pkts)
+
+let test_packet_empty_and_invalid () =
+  check_int "empty" 0 (List.length (Sci.Packet.of_range p ~off:0 ~len:0));
+  (try
+     ignore (Sci.Packet.of_range p ~off:(-4) ~len:8);
+     Alcotest.fail "expected Invalid_argument"
+   with Invalid_argument _ -> ())
+
+let test_last_word () =
+  check_bool "ends at 64" true (Sci.Packet.ends_on_last_word p ~off:0 ~len:64);
+  check_bool "ends at 62" true (Sci.Packet.ends_on_last_word p ~off:0 ~len:62);
+  check_bool "ends at 56" false (Sci.Packet.ends_on_last_word p ~off:0 ~len:56)
+
+let test_buffer_index () =
+  check_int "addr 0 -> buf 0" 0 (Sci.Packet.buffer_index p 0);
+  check_int "addr 64 -> buf 1" 1 (Sci.Packet.buffer_index p 64);
+  check_int "addr 512 wraps" 0 (Sci.Packet.buffer_index p 512)
+
+let prop_packets_conserve_bytes =
+  QCheck.Test.make ~name:"packetisation conserves bytes and stays in range" ~count:500
+    QCheck.(pair (int_bound 1000) (int_range 1 2048))
+    (fun (off, len) ->
+      let pkts = Sci.Packet.of_range p ~off ~len in
+      Sci.Packet.total_bytes pkts = len
+      && List.for_all (fun (pkt : Sci.Packet.t) -> pkt.addr >= off && pkt.addr + pkt.len <= off + len) pkts
+      && List.for_all
+           (fun (pkt : Sci.Packet.t) ->
+             match pkt.kind with
+             | Sci.Packet.Full64 -> pkt.len = 64 && pkt.addr mod 64 = 0
+             | Sci.Packet.Part16 -> pkt.len >= 1 && pkt.len <= 16)
+           pkts)
+
+let prop_packets_sorted_disjoint =
+  QCheck.Test.make ~name:"packets are address-ordered and disjoint" ~count:500
+    QCheck.(pair (int_bound 1000) (int_range 1 2048))
+    (fun (off, len) ->
+      let pkts = Sci.Packet.of_range p ~off ~len in
+      let rec ordered = function
+        | (a : Sci.Packet.t) :: (b : Sci.Packet.t) :: rest -> a.addr + a.len = b.addr && ordered (b :: rest)
+        | _ -> true
+      in
+      ordered pkts)
+
+(* ------------------------------------------------------------------ *)
+(* Latency model *)
+
+let us x = Time.us x
+
+let test_latency_calibration_points () =
+  check_int "4B store = 2.7us" (us 2.7) (Sci.Model.write_range p ~off:0 ~len:4 ());
+  (* one vs two sub-block packets *)
+  check_int "8B crossing = 4.5us" (us 4.5) (Sci.Model.write_range p ~off:12 ~len:8 ());
+  (* A whole buffer ends on its last word, so the early-flush bonus
+     applies: 0.9 + 5.0 - 0.3. *)
+  check_int "full 64B = 5.6us" (us 5.6) (Sci.Model.write_range p ~off:0 ~len:64 ())
+
+let test_latency_aligned_wins_above_32 () =
+  (* Raw 33..64-byte stores are slower than one whole 64-byte buffer. *)
+  let full = Sci.Model.write_range p ~off:0 ~len:64 () in
+  for len = 33 to 63 do
+    if not (Sci.Packet.ends_on_last_word p ~off:0 ~len) then
+      check_bool
+        (Printf.sprintf "64B region beats raw %dB" len)
+        true
+        (Sci.Model.write_range p ~off:0 ~len () >= full)
+  done;
+  (* ...but a 32-byte store is cheaper raw (the paper's threshold). *)
+  check_bool "32B raw beats 64B region" true (Sci.Model.write_range p ~off:0 ~len:32 () < full)
+
+let test_latency_monotone_in_buffers () =
+  let lat n = Sci.Model.write_range p ~off:0 ~len:(n * 64) () in
+  for n = 1 to 16 do
+    check_bool "monotone" true (lat (n + 1) > lat n)
+  done
+
+let test_latency_streaming_amortises () =
+  (* Per-buffer marginal cost for a long copy is the streaming cost,
+     lower than the first-packet cost. *)
+  let l1 = Sci.Model.write_range p ~off:0 ~len:(64 * 100) () in
+  let l2 = Sci.Model.write_range p ~off:0 ~len:(64 * 101) () in
+  check_int "marginal 64B = streaming cost" p.t_pkt64_stream (l2 - l1)
+
+let test_latency_1mb_under_100ms () =
+  (* Figure 6: a 1 MB transaction does ~2 remote MB + 1 local MB and
+     must end under 0.1 s. *)
+  let remote = Sci.Model.write_range p ~off:0 ~len:(1 lsl 20) () in
+  let local = Sci.Model.local_copy p (1 lsl 20) in
+  check_bool "2 remote + 1 local < 100ms" true ((2 * remote) + local < Time.ms 100.)
+
+let test_latency_hops () =
+  let one = Sci.Model.write_range p ~hops:1 ~off:0 ~len:4 () in
+  let two = Sci.Model.write_range p ~hops:2 ~off:0 ~len:4 () in
+  check_int "one extra hop" p.t_hop (two - one)
+
+let test_read_more_expensive_than_write () =
+  List.iter
+    (fun len ->
+      check_bool
+        (Printf.sprintf "read %dB >= write" len)
+        true
+        (Sci.Model.read_range p ~off:0 ~len () >= Sci.Model.write_range p ~off:0 ~len ()))
+    [ 4; 64; 256; 4096 ]
+
+let test_local_copy_costs () =
+  check_int "zero bytes free" 0 (Sci.Model.local_copy p 0);
+  let one = Sci.Model.local_copy p 1 in
+  check_bool "overhead dominates 1B" true (one >= p.local_copy_overhead);
+  let big = Sci.Model.local_copy p 100_000_000 in
+  check_bool "about 1s for 100MB at 100MB/s" true (Time.to_s big > 0.9 && Time.to_s big < 1.1)
+
+let prop_latency_positive_monotone_same_shape =
+  QCheck.Test.make ~name:"write latency positive and grows with whole buffers" ~count:300
+    QCheck.(int_range 1 100)
+    (fun n ->
+      let lat = Sci.Model.write_range p ~off:0 ~len:(n * 64) () in
+      lat > 0 && lat = p.t_base + p.t_pkt64_first + ((n - 1) * p.t_pkt64_stream) - p.t_lastword_bonus)
+
+let test_projection_trend () =
+  (* section 6: latencies shrink, throughput terms shrink faster. *)
+  let p0 = Sci.Params.projected ~years:0 () in
+  let p4 = Sci.Params.projected ~years:4 () in
+  check_int "year 0 is the default" Sci.Params.default.t_base p0.t_base;
+  check_bool "latency improves" true (p4.t_base < p0.t_base && p4.t_pkt16 < p0.t_pkt16);
+  check_bool "throughput improves faster" true
+    (float_of_int p4.t_pkt64_stream /. float_of_int p0.t_pkt64_stream
+    < float_of_int p4.t_base /. float_of_int p0.t_base);
+  check_bool "still valid" true (Sci.Params.validate p4 = Ok ());
+  (* Transactions get monotonically cheaper with the years. *)
+  let cost y =
+    let p = Sci.Params.projected ~years:y () in
+    Sci.Model.write_range p ~off:0 ~len:256 ()
+  in
+  check_bool "monotone improvement" true (cost 2 < cost 0 && cost 6 < cost 2)
+
+(* ------------------------------------------------------------------ *)
+(* Nic transfers *)
+
+let fresh_pair () =
+  let clock = Clock.create () in
+  let nic = Sci.Nic.create clock in
+  let src = Mem.Image.create ~size:4096 and dst = Mem.Image.create ~size:4096 in
+  (clock, nic, src, dst)
+
+let test_nic_write_copies_and_charges () =
+  let clock, nic, src, dst = fresh_pair () in
+  Mem.Image.write_bytes src ~off:100 (Bytes.of_string "abcdefgh");
+  Sci.Nic.write nic ~src ~src_off:100 ~dst ~dst_off:200 ~len:8 ();
+  check Alcotest.string "bytes landed" "abcdefgh" (Bytes.to_string (Mem.Image.read_bytes dst ~off:200 ~len:8));
+  check_bool "time charged" true (Clock.now clock > 0)
+
+let test_nic_plan_latency_matches_model () =
+  let _, nic, src, dst = fresh_pair () in
+  List.iter
+    (fun (off, len) ->
+      let plan = Sci.Nic.plan_write nic ~src ~src_off:off ~dst ~dst_off:off ~len () in
+      check_int
+        (Printf.sprintf "plan latency = model (off=%d len=%d)" off len)
+        (Sci.Model.write_range p ~off ~len ())
+        (Sci.Nic.plan_latency plan))
+    [ (0, 4); (12, 8); (0, 64); (0, 200); (60, 72); (0, 4096) ]
+
+let test_nic_widening () =
+  let _, nic, src, dst = fresh_pair () in
+  let window = Mem.Segment.v ~base:0 ~len:4096 in
+  (* A 40-byte copy at offset 10 widens to the whole [0,64) buffer. *)
+  let plan = Sci.Nic.plan_write nic ~window ~src ~src_off:10 ~dst ~dst_off:10 ~len:40 () in
+  check_int "widened to 64" 64 (Sci.Nic.plan_bytes plan);
+  (* The widening never leaves the window. *)
+  let tight = Mem.Segment.v ~base:10 ~len:40 in
+  let plan2 = Sci.Nic.plan_write nic ~window:tight ~src ~src_off:10 ~dst ~dst_off:10 ~len:40 () in
+  check_int "clamped" 40 (Sci.Nic.plan_bytes plan2)
+
+let test_nic_widening_respects_mirror_equality () =
+  let _, nic, src, dst = fresh_pair () in
+  (* Mirrors agree outside the written range, so widening must not
+     corrupt the destination: make the images equal first. *)
+  for i = 0 to 4095 do
+    Mem.Image.write_u8 src i (i land 0xff);
+    Mem.Image.write_u8 dst i (i land 0xff)
+  done;
+  Mem.Image.write_bytes src ~off:70 (Bytes.make 40 '!');
+  let window = Mem.Segment.v ~base:0 ~len:4096 in
+  Sci.Nic.write nic ~window ~src ~src_off:70 ~dst ~dst_off:70 ~len:40 ();
+  check_bool "images equal" true (Mem.Image.equal_range src dst ~off:0 ~len:4096)
+
+let test_nic_no_widening_when_misaligned () =
+  let _, nic, src, dst = fresh_pair () in
+  let window = Mem.Segment.v ~base:0 ~len:4096 in
+  (* src/dst offsets not congruent mod 64: widening must be skipped. *)
+  let plan = Sci.Nic.plan_write nic ~window ~src ~src_off:3 ~dst ~dst_off:10 ~len:40 () in
+  check_int "no widening" 40 (Sci.Nic.plan_bytes plan)
+
+let test_nic_counters () =
+  let _, nic, src, dst = fresh_pair () in
+  Sci.Nic.write nic ~src ~src_off:0 ~dst ~dst_off:0 ~len:200 ();
+  let c = Sci.Nic.counters nic in
+  check_int "bursts" 1 c.bursts;
+  check_int "packets64" 3 c.packets64;
+  check_int "packets16" 1 c.packets16;
+  check_int "bytes" 200 c.bytes_written;
+  Sci.Nic.reset_counters nic;
+  check_int "reset" 0 (Sci.Nic.counters nic).bytes_written
+
+let test_nic_step_by_step_partial () =
+  let _, nic, src, dst = fresh_pair () in
+  Mem.Image.fill src ~off:0 ~len:200 'x';
+  let plan = Sci.Nic.plan_write nic ~src ~src_off:0 ~dst ~dst_off:0 ~len:200 () in
+  let steps = Sci.Nic.plan_steps plan in
+  check_int "4 steps" 4 (List.length steps);
+  (* Apply only the first two: exactly 128 bytes must have landed. *)
+  List.iteri (fun i s -> if i < 2 then Sci.Nic.apply_step nic s) steps;
+  check Alcotest.string "first 128 landed" (String.make 128 'x')
+    (Bytes.to_string (Mem.Image.read_bytes dst ~off:0 ~len:128));
+  check_int "tail untouched" 0 (Mem.Image.read_u8 dst 128)
+
+let test_nic_read_roundtrip () =
+  let _, nic, src, dst = fresh_pair () in
+  Mem.Image.write_bytes src ~off:50 (Bytes.of_string "remote-data");
+  Sci.Nic.read nic ~src ~src_off:50 ~dst ~dst_off:0 ~len:11 ();
+  check Alcotest.string "read back" "remote-data" (Bytes.to_string (Mem.Image.read_bytes dst ~off:0 ~len:11));
+  check_int "read bytes counted" 11 (Sci.Nic.counters nic).bytes_read
+
+let test_nic_u64_roundtrip () =
+  let _, nic, _, dst = fresh_pair () in
+  Sci.Nic.write_u64 nic ~dst ~dst_off:16 0xfeedfacecafebeefL;
+  check Alcotest.int64 "u64" 0xfeedfacecafebeefL (Sci.Nic.read_u64 nic ~src:dst ~src_off:16 ())
+
+let prop_plan_steps_cover_range =
+  QCheck.Test.make ~name:"nic run moves exactly the requested bytes (no widening)" ~count:200
+    QCheck.(pair (int_bound 500) (int_range 1 1024))
+    (fun (off, len) ->
+      let _, nic, src, dst = fresh_pair () in
+      for i = 0 to 4095 do
+        Mem.Image.write_u8 src i ((i * 7) land 0xff)
+      done;
+      Sci.Nic.write nic ~src ~src_off:off ~dst ~dst_off:off ~len ();
+      Mem.Image.equal_range src dst ~off ~len
+      &&
+      (* Bytes before/after the range stay zero. *)
+      (off = 0 || Mem.Image.read_u8 dst (off - 1) = 0)
+      && (off + len >= 4096 || Mem.Image.read_u8 dst (off + len) = 0))
+
+let suite =
+  [
+    ("packet: small store", `Quick, test_packet_small_store);
+    ("packet: crossing sub-block boundary", `Quick, test_packet_crossing_subblock);
+    ("packet: full buffer", `Quick, test_packet_full_buffer);
+    ("packet: mixed 200B", `Quick, test_packet_mixed);
+    ("packet: unaligned both sides", `Quick, test_packet_unaligned_both_sides);
+    ("packet: empty and invalid", `Quick, test_packet_empty_and_invalid);
+    ("packet: last-word detection", `Quick, test_last_word);
+    ("packet: buffer index mapping", `Quick, test_buffer_index);
+    QCheck_alcotest.to_alcotest prop_packets_conserve_bytes;
+    QCheck_alcotest.to_alcotest prop_packets_sorted_disjoint;
+    ("latency: calibration points", `Quick, test_latency_calibration_points);
+    ("latency: aligned 64B wins above 32B", `Quick, test_latency_aligned_wins_above_32);
+    ("latency: monotone in buffers", `Quick, test_latency_monotone_in_buffers);
+    ("latency: streaming amortisation", `Quick, test_latency_streaming_amortises);
+    ("latency: 1MB transaction budget", `Quick, test_latency_1mb_under_100ms);
+    ("latency: ring hops", `Quick, test_latency_hops);
+    ("latency: reads cost more than writes", `Quick, test_read_more_expensive_than_write);
+    ("latency: local copy model", `Quick, test_local_copy_costs);
+    ("params: technology projection", `Quick, test_projection_trend);
+    QCheck_alcotest.to_alcotest prop_latency_positive_monotone_same_shape;
+    ("nic: write copies and charges", `Quick, test_nic_write_copies_and_charges);
+    ("nic: plan latency matches model", `Quick, test_nic_plan_latency_matches_model);
+    ("nic: sci_memcpy widening", `Quick, test_nic_widening);
+    ("nic: widening preserves mirror equality", `Quick, test_nic_widening_respects_mirror_equality);
+    ("nic: no widening when misaligned", `Quick, test_nic_no_widening_when_misaligned);
+    ("nic: traffic counters", `Quick, test_nic_counters);
+    ("nic: partial application lands a prefix", `Quick, test_nic_step_by_step_partial);
+    ("nic: remote read roundtrip", `Quick, test_nic_read_roundtrip);
+    ("nic: u64 roundtrip", `Quick, test_nic_u64_roundtrip);
+    QCheck_alcotest.to_alcotest prop_plan_steps_cover_range;
+  ]

@@ -1,0 +1,271 @@
+open Sim
+
+let check = Alcotest.check
+let check_int = check Alcotest.int
+let check_bool = check Alcotest.bool
+
+(* ------------------------------------------------------------------ *)
+(* Time *)
+
+let test_time_units () =
+  check_int "us" 1_000 (Time.us 1.);
+  check_int "ms" 1_000_000 (Time.ms 1.);
+  check_int "s" 1_000_000_000 (Time.s 1.);
+  check_int "round" 2_700 (Time.us 2.7);
+  check (Alcotest.float 1e-9) "to_us" 2.7 (Time.to_us (Time.us 2.7))
+
+let test_time_bandwidth () =
+  check_int "1MB at 1MB/s" 1_000_000_000 (Time.of_bandwidth ~bytes_per_s:1e6 1_000_000);
+  check_int "zero bytes" 0 (Time.of_bandwidth ~bytes_per_s:1e6 0);
+  Alcotest.check_raises "zero bandwidth" (Invalid_argument "Time.of_bandwidth: bandwidth <= 0")
+    (fun () -> ignore (Time.of_bandwidth ~bytes_per_s:0. 1));
+  Alcotest.check_raises "negative bytes" (Invalid_argument "Time.of_bandwidth: negative byte count")
+    (fun () -> ignore (Time.of_bandwidth ~bytes_per_s:1e6 (-1)))
+
+let test_time_pp () =
+  check Alcotest.string "ns" "500ns" (Time.to_string (Time.ns 500));
+  check Alcotest.string "us" "2.70us" (Time.to_string (Time.us 2.7));
+  check Alcotest.string "ms" "12.00ms" (Time.to_string (Time.ms 12.));
+  check Alcotest.string "s" "1.500s" (Time.to_string (Time.s 1.5))
+
+(* ------------------------------------------------------------------ *)
+(* Clock *)
+
+let test_clock_advance () =
+  let c = Clock.create () in
+  check_int "starts at zero" 0 (Clock.now c);
+  Clock.advance c (Time.us 3.);
+  check_int "advance" 3_000 (Clock.now c);
+  Clock.advance c Time.zero;
+  check_int "zero advance" 3_000 (Clock.now c);
+  Alcotest.check_raises "negative" (Invalid_argument "Clock.advance: negative duration") (fun () ->
+      Clock.advance c (-1))
+
+let test_clock_advance_to () =
+  let c = Clock.create ~at:100 () in
+  Clock.advance_to c 50;
+  check_int "never backwards" 100 (Clock.now c);
+  Clock.advance_to c 200;
+  check_int "forward" 200 (Clock.now c);
+  check_int "elapsed" 150 (Clock.elapsed_since c 50)
+
+(* ------------------------------------------------------------------ *)
+(* Rng *)
+
+let test_rng_determinism () =
+  let a = Rng.create 1 and b = Rng.create 1 in
+  for _ = 1 to 100 do
+    check Alcotest.int64 "same stream" (Rng.next64 a) (Rng.next64 b)
+  done;
+  let c = Rng.create 2 in
+  check_bool "different seed differs" true (Rng.next64 a <> Rng.next64 c)
+
+let test_rng_bounds () =
+  let rng = Rng.create 3 in
+  for _ = 1 to 1000 do
+    let v = Rng.int rng 7 in
+    check_bool "in [0,7)" true (v >= 0 && v < 7);
+    let w = Rng.int_in rng (-5) 5 in
+    check_bool "in [-5,5]" true (w >= -5 && w <= 5);
+    let f = Rng.float rng 2.5 in
+    check_bool "float bound" true (f >= 0. && f < 2.5)
+  done;
+  Alcotest.check_raises "bad bound" (Invalid_argument "Rng.int: bound <= 0") (fun () ->
+      ignore (Rng.int rng 0))
+
+let test_rng_split_independent () =
+  let parent = Rng.create 4 in
+  let child = Rng.split parent in
+  let child_seq = List.init 10 (fun _ -> Rng.next64 child) in
+  (* Recreate: same parent seed, same split point gives the same child. *)
+  let parent' = Rng.create 4 in
+  let child' = Rng.split parent' in
+  let child_seq' = List.init 10 (fun _ -> Rng.next64 child') in
+  check (Alcotest.list Alcotest.int64) "split deterministic" child_seq child_seq'
+
+let test_rng_shuffle_permutes () =
+  let rng = Rng.create 5 in
+  let a = Array.init 50 Fun.id in
+  Rng.shuffle rng a;
+  let sorted = Array.copy a in
+  Array.sort compare sorted;
+  check (Alcotest.array Alcotest.int) "same elements" (Array.init 50 Fun.id) sorted
+
+let test_rng_exponential_positive () =
+  let rng = Rng.create 6 in
+  for _ = 1 to 200 do
+    check_bool "positive" true (Rng.exponential rng ~mean:5. > 0.)
+  done
+
+(* ------------------------------------------------------------------ *)
+(* Stats *)
+
+let test_summary () =
+  let s = Stats.Summary.create () in
+  List.iter (Stats.Summary.add s) [ 1.; 2.; 3.; 4. ];
+  check_int "count" 4 (Stats.Summary.count s);
+  check (Alcotest.float 1e-9) "mean" 2.5 (Stats.Summary.mean s);
+  check (Alcotest.float 1e-9) "min" 1. (Stats.Summary.min s);
+  check (Alcotest.float 1e-9) "max" 4. (Stats.Summary.max s);
+  check (Alcotest.float 1e-6) "stddev" 1.290994 (Stats.Summary.stddev s)
+
+let test_summary_empty () =
+  let s = Stats.Summary.create () in
+  Alcotest.check_raises "min empty" (Invalid_argument "Stats.Summary.min: empty") (fun () ->
+      ignore (Stats.Summary.min s))
+
+let test_series_percentiles () =
+  let s = Stats.Series.create () in
+  for i = 1 to 100 do
+    Stats.Series.add s (float_of_int i)
+  done;
+  check (Alcotest.float 1e-9) "p0" 1. (Stats.Series.percentile s 0.);
+  check (Alcotest.float 1e-9) "p100" 100. (Stats.Series.percentile s 100.);
+  check (Alcotest.float 1e-9) "median" 50.5 (Stats.Series.median s);
+  check (Alcotest.float 0.2) "p99" 99. (Stats.Series.percentile s 99.)
+
+let test_series_grows () =
+  let s = Stats.Series.create () in
+  for i = 1 to 10_000 do
+    Stats.Series.add s (float_of_int (i mod 97))
+  done;
+  check_int "count" 10_000 (Stats.Series.count s);
+  check (Alcotest.float 1e-9) "max" 96. (Stats.Series.max s)
+
+let test_histogram () =
+  let h = Stats.Histogram.create ~buckets_per_decade:1 () in
+  List.iter (Stats.Histogram.add h) [ 1.5; 2.; 15.; 150.; 1500. ];
+  check_int "count" 5 (Stats.Histogram.count h);
+  let buckets = Stats.Histogram.buckets h in
+  check_int "4 decades" 4 (List.length buckets);
+  List.iter (fun (lo, hi, _) -> check_bool "ordered" true (lo < hi)) buckets
+
+(* ------------------------------------------------------------------ *)
+(* Events *)
+
+let test_events_order () =
+  let clock = Clock.create () in
+  let q = Events.create clock in
+  let log = ref [] in
+  ignore (Events.schedule q ~at:30 (fun () -> log := 30 :: !log));
+  ignore (Events.schedule q ~at:10 (fun () -> log := 10 :: !log));
+  ignore (Events.schedule q ~at:20 (fun () -> log := 20 :: !log));
+  check_int "pending" 3 (Events.pending q);
+  Events.run_until q 25;
+  check (Alcotest.list Alcotest.int) "fired in order" [ 20; 10 ] !log;
+  check_int "clock at horizon" 25 (Clock.now clock);
+  Events.run_until q 100;
+  check (Alcotest.list Alcotest.int) "rest fired" [ 30; 20; 10 ] !log
+
+let test_events_same_time_fifo () =
+  let clock = Clock.create () in
+  let q = Events.create clock in
+  let log = ref [] in
+  for i = 1 to 5 do
+    ignore (Events.schedule q ~at:10 (fun () -> log := i :: !log))
+  done;
+  Events.run_until q 10;
+  check (Alcotest.list Alcotest.int) "fifo at equal time" [ 5; 4; 3; 2; 1 ] !log
+
+let test_events_cancel () =
+  let clock = Clock.create () in
+  let q = Events.create clock in
+  let fired = ref false in
+  let h = Events.schedule q ~at:10 (fun () -> fired := true) in
+  Events.cancel q h;
+  Events.cancel q h;
+  check_int "pending zero" 0 (Events.pending q);
+  Events.run_until q 20;
+  check_bool "not fired" false !fired
+
+let test_events_reschedule_from_handler () =
+  let clock = Clock.create () in
+  let q = Events.create clock in
+  let count = ref 0 in
+  let rec tick () =
+    incr count;
+    if !count < 5 then ignore (Events.schedule_after q ~delay:10 tick)
+  in
+  ignore (Events.schedule q ~at:10 tick);
+  Events.run_until q 100;
+  check_int "chain of 5" 5 !count;
+  check_int "clock" 100 (Clock.now clock)
+
+let test_events_past_rejected () =
+  let clock = Clock.create ~at:50 () in
+  let q = Events.create clock in
+  Alcotest.check_raises "past" (Invalid_argument "Events.schedule: time in the past") (fun () ->
+      ignore (Events.schedule q ~at:10 ignore))
+
+(* Property: whatever the order of scheduling (and random
+   cancellations), events fire in (time, scheduling-order) order, and
+   exactly the non-cancelled ones fire. *)
+let prop_events_fire_sorted =
+  QCheck.Test.make ~name:"events fire in time order with cancellations" ~count:200
+    QCheck.(list_of_size (Gen.int_range 0 40) (pair (int_bound 1000) bool))
+    (fun spec ->
+      let clock = Clock.create () in
+      let q = Events.create clock in
+      let fired = ref [] in
+      let expected =
+        List.filteri (fun _ (_, keep) -> keep) spec
+        |> List.map fst
+        |> List.stable_sort compare
+      in
+      let handles =
+        List.map (fun (at, _) -> Events.schedule q ~at (fun () -> fired := at :: !fired)) spec
+      in
+      List.iter2 (fun h (_, keep) -> if not keep then Events.cancel q h) handles spec;
+      Events.run_until q 2000;
+      List.rev !fired = expected)
+
+let prop_series_percentile_brackets =
+  QCheck.Test.make ~name:"series percentiles bracket the data" ~count:200
+    QCheck.(list_of_size (Gen.int_range 1 100) (float_bound_inclusive 1000.))
+    (fun xs ->
+      let s = Stats.Series.create () in
+      List.iter (Stats.Series.add s) xs;
+      let lo = List.fold_left min infinity xs and hi = List.fold_left max neg_infinity xs in
+      let p25 = Stats.Series.percentile s 25. and p75 = Stats.Series.percentile s 75. in
+      Stats.Series.min s = lo && Stats.Series.max s = hi && p25 <= p75 && p25 >= lo && p75 <= hi)
+
+let prop_summary_matches_series =
+  QCheck.Test.make ~name:"online summary agrees with exact series" ~count:200
+    QCheck.(list_of_size (Gen.int_range 2 80) (float_bound_inclusive 100.))
+    (fun xs ->
+      let summary = Stats.Summary.create () and series = Stats.Series.create () in
+      List.iter
+        (fun x ->
+          Stats.Summary.add summary x;
+          Stats.Series.add series x)
+        xs;
+      Float.abs (Stats.Summary.mean summary -. Stats.Series.mean series) < 1e-6
+      && Stats.Summary.min summary = Stats.Series.min series
+      && Stats.Summary.max summary = Stats.Series.max series)
+
+let suite =
+  [
+    ("time units", `Quick, test_time_units);
+    ("time bandwidth", `Quick, test_time_bandwidth);
+    ("time pretty-printing", `Quick, test_time_pp);
+    ("clock advance", `Quick, test_clock_advance);
+    ("clock advance_to", `Quick, test_clock_advance_to);
+    ("rng determinism", `Quick, test_rng_determinism);
+    ("rng bounds", `Quick, test_rng_bounds);
+    ("rng split independence", `Quick, test_rng_split_independent);
+    ("rng shuffle permutes", `Quick, test_rng_shuffle_permutes);
+    ("rng exponential positive", `Quick, test_rng_exponential_positive);
+    ("summary statistics", `Quick, test_summary);
+    ("summary empty", `Quick, test_summary_empty);
+    ("series percentiles", `Quick, test_series_percentiles);
+    ("series growth", `Quick, test_series_grows);
+    ("histogram buckets", `Quick, test_histogram);
+    ("events fire in time order", `Quick, test_events_order);
+    ("events same-time fifo", `Quick, test_events_same_time_fifo);
+    ("events cancel", `Quick, test_events_cancel);
+    ("events reschedule from handler", `Quick, test_events_reschedule_from_handler);
+    ("events reject past", `Quick, test_events_past_rejected);
+    QCheck_alcotest.to_alcotest prop_events_fire_sorted;
+    QCheck_alcotest.to_alcotest prop_series_percentile_brackets;
+    QCheck_alcotest.to_alcotest prop_summary_matches_series;
+  ]

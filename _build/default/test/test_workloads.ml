@@ -1,0 +1,180 @@
+open Sim
+
+let check = Alcotest.check
+let check_int = check Alcotest.int
+let check_bool = check Alcotest.bool
+
+(* All workload logic is engine-generic; run the tests against PERSEAS
+   and cross-check state equivalence against the baselines. *)
+
+let perseas_instance () = Harness.Testbed.perseas_instance ()
+
+let test_synthetic_preserves_size_and_runs () =
+  let (module I) = perseas_instance () in
+  let module S = Workloads.Synthetic.Make (I.E) in
+  let rng = Rng.create 1 in
+  let db = S.setup I.engine ~db_size:65536 in
+  let c0 = S.checksum db in
+  for _ = 1 to 50 do
+    S.transaction db rng ~tx_size:128
+  done;
+  check_bool "content changed" true (S.checksum db <> c0)
+
+let test_synthetic_rejects_bad_sizes () =
+  let (module I) = perseas_instance () in
+  let module S = Workloads.Synthetic.Make (I.E) in
+  let rng = Rng.create 1 in
+  let db = S.setup I.engine ~db_size:1024 in
+  (try
+     S.transaction db rng ~tx_size:2048;
+     Alcotest.fail "oversized tx"
+   with Invalid_argument _ -> ());
+  try
+    S.transaction db rng ~tx_size:0;
+    Alcotest.fail "zero tx"
+  with Invalid_argument _ -> ()
+
+let test_debit_credit_invariant () =
+  let (module I) = perseas_instance () in
+  let module W = Workloads.Debit_credit.Make (I.E) in
+  let rng = Rng.create 2 in
+  let db = W.setup I.engine ~params:Workloads.Debit_credit.small_params in
+  check_bool "consistent at start" true (W.consistent db);
+  for _ = 1 to 500 do
+    W.transaction db rng
+  done;
+  check_bool "consistent after 500 txns" true (W.consistent db)
+
+let test_debit_credit_history_wraps () =
+  let (module I) = perseas_instance () in
+  let module W = Workloads.Debit_credit.Make (I.E) in
+  let rng = Rng.create 3 in
+  let params = { Workloads.Debit_credit.small_params with history_slots = 16 } in
+  let db = W.setup I.engine ~params in
+  (* More transactions than history slots: the circular buffer must
+     wrap without bounds errors, invariant intact. *)
+  for _ = 1 to 100 do
+    W.transaction db rng
+  done;
+  check_bool "still consistent" true (W.consistent db)
+
+let test_order_entry_invariant () =
+  let (module I) = perseas_instance () in
+  let module W = Workloads.Order_entry.Make (I.E) in
+  let rng = Rng.create 4 in
+  let db = W.setup I.engine ~params:Workloads.Order_entry.small_params in
+  for _ = 1 to 300 do
+    W.transaction db rng
+  done;
+  check_bool "order counts match lines" true (W.consistent db)
+
+let test_order_entry_payment_mix () =
+  let (module I) = perseas_instance () in
+  let module W = Workloads.Order_entry.Make (I.E) in
+  let rng = Rng.create 6 in
+  let db = W.setup I.engine ~params:Workloads.Order_entry.small_params in
+  for _ = 1 to 400 do
+    W.mixed_transaction db rng
+  done;
+  check_bool "order + payment invariants hold" true (W.consistent db);
+  check_bool "both types ran" true (db.W.lines_inserted > 0 && db.W.payments_total > 0L)
+
+let test_order_entry_restocks () =
+  let (module I) = perseas_instance () in
+  let module W = Workloads.Order_entry.Make (I.E) in
+  let rng = Rng.create 5 in
+  (* A tiny stock table gets hammered, so quantities would go negative
+     without the TPC-C restocking rule. *)
+  let params = { Workloads.Order_entry.small_params with stock_items = 8 } in
+  let db = W.setup I.engine ~params in
+  for _ = 1 to 400 do
+    W.transaction db rng
+  done;
+  check_bool "consistent" true (W.consistent db)
+
+(* Determinism: identical seeds on identical engines give identical
+   final states (the whole stack is deterministic). *)
+let test_workload_determinism () =
+  let run () =
+    let (module I) = perseas_instance () in
+    let module W = Workloads.Debit_credit.Make (I.E) in
+    let rng = Rng.create 9 in
+    let db = W.setup I.engine ~params:Workloads.Debit_credit.small_params in
+    for _ = 1 to 200 do
+      W.transaction db rng
+    done;
+    (W.checksum db, Clock.now I.clock)
+  in
+  let c1, t1 = run () in
+  let c2, t2 = run () in
+  check Alcotest.int64 "same state" c1 c2;
+  check_int "same virtual time" t1 t2
+
+(* Cross-engine equivalence: the same seed must produce the same final
+   database state on every engine — the engines differ in cost and
+   recoverability, never in data semantics. *)
+let cross_engine_checksums ~run_txns =
+  List.map
+    (fun ((module I : Harness.Testbed.INSTANCE) as inst) ->
+      let module W = Workloads.Debit_credit.Make (I.E) in
+      let rng = Rng.create 77 in
+      let db = W.setup I.engine ~params:Workloads.Debit_credit.small_params in
+      for _ = 1 to run_txns do
+        W.transaction db rng
+      done;
+      I.finish ();
+      check_bool (Harness.Testbed.label inst ^ " consistent") true (W.consistent db);
+      (Harness.Testbed.label inst, W.checksum db))
+    (Harness.Testbed.all_instances ())
+
+let test_cross_engine_equivalence () =
+  match cross_engine_checksums ~run_txns:150 with
+  | (_, reference) :: rest ->
+      List.iter (fun (label, c) -> check Alcotest.int64 (label ^ " matches PERSEAS") reference c) rest
+  | [] -> Alcotest.fail "no engines"
+
+let test_cross_engine_order_entry () =
+  let checksums =
+    List.map
+      (fun (module I : Harness.Testbed.INSTANCE) ->
+        let module W = Workloads.Order_entry.Make (I.E) in
+        let rng = Rng.create 78 in
+        let db = W.setup I.engine ~params:Workloads.Order_entry.small_params in
+        for _ = 1 to 100 do
+          W.transaction db rng
+        done;
+        I.finish ();
+        W.checksum db)
+      (Harness.Testbed.all_instances ())
+  in
+  match checksums with
+  | reference :: rest -> List.iter (fun c -> check Alcotest.int64 "same state" reference c) rest
+  | [] -> Alcotest.fail "no engines"
+
+let prop_debit_credit_invariant_random_seeds =
+  QCheck.Test.make ~name:"debit-credit invariant holds for random seeds" ~count:15
+    QCheck.(int_bound 10_000)
+    (fun seed ->
+      let (module I) = perseas_instance () in
+      let module W = Workloads.Debit_credit.Make (I.E) in
+      let rng = Rng.create seed in
+      let db = W.setup I.engine ~params:Workloads.Debit_credit.small_params in
+      for _ = 1 to 60 do
+        W.transaction db rng
+      done;
+      W.consistent db)
+
+let suite =
+  [
+    ("synthetic runs and mutates", `Quick, test_synthetic_preserves_size_and_runs);
+    ("synthetic rejects bad sizes", `Quick, test_synthetic_rejects_bad_sizes);
+    ("debit-credit TPC-B invariant", `Quick, test_debit_credit_invariant);
+    ("debit-credit history wraps", `Quick, test_debit_credit_history_wraps);
+    ("order-entry invariant", `Quick, test_order_entry_invariant);
+    ("order-entry restocking rule", `Quick, test_order_entry_restocks);
+    ("order-entry payment mix", `Quick, test_order_entry_payment_mix);
+    ("workloads are deterministic", `Quick, test_workload_determinism);
+    ("cross-engine state equivalence (debit-credit)", `Slow, test_cross_engine_equivalence);
+    ("cross-engine state equivalence (order-entry)", `Slow, test_cross_engine_order_entry);
+    QCheck_alcotest.to_alcotest prop_debit_credit_invariant_random_seeds;
+  ]
