@@ -121,12 +121,14 @@ let mirror_count t = List.length (live_mirror_list t)
 (* A mirror that fails during a remote operation is dropped from the
    set (degraded mode); when the last one goes, the library refuses to
    continue — committing without any mirror would silently forfeit
-   recoverability. *)
+   recoverability.  Only liveness errors ({!Client.Unreachable}: node
+   down or rebooted) are degraded-mode events; anything else — bounds
+   violations, stale protocol state — is a bug and propagates. *)
 let with_mirror t m f =
   if not m.m_alive then None
   else
     try Some (f ())
-    with Failure msg ->
+    with Client.Unreachable msg ->
       m.m_alive <- false;
       t.st_mirrors_lost <- t.st_mirrors_lost + 1;
       Log.warn (fun k ->
@@ -292,6 +294,38 @@ let check_seg_range seg ~off ~len op =
       (Printf.sprintf "Perseas.%s: [%d,+%d) outside segment %S of %d bytes" op off len seg.seg_name
          seg.size)
 
+let close txn =
+  txn.open_ <- false;
+  txn.owner.active <- None
+
+(* Restore every declared range from the local undo log, newest first
+   (local memory copies only). *)
+let rollback_local txn =
+  let t = txn.owner in
+  let image = local_dram t in
+  List.iter
+    (fun r ->
+      Mem.Image.blit ~src:image ~src_off:(Mem.Segment.base t.undo_local + r.staging_off)
+        ~dst:image ~dst_off:(Mem.Segment.base r.r_seg.local + r.r_off) ~len:r.r_len;
+      charge_local_copy t r.r_len)
+    txn.ranges
+
+(* Losing the last mirror mid-operation must not wedge the library:
+   roll the local image back to the pre-transaction state, close the
+   transaction, and only then let All_mirrors_lost reach the caller —
+   begin_transaction / attach_mirror work again immediately. *)
+let guard_mirror_loss txn f =
+  try f ()
+  with All_mirrors_lost ->
+    let t = txn.owner in
+    rollback_local txn;
+    t.st_aborted <- t.st_aborted + 1;
+    close txn;
+    Log.warn (fun k ->
+        k "all mirrors lost mid-%s: transaction rolled back locally; attach a fresh mirror"
+          (if txn.ranges = [] then "operation" else "transaction"));
+    raise All_mirrors_lost
+
 let set_range txn seg ~off ~len =
   check_open txn "set_range";
   check_seg_range seg ~off ~len "set_range";
@@ -310,20 +344,17 @@ let set_range txn seg ~off ~len =
   Mem.Image.write_bytes image ~off:(Mem.Segment.base t.undo_local + slot) record;
   charge_local_copy t record_len;
   (* Figure 3, step 2: push the record to every remote undo log. *)
-  each_live_mirror t (fun _ m ->
-      run_plan t
-        (Client.plan_write m.m_client ~widen:t.config.optimized_memcpy m.m_undo ~seg_off:slot
-           ~src_off:(Mem.Segment.base t.undo_local + slot) ~len:record_len));
+  guard_mirror_loss txn (fun () ->
+      each_live_mirror t (fun _ m ->
+          run_plan t
+            (Client.plan_write m.m_client ~widen:t.config.optimized_memcpy m.m_undo ~seg_off:slot
+               ~src_off:(Mem.Segment.base t.undo_local + slot) ~len:record_len)));
   txn.ranges <-
     { r_seg = seg; r_off = off; r_len = len; staging_off = slot + Layout.undo_header_size }
     :: txn.ranges;
   txn.tail <- Layout.undo_slot ~off:slot ~payload_len:len;
   t.st_set_ranges <- t.st_set_ranges + 1;
   t.st_undo_bytes <- t.st_undo_bytes + len
-
-let close txn =
-  txn.open_ <- false;
-  txn.owner.active <- None
 
 let data_plans_for txn i m =
   let t = txn.owner in
@@ -340,9 +371,10 @@ let commit txn =
   (* Figure 3, step 3: propagate updated ranges to every mirror, then
      bump the epoch everywhere — the per-mirror single-packet commit
      point. *)
-  each_live_mirror t (fun i m -> List.iter (run_plan t) (data_plans_for txn i m));
-  stage_epoch t (Int64.add t.epoch 1L);
-  each_live_mirror t (fun _ m -> run_plan t (plan_epoch_write t m));
+  guard_mirror_loss txn (fun () ->
+      each_live_mirror t (fun i m -> List.iter (run_plan t) (data_plans_for txn i m));
+      stage_epoch t (Int64.add t.epoch 1L);
+      each_live_mirror t (fun _ m -> run_plan t (plan_epoch_write t m)));
   t.epoch <- Int64.add t.epoch 1L;
   t.st_committed <- t.st_committed + 1;
   close txn
@@ -365,15 +397,7 @@ let commit_packets txn =
 let abort txn =
   check_open txn "abort";
   let t = txn.owner in
-  let image = local_dram t in
-  (* Local memory copies only: restore each range from the undo log,
-     newest first. *)
-  List.iter
-    (fun r ->
-      Mem.Image.blit ~src:image ~src_off:(Mem.Segment.base t.undo_local + r.staging_off)
-        ~dst:image ~dst_off:(Mem.Segment.base r.r_seg.local + r.r_off) ~len:r.r_len;
-      charge_local_copy t r.r_len)
-    txn.ranges;
+  rollback_local txn;
   t.st_aborted <- t.st_aborted + 1;
   close txn
 
@@ -544,17 +568,6 @@ let required what = function
   | Some v -> v
   | None -> failwith (Printf.sprintf "Perseas.recover: %s not found on the memory server" what)
 
-(* Undo records of the current epoch, scanned on the remote copy.
-   Returns them oldest-first together with their headers. *)
-let scan_remote_undo ~undo_bytes ~current_epoch =
-  let rec walk acc off =
-    match Layout.decode_undo_header undo_bytes ~off with
-    | Some h when h.Layout.epoch = current_epoch && Layout.verify_undo undo_bytes ~off h ->
-        walk ((off, h) :: acc) (Layout.undo_slot ~off ~payload_len:h.Layout.len)
-    | _ -> List.rev acc
-  in
-  walk [] 0
-
 (* Probe one candidate mirror server: its epoch if it holds a readable
    PERSEAS metadata segment. *)
 let probe_server ~cluster ~local ~ns server =
@@ -571,71 +584,125 @@ let probe_server ~cluster ~local ~ns server =
         if Layout.read_meta_magic header <> Layout.meta_magic then None
         else Some (client, meta, Layout.read_epoch header)
 
-let recover_replicated ?(config = default_config) ~cluster ~local ~servers () =
+let recover_replicated ?(config = default_config) ?on_repair ~cluster ~local ~servers () =
   if servers = [] then invalid_arg "Perseas.recover: no candidate servers";
   let candidates =
     List.filter_map (probe_server ~cluster ~local ~ns:config.namespace) servers
   in
   (* Trust the mirror that reached the highest epoch: it is the only
-     one that may have seen the latest commit point. *)
-  let client, meta_remote, current_epoch =
-    match List.sort (fun (_, _, a) (_, _, b) -> compare b a) candidates with
-    | best :: _ -> best
-    | [] -> failwith "Perseas.recover: no server holds a recoverable database"
-  in
-  let server = Client.server client in
-  let undo_remote =
-    required "undo segment" (Client.connect client ~name:(Layout.undo_name ~ns:config.namespace))
-  in
-  let remote_image = Node.dram (Netram.Server.node server) in
-  let meta_bytes =
-    Mem.Image.read_bytes remote_image ~off:(Remote_segment.base meta_remote)
-      ~len:(Remote_segment.len meta_remote)
-  in
-  (* Charge the remote reads that fetch metadata and the undo area. *)
+     one that may have seen the latest commit point.  A candidate whose
+     metadata turns out to be unusable (e.g. a fresh mirror that was
+     halfway through attach_mirror's resync when the crash hit: magic
+     and epoch landed, segment table did not) is skipped and the
+     next-best epoch is tried — a torn copy must not veto recovery from
+     an intact one.  The sort is stable so equal epochs keep the
+     caller's server order. *)
+  let ranked = List.stable_sort (fun (_, _, a) (_, _, b) -> compare b a) candidates in
   let nic = Cluster.nic cluster in
-  let hops = max 1 (Cluster.hops cluster ~src:local ~dst:(Node.id (Netram.Server.node server))) in
   let p = Sci.Nic.params nic in
-  Clock.advance (Cluster.clock cluster)
-    (Sci.Model.read_range p ~hops ~off:(Remote_segment.base meta_remote)
-       ~len:(Remote_segment.len meta_remote) ());
-  let nsegs = Layout.read_nsegs meta_bytes in
-  if nsegs < 0 || nsegs > config.max_segments then failwith "Perseas.recover: corrupt segment count";
-  let table = List.init nsegs (fun index -> Layout.read_table_entry meta_bytes ~index) in
-  let remotes =
-    List.map
-      (fun (name, size) ->
-        let h =
-          required
-            (Printf.sprintf "segment %S" name)
-            (Client.connect client ~name:(Layout.db_export_name ~ns:config.namespace name))
-        in
-        if Remote_segment.len h <> size then failwith (Printf.sprintf "Perseas.recover: size mismatch for %S" name);
-        (name, size, h))
-      table
+  let clk = Cluster.clock cluster in
+  let validate (client, meta_remote, current_epoch) =
+    let server = Client.server client in
+    let node_id = Node.id (Netram.Server.node server) in
+    try
+      let hops = max 1 (Cluster.hops cluster ~src:local ~dst:node_id) in
+      let undo_remote =
+        required "undo segment"
+          (Client.connect client ~name:(Layout.undo_name ~ns:config.namespace))
+      in
+      let remote_image = Node.dram (Netram.Server.node server) in
+      let meta_bytes =
+        Mem.Image.read_bytes remote_image ~off:(Remote_segment.base meta_remote)
+          ~len:(Remote_segment.len meta_remote)
+      in
+      (* Charge the remote read that fetches the metadata segment. *)
+      Clock.advance clk
+        (Sci.Model.read_range p ~hops ~off:(Remote_segment.base meta_remote)
+           ~len:(Remote_segment.len meta_remote) ());
+      let nsegs = Layout.read_nsegs meta_bytes in
+      if nsegs < 0 || nsegs > config.max_segments then
+        failwith "Perseas.recover: corrupt segment count";
+      let table = List.init nsegs (fun index -> Layout.read_table_entry meta_bytes ~index) in
+      let remotes =
+        List.map
+          (fun (name, size) ->
+            let h =
+              required
+                (Printf.sprintf "segment %S" name)
+                (Client.connect client ~name:(Layout.db_export_name ~ns:config.namespace name))
+            in
+            if Remote_segment.len h <> size then
+              failwith (Printf.sprintf "Perseas.recover: size mismatch for %S" name);
+            (name, size, h))
+          table
+      in
+      Some (client, server, hops, meta_remote, undo_remote, remote_image, current_epoch, remotes)
+    with Failure msg | Client.Unreachable msg ->
+      Log.warn (fun k ->
+          k "recovery: skipping candidate on node %d at epoch %Ld (%s)" node_id current_epoch msg);
+      None
+  in
+  let rec first_usable = function
+    | [] -> failwith "Perseas.recover: no server holds a recoverable database"
+    | c :: rest -> ( match validate c with Some v -> v | None -> first_usable rest)
+  in
+  let client, server, hops, meta_remote, undo_remote, remote_image, current_epoch, remotes =
+    first_usable ranked
   in
   (* Repair a half-propagated commit: copy current-epoch before-images
      from the remote undo log back over the remote database, newest
-     first.  These are local memory copies on the remote node. *)
-  let undo_bytes =
-    Mem.Image.read_bytes remote_image ~off:(Remote_segment.base undo_remote)
-      ~len:(Remote_segment.len undo_remote)
+     first.  These are local memory copies on the remote node.  The
+     undo area is fetched lazily in 4 KiB chunks and the SCI read cost
+     charged per chunk actually pulled: current-epoch records sit at
+     the front of the log, so recovery reads (and pays for) only the
+     prefix the scan walks, not the whole reserved region. *)
+  let undo_len = Remote_segment.len undo_remote in
+  let undo_base = Remote_segment.base undo_remote in
+  let undo_bytes = Bytes.create undo_len in
+  let fetch_chunk = 4096 in
+  let fetched = ref 0 in
+  let ensure_fetched upto =
+    let upto = min ((upto + fetch_chunk - 1) / fetch_chunk * fetch_chunk) undo_len in
+    if upto > !fetched then begin
+      let len = upto - !fetched in
+      let b = Mem.Image.read_bytes remote_image ~off:(undo_base + !fetched) ~len in
+      Bytes.blit b 0 undo_bytes !fetched len;
+      Clock.advance clk (Sci.Model.read_range p ~hops ~off:(undo_base + !fetched) ~len ());
+      fetched := upto
+    end
   in
-  Clock.advance (Cluster.clock cluster)
-    (Sci.Model.read_range p ~hops ~off:(Remote_segment.base undo_remote)
-       ~len:(min (Remote_segment.len undo_remote) 4096) ());
-  let records = scan_remote_undo ~undo_bytes ~current_epoch in
+  (* Undo records of the current epoch, oldest-first with their
+     headers; the scan stops at the first stale or torn record. *)
+  let records =
+    let rec walk acc off =
+      if off + Layout.undo_header_size > undo_len then List.rev acc
+      else begin
+        ensure_fetched (off + Layout.undo_header_size);
+        match Layout.decode_undo_header undo_bytes ~off with
+        | Some h when h.Layout.epoch = current_epoch ->
+            ensure_fetched (off + Layout.undo_header_size + h.Layout.len);
+            if Layout.verify_undo undo_bytes ~off h then
+              walk ((off, h) :: acc) (Layout.undo_slot ~off ~payload_len:h.Layout.len)
+            else List.rev acc
+        | _ -> List.rev acc
+      end
+    in
+    walk [] 0
+  in
+  let nremotes = List.length remotes in
   List.iter
     (fun (off, (h : Layout.undo_header)) ->
-      let _, _, handle =
-        try List.nth remotes h.seg_index
-        with _ -> failwith "Perseas.recover: undo record names unknown segment"
-      in
+      if h.seg_index < 0 || h.seg_index >= nremotes then
+        failwith
+          (Printf.sprintf "Perseas.recover: undo record names unknown segment %d (database has %d)"
+             h.seg_index nremotes);
+      let name, _, handle = List.nth remotes h.seg_index in
       if h.off + h.len <= Remote_segment.len handle then begin
-        let payload_off = Remote_segment.base undo_remote + off + Layout.undo_header_size in
+        let payload_off = undo_base + off + Layout.undo_header_size in
         Mem.Image.blit ~src:remote_image ~src_off:payload_off ~dst:remote_image
           ~dst_off:(Remote_segment.base handle + h.off) ~len:h.len;
-        Clock.advance (Cluster.clock cluster) (Sci.Model.local_copy p h.len)
+        Clock.advance clk (Sci.Model.local_copy p h.len);
+        match on_repair with Some f -> f ~name ~len:h.len | None -> ()
       end)
     (List.rev records);
   (* Invalidate the applied records by bumping the epoch remotely. *)
@@ -685,15 +752,15 @@ let recover_replicated ?(config = default_config) ~cluster ~local ~servers () =
       if Netram.Server.is_alive s && Node.id (Netram.Server.node s) <> Node.id (Netram.Server.node server)
       then
         try attach_mirror t ~server:s
-        with Failure msg ->
+        with Failure msg | Client.Unreachable msg ->
           Log.warn (fun k ->
               k "could not re-attach mirror on node %d during recovery: %s"
                 (Node.id (Netram.Server.node s)) msg))
     servers;
   t
 
-let recover ?config ~cluster ~local ~server () =
-  recover_replicated ?config ~cluster ~local ~servers:[ server ] ()
+let recover ?config ?on_repair ~cluster ~local ~server () =
+  recover_replicated ?config ?on_repair ~cluster ~local ~servers:[ server ] ()
 
 (* ------------------------------------------------------------------ *)
 (* Archive: graceful shutdown to stable storage (paper, section 1:

@@ -52,7 +52,10 @@ exception Undo_overflow
 exception All_mirrors_lost
 (** Every mirror node has failed: the library refuses to continue,
     since committing without a mirror would silently forfeit
-    recoverability.  Attach a fresh mirror ({!attach_mirror}) — the
+    recoverability.  When raised mid-[set_range]/[commit], the open
+    transaction is first rolled back from the local undo log and
+    closed, so the library stays usable: [begin_transaction] works
+    again once a fresh mirror is attached ({!attach_mirror}) — the
     local copy is still intact. *)
 
 (** {1 Initialisation} *)
@@ -170,17 +173,27 @@ val verify_mirrors : t -> (string * int) list
 (** {1 Recovery} *)
 
 val recover :
-  ?config:config -> cluster:Cluster.t -> local:int -> server:Netram.Server.t -> unit -> t
+  ?config:config ->
+  ?on_repair:(name:string -> len:int -> unit) ->
+  cluster:Cluster.t ->
+  local:int ->
+  server:Netram.Server.t ->
+  unit ->
+  t
 (** Rebuild the database on node [local] from the mirror held by
     [server]: reconnect the metadata and undo segments by name, repair
     a half-committed transaction from the remote undo log, invalidate
     it by bumping the epoch, and fetch every segment with
     remote-to-local copies.  Works on the original primary after
     reboot, or on any other workstation — the paper's availability
-    property.  Raises [Failure] when the server holds no database. *)
+    property.  Raises [Failure] when the server holds no database.
+    [on_repair] is called once per undo record replayed over the
+    remote database (segment name and payload bytes) — the observable
+    trace of a discarded half-commit. *)
 
 val recover_replicated :
   ?config:config ->
+  ?on_repair:(name:string -> len:int -> unit) ->
   cluster:Cluster.t ->
   local:int ->
   servers:Netram.Server.t list ->
@@ -190,8 +203,10 @@ val recover_replicated :
     whose metadata reached the {e highest} epoch (only it can have seen
     the latest commit point), repair it from its undo log, rebuild the
     local database from it, and resync the other surviving mirrors with
-    a full copy.  Raises [Failure] when no candidate holds a
-    recoverable database. *)
+    a full copy.  A best-epoch candidate whose metadata cannot be
+    parsed (e.g. it died mid-[attach_mirror] resync) is skipped in
+    favour of the next-best intact copy.  Raises [Failure] when no
+    candidate holds a recoverable database. *)
 
 (** {1 Archive}
 

@@ -1,0 +1,392 @@
+(* Systematic crash-point enumeration (the correctness tool behind the
+   paper's §3 claim): count every remote packet a workload script sends,
+   then re-run it once per packet boundary, killing the primary (or a
+   chosen mirror) exactly there, and hold recovery to an oracle —
+   atomicity (the database equals a legal image), epoch monotonicity,
+   and clean mirrors after resync. *)
+
+open Sim
+module P = Perseas
+module Node = Cluster.Node
+
+type env = {
+  clock : Clock.t;
+  cluster : Cluster.t;
+  servers : Netram.Server.t list;
+  primary : int;
+  spare : int;
+  t : P.t;
+}
+
+type victim = Primary | Mirror of int
+type image = Pre | Post | Checkpoint of int
+
+type point = {
+  index : int;
+  crashed : bool;
+  image : image;
+  replayed_records : int;
+  replayed_bytes : int;
+  recovery_us : float;
+  epoch_before : int64;
+  epoch_after : int64;
+  mismatches : int;
+}
+
+type report = {
+  label : string;
+  victim : victim;
+  total_packets : int;
+  points : point list;
+  old_images : int;
+  new_images : int;
+  repaired : int;
+}
+
+type scenario = {
+  label : string;
+  make : unit -> env;
+  script : env -> checkpoint:(unit -> unit) -> unit;
+}
+
+exception Oracle_violation of string
+
+let violation fmt = Printf.ksprintf (fun msg -> raise (Oracle_violation msg)) fmt
+
+let image_label = function
+  | Pre -> "old"
+  | Post -> "new"
+  | Checkpoint i -> Printf.sprintf "checkpoint%d" i
+
+let victim_label = function
+  | Primary -> "primary"
+  | Mirror i -> Printf.sprintf "mirror%d" i
+
+(* The whole-database fingerprint an image is compared by. *)
+let signature t =
+  List.sort compare (List.map (fun s -> (P.segment_name s, P.checksum t s)) (P.segments t))
+
+let classify ~pre ~checkpoints ~post s =
+  if s = post then Some Post
+  else if s = pre then Some Pre
+  else
+    let rec find i = function
+      | [] -> None
+      | c :: rest -> if s = c then Some (Checkpoint i) else find (i + 1) rest
+    in
+    find 0 checkpoints
+
+(* Dry run: same script, counting hook, no crash.  Captures the packet
+   count and every legal image (pre-state, each checkpoint the script
+   declares, post-state).  Runs are deterministic, so these images are
+   exactly what the crashing runs produce at the same boundaries. *)
+let dry_run scenario =
+  let env = scenario.make () in
+  let count = ref 0 in
+  let checkpoints = ref [] in
+  let pre = signature env.t in
+  P.set_packet_hook env.t (Some (fun () -> incr count));
+  scenario.script env ~checkpoint:(fun () -> checkpoints := signature env.t :: !checkpoints);
+  P.set_packet_hook env.t None;
+  (!count, pre, List.rev !checkpoints, signature env.t)
+
+let check_clean_mirrors label t ~where =
+  match P.verify_mirrors t with
+  | [] -> 0
+  | (seg, i) :: _ as l ->
+      violation "%s: %d mirror mismatch(es) %s (first: segment %S on mirror %d)" label
+        (List.length l) where seg i
+
+let check_epoch label ~epoch_before ~epoch_after =
+  if Int64.compare epoch_after epoch_before <= 0 then
+    violation "%s: epoch not monotone (%Ld -> %Ld)" label epoch_before epoch_after
+
+(* ------------------------------------------------------------------ *)
+(* Primary-victim point: the paper's headline scenario.  The hook
+   raises with exactly [k] packets sent, the primary node is crashed,
+   and the database is rebuilt on the spare from the mirrors. *)
+
+exception Crash
+
+let run_primary_point scenario ~pre ~checkpoints ~post ~k ~total =
+  let env = scenario.make () in
+  let epoch_before = P.epoch env.t in
+  let sent = ref 0 in
+  P.set_packet_hook env.t (Some (fun () -> if !sent >= k then raise Crash else incr sent));
+  let crashed =
+    match scenario.script env ~checkpoint:(fun () -> ()) with
+    | () -> false
+    | exception Crash -> true
+  in
+  P.set_packet_hook env.t None;
+  if not crashed then begin
+    (* k = total: the script ran to completion under the hook. *)
+    if signature env.t <> post then
+      violation "%s: uncrashed run diverged from the dry-run image" scenario.label;
+    let mismatches = check_clean_mirrors scenario.label env.t ~where:"after a full run" in
+    {
+      index = k;
+      crashed = false;
+      image = Post;
+      replayed_records = 0;
+      replayed_bytes = 0;
+      recovery_us = 0.;
+      epoch_before;
+      epoch_after = P.epoch env.t;
+      mismatches;
+    }
+  end
+  else begin
+    ignore (Cluster.crash_node env.cluster env.primary Cluster.Failure.Software_error);
+    let replayed = ref 0 and bytes = ref 0 in
+    let t0 = Clock.now env.clock in
+    let t2 =
+      P.recover_replicated ~config:(P.config env.t)
+        ~on_repair:(fun ~name:_ ~len ->
+          incr replayed;
+          bytes := !bytes + len)
+        ~cluster:env.cluster ~local:env.spare ~servers:env.servers ()
+    in
+    let recovery_us = Time.to_us (Clock.now env.clock - t0) in
+    let image =
+      match classify ~pre ~checkpoints ~post (signature t2) with
+      | Some img -> img
+      | None ->
+          violation "%s: crash at packet %d/%d recovered to neither a pre- nor a post-image"
+            scenario.label k total
+    in
+    let epoch_after = P.epoch t2 in
+    check_epoch scenario.label ~epoch_before ~epoch_after;
+    let mismatches =
+      check_clean_mirrors scenario.label t2
+        ~where:(Printf.sprintf "after recovery from packet %d" k)
+    in
+    {
+      index = k;
+      crashed = true;
+      image;
+      replayed_records = !replayed;
+      replayed_bytes = !bytes;
+      recovery_us;
+      epoch_before;
+      epoch_after;
+      mismatches;
+    }
+  end
+
+(* ------------------------------------------------------------------ *)
+(* Mirror-victim point: the primary survives; a mirror node dies just
+   before packet [k] goes out.  The library must either finish the
+   script degraded or — when the victim was the last mirror — roll the
+   transaction back, raise All_mirrors_lost, and stay usable. *)
+
+(* A transaction that moves no data: declaring and committing one range
+   forces a plan against every mirror, so a death that fell between
+   plans (a cut mid-plan is only noticed at the next plan creation)
+   surfaces here rather than lingering undetected. *)
+let probe env =
+  match P.segments env.t with
+  | [] -> ()
+  | seg :: _ ->
+      let txn = P.begin_transaction env.t in
+      P.set_range txn seg ~off:0 ~len:64;
+      P.commit txn
+
+let run_mirror_point scenario ~pre ~checkpoints ~post ~k ~mirror_index =
+  let env = scenario.make () in
+  let victim_node =
+    match List.nth_opt (P.mirrors env.t) mirror_index with
+    | Some mi -> mi.P.node_id
+    | None -> invalid_arg "Crashpoint.sweep: mirror index out of range"
+  in
+  let epoch_before = P.epoch env.t in
+  let sent = ref 0 in
+  let killed = ref false in
+  P.set_packet_hook env.t
+    (Some
+       (fun () ->
+         if !sent = k && not !killed then begin
+           killed := true;
+           ignore (Cluster.crash_node env.cluster victim_node Cluster.Failure.Hardware_error)
+         end;
+         incr sent));
+  let all_lost =
+    match scenario.script env ~checkpoint:(fun () -> ()) with
+    | () -> false
+    | exception P.All_mirrors_lost -> true
+  in
+  P.set_packet_hook env.t None;
+  let all_lost =
+    all_lost || (match probe env with () -> false | exception P.All_mirrors_lost -> true)
+  in
+  let image =
+    match classify ~pre ~checkpoints ~post (signature env.t) with
+    | Some img -> img
+    | None ->
+        violation "%s: mirror death at packet %d left the local database in an illegal state"
+          scenario.label k
+  in
+  let recovery_us =
+    if all_lost then begin
+      (* The guard must have closed the wounded transaction: the
+         library is still usable, and a fresh mirror restores
+         recoverability. *)
+      P.abort (P.begin_transaction env.t);
+      let t0 = Clock.now env.clock in
+      P.attach_mirror env.t ~server:(Netram.Server.create (Cluster.node env.cluster env.spare));
+      Time.to_us (Clock.now env.clock - t0)
+    end
+    else 0.
+  in
+  let epoch_after = P.epoch env.t in
+  check_epoch scenario.label ~epoch_before ~epoch_after;
+  let mismatches =
+    check_clean_mirrors scenario.label env.t
+      ~where:(Printf.sprintf "after mirror death at packet %d" k)
+  in
+  {
+    index = k;
+    crashed = !killed;
+    image;
+    replayed_records = 0;
+    replayed_bytes = 0;
+    recovery_us;
+    epoch_before;
+    epoch_after;
+    mismatches;
+  }
+
+(* ------------------------------------------------------------------ *)
+
+let sweep ?(victim = Primary) scenario =
+  let total, pre, checkpoints, post = dry_run scenario in
+  let points =
+    List.init (total + 1) (fun k ->
+        match victim with
+        | Primary -> run_primary_point scenario ~pre ~checkpoints ~post ~k ~total
+        | Mirror i -> run_mirror_point scenario ~pre ~checkpoints ~post ~k ~mirror_index:i)
+  in
+  let count f = List.length (List.filter f points) in
+  {
+    label = scenario.label;
+    victim;
+    total_packets = total;
+    points;
+    old_images = count (fun p -> p.image = Pre);
+    new_images = count (fun p -> p.image = Post);
+    repaired = count (fun p -> p.replayed_records > 0);
+  }
+
+(* ------------------------------------------------------------------ *)
+(* Canned scenarios                                                    *)
+
+let table_names = [ "accounts"; "branches"; "history" ]
+
+let small_config = { P.default_config with undo_capacity = 128 * 1024; max_segments = 8 }
+
+let seed_segment t name ~size =
+  let seg = P.malloc t ~name ~size in
+  let salt = String.length name * 31 in
+  P.write t seg ~off:0 (Bytes.init size (fun i -> Char.chr ((i * 7 + salt) land 0xff)));
+  seg
+
+(* Cluster geometry shared by the canned scenarios: primary on node 0,
+   mirrors on 1..m, then [extras] named nodes, then the spare last —
+   every node on its own power supply so failures are independent. *)
+let make_cluster ~mirrors ~extras =
+  let clock = Clock.create () in
+  let dram = 2 * 1024 * 1024 in
+  let names =
+    ("primary" :: List.init mirrors (Printf.sprintf "mirror%d")) @ extras @ [ "spare" ]
+  in
+  let specs = List.mapi (fun i n -> Cluster.spec ~dram_size:dram ~power_supply:i n) names in
+  let cluster = Cluster.create ~clock specs in
+  let servers = List.init mirrors (fun i -> Netram.Server.create (Cluster.node cluster (i + 1))) in
+  let clients = List.map (fun server -> Netram.Client.create ~cluster ~local:0 ~server) servers in
+  (clock, cluster, servers, P.init_replicated ~config:small_config clients)
+
+let commit_scenario ?(mirrors = 1) ?(ranges = 3) ?(range_len = 256) ?(seg_size = 16384) () =
+  if mirrors < 1 then invalid_arg "Crashpoint.commit_scenario: at least one mirror";
+  if ranges < 1 then invalid_arg "Crashpoint.commit_scenario: at least one range";
+  if range_len < 1 || range_len + ((ranges - 1) / 3 * 1024) > seg_size then
+    invalid_arg "Crashpoint.commit_scenario: ranges do not fit the segments";
+  let make () =
+    let clock, cluster, servers, t = make_cluster ~mirrors ~extras:[] in
+    List.iter (fun name -> ignore (seed_segment t name ~size:seg_size)) table_names;
+    P.init_remote_db t;
+    { clock; cluster; servers; primary = 0; spare = mirrors + 1; t }
+  in
+  (* One debit-credit-style transaction: update a slice of each table
+     under a single commit, so the sweep cuts both the undo pushes and
+     the commit propagation at every packet. *)
+  let script env ~checkpoint:_ =
+    let txn = P.begin_transaction env.t in
+    for j = 0 to ranges - 1 do
+      let s = Option.get (P.segment env.t (List.nth table_names (j mod 3))) in
+      let off = j / 3 * 1024 in
+      P.set_range txn s ~off ~len:range_len;
+      P.write env.t s ~off (Bytes.make range_len (Char.chr (Char.code 'A' + j)))
+    done;
+    P.commit txn
+  in
+  { label = Printf.sprintf "commit-%dm-%dr" mirrors ranges; make; script }
+
+let attach_scenario ?(mirrors = 1) ?(seg_size = 8192) () =
+  if mirrors < 1 then invalid_arg "Crashpoint.attach_scenario: at least one mirror";
+  let make () =
+    let clock, cluster, mirror_servers, t = make_cluster ~mirrors ~extras:[ "joiner" ] in
+    let seg = seed_segment t "db" ~size:seg_size in
+    P.init_remote_db t;
+    (* A committed transaction, so old undo records exist when the
+       joiner's resync is cut short. *)
+    let txn = P.begin_transaction t in
+    P.set_range txn seg ~off:0 ~len:128;
+    P.write t seg ~off:0 (Bytes.make 128 'z');
+    P.commit txn;
+    let joiner = Netram.Server.create (Cluster.node cluster (mirrors + 1)) in
+    (* The joiner comes FIRST in the recovery candidate list: a crash
+       during its resync can leave it with a valid magic and an
+       epoch tied with the settled mirrors but a torn segment table,
+       and recovery must skip such a candidate, not abort on it. *)
+    { clock; cluster; servers = joiner :: mirror_servers; primary = 0; spare = mirrors + 2; t }
+  in
+  let script env ~checkpoint:_ = P.attach_mirror env.t ~server:(List.hd env.servers) in
+  { label = Printf.sprintf "attach-%dm" mirrors; make; script }
+
+(* ------------------------------------------------------------------ *)
+(* CSV                                                                 *)
+
+let outcome p = image_label p.image ^ if p.replayed_records > 0 then "+repair" else ""
+
+let csv_header =
+  [
+    "scenario";
+    "victim";
+    "point";
+    "crashed";
+    "outcome";
+    "records replayed";
+    "bytes replayed";
+    "recovery (us)";
+    "epoch before";
+    "epoch after";
+    "mismatches";
+  ]
+
+let report_rows (r : report) =
+  List.map
+    (fun p ->
+      [
+        r.label;
+        victim_label r.victim;
+        string_of_int p.index;
+        (if p.crashed then "yes" else "no");
+        outcome p;
+        string_of_int p.replayed_records;
+        string_of_int p.replayed_bytes;
+        Printf.sprintf "%.2f" p.recovery_us;
+        Int64.to_string p.epoch_before;
+        Int64.to_string p.epoch_after;
+        string_of_int p.mismatches;
+      ])
+    r.points

@@ -29,6 +29,13 @@ val recovery : unit -> unit
 (** §3/§6: crash the primary mid-commit and recover on the spare node
     and on the rebooted primary; reports recovery time vs DB size. *)
 
+val crash_sweep : unit -> unit
+(** §3 verified exhaustively: crash at {e every} packet boundary of a
+    multi-range commit (primary and mirror victims) and of an
+    [attach_mirror] resync, and hold recovery to the {!Crashpoint}
+    oracle.  Summary table on stdout; per-point rows in
+    [results/crash_sweep.csv]. *)
+
 val copy_counts : unit -> unit
 (** Figure 2 vs Figure 3: per-transaction copy and I/O counts for each
     engine (PERSEAS: three memory copies, no disk). *)

@@ -3,6 +3,17 @@ module Node = Cluster.Node
 
 type t = { cluster : Cluster.t; local : int; server : Server.t }
 
+exception Unreachable of string
+
+let unreachable t op reason =
+  raise
+    (Unreachable
+       (Printf.sprintf "Client.%s: memory server on node %d %s" op
+          (Node.id (Server.node t.server)) reason))
+
+let ensure_reachable t op =
+  if not (Server.is_alive t.server) then unreachable t op "is unreachable (node down or rebooted)"
+
 let create ~cluster ~local ~server =
   let server_id = Node.id (Server.node server) in
   if server_id = local then invalid_arg "Client.create: client and server share a node";
@@ -23,24 +34,26 @@ let rpc_time t =
 let charge_rpc t = Clock.advance (Cluster.clock t.cluster) (rpc_time t)
 
 let malloc t ~name ~size =
+  ensure_reachable t "malloc";
   charge_rpc t;
   Server.export t.server ~name ~size
 
 let free t handle =
+  ensure_reachable t "free";
   charge_rpc t;
   Server.release t.server handle
 
 let connect t ~name =
+  ensure_reachable t "connect";
   charge_rpc t;
   Server.lookup t.server ~name
 
 let check_handle t (h : Remote_segment.t) op =
-  if not (Server.is_alive t.server) then
-    failwith (Printf.sprintf "Client.%s: memory server is gone" op);
+  ensure_reachable t op;
   if h.owner <> Node.id (Server.node t.server) then
     failwith (Printf.sprintf "Client.%s: handle %s belongs to another server" op h.name);
   if h.owner_generation <> Node.crashes_since_start (Server.node t.server) then
-    failwith (Printf.sprintf "Client.%s: stale handle %s (owner rebooted)" op h.name);
+    unreachable t op (Printf.sprintf "rebooted; handle %s is stale" h.name);
   if not (Server.is_exported t.server h) then
     failwith (Printf.sprintf "Client.%s: handle %s is no longer exported" op h.name)
 

@@ -11,6 +11,14 @@ open Sim
 
 type t
 
+exception Unreachable of string
+(** The memory server cannot be reached: its node is down, or it
+    rebooted since the segment was mapped (so the mapping — and the
+    bytes behind it — no longer exist).  Every data-movement and
+    control call raises this instead of a generic [Failure] so that
+    callers implementing degraded modes (e.g. PERSEAS dropping a dead
+    mirror) can match on liveness errors without masking genuine bugs. *)
+
 val create : cluster:Cluster.t -> local:int -> server:Server.t -> t
 (** [local] is the id of the node the client runs on.  Raises
     [Invalid_argument] if client and server share a node. *)
@@ -35,7 +43,8 @@ val connect : t -> name:string -> Remote_segment.t option
 
     All offsets are relative to the segment base.  Every call checks
     the handle is fresh and the range in bounds, moves real bytes, and
-    charges the SCI model's virtual time. *)
+    charges the SCI model's virtual time.  Calls through a dead or
+    rebooted server raise {!Unreachable}. *)
 
 val write : t -> Remote_segment.t -> seg_off:int -> src_off:int -> len:int -> unit
 (** [sci_memcpy] local→remote: copies from the local node's DRAM at

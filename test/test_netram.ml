@@ -118,7 +118,7 @@ let test_stale_handle_after_server_crash () =
   try
     Client.write client h ~seg_off:0 ~src_off:0 ~len:8;
     Alcotest.fail "expected stale-handle failure"
-  with Failure _ -> ()
+  with Client.Unreachable _ -> ()
 
 let test_range_checks () =
   let _, _, _, client = bed () in

@@ -147,7 +147,7 @@ let test_log_mirror_death_fails_ops () =
   try
     one_txn b seg ~off:0 ~len:8 'd';
     Alcotest.fail "expected failure when the log mirror is gone"
-  with Failure _ -> ()
+  with Failure _ | Netram.Client.Unreachable _ -> ()
 
 let prop_recovery_equals_live_state =
   QCheck.Test.make ~name:"remote-wal recovery equals the committed live state" ~count:40

@@ -92,12 +92,55 @@ let test_degraded_mode_on_mirror_death () =
 
 let test_all_mirrors_lost_raises () =
   let b, seg = with_db ~k:2 () in
+  let pre = P.checksum b.t seg in
   ignore (Cluster.crash_node b.cluster 1 Cluster.Failure.Hardware_error);
   ignore (Cluster.crash_node b.cluster 2 Cluster.Failure.Hardware_error);
-  try
-    commit_random b seg 'z';
-    Alcotest.fail "expected All_mirrors_lost"
-  with P.All_mirrors_lost -> ()
+  (try
+     commit_random b seg 'z';
+     Alcotest.fail "expected All_mirrors_lost"
+   with P.All_mirrors_lost -> ());
+  (* The wounded transaction was rolled back and closed: the local
+     image is the pre-state and the library is still usable. *)
+  check_i64 "local state rolled back" pre (P.checksum b.t seg);
+  let txn = P.begin_transaction b.t in
+  P.abort txn
+
+let test_mid_commit_total_loss_recovers () =
+  (* Both mirrors die in the middle of commit's packet stream: the
+     commit must raise All_mirrors_lost, roll the local image back, and
+     leave the library able to re-mirror and commit again. *)
+  let b, seg = with_db ~k:2 () in
+  commit_random b seg 'm';
+  let pre = P.checksum b.t seg in
+  let txn = P.begin_transaction b.t in
+  P.set_range txn seg ~off:0 ~len:512;
+  P.write b.t seg ~off:0 (Bytes.make 512 'n');
+  let total = P.commit_packets txn in
+  let sent = ref 0 in
+  P.set_packet_hook b.t
+    (Some
+       (fun () ->
+         if !sent = total / 2 then begin
+           ignore (Cluster.crash_node b.cluster 1 Cluster.Failure.Power_outage);
+           ignore (Cluster.crash_node b.cluster 2 Cluster.Failure.Power_outage)
+         end;
+         incr sent));
+  (try
+     P.commit txn;
+     Alcotest.fail "expected All_mirrors_lost"
+   with P.All_mirrors_lost -> ());
+  P.set_packet_hook b.t None;
+  check_i64 "rolled back to the last committed state" pre (P.checksum b.t seg);
+  check_int "both losses counted" 2 (P.stats b.t).mirrors_lost;
+  (* begin/abort work again immediately... *)
+  let txn = P.begin_transaction b.t in
+  P.abort txn;
+  (* ...and a fresh mirror restores full service. *)
+  P.attach_mirror b.t ~server:(Netram.Server.create (Cluster.node b.cluster (spare_id b)));
+  commit_random b seg 'o';
+  check_i64 "new mirror tracks commits" (P.checksum b.t seg) (P.mirror_checksum b.t seg);
+  check (Alcotest.list (Alcotest.pair Alcotest.string Alcotest.int)) "scrub clean" []
+    (P.verify_mirrors b.t)
 
 let test_attach_mirror_grows_set () =
   let b, seg = with_db ~k:1 () in
@@ -298,6 +341,7 @@ let suite =
     ("all mirrors stay in sync", `Quick, test_all_mirrors_in_sync);
     ("degraded mode on mirror death", `Quick, test_degraded_mode_on_mirror_death);
     ("all mirrors lost raises", `Quick, test_all_mirrors_lost_raises);
+    ("mid-commit total mirror loss recovers", `Quick, test_mid_commit_total_loss_recovers);
     ("attach_mirror grows the set", `Quick, test_attach_mirror_grows_set);
     ("attach duplicate rejected", `Quick, test_attach_duplicate_rejected);
     ("detach_mirror", `Quick, test_detach_mirror);
