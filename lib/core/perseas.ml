@@ -15,6 +15,7 @@ type config = {
   strict_updates : bool;
   optimized_memcpy : bool;
   namespace : string;
+  dirty_log_limit : int;
 }
 
 let default_config =
@@ -24,6 +25,7 @@ let default_config =
     strict_updates = true;
     optimized_memcpy = true;
     namespace = Layout.default_namespace;
+    dirty_log_limit = 4096;
   }
 
 exception Undo_overflow
@@ -52,7 +54,18 @@ type stats = {
   undo_bytes_logged : int;
   local_copy_bytes : int;
   mirrors_lost : int;
+  mirrors_recruited : int;
+  resync_bytes : int;
 }
+
+type resync_mode = Full | Incremental
+type resync_report = { mode : resync_mode; bytes_copied : int; full_bytes : int }
+
+(* One committed (or conservatively, rolled-back) range: the epoch tag
+   is the epoch value from which a mirror must have confirmed to NOT
+   need this range re-copied.  Entries are kept newest-first and their
+   tags never decrease along the list. *)
+type dirty_range = { d_epoch : int64; d_seg : int; d_off : int; d_len : int }
 
 type t = {
   config : config;
@@ -66,6 +79,13 @@ type t = {
   mutable ready : bool;
   mutable active : txn option;
   mutable hook : (unit -> unit) option;
+  retired : (int, int64) Hashtbl.t;
+      (* node id -> last epoch confirmed on that ex-mirror, the basis
+         for incremental resync when the node's server comes back *)
+  mutable dirty : dirty_range list; (* newest first, tags nondecreasing *)
+  mutable dirty_count : int;
+  mutable dirty_floor : int64;
+      (* the log is complete for resyncs "since e" iff e >= dirty_floor *)
   mutable st_begun : int;
   mutable st_committed : int;
   mutable st_aborted : int;
@@ -73,6 +93,8 @@ type t = {
   mutable st_undo_bytes : int;
   mutable st_local_copy_bytes : int;
   mutable st_mirrors_lost : int;
+  mutable st_mirrors_recruited : int;
+  mutable st_resync_bytes : int;
 }
 
 and range = { r_seg : segment; r_off : int; r_len : int; staging_off : int (* payload offset in undo staging *) }
@@ -118,23 +140,37 @@ let mirrors t =
 
 let mirror_count t = List.length (live_mirror_list t)
 
+let mirror_node_id m = Node.id (Netram.Server.node (Client.server m.m_client))
+
+(* Retire a mirror from the live set, remembering the last epoch it is
+   known to have fully confirmed (t.epoch: the epoch counter only
+   advances after every mirror acknowledged the commit point, so at the
+   instant of a drop it is exactly the victim's last sound state).  A
+   later [recruit_mirror] of the same server uses this as the
+   incremental-resync base. *)
+let retire_mirror t m =
+  m.m_alive <- false;
+  Hashtbl.replace t.retired (mirror_node_id m) t.epoch
+
 (* A mirror that fails during a remote operation is dropped from the
    set (degraded mode); when the last one goes, the library refuses to
    continue — committing without any mirror would silently forfeit
    recoverability.  Only liveness errors ({!Client.Unreachable}: node
    down or rebooted) are degraded-mode events; anything else — bounds
    violations, stale protocol state — is a bug and propagates. *)
+let drop_mirror t m msg =
+  retire_mirror t m;
+  t.st_mirrors_lost <- t.st_mirrors_lost + 1;
+  Log.warn (fun k ->
+      k "mirror on node %d lost (%s); continuing degraded with %d mirror(s)" (mirror_node_id m)
+        msg (mirror_count t))
+
 let with_mirror t m f =
   if not m.m_alive then None
   else
     try Some (f ())
     with Client.Unreachable msg ->
-      m.m_alive <- false;
-      t.st_mirrors_lost <- t.st_mirrors_lost + 1;
-      Log.warn (fun k ->
-          k "mirror on node %d lost (%s); continuing degraded with %d mirror(s)"
-            (Node.id (Netram.Server.node (Client.server m.m_client)))
-            msg (mirror_count t));
+      drop_mirror t m msg;
       None
 
 let each_live_mirror t f =
@@ -184,6 +220,10 @@ let init_replicated ?(config = default_config) clients =
       ready = false;
       active = None;
       hook = None;
+      retired = Hashtbl.create 8;
+      dirty = [];
+      dirty_count = 0;
+      dirty_floor = 1L;
       st_begun = 0;
       st_committed = 0;
       st_aborted = 0;
@@ -191,6 +231,8 @@ let init_replicated ?(config = default_config) clients =
       st_undo_bytes = 0;
       st_local_copy_bytes = 0;
       st_mirrors_lost = 0;
+      st_mirrors_recruited = 0;
+      st_resync_bytes = 0;
     }
   in
   t.meta_local <- alloc_local t (meta_size t) "metadata staging";
@@ -298,6 +340,34 @@ let close txn =
   txn.open_ <- false;
   txn.owner.active <- None
 
+(* Record ranges in the dirty log so an ex-mirror can later be resynced
+   incrementally.  [tag] is the lowest epoch whose confirmation implies
+   a mirror already holds these bytes; entries are kept newest-first
+   and tags never decrease toward the head.  The log is bounded: on
+   overflow the oldest entries are dropped and [dirty_floor] rises to
+   the largest dropped tag, shrinking the window in which incremental
+   resync is possible (older returners get a full copy instead). *)
+let note_dirty t ~tag ranges =
+  List.iter
+    (fun r ->
+      t.dirty <- { d_epoch = tag; d_seg = r.r_seg.index; d_off = r.r_off; d_len = r.r_len } :: t.dirty;
+      t.dirty_count <- t.dirty_count + 1)
+    ranges;
+  let limit = t.config.dirty_log_limit in
+  if t.dirty_count > limit then begin
+    let rec take n = function
+      | d :: rest when n > 0 ->
+          let kept, floor = take (n - 1) rest in
+          (d :: kept, floor)
+      | d :: _ -> ([], d.d_epoch)
+      | [] -> ([], t.dirty_floor)
+    in
+    let kept, floor = take limit t.dirty in
+    t.dirty <- kept;
+    t.dirty_count <- limit;
+    if floor > t.dirty_floor then t.dirty_floor <- floor
+  end
+
 (* Restore every declared range from the local undo log, newest first
    (local memory copies only). *)
 let rollback_local txn =
@@ -308,7 +378,12 @@ let rollback_local txn =
       Mem.Image.blit ~src:image ~src_off:(Mem.Segment.base t.undo_local + r.staging_off)
         ~dst:image ~dst_off:(Mem.Segment.base r.r_seg.local + r.r_off) ~len:r.r_len;
       charge_local_copy t r.r_len)
-    txn.ranges
+    txn.ranges;
+  (* A mirror dropped mid-operation may hold partial writes from this
+     transaction even though it rolled back locally: conservatively
+     mark the ranges dirty at the epoch the next commit will stamp so
+     an incremental resync of that mirror re-copies them. *)
+  note_dirty t ~tag:(Int64.add t.epoch 1L) txn.ranges
 
 (* Losing the last mirror mid-operation must not wedge the library:
    roll the local image back to the pre-transaction state, close the
@@ -376,6 +451,7 @@ let commit txn =
       stage_epoch t (Int64.add t.epoch 1L);
       each_live_mirror t (fun _ m -> run_plan t (plan_epoch_write t m)));
   t.epoch <- Int64.add t.epoch 1L;
+  note_dirty t ~tag:t.epoch txn.ranges;
   t.st_committed <- t.st_committed + 1;
   close txn
 
@@ -479,6 +555,8 @@ let stats t =
     undo_bytes_logged = t.st_undo_bytes;
     local_copy_bytes = t.st_local_copy_bytes;
     mirrors_lost = t.st_mirrors_lost;
+    mirrors_recruited = t.st_mirrors_recruited;
+    resync_bytes = t.st_resync_bytes;
   }
 
 (* ------------------------------------------------------------------ *)
@@ -495,68 +573,231 @@ let connect_or_export client ~name ~size =
       Client.malloc client ~name ~size
   | None -> Client.malloc client ~name ~size
 
-let attach_mirror t ~server =
-  (match t.active with
-  | Some _ -> failwith "Perseas.attach_mirror: close the open transaction first"
-  | None -> ());
-  let existing =
-    Array.to_list t.mirrors
-    |> List.exists (fun m ->
-           m.m_alive
-           && Node.id (Netram.Server.node (Client.server m.m_client))
-              = Node.id (Netram.Server.node server))
+(* Cheap failure detection: one control round trip per live mirror
+   (each charged {!Client.rpc_time}).  Dead mirrors are dropped exactly
+   as if a data operation had hit them — but outside any transaction,
+   so a supervisor probing at transaction boundaries retires corpses
+   before a commit can half-write to them.  Returns the node ids
+   dropped; never raises {!All_mirrors_lost} (detecting an empty pool
+   is the caller's job — there may be nothing in flight to protect). *)
+let probe_mirrors t =
+  Array.to_list t.mirrors
+  |> List.filter_map (fun m ->
+         if not m.m_alive then None
+         else if Client.ping m.m_client then None
+         else begin
+           drop_mirror t m "failed liveness probe";
+           Some (mirror_node_id m)
+         end)
+
+let full_bytes t = List.fold_left (fun acc s -> acc + s.size) 0 t.segs
+
+(* Write 8 zero bytes over a joiner's remote magic word before any
+   resync copying: if the copy is cut short (crash, flaky spare), the
+   half-written replica has no valid metadata header, so recovery's
+   candidate probe skips it instead of trusting stale-but-valid
+   contents.  The final [push_meta] restores magic and the new epoch,
+   completing the copy atomically from recovery's point of view. *)
+let fence_joiner t m =
+  let image = local_dram t in
+  let base = Mem.Segment.base t.meta_local in
+  let saved = Mem.Image.read_u64 image base in
+  Mem.Image.write_u64 image base 0L;
+  Fun.protect
+    ~finally:(fun () -> Mem.Image.write_u64 image base saved)
+    (fun () -> run_plan t (Client.plan_write m.m_client m.m_meta ~seg_off:0 ~src_off:base ~len:8))
+
+exception Not_incremental of string
+
+(* Can [client]'s server — an ex-mirror retired at epoch [since] — be
+   brought back by copying only the ranges committed after it left?
+   Yes iff its exported PERSEAS objects survived the outage intact:
+   right names and sizes, metadata header valid, and the replica no
+   further along than the epoch we retired it at (a newer epoch means
+   somebody else wrote to it — trust nothing).  The header reads are
+   real remote reads and charge virtual time. *)
+let incremental_handles t client ~since =
+  let connect_exact name size what =
+    match Client.connect client ~name with
+    | Some h when Remote_segment.len h = size -> h
+    | Some _ -> raise (Not_incremental (what ^ " changed size"))
+    | None -> raise (Not_incremental (what ^ " no longer exported"))
   in
-  if existing then invalid_arg "Perseas.attach_mirror: node already mirrors this database";
-  let client = Client.create ~cluster:t.cluster ~local:t.local_id ~server in
-  let m =
-    {
-      m_client = client;
-      m_meta =
-        connect_or_export client ~name:(Layout.meta_name ~ns:t.config.namespace) ~size:(meta_size t);
-      m_undo =
-        connect_or_export client
-          ~name:(Layout.undo_name ~ns:t.config.namespace)
-          ~size:t.config.undo_capacity;
-      m_alive = true;
-    }
+  let meta = connect_exact (Layout.meta_name ~ns:t.config.namespace) (meta_size t) "metadata segment" in
+  if Client.read_u64 client meta ~seg_off:0 <> Layout.meta_magic then
+    raise (Not_incremental "metadata header invalid");
+  if Client.read_u64 client meta ~seg_off:Layout.epoch_offset > since then
+    raise (Not_incremental "replica ahead of its retirement epoch");
+  let undo =
+    connect_exact (Layout.undo_name ~ns:t.config.namespace) t.config.undo_capacity "undo segment"
   in
-  (* Grow the mirror arrays. *)
-  t.mirrors <- Array.append t.mirrors [| m |];
+  let handles =
+    List.map
+      (fun seg ->
+        ( seg,
+          connect_exact
+            (Layout.db_export_name ~ns:t.config.namespace seg.seg_name)
+            seg.size
+            (Printf.sprintf "segment %S" seg.seg_name) ))
+      (segments t)
+  in
+  (meta, undo, handles)
+
+(* The ranges a mirror retired at epoch [since] is missing: every dirty
+   entry tagged later than [since], coalesced per segment (overlaps and
+   adjacent runs merged) so each byte is copied at most once. *)
+let ranges_since t ~since =
+  let rec take acc = function
+    | d :: rest when d.d_epoch > since -> take (d :: acc) rest
+    | _ -> acc
+  in
+  let needed = take [] t.dirty in
+  let by_seg = Hashtbl.create 8 in
   List.iter
-    (fun seg ->
-      let handle =
-        connect_or_export client
-          ~name:(Layout.db_export_name ~ns:t.config.namespace seg.seg_name)
-          ~size:seg.size
+    (fun d ->
+      let prev = Option.value (Hashtbl.find_opt by_seg d.d_seg) ~default:[] in
+      Hashtbl.replace by_seg d.d_seg ((d.d_off, d.d_len) :: prev))
+    needed;
+  Hashtbl.fold
+    (fun seg_index ranges acc ->
+      let merged =
+        List.fold_left
+          (fun acc (off, len) ->
+            match acc with
+            | (o, l) :: rest when off <= o + l -> (o, max l (off + len - o)) :: rest
+            | _ -> (off, len) :: acc)
+          []
+          (List.sort compare ranges)
       in
-      seg.remotes <- Array.append seg.remotes [| handle |];
-      if t.ready then push_segment_to t m seg handle)
-    (segments t);
-  if t.ready then begin
-    (* Bump the epoch so stale undo records (here and on every other
-       mirror) can never be replayed against the fresh copy. *)
-    t.epoch <- Int64.add t.epoch 1L;
-    push_meta t
-  end
+      (seg_index, List.rev merged) :: acc)
+    by_seg []
+
+let do_attach ~op ~allow_incremental t ~server =
+  (match t.active with
+  | Some _ -> failwith (Printf.sprintf "Perseas.%s: close the open transaction first" op)
+  | None -> ());
+  let node_id = Node.id (Netram.Server.node server) in
+  let existing = Array.to_list t.mirrors |> List.exists (fun m -> m.m_alive && mirror_node_id m = node_id) in
+  if existing then invalid_arg (Printf.sprintf "Perseas.%s: node already mirrors this database" op);
+  let client = Client.create ~cluster:t.cluster ~local:t.local_id ~server in
+  let since =
+    if allow_incremental && t.ready then
+      match Hashtbl.find_opt t.retired node_id with
+      | Some s when s >= t.dirty_floor -> Some s
+      | Some _ | None -> None
+    else None
+  in
+  let incremental =
+    match since with
+    | None -> None
+    | Some s -> (
+        try Some (s, incremental_handles t client ~since:s)
+        with Not_incremental reason ->
+          Log.info (fun k -> k "%s: node %d falls back to a full resync (%s)" op node_id reason);
+          None)
+  in
+  let n_before = Array.length t.mirrors in
+  let restore_membership () =
+    if Array.length t.mirrors > n_before then t.mirrors <- Array.sub t.mirrors 0 n_before;
+    List.iter
+      (fun seg ->
+        if Array.length seg.remotes > n_before then seg.remotes <- Array.sub seg.remotes 0 n_before)
+      t.segs
+  in
+  try
+    let report =
+      match incremental with
+      | Some (s, (meta, undo, handles)) ->
+          let m = { m_client = client; m_meta = meta; m_undo = undo; m_alive = true } in
+          t.mirrors <- Array.append t.mirrors [| m |];
+          List.iter (fun (seg, h) -> seg.remotes <- Array.append seg.remotes [| h |]) handles;
+          fence_joiner t m;
+          let copied = ref 0 in
+          List.iter
+            (fun (seg_index, ranges) ->
+              let seg = List.find (fun seg -> seg.index = seg_index) t.segs in
+              List.iter
+                (fun (off, len) ->
+                  run_plan t
+                    (Client.plan_write client ~widen:t.config.optimized_memcpy
+                       seg.remotes.(n_before) ~seg_off:off
+                       ~src_off:(Mem.Segment.base seg.local + off) ~len);
+                  copied := !copied + len)
+                ranges)
+            (ranges_since t ~since:s);
+          { mode = Incremental; bytes_copied = !copied; full_bytes = full_bytes t }
+      | None ->
+          let m =
+            {
+              m_client = client;
+              m_meta =
+                connect_or_export client ~name:(Layout.meta_name ~ns:t.config.namespace)
+                  ~size:(meta_size t);
+              m_undo =
+                connect_or_export client
+                  ~name:(Layout.undo_name ~ns:t.config.namespace)
+                  ~size:t.config.undo_capacity;
+              m_alive = true;
+            }
+          in
+          (* Grow the mirror arrays. *)
+          t.mirrors <- Array.append t.mirrors [| m |];
+          if t.ready then fence_joiner t m;
+          List.iter
+            (fun seg ->
+              let handle =
+                connect_or_export client
+                  ~name:(Layout.db_export_name ~ns:t.config.namespace seg.seg_name)
+                  ~size:seg.size
+              in
+              seg.remotes <- Array.append seg.remotes [| handle |];
+              if t.ready then push_segment_to t m seg handle)
+            (segments t);
+          let bytes = if t.ready then full_bytes t else 0 in
+          { mode = Full; bytes_copied = bytes; full_bytes = full_bytes t }
+    in
+    Hashtbl.remove t.retired node_id;
+    if t.ready then begin
+      (* Bump the epoch so stale undo records (here and on every other
+         mirror) can never be replayed against the fresh copy. *)
+      t.epoch <- Int64.add t.epoch 1L;
+      push_meta t;
+      t.st_mirrors_recruited <- t.st_mirrors_recruited + 1;
+      t.st_resync_bytes <- t.st_resync_bytes + report.bytes_copied
+    end;
+    report
+  with Client.Unreachable msg ->
+    (* The joiner died mid-resync.  Undo the membership change so the
+       live set is exactly what it was; the fence already guarantees a
+       half-copied replica can never be mistaken for a sound one. *)
+    restore_membership ();
+    Log.warn (fun k -> k "%s: node %d unreachable mid-resync (%s)" op node_id msg);
+    raise (Client.Unreachable msg)
+
+let attach_mirror t ~server =
+  ignore (do_attach ~op:"attach_mirror" ~allow_incremental:false t ~server)
+
+let recruit_mirror t ~server = do_attach ~op:"recruit_mirror" ~allow_incremental:true t ~server
 
 let detach_mirror t ~node_id =
-  let found = ref false in
-  Array.iter
-    (fun m ->
-      if m.m_alive && Node.id (Netram.Server.node (Client.server m.m_client)) = node_id then begin
-        m.m_alive <- false;
-        found := true
-      end)
-    t.mirrors;
-  if not !found then invalid_arg (Printf.sprintf "Perseas.detach_mirror: node %d is not a live mirror" node_id);
-  if mirror_count t = 0 then
-    Log.warn (fun k -> k "last mirror detached: the database is no longer recoverable")
+  (match t.active with
+  | Some _ -> failwith "Perseas.detach_mirror: close the open transaction first"
+  | None -> ());
+  match Array.to_list t.mirrors |> List.find_opt (fun m -> m.m_alive && mirror_node_id m = node_id) with
+  | None ->
+      invalid_arg (Printf.sprintf "Perseas.detach_mirror: node %d is not a live mirror" node_id)
+  | Some m ->
+      if mirror_count t = 1 then
+        failwith
+          "Perseas.detach_mirror: refusing to detach the last live mirror (the database would \
+           become unrecoverable); attach a replacement first";
+      retire_mirror t m
 
 let remirror t ~server =
   (match t.active with
   | Some _ -> failwith "Perseas.remirror: close the open transaction first"
   | None -> ());
-  Array.iter (fun m -> m.m_alive <- false) t.mirrors;
+  Array.iter (fun m -> if m.m_alive then retire_mirror t m) t.mirrors;
   t.mirrors <- [||];
   List.iter (fun seg -> seg.remotes <- [||]) t.segs;
   attach_mirror t ~server
@@ -724,6 +965,10 @@ let recover_replicated ?(config = default_config) ?on_repair ~cluster ~local ~se
       ready = true;
       active = None;
       hook = None;
+      retired = Hashtbl.create 8;
+      dirty = [];
+      dirty_count = 0;
+      dirty_floor = new_epoch;
       st_begun = 0;
       st_committed = 0;
       st_aborted = 0;
@@ -731,6 +976,8 @@ let recover_replicated ?(config = default_config) ?on_repair ~cluster ~local ~se
       st_undo_bytes = 0;
       st_local_copy_bytes = 0;
       st_mirrors_lost = 0;
+      st_mirrors_recruited = 0;
+      st_resync_bytes = 0;
     }
   in
   t.meta_local <- alloc_local t (meta_size t) "metadata staging";
@@ -822,4 +1069,143 @@ module Engine = struct
   let abort = abort
   let write = write
   let read = read
+end
+
+type db = t
+
+(* ------------------------------------------------------------------ *)
+(* Self-healing supervisor: failure detection + spare-pool recruitment *)
+
+module Supervisor = struct
+  type policy = {
+    probe_interval : Time.t;
+    max_attempts : int;
+    backoff_initial : Time.t;
+    backoff_factor : float;
+  }
+
+  let default_policy =
+    { probe_interval = Time.us 50.0; max_attempts = 6; backoff_initial = Time.us 100.0; backoff_factor = 2.0 }
+
+  type event =
+    | Mirror_lost of { at : Time.t; node_id : int }
+    | Recruited of { at : Time.t; node_id : int; report : resync_report }
+    | Attempt_failed of { at : Time.t; node_id : int; attempt : int; reason : string }
+    | Gave_up of { at : Time.t; node_id : int; attempts : int }
+
+  type t = {
+    db : db;
+    policy : policy;
+    target : int;
+    mutable spares : Netram.Server.t list; (* FIFO: head is tried next *)
+    mutable known_live : int list;
+    mutable last_probe : Time.t option;
+    mutable attempts : int; (* consecutive failed recruit attempts *)
+    mutable retry_at : Time.t; (* no recruit attempts before this instant *)
+    mutable gave_up : bool;
+    mutable events : event list; (* newest first *)
+  }
+
+  let now sup = Clock.now (clock sup.db)
+  let push sup e = sup.events <- e :: sup.events
+
+  let create ?(policy = default_policy) ?target ?(spares = []) db =
+    if policy.max_attempts <= 0 then invalid_arg "Supervisor.create: max_attempts must be positive";
+    if policy.backoff_factor < 1.0 then invalid_arg "Supervisor.create: backoff_factor must be >= 1";
+    let target = match target with Some n -> n | None -> mirror_count db in
+    if target <= 0 then invalid_arg "Supervisor.create: target must be positive";
+    {
+      db;
+      policy;
+      target;
+      spares;
+      known_live = live_mirrors db;
+      last_probe = None;
+      attempts = 0;
+      retry_at = Time.zero;
+      gave_up = false;
+      events = [];
+    }
+
+  (* A fresh spare resets the retry budget: the pool changed, so the
+     run of failures that exhausted it is no longer representative. *)
+  let add_spare sup server =
+    sup.spares <- sup.spares @ [ server ];
+    sup.attempts <- 0;
+    sup.retry_at <- now sup;
+    sup.gave_up <- false
+
+  let backoff_after sup =
+    let d =
+      float_of_int sup.policy.backoff_initial
+      *. (sup.policy.backoff_factor ** float_of_int (sup.attempts - 1))
+    in
+    sup.retry_at <- now sup + int_of_float d
+
+  (* One supervision step, meant to run at transaction boundaries.
+     Cheap when nothing changed: probes at most once per
+     [probe_interval], and only attempts recruitment when the
+     replication factor is below target, a spare is available, and the
+     backoff window has passed.  Never raises: a database that is
+     merely degraded must keep committing. *)
+  let tick sup =
+    let db = sup.db in
+    (* 1. Throttled liveness probe, so corpses are retired before the
+       next commit half-writes to them. *)
+    (match sup.last_probe with
+    | Some at when now sup - at < sup.policy.probe_interval -> ()
+    | _ ->
+        sup.last_probe <- Some (now sup);
+        ignore (probe_mirrors db));
+    (* 2. Note losses — from our probe or from in-line drops since the
+       last tick. *)
+    let live = live_mirrors db in
+    List.iter
+      (fun id -> if not (List.mem id live) then push sup (Mirror_lost { at = now sup; node_id = id }))
+      sup.known_live;
+    sup.known_live <- live;
+    (* 3. Repair: recruit spares until back at target, rotating flaky
+       spares to the back of the pool with exponential backoff. *)
+    let rec repair () =
+      if (not sup.gave_up) && mirror_count db < sup.target && now sup >= sup.retry_at then
+        match sup.spares with
+        | [] -> ()
+        | server :: rest ->
+            let node_id = Node.id (Netram.Server.node server) in
+            let outcome =
+              try `Recruited (recruit_mirror db ~server) with
+              | Invalid_argument _ ->
+                  (* Already in the live set — e.g. a pause shorter
+                     than a probe interval: a stale spare, not a
+                     failure. *)
+                  `Discard
+              | Client.Unreachable msg | Failure msg -> `Failed msg
+              | All_mirrors_lost -> `Failed "all mirrors lost during resync"
+            in
+            (match outcome with
+            | `Recruited report ->
+                sup.spares <- rest;
+                sup.attempts <- 0;
+                sup.known_live <- live_mirrors db;
+                push sup (Recruited { at = now sup; node_id; report })
+            | `Discard -> sup.spares <- rest
+            | `Failed reason ->
+                sup.attempts <- sup.attempts + 1;
+                sup.spares <- rest @ [ server ];
+                push sup (Attempt_failed { at = now sup; node_id; attempt = sup.attempts; reason });
+                if sup.attempts >= sup.policy.max_attempts then begin
+                  sup.gave_up <- true;
+                  push sup (Gave_up { at = now sup; node_id; attempts = sup.attempts })
+                end
+                else backoff_after sup);
+            repair ()
+    in
+    repair ()
+
+  let events sup = List.rev sup.events
+  let spares sup = List.map (fun s -> Node.id (Netram.Server.node s)) sup.spares
+  let target sup = sup.target
+  let gave_up sup = sup.gave_up
+  let retry_at sup = sup.retry_at
+  let degraded sup = mirror_count sup.db < sup.target
 end

@@ -1,3 +1,5 @@
+open Sim
+
 (** PERSEAS: a transaction library for main-memory databases on a
     reliable network RAM (the paper's contribution).
 
@@ -40,10 +42,16 @@ type config = {
       (** Prefix of this database's exported-segment names, so several
           independent databases can share one memory server.  Recovery
           must use the same namespace. *)
+  dirty_log_limit : int;
+      (** Maximum entries of the dirty-range log behind incremental
+          resync ({!recruit_mirror}).  When the log overflows, the
+          oldest entries are dropped and mirrors that have been gone
+          longer than the remaining window get a full copy instead. *)
 }
 
 val default_config : config
-(** 1 MiB + slack of undo space, 64 segments, strict updates. *)
+(** 1 MiB + slack of undo space, 64 segments, strict updates, 4096
+    dirty-log entries. *)
 
 exception Undo_overflow
 (** A transaction declared more before-image bytes than the undo log
@@ -110,12 +118,52 @@ val mirror_count : t -> int
 val attach_mirror : t -> server:Netram.Server.t -> unit
 (** Bring a new mirror into the set: export (or reconnect and resync)
     every segment plus metadata on [server] and copy the current
-    database there.  The epoch is bumped so stale undo records can
-    never replay against the fresh copy.  Raises [Invalid_argument] if
-    the node already mirrors this database. *)
+    database there (always a {e full} copy — see {!recruit_mirror} for
+    the incremental path).  The epoch is bumped so stale undo records
+    can never replay against the fresh copy.  Raises [Invalid_argument]
+    if the node already mirrors this database, [Failure] with an open
+    transaction (a half-mirrored transaction could neither commit nor
+    abort coherently), and {!Netram.Client.Unreachable} if [server]
+    dies mid-resync — in which case the mirror set is left exactly as
+    it was, and the joiner's metadata header was zeroed {e before} any
+    copying so recovery can never mistake the torn copy for a sound
+    one. *)
+
+type resync_mode = Full | Incremental
+
+type resync_report = {
+  mode : resync_mode;
+  bytes_copied : int;  (** Database bytes actually pushed to the joiner. *)
+  full_bytes : int;  (** What a full copy would have moved. *)
+}
+
+val recruit_mirror : t -> server:Netram.Server.t -> resync_report
+(** {!attach_mirror}, but when [server] is an ex-mirror of this
+    database that came back from a transient outage (its exports are
+    intact and its replica is no newer than the epoch at which it was
+    dropped), only the ranges committed since it left are copied — the
+    dirty-range log bounded by [config.dirty_log_limit] remembers them.
+    Falls back to a full copy whenever the incremental path cannot be
+    proven safe: the node was never a mirror, it has been gone longer
+    than the dirty log reaches back, its exports were lost (a reboot
+    wipes them) or resized, or its metadata header is invalid or ahead
+    of the retirement epoch.  Same exceptions as {!attach_mirror}. *)
+
+val probe_mirrors : t -> int list
+(** Liveness probe of every live mirror — one control round trip each
+    (charged).  Unresponsive mirrors are dropped exactly as if a data
+    operation had hit them ([stats.mirrors_lost] is bumped) and their
+    node ids returned.  Unlike the data path this never raises
+    {!All_mirrors_lost}: it is a detector, not an operation that needs
+    a mirror — callers decide what an empty set means for them. *)
 
 val detach_mirror : t -> node_id:int -> unit
-(** Remove a mirror from the set (e.g. planned maintenance). *)
+(** Remove a mirror from the set (e.g. planned maintenance).  Raises
+    [Failure] with an open transaction, and refuses — also [Failure] —
+    to detach the {e last} live mirror, which would silently forfeit
+    recoverability; attach a replacement first ({!attach_mirror}), or
+    use {!remirror} to swap the whole set.  Raises [Invalid_argument]
+    if the node is not a live mirror. *)
 
 val remirror : t -> server:Netram.Server.t -> unit
 (** Drop every current mirror and re-mirror on a single fresh server —
@@ -250,9 +298,85 @@ type stats = {
   undo_bytes_logged : int;  (** Before-image payload bytes. *)
   local_copy_bytes : int;  (** Bytes moved by local memcpys. *)
   mirrors_lost : int;  (** Mirrors dropped after failing mid-operation. *)
+  mirrors_recruited : int;  (** Mirrors (re-)joined after {!init_remote_db}. *)
+  resync_bytes : int;  (** Database bytes pushed to joining mirrors. *)
 }
 
 val stats : t -> stats
+
+(** {1 Self-healing supervision}
+
+    The paper keeps the replication factor up by hand: an operator
+    notices a dead PC and re-mirrors.  {!Supervisor} automates exactly
+    that loop — probe at transaction boundaries, drop corpses, recruit
+    replacements from a spare pool — without adding any background
+    concurrency: it only runs when the application calls {!Supervisor.tick},
+    so the simulation stays deterministic. *)
+
+type db = t
+(** Alias so {!Supervisor}'s own [t] can still name the database. *)
+
+module Supervisor : sig
+  type policy = {
+    probe_interval : Time.t;
+        (** Minimum virtual time between liveness sweeps; ticks inside
+            the window skip the probe (losses discovered in-line by the
+            data path are still noticed). *)
+    max_attempts : int;
+        (** Consecutive failed recruitments before giving up; a fresh
+            {!add_spare} re-arms the budget. *)
+    backoff_initial : Time.t;  (** Delay after the first failed attempt. *)
+    backoff_factor : float;  (** Multiplier for each further failure. *)
+  }
+
+  val default_policy : policy
+  (** 50 µs probe interval, 6 attempts, 100 µs initial backoff,
+      doubling. *)
+
+  type event =
+    | Mirror_lost of { at : Time.t; node_id : int }
+    | Recruited of { at : Time.t; node_id : int; report : resync_report }
+    | Attempt_failed of { at : Time.t; node_id : int; attempt : int; reason : string }
+    | Gave_up of { at : Time.t; node_id : int; attempts : int }
+
+  type t
+
+  val create : ?policy:policy -> ?target:int -> ?spares:Netram.Server.t list -> db -> t
+  (** Supervise [db], keeping its replication factor at [target]
+      (default: the factor at creation time) using the given spare
+      servers (first come, first recruited). *)
+
+  val add_spare : t -> Netram.Server.t -> unit
+  (** Append a server to the spare pool.  Also resets the failure
+      budget and backoff — the pool changed, so the run of failures
+      that exhausted it no longer describes it. *)
+
+  val tick : t -> unit
+  (** One supervision step; call it between transactions.  Probes the
+      mirrors (throttled by [probe_interval]), records losses, and
+      recruits spares — with exponential backoff between failed
+      attempts, flaky spares rotated to the back of the pool — until
+      the factor is back at target, the pool is empty, or the budget
+      is exhausted.  Never raises: a database that is merely degraded
+      must keep committing. *)
+
+  val events : t -> event list
+  (** Everything noticed so far, oldest first. *)
+
+  val spares : t -> int list
+  (** Node ids waiting in the pool, in recruitment order. *)
+
+  val target : t -> int
+
+  val degraded : t -> bool
+  (** Live mirrors below target? *)
+
+  val gave_up : t -> bool
+  (** The failure budget is spent; {!add_spare} re-arms it. *)
+
+  val retry_at : t -> Time.t
+  (** Earliest virtual instant of the next recruitment attempt. *)
+end
 
 (** {1 Engine view} *)
 

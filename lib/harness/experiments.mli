@@ -36,6 +36,13 @@ val crash_sweep : unit -> unit
     oracle.  Summary table on stdout; per-point rows in
     [results/crash_sweep.csv]. *)
 
+val churn : unit -> unit
+(** Self-healing replication under churn: a seeded failure/repair
+    process pauses and crashes mirror nodes under a live debit-credit
+    load while a {!Perseas.Supervisor} recruits replacements from a
+    spare pool.  Enforces the {!Churn} oracle (zero committed-data
+    loss) and writes per-window rows to [results/churn.csv]. *)
+
 val copy_counts : unit -> unit
 (** Figure 2 vs Figure 3: per-transaction copy and I/O counts for each
     engine (PERSEAS: three memory copies, no disk). *)

@@ -33,6 +33,13 @@ let rpc_time t =
 
 let charge_rpc t = Clock.advance (Cluster.clock t.cluster) (rpc_time t)
 
+(* One control round trip that answers "is the server there?" instead
+   of raising: the cost is charged whether the reply comes back or the
+   probe times out, so a failure detector pays for its vigilance. *)
+let ping t =
+  charge_rpc t;
+  Server.is_alive t.server
+
 let malloc t ~name ~size =
   ensure_reachable t "malloc";
   charge_rpc t;

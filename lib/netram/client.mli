@@ -39,6 +39,12 @@ val connect : t -> name:string -> Remote_segment.t option
 (** [sci_connect_segment]: re-map an already-exported segment after a
     client crash (or from a different workstation during recovery). *)
 
+val ping : t -> bool
+(** Liveness probe: one control round trip (charged {!rpc_time} whether
+    it succeeds or times out).  [false] when the server is unreachable —
+    node down, rebooted, or transiently partitioned — instead of
+    raising, so failure detectors can poll without exception plumbing. *)
+
 (** {1 Data movement}
 
     All offsets are relative to the segment base.  Every call checks

@@ -4,15 +4,21 @@ type t = {
   node : Node.t;
   generation : int;
   directory : (string, Remote_segment.t) Hashtbl.t;
+  mutable paused : bool;
 }
 
 let create node =
   if not (Node.is_up node) then failwith "Server.create: node is down";
-  { node; generation = Node.crashes_since_start node; directory = Hashtbl.create 16 }
+  { node; generation = Node.crashes_since_start node; directory = Hashtbl.create 16; paused = false }
 
 let node t = t.node
 
-let is_alive t = Node.is_up t.node && Node.crashes_since_start t.node = t.generation
+let is_alive t =
+  (not t.paused) && Node.is_up t.node && Node.crashes_since_start t.node = t.generation
+
+let pause t = t.paused <- true
+let resume t = t.paused <- false
+let is_paused t = t.paused
 
 let check_alive t op =
   if not (is_alive t) then failwith (Printf.sprintf "Server.%s: server on %s is gone" op (Node.name t.node))

@@ -19,7 +19,20 @@ val node : t -> Cluster.Node.t
 
 val is_alive : t -> bool
 (** False once the hosting node has crashed (even after restart: a
-    restarted node needs a fresh server and has lost all exports). *)
+    restarted node needs a fresh server and has lost all exports), and
+    while the server is {!pause}d. *)
+
+val pause : t -> unit
+(** Model a transient outage — a network partition, an overloaded or
+    wedged server process: clients see {!Client.Unreachable} exactly as
+    for a crash, but the node stays up, so the exported segments (and
+    the bytes behind them) survive.  {!resume} ends the outage with the
+    directory intact — the case PERSEAS' incremental resync exploits. *)
+
+val resume : t -> unit
+(** End a {!pause}.  A server whose node crashed stays dead. *)
+
+val is_paused : t -> bool
 
 val export : t -> name:string -> size:int -> Remote_segment.t
 (** Allocate [size] bytes of the node's memory (64-byte aligned, so

@@ -1,0 +1,224 @@
+(* Self-healing replication: supervisor unit tests (probe-driven
+   failure detection, spare-pool recruitment, backoff and give-up) and
+   the churn experiment's zero-committed-data-loss oracle. *)
+
+open Sim
+module P = Perseas
+module Sup = Perseas.Supervisor
+module C = Harness.Churn
+
+let check = Alcotest.check
+let check_int = check Alcotest.int
+let check_bool = check Alcotest.bool
+let check_i64 = check Alcotest.int64
+
+type bed = {
+  clock : Clock.t;
+  cluster : Cluster.t;
+  servers : Netram.Server.t list; (* one per mirror node, ids 1..k *)
+  t : P.t;
+}
+
+(* Primary on node 0; [k] mirrors on nodes 1..k; one spare node at the
+   end (no server yet). *)
+let bed ~k () =
+  let clock = Clock.create () in
+  let dram = 4 * 1024 * 1024 in
+  let specs =
+    Cluster.spec ~dram_size:dram ~power_supply:0 "primary"
+    :: (List.init k (fun i ->
+            Cluster.spec ~dram_size:dram ~power_supply:(i + 1) (Printf.sprintf "mirror%d" i))
+       @ [ Cluster.spec ~dram_size:dram ~power_supply:(k + 1) "spare" ])
+  in
+  let cluster = Cluster.create ~clock specs in
+  let servers = List.init k (fun i -> Netram.Server.create (Cluster.node cluster (i + 1))) in
+  let clients = List.map (fun server -> Netram.Client.create ~cluster ~local:0 ~server) servers in
+  { clock; cluster; servers; t = P.init_replicated clients }
+
+let with_db ~k ?(size = 4096) () =
+  let b = bed ~k () in
+  let seg = P.malloc b.t ~name:"db" ~size in
+  P.write b.t seg ~off:0 (Bytes.init size (fun i -> Char.chr (i land 0xff)));
+  P.init_remote_db b.t;
+  (b, seg)
+
+let spare_id b = Cluster.size b.cluster - 1
+
+let commit_fill b seg fill =
+  let txn = P.begin_transaction b.t in
+  P.set_range txn seg ~off:64 ~len:128;
+  P.write b.t seg ~off:64 (Bytes.make 128 fill);
+  P.commit txn
+
+(* ------------------------------------------------------------------ *)
+(* Supervisor units                                                    *)
+
+let test_supervisor_detects_and_recruits () =
+  let b, seg = with_db ~k:1 () in
+  commit_fill b seg 'a';
+  let spare = Netram.Server.create (Cluster.node b.cluster (spare_id b)) in
+  let sup = Sup.create ~spares:[ spare ] b.t in
+  check_int "target from live set" 1 (Sup.target sup);
+  Sup.tick sup;
+  check_bool "healthy: no events" true (Sup.events sup = []);
+  (* Kill the only mirror; the next tick's probe must retire it and
+     recruit the spare before any commit half-writes to a corpse. *)
+  ignore (Cluster.crash_node b.cluster 1 Cluster.Failure.Hardware_error);
+  Clock.advance b.clock Sup.default_policy.probe_interval;
+  Sup.tick sup;
+  check_int "factor restored" 1 (P.mirror_count b.t);
+  check_bool "no longer degraded" false (Sup.degraded sup);
+  (match Sup.events sup with
+  | [ Sup.Mirror_lost { node_id = 1; _ }; Sup.Recruited { node_id; report; _ } ] ->
+      check_int "recruited the spare node" (spare_id b) node_id;
+      check_bool "cold spare needs a full copy" true (report.P.mode = P.Full)
+  | _ -> Alcotest.fail "expected exactly [Mirror_lost; Recruited]");
+  check_int "recruitment counted" 1 (P.stats b.t).mirrors_recruited;
+  check_bool "spare pool drained" true (Sup.spares sup = []);
+  (* Commits flow to the replacement. *)
+  commit_fill b seg 'b';
+  check_i64 "replacement tracks commits" (P.checksum b.t seg) (P.mirror_checksum b.t seg)
+
+let test_supervisor_incremental_after_pause () =
+  let b, seg = with_db ~k:2 ~size:65536 () in
+  commit_fill b seg 'a';
+  let sup = Sup.create b.t in
+  (* Transient outage: the server is wedged but its DRAM survives. *)
+  let victim = List.hd b.servers in
+  Netram.Server.pause victim;
+  Clock.advance b.clock Sup.default_policy.probe_interval;
+  Sup.tick sup;
+  check_int "degraded to one mirror" 1 (P.mirror_count b.t);
+  (* The database keeps committing while degraded — these are the only
+     bytes the returning mirror actually missed. *)
+  commit_fill b seg 'b';
+  commit_fill b seg 'c';
+  Netram.Server.resume victim;
+  Sup.add_spare sup victim;
+  Sup.tick sup;
+  check_int "factor restored" 2 (P.mirror_count b.t);
+  let recruited =
+    List.filter_map (function Sup.Recruited { report; _ } -> Some report | _ -> None)
+      (Sup.events sup)
+  in
+  (match recruited with
+  | [ report ] ->
+      check_bool "resync was incremental" true (report.P.mode = P.Incremental);
+      check_bool "copied less than a full copy" true (report.P.bytes_copied < report.P.full_bytes);
+      check_int "resync bytes counted" report.P.bytes_copied (P.stats b.t).resync_bytes
+  | _ -> Alcotest.fail "expected exactly one recruitment");
+  check_i64 "returned mirror caught up" (P.checksum b.t seg) (P.mirror_checksum b.t seg);
+  check (Alcotest.list (Alcotest.pair Alcotest.string Alcotest.int)) "scrub clean" []
+    (P.verify_mirrors b.t)
+
+let test_supervisor_backoff_and_give_up () =
+  let b, _seg = with_db ~k:1 () in
+  let policy =
+    {
+      Sup.probe_interval = Time.us 10.0;
+      max_attempts = 3;
+      backoff_initial = Time.us 20.0;
+      backoff_factor = 2.0;
+    }
+  in
+  (* A spare whose node is already dead: every recruit attempt fails. *)
+  let dead = Netram.Server.create (Cluster.node b.cluster (spare_id b)) in
+  ignore (Cluster.crash_node b.cluster (spare_id b) Cluster.Failure.Software_error);
+  let sup = Sup.create ~policy ~target:2 ~spares:[ dead ] b.t in
+  let failed () =
+    List.length
+      (List.filter (function Sup.Attempt_failed _ -> true | _ -> false) (Sup.events sup))
+  in
+  Sup.tick sup;
+  check_int "first attempt failed" 1 (failed ());
+  (* Backoff: a tick before the retry window opens must not burn an
+     attempt. *)
+  Sup.tick sup;
+  check_int "throttled by backoff" 1 (failed ());
+  check_bool "retry scheduled in the future" true (Sup.retry_at sup > Clock.now b.clock);
+  Clock.advance_to b.clock (Sup.retry_at sup);
+  Sup.tick sup;
+  check_int "second attempt failed" 2 (failed ());
+  Clock.advance_to b.clock (Sup.retry_at sup);
+  Sup.tick sup;
+  check_int "third attempt failed" 3 (failed ());
+  check_bool "retry budget exhausted" true (Sup.gave_up sup);
+  Clock.advance b.clock (Time.ms 1.0);
+  Sup.tick sup;
+  check_int "no attempts after giving up" 3 (failed ());
+  (* A fresh spare resets the budget and heals the factor. *)
+  Cluster.restart_node b.cluster (spare_id b);
+  Sup.add_spare sup (Netram.Server.create (Cluster.node b.cluster (spare_id b)));
+  check_bool "give-up cleared" false (Sup.gave_up sup);
+  (* The dead spare is still at the head of the pool; it fails once
+     more and rotates behind the good one. *)
+  Sup.tick sup;
+  Clock.advance_to b.clock (Sup.retry_at sup);
+  Sup.tick sup;
+  check_int "factor restored" 2 (P.mirror_count b.t);
+  check_bool "one give-up event" true
+    (List.length (List.filter (function Sup.Gave_up _ -> true | _ -> false) (Sup.events sup)) = 1)
+
+(* ------------------------------------------------------------------ *)
+(* The churn experiment's oracle                                       *)
+
+let test_churn_zero_committed_data_loss () =
+  let r = C.run () in
+  C.check r;
+  let pool = C.default_params.mirrors + C.default_params.spares in
+  check_int "every pool node killed at least once" pool (List.length r.nodes_hit);
+  check_bool "both failure kinds injected" true
+    (List.exists (fun i -> i.C.kind = C.Pause) r.injections
+    && List.exists (fun i -> i.C.kind = C.Crash) r.injections);
+  check_bool "work committed under churn" true (r.committed > 0);
+  check_bool "factor restored after each failure" true r.factor_restored;
+  check_bool "mirrors scrub clean at quiesce" true r.verify_clean;
+  check_bool "no committed transaction lost" true r.committed_data_preserved;
+  check_bool "recovered database is consistent" true r.recovered_consistent;
+  check_bool "at least one incremental resync" true (r.incremental_resyncs >= 1);
+  check_bool "incremental moved fewer bytes than a full copy" true
+    (r.incremental_resyncs >= 1
+    && r.incremental_bytes < r.full_copy_bytes * r.incremental_resyncs);
+  check_bool "at least one full resync (cold spare or reboot)" true (r.full_resyncs >= 1);
+  (* Every degraded window eventually closed. *)
+  List.iter
+    (fun w -> check_bool "window closed after it opened" true (w.C.w_restored >= w.C.w_start))
+    r.windows
+
+let test_churn_deterministic () =
+  let r1 = C.run () and r2 = C.run () in
+  check_int "same commits" r1.C.committed r2.C.committed;
+  check_int "same windows" (List.length r1.C.windows) (List.length r2.C.windows);
+  check_int "same incremental bytes" r1.C.incremental_bytes r2.C.incremental_bytes;
+  check (Alcotest.float 0.001) "same throughput" r1.C.tps r2.C.tps
+
+let test_churn_survives_total_mirror_loss () =
+  (* One mirror, a sluggish failure detector: losses surface as
+     [All_mirrors_lost] inside a commit, the transaction rolls back and
+     retries once the supervisor recruits a spare — still zero
+     committed-data loss. *)
+  let params =
+    {
+      C.default_params with
+      mirrors = 1;
+      spares = 2;
+      duration = Time.ms 20.0;
+      mtbf = Time.ms 1.0;
+      outage = Time.us 300.0;
+      policy = { Sup.default_policy with probe_interval = Time.ms 1.0 };
+    }
+  in
+  let r = C.run ~params () in
+  C.check r;
+  check_bool "total mirror loss was exercised" true (r.outage_retries > 0);
+  check_bool "work still committed" true (r.committed > 0)
+
+let suite =
+  [
+    ("supervisor detects loss and recruits", `Quick, test_supervisor_detects_and_recruits);
+    ("supervisor incremental resync after pause", `Quick, test_supervisor_incremental_after_pause);
+    ("supervisor backoff and give-up", `Quick, test_supervisor_backoff_and_give_up);
+    ("churn: zero committed-data loss", `Slow, test_churn_zero_committed_data_loss);
+    ("churn: deterministic", `Slow, test_churn_deterministic);
+    ("churn: survives total mirror loss", `Slow, test_churn_survives_total_mirror_loss);
+  ]

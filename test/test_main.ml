@@ -11,6 +11,7 @@ let () =
       ("layout", Test_layout.suite);
       ("perseas", Test_perseas.suite);
       ("replication", Test_replication.suite);
+      ("churn", Test_churn.suite);
       ("crashpoint", Test_crashpoint.suite);
       ("baselines", Test_baselines.suite);
       ("remote-wal", Test_remote_wal.suite);

@@ -154,6 +154,51 @@ let test_undo_overflow () =
    with P.Undo_overflow -> ());
   P.abort txn
 
+let test_undo_overflow_mid_transaction () =
+  (* Overflow on the second range of a transaction: the first range is
+     already logged (locally and remotely), the failing one must not
+     leave a torn undo record behind.  Abort restores the image byte
+     for byte, recovery from the mirror ignores the aborted residue,
+     and the engine accepts new transactions. *)
+  let config = { P.default_config with undo_capacity = 4096 } in
+  let b, seg = with_db ~config () in
+  let txn = P.begin_transaction b.t in
+  P.set_range txn seg ~off:0 ~len:64;
+  P.write b.t seg ~off:0 (Bytes.make 64 'c');
+  P.commit txn;
+  let before = P.read b.t seg ~off:0 ~len:4096 in
+  let epoch_before = P.epoch b.t in
+  let txn = P.begin_transaction b.t in
+  P.set_range txn seg ~off:0 ~len:64;
+  P.write b.t seg ~off:0 (Bytes.make 64 'X');
+  (try
+     P.set_range txn seg ~off:64 ~len:4000;
+     Alcotest.fail "expected Undo_overflow"
+   with P.Undo_overflow -> ());
+  P.abort txn;
+  check Alcotest.string "abort restores the image byte for byte" (Bytes.to_string before)
+    (Bytes.to_string (P.read b.t seg ~off:0 ~len:4096));
+  check_i64 "epoch unchanged by the aborted transaction" epoch_before (P.epoch b.t);
+  (* The engine is immediately usable again. *)
+  let txn = P.begin_transaction b.t in
+  P.set_range txn seg ~off:128 ~len:32;
+  P.write b.t seg ~off:128 (Bytes.make 32 'n');
+  P.abort txn;
+  check Alcotest.string "second abort also clean" (Bytes.to_string before)
+    (Bytes.to_string (P.read b.t seg ~off:0 ~len:4096));
+  (* Crash the primary without committing anything further: whatever
+     undo bytes the overflowing transaction pushed to the mirror must
+     not be replayed into the committed image. *)
+  ignore (Cluster.crash_node b.cluster 0 Cluster.Failure.Software_error);
+  let t2 = P.recover ~config ~cluster:b.cluster ~local:2 ~server:b.server () in
+  let seg2 = Option.get (P.segment t2 "db") in
+  check Alcotest.string "recovery ignores the aborted transaction's residue"
+    (Bytes.to_string before)
+    (Bytes.to_string (P.read t2 seg2 ~off:0 ~len:4096));
+  (* Recovery always bumps the epoch once to invalidate whatever undo
+     records it applied — the image, not the counter, is the claim. *)
+  check_i64 "recovered one epoch past the committed one" (Int64.add epoch_before 1L) (P.epoch t2)
+
 let test_set_range_validation () =
   let b, seg = with_db () in
   let txn = P.begin_transaction b.t in
@@ -512,6 +557,7 @@ let suite =
     ("abort restores locally without remote traffic", `Quick, test_abort_restores_locally);
     ("multi-range abort", `Quick, test_multiple_ranges_and_overlap_abort);
     ("undo overflow", `Quick, test_undo_overflow);
+    ("undo overflow mid-transaction", `Quick, test_undo_overflow_mid_transaction);
     ("set_range validation", `Quick, test_set_range_validation);
     ("u32/u64 helpers", `Quick, test_helpers_roundtrip);
     ("statistics accounting", `Quick, test_stats_accounting);

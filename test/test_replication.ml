@@ -175,6 +175,55 @@ let test_detach_mirror () =
     Alcotest.fail "double detach"
   with Invalid_argument _ -> ()
 
+let test_membership_guards_during_txn () =
+  (* Changing the mirror set mid-transaction would resync an image
+     containing uncommitted bytes; all three membership operations must
+     refuse while a transaction is open, and work again after abort. *)
+  let b, seg = with_db ~k:2 () in
+  let spare = Netram.Server.create (Cluster.node b.cluster (spare_id b)) in
+  let txn = P.begin_transaction b.t in
+  P.set_range txn seg ~off:0 ~len:16;
+  P.write b.t seg ~off:0 (Bytes.make 16 'u');
+  (try
+     P.attach_mirror b.t ~server:spare;
+     Alcotest.fail "attach_mirror during open transaction"
+   with Failure _ -> ());
+  (try
+     P.detach_mirror b.t ~node_id:1;
+     Alcotest.fail "detach_mirror during open transaction"
+   with Failure _ -> ());
+  (try
+     P.remirror b.t ~server:spare;
+     Alcotest.fail "remirror during open transaction"
+   with Failure _ -> ());
+  check_int "membership unchanged" 2 (P.mirror_count b.t);
+  P.abort txn;
+  P.attach_mirror b.t ~server:spare;
+  check_int "attach works once the transaction is closed" 3 (P.mirror_count b.t);
+  commit_random b seg 'v';
+  List.iter
+    (fun (_, c) -> check_i64 "all three in sync" (P.checksum b.t seg) c)
+    (P.mirror_checksums b.t seg)
+
+let test_detach_last_mirror_refused () =
+  (* Detaching the only live mirror would leave nothing to recover
+     from; the operation must refuse, and the survivor must keep
+     replicating. *)
+  let b, seg = with_db ~k:1 () in
+  (try
+     P.detach_mirror b.t ~node_id:1;
+     Alcotest.fail "detached the last live mirror"
+   with Failure _ -> ());
+  check_int "mirror still live" 1 (P.mirror_count b.t);
+  commit_random b seg 'w';
+  check_i64 "still replicating" (P.checksum b.t seg) (P.mirror_checksum b.t seg);
+  (* With a replacement attached the same detach becomes legal. *)
+  P.attach_mirror b.t ~server:(Netram.Server.create (Cluster.node b.cluster (spare_id b)));
+  P.detach_mirror b.t ~node_id:1;
+  check_int "replacement carries on alone" 1 (P.mirror_count b.t);
+  commit_random b seg 'x';
+  check_i64 "replacement tracks commits" (P.checksum b.t seg) (P.mirror_checksum b.t seg)
+
 let test_highest_epoch_wins () =
   (* Crash between the two epoch writes of a 2-mirror commit: mirror 0
      believes the transaction committed, mirror 1 does not.  Recovery
@@ -345,6 +394,8 @@ let suite =
     ("attach_mirror grows the set", `Quick, test_attach_mirror_grows_set);
     ("attach duplicate rejected", `Quick, test_attach_duplicate_rejected);
     ("detach_mirror", `Quick, test_detach_mirror);
+    ("membership frozen during open transaction", `Quick, test_membership_guards_during_txn);
+    ("last live mirror cannot be detached", `Quick, test_detach_last_mirror_refused);
     ("highest epoch wins at recovery", `Quick, test_highest_epoch_wins);
     ("recovery reattaches surviving mirrors", `Quick, test_recovery_reattaches_survivors);
     ("crash atomicity, two mirrors, every cut", `Slow, test_crash_atomicity_two_mirrors);
