@@ -2,9 +2,10 @@
    the paper's evaluation (see DESIGN.md's experiment index).
 
    Usage:
-     dune exec bench/main.exe                 # all experiments
+     dune exec bench/main.exe                 # all experiments + BENCH_latency.json
      dune exec bench/main.exe -- fig6 table1  # a subset
      dune exec bench/main.exe -- --list
+     dune exec bench/main.exe -- --latency    # BENCH_latency.json only
      dune exec bench/main.exe -- --bechamel   # wall-clock micro-benches *)
 
 let list_experiments () =
@@ -13,13 +14,39 @@ let list_experiments () =
     (fun (name, descr, _) -> Printf.printf "  %-18s %s\n" name descr)
     Harness.Experiments.names
 
+(* Machine-readable latency baseline for future perf PRs: virtual tps
+   and per-phase mean latency of the standard mixes on one mirror. *)
+let bench_latency ?(path = "BENCH_latency.json") () =
+  let entries =
+    List.map
+      (fun mix ->
+        let r, _sink = Harness.Experiments.traced_run ~mix ~mirrors:1 ~warmup:200 ~iters:2000 in
+        let phases =
+          String.concat ", "
+            (List.map
+               (fun (p : Trace.phase_stat) -> Printf.sprintf "%S: %.4f" p.phase p.mean_us)
+               r.Harness.Measure.phases)
+        in
+        Printf.sprintf
+          "  %S: { \"tps\": %.1f, \"mean_us\": %.4f, \"p99_us\": %.4f, \"phase_mean_us\": { %s } }"
+          (Harness.Experiments.mix_label mix)
+          r.Harness.Measure.tps r.Harness.Measure.mean_us r.Harness.Measure.p99_us phases)
+      Harness.Experiments.latency_mixes
+  in
+  let oc = open_out path in
+  output_string oc ("{\n" ^ String.concat ",\n" entries ^ "\n}\n");
+  close_out oc;
+  Printf.printf "wrote %s\n" path
+
 let () =
   let args = List.tl (Array.to_list Sys.argv) in
   match args with
   | [] ->
       Harness.Experiments.all ();
+      bench_latency ();
       print_endline "\nAll experiments done; CSVs are under results/."
   | [ "--list" ] -> list_experiments ()
+  | [ "--latency" ] -> bench_latency ()
   | [ "--bechamel" ] -> Bechamel_suite.run ()
   | names ->
       List.iter

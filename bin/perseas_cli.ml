@@ -104,37 +104,13 @@ let instance_of = function
   | "remote-wal" -> Harness.Testbed.remote_wal_instance ()
   | other -> invalid_arg other
 
-let replicated_perseas_instance k : Harness.Testbed.instance =
-  let clock = Sim.Clock.create () in
-  let dram = 64 * 1024 * 1024 in
-  let specs =
-    Cluster.spec ~dram_size:dram ~power_supply:0 "primary"
-    :: List.init k (fun i ->
-           Cluster.spec ~dram_size:dram ~power_supply:(i + 1) (Printf.sprintf "mirror%d" i))
-  in
-  let cluster = Cluster.create ~clock specs in
-  let clients =
-    List.init k (fun i ->
-        Netram.Client.create ~cluster ~local:0
-          ~server:(Netram.Server.create (Cluster.node cluster (i + 1))))
-  in
-  let engine = Perseas.init_replicated clients in
-  (module struct
-    module E = Perseas.Engine
-
-    let engine = engine
-    let clock = clock
-    let label = Printf.sprintf "PERSEAS(x%d)" k
-    let finish () = ()
-  end)
-
 let workload_cmd =
   let run verbose engine workload iters warmup tx_size mirrors histogram =
     setup_logs verbose;
     if iters <= 0 || warmup < 0 then `Error (false, "iters must be positive")
     else begin
       let ((module I : Harness.Testbed.INSTANCE) as inst) =
-        if engine = "perseas" && mirrors > 1 then replicated_perseas_instance mirrors
+        if engine = "perseas" && mirrors > 1 then Harness.Testbed.replicated_instance ~mirrors ()
         else instance_of engine
       in
       let hist = Sim.Stats.Histogram.create ~buckets_per_decade:3 () in
@@ -407,11 +383,130 @@ let churn_cmd =
        $ pause_fraction))
 
 (* ------------------------------------------------------------------ *)
+(* trace                                                                *)
+
+let mix_arg =
+  let all = List.map (fun m -> (Harness.Experiments.mix_label m, m)) Harness.Experiments.latency_mixes in
+  let doc = "Workload: " ^ String.concat ", " (List.map fst all) ^ "." in
+  Arg.(value & pos 0 (enum all) Harness.Experiments.Debit_credit_mix & info [] ~docv:"WORKLOAD" ~doc)
+
+let trace_cmd =
+  let out_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "o"; "out" ]
+          ~doc:"Perfetto JSON output path (default results/trace_$(i,WORKLOAD).json).")
+  in
+  let csv_out_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "csv" ] ~doc:"Per-phase CSV output path (default results/trace_$(i,WORKLOAD)_phases.csv).")
+  in
+  let trace_iters = Arg.(value & opt int 500 & info [ "n"; "iters" ] ~doc:"Measured transactions.") in
+  let trace_warmup = Arg.(value & opt int 50 & info [ "warmup" ] ~doc:"Unmeasured warmup transactions.") in
+  let run verbose mix mirrors iters warmup out csv_out =
+    setup_logs verbose;
+    if iters <= 0 || warmup < 0 then `Error (false, "iters must be positive")
+    else if mirrors < 1 then `Error (false, "mirrors must be positive")
+    else begin
+      let label = Harness.Experiments.mix_label mix in
+      let r, sink = Harness.Experiments.traced_run ~mix ~mirrors ~warmup ~iters in
+      let json_path =
+        Option.value out ~default:(Filename.concat "results" ("trace_" ^ label ^ ".json"))
+      in
+      Trace.Export.chrome_json_to_file ~path:json_path ~spans:(Trace.Sink.spans sink)
+        ~events:(Trace.Sink.events sink);
+      let header = Trace.Export.phase_csv_header in
+      let rows = Trace.Export.phase_csv_rows r.Harness.Measure.phases in
+      let csv_path =
+        Option.value csv_out ~default:(Filename.concat "results" ("trace_" ^ label ^ "_phases.csv"))
+      in
+      Harness.Table.print
+        ~title:(Printf.sprintf "%s, %d mirror(s): per-phase breakdown of %d transactions" label mirrors iters)
+        ~header rows;
+      Harness.Table.save_csv ~path:csv_path ~header rows;
+      (* The taxonomy's soundness check: the txn-phase spans partition
+         the measured window, so their sum must equal its extent. *)
+      let phase_sum_us =
+        List.fold_left (fun acc p -> acc +. p.Trace.total_us) 0. r.Harness.Measure.phases
+      in
+      let elapsed_us = Sim.Time.to_us r.Harness.Measure.elapsed in
+      let drift = abs_float (phase_sum_us -. elapsed_us) /. elapsed_us in
+      Printf.printf
+        "%s: %.0f tps; phase sum %.1f us vs end-to-end %.1f us (drift %.3f%%)\n%d spans and %d \
+         events -> %s (open in ui.perfetto.dev)\n"
+        label r.Harness.Measure.tps phase_sum_us elapsed_us (100. *. drift)
+        (Trace.Sink.span_count sink) (Trace.Sink.event_count sink) json_path;
+      if drift > 0.01 then
+        `Error (false, "phase spans do not account for the measured window (drift > 1%)")
+      else `Ok ()
+    end
+  in
+  let doc =
+    "Trace one workload phase by phase and export Perfetto JSON plus a per-phase CSV breakdown."
+  in
+  Cmd.v (Cmd.info "trace" ~doc)
+    Term.(
+      ret (const run $ verbose $ mix_arg $ mirrors_arg $ trace_iters $ trace_warmup $ out_arg
+         $ csv_out_arg))
+
+(* ------------------------------------------------------------------ *)
+(* stats                                                                *)
+
+let stats_cmd =
+  let stats_iters = Arg.(value & opt int 1000 & info [ "n"; "iters" ] ~doc:"Transactions to run.") in
+  let pretty_arg =
+    Arg.(value & flag & info [ "pretty" ] ~doc:"Human-readable table instead of JSON.")
+  in
+  let run verbose mix mirrors iters pretty =
+    setup_logs verbose;
+    if iters <= 0 then `Error (false, "iters must be positive")
+    else if mirrors < 1 then `Error (false, "mirrors must be positive")
+    else begin
+      let bed = Harness.Testbed.replicated_bed ~mirrors () in
+      let t = bed.perseas in
+      (match mix with
+      | Harness.Experiments.Debit_credit_mix ->
+          let module W = Workloads.Debit_credit.Make (Perseas.Engine) in
+          let rng = Sim.Rng.create 7 in
+          let db = W.setup t ~params:Workloads.Debit_credit.small_params in
+          for _ = 1 to iters do
+            W.transaction db rng
+          done
+      | Harness.Experiments.Large_update_mix ->
+          let module S = Workloads.Synthetic.Make (Perseas.Engine) in
+          let rng = Sim.Rng.create 42 in
+          let db = S.setup t ~db_size:(8 * 1024 * 1024) in
+          for _ = 1 to iters do
+            S.transaction db rng ~tx_size:(16 * 1024)
+          done);
+      let stats = Perseas.stats t in
+      if pretty then Format.printf "%a@." Perseas.pp_stats stats
+      else print_endline (Perseas.stats_to_json stats);
+      `Ok ()
+    end
+  in
+  let doc = "Run a workload and emit the engine's statistics counters as JSON." in
+  Cmd.v (Cmd.info "stats" ~doc)
+    Term.(ret (const run $ verbose $ mix_arg $ mirrors_arg $ stats_iters $ pretty_arg))
+
+(* ------------------------------------------------------------------ *)
 
 let main =
   let doc = "PERSEAS: lightweight transactions on networks of workstations (ICDCS 1998)" in
   let info = Cmd.info "perseas_cli" ~version:"1.0.0" ~doc in
   Cmd.group info
-    [ experiments_cmd; workload_cmd; availability_cmd; crash_demo_cmd; crash_sweep_cmd; churn_cmd ]
+    [
+      experiments_cmd;
+      workload_cmd;
+      trace_cmd;
+      stats_cmd;
+      availability_cmd;
+      crash_demo_cmd;
+      crash_sweep_cmd;
+      churn_cmd;
+    ]
 
 let () = exit (Cmd.eval main)

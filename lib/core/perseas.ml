@@ -79,6 +79,9 @@ type t = {
   mutable ready : bool;
   mutable active : txn option;
   mutable hook : (unit -> unit) option;
+  mutable sink : Trace.Sink.t;
+      (* Pure observer: span emission reads the clock but never
+         advances it, so sink on/off runs are byte-identical. *)
   retired : (int, int64) Hashtbl.t;
       (* node id -> last epoch confirmed on that ex-mirror, the basis
          for incremental resync when the node's server comes back *)
@@ -116,6 +119,32 @@ let params t = Sci.Nic.params (Cluster.nic t.cluster)
 let charge_local_copy t len =
   Clock.advance (clock t) (Sci.Model.local_copy (params t) len);
   t.st_local_copy_bytes <- t.st_local_copy_bytes + len
+
+(* Wiring one sink here also attaches it to the cluster's NIC, so a
+   single call traces the whole stack: transaction phases from this
+   module, per-packet events from {!Sci.Nic}, rpc events from
+   {!Netram.Client}. *)
+let set_sink t sink =
+  t.sink <- sink;
+  Sci.Nic.set_sink (Cluster.nic t.cluster) sink
+
+let sink t = t.sink
+
+(* Record [f]'s virtual-time extent as one span.  The span is emitted
+   even when [f] raises (mirror loss mid-phase) so per-phase sums still
+   equal end-to-end latency on failure paths. *)
+let traced t ?(cat = "txn") ?args ~name f =
+  if not (Trace.Sink.enabled t.sink) then f ()
+  else begin
+    let start = Clock.now (clock t) in
+    match f () with
+    | r ->
+        Trace.Sink.span ?args t.sink ~cat ~name ~start ~stop:(Clock.now (clock t));
+        r
+    | exception e ->
+        Trace.Sink.span ?args t.sink ~cat ~name ~start ~stop:(Clock.now (clock t));
+        raise e
+  end
 
 let alloc_local t ?(align = 64) size what =
   match Mem.Allocator.alloc (Node.allocator (local_node t)) ~align size with
@@ -220,6 +249,7 @@ let init_replicated ?(config = default_config) clients =
       ready = false;
       active = None;
       hook = None;
+      sink = Trace.Sink.noop;
       retired = Hashtbl.create 8;
       dirty = [];
       dirty_count = 0;
@@ -322,7 +352,7 @@ let plan_epoch_write t m =
 let begin_transaction t =
   if not t.ready then failwith "Perseas.begin_transaction: call init_remote_db first";
   (match t.active with Some _ -> failwith "Perseas.begin_transaction: transaction already open" | None -> ());
-  Clock.advance (clock t) t_begin;
+  traced t ~name:"begin" (fun () -> Clock.advance (clock t) t_begin);
   let txn = { owner = t; ranges = []; tail = 0; open_ = true } in
   t.active <- Some txn;
   t.st_begun <- t.st_begun + 1;
@@ -393,7 +423,7 @@ let guard_mirror_loss txn f =
   try f ()
   with All_mirrors_lost ->
     let t = txn.owner in
-    rollback_local txn;
+    traced t ~name:"abort" ~args:[ ("reason", "all_mirrors_lost") ] (fun () -> rollback_local txn);
     t.st_aborted <- t.st_aborted + 1;
     close txn;
     Log.warn (fun k ->
@@ -406,24 +436,26 @@ let set_range txn seg ~off ~len =
   check_seg_range seg ~off ~len "set_range";
   if len = 0 then invalid_arg "Perseas.set_range: empty range";
   let t = txn.owner in
-  Clock.advance (clock t) t_set_range;
+  traced t ~name:"set_range" (fun () -> Clock.advance (clock t) t_set_range);
   let record_len = Layout.undo_header_size + len in
   if txn.tail + record_len > t.config.undo_capacity then raise Undo_overflow;
   let image = local_dram t in
-  (* Figure 3, step 1: before-image into the local undo log. *)
-  let payload = Mem.Image.read_bytes image ~off:(Mem.Segment.base seg.local + off) ~len in
-  let record =
-    Layout.encode_undo { Layout.epoch = t.epoch; seg_index = seg.index; off; len } ~payload
-  in
   let slot = txn.tail in
-  Mem.Image.write_bytes image ~off:(Mem.Segment.base t.undo_local + slot) record;
-  charge_local_copy t record_len;
+  (* Figure 3, step 1: before-image into the local undo log. *)
+  traced t ~name:"local_undo" (fun () ->
+      let payload = Mem.Image.read_bytes image ~off:(Mem.Segment.base seg.local + off) ~len in
+      let record =
+        Layout.encode_undo { Layout.epoch = t.epoch; seg_index = seg.index; off; len } ~payload
+      in
+      Mem.Image.write_bytes image ~off:(Mem.Segment.base t.undo_local + slot) record;
+      charge_local_copy t record_len);
   (* Figure 3, step 2: push the record to every remote undo log. *)
   guard_mirror_loss txn (fun () ->
-      each_live_mirror t (fun _ m ->
-          run_plan t
-            (Client.plan_write m.m_client ~widen:t.config.optimized_memcpy m.m_undo ~seg_off:slot
-               ~src_off:(Mem.Segment.base t.undo_local + slot) ~len:record_len)));
+      each_live_mirror t (fun i m ->
+          traced t ~name:"remote_undo" ~args:[ ("mirror", string_of_int i) ] (fun () ->
+              run_plan t
+                (Client.plan_write m.m_client ~widen:t.config.optimized_memcpy m.m_undo
+                   ~seg_off:slot ~src_off:(Mem.Segment.base t.undo_local + slot) ~len:record_len))));
   txn.ranges <-
     { r_seg = seg; r_off = off; r_len = len; staging_off = slot + Layout.undo_header_size }
     :: txn.ranges;
@@ -442,14 +474,18 @@ let data_plans_for txn i m =
 let commit txn =
   check_open txn "commit";
   let t = txn.owner in
-  Clock.advance (clock t) t_commit;
+  traced t ~name:"commit" (fun () -> Clock.advance (clock t) t_commit);
   (* Figure 3, step 3: propagate updated ranges to every mirror, then
      bump the epoch everywhere — the per-mirror single-packet commit
      point. *)
   guard_mirror_loss txn (fun () ->
-      each_live_mirror t (fun i m -> List.iter (run_plan t) (data_plans_for txn i m));
+      each_live_mirror t (fun i m ->
+          traced t ~name:"commit_propagate" ~args:[ ("mirror", string_of_int i) ] (fun () ->
+              List.iter (run_plan t) (data_plans_for txn i m)));
       stage_epoch t (Int64.add t.epoch 1L);
-      each_live_mirror t (fun _ m -> run_plan t (plan_epoch_write t m)));
+      each_live_mirror t (fun i m ->
+          traced t ~name:"commit_fence" ~args:[ ("mirror", string_of_int i) ] (fun () ->
+              run_plan t (plan_epoch_write t m))));
   t.epoch <- Int64.add t.epoch 1L;
   note_dirty t ~tag:t.epoch txn.ranges;
   t.st_committed <- t.st_committed + 1;
@@ -473,7 +509,7 @@ let commit_packets txn =
 let abort txn =
   check_open txn "abort";
   let t = txn.owner in
-  rollback_local txn;
+  traced t ~name:"abort" (fun () -> rollback_local txn);
   t.st_aborted <- t.st_aborted + 1;
   close txn
 
@@ -492,7 +528,7 @@ let write t seg ~off data =
     | None -> failwith "Perseas.write: no open transaction"
   end;
   Mem.Image.write_bytes (local_dram t) ~off:(Mem.Segment.base seg.local + off) data;
-  charge_local_copy t len
+  traced t ~name:"in_place_write" (fun () -> charge_local_copy t len)
 
 let read t seg ~off ~len =
   check_seg_range seg ~off ~len "read";
@@ -558,6 +594,33 @@ let stats t =
     mirrors_recruited = t.st_mirrors_recruited;
     resync_bytes = t.st_resync_bytes;
   }
+
+let stats_fields (s : stats) =
+  [
+    ("begun", s.begun);
+    ("committed", s.committed);
+    ("aborted", s.aborted);
+    ("set_ranges", s.set_ranges);
+    ("undo_bytes_logged", s.undo_bytes_logged);
+    ("local_copy_bytes", s.local_copy_bytes);
+    ("mirrors_lost", s.mirrors_lost);
+    ("mirrors_recruited", s.mirrors_recruited);
+    ("resync_bytes", s.resync_bytes);
+  ]
+
+let pp_stats ppf s =
+  Fmt.pf ppf "@[<v>";
+  List.iteri
+    (fun i (k, v) ->
+      if i > 0 then Fmt.cut ppf ();
+      Fmt.pf ppf "%-18s %d" k v)
+    (stats_fields s);
+  Fmt.pf ppf "@]"
+
+let stats_to_json s =
+  "{ "
+  ^ String.concat ", " (List.map (fun (k, v) -> Printf.sprintf "%S: %d" k v) (stats_fields s))
+  ^ " }"
 
 (* ------------------------------------------------------------------ *)
 (* Mirror management                                                    *)
@@ -705,6 +768,7 @@ let do_attach ~op ~allow_incremental t ~server =
       t.segs
   in
   try
+    traced t ~cat:"mirror" ~name:"resync" ~args:[ ("node", string_of_int node_id) ] @@ fun () ->
     let report =
       match incremental with
       | Some (s, (meta, undo, handles)) ->
@@ -825,11 +889,24 @@ let probe_server ~cluster ~local ~ns server =
         if Layout.read_meta_magic header <> Layout.meta_magic then None
         else Some (client, meta, Layout.read_epoch header)
 
-let recover_replicated ?(config = default_config) ?on_repair ~cluster ~local ~servers () =
+let recover_replicated ?(config = default_config) ?(sink = Trace.Sink.noop) ?on_repair ~cluster
+    ~local ~servers () =
   if servers = [] then invalid_arg "Perseas.recover: no candidate servers";
+  (* Recovery phases are traced as contiguous [recovery] spans: each
+     [mark] closes the phase that began where the previous one ended,
+     so the four spans partition recovery's whole virtual extent. *)
+  let phase_start = ref (Clock.now (Cluster.clock cluster)) in
+  let mark name =
+    if Trace.Sink.enabled sink then begin
+      let stop = Clock.now (Cluster.clock cluster) in
+      Trace.Sink.span sink ~cat:"recovery" ~name ~start:!phase_start ~stop;
+      phase_start := stop
+    end
+  in
   let candidates =
     List.filter_map (probe_server ~cluster ~local ~ns:config.namespace) servers
   in
+  mark "probe";
   (* Trust the mirror that reached the highest epoch: it is the only
      one that may have seen the latest commit point.  A candidate whose
      metadata turns out to be unusable (e.g. a fresh mirror that was
@@ -950,6 +1027,7 @@ let recover_replicated ?(config = default_config) ?on_repair ~cluster ~local ~se
   let new_epoch = Int64.add current_epoch 1L in
   Mem.Image.write_u64 remote_image (Remote_segment.base meta_remote + Layout.epoch_offset) new_epoch;
   Clock.advance (Cluster.clock cluster) (Sci.Model.local_copy p 8);
+  mark "repair";
   (* Build the new library instance and fetch every segment with one
      remote-to-local copy (paper, end of section 3). *)
   let t =
@@ -965,6 +1043,7 @@ let recover_replicated ?(config = default_config) ?on_repair ~cluster ~local ~se
       ready = true;
       active = None;
       hook = None;
+      sink;
       retired = Hashtbl.create 8;
       dirty = [];
       dirty_count = 0;
@@ -991,6 +1070,7 @@ let recover_replicated ?(config = default_config) ?on_repair ~cluster ~local ~se
            Client.read client handle ~seg_off:0 ~dst_off:(Mem.Segment.base local) ~len:size;
            { seg_name = name; index; size; local; remotes = [| handle |] })
          remotes);
+  mark "fetch_db";
   (* Re-establish the remaining mirrors: the survivors may be behind
      (their epoch writes were cut by the crash), so they get a full
      resync — which attach_mirror performs. *)
@@ -1004,10 +1084,11 @@ let recover_replicated ?(config = default_config) ?on_repair ~cluster ~local ~se
               k "could not re-attach mirror on node %d during recovery: %s"
                 (Node.id (Netram.Server.node s)) msg))
     servers;
+  mark "resync_mirrors";
   t
 
-let recover ?config ?on_repair ~cluster ~local ~server () =
-  recover_replicated ?config ?on_repair ~cluster ~local ~servers:[ server ] ()
+let recover ?config ?sink ?on_repair ~cluster ~local ~server () =
+  recover_replicated ?config ?sink ?on_repair ~cluster ~local ~servers:[ server ] ()
 
 (* ------------------------------------------------------------------ *)
 (* Archive: graceful shutdown to stable storage (paper, section 1:
@@ -1107,7 +1188,30 @@ module Supervisor = struct
   }
 
   let now sup = Clock.now (clock sup.db)
-  let push sup e = sup.events <- e :: sup.events
+
+  let push sup e =
+    sup.events <- e :: sup.events;
+    let sink = sup.db.sink in
+    if Trace.Sink.enabled sink then begin
+      match e with
+      | Mirror_lost { at; node_id } ->
+          Trace.Sink.instant sink ~cat:"supervisor" ~name:"mirror_lost" ~at
+            ~args:[ ("node", string_of_int node_id) ]
+      | Recruited { at; node_id; report } ->
+          Trace.Sink.instant sink ~cat:"supervisor" ~name:"recruited" ~at
+            ~args:
+              [
+                ("node", string_of_int node_id);
+                ("mode", (match report.mode with Full -> "full" | Incremental -> "incremental"));
+                ("bytes", string_of_int report.bytes_copied);
+              ]
+      | Attempt_failed { at; node_id; attempt; reason } ->
+          Trace.Sink.instant sink ~cat:"supervisor" ~name:"attempt_failed" ~at
+            ~args:[ ("node", string_of_int node_id); ("attempt", string_of_int attempt); ("reason", reason) ]
+      | Gave_up { at; node_id; attempts } ->
+          Trace.Sink.instant sink ~cat:"supervisor" ~name:"gave_up" ~at
+            ~args:[ ("node", string_of_int node_id); ("attempts", string_of_int attempts) ]
+    end
 
   let create ?(policy = default_policy) ?target ?(spares = []) db =
     if policy.max_attempts <= 0 then invalid_arg "Supervisor.create: max_attempts must be positive";

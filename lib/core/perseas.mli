@@ -222,6 +222,7 @@ val verify_mirrors : t -> (string * int) list
 
 val recover :
   ?config:config ->
+  ?sink:Trace.Sink.t ->
   ?on_repair:(name:string -> len:int -> unit) ->
   cluster:Cluster.t ->
   local:int ->
@@ -241,6 +242,7 @@ val recover :
 
 val recover_replicated :
   ?config:config ->
+  ?sink:Trace.Sink.t ->
   ?on_repair:(name:string -> len:int -> unit) ->
   cluster:Cluster.t ->
   local:int ->
@@ -254,7 +256,12 @@ val recover_replicated :
     a full copy.  A best-epoch candidate whose metadata cannot be
     parsed (e.g. it died mid-[attach_mirror] resync) is skipped in
     favour of the next-best intact copy.  Raises [Failure] when no
-    candidate holds a recoverable database. *)
+    candidate holds a recoverable database.
+
+    [sink] traces recovery as four contiguous [recovery]-category spans
+    — [probe], [repair], [fetch_db], [resync_mirrors] — partitioning
+    its whole virtual extent, and becomes the rebuilt instance's trace
+    sink (see {!set_sink}). *)
 
 (** {1 Archive}
 
@@ -303,6 +310,37 @@ type stats = {
 }
 
 val stats : t -> stats
+
+val pp_stats : Format.formatter -> stats -> unit
+(** One [name value] line per counter. *)
+
+val stats_to_json : stats -> string
+(** The counters as one flat JSON object (key order fixed, matching
+    {!pp_stats}). *)
+
+(** {1 Tracing}
+
+    Phase-level spans against virtual time, for the latency-breakdown
+    experiments and Perfetto visualisation.  The sink is a pure
+    observer: it reads the clock but never advances it, so runs with
+    tracing on and off are byte-identical in packet counts, statistics
+    and final virtual time.
+
+    Span taxonomy (category [txn], one leaf span per clock charge, so
+    per-phase sums equal end-to-end transaction latency): [begin],
+    [set_range], [local_undo], [remote_undo] (one per mirror, arg
+    [mirror]), [in_place_write], [commit], [commit_propagate] and
+    [commit_fence] (one per mirror each), [abort].  Mirror resyncs emit
+    a [mirror]/[resync] span; {!Supervisor} events mirror as
+    [supervisor]-category instants; {!recover_replicated} emits
+    [recovery]-category phase spans. *)
+
+val set_sink : t -> Trace.Sink.t -> unit
+(** Attach a trace sink to this instance {e and} to the cluster's NIC
+    (so per-packet [sci] events and [netram] rpc events land in the
+    same sink).  Pass {!Trace.Sink.noop} to disable. *)
+
+val sink : t -> Trace.Sink.t
 
 (** {1 Self-healing supervision}
 

@@ -738,6 +738,58 @@ let churn () =
      killing the primary"
 
 (* ------------------------------------------------------------------ *)
+(* R6: phase-level latency breakdown                                    *)
+
+type latency_mix = Debit_credit_mix | Large_update_mix
+
+let latency_mixes = [ Debit_credit_mix; Large_update_mix ]
+let mix_label = function Debit_credit_mix -> "debit-credit" | Large_update_mix -> "large-update"
+
+let traced_run ~mix ~mirrors ~warmup ~iters =
+  let bed = Testbed.replicated_bed ~mirrors () in
+  let t = bed.perseas in
+  let tx =
+    match mix with
+    | Debit_credit_mix ->
+        let module W = Workloads.Debit_credit.Make (Perseas.Engine) in
+        let rng = Rng.create 7 in
+        let db = W.setup t ~params:Workloads.Debit_credit.small_params in
+        fun _ -> W.transaction db rng
+    | Large_update_mix ->
+        let module S = Workloads.Synthetic.Make (Perseas.Engine) in
+        let rng = Rng.create 42 in
+        let db = S.setup t ~db_size:(mb 8) in
+        fun _ -> S.transaction db rng ~tx_size:(kb 16)
+  in
+  (* Attach the sink only after setup, so its memory holds the run
+     itself; Measure's cursor then scopes the breakdown to the
+     measured window. *)
+  let sink = Trace.Sink.memory () in
+  Perseas.set_sink t sink;
+  (Measure.run ~clock:bed.clock ~sink ~warmup ~iters tx, sink)
+
+let latency_breakdown () =
+  let header = "workload" :: "mirrors" :: "tps" :: Trace.Export.phase_csv_header in
+  let rows =
+    List.concat_map
+      (fun mix ->
+        List.concat_map
+          (fun mirrors ->
+            let r, _sink = traced_run ~mix ~mirrors ~warmup:200 ~iters:2000 in
+            List.map
+              (fun row -> mix_label mix :: string_of_int mirrors :: Table.fmt_tps r.Measure.tps :: row)
+              (Trace.Export.phase_csv_rows r.Measure.phases))
+          [ 1; 2; 3 ])
+      latency_mixes
+  in
+  Table.print
+    ~title:
+      "Latency breakdown: virtual microseconds per transaction phase (phases sum to end-to-end \
+       latency)"
+    ~header rows;
+  Table.save_csv ~path:(csv_path "latency_breakdown") ~header rows
+
+(* ------------------------------------------------------------------ *)
 
 let names =
   [
@@ -759,6 +811,7 @@ let names =
     ("trend", "Technology-trend projection: the gap widens", trend);
     ("paging", "Remote-memory paging vs disk swap", paging);
     ("datastores", "Transactional hash map and B+-tree ops/s", datastores);
+    ("latency-breakdown", "Per-phase transaction latency from traces", latency_breakdown);
   ]
 
 let all () = List.iter (fun (_, _, run) -> run ()) names

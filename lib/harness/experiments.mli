@@ -78,6 +78,24 @@ val datastores : unit -> unit
 (** Application-layer cost: transactional hash-map and B+-tree
     operation rates on PERSEAS vs Vista. *)
 
+type latency_mix = Debit_credit_mix | Large_update_mix
+
+val latency_mixes : latency_mix list
+val mix_label : latency_mix -> string
+
+val traced_run :
+  mix:latency_mix -> mirrors:int -> warmup:int -> iters:int -> Measure.result * Trace.Sink.t
+(** Run one workload mix on a fresh [mirrors]-way testbed with a memory
+    trace sink attached; [result.phases] holds the per-phase breakdown
+    of the measured window, and the returned sink holds every span and
+    event of the run (warmup included) for export. *)
+
+val latency_breakdown : unit -> unit
+(** R6: where the microseconds of a transaction go — per-phase virtual
+    latency (from [txn] spans) for debit-credit and large-update mixes
+    at 1–3 mirrors; the phase sums equal end-to-end latency.  Writes
+    [results/latency_breakdown.csv]. *)
+
 val names : (string * string * (unit -> unit)) list
 (** [(cli-name, description, run)] for every experiment. *)
 

@@ -7,15 +7,19 @@ type result = {
   p99_us : float;
   elapsed : Time.t;
   iters : int;
+  phases : Trace.phase_stat list;
 }
 
-let run ~clock ?(finish = fun () -> ()) ~warmup ~iters tx =
+let run ~clock ?(sink = Trace.Sink.noop) ?(finish = fun () -> ()) ~warmup ~iters tx =
   if iters <= 0 then invalid_arg "Measure.run: iters must be positive";
   for i = 0 to warmup - 1 do
     tx i
   done;
   finish ();
   let series = Stats.Series.create () in
+  (* Cursor into the sink so the breakdown covers exactly the measured
+     window — warmup spans are excluded. *)
+  let mark = Trace.Sink.span_count sink in
   let t0 = Clock.now clock in
   for i = 0 to iters - 1 do
     let s = Clock.now clock in
@@ -24,6 +28,9 @@ let run ~clock ?(finish = fun () -> ()) ~warmup ~iters tx =
   done;
   finish ();
   let elapsed = Clock.now clock - t0 in
+  let phases =
+    if Trace.Sink.enabled sink then Trace.breakdown (Trace.Sink.spans_since sink mark) else []
+  in
   {
     tps = float_of_int iters /. Time.to_s elapsed;
     mean_us = Stats.Series.mean series;
@@ -31,6 +38,7 @@ let run ~clock ?(finish = fun () -> ()) ~warmup ~iters tx =
     p99_us = Stats.Series.percentile series 99.;
     elapsed;
     iters;
+    phases;
   }
 
 let pp_result ppf r =

@@ -12,12 +12,25 @@ type result = {
   p99_us : float;
   elapsed : Time.t;  (** Total virtual time of the measured phase. *)
   iters : int;
+  phases : Trace.phase_stat list;
+      (** Per-phase latency breakdown of the measured window, from the
+          spans [sink] collected — empty without a [sink]. *)
 }
 
-val run : clock:Clock.t -> ?finish:(unit -> unit) -> warmup:int -> iters:int -> (int -> unit) -> result
+val run :
+  clock:Clock.t ->
+  ?sink:Trace.Sink.t ->
+  ?finish:(unit -> unit) ->
+  warmup:int ->
+  iters:int ->
+  (int -> unit) ->
+  result
 (** [run ~clock ~warmup ~iters tx] executes [tx i] for [warmup] rounds
     unmeasured, then [iters] measured rounds (with per-transaction
     latencies), calling [finish] before reading the final clock so
-    buffered work (group commit) is accounted. *)
+    buffered work (group commit) is accounted.  Pass a memory [sink]
+    (already attached to the engine, e.g. via {!Perseas.set_sink}) to
+    get the per-phase breakdown of the measured window in [phases];
+    warmup spans are excluded by cursor, not by clearing the sink. *)
 
 val pp_result : Format.formatter -> result -> unit

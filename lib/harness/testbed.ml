@@ -37,6 +37,38 @@ let perseas_bed ?config ?params ?(dram_mb = 64) () =
   let client = Netram.Client.create ~cluster ~local:0 ~server in
   { clock; cluster; server; perseas = Perseas.init ?config client }
 
+type replicated_bed = {
+  clock : Clock.t;
+  cluster : Cluster.t;
+  servers : Netram.Server.t list;
+  perseas : Perseas.t;
+}
+
+let replicated_bed ?config ?params ?(dram_mb = 64) ~mirrors () =
+  if mirrors < 1 then invalid_arg "Testbed.replicated_bed: at least one mirror";
+  let clock = Clock.create () in
+  let specs =
+    Cluster.spec ~dram_size:(mb dram_mb) ~power_supply:0 "primary"
+    :: List.init mirrors (fun i ->
+           Cluster.spec ~dram_size:(mb dram_mb) ~power_supply:(i + 1)
+             (Printf.sprintf "mirror%d" i))
+  in
+  let cluster = Cluster.create ?params ~clock specs in
+  let servers = List.init mirrors (fun i -> Netram.Server.create (Cluster.node cluster (i + 1))) in
+  let clients = List.map (fun server -> Netram.Client.create ~cluster ~local:0 ~server) servers in
+  { clock; cluster; servers; perseas = Perseas.init_replicated ?config clients }
+
+let replicated_instance ?config ?dram_mb ~mirrors () : instance =
+  let bed = replicated_bed ?config ?dram_mb ~mirrors () in
+  (module struct
+    module E = Perseas.Engine
+
+    let engine = bed.perseas
+    let clock = bed.clock
+    let label = Printf.sprintf "PERSEAS-%dm" mirrors
+    let finish () = ()
+  end)
+
 let perseas_instance ?config ?dram_mb () : instance =
   let bed = perseas_bed ?config ?dram_mb () in
   (module struct

@@ -42,6 +42,22 @@ val perseas_bed :
 
 val perseas_instance : ?config:Perseas.config -> ?dram_mb:int -> unit -> instance
 
+type replicated_bed = {
+  clock : Clock.t;
+  cluster : Cluster.t;
+  servers : Netram.Server.t list;  (** One memory server per mirror node. *)
+  perseas : Perseas.t;
+}
+
+val replicated_bed :
+  ?config:Perseas.config -> ?params:Sci.Params.t -> ?dram_mb:int -> mirrors:int -> unit -> replicated_bed
+(** Primary on node 0, [mirrors] mirror nodes after it, each on its own
+    power supply; the database is mirrored on all of them. *)
+
+val replicated_instance :
+  ?config:Perseas.config -> ?dram_mb:int -> mirrors:int -> unit -> instance
+(** Engine view of {!replicated_bed} (label ["PERSEAS-<k>m"]). *)
+
 (** {1 Baseline testbeds} *)
 
 val rvm_instance :

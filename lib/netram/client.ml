@@ -31,28 +31,38 @@ let rpc_time t =
   (* Request out, reply back around the ring, plus server handling. *)
   (2 * (p.t_base + p.t_pkt16)) + hop_extra + Time.us 2.0
 
-let charge_rpc t = Clock.advance (Cluster.clock t.cluster) (rpc_time t)
+(* Control round trips don't go through the packet-level NIC plans, so
+   they are traced here: one instant event per rpc, tagged with the
+   operation, distinguishing control traffic from the bulk data
+   movement the plans tag themselves. *)
+let charge_rpc t op =
+  let clock = Cluster.clock t.cluster in
+  Clock.advance clock (rpc_time t);
+  let sink = Sci.Nic.sink (Cluster.nic t.cluster) in
+  if Trace.Sink.enabled sink then
+    Trace.Sink.instant sink ~cat:"netram" ~name:"rpc" ~at:(Clock.now clock)
+      ~args:[ ("tag", "rpc"); ("op", op); ("server", string_of_int (Node.id (Server.node t.server))) ]
 
 (* One control round trip that answers "is the server there?" instead
    of raising: the cost is charged whether the reply comes back or the
    probe times out, so a failure detector pays for its vigilance. *)
 let ping t =
-  charge_rpc t;
+  charge_rpc t "ping";
   Server.is_alive t.server
 
 let malloc t ~name ~size =
   ensure_reachable t "malloc";
-  charge_rpc t;
+  charge_rpc t "malloc";
   Server.export t.server ~name ~size
 
 let free t handle =
   ensure_reachable t "free";
-  charge_rpc t;
+  charge_rpc t "free";
   Server.release t.server handle
 
 let connect t ~name =
   ensure_reachable t "connect";
-  charge_rpc t;
+  charge_rpc t "connect";
   Server.lookup t.server ~name
 
 let check_handle t (h : Remote_segment.t) op =
@@ -75,7 +85,7 @@ let remote_dram t = Node.dram (Server.node t.server)
 let do_plan_write ?window t (h : Remote_segment.t) ~seg_off ~src_off ~len =
   check_handle t h "write";
   check_range h ~seg_off ~len "write";
-  Sci.Nic.plan_write (Cluster.nic t.cluster) ~hops:(max 1 (hops t)) ?window
+  Sci.Nic.plan_write (Cluster.nic t.cluster) ~hops:(max 1 (hops t)) ~tag:"bulk" ?window
     ~src:(Node.dram (local_node t)) ~src_off ~dst:(remote_dram t)
     ~dst_off:(Remote_segment.base h + seg_off) ~len ()
 
@@ -92,7 +102,7 @@ let write_raw t h ~seg_off ~src_off ~len =
 let read_to_image t (h : Remote_segment.t) ~seg_off ~dst ~dst_off ~len =
   check_handle t h "read";
   check_range h ~seg_off ~len "read";
-  Sci.Nic.read (Cluster.nic t.cluster) ~hops:(max 1 (hops t)) ~src:(remote_dram t)
+  Sci.Nic.read (Cluster.nic t.cluster) ~hops:(max 1 (hops t)) ~tag:"bulk" ~src:(remote_dram t)
     ~src_off:(Remote_segment.base h + seg_off) ~dst ~dst_off ~len ()
 
 let read t h ~seg_off ~dst_off ~len =
@@ -101,11 +111,11 @@ let read t h ~seg_off ~dst_off ~len =
 let write_u64 t (h : Remote_segment.t) ~seg_off v =
   check_handle t h "write_u64";
   check_range h ~seg_off ~len:8 "write_u64";
-  Sci.Nic.write_u64 (Cluster.nic t.cluster) ~hops:(max 1 (hops t)) ~dst:(remote_dram t)
-    ~dst_off:(Remote_segment.base h + seg_off) v
+  Sci.Nic.write_u64 (Cluster.nic t.cluster) ~hops:(max 1 (hops t)) ~tag:"bulk"
+    ~dst:(remote_dram t) ~dst_off:(Remote_segment.base h + seg_off) v
 
 let read_u64 t (h : Remote_segment.t) ~seg_off =
   check_handle t h "read_u64";
   check_range h ~seg_off ~len:8 "read_u64";
-  Sci.Nic.read_u64 (Cluster.nic t.cluster) ~hops:(max 1 (hops t)) ~src:(remote_dram t)
-    ~src_off:(Remote_segment.base h + seg_off) ()
+  Sci.Nic.read_u64 (Cluster.nic t.cluster) ~hops:(max 1 (hops t)) ~tag:"bulk"
+    ~src:(remote_dram t) ~src_off:(Remote_segment.base h + seg_off) ()

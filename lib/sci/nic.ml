@@ -8,6 +8,9 @@ type t = {
   mutable packets16 : int;
   mutable bytes_written : int;
   mutable bytes_read : int;
+  mutable sink : Trace.Sink.t;
+      (* Pure observer: event emission never touches the clock or the
+         packet stream, so sink on/off runs are byte-identical. *)
 }
 
 type counters = {
@@ -22,10 +25,21 @@ let create ?(params = Params.default) clock =
   (match Params.validate params with
   | Ok () -> ()
   | Error msg -> invalid_arg ("Nic.create: invalid params: " ^ msg));
-  { params; clock; bursts = 0; packets64 = 0; packets16 = 0; bytes_written = 0; bytes_read = 0 }
+  {
+    params;
+    clock;
+    bursts = 0;
+    packets64 = 0;
+    packets16 = 0;
+    bytes_written = 0;
+    bytes_read = 0;
+    sink = Trace.Sink.noop;
+  }
 
 let params (t : t) = t.params
 let clock (t : t) = t.clock
+let set_sink (t : t) sink = t.sink <- sink
+let sink (t : t) = t.sink
 
 let counters (t : t) : counters =
   {
@@ -54,6 +68,8 @@ type step = {
   cost : Time.t;
   kind : Packet.kind;
   direction : direction;
+  streamed : bool; (* a Full64 after the first of its burst *)
+  tag : string; (* traffic class the caller declared, e.g. rpc vs bulk *)
 }
 
 type plan = { steps : step list; latency : Time.t; bytes : int }
@@ -95,7 +111,7 @@ let step_costs (p : Params.t) ~hops ~direction ~ends_on_last_word pkts =
       max Time.zero (packet_cost + extra - bonus))
     pkts
 
-let make_plan t ~hops ~direction ~src ~src_off ~dst ~dst_off ~off ~len =
+let make_plan t ~hops ~direction ~tag ~src ~src_off ~dst ~dst_off ~off ~len =
   if len < 0 then invalid_arg "Nic: negative length";
   if len = 0 then { steps = []; latency = Time.zero; bytes = 0 }
   else begin
@@ -103,10 +119,19 @@ let make_plan t ~hops ~direction ~src ~src_off ~dst ~dst_off ~off ~len =
     let pkts = Packet.of_range p ~off ~len in
     let ends = direction = Write && Packet.ends_on_last_word p ~off ~len in
     let costs = step_costs p ~hops ~direction ~ends_on_last_word:ends pkts in
+    let seen_full64 = ref false in
     let steps =
       List.map2
         (fun (pkt : Packet.t) cost ->
           let delta = pkt.addr - off in
+          let streamed =
+            match pkt.kind with
+            | Packet.Part16 -> false
+            | Packet.Full64 ->
+                let first = not !seen_full64 in
+                seen_full64 := true;
+                not first
+          in
           {
             src;
             src_off = src_off + delta;
@@ -116,6 +141,8 @@ let make_plan t ~hops ~direction ~src ~src_off ~dst ~dst_off ~off ~len =
             cost;
             kind = pkt.kind;
             direction;
+            streamed;
+            tag;
           })
         pkts costs
     in
@@ -123,7 +150,7 @@ let make_plan t ~hops ~direction ~src ~src_off ~dst ~dst_off ~off ~len =
     { steps; latency; bytes = len }
   end
 
-let plan_write t ?(hops = 1) ?window ~src ~src_off ~dst ~dst_off ~len () =
+let plan_write t ?(hops = 1) ?(tag = "data") ?window ~src ~src_off ~dst ~dst_off ~len () =
   let p = t.params in
   let dst_off', len' =
     match window with
@@ -136,11 +163,11 @@ let plan_write t ?(hops = 1) ?window ~src ~src_off ~dst ~dst_off ~len () =
   let src_off' = src_off + (dst_off' - dst_off) in
   (* Packetisation happens in destination (remote physical) address
      space: [off] below is the remote address of the first byte. *)
-  make_plan t ~hops ~direction:Write ~src ~src_off:src_off' ~dst ~dst_off:dst_off' ~off:dst_off'
-    ~len:len'
+  make_plan t ~hops ~direction:Write ~tag ~src ~src_off:src_off' ~dst ~dst_off:dst_off'
+    ~off:dst_off' ~len:len'
 
-let plan_read t ?(hops = 1) ~src ~src_off ~dst ~dst_off ~len () =
-  make_plan t ~hops ~direction:Read ~src ~src_off ~dst ~dst_off ~off:src_off ~len
+let plan_read t ?(hops = 1) ?(tag = "data") ~src ~src_off ~dst ~dst_off ~len () =
+  make_plan t ~hops ~direction:Read ~tag ~src ~src_off ~dst ~dst_off ~off:src_off ~len
 
 let plan_steps plan = plan.steps
 let plan_latency plan = plan.latency
@@ -153,26 +180,37 @@ let apply_step (t : t) step =
   (match step.kind with
   | Packet.Full64 -> t.packets64 <- t.packets64 + 1
   | Packet.Part16 -> t.packets16 <- t.packets16 + 1);
-  match step.direction with
+  (match step.direction with
   | Write -> t.bytes_written <- t.bytes_written + step.len
-  | Read -> t.bytes_read <- t.bytes_read + step.len
+  | Read -> t.bytes_read <- t.bytes_read + step.len);
+  if Trace.Sink.enabled t.sink then
+    Trace.Sink.instant t.sink ~cat:"sci"
+      ~name:(match step.kind with Packet.Full64 -> "pkt.full64" | Packet.Part16 -> "pkt.part16")
+      ~at:(Clock.now t.clock)
+      ~args:
+        [
+          ("tag", step.tag);
+          ("len", string_of_int step.len);
+          ("streamed", if step.streamed then "true" else "false");
+          ("dir", match step.direction with Write -> "write" | Read -> "read");
+        ]
 
 let run (t : t) plan =
   if plan.steps <> [] then t.bursts <- t.bursts + 1;
   List.iter (apply_step t) plan.steps
 
-let write t ?hops ?window ~src ~src_off ~dst ~dst_off ~len () =
-  run t (plan_write t ?hops ?window ~src ~src_off ~dst ~dst_off ~len ())
+let write t ?hops ?tag ?window ~src ~src_off ~dst ~dst_off ~len () =
+  run t (plan_write t ?hops ?tag ?window ~src ~src_off ~dst ~dst_off ~len ())
 
-let read t ?hops ~src ~src_off ~dst ~dst_off ~len () =
-  run t (plan_read t ?hops ~src ~src_off ~dst ~dst_off ~len ())
+let read t ?hops ?tag ~src ~src_off ~dst ~dst_off ~len () =
+  run t (plan_read t ?hops ?tag ~src ~src_off ~dst ~dst_off ~len ())
 
 let scratch = Mem.Image.create ~size:8
 
-let write_u64 t ?hops ~dst ~dst_off v =
+let write_u64 t ?hops ?tag ~dst ~dst_off v =
   Mem.Image.write_u64 scratch 0 v;
-  write t ?hops ~src:scratch ~src_off:0 ~dst ~dst_off ~len:8 ()
+  write t ?hops ?tag ~src:scratch ~src_off:0 ~dst ~dst_off ~len:8 ()
 
-let read_u64 t ?hops ~src ~src_off () =
-  read t ?hops ~src ~src_off ~dst:scratch ~dst_off:0 ~len:8 ();
+let read_u64 t ?hops ?tag ~src ~src_off () =
+  read t ?hops ?tag ~src ~src_off ~dst:scratch ~dst_off:0 ~len:8 ();
   Mem.Image.read_u64 scratch 0

@@ -26,6 +26,18 @@ val clock : t -> Clock.t
 val counters : t -> counters
 val reset_counters : t -> unit
 
+val set_sink : t -> Trace.Sink.t -> unit
+(** Attach a trace sink: {!apply_step} then emits one instant event
+    per packet ([pkt.full64] / [pkt.part16], category [sci]) with its
+    traffic [tag], payload [len], and whether the 64-byte packet was
+    [streamed] (overlapped behind the first of its burst, §4).  The
+    sink is a pure observer — it never advances the clock or changes
+    the packet stream — so runs with and without it are byte-identical
+    in counters and final virtual time.  Defaults to
+    {!Trace.Sink.noop}. *)
+
+val sink : t -> Trace.Sink.t
+
 (** {1 Transfer plans} *)
 
 type step
@@ -37,6 +49,7 @@ type plan
 val plan_write :
   t ->
   ?hops:int ->
+  ?tag:string ->
   ?window:Mem.Segment.t ->
   src:Mem.Image.t ->
   src_off:int ->
@@ -58,6 +71,7 @@ val plan_write :
 val plan_read :
   t ->
   ?hops:int ->
+  ?tag:string ->
   src:Mem.Image.t ->
   src_off:int ->
   dst:Mem.Image.t ->
@@ -65,7 +79,12 @@ val plan_read :
   len:int ->
   unit ->
   plan
-(** A remote-to-local copy (recovery path).  Never widened. *)
+(** A remote-to-local copy (recovery path).  Never widened.
+
+    [tag] (both directions, default ["data"]) names the traffic class
+    the caller is moving — {!Netram.Client} uses ["bulk"] for data
+    movement vs its ["rpc"] control events — and is carried on every
+    packet event the plan emits. *)
 
 val plan_steps : plan -> step list
 val plan_latency : plan -> Time.t
@@ -86,6 +105,7 @@ val run : t -> plan -> unit
 val write :
   t ->
   ?hops:int ->
+  ?tag:string ->
   ?window:Mem.Segment.t ->
   src:Mem.Image.t ->
   src_off:int ->
@@ -99,6 +119,7 @@ val write :
 val read :
   t ->
   ?hops:int ->
+  ?tag:string ->
   src:Mem.Image.t ->
   src_off:int ->
   dst:Mem.Image.t ->
@@ -107,8 +128,8 @@ val read :
   unit ->
   unit
 
-val write_u64 : t -> ?hops:int -> dst:Mem.Image.t -> dst_off:int -> int64 -> unit
+val write_u64 : t -> ?hops:int -> ?tag:string -> dst:Mem.Image.t -> dst_off:int -> int64 -> unit
 (** An 8-byte remote store (one 16-byte packet — atomic on the wire);
     PERSEAS uses it for the commit-point epoch write. *)
 
-val read_u64 : t -> ?hops:int -> src:Mem.Image.t -> src_off:int -> unit -> int64
+val read_u64 : t -> ?hops:int -> ?tag:string -> src:Mem.Image.t -> src_off:int -> unit -> int64

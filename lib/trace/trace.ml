@@ -1,0 +1,284 @@
+open Sim
+
+module Span = struct
+  type t = {
+    name : string;
+    cat : string;
+    start : Time.t;
+    stop : Time.t;
+    args : (string * string) list;
+  }
+
+  let duration s = s.stop - s.start
+  let duration_us s = Time.to_us (duration s)
+
+  let pp ppf s =
+    Format.fprintf ppf "%s/%s [%a, %a)" s.cat s.name Time.pp s.start Time.pp s.stop
+end
+
+module Event = struct
+  type t = { name : string; cat : string; at : Time.t; args : (string * string) list }
+
+  let pp ppf e = Format.fprintf ppf "%s/%s @ %a" e.cat e.name Time.pp e.at
+end
+
+(* ------------------------------------------------------------------ *)
+(* Sinks                                                                *)
+
+module Sink = struct
+  type mem = {
+    mutable spans : Span.t list; (* newest first *)
+    mutable events : Event.t list; (* newest first *)
+    mutable nspans : int;
+    mutable nevents : int;
+  }
+
+  type t = Noop | Memory of mem
+
+  let noop = Noop
+  let memory () = Memory { spans = []; events = []; nspans = 0; nevents = 0 }
+  let enabled = function Noop -> false | Memory _ -> true
+
+  let span ?(args = []) t ~cat ~name ~start ~stop =
+    match t with
+    | Noop -> ()
+    | Memory m ->
+        m.spans <- { Span.name; cat; start; stop; args } :: m.spans;
+        m.nspans <- m.nspans + 1
+
+  let instant ?(args = []) t ~cat ~name ~at =
+    match t with
+    | Noop -> ()
+    | Memory m ->
+        m.events <- { Event.name; cat; at; args } :: m.events;
+        m.nevents <- m.nevents + 1
+
+  let spans = function Noop -> [] | Memory m -> List.rev m.spans
+  let events = function Noop -> [] | Memory m -> List.rev m.events
+  let span_count = function Noop -> 0 | Memory m -> m.nspans
+  let event_count = function Noop -> 0 | Memory m -> m.nevents
+
+  (* The newest-first list makes "everything after the first n" a
+     prefix: take (count - n) from the head, then restore order. *)
+  let take_since newest_first ~total ~n =
+    let rec take acc k = function
+      | x :: rest when k > 0 -> take (x :: acc) (k - 1) rest
+      | _ -> acc
+    in
+    take [] (total - n) newest_first
+
+  let spans_since t n =
+    match t with Noop -> [] | Memory m -> take_since m.spans ~total:m.nspans ~n
+
+  let events_since t n =
+    match t with Noop -> [] | Memory m -> take_since m.events ~total:m.nevents ~n
+
+  let clear = function
+    | Noop -> ()
+    | Memory m ->
+        m.spans <- [];
+        m.events <- [];
+        m.nspans <- 0;
+        m.nevents <- 0
+end
+
+(* ------------------------------------------------------------------ *)
+(* Metrics registry                                                     *)
+
+module Counter = struct
+  type t = { name : string; mutable value : int }
+
+  let name c = c.name
+  let value c = c.value
+  let incr ?(by = 1) c = c.value <- c.value + by
+end
+
+module Registry = struct
+  type t = {
+    counters : (string, Counter.t) Hashtbl.t;
+    histograms : (string, Stats.Histogram.t) Hashtbl.t;
+  }
+
+  let create () = { counters = Hashtbl.create 16; histograms = Hashtbl.create 16 }
+
+  let counter t name =
+    match Hashtbl.find_opt t.counters name with
+    | Some c -> c
+    | None ->
+        let c = { Counter.name; value = 0 } in
+        Hashtbl.add t.counters name c;
+        c
+
+  let add t name n = Counter.incr ~by:n (counter t name)
+
+  let histogram t name =
+    match Hashtbl.find_opt t.histograms name with
+    | Some h -> h
+    | None ->
+        let h = Stats.Histogram.create () in
+        Hashtbl.add t.histograms name h;
+        h
+
+  let observe t name x = Stats.Histogram.add (histogram t name) x
+
+  let counters t =
+    Hashtbl.fold (fun name c acc -> (name, Counter.value c) :: acc) t.counters []
+    |> List.sort compare
+
+  let histograms t =
+    Hashtbl.fold (fun name h acc -> (name, h) :: acc) t.histograms [] |> List.sort compare
+
+  let json_escape s =
+    let b = Buffer.create (String.length s + 2) in
+    String.iter
+      (fun c ->
+        match c with
+        | '"' -> Buffer.add_string b "\\\""
+        | '\\' -> Buffer.add_string b "\\\\"
+        | '\n' -> Buffer.add_string b "\\n"
+        | c when Char.code c < 0x20 -> Buffer.add_string b (Printf.sprintf "\\u%04x" (Char.code c))
+        | c -> Buffer.add_char b c)
+      s;
+    Buffer.contents b
+
+  let to_json t =
+    let b = Buffer.create 512 in
+    Buffer.add_string b "{\"counters\":{";
+    List.iteri
+      (fun i (name, v) ->
+        if i > 0 then Buffer.add_char b ',';
+        Buffer.add_string b (Printf.sprintf "\"%s\":%d" (json_escape name) v))
+      (counters t);
+    Buffer.add_string b "},\"histograms\":{";
+    List.iteri
+      (fun i (name, h) ->
+        if i > 0 then Buffer.add_char b ',';
+        Buffer.add_string b
+          (Printf.sprintf "\"%s\":{\"count\":%d,\"buckets\":[" (json_escape name)
+             (Stats.Histogram.count h));
+        List.iteri
+          (fun j (lo, hi, n) ->
+            if j > 0 then Buffer.add_char b ',';
+            Buffer.add_string b (Printf.sprintf "[%g,%g,%d]" lo hi n))
+          (Stats.Histogram.buckets h);
+        Buffer.add_string b "]}")
+      (histograms t);
+    Buffer.add_string b "}}";
+    Buffer.contents b
+
+  let pp ppf t =
+    List.iter (fun (name, v) -> Format.fprintf ppf "%s = %d@." name v) (counters t);
+    List.iter
+      (fun (name, h) ->
+        Format.fprintf ppf "%s (%d samples):@.%a" name (Stats.Histogram.count h)
+          Stats.Histogram.pp h)
+      (histograms t)
+end
+
+(* ------------------------------------------------------------------ *)
+(* Per-phase breakdown                                                  *)
+
+type phase_stat = { phase : string; count : int; total_us : float; mean_us : float }
+
+let breakdown ?cat spans =
+  let tbl = Hashtbl.create 16 in
+  let order = ref [] in
+  List.iter
+    (fun (s : Span.t) ->
+      if match cat with Some c -> s.cat = c | None -> true then begin
+        let count, total =
+          match Hashtbl.find_opt tbl s.name with Some ct -> ct | None -> (0, 0.)
+        in
+        if count = 0 then order := s.name :: !order;
+        Hashtbl.replace tbl s.name (count + 1, total +. Span.duration_us s)
+      end)
+    spans;
+  List.rev_map
+    (fun phase ->
+      let count, total_us = Hashtbl.find tbl phase in
+      { phase; count; total_us; mean_us = total_us /. float_of_int count })
+    !order
+  |> List.sort (fun a b -> compare b.total_us a.total_us)
+
+let register_spans reg spans =
+  List.iter
+    (fun (s : Span.t) ->
+      let key = s.Span.cat ^ "." ^ s.Span.name in
+      Registry.add reg (key ^ ".count") 1;
+      Registry.observe reg (key ^ ".us") (Span.duration_us s))
+    spans
+
+(* ------------------------------------------------------------------ *)
+(* Exporters                                                            *)
+
+module Export = struct
+  let escape = Registry.json_escape
+
+  let args_json args =
+    if args = [] then ""
+    else
+      let fields =
+        List.map (fun (k, v) -> Printf.sprintf "\"%s\":\"%s\"" (escape k) (escape v)) args
+      in
+      Printf.sprintf ",\"args\":{%s}" (String.concat "," fields)
+
+  (* Spans that carry a [mirror] arg get their own track so per-mirror
+     phases (remote_undo, commit_propagate, commit_fence) line up under
+     the mirror they hit. *)
+  let tid_of args =
+    match List.assoc_opt "mirror" args with
+    | Some m -> ( match int_of_string_opt m with Some i -> i + 2 | None -> 1)
+    | None -> 1
+
+  let chrome_json ~spans ~events =
+    let b = Buffer.create 4096 in
+    Buffer.add_string b "{\"traceEvents\":[";
+    let first = ref true in
+    let sep () = if !first then first := false else Buffer.add_char b ',' in
+    List.iter
+      (fun (s : Span.t) ->
+        sep ();
+        Buffer.add_string b
+          (Printf.sprintf "{\"name\":\"%s\",\"cat\":\"%s\",\"ph\":\"X\",\"ts\":%.3f,\"dur\":%.3f,\"pid\":1,\"tid\":%d%s}"
+             (escape s.name) (escape s.cat) (Time.to_us s.start) (Span.duration_us s)
+             (tid_of s.args) (args_json s.args)))
+      spans;
+    List.iter
+      (fun (e : Event.t) ->
+        sep ();
+        Buffer.add_string b
+          (Printf.sprintf "{\"name\":\"%s\",\"cat\":\"%s\",\"ph\":\"i\",\"s\":\"g\",\"ts\":%.3f,\"pid\":1,\"tid\":%d%s}"
+             (escape e.name) (escape e.cat) (Time.to_us e.at) (tid_of e.args)
+             (args_json e.args)))
+      events;
+    Buffer.add_string b "],\"displayTimeUnit\":\"ns\"}";
+    Buffer.contents b
+
+  let rec mkdir_p dir =
+    if dir <> "." && dir <> "/" && not (Sys.file_exists dir) then begin
+      mkdir_p (Filename.dirname dir);
+      Sys.mkdir dir 0o755
+    end
+
+  let chrome_json_to_file ~path ~spans ~events =
+    mkdir_p (Filename.dirname path);
+    let oc = open_out path in
+    Fun.protect
+      ~finally:(fun () -> close_out oc)
+      (fun () -> output_string oc (chrome_json ~spans ~events))
+
+  let phase_csv_header = [ "phase"; "count"; "total (us)"; "mean (us)"; "share" ]
+
+  let phase_csv_rows stats =
+    let grand = List.fold_left (fun acc p -> acc +. p.total_us) 0. stats in
+    List.map
+      (fun p ->
+        [
+          p.phase;
+          string_of_int p.count;
+          Printf.sprintf "%.2f" p.total_us;
+          Printf.sprintf "%.3f" p.mean_us;
+          (if grand > 0. then Printf.sprintf "%.1f%%" (100. *. p.total_us /. grand) else "-");
+        ])
+      stats
+end

@@ -1,0 +1,159 @@
+open Sim
+
+(** Phase-level tracing against the virtual clock.
+
+    PERSEAS's whole claim is {e where} the microseconds go — three
+    memory copies, NIC packetisation, no disk — so the instrumented
+    components record structured {!Span}s (a named interval of virtual
+    time) and {!Event}s (a named instant) into a {!Sink}.  Tracing is
+    an observer, never a participant: it reads the clock but never
+    advances it, and it never sends or suppresses a packet, so a run
+    with tracing enabled is byte-identical (packet counts, final
+    clock) to a run without.  The no-op sink makes the disabled case a
+    single branch.
+
+    The span taxonomy instrumented across the stack (category in
+    brackets):
+
+    - [txn]: [begin], [set_range], [local_undo], [remote_undo] (one
+      span per mirror, arg [mirror]), [in_place_write], [commit],
+      [commit_propagate] (per mirror), [commit_fence] (per mirror —
+      the single-packet epoch write), [abort].  These are disjoint
+      intervals that together cover every clock charge of a
+      transaction, so their per-phase sums equal the end-to-end
+      virtual latency.
+    - [recovery]: [probe], [repair], [fetch_db], [resync_mirrors].
+    - [mirror]: [resync] — one span per {!Perseas.attach_mirror} /
+      [recruit_mirror], arg [mode].
+    - [sci]: instant events [pkt.full64] / [pkt.part16], one per SCI
+      packet, args [tag] (rpc vs bulk), [len], [streamed].
+    - [supervisor]: instant events [mirror_lost], [recruited],
+      [attempt_failed], [gave_up]. *)
+
+module Span : sig
+  type t = {
+    name : string;  (** Phase name, e.g. ["commit_fence"]. *)
+    cat : string;  (** Category, e.g. ["txn"]. *)
+    start : Time.t;
+    stop : Time.t;
+    args : (string * string) list;
+  }
+
+  val duration : t -> Time.t
+  val duration_us : t -> float
+  val pp : Format.formatter -> t -> unit
+end
+
+module Event : sig
+  type t = { name : string; cat : string; at : Time.t; args : (string * string) list }
+
+  val pp : Format.formatter -> t -> unit
+end
+
+(** {1 Sinks} *)
+
+module Sink : sig
+  type t
+
+  val noop : t
+  (** Drops everything; {!enabled} is [false], so instrumentation
+      sites skip even the clock reads.  This is the default wired into
+      every component. *)
+
+  val memory : unit -> t
+  (** Records spans and events in order, unbounded. *)
+
+  val enabled : t -> bool
+
+  val span :
+    ?args:(string * string) list -> t -> cat:string -> name:string -> start:Time.t -> stop:Time.t -> unit
+  (** Record a completed span.  No-op on {!noop}. *)
+
+  val instant : ?args:(string * string) list -> t -> cat:string -> name:string -> at:Time.t -> unit
+
+  val spans : t -> Span.t list
+  (** Everything recorded so far, oldest first ([[]] on {!noop}). *)
+
+  val events : t -> Event.t list
+
+  val span_count : t -> int
+  val event_count : t -> int
+
+  val spans_since : t -> int -> Span.t list
+  (** [spans_since t n] is the spans recorded after the first [n] —
+      pair with {!span_count} to scope a measurement window. *)
+
+  val events_since : t -> int -> Event.t list
+  val clear : t -> unit
+end
+
+(** {1 Metrics registry} *)
+
+module Counter : sig
+  type t
+
+  val name : t -> string
+  val value : t -> int
+  val incr : ?by:int -> t -> unit
+end
+
+module Registry : sig
+  type t
+  (** Named monotonic counters plus one {!Stats.Histogram} per named
+      distribution; both are find-or-create by name. *)
+
+  val create : unit -> t
+
+  val counter : t -> string -> Counter.t
+  val add : t -> string -> int -> unit
+  (** [add t name n] bumps counter [name] by [n] (creating it). *)
+
+  val histogram : t -> string -> Stats.Histogram.t
+  val observe : t -> string -> float -> unit
+  (** [observe t name x] adds [x] to histogram [name] (creating it). *)
+
+  val counters : t -> (string * int) list
+  (** Sorted by name. *)
+
+  val histograms : t -> (string * Stats.Histogram.t) list
+  val to_json : t -> string
+  (** Snapshot as one JSON object: counter values and, per histogram,
+      count plus non-empty buckets. *)
+
+  val pp : Format.formatter -> t -> unit
+end
+
+(** {1 Per-phase breakdown} *)
+
+type phase_stat = { phase : string; count : int; total_us : float; mean_us : float }
+(** [mean_us] is per span occurrence, not per transaction. *)
+
+val breakdown : ?cat:string -> Span.t list -> phase_stat list
+(** Aggregate spans by name, restricted to category [cat] when given;
+    descending by [total_us]. *)
+
+val register_spans : Registry.t -> Span.t list -> unit
+(** Fold spans into a registry: counter ["<cat>.<name>.count"] and
+    histogram ["<cat>.<name>.us"] per span. *)
+
+(** {1 Exporters} *)
+
+module Export : sig
+  val chrome_json : spans:Span.t list -> events:Event.t list -> string
+  (** Chrome [trace_event] JSON (one [{"traceEvents": [...]}] object):
+      spans as complete ([ph:"X"]) events, instants as [ph:"i"], with
+      microsecond timestamps.  Loads directly in Perfetto
+      ({{:https://ui.perfetto.dev}ui.perfetto.dev}) and
+      [chrome://tracing].  Spans carrying a [mirror] arg are placed on
+      a per-mirror track (tid = mirror + 2) so the per-mirror undo and
+      propagation phases line up visually. *)
+
+  val chrome_json_to_file : path:string -> spans:Span.t list -> events:Event.t list -> unit
+  (** Creates parent directories as needed. *)
+
+  val phase_csv_header : string list
+  (** [phase; count; total_us; mean_us; share] *)
+
+  val phase_csv_rows : phase_stat list -> string list list
+  (** [share] is each phase's fraction of the summed total. *)
+end

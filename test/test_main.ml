@@ -21,6 +21,7 @@ let () =
       ("btree", Test_btree.suite);
       ("pqueue", Test_pqueue.suite);
       ("engines-generic", Test_engines_generic.suite);
+      ("trace", Test_trace.suite);
       ("harness", Test_harness.suite);
       ("availability", Test_availability.suite);
       ("integration", Test_integration.suite);

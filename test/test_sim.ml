@@ -140,6 +140,49 @@ let test_histogram () =
   check_int "4 decades" 4 (List.length buckets);
   List.iter (fun (lo, hi, _) -> check_bool "ordered" true (lo < hi)) buckets
 
+(* Zero and negative samples go to the sentinel underflow bucket with
+   bounds (0, 0) rather than exploding in log10. *)
+let test_histogram_nonpositive () =
+  let h = Stats.Histogram.create ~buckets_per_decade:1 () in
+  Stats.Histogram.add h 0.;
+  Stats.Histogram.add h (-3.5);
+  check_int "both counted" 2 (Stats.Histogram.count h);
+  (match Stats.Histogram.buckets h with
+  | [ (lo, hi, n) ] ->
+      check (Alcotest.float 0.) "underflow lo" 0. lo;
+      check (Alcotest.float 0.) "underflow hi" 0. hi;
+      check_int "both in underflow" 2 n
+  | l -> Alcotest.failf "expected one bucket, got %d" (List.length l));
+  Stats.Histogram.add h 5.;
+  check_int "mixed signs: two buckets" 2 (List.length (Stats.Histogram.buckets h))
+
+let test_histogram_single_sample () =
+  let h = Stats.Histogram.create () in
+  Stats.Histogram.add h 42.;
+  check_int "count" 1 (Stats.Histogram.count h);
+  match Stats.Histogram.buckets h with
+  | [ (lo, hi, n) ] ->
+      check_int "one sample" 1 n;
+      check_bool "sample inside bounds" true (lo <= 42. && 42. < hi)
+  | l -> Alcotest.failf "expected one bucket, got %d" (List.length l)
+
+(* Decade boundaries: with one bucket per decade, 10.0 belongs to
+   [10, 100), not [1, 10), and counts are conserved across buckets. *)
+let test_histogram_boundaries () =
+  let h = Stats.Histogram.create ~buckets_per_decade:1 () in
+  List.iter (Stats.Histogram.add h) [ 1.; 9.999; 10.; 99.; 100. ];
+  let buckets = Stats.Histogram.buckets h in
+  check_int "three decades" 3 (List.length buckets);
+  List.iter
+    (fun (lo, hi, n) ->
+      if lo >= 9.99 && lo <= 10.01 then begin
+        check (Alcotest.float 1e-6) "decade upper bound" 100. hi;
+        check_int "10.0 lands in [10,100)" 2 n
+      end)
+    buckets;
+  check_int "counts conserved" (Stats.Histogram.count h)
+    (List.fold_left (fun acc (_, _, n) -> acc + n) 0 buckets)
+
 (* ------------------------------------------------------------------ *)
 (* Events *)
 
@@ -260,6 +303,9 @@ let suite =
     ("series percentiles", `Quick, test_series_percentiles);
     ("series growth", `Quick, test_series_grows);
     ("histogram buckets", `Quick, test_histogram);
+    ("histogram non-positive samples", `Quick, test_histogram_nonpositive);
+    ("histogram single sample", `Quick, test_histogram_single_sample);
+    ("histogram decade boundaries", `Quick, test_histogram_boundaries);
     ("events fire in time order", `Quick, test_events_order);
     ("events same-time fifo", `Quick, test_events_same_time_fifo);
     ("events cancel", `Quick, test_events_cancel);
