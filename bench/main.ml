@@ -6,7 +6,10 @@
      dune exec bench/main.exe -- fig6 table1  # a subset
      dune exec bench/main.exe -- --list
      dune exec bench/main.exe -- --latency    # BENCH_latency.json only
-     dune exec bench/main.exe -- --bechamel   # wall-clock micro-benches *)
+     dune exec bench/main.exe -- --bechamel   # wall-clock micro-benches
+     dune exec bench/main.exe -- --all        # engine x workload matrix -> BENCH_summary.json
+     dune exec bench/main.exe -- compare --against BENCH_summary.json [--tolerance PCT]
+                                              # re-measure the matrix, exit 1 on regression *)
 
 let list_experiments () =
   print_endline "Available experiments:";
@@ -38,6 +41,62 @@ let bench_latency ?(path = "BENCH_latency.json") () =
   close_out oc;
   Printf.printf "wrote %s\n" path
 
+(* The perf-gate matrix: tps / mean / p99 per engine x workload
+   (PERSEAS at 1-3 mirrors), written at the repo root where CI commits
+   it as the regression baseline. *)
+let bench_all ?(path = "BENCH_summary.json") () =
+  let entries = Harness.Bench_summary.collect () in
+  Harness.Bench_summary.write ~path entries;
+  let header = [ "engine"; "workload"; "mirrors"; "tps"; "mean (us)"; "p99 (us)" ] in
+  let rows =
+    List.map
+      (fun (e : Harness.Bench_summary.entry) ->
+        [
+          e.engine;
+          e.workload;
+          (if e.mirrors = 0 then "-" else string_of_int e.mirrors);
+          Harness.Table.fmt_tps e.tps;
+          Harness.Table.fmt_us e.mean_us;
+          Harness.Table.fmt_us e.p99_us;
+        ])
+      entries
+  in
+  Harness.Table.print ~title:"Benchmark summary (virtual time, deterministic)" ~header rows;
+  Printf.printf "wrote %s (%d cells)\n" path (List.length entries)
+
+(* Measure the matrix fresh and judge it against a committed baseline;
+   exits 1 on any gate failure so CI can block the merge. *)
+let bench_compare ~against ~tolerance_pct =
+  let baseline =
+    try Harness.Bench_summary.load against
+    with e ->
+      Printf.eprintf "cannot load baseline %s: %s\n" against (Printexc.to_string e);
+      exit 2
+  in
+  let verdicts, failed =
+    Harness.Bench_summary.compare_to_baseline ~tolerance_pct ~baseline
+      (Harness.Bench_summary.collect ())
+  in
+  Harness.Bench_summary.print_verdicts ~tolerance_pct verdicts;
+  if failed then begin
+    Printf.eprintf "bench gate FAILED: debit-credit tps regressed more than %.0f%%\n" tolerance_pct;
+    exit 1
+  end
+  else Printf.printf "bench gate passed (tolerance %.0f%%)\n" tolerance_pct
+
+let rec parse_compare_args against tolerance = function
+  | [] -> (against, tolerance)
+  | "--against" :: path :: rest -> parse_compare_args (Some path) tolerance rest
+  | "--tolerance" :: pct :: rest -> (
+      match float_of_string_opt pct with
+      | Some p when p >= 0.0 -> parse_compare_args against (Some p) rest
+      | _ ->
+          Printf.eprintf "compare: bad --tolerance %S\n" pct;
+          exit 2)
+  | arg :: _ ->
+      Printf.eprintf "compare: unknown argument %S\n" arg;
+      exit 2
+
 let () =
   let args = List.tl (Array.to_list Sys.argv) in
   match args with
@@ -48,6 +107,11 @@ let () =
   | [ "--list" ] -> list_experiments ()
   | [ "--latency" ] -> bench_latency ()
   | [ "--bechamel" ] -> Bechamel_suite.run ()
+  | [ "--all" ] -> bench_all ()
+  | "compare" :: rest ->
+      let against, tolerance = parse_compare_args None None rest in
+      let against = Option.value against ~default:"BENCH_summary.json" in
+      bench_compare ~against ~tolerance_pct:(Option.value tolerance ~default:10.0)
   | names ->
       List.iter
         (fun name ->

@@ -417,7 +417,7 @@ let trace_cmd =
         Option.value out ~default:(Filename.concat "results" ("trace_" ^ label ^ ".json"))
       in
       Trace.Export.chrome_json_to_file ~path:json_path ~spans:(Trace.Sink.spans sink)
-        ~events:(Trace.Sink.events sink);
+        ~events:(Trace.Sink.events sink) ();
       let header = Trace.Export.phase_csv_header in
       let rows = Trace.Export.phase_csv_rows r.Harness.Measure.phases in
       let csv_path =
@@ -493,6 +493,60 @@ let stats_cmd =
     Term.(ret (const run $ verbose $ mix_arg $ mirrors_arg $ stats_iters $ pretty_arg))
 
 (* ------------------------------------------------------------------ *)
+(* top: cluster-health dashboard from an instrumented churn run        *)
+
+let top_cmd =
+  let seed = Arg.(value & opt int 42 & info [ "seed" ] ~doc:"Failure-schedule seed.") in
+  let mirrors =
+    Arg.(value & opt int 2 & info [ "m"; "mirrors" ] ~doc:"Replication target (initial mirrors).")
+  in
+  let spares = Arg.(value & opt int 2 & info [ "spares" ] ~doc:"Spare-pool size.") in
+  let duration_ms =
+    Arg.(value & opt float 40. & info [ "duration-ms" ] ~doc:"Failure-injection horizon (virtual ms).")
+  in
+  let interval_us =
+    Arg.(value & opt float 100. & info [ "interval-us" ] ~doc:"Sampling interval (virtual us).")
+  in
+  let run verbose seed mirrors spares duration_ms interval_us =
+    setup_logs verbose;
+    if mirrors < 1 || spares < 1 then `Error (false, "mirrors and spares must be positive")
+    else if duration_ms <= 0. || interval_us <= 0. then
+      `Error (false, "duration and interval must be positive")
+    else begin
+      let module C = Harness.Churn in
+      let params =
+        { C.default_params with seed; mirrors; spares; duration = Sim.Time.ms duration_ms }
+      in
+      let r, tel =
+        Harness.Telemetry.instrumented_churn ~params ~interval:(Sim.Time.us interval_us) ()
+      in
+      print_string (Harness.Telemetry.top r tel);
+      `Ok ()
+    end
+  in
+  let doc =
+    "Textual cluster-health dashboard: run the churn schedule with the gauge sampler attached \
+     and render replication state, rates and per-server liveness."
+  in
+  Cmd.v (Cmd.info "top" ~doc)
+    Term.(ret (const run $ verbose $ seed $ mirrors $ spares $ duration_ms $ interval_us))
+
+(* ------------------------------------------------------------------ *)
+(* timeline: per-sample CSV + Perfetto counter tracks                  *)
+
+let timeline_cmd =
+  let run verbose mix =
+    setup_logs verbose;
+    Harness.Experiments.timeline mix;
+    `Ok ()
+  in
+  let doc =
+    "Run one instrumented workload and export the gauge time-series: per-sample CSV plus a \
+     Chrome trace with counter tracks (open in Perfetto) under results/."
+  in
+  Cmd.v (Cmd.info "timeline" ~doc) Term.(ret (const run $ verbose $ mix_arg))
+
+(* ------------------------------------------------------------------ *)
 
 let main =
   let doc = "PERSEAS: lightweight transactions on networks of workstations (ICDCS 1998)" in
@@ -507,6 +561,8 @@ let main =
       crash_demo_cmd;
       crash_sweep_cmd;
       churn_cmd;
+      top_cmd;
+      timeline_cmd;
     ]
 
 let () = exit (Cmd.eval main)

@@ -49,13 +49,15 @@ type segment = {
 type stats = {
   begun : int;
   committed : int;
-  aborted : int;
+  aborts : int;
   set_ranges : int;
   undo_bytes_logged : int;
+  undo_hwm_bytes : int;
   local_copy_bytes : int;
   mirrors_lost : int;
   mirrors_recruited : int;
   resync_bytes : int;
+  degraded_us : int;
 }
 
 type resync_mode = Full | Incremental
@@ -82,6 +84,14 @@ type t = {
   mutable sink : Trace.Sink.t;
       (* Pure observer: span emission reads the clock but never
          advances it, so sink on/off runs are byte-identical. *)
+  mutable tel : Trace.Timeseries.t;
+      (* Gauge layer, same observer contract as the sink. *)
+  mutable g_undo_tail : Trace.Gauge.t;
+  mutable repl_target : int;
+      (* Mirror count below which the database counts as degraded; the
+         supervisor aligns this with its own target. *)
+  mutable degraded_since : Time.t option;
+  mutable st_degraded : Time.t; (* closed degraded windows, summed *)
   retired : (int, int64) Hashtbl.t;
       (* node id -> last epoch confirmed on that ex-mirror, the basis
          for incremental resync when the node's server comes back *)
@@ -94,6 +104,7 @@ type t = {
   mutable st_aborted : int;
   mutable st_set_ranges : int;
   mutable st_undo_bytes : int;
+  mutable st_undo_hwm : int;
   mutable st_local_copy_bytes : int;
   mutable st_mirrors_lost : int;
   mutable st_mirrors_recruited : int;
@@ -171,6 +182,52 @@ let mirror_count t = List.length (live_mirror_list t)
 
 let mirror_node_id m = Node.id (Netram.Server.node (Client.server m.m_client))
 
+(* Degraded-time accounting: a window opens when the live-mirror count
+   falls below [repl_target] and closes when it recovers.  Pure
+   bookkeeping on clock reads — never advances the clock. *)
+let note_replication t =
+  let now = Clock.now (clock t) in
+  if mirror_count t < t.repl_target then begin
+    if t.degraded_since = None then t.degraded_since <- Some now
+  end
+  else
+    match t.degraded_since with
+    | Some since ->
+        t.st_degraded <- t.st_degraded + (now - since);
+        t.degraded_since <- None
+    | None -> ()
+
+let degraded_total t =
+  t.st_degraded
+  + (match t.degraded_since with Some since -> Clock.now (clock t) - since | None -> Time.zero)
+
+let set_replication_target t n =
+  if n <= 0 then invalid_arg "Perseas.set_replication_target: target must be positive";
+  t.repl_target <- n;
+  note_replication t
+
+let replication_target t = t.repl_target
+
+(* Like set_sink, one call wires the whole stack: the cluster NIC's
+   packet/burst gauges plus this module's sample-time probe.  Gauges
+   observe; they never advance the clock or touch the packet stream. *)
+let set_telemetry t tel =
+  t.tel <- tel;
+  Sci.Nic.set_telemetry (Cluster.nic t.cluster) tel;
+  t.g_undo_tail <- Trace.Timeseries.gauge tel "perseas.undo_tail";
+  Trace.Timeseries.on_sample tel (fun _at ->
+      Trace.Timeseries.set tel "perseas.epoch" (Int64.to_int t.epoch);
+      Trace.Timeseries.set tel "perseas.live_mirrors" (mirror_count t);
+      Trace.Timeseries.set tel "perseas.dirty_log" t.dirty_count;
+      Trace.Timeseries.set tel "perseas.undo_hwm_bytes" t.st_undo_hwm;
+      Trace.Timeseries.set tel "perseas.committed" t.st_committed;
+      Trace.Timeseries.set tel "perseas.aborts" t.st_aborted;
+      Trace.Timeseries.set tel "perseas.mirrors_lost" t.st_mirrors_lost;
+      Trace.Timeseries.set tel "perseas.resync_bytes" t.st_resync_bytes;
+      Trace.Timeseries.set tel "perseas.degraded_us" (Time.to_ns (degraded_total t) / 1000))
+
+let telemetry t = t.tel
+
 (* Retire a mirror from the live set, remembering the last epoch it is
    known to have fully confirmed (t.epoch: the epoch counter only
    advances after every mirror acknowledged the commit point, so at the
@@ -179,7 +236,8 @@ let mirror_node_id m = Node.id (Netram.Server.node (Client.server m.m_client))
    incremental-resync base. *)
 let retire_mirror t m =
   m.m_alive <- false;
-  Hashtbl.replace t.retired (mirror_node_id m) t.epoch
+  Hashtbl.replace t.retired (mirror_node_id m) t.epoch;
+  note_replication t
 
 (* A mirror that fails during a remote operation is dropped from the
    set (degraded mode); when the last one goes, the library refuses to
@@ -250,6 +308,11 @@ let init_replicated ?(config = default_config) clients =
       active = None;
       hook = None;
       sink = Trace.Sink.noop;
+      tel = Trace.Timeseries.noop;
+      g_undo_tail = Trace.Timeseries.gauge Trace.Timeseries.noop "";
+      repl_target = List.length clients;
+      degraded_since = None;
+      st_degraded = Time.zero;
       retired = Hashtbl.create 8;
       dirty = [];
       dirty_count = 0;
@@ -259,6 +322,7 @@ let init_replicated ?(config = default_config) clients =
       st_aborted = 0;
       st_set_ranges = 0;
       st_undo_bytes = 0;
+      st_undo_hwm = 0;
       st_local_copy_bytes = 0;
       st_mirrors_lost = 0;
       st_mirrors_recruited = 0;
@@ -368,6 +432,7 @@ let check_seg_range seg ~off ~len op =
 
 let close txn =
   txn.open_ <- false;
+  Trace.Gauge.set txn.owner.g_undo_tail 0;
   txn.owner.active <- None
 
 (* Record ranges in the dirty log so an ex-mirror can later be resynced
@@ -460,6 +525,8 @@ let set_range txn seg ~off ~len =
     { r_seg = seg; r_off = off; r_len = len; staging_off = slot + Layout.undo_header_size }
     :: txn.ranges;
   txn.tail <- Layout.undo_slot ~off:slot ~payload_len:len;
+  if txn.tail > t.st_undo_hwm then t.st_undo_hwm <- txn.tail;
+  Trace.Gauge.set t.g_undo_tail txn.tail;
   t.st_set_ranges <- t.st_set_ranges + 1;
   t.st_undo_bytes <- t.st_undo_bytes + len
 
@@ -586,26 +653,30 @@ let stats t =
   {
     begun = t.st_begun;
     committed = t.st_committed;
-    aborted = t.st_aborted;
+    aborts = t.st_aborted;
     set_ranges = t.st_set_ranges;
     undo_bytes_logged = t.st_undo_bytes;
+    undo_hwm_bytes = t.st_undo_hwm;
     local_copy_bytes = t.st_local_copy_bytes;
     mirrors_lost = t.st_mirrors_lost;
     mirrors_recruited = t.st_mirrors_recruited;
     resync_bytes = t.st_resync_bytes;
+    degraded_us = Time.to_ns (degraded_total t) / 1000;
   }
 
 let stats_fields (s : stats) =
   [
     ("begun", s.begun);
     ("committed", s.committed);
-    ("aborted", s.aborted);
+    ("aborts", s.aborts);
     ("set_ranges", s.set_ranges);
     ("undo_bytes_logged", s.undo_bytes_logged);
+    ("undo_hwm_bytes", s.undo_hwm_bytes);
     ("local_copy_bytes", s.local_copy_bytes);
     ("mirrors_lost", s.mirrors_lost);
     ("mirrors_recruited", s.mirrors_recruited);
     ("resync_bytes", s.resync_bytes);
+    ("degraded_us", s.degraded_us);
   ]
 
 let pp_stats ppf s =
@@ -829,6 +900,7 @@ let do_attach ~op ~allow_incremental t ~server =
       t.st_mirrors_recruited <- t.st_mirrors_recruited + 1;
       t.st_resync_bytes <- t.st_resync_bytes + report.bytes_copied
     end;
+    note_replication t;
     report
   with Client.Unreachable msg ->
     (* The joiner died mid-resync.  Undo the membership change so the
@@ -1044,6 +1116,11 @@ let recover_replicated ?(config = default_config) ?(sink = Trace.Sink.noop) ?on_
       active = None;
       hook = None;
       sink;
+      tel = Trace.Timeseries.noop;
+      g_undo_tail = Trace.Timeseries.gauge Trace.Timeseries.noop "";
+      repl_target = 1;
+      degraded_since = None;
+      st_degraded = Time.zero;
       retired = Hashtbl.create 8;
       dirty = [];
       dirty_count = 0;
@@ -1053,6 +1130,7 @@ let recover_replicated ?(config = default_config) ?(sink = Trace.Sink.noop) ?on_
       st_aborted = 0;
       st_set_ranges = 0;
       st_undo_bytes = 0;
+      st_undo_hwm = 0;
       st_local_copy_bytes = 0;
       st_mirrors_lost = 0;
       st_mirrors_recruited = 0;
@@ -1085,6 +1163,9 @@ let recover_replicated ?(config = default_config) ?(sink = Trace.Sink.noop) ?on_
                 (Node.id (Netram.Server.node s)) msg))
     servers;
   mark "resync_mirrors";
+  (* Whatever factor recovery achieved is the new baseline; degraded
+     accounting starts from here (a supervisor may raise it again). *)
+  t.repl_target <- max 1 (mirror_count t);
   t
 
 let recover ?config ?sink ?on_repair ~cluster ~local ~server () =
@@ -1218,6 +1299,9 @@ module Supervisor = struct
     if policy.backoff_factor < 1.0 then invalid_arg "Supervisor.create: backoff_factor must be >= 1";
     let target = match target with Some n -> n | None -> mirror_count db in
     if target <= 0 then invalid_arg "Supervisor.create: target must be positive";
+    (* The supervisor's target is THE replication target: align the
+       engine's degraded-time accounting with it. *)
+    set_replication_target db target;
     {
       db;
       policy;
@@ -1312,4 +1396,12 @@ module Supervisor = struct
   let gave_up sup = sup.gave_up
   let retry_at sup = sup.retry_at
   let degraded sup = mirror_count sup.db < sup.target
+
+  (* Health gauges, refreshed at sample time only (pure observer). *)
+  let set_telemetry sup tel =
+    Trace.Timeseries.on_sample tel (fun _at ->
+        Trace.Timeseries.set tel "sup.spares" (List.length sup.spares);
+        Trace.Timeseries.set tel "sup.degraded" (if degraded sup then 1 else 0);
+        Trace.Timeseries.set tel "sup.deficit" (max 0 (sup.target - mirror_count sup.db));
+        Trace.Timeseries.set tel "sup.gave_up" (if sup.gave_up then 1 else 0))
 end

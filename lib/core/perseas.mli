@@ -115,6 +115,16 @@ val live_mirrors : t -> int list
 
 val mirror_count : t -> int
 
+val set_replication_target : t -> int -> unit
+(** Declare how many live mirrors the database {e should} have; while
+    {!mirror_count} is below it, virtual time accrues into
+    [stats.degraded_us].  Defaults to the initial client count
+    ({!recover_replicated} resets it to whatever factor recovery
+    achieved); {!Supervisor.create} aligns it with the supervisor's
+    target.  Raises [Invalid_argument] when not positive. *)
+
+val replication_target : t -> int
+
 val attach_mirror : t -> server:Netram.Server.t -> unit
 (** Bring a new mirror into the set: export (or reconnect and resync)
     every segment plus metadata on [server] and copy the current
@@ -300,13 +310,21 @@ val commit_packets : txn -> int
 type stats = {
   begun : int;
   committed : int;
-  aborted : int;
+  aborts : int;
   set_ranges : int;
   undo_bytes_logged : int;  (** Before-image payload bytes. *)
+  undo_hwm_bytes : int;
+      (** High-water mark of the undo log within one transaction
+          (headers included) — how close any transaction came to
+          {!type-config.undo_capacity}. *)
   local_copy_bytes : int;  (** Bytes moved by local memcpys. *)
   mirrors_lost : int;  (** Mirrors dropped after failing mid-operation. *)
   mirrors_recruited : int;  (** Mirrors (re-)joined after {!init_remote_db}. *)
   resync_bytes : int;  (** Database bytes pushed to joining mirrors. *)
+  degraded_us : int;
+      (** Total virtual microseconds spent below the replication target
+          (see {!set_replication_target}; an open degraded window counts
+          up to the current clock). *)
 }
 
 val stats : t -> stats
@@ -341,6 +359,25 @@ val set_sink : t -> Trace.Sink.t -> unit
     same sink).  Pass {!Trace.Sink.noop} to disable. *)
 
 val sink : t -> Trace.Sink.t
+
+val set_telemetry : t -> Trace.Timeseries.t -> unit
+(** Attach a gauge timeseries to this instance {e and} to the cluster's
+    NIC ({!Sci.Nic.set_telemetry}), so one call instruments the whole
+    stack.  The engine maintains, under the same pure-observer contract
+    as the sink:
+
+    - [perseas.undo_tail] — undo-log tail of the open transaction,
+      updated per [set_range] and zeroed when the transaction closes;
+      its gauge high-water mark is the worst case between samples;
+    - a sample-time probe exporting [perseas.epoch],
+      [perseas.live_mirrors], [perseas.dirty_log] (dirty-range log
+      length), [perseas.undo_hwm_bytes], [perseas.committed],
+      [perseas.aborts], [perseas.mirrors_lost], [perseas.resync_bytes]
+      and [perseas.degraded_us].
+
+    Defaults to {!Trace.Timeseries.noop}. *)
+
+val telemetry : t -> Trace.Timeseries.t
 
 (** {1 Self-healing supervision}
 
@@ -414,6 +451,12 @@ module Supervisor : sig
 
   val retry_at : t -> Time.t
   (** Earliest virtual instant of the next recruitment attempt. *)
+
+  val set_telemetry : t -> Trace.Timeseries.t -> unit
+  (** Register a sample-time probe exporting the supervisor's health:
+      [sup.spares] (pool depth), [sup.degraded] (0/1 — below target?),
+      [sup.deficit] (mirrors missing from target) and [sup.gave_up]
+      (0/1).  Pure observer; no-op on a disabled timeseries. *)
 end
 
 (** {1 Engine view} *)

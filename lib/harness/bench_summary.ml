@@ -1,0 +1,197 @@
+(* The machine-readable benchmark matrix behind the CI perf gate:
+   virtual tps / mean / p99 for every engine and workload (PERSEAS at
+   1-3 mirrors), written to BENCH_summary.json at the repo root, and a
+   comparator that measures the matrix fresh and judges it against a
+   committed baseline.  All numbers are virtual-time and deterministic,
+   so the gate's tolerance only has to absorb intended model drift, not
+   machine noise. *)
+
+module T = Testbed
+
+type entry = {
+  engine : string;
+  workload : string;
+  mirrors : int;  (* 0 for single-node baselines *)
+  tps : float;
+  mean_us : float;
+  p99_us : float;
+}
+
+let workload_label = function `Debit_credit -> "debit-credit" | `Order_entry -> "order-entry"
+let workloads = [ `Debit_credit; `Order_entry ]
+
+(* Fresh instance per cell — engines accumulate state. *)
+let engines =
+  [
+    ("PERSEAS", 1, fun () -> T.replicated_instance ~mirrors:1 ());
+    ("PERSEAS", 2, fun () -> T.replicated_instance ~mirrors:2 ());
+    ("PERSEAS", 3, fun () -> T.replicated_instance ~mirrors:3 ());
+    ("RVM", 0, fun () -> T.rvm_instance ());
+    ("RVM-Rio", 0, fun () -> T.rvm_instance ~rio:true ());
+    ("Vista", 0, fun () -> T.vista_instance ());
+    ("RemoteWAL", 0, fun () -> T.remote_wal_instance ());
+  ]
+
+let measure inst workload =
+  let (module I : T.INSTANCE) = inst in
+  let iters = if T.label inst = "RVM" then 2_000 else 10_000 in
+  let warmup = iters / 10 in
+  match workload with
+  | `Debit_credit ->
+      let module W = Workloads.Debit_credit.Make (I.E) in
+      let rng = Sim.Rng.create 7 in
+      let db = W.setup I.engine ~params:Workloads.Debit_credit.default_params in
+      let r =
+        Measure.run ~clock:I.clock ~finish:I.finish ~warmup ~iters (fun _ -> W.transaction db rng)
+      in
+      assert (W.consistent db);
+      r
+  | `Order_entry ->
+      let module W = Workloads.Order_entry.Make (I.E) in
+      let rng = Sim.Rng.create 11 in
+      let db = W.setup I.engine ~params:Workloads.Order_entry.default_params in
+      let r =
+        Measure.run ~clock:I.clock ~finish:I.finish ~warmup ~iters (fun _ -> W.transaction db rng)
+      in
+      assert (W.consistent db);
+      r
+
+let collect () =
+  List.concat_map
+    (fun (engine, mirrors, make) ->
+      List.map
+        (fun w ->
+          let r = measure (make ()) w in
+          {
+            engine;
+            workload = workload_label w;
+            mirrors;
+            tps = r.Measure.tps;
+            mean_us = r.Measure.mean_us;
+            p99_us = r.Measure.p99_us;
+          })
+        workloads)
+    engines
+
+let to_json entries =
+  let cell e =
+    Printf.sprintf
+      "    { \"engine\": %S, \"workload\": %S, \"mirrors\": %d, \"tps\": %.1f, \"mean_us\": \
+       %.4f, \"p99_us\": %.4f }"
+      e.engine e.workload e.mirrors e.tps e.mean_us e.p99_us
+  in
+  "{\n  \"schema\": \"perseas-bench-summary/1\",\n  \"entries\": [\n"
+  ^ String.concat ",\n" (List.map cell entries)
+  ^ "\n  ]\n}\n"
+
+let of_json j =
+  let entry e =
+    let num k = Json.to_float (Json.member_exn k e) in
+    {
+      engine = Json.to_string (Json.member_exn "engine" e);
+      workload = Json.to_string (Json.member_exn "workload" e);
+      mirrors = Json.to_int (Json.member_exn "mirrors" e);
+      tps = num "tps";
+      mean_us = num "mean_us";
+      p99_us = num "p99_us";
+    }
+  in
+  List.map entry (Json.to_list (Json.member_exn "entries" j))
+
+let load path =
+  let ic = open_in_bin path in
+  let n = in_channel_length ic in
+  let s = really_input_string ic n in
+  close_in ic;
+  of_json (Json.parse_exn s)
+
+let write ~path entries =
+  let oc = open_out path in
+  output_string oc (to_json entries);
+  close_out oc
+
+(* ------------------------------------------------------------------ *)
+(* The gate                                                            *)
+
+type verdict = {
+  entry : entry;
+  baseline_tps : float option;
+  delta_pct : float option;  (* negative = regression *)
+  gated : bool;  (* part of the hard gate (debit-credit tps) *)
+  failed : bool;
+}
+
+let compare_to_baseline ?(tolerance_pct = 10.0) ~baseline current =
+  let find e =
+    List.find_opt
+      (fun b -> b.engine = e.engine && b.workload = e.workload && b.mirrors = e.mirrors)
+      baseline
+  in
+  let verdicts =
+    List.map
+      (fun e ->
+        let gated = e.workload = "debit-credit" in
+        match find e with
+        | None -> { entry = e; baseline_tps = None; delta_pct = None; gated; failed = false }
+        | Some b ->
+            let delta = 100.0 *. (e.tps -. b.tps) /. b.tps in
+            {
+              entry = e;
+              baseline_tps = Some b.tps;
+              delta_pct = Some delta;
+              gated;
+              failed = gated && delta < -.tolerance_pct;
+            })
+      current
+  in
+  (* Baseline coverage dropped from the matrix is a gate failure too —
+     a silently vanished cell must not read as a pass. *)
+  let missing =
+    List.filter
+      (fun b ->
+        b.workload = "debit-credit"
+        && not
+             (List.exists
+                (fun e ->
+                  e.engine = b.engine && e.workload = b.workload && e.mirrors = b.mirrors)
+                current))
+      baseline
+  in
+  let verdicts =
+    verdicts
+    @ List.map
+        (fun b ->
+          {
+            entry = b;
+            baseline_tps = Some b.tps;
+            delta_pct = None;
+            gated = true;
+            failed = true;
+          })
+        missing
+  in
+  (verdicts, List.exists (fun v -> v.failed) verdicts)
+
+let print_verdicts ~tolerance_pct verdicts =
+  let header = [ "engine"; "workload"; "mirrors"; "baseline tps"; "tps"; "delta"; "gate" ] in
+  let rows =
+    List.map
+      (fun v ->
+        [
+          v.entry.engine;
+          v.entry.workload;
+          (if v.entry.mirrors = 0 then "-" else string_of_int v.entry.mirrors);
+          (match v.baseline_tps with Some t -> Table.fmt_tps t | None -> "(new)");
+          (match v.delta_pct with None when v.baseline_tps <> None -> "MISSING"
+          | _ -> Table.fmt_tps v.entry.tps);
+          (match v.delta_pct with Some d -> Printf.sprintf "%+.1f%%" d | None -> "-");
+          (if v.failed then "FAIL" else if v.gated then "ok" else "info");
+        ])
+      verdicts
+  in
+  Table.print
+    ~title:
+      (Printf.sprintf
+         "Bench gate: debit-credit tps within %.0f%% of baseline (other cells informational)"
+         tolerance_pct)
+    ~header rows

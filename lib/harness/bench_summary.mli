@@ -1,0 +1,46 @@
+(** The benchmark matrix behind the CI perf gate.
+
+    [collect] measures virtual tps / mean / p99 for every engine and
+    workload — PERSEAS at 1, 2 and 3 mirrors, then each single-node
+    baseline — and the result round-trips through
+    [BENCH_summary.json].  All numbers are deterministic virtual time,
+    so {!compare_to_baseline}'s tolerance only absorbs intended model
+    drift, never machine noise. *)
+
+type entry = {
+  engine : string;
+  workload : string;
+  mirrors : int;  (** 0 for single-node baselines *)
+  tps : float;
+  mean_us : float;
+  p99_us : float;
+}
+
+val collect : unit -> entry list
+(** Run the full matrix, a fresh testbed per cell. *)
+
+val to_json : entry list -> string
+val of_json : Json.t -> entry list
+(** Raises [Failure] on a malformed document. *)
+
+val load : string -> entry list
+val write : path:string -> entry list -> unit
+
+type verdict = {
+  entry : entry;
+  baseline_tps : float option;  (** [None]: cell absent from baseline *)
+  delta_pct : float option;  (** tps change vs baseline; negative = slower *)
+  gated : bool;  (** counted by the hard gate (debit-credit cells) *)
+  failed : bool;
+}
+
+val compare_to_baseline :
+  ?tolerance_pct:float -> baseline:entry list -> entry list -> verdict list * bool
+(** Judge a fresh matrix against a baseline: a debit-credit cell more
+    than [tolerance_pct] (default 10) slower fails, as does a
+    debit-credit baseline cell missing from the fresh matrix.  Other
+    cells are informational.  Returns the per-cell verdicts and
+    whether anything failed. *)
+
+val print_verdicts : tolerance_pct:float -> verdict list -> unit
+(** Aligned verdict table on stdout. *)

@@ -74,7 +74,7 @@ exception Oracle_violation of string
 
 let kind_label = function Pause -> "pause" | Crash -> "crash"
 
-let run ?(params = default_params) () =
+let run ?(params = default_params) ?telemetry () =
   if params.mirrors < 1 then invalid_arg "Churn.run: at least one mirror";
   if params.spares < 1 then invalid_arg "Churn.run: at least one spare";
   let clock = Clock.create () in
@@ -107,6 +107,30 @@ let run ?(params = default_params) () =
       t
   in
   let events = Events.create clock in
+  (* Telemetry rides on its own event queue, pumped passively wherever
+     the clock advances.  The main queue's [next_at] drives wake-up
+     decisions in [ensure_service] and the quiesce drain; keeping the
+     sampler off it means a telemetry-on run takes byte-identical
+     scheduling decisions to a telemetry-off run — the observer can
+     never perturb the experiment, only watch it. *)
+  let tel_events = Events.create clock in
+  let server_label id = List.nth names id in
+  (match telemetry with
+  | None -> ()
+  | Some (tel, interval) ->
+      P.set_telemetry t tel;
+      Sup.set_telemetry sup tel;
+      Hashtbl.iter (fun id s -> Netram.Server.set_telemetry s tel ~label:(server_label id)) servers;
+      (* Rates go last so they see the refreshed cumulative gauges. *)
+      Trace.Timeseries.rate tel ~name:"rate.tps" ~source:"perseas.committed";
+      Trace.Timeseries.rate tel ~name:"rate.bytes_per_s" ~source:"nic.bytes";
+      Trace.Timeseries.rate tel ~name:"rate.rpc_per_s" ~source:"netram.rpc_ops";
+      Trace.Timeseries.sample tel ~at:(Clock.now clock);
+      (* Keep sampling through quiesce; 4x the horizon bounds the tail
+         so a slow settle can't flood the series. *)
+      Events.every tel_events ~interval ~until:(4 * params.duration) (fun at ->
+          Trace.Timeseries.sample tel ~at));
+  let pump_telemetry () = Events.run_due tel_events in
   let fail_rng = Rng.create params.seed in
   let work_rng = Rng.create (params.seed + 1) in
   let injections = ref [] in
@@ -155,6 +179,9 @@ let run ?(params = default_params) () =
                Cluster.restart_node cluster node;
                let s = Netram.Server.create (Cluster.node cluster node) in
                Hashtbl.replace servers node s;
+               (match telemetry with
+               | Some (tel, _) -> Netram.Server.set_telemetry s tel ~label:(server_label node)
+               | None -> ());
                Sup.add_spare sup s))
   in
   let rec schedule_injection () =
@@ -193,7 +220,8 @@ let run ?(params = default_params) () =
           | None, None -> failwith "Churn.run: no mirrors, no spares, no pending repairs"
         in
         Clock.advance_to clock next;
-        Events.run_due events
+        Events.run_due events;
+        pump_telemetry ()
       end
     done
   in
@@ -201,6 +229,7 @@ let run ?(params = default_params) () =
   let t_start = Clock.now clock in
   while Clock.now clock < params.duration do
     Events.run_due events;
+    pump_telemetry ();
     Sup.tick sup;
     match W.transaction db work_rng with
     | () -> incr committed
@@ -217,6 +246,7 @@ let run ?(params = default_params) () =
     | Some at ->
         Clock.advance_to clock at;
         Events.run_due events;
+        pump_telemetry ();
         Sup.tick sup;
         drain ()
     | None -> ()
@@ -227,8 +257,10 @@ let run ?(params = default_params) () =
     incr settle;
     Clock.advance_to clock
       (max (Sup.retry_at sup) (Clock.now clock + params.policy.Sup.probe_interval));
+    pump_telemetry ();
     Sup.tick sup
   done;
+  pump_telemetry ();
   let factor_restored = not (Sup.degraded sup) in
   let consistent_under_churn = W.consistent db in
   let verify_clean = P.verify_mirrors t = [] in

@@ -63,12 +63,23 @@ type report = {
 
 exception Oracle_violation of string
 
-val run : ?params:params -> unit -> report
+val run : ?params:params -> ?telemetry:Trace.Timeseries.t * Time.t -> unit -> report
 (** Build a cluster of primary + mirrors + spares + an observer node
     (each on its own power supply), run the seeded churn schedule, then
     quiesce, scrub, kill the primary and recover on the observer.
     Returns the full report without judging it; {!check} enforces the
-    oracle. *)
+    oracle.
+
+    [telemetry:(series, interval)] instruments the whole stack — the
+    engine, the supervisor, every memory server (including ones respawned
+    after a crash) and the NIC — and samples [series] every [interval]
+    of virtual time, from the start of the churn schedule through
+    quiesce (capped at 4x [duration]).
+    The sampler lives on its own event queue, pumped only where the
+    clock already advances, so instrumented runs take byte-identical
+    scheduling decisions to bare ones.  Derived gauges [rate.tps],
+    [rate.bytes_per_s] and [rate.rpc_per_s] are sliding-window rates
+    over one sampling interval. *)
 
 val check : report -> unit
 (** Raises {!Oracle_violation} unless the factor was restored, the

@@ -790,6 +790,101 @@ let latency_breakdown () =
   Table.save_csv ~path:(csv_path "latency_breakdown") ~header rows
 
 (* ------------------------------------------------------------------ *)
+(* R7: telemetry under churn                                            *)
+
+let telemetry () =
+  (* The churn run again, this time watched: every 100 us of virtual
+     time the sampler snapshots the full gauge set, and the series is
+     cross-checked against the supervisor's own event log — the
+     degraded windows the dashboard shows must be the ones the
+     supervisor actually logged. *)
+  let r, tel = Telemetry.instrumented_churn () in
+  let header, rows = Telemetry.csv ~tel in
+  Table.save_csv ~path:(csv_path "telemetry_churn") ~header rows;
+  print_string (Telemetry.top r tel);
+  Churn.check r;
+  let a =
+    Telemetry.agreement ~target:Churn.default_params.Churn.mirrors
+      ~samples:(Trace.Timeseries.samples tel) r.Churn.supervisor_events
+  in
+  Telemetry.check_agreement a;
+  Printf.printf
+    "agreement: sampler caught %d of %d supervisor degraded windows; %d/%d degraded signals \
+     inside logged windows\n"
+    a.Telemetry.windows_seen a.windows_total a.matched_signals a.degraded_signals;
+  Printf.printf "saved %d samples x %d gauges to %s\n"
+    (Trace.Timeseries.sample_count tel)
+    (List.length (Trace.Timeseries.names tel))
+    (csv_path "telemetry_churn")
+
+(* A single instrumented workload run for `perseas_cli timeline`: spans
+   and instants from the sink, gauges sampled on a fixed virtual-time
+   grid, both exported — the CSV for plotting, the Chrome JSON (with
+   counter tracks) for Perfetto. *)
+let timeline_run ?sink_capacity ~mix ~mirrors ~iters ~interval () =
+  let bed = Testbed.replicated_bed ~mirrors () in
+  let t = bed.Testbed.perseas in
+  let tx =
+    match mix with
+    | Debit_credit_mix ->
+        let module W = Workloads.Debit_credit.Make (Perseas.Engine) in
+        let rng = Rng.create 7 in
+        let db = W.setup t ~params:Workloads.Debit_credit.small_params in
+        fun () -> W.transaction db rng
+    | Large_update_mix ->
+        let module S = Workloads.Synthetic.Make (Perseas.Engine) in
+        let rng = Rng.create 42 in
+        let db = S.setup t ~db_size:(mb 8) in
+        fun () -> S.transaction db rng ~tx_size:(kb 16)
+  in
+  let sink = Trace.Sink.memory ?capacity:sink_capacity () in
+  Perseas.set_sink t sink;
+  let tel = Trace.Timeseries.create () in
+  Perseas.set_telemetry t tel;
+  List.iteri
+    (fun i s -> Netram.Server.set_telemetry s tel ~label:(Printf.sprintf "mirror%d" i))
+    bed.Testbed.servers;
+  Trace.Timeseries.rate tel ~name:"rate.tps" ~source:"perseas.committed";
+  Trace.Timeseries.rate tel ~name:"rate.bytes_per_s" ~source:"nic.bytes";
+  let clock = bed.Testbed.clock in
+  Trace.Timeseries.sample tel ~at:(Clock.now clock);
+  let next = ref (Clock.now clock + interval) in
+  for _ = 1 to iters do
+    tx ();
+    while !next <= Clock.now clock do
+      Trace.Timeseries.sample tel ~at:!next;
+      next := !next + interval
+    done
+  done;
+  (tel, sink)
+
+let timeline mix =
+  let label = mix_label mix in
+  (* A 16 KB large-update transaction emits ~2 600 per-packet instants,
+     so the big mix gets a shorter run, a grid matched to its ~1.6 ms
+     transactions, and a ring-bounded sink (keeps the trailing window;
+     the counter tracks still cover the whole run) — otherwise the
+     Chrome JSON runs to hundreds of MB and Perfetto cannot open it. *)
+  let iters, interval, sink_capacity =
+    match mix with
+    | Debit_credit_mix -> (2000, Time.us 50.0, None)
+    | Large_update_mix -> (500, Time.us 200.0, Some 50_000)
+  in
+  let tel, sink = timeline_run ?sink_capacity ~mix ~mirrors:2 ~iters ~interval () in
+  let json_path = csv_path ("timeline_" ^ label) |> Filename.remove_extension in
+  let json_path = json_path ^ ".json" in
+  Trace.Export.chrome_json_to_file
+    ~series:(Trace.Timeseries.samples tel)
+    ~path:json_path ~spans:(Trace.Sink.spans sink) ~events:(Trace.Sink.events sink) ();
+  let header, rows = Telemetry.csv ~tel in
+  Table.save_csv ~path:(csv_path ("timeline_" ^ label)) ~header rows;
+  Printf.printf "%s: %d samples x %d gauges -> %s; Chrome trace with counter tracks -> %s\n" label
+    (Trace.Timeseries.sample_count tel)
+    (List.length (Trace.Timeseries.names tel))
+    (csv_path ("timeline_" ^ label))
+    json_path
+
+(* ------------------------------------------------------------------ *)
 
 let names =
   [
@@ -812,6 +907,7 @@ let names =
     ("paging", "Remote-memory paging vs disk swap", paging);
     ("datastores", "Transactional hash map and B+-tree ops/s", datastores);
     ("latency-breakdown", "Per-phase transaction latency from traces", latency_breakdown);
+    ("telemetry", "Gauge time-series under churn, checked against the supervisor log", telemetry);
   ]
 
 let all () = List.iter (fun (_, _, run) -> run ()) names

@@ -96,6 +96,18 @@ val latency_breakdown : unit -> unit
     at 1–3 mirrors; the phase sums equal end-to-end latency.  Writes
     [results/latency_breakdown.csv]. *)
 
+val telemetry : unit -> unit
+(** R7: the churn run instrumented with the {!Trace.Timeseries}
+    sampler; renders the {!Telemetry.top} dashboard, writes the full
+    series to [results/telemetry_churn.csv] and cross-checks the
+    sampled degraded windows against the supervisor's event log. *)
+
+val timeline : latency_mix -> unit
+(** One instrumented workload run: gauge samples on a 50 us virtual-
+    time grid to [results/timeline_<mix>.csv], plus a Chrome trace
+    (spans, instants and counter tracks) to
+    [results/timeline_<mix>.json] for Perfetto. *)
+
 val names : (string * string * (unit -> unit)) list
 (** [(cli-name, description, run)] for every experiment. *)
 

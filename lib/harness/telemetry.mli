@@ -1,0 +1,61 @@
+open Sim
+
+(** Consumers of the {!Trace.Timeseries} gauge series: the instrumented
+    churn run, a cross-check of the sampled series against the
+    supervisor's event log, CSV emission, and a [top]-style textual
+    dashboard of cluster health at the end of a run. *)
+
+val default_interval : Time.t
+(** 100 us of virtual time between samples. *)
+
+val instrumented_churn :
+  ?params:Churn.params -> ?interval:Time.t -> unit -> Churn.report * Trace.Timeseries.t
+(** {!Churn.run} with a live timeseries attached; deterministic per
+    seed, and byte-identical in behaviour to an uninstrumented run. *)
+
+type agreement = {
+  windows_total : int;  (** degraded windows in the supervisor log *)
+  windows_seen : int;  (** of those, windows the sampler caught *)
+  degraded_signals : int;
+      (** degraded evidence in the series: samples with [sup.degraded]
+          set, plus consecutive pairs across which the cumulative
+          [perseas.degraded_us] gauge grew — the latter catches windows
+          that open and close entirely between two pumps *)
+  matched_signals : int;  (** of those, overlapping some window *)
+}
+
+val degraded_spans :
+  target:int -> Perseas.Supervisor.event list -> (Time.t * Time.t option) list
+(** [[start, restored)] spans where the replication factor sat below
+    [target], replayed from [Mirror_lost]/[Recruited] events; an
+    unhealed window has no restoration time. *)
+
+val agreement :
+  ?slack:Time.t ->
+  target:int ->
+  samples:Trace.Timeseries.sample list ->
+  Perseas.Supervisor.event list ->
+  agreement
+(** Cross-check: every degraded signal in the series must overlap some
+    supervisor-logged window, within [slack] (default 5 ms — the
+    sampler labels with grid time but reads state at pump time, so a
+    signal can sit a whole resync copy before the state it describes;
+    slack only needs to be small against the time between failures). *)
+
+val check_agreement : agreement -> unit
+(** Raises [Failure] when the series and the log disagree: a degraded
+    signal outside every window, or logged windows with no degraded
+    evidence in the series at all. *)
+
+val csv : tel:Trace.Timeseries.t -> string list * string list list
+(** [(header, rows)] of the full series — one row per sample, one
+    column per gauge, missing gauges as 0. *)
+
+val sparkline : ?width:int -> Trace.Timeseries.t -> string -> string
+(** Eight-level block sparkline of one gauge over the run; each column
+    is the max over its bucket so narrow spikes survive. *)
+
+val top : Churn.report -> Trace.Timeseries.t -> string
+(** The dashboard: replication health, workload and healing totals,
+    network counters, per-server liveness and sparklines, rendered
+    from a finished instrumented run. *)

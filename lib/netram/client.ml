@@ -38,6 +38,7 @@ let rpc_time t =
 let charge_rpc t op =
   let clock = Cluster.clock t.cluster in
   Clock.advance clock (rpc_time t);
+  Sci.Nic.note_rpc (Cluster.nic t.cluster);
   let sink = Sci.Nic.sink (Cluster.nic t.cluster) in
   if Trace.Sink.enabled sink then
     Trace.Sink.instant sink ~cat:"netram" ~name:"rpc" ~at:(Clock.now clock)

@@ -20,6 +20,13 @@ let pause t = t.paused <- true
 let resume t = t.paused <- false
 let is_paused t = t.paused
 
+(* Liveness as seen by a failure detector, refreshed at sample time
+   only — probing is free, so this perturbs nothing. *)
+let set_telemetry t tel ~label =
+  Trace.Timeseries.on_sample tel (fun _at ->
+      Trace.Timeseries.set tel (Printf.sprintf "netram.%s.alive" label) (if is_alive t then 1 else 0);
+      Trace.Timeseries.set tel (Printf.sprintf "netram.%s.paused" label) (if t.paused then 1 else 0))
+
 let check_alive t op =
   if not (is_alive t) then failwith (Printf.sprintf "Server.%s: server on %s is gone" op (Node.name t.node))
 

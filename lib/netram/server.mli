@@ -34,6 +34,11 @@ val resume : t -> unit
 
 val is_paused : t -> bool
 
+val set_telemetry : t -> Trace.Timeseries.t -> label:string -> unit
+(** Register a sample-time probe exporting [netram.<label>.alive] and
+    [netram.<label>.paused] (0/1) gauges — the server's liveness as a
+    time series.  Pure observer; no-op on a disabled timeseries. *)
+
 val export : t -> name:string -> size:int -> Remote_segment.t
 (** Allocate [size] bytes of the node's memory (64-byte aligned, so
     mirrored copies packetise as whole SCI buffers) and register them

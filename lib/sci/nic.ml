@@ -6,11 +6,19 @@ type t = {
   mutable bursts : int;
   mutable packets64 : int;
   mutable packets16 : int;
+  mutable packets_streamed : int;
   mutable bytes_written : int;
   mutable bytes_read : int;
   mutable sink : Trace.Sink.t;
       (* Pure observer: event emission never touches the clock or the
          packet stream, so sink on/off runs are byte-identical. *)
+  mutable tel : Trace.Timeseries.t;
+      (* Same contract as the sink: gauges observe the transfer
+         machinery, never steer it. *)
+  mutable g_burst_bytes : Trace.Gauge.t;
+  mutable g_burst_pkts : Trace.Gauge.t;
+  mutable g_rpc_ops : Trace.Gauge.t;
+  tag_gauges : (string, Trace.Gauge.t) Hashtbl.t;
 }
 
 type counters = {
@@ -25,21 +33,62 @@ let create ?(params = Params.default) clock =
   (match Params.validate params with
   | Ok () -> ()
   | Error msg -> invalid_arg ("Nic.create: invalid params: " ^ msg));
+  let inert = Trace.Timeseries.gauge Trace.Timeseries.noop "" in
   {
     params;
     clock;
     bursts = 0;
     packets64 = 0;
     packets16 = 0;
+    packets_streamed = 0;
     bytes_written = 0;
     bytes_read = 0;
     sink = Trace.Sink.noop;
+    tel = Trace.Timeseries.noop;
+    g_burst_bytes = inert;
+    g_burst_pkts = inert;
+    g_rpc_ops = inert;
+    tag_gauges = Hashtbl.create 8;
   }
 
 let params (t : t) = t.params
 let clock (t : t) = t.clock
 let set_sink (t : t) sink = t.sink <- sink
 let sink (t : t) = t.sink
+
+let set_telemetry (t : t) tel =
+  t.tel <- tel;
+  t.g_burst_bytes <- Trace.Timeseries.gauge tel "nic.burst_bytes";
+  t.g_burst_pkts <- Trace.Timeseries.gauge tel "nic.burst_pkts";
+  t.g_rpc_ops <- Trace.Timeseries.gauge tel "netram.rpc_ops";
+  Hashtbl.reset t.tag_gauges;
+  (* Cumulative counters are mirrored into gauges lazily, at sample
+     time, so the hot path pays nothing for them. *)
+  Trace.Timeseries.on_sample tel (fun _at ->
+      Trace.Timeseries.set tel "nic.bursts" t.bursts;
+      Trace.Timeseries.set tel "nic.pkts" (t.packets64 + t.packets16);
+      Trace.Timeseries.set tel "nic.pkts64" t.packets64;
+      Trace.Timeseries.set tel "nic.pkts16" t.packets16;
+      Trace.Timeseries.set tel "nic.streamed_pkts" t.packets_streamed;
+      Trace.Timeseries.set tel "nic.bytes_written" t.bytes_written;
+      Trace.Timeseries.set tel "nic.bytes_read" t.bytes_read;
+      Trace.Timeseries.set tel "nic.bytes" (t.bytes_written + t.bytes_read))
+
+let telemetry (t : t) = t.tel
+
+let tag_gauge (t : t) tag =
+  match Hashtbl.find_opt t.tag_gauges tag with
+  | Some g -> g
+  | None ->
+      let g = Trace.Timeseries.gauge t.tel ("nic.bytes." ^ tag) in
+      Hashtbl.add t.tag_gauges tag g;
+      g
+
+let note_rpc (t : t) = Trace.Gauge.add t.g_rpc_ops 1
+
+let note_burst (t : t) ~bytes ~pkts =
+  Trace.Gauge.set t.g_burst_bytes bytes;
+  Trace.Gauge.set t.g_burst_pkts pkts
 
 let counters (t : t) : counters =
   {
@@ -180,9 +229,11 @@ let apply_step (t : t) step =
   (match step.kind with
   | Packet.Full64 -> t.packets64 <- t.packets64 + 1
   | Packet.Part16 -> t.packets16 <- t.packets16 + 1);
+  if step.streamed then t.packets_streamed <- t.packets_streamed + 1;
   (match step.direction with
   | Write -> t.bytes_written <- t.bytes_written + step.len
   | Read -> t.bytes_read <- t.bytes_read + step.len);
+  if Trace.Timeseries.enabled t.tel then Trace.Gauge.add (tag_gauge t step.tag) step.len;
   if Trace.Sink.enabled t.sink then
     Trace.Sink.instant t.sink ~cat:"sci"
       ~name:(match step.kind with Packet.Full64 -> "pkt.full64" | Packet.Part16 -> "pkt.part16")
@@ -196,7 +247,11 @@ let apply_step (t : t) step =
         ]
 
 let run (t : t) plan =
-  if plan.steps <> [] then t.bursts <- t.bursts + 1;
+  if plan.steps <> [] then begin
+    t.bursts <- t.bursts + 1;
+    if Trace.Timeseries.enabled t.tel then
+      note_burst t ~bytes:plan.bytes ~pkts:(List.length plan.steps)
+  end;
   List.iter (apply_step t) plan.steps
 
 let write t ?hops ?tag ?window ~src ~src_off ~dst ~dst_off ~len () =

@@ -38,6 +38,35 @@ val set_sink : t -> Trace.Sink.t -> unit
 
 val sink : t -> Trace.Sink.t
 
+val set_telemetry : t -> Trace.Timeseries.t -> unit
+(** Attach a gauge timeseries.  The NIC then maintains, with the same
+    pure-observer contract as the sink:
+
+    - [nic.burst_bytes] / [nic.burst_pkts] — shape of the most recent
+      write-gathered burst (gauge high-water marks capture the largest
+      burst between samples);
+    - [nic.bytes.<tag>] — cumulative payload bytes per traffic class
+      ([bulk], [data], ...), updated per packet;
+    - [netram.rpc_ops] — control round trips, bumped via {!note_rpc};
+    - a sample-time probe mirroring the cumulative counters into
+      gauges: [nic.bursts], [nic.pkts], [nic.pkts64], [nic.pkts16],
+      [nic.streamed_pkts], [nic.bytes_written], [nic.bytes_read],
+      [nic.bytes].
+
+    Defaults to {!Trace.Timeseries.noop}, under which every gauge
+    update is a single branch. *)
+
+val telemetry : t -> Trace.Timeseries.t
+
+val note_rpc : t -> unit
+(** Record one control round trip ({!Netram.Client} calls this from
+    its rpc charge).  No-op when telemetry is disabled. *)
+
+val note_burst : t -> bytes:int -> pkts:int -> unit
+(** Record the shape of a burst applied step by step outside {!run}
+    (PERSEAS' interruptible commit path).  No-op when telemetry is
+    disabled. *)
+
 (** {1 Transfer plans} *)
 
 type step

@@ -116,6 +116,24 @@ let run_due t =
   in
   loop ()
 
+(* A repeating sampler: fire [f] at every grid point now + k*interval
+   (k >= 1) up to and including [until].  The queue is often pumped at
+   coarse granularity (e.g. once per transaction), so the clock may
+   have jumped past several grid points by the time an event fires;
+   those fire immediately, each receiving its own scheduled grid time,
+   which keeps the cadence regular no matter how the clock moves. *)
+let every t ~interval ~until f =
+  if interval <= 0 then invalid_arg "Events.every: interval must be positive";
+  let rec fire at () =
+    f at;
+    let next = at + interval in
+    if next <= until then
+      if next >= Clock.now t.clock then ignore (schedule t ~at:next (fire next))
+      else fire next ()
+  in
+  let first = Clock.now t.clock + interval in
+  if first <= until then ignore (schedule t ~at:first (fire first))
+
 let run_until t horizon =
   let rec loop () =
     match next_live t with

@@ -23,6 +23,16 @@ val schedule_after : t -> delay:Time.t -> (unit -> unit) -> handle
 val cancel : t -> handle -> unit
 (** Cancelling an already-fired or already-cancelled event is a no-op. *)
 
+val every : t -> interval:Time.t -> until:Time.t -> (Time.t -> unit) -> unit
+(** [every q ~interval ~until f] fires [f at] at every grid point
+    [at = now + k * interval] (k >= 1) with [at <= until].  When the
+    queue is pumped after the clock has jumped past several grid
+    points, the missed points fire back to back — each still receives
+    its own scheduled grid time, so a telemetry sampler keeps a regular
+    row cadence regardless of pump granularity.  Nothing stays
+    scheduled past [until].  Raises [Invalid_argument] on a
+    non-positive interval. *)
+
 val pending : t -> int
 (** Number of scheduled, not-yet-fired, not-cancelled events. *)
 

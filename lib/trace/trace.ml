@@ -26,60 +26,87 @@ end
 (* Sinks                                                                *)
 
 module Sink = struct
-  type mem = {
-    mutable spans : Span.t list; (* newest first *)
-    mutable events : Event.t list; (* newest first *)
-    mutable nspans : int;
-    mutable nevents : int;
+  (* A store is either unbounded (newest-first list) or a fixed-size
+     circular buffer that forgets its oldest entries.  [total] counts
+     everything ever recorded, so cursors handed out by [span_count]
+     keep their meaning after the ring wraps. *)
+  type 'a store = {
+    cap : int; (* 0 = unbounded *)
+    mutable items : 'a list; (* newest first; unbounded mode only *)
+    ring : 'a option array; (* capped mode only; [||] otherwise *)
+    mutable total : int;
   }
 
+  let store cap =
+    { cap; items = []; ring = (if cap > 0 then Array.make cap None else [||]); total = 0 }
+
+  let store_add s x =
+    if s.cap > 0 then s.ring.(s.total mod s.cap) <- Some x else s.items <- x :: s.items;
+    s.total <- s.total + 1
+
+  let store_dropped s = if s.cap > 0 then max 0 (s.total - s.cap) else 0
+
+  (* Still-retained items recorded after the first [n], oldest first.
+     The newest-first list makes that suffix a prefix: take (total - n)
+     from the head, then restore order. *)
+  let store_since s ~n =
+    if s.cap = 0 then begin
+      let rec take acc k = function
+        | x :: rest when k > 0 -> take (x :: acc) (k - 1) rest
+        | _ -> acc
+      in
+      take [] (s.total - n) s.items
+    end
+    else begin
+      let start = max n (max 0 (s.total - s.cap)) in
+      List.init (max 0 (s.total - start)) (fun i -> Option.get s.ring.((start + i) mod s.cap))
+    end
+
+  let store_list s = store_since s ~n:0
+
+  let store_clear s =
+    s.items <- [];
+    if s.cap > 0 then Array.fill s.ring 0 s.cap None;
+    s.total <- 0
+
+  type mem = { sp : Span.t store; ev : Event.t store }
   type t = Noop | Memory of mem
 
   let noop = Noop
-  let memory () = Memory { spans = []; events = []; nspans = 0; nevents = 0 }
+
+  let memory ?capacity () =
+    let cap =
+      match capacity with
+      | None -> 0
+      | Some c when c > 0 -> c
+      | Some c -> invalid_arg (Printf.sprintf "Trace.Sink.memory: capacity %d not positive" c)
+    in
+    Memory { sp = store cap; ev = store cap }
+
   let enabled = function Noop -> false | Memory _ -> true
 
   let span ?(args = []) t ~cat ~name ~start ~stop =
     match t with
     | Noop -> ()
-    | Memory m ->
-        m.spans <- { Span.name; cat; start; stop; args } :: m.spans;
-        m.nspans <- m.nspans + 1
+    | Memory m -> store_add m.sp { Span.name; cat; start; stop; args }
 
   let instant ?(args = []) t ~cat ~name ~at =
-    match t with
-    | Noop -> ()
-    | Memory m ->
-        m.events <- { Event.name; cat; at; args } :: m.events;
-        m.nevents <- m.nevents + 1
+    match t with Noop -> () | Memory m -> store_add m.ev { Event.name; cat; at; args }
 
-  let spans = function Noop -> [] | Memory m -> List.rev m.spans
-  let events = function Noop -> [] | Memory m -> List.rev m.events
-  let span_count = function Noop -> 0 | Memory m -> m.nspans
-  let event_count = function Noop -> 0 | Memory m -> m.nevents
-
-  (* The newest-first list makes "everything after the first n" a
-     prefix: take (count - n) from the head, then restore order. *)
-  let take_since newest_first ~total ~n =
-    let rec take acc k = function
-      | x :: rest when k > 0 -> take (x :: acc) (k - 1) rest
-      | _ -> acc
-    in
-    take [] (total - n) newest_first
-
-  let spans_since t n =
-    match t with Noop -> [] | Memory m -> take_since m.spans ~total:m.nspans ~n
-
-  let events_since t n =
-    match t with Noop -> [] | Memory m -> take_since m.events ~total:m.nevents ~n
+  let spans = function Noop -> [] | Memory m -> store_list m.sp
+  let events = function Noop -> [] | Memory m -> store_list m.ev
+  let span_count = function Noop -> 0 | Memory m -> m.sp.total
+  let event_count = function Noop -> 0 | Memory m -> m.ev.total
+  let dropped_spans = function Noop -> 0 | Memory m -> store_dropped m.sp
+  let dropped_events = function Noop -> 0 | Memory m -> store_dropped m.ev
+  let spans_since t n = match t with Noop -> [] | Memory m -> store_since m.sp ~n
+  let events_since t n = match t with Noop -> [] | Memory m -> store_since m.ev ~n
 
   let clear = function
     | Noop -> ()
     | Memory m ->
-        m.spans <- [];
-        m.events <- [];
-        m.nspans <- 0;
-        m.nevents <- 0
+        store_clear m.sp;
+        store_clear m.ev
 end
 
 (* ------------------------------------------------------------------ *)
@@ -176,6 +203,131 @@ module Registry = struct
 end
 
 (* ------------------------------------------------------------------ *)
+(* Gauges and time series                                               *)
+
+module Gauge = struct
+  type t = { name : string; live : bool; mutable v : int; mutable hwm : int }
+
+  (* All gauge handles obtained from a disabled timeseries are this
+     shared dummy, so instrumentation sites pay one branch when
+     telemetry is off — the same contract as Sink.noop. *)
+  let dummy = { name = ""; live = false; v = 0; hwm = 0 }
+  let name g = g.name
+  let value g = g.v
+  let hwm g = g.hwm
+
+  let set g x =
+    if g.live then begin
+      g.v <- x;
+      if x > g.hwm then g.hwm <- x
+    end
+
+  let add g dx =
+    if g.live then begin
+      let x = g.v + dx in
+      g.v <- x;
+      if x > g.hwm then g.hwm <- x
+    end
+end
+
+module Timeseries = struct
+  type sample = { at : Time.t; values : (string * int) list }
+
+  type live = {
+    gauges : (string, Gauge.t) Hashtbl.t;
+    mutable samples : sample list; (* newest first *)
+    mutable nsamples : int;
+    mutable probes : (Time.t -> unit) list; (* registration order, newest first *)
+  }
+
+  type t = Noop | Live of live
+
+  let noop = Noop
+
+  let create () =
+    Live { gauges = Hashtbl.create 32; samples = []; nsamples = 0; probes = [] }
+
+  let enabled = function Noop -> false | Live _ -> true
+
+  let gauge t name =
+    match t with
+    | Noop -> Gauge.dummy
+    | Live l -> (
+        match Hashtbl.find_opt l.gauges name with
+        | Some g -> g
+        | None ->
+            let g = { Gauge.name; live = true; v = 0; hwm = 0 } in
+            Hashtbl.add l.gauges name g;
+            g)
+
+  let set t name x = Gauge.set (gauge t name) x
+  let add t name dx = Gauge.add (gauge t name) dx
+  let value t name = Gauge.value (gauge t name)
+  let hwm t name = Gauge.hwm (gauge t name)
+
+  let names t =
+    match t with
+    | Noop -> []
+    | Live l -> Hashtbl.fold (fun n _ acc -> n :: acc) l.gauges [] |> List.sort compare
+
+  let on_sample t f = match t with Noop -> () | Live l -> l.probes <- f :: l.probes
+
+  (* A derivative gauge: at each sample, [name] becomes the per-second
+     rate of change of [source] since the previous sample (0 on the
+     first).  Register rates after the probes that refresh [source] so
+     they see fresh values — probes run in registration order. *)
+  let rate t ~name ~source =
+    match t with
+    | Noop -> ()
+    | Live _ ->
+        let out = gauge t name in
+        let src = gauge t source in
+        let prev = ref None in
+        on_sample t (fun at ->
+            (match !prev with
+            | Some (at0, v0) when at > at0 ->
+                let per_s = float_of_int (Gauge.value src - v0) /. Time.to_s (at - at0) in
+                Gauge.set out (int_of_float (Float.round per_s))
+            | _ -> Gauge.set out 0);
+            prev := Some (at, Gauge.value src))
+
+  let sample t ~at =
+    match t with
+    | Noop -> ()
+    | Live l ->
+        List.iter (fun f -> f at) (List.rev l.probes);
+        let values =
+          Hashtbl.fold (fun n g acc -> (n, g.Gauge.v) :: acc) l.gauges []
+          |> List.sort (fun (a, _) (b, _) -> compare a b)
+        in
+        l.samples <- { at; values } :: l.samples;
+        l.nsamples <- l.nsamples + 1
+
+  let samples t = match t with Noop -> [] | Live l -> List.rev l.samples
+  let sample_count = function Noop -> 0 | Live l -> l.nsamples
+
+  let to_json t =
+    let b = Buffer.create 256 in
+    Buffer.add_string b "{\"gauges\":{";
+    (match t with
+    | Noop -> ()
+    | Live l ->
+        let gs =
+          Hashtbl.fold (fun n g acc -> (n, g) :: acc) l.gauges []
+          |> List.sort (fun (a, _) (b, _) -> compare a b)
+        in
+        List.iteri
+          (fun i (n, (g : Gauge.t)) ->
+            if i > 0 then Buffer.add_char b ',';
+            Buffer.add_string b
+              (Printf.sprintf "\"%s\":{\"value\":%d,\"hwm\":%d}" (Registry.json_escape n) g.v
+                 g.hwm))
+          gs);
+    Buffer.add_string b "}}";
+    Buffer.contents b
+end
+
+(* ------------------------------------------------------------------ *)
 (* Per-phase breakdown                                                  *)
 
 type phase_stat = { phase : string; count : int; total_us : float; mean_us : float }
@@ -230,7 +382,7 @@ module Export = struct
     | Some m -> ( match int_of_string_opt m with Some i -> i + 2 | None -> 1)
     | None -> 1
 
-  let chrome_json ~spans ~events =
+  let chrome_json ?(series = []) ~spans ~events () =
     let b = Buffer.create 4096 in
     Buffer.add_string b "{\"traceEvents\":[";
     let first = ref true in
@@ -251,6 +403,19 @@ module Export = struct
              (escape e.name) (escape e.cat) (Time.to_us e.at) (tid_of e.args)
              (args_json e.args)))
       events;
+    (* Gauge samples become ph:"C" counter events; Perfetto renders one
+       counter track per (pid, name). *)
+    List.iter
+      (fun (s : Timeseries.sample) ->
+        List.iter
+          (fun (name, v) ->
+            sep ();
+            Buffer.add_string b
+              (Printf.sprintf
+                 "{\"name\":\"%s\",\"ph\":\"C\",\"ts\":%.3f,\"pid\":1,\"args\":{\"value\":%d}}"
+                 (escape name) (Time.to_us s.at) v))
+          s.values)
+      series;
     Buffer.add_string b "],\"displayTimeUnit\":\"ns\"}";
     Buffer.contents b
 
@@ -260,12 +425,12 @@ module Export = struct
       Sys.mkdir dir 0o755
     end
 
-  let chrome_json_to_file ~path ~spans ~events =
+  let chrome_json_to_file ?series ~path ~spans ~events () =
     mkdir_p (Filename.dirname path);
     let oc = open_out path in
     Fun.protect
       ~finally:(fun () -> close_out oc)
-      (fun () -> output_string oc (chrome_json ~spans ~events))
+      (fun () -> output_string oc (chrome_json ?series ~spans ~events ()))
 
   let phase_csv_header = [ "phase"; "count"; "total (us)"; "mean (us)"; "share" ]
 
@@ -281,4 +446,15 @@ module Export = struct
           (if grand > 0. then Printf.sprintf "%.1f%%" (100. *. p.total_us /. grand) else "-");
         ])
       stats
+
+  let timeseries_csv_header names = "t (us)" :: names
+
+  let timeseries_csv_rows ~names samples =
+    List.map
+      (fun (s : Timeseries.sample) ->
+        Printf.sprintf "%.3f" (Time.to_us s.at)
+        :: List.map
+             (fun n -> string_of_int (Option.value ~default:0 (List.assoc_opt n s.values)))
+             names)
+      samples
 end

@@ -60,8 +60,15 @@ module Sink : sig
       sites skip even the clock reads.  This is the default wired into
       every component. *)
 
-  val memory : unit -> t
-  (** Records spans and events in order, unbounded. *)
+  val memory : ?capacity:int -> unit -> t
+  (** Records spans and events in order.  Without [capacity] the sink
+      is unbounded (the default, and what the tests rely on); with
+      [capacity] it keeps the most recent [capacity] spans and the most
+      recent [capacity] events in a ring, silently dropping the oldest
+      — {!dropped_spans} / {!dropped_events} count the casualties, and
+      {!span_count} / {!event_count} keep counting everything ever
+      recorded so cursors survive the wrap.  Raises [Invalid_argument]
+      on a non-positive capacity. *)
 
   val enabled : t -> bool
 
@@ -79,9 +86,15 @@ module Sink : sig
   val span_count : t -> int
   val event_count : t -> int
 
+  val dropped_spans : t -> int
+  (** Spans evicted by a capped sink's ring; 0 when unbounded. *)
+
+  val dropped_events : t -> int
+
   val spans_since : t -> int -> Span.t list
   (** [spans_since t n] is the spans recorded after the first [n] —
-      pair with {!span_count} to scope a measurement window. *)
+      pair with {!span_count} to scope a measurement window.  On a
+      capped sink, entries already evicted from the ring are absent. *)
 
   val events_since : t -> int -> Event.t list
   val clear : t -> unit
@@ -123,6 +136,80 @@ module Registry : sig
   val pp : Format.formatter -> t -> unit
 end
 
+(** {1 Gauges and time series}
+
+    Counters only go up; gauges hold the {e current} level of something
+    — buffer occupancy, live-mirror count, spare-pool depth — and a
+    {!Timeseries} snapshots every gauge at virtual-clock instants
+    chosen by a sampler ({!Sim.Events.every} in practice).  Like sinks,
+    the layer is a pure observer: a disabled timeseries hands out a
+    shared dummy gauge so every [set]/[add] is a single branch, and
+    sampling reads the clock without ever advancing it. *)
+
+module Gauge : sig
+  type t
+
+  val name : t -> string
+  val value : t -> int
+
+  val hwm : t -> int
+  (** High-water mark: the largest value ever [set]/[add]-ed, which
+      captures between-samples peaks the sampler never sees. *)
+
+  val set : t -> int -> unit
+  val add : t -> int -> unit
+end
+
+module Timeseries : sig
+  type t
+
+  type sample = { at : Time.t; values : (string * int) list }
+  (** One snapshot: every gauge's value at virtual time [at], sorted by
+      gauge name. *)
+
+  val noop : t
+  (** Disabled: gauges are dummies, probes are dropped, sampling is a
+      no-op.  The default wired into every component. *)
+
+  val create : unit -> t
+  val enabled : t -> bool
+
+  val gauge : t -> string -> Gauge.t
+  (** Find-or-create by name; the shared inert dummy on {!noop}. *)
+
+  val set : t -> string -> int -> unit
+  val add : t -> string -> int -> unit
+  val value : t -> string -> int
+  val hwm : t -> string -> int
+
+  val names : t -> string list
+  (** Registered gauge names, sorted. *)
+
+  val on_sample : t -> (Time.t -> unit) -> unit
+  (** Register a probe run at the start of every {!sample}, receiving
+      the sample's virtual time.  Probes run in registration order —
+      components register value-refreshing probes first, {!rate}
+      probes last. *)
+
+  val rate : t -> name:string -> source:string -> unit
+  (** Derivative gauge: at each sample, [name] holds the per-second
+      rate of change of gauge [source] since the previous sample (0 on
+      the first).  Registers an {!on_sample} probe, so call it after
+      the probes that refresh [source]. *)
+
+  val sample : t -> at:Time.t -> unit
+  (** Run the probes, then record every gauge's value at [at]. *)
+
+  val samples : t -> sample list
+  (** Oldest first. *)
+
+  val sample_count : t -> int
+
+  val to_json : t -> string
+  (** Snapshot as [{"gauges":{"name":{"value":v,"hwm":h},...}}],
+      names escaped and sorted. *)
+end
+
 (** {1 Per-phase breakdown} *)
 
 type phase_stat = { phase : string; count : int; total_us : float; mean_us : float }
@@ -139,16 +226,21 @@ val register_spans : Registry.t -> Span.t list -> unit
 (** {1 Exporters} *)
 
 module Export : sig
-  val chrome_json : spans:Span.t list -> events:Event.t list -> string
+  val chrome_json :
+    ?series:Timeseries.sample list -> spans:Span.t list -> events:Event.t list -> unit -> string
   (** Chrome [trace_event] JSON (one [{"traceEvents": [...]}] object):
       spans as complete ([ph:"X"]) events, instants as [ph:"i"], with
       microsecond timestamps.  Loads directly in Perfetto
       ({{:https://ui.perfetto.dev}ui.perfetto.dev}) and
       [chrome://tracing].  Spans carrying a [mirror] arg are placed on
       a per-mirror track (tid = mirror + 2) so the per-mirror undo and
-      propagation phases line up visually. *)
+      propagation phases line up visually.  [series] samples are
+      emitted as [ph:"C"] counter events — Perfetto draws one counter
+      track per gauge name. *)
 
-  val chrome_json_to_file : path:string -> spans:Span.t list -> events:Event.t list -> unit
+  val chrome_json_to_file :
+    ?series:Timeseries.sample list ->
+    path:string -> spans:Span.t list -> events:Event.t list -> unit -> unit
   (** Creates parent directories as needed. *)
 
   val phase_csv_header : string list
@@ -156,4 +248,11 @@ module Export : sig
 
   val phase_csv_rows : phase_stat list -> string list list
   (** [share] is each phase's fraction of the summed total. *)
+
+  val timeseries_csv_header : string list -> string list
+  (** ["t (us)"] followed by the given gauge names. *)
+
+  val timeseries_csv_rows : names:string list -> Timeseries.sample list -> string list list
+  (** One row per sample, columns in [names] order (0 when a gauge did
+      not exist yet at that sample). *)
 end

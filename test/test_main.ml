@@ -22,6 +22,7 @@ let () =
       ("pqueue", Test_pqueue.suite);
       ("engines-generic", Test_engines_generic.suite);
       ("trace", Test_trace.suite);
+      ("telemetry", Test_telemetry.suite);
       ("harness", Test_harness.suite);
       ("availability", Test_availability.suite);
       ("integration", Test_integration.suite);

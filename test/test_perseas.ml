@@ -234,7 +234,7 @@ let test_stats_accounting () =
   let s = P.stats b.t in
   check_int "begun" 2 s.begun;
   check_int "committed" 1 s.committed;
-  check_int "aborted" 1 s.aborted;
+  check_int "aborts" 1 s.aborts;
   check_int "set_ranges" 2 s.set_ranges;
   check_int "undo bytes" 20 s.undo_bytes_logged
 

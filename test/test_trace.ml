@@ -276,7 +276,7 @@ let test_chrome_export () =
   let sink = Trace.Sink.memory () in
   P.set_sink b.t sink;
   run_workload b seg 5;
-  let json = Trace.Export.chrome_json ~spans:(Trace.Sink.spans sink) ~events:(Trace.Sink.events sink) in
+  let json = Trace.Export.chrome_json ~spans:(Trace.Sink.spans sink) ~events:(Trace.Sink.events sink) () in
   let has affix = contains json affix in
   check_bool "trace_event envelope" true (has "{\"traceEvents\":[");
   check_bool "complete spans" true (has "\"ph\":\"X\"");
