@@ -235,10 +235,21 @@ let crash_demo_cmd =
 
 let crash_sweep_cmd =
   let scenario_arg =
-    let doc = "Scenario: commit (multi-range debit-credit) or attach (mirror resync)." in
+    let doc =
+      "Scenario: commit (multi-range debit-credit), attach (mirror resync), overlap \
+       (redundancy-elision stress mix) or overlap-naive (same mix, elision off)."
+    in
     Arg.(
       value
-      & opt (enum [ ("commit", `Commit); ("attach", `Attach) ]) `Commit
+      & opt
+          (enum
+             [
+               ("commit", `Commit);
+               ("attach", `Attach);
+               ("overlap", `Overlap);
+               ("overlap-naive", `Overlap_naive);
+             ])
+          `Commit
       & info [ "scenario" ] ~doc)
   in
   let victim_arg =
@@ -275,6 +286,8 @@ let crash_sweep_cmd =
         match scenario with
         | `Commit -> C.commit_scenario ~mirrors ~ranges ~range_len ()
         | `Attach -> C.attach_scenario ~mirrors ()
+        | `Overlap -> C.overlap_scenario ~mirrors ()
+        | `Overlap_naive -> C.overlap_scenario ~mirrors ~elision:false ()
       in
       let victim = match victim with `Primary -> C.Primary | `Mirror -> C.Mirror mirror_index in
       match C.sweep ~victim scenario with

@@ -2,11 +2,14 @@ open Sim
 module Node = Cluster.Node
 module Device = Disk.Device
 module Layout = Perseas.Layout
+module Iset = Perseas.Iset
+module Imap = Map.Make (Int)
 
 type config = {
   undo_capacity : int;
   max_segments : int;
   strict_updates : bool;
+  redundancy_elision : bool;
   software_overhead_commit : Time.t;
 }
 
@@ -15,6 +18,7 @@ let default_config =
     undo_capacity = (1024 * 1024) + (64 * 1024);
     max_segments = 64;
     strict_updates = true;
+    redundancy_elision = true;
     software_overhead_commit = Time.us 0.3;
   }
 
@@ -25,7 +29,13 @@ type segment = { seg_name : string; index : int; size : int; file_off : int }
 
 type range = { r_seg : segment; r_off : int; r_len : int; slot : int }
 
-type txn = { owner : t; mutable ranges : range list; mutable tail : int; mutable open_ : bool }
+type txn = {
+  owner : t;
+  mutable ranges : range list; (* logged undo fragments, newest first *)
+  mutable wset : Iset.t Imap.t; (* coalesced declared ranges per segment *)
+  mutable tail : int;
+  mutable open_ : bool;
+}
 
 and t = {
   config : config;
@@ -95,25 +105,47 @@ let init_done t =
 let begin_transaction t =
   if not t.ready then failwith "Vista.begin_transaction: call init_done first";
   (match t.active with Some _ -> failwith "Vista.begin_transaction: transaction already open" | None -> ());
-  let txn = { owner = t; ranges = []; tail = 0; open_ = true } in
+  let txn = { owner = t; ranges = []; wset = Imap.empty; tail = 0; open_ = true } in
   t.active <- Some txn;
   txn
 
 let check_open txn op = if not txn.open_ then failwith (Printf.sprintf "Vista.%s: transaction closed" op)
 
+let txn_iset txn seg =
+  match Imap.find_opt seg.index txn.wset with Some s -> s | None -> Iset.empty
+
+(* First-write-only logging (the design Vista pioneered and PERSEAS
+   mirrors under [redundancy_elision]): a sub-range already declared
+   this transaction keeps its original before-image, so only the
+   uncovered fragments get undo records. *)
 let set_range txn seg ~off ~len =
   check_open txn "set_range";
   check_seg_range seg ~off ~len "set_range";
   if len = 0 then invalid_arg "Vista.set_range: empty range";
   let t = txn.owner in
-  let record_len = Layout.undo_header_size + len in
-  if txn.tail + record_len > t.config.undo_capacity then failwith "Vista.set_range: undo log full";
-  let payload = Device.peek t.device ~off:(seg.file_off + off) ~len in
-  let record = Layout.encode_undo { Layout.epoch = t.epoch; seg_index = seg.index; off; len } ~payload in
-  let slot = txn.tail in
-  Device.write t.device ~off:(undo_off + slot) record;
-  txn.ranges <- { r_seg = seg; r_off = off; r_len = len; slot } :: txn.ranges;
-  txn.tail <- Layout.undo_slot ~off:slot ~payload_len:len
+  let prior = txn_iset txn seg in
+  let fragments =
+    if t.config.redundancy_elision then Iset.uncovered prior ~off ~len else [ (off, len) ]
+  in
+  let rec fits tail = function
+    | [] -> true
+    | (_, flen) :: rest ->
+        tail + Layout.undo_header_size + flen <= t.config.undo_capacity
+        && fits (Layout.undo_slot ~off:tail ~payload_len:flen) rest
+  in
+  if not (fits txn.tail fragments) then failwith "Vista.set_range: undo log full";
+  List.iter
+    (fun (off, len) ->
+      let payload = Device.peek t.device ~off:(seg.file_off + off) ~len in
+      let record =
+        Layout.encode_undo { Layout.epoch = t.epoch; seg_index = seg.index; off; len } ~payload
+      in
+      let slot = txn.tail in
+      Device.write t.device ~off:(undo_off + slot) record;
+      txn.ranges <- { r_seg = seg; r_off = off; r_len = len; slot } :: txn.ranges;
+      txn.tail <- Layout.undo_slot ~off:slot ~payload_len:len)
+    fragments;
+  txn.wset <- Imap.add seg.index (Iset.add prior ~off ~len) txn.wset
 
 let epoch_bytes e =
   let b = Bytes.create 8 in
@@ -149,10 +181,7 @@ let abort txn =
   txn.open_ <- false;
   t.active <- None
 
-let covered txn seg ~off ~len =
-  List.exists
-    (fun r -> r.r_seg == seg && r.r_off <= off && off + len <= r.r_off + r.r_len)
-    txn.ranges
+let covered txn seg ~off ~len = Iset.covers (txn_iset txn seg) ~off ~len
 
 let write t seg ~off data =
   let len = Bytes.length data in

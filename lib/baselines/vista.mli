@@ -20,6 +20,13 @@ type config = {
   undo_capacity : int;
   max_segments : int;
   strict_updates : bool;
+  redundancy_elision : bool;
+      (** First-write-only undo logging (default): re-declared
+          sub-ranges are not logged again — the original before-image
+          is the one recovery restores.  Matches
+          {!Perseas.config.redundancy_elision} so the cross-engine
+          comparison stays honest; disable for the naive
+          one-record-per-call oracle. *)
   software_overhead_commit : Time.t;  (** Vista's path is a few stores. *)
 }
 

@@ -1,9 +1,11 @@
 open Sim
 module Txn_intf = Txn_intf
 module Layout = Layout
+module Iset = Iset
 module Node = Cluster.Node
 module Client = Netram.Client
 module Remote_segment = Netram.Remote_segment
+module Imap = Map.Make (Int)
 
 let src = Logs.Src.create "perseas" ~doc:"PERSEAS transaction library"
 
@@ -14,6 +16,7 @@ type config = {
   max_segments : int;
   strict_updates : bool;
   optimized_memcpy : bool;
+  redundancy_elision : bool;
   namespace : string;
   dirty_log_limit : int;
 }
@@ -24,6 +27,7 @@ let default_config =
     max_segments = 64;
     strict_updates = true;
     optimized_memcpy = true;
+    redundancy_elision = true;
     namespace = Layout.default_namespace;
     dirty_log_limit = 4096;
   }
@@ -52,7 +56,10 @@ type stats = {
   aborts : int;
   set_ranges : int;
   undo_bytes_logged : int;
+  elided_undo_bytes : int;
   undo_hwm_bytes : int;
+  coalesced_ranges : int;
+  commit_bytes_saved : int;
   local_copy_bytes : int;
   mirrors_lost : int;
   mirrors_recruited : int;
@@ -104,7 +111,10 @@ type t = {
   mutable st_aborted : int;
   mutable st_set_ranges : int;
   mutable st_undo_bytes : int;
+  mutable st_elided_bytes : int;
   mutable st_undo_hwm : int;
+  mutable st_coalesced_ranges : int;
+  mutable st_commit_saved : int;
   mutable st_local_copy_bytes : int;
   mutable st_mirrors_lost : int;
   mutable st_mirrors_recruited : int;
@@ -113,7 +123,15 @@ type t = {
 
 and range = { r_seg : segment; r_off : int; r_len : int; staging_off : int (* payload offset in undo staging *) }
 
-and txn = { owner : t; mutable ranges : range list (* newest first *); mutable tail : int; mutable open_ : bool }
+and txn = {
+  owner : t;
+  mutable ranges : range list; (* logged undo fragments, newest first *)
+  mutable wset : Iset.t Imap.t; (* write-set index: coalesced declared ranges per segment *)
+  mutable declared : int; (* set_range calls this transaction, pre-coalescing *)
+  mutable declared_bytes : int;
+  mutable tail : int;
+  mutable open_ : bool;
+}
 
 type mirror_info = { node_id : int; alive : bool }
 
@@ -220,6 +238,9 @@ let set_telemetry t tel =
       Trace.Timeseries.set tel "perseas.live_mirrors" (mirror_count t);
       Trace.Timeseries.set tel "perseas.dirty_log" t.dirty_count;
       Trace.Timeseries.set tel "perseas.undo_hwm_bytes" t.st_undo_hwm;
+      Trace.Timeseries.set tel "perseas.elided_undo_bytes" t.st_elided_bytes;
+      Trace.Timeseries.set tel "perseas.coalesced_ranges" t.st_coalesced_ranges;
+      Trace.Timeseries.set tel "perseas.commit_bytes_saved" t.st_commit_saved;
       Trace.Timeseries.set tel "perseas.committed" t.st_committed;
       Trace.Timeseries.set tel "perseas.aborts" t.st_aborted;
       Trace.Timeseries.set tel "perseas.mirrors_lost" t.st_mirrors_lost;
@@ -322,7 +343,10 @@ let init_replicated ?(config = default_config) clients =
       st_aborted = 0;
       st_set_ranges = 0;
       st_undo_bytes = 0;
+      st_elided_bytes = 0;
       st_undo_hwm = 0;
+      st_coalesced_ranges = 0;
+      st_commit_saved = 0;
       st_local_copy_bytes = 0;
       st_mirrors_lost = 0;
       st_mirrors_recruited = 0;
@@ -417,7 +441,9 @@ let begin_transaction t =
   if not t.ready then failwith "Perseas.begin_transaction: call init_remote_db first";
   (match t.active with Some _ -> failwith "Perseas.begin_transaction: transaction already open" | None -> ());
   traced t ~name:"begin" (fun () -> Clock.advance (clock t) t_begin);
-  let txn = { owner = t; ranges = []; tail = 0; open_ = true } in
+  let txn =
+    { owner = t; ranges = []; wset = Imap.empty; declared = 0; declared_bytes = 0; tail = 0; open_ = true }
+  in
   t.active <- Some txn;
   t.st_begun <- t.st_begun + 1;
   txn
@@ -435,19 +461,39 @@ let close txn =
   Trace.Gauge.set txn.owner.g_undo_tail 0;
   txn.owner.active <- None
 
-(* Record ranges in the dirty log so an ex-mirror can later be resynced
-   incrementally.  [tag] is the lowest epoch whose confirmation implies
-   a mirror already holds these bytes; entries are kept newest-first
-   and tags never decrease toward the head.  The log is bounded: on
-   overflow the oldest entries are dropped and [dirty_floor] rises to
-   the largest dropped tag, shrinking the window in which incremental
-   resync is possible (older returners get a full copy instead). *)
-let note_dirty t ~tag ranges =
+(* The transaction's write-set index: one interval set per touched
+   segment, keyed by segment index.  Maintained for every transaction
+   regardless of [redundancy_elision] — [covered] and the dirty-log
+   compaction read it — while elision additionally consults it to skip
+   redundant undo logging and to coalesce commit propagation. *)
+let txn_iset txn seg =
+  match Imap.find_opt seg.index txn.wset with Some s -> s | None -> Iset.empty
+
+(* The write-set as coalesced [(seg_index, off, len)] runs — what the
+   dirty log records for this transaction.  Exact bytes (no packet
+   snapping): the dirty log feeds incremental resync, which widens at
+   the NIC layer anyway. *)
+let dirty_runs txn =
+  List.rev
+    (Imap.fold
+       (fun index iset acc ->
+         List.fold_left (fun acc (off, len) -> (index, off, len) :: acc) acc (Iset.intervals iset))
+       txn.wset [])
+
+(* Record coalesced [(seg_index, off, len)] runs in the dirty log so an
+   ex-mirror can later be resynced incrementally.  [tag] is the lowest
+   epoch whose confirmation implies a mirror already holds these bytes;
+   entries are kept newest-first and tags never decrease toward the
+   head.  The log is bounded: on overflow the oldest entries are
+   dropped and [dirty_floor] rises to the largest dropped tag,
+   shrinking the window in which incremental resync is possible (older
+   returners get a full copy instead). *)
+let note_dirty t ~tag runs =
   List.iter
-    (fun r ->
-      t.dirty <- { d_epoch = tag; d_seg = r.r_seg.index; d_off = r.r_off; d_len = r.r_len } :: t.dirty;
+    (fun (seg_index, off, len) ->
+      t.dirty <- { d_epoch = tag; d_seg = seg_index; d_off = off; d_len = len } :: t.dirty;
       t.dirty_count <- t.dirty_count + 1)
-    ranges;
+    runs;
   let limit = t.config.dirty_log_limit in
   if t.dirty_count > limit then begin
     let rec take n = function
@@ -478,7 +524,7 @@ let rollback_local txn =
      transaction even though it rolled back locally: conservatively
      mark the ranges dirty at the epoch the next commit will stamp so
      an incremental resync of that mirror re-copies them. *)
-  note_dirty t ~tag:(Int64.add t.epoch 1L) txn.ranges
+  note_dirty t ~tag:(Int64.add t.epoch 1L) (dirty_runs txn)
 
 (* Losing the last mirror mid-operation must not wedge the library:
    roll the local image back to the pre-transaction state, close the
@@ -496,17 +542,14 @@ let guard_mirror_loss txn f =
           (if txn.ranges = [] then "operation" else "transaction"));
     raise All_mirrors_lost
 
-let set_range txn seg ~off ~len =
-  check_open txn "set_range";
-  check_seg_range seg ~off ~len "set_range";
-  if len = 0 then invalid_arg "Perseas.set_range: empty range";
+(* Append one undo record — the before-image of [seg[off, off+len)] —
+   to the local log and push it to every remote log (Figure 3, steps 1
+   and 2).  The caller has already reserved the log space. *)
+let log_undo_record txn seg ~off ~len =
   let t = txn.owner in
-  traced t ~name:"set_range" (fun () -> Clock.advance (clock t) t_set_range);
   let record_len = Layout.undo_header_size + len in
-  if txn.tail + record_len > t.config.undo_capacity then raise Undo_overflow;
   let image = local_dram t in
   let slot = txn.tail in
-  (* Figure 3, step 1: before-image into the local undo log. *)
   traced t ~name:"local_undo" (fun () ->
       let payload = Mem.Image.read_bytes image ~off:(Mem.Segment.base seg.local + off) ~len in
       let record =
@@ -514,7 +557,6 @@ let set_range txn seg ~off ~len =
       in
       Mem.Image.write_bytes image ~off:(Mem.Segment.base t.undo_local + slot) record;
       charge_local_copy t record_len);
-  (* Figure 3, step 2: push the record to every remote undo log. *)
   guard_mirror_loss txn (fun () ->
       each_live_mirror t (fun i m ->
           traced t ~name:"remote_undo" ~args:[ ("mirror", string_of_int i) ] (fun () ->
@@ -526,17 +568,81 @@ let set_range txn seg ~off ~len =
     :: txn.ranges;
   txn.tail <- Layout.undo_slot ~off:slot ~payload_len:len;
   if txn.tail > t.st_undo_hwm then t.st_undo_hwm <- txn.tail;
-  Trace.Gauge.set t.g_undo_tail txn.tail;
-  t.st_set_ranges <- t.st_set_ranges + 1;
   t.st_undo_bytes <- t.st_undo_bytes + len
 
-let data_plans_for txn i m =
+let set_range txn seg ~off ~len =
+  check_open txn "set_range";
+  check_seg_range seg ~off ~len "set_range";
+  if len = 0 then invalid_arg "Perseas.set_range: empty range";
   let t = txn.owner in
-  List.rev_map
-    (fun r ->
-      Client.plan_write m.m_client ~widen:t.config.optimized_memcpy r.r_seg.remotes.(i)
-        ~seg_off:r.r_off ~src_off:(Mem.Segment.base r.r_seg.local + r.r_off) ~len:r.r_len)
-    txn.ranges
+  traced t ~name:"set_range" (fun () -> Clock.advance (clock t) t_set_range);
+  let prior = txn_iset txn seg in
+  (* First-write-only logging: a sub-range already declared this
+     transaction keeps its original before-image — the one recovery and
+     rollback must restore — so only the still-uncovered fragments need
+     undo records at all. *)
+  let fragments =
+    if t.config.redundancy_elision then Iset.uncovered prior ~off ~len else [ (off, len) ]
+  in
+  (* Reserve log space for the whole call up front so an overflow
+     leaves no half-logged fragment behind. *)
+  let rec fits tail = function
+    | [] -> true
+    | (_, flen) :: rest ->
+        tail + Layout.undo_header_size + flen <= t.config.undo_capacity
+        && fits (Layout.undo_slot ~off:tail ~payload_len:flen) rest
+  in
+  if not (fits txn.tail fragments) then raise Undo_overflow;
+  List.iter (fun (off, len) -> log_undo_record txn seg ~off ~len) fragments;
+  Trace.Gauge.set t.g_undo_tail txn.tail;
+  txn.wset <- Imap.add seg.index (Iset.add prior ~off ~len) txn.wset;
+  txn.declared <- txn.declared + 1;
+  txn.declared_bytes <- txn.declared_bytes + len;
+  t.st_set_ranges <- t.st_set_ranges + 1;
+  t.st_elided_bytes <-
+    t.st_elided_bytes + (len - List.fold_left (fun acc (_, flen) -> acc + flen) 0 fragments)
+
+(* The propagation list for one commit: with elision, the write-set's
+   maximal contiguous runs — adjacent and overlapping declarations
+   merged — and, under [optimized_memcpy], runs whose 64-byte SCI line
+   spans touch glued into one exact hull so they stream as a single
+   fuller burst.  Shipping a hull's gap bytes is safe for the same
+   reason the NIC-level widening is: bytes outside the written ranges
+   are identical on both sides, and recovery's undo replay restores any
+   early-propagated declared byte.  Without elision, the raw declared
+   ranges, oldest first — the differential-testing oracle.  Built once
+   per commit and shared by every mirror and by [commit_packets]'s dry
+   run. *)
+let commit_runs txn =
+  let t = txn.owner in
+  if not t.config.redundancy_elision then
+    List.rev_map (fun r -> (r.r_seg, r.r_off, r.r_len)) txn.ranges
+  else
+    List.rev
+      (Imap.fold
+         (fun index iset acc ->
+           let seg = List.find (fun s -> s.index = index) t.segs in
+           let iset = if t.config.optimized_memcpy then Iset.glue iset ~align:64 else iset in
+           List.fold_left (fun acc (off, len) -> (seg, off, len) :: acc) acc (Iset.intervals iset))
+         txn.wset [])
+
+let plans_for t runs i m =
+  List.map
+    (fun (seg, off, len) ->
+      Client.plan_write m.m_client ~widen:t.config.optimized_memcpy seg.remotes.(i) ~seg_off:off
+        ~src_off:(Mem.Segment.base seg.local + off) ~len)
+    runs
+
+(* Run [f] with [e] staged as the epoch word, restoring the previous
+   staging afterwards (even on a crash or mirror loss mid-[f]).  Both
+   [commit]'s fence and [commit_packets]'s dry run go through here, so
+   the two cannot drift. *)
+let with_staged_epoch t e f =
+  let image = local_dram t in
+  let addr = Mem.Segment.base t.meta_local + Layout.epoch_offset in
+  let saved = Mem.Image.read_u64 image addr in
+  stage_epoch t e;
+  Fun.protect ~finally:(fun () -> Mem.Image.write_u64 image addr saved) f
 
 let commit txn =
   check_open txn "commit";
@@ -545,33 +651,41 @@ let commit txn =
   (* Figure 3, step 3: propagate updated ranges to every mirror, then
      bump the epoch everywhere — the per-mirror single-packet commit
      point. *)
+  let runs = commit_runs txn in
+  if t.config.redundancy_elision then begin
+    let wset_total = Imap.fold (fun _ iset acc -> acc + Iset.total iset) txn.wset 0 in
+    t.st_coalesced_ranges <- t.st_coalesced_ranges + max 0 (txn.declared - List.length runs);
+    t.st_commit_saved <- t.st_commit_saved + max 0 (txn.declared_bytes - wset_total)
+  end;
   guard_mirror_loss txn (fun () ->
       each_live_mirror t (fun i m ->
           traced t ~name:"commit_propagate" ~args:[ ("mirror", string_of_int i) ] (fun () ->
-              List.iter (run_plan t) (data_plans_for txn i m)));
-      stage_epoch t (Int64.add t.epoch 1L);
-      each_live_mirror t (fun i m ->
-          traced t ~name:"commit_fence" ~args:[ ("mirror", string_of_int i) ] (fun () ->
-              run_plan t (plan_epoch_write t m))));
+              List.iter (run_plan t) (plans_for t runs i m)));
+      with_staged_epoch t (Int64.add t.epoch 1L) (fun () ->
+          each_live_mirror t (fun i m ->
+              traced t ~name:"commit_fence" ~args:[ ("mirror", string_of_int i) ] (fun () ->
+                  run_plan t (plan_epoch_write t m)))));
   t.epoch <- Int64.add t.epoch 1L;
-  note_dirty t ~tag:t.epoch txn.ranges;
+  note_dirty t ~tag:t.epoch (dirty_runs txn);
   t.st_committed <- t.st_committed + 1;
   close txn
 
 let commit_packets txn =
   check_open txn "commit_packets";
   let t = txn.owner in
-  stage_epoch t (Int64.add t.epoch 1L);
-  let count = ref 0 in
-  Array.iteri
-    (fun i m ->
-      if m.m_alive then begin
-        List.iter (fun plan -> count := !count + List.length (Sci.Nic.plan_steps plan)) (data_plans_for txn i m);
-        count := !count + List.length (Sci.Nic.plan_steps (plan_epoch_write t m))
-      end)
-    t.mirrors;
-  stage_epoch t t.epoch;
-  !count
+  let runs = commit_runs txn in
+  with_staged_epoch t (Int64.add t.epoch 1L) (fun () ->
+      let count = ref 0 in
+      Array.iteri
+        (fun i m ->
+          if m.m_alive then begin
+            List.iter
+              (fun plan -> count := !count + List.length (Sci.Nic.plan_steps plan))
+              (plans_for t runs i m);
+            count := !count + List.length (Sci.Nic.plan_steps (plan_epoch_write t m))
+          end)
+        t.mirrors;
+      !count)
 
 let abort txn =
   check_open txn "abort";
@@ -580,10 +694,11 @@ let abort txn =
   t.st_aborted <- t.st_aborted + 1;
   close txn
 
-let covered txn seg ~off ~len =
-  List.exists
-    (fun r -> r.r_seg == seg && r.r_off <= off && off + len <= r.r_off + r.r_len)
-    txn.ranges
+(* O(log n) on the coalesced index — and deliberately a touch more
+   permissive than scanning the declared ranges: a write spanning two
+   adjacent declarations is covered, which is exactly the promise
+   set_range made. *)
+let covered txn seg ~off ~len = Iset.covers (txn_iset txn seg) ~off ~len
 
 let write t seg ~off data =
   let len = Bytes.length data in
@@ -656,7 +771,10 @@ let stats t =
     aborts = t.st_aborted;
     set_ranges = t.st_set_ranges;
     undo_bytes_logged = t.st_undo_bytes;
+    elided_undo_bytes = t.st_elided_bytes;
     undo_hwm_bytes = t.st_undo_hwm;
+    coalesced_ranges = t.st_coalesced_ranges;
+    commit_bytes_saved = t.st_commit_saved;
     local_copy_bytes = t.st_local_copy_bytes;
     mirrors_lost = t.st_mirrors_lost;
     mirrors_recruited = t.st_mirrors_recruited;
@@ -671,7 +789,10 @@ let stats_fields (s : stats) =
     ("aborts", s.aborts);
     ("set_ranges", s.set_ranges);
     ("undo_bytes_logged", s.undo_bytes_logged);
+    ("elided_undo_bytes", s.elided_undo_bytes);
     ("undo_hwm_bytes", s.undo_hwm_bytes);
+    ("coalesced_ranges", s.coalesced_ranges);
+    ("commit_bytes_saved", s.commit_bytes_saved);
     ("local_copy_bytes", s.local_copy_bytes);
     ("mirrors_lost", s.mirrors_lost);
     ("mirrors_recruited", s.mirrors_recruited);
@@ -1130,7 +1251,10 @@ let recover_replicated ?(config = default_config) ?(sink = Trace.Sink.noop) ?on_
       st_aborted = 0;
       st_set_ranges = 0;
       st_undo_bytes = 0;
+      st_elided_bytes = 0;
       st_undo_hwm = 0;
+      st_coalesced_ranges = 0;
+      st_commit_saved = 0;
       st_local_copy_bytes = 0;
       st_mirrors_lost = 0;
       st_mirrors_recruited = 0;

@@ -24,6 +24,7 @@ open Sim
 
 module Txn_intf = Txn_intf
 module Layout = Layout
+module Iset = Iset
 
 type t
 type segment
@@ -37,7 +38,19 @@ type config = {
           [set_range] of the open transaction (catches protocol bugs). *)
   optimized_memcpy : bool;
       (** Use the §4 [sci_memcpy] 64-byte-alignment optimisation for
-          remote copies (default).  Disable for the ablation bench. *)
+          remote copies (default).  Disable for the ablation bench.
+          With [redundancy_elision] it additionally snaps commit
+          propagation runs to 64-byte packet lines. *)
+  redundancy_elision : bool;
+      (** Drive undo logging and commit propagation off the
+          transaction's write-set interval index (default): a
+          [set_range] sub-range already declared this transaction is
+          not re-logged — Vista-style first-write-only logging, the
+          original before-image is the one recovery must restore — and
+          [commit] ships the coalesced maximal runs instead of the raw
+          declaration list.  Disable to get the naive one-record-per-
+          call path, kept as a differential-testing oracle; recovery
+          semantics are identical either way. *)
   namespace : string;
       (** Prefix of this database's exported-segment names, so several
           independent databases can share one memory server.  Recovery
@@ -50,8 +63,8 @@ type config = {
 }
 
 val default_config : config
-(** 1 MiB + slack of undo space, 64 segments, strict updates, 4096
-    dirty-log entries. *)
+(** 1 MiB + slack of undo space, 64 segments, strict updates,
+    redundancy elision on, 4096 dirty-log entries. *)
 
 exception Undo_overflow
 (** A transaction declared more before-image bytes than the undo log
@@ -193,10 +206,19 @@ val begin_transaction : t -> txn
 val set_range : txn -> segment -> off:int -> len:int -> unit
 (** [PERSEAS_set_range]: log the before-image of
     [\[off, off+len)] locally and remotely.  Must precede the updates
-    it covers.  Raises {!Undo_overflow} or [Invalid_argument]. *)
+    it covers.  With [config.redundancy_elision] (default), sub-ranges
+    already declared this transaction are skipped — only the uncovered
+    fragments are logged, the first before-image being the one that
+    matters — so re-declaring a hot range costs no copies and no
+    packets.  Raises {!Undo_overflow} or [Invalid_argument]. *)
 
 val commit : txn -> unit
-(** [PERSEAS_commit_transaction]. *)
+(** [PERSEAS_commit_transaction].  With [config.redundancy_elision] the
+    propagation ships the transaction's {e coalesced} write-set —
+    adjacent/overlapping declarations merged into maximal contiguous
+    runs and, when [optimized_memcpy] is also set, runs sharing a
+    64-byte packet line glued into one hull ({!Iset.glue}) — instead of
+    one plan per [set_range] call. *)
 
 val abort : txn -> unit
 (** [PERSEAS_abort_transaction]: restores declared ranges from the
@@ -312,11 +334,22 @@ type stats = {
   committed : int;
   aborts : int;
   set_ranges : int;
-  undo_bytes_logged : int;  (** Before-image payload bytes. *)
+  undo_bytes_logged : int;
+      (** Before-image payload bytes actually logged (after elision). *)
+  elided_undo_bytes : int;
+      (** Declared bytes whose undo logging was skipped because the
+          write-set index already covered them ([redundancy_elision]). *)
   undo_hwm_bytes : int;
       (** High-water mark of the undo log within one transaction
           (headers included) — how close any transaction came to
           {!type-config.undo_capacity}. *)
+  coalesced_ranges : int;
+      (** Declared ranges merged away by commit propagation: the sum
+          over commits of (set_range calls − contiguous runs shipped). *)
+  commit_bytes_saved : int;
+      (** Payload bytes commit propagation did {e not} re-ship thanks to
+          coalescing: the sum over commits of (declared bytes, duplicates
+          included − coalesced write-set bytes). *)
   local_copy_bytes : int;  (** Bytes moved by local memcpys. *)
   mirrors_lost : int;  (** Mirrors dropped after failing mid-operation. *)
   mirrors_recruited : int;  (** Mirrors (re-)joined after {!init_remote_db}. *)
@@ -371,9 +404,10 @@ val set_telemetry : t -> Trace.Timeseries.t -> unit
       its gauge high-water mark is the worst case between samples;
     - a sample-time probe exporting [perseas.epoch],
       [perseas.live_mirrors], [perseas.dirty_log] (dirty-range log
-      length), [perseas.undo_hwm_bytes], [perseas.committed],
-      [perseas.aborts], [perseas.mirrors_lost], [perseas.resync_bytes]
-      and [perseas.degraded_us].
+      length), [perseas.undo_hwm_bytes], [perseas.elided_undo_bytes],
+      [perseas.coalesced_ranges], [perseas.commit_bytes_saved],
+      [perseas.committed], [perseas.aborts], [perseas.mirrors_lost],
+      [perseas.resync_bytes] and [perseas.degraded_us].
 
     Defaults to {!Trace.Timeseries.noop}. *)
 

@@ -15,53 +15,88 @@ type entry = {
   tps : float;
   mean_us : float;
   p99_us : float;
+  pkts_per_txn : float option;  (* PERSEAS cells only: NIC packets / txn *)
 }
 
 let workload_label = function `Debit_credit -> "debit-credit" | `Order_entry -> "order-entry"
 let workloads = [ `Debit_credit; `Order_entry ]
 
+(* PERSEAS cells are built from the bed rather than the packed
+   instance so the gate can also read the cluster NIC's packet
+   counters. *)
+let perseas_cell mirrors () =
+  let bed = T.replicated_bed ~mirrors () in
+  let inst : T.instance =
+    (module struct
+      module E = Perseas.Engine
+
+      let engine = bed.T.perseas
+      let clock = bed.T.clock
+      let label = Printf.sprintf "PERSEAS-%dm" mirrors
+      let finish () = ()
+    end)
+  in
+  (inst, Some (Cluster.nic bed.T.cluster))
+
 (* Fresh instance per cell — engines accumulate state. *)
 let engines =
   [
-    ("PERSEAS", 1, fun () -> T.replicated_instance ~mirrors:1 ());
-    ("PERSEAS", 2, fun () -> T.replicated_instance ~mirrors:2 ());
-    ("PERSEAS", 3, fun () -> T.replicated_instance ~mirrors:3 ());
-    ("RVM", 0, fun () -> T.rvm_instance ());
-    ("RVM-Rio", 0, fun () -> T.rvm_instance ~rio:true ());
-    ("Vista", 0, fun () -> T.vista_instance ());
-    ("RemoteWAL", 0, fun () -> T.remote_wal_instance ());
+    ("PERSEAS", 1, perseas_cell 1);
+    ("PERSEAS", 2, perseas_cell 2);
+    ("PERSEAS", 3, perseas_cell 3);
+    ("RVM", 0, fun () -> (T.rvm_instance (), None));
+    ("RVM-Rio", 0, fun () -> (T.rvm_instance ~rio:true (), None));
+    ("Vista", 0, fun () -> (T.vista_instance (), None));
+    ("RemoteWAL", 0, fun () -> (T.remote_wal_instance (), None));
   ]
 
-let measure inst workload =
+let measure (inst, nic) workload =
   let (module I : T.INSTANCE) = inst in
   let iters = if T.label inst = "RVM" then 2_000 else 10_000 in
   let warmup = iters / 10 in
-  match workload with
-  | `Debit_credit ->
-      let module W = Workloads.Debit_credit.Make (I.E) in
-      let rng = Sim.Rng.create 7 in
-      let db = W.setup I.engine ~params:Workloads.Debit_credit.default_params in
-      let r =
-        Measure.run ~clock:I.clock ~finish:I.finish ~warmup ~iters (fun _ -> W.transaction db rng)
-      in
-      assert (W.consistent db);
-      r
-  | `Order_entry ->
-      let module W = Workloads.Order_entry.Make (I.E) in
-      let rng = Sim.Rng.create 11 in
-      let db = W.setup I.engine ~params:Workloads.Order_entry.default_params in
-      let r =
-        Measure.run ~clock:I.clock ~finish:I.finish ~warmup ~iters (fun _ -> W.transaction db rng)
-      in
-      assert (W.consistent db);
-      r
+  (* Counters are reset after setup, so packets/txn covers exactly the
+     warmup + measured transactions. *)
+  let reset () = Option.iter Sci.Nic.reset_counters nic in
+  let r =
+    match workload with
+    | `Debit_credit ->
+        let module W = Workloads.Debit_credit.Make (I.E) in
+        let rng = Sim.Rng.create 7 in
+        let db = W.setup I.engine ~params:Workloads.Debit_credit.default_params in
+        reset ();
+        let r =
+          Measure.run ~clock:I.clock ~finish:I.finish ~warmup ~iters (fun _ ->
+              W.transaction db rng)
+        in
+        assert (W.consistent db);
+        r
+    | `Order_entry ->
+        let module W = Workloads.Order_entry.Make (I.E) in
+        let rng = Sim.Rng.create 11 in
+        let db = W.setup I.engine ~params:Workloads.Order_entry.default_params in
+        reset ();
+        let r =
+          Measure.run ~clock:I.clock ~finish:I.finish ~warmup ~iters (fun _ ->
+              W.transaction db rng)
+        in
+        assert (W.consistent db);
+        r
+  in
+  let pkts =
+    Option.map
+      (fun n ->
+        let c = Sci.Nic.counters n in
+        float_of_int (c.Sci.Nic.packets64 + c.Sci.Nic.packets16) /. float_of_int (warmup + iters))
+      nic
+  in
+  (r, pkts)
 
 let collect () =
   List.concat_map
     (fun (engine, mirrors, make) ->
       List.map
         (fun w ->
-          let r = measure (make ()) w in
+          let r, pkts = measure (make ()) w in
           {
             engine;
             workload = workload_label w;
@@ -69,16 +104,22 @@ let collect () =
             tps = r.Measure.tps;
             mean_us = r.Measure.mean_us;
             p99_us = r.Measure.p99_us;
+            pkts_per_txn = pkts;
           })
         workloads)
     engines
 
 let to_json entries =
   let cell e =
+    let pkts =
+      match e.pkts_per_txn with
+      | Some p -> Printf.sprintf ", \"pkts_per_txn\": %.2f" p
+      | None -> ""
+    in
     Printf.sprintf
       "    { \"engine\": %S, \"workload\": %S, \"mirrors\": %d, \"tps\": %.1f, \"mean_us\": \
-       %.4f, \"p99_us\": %.4f }"
-      e.engine e.workload e.mirrors e.tps e.mean_us e.p99_us
+       %.4f, \"p99_us\": %.4f%s }"
+      e.engine e.workload e.mirrors e.tps e.mean_us e.p99_us pkts
   in
   "{\n  \"schema\": \"perseas-bench-summary/1\",\n  \"entries\": [\n"
   ^ String.concat ",\n" (List.map cell entries)
@@ -94,6 +135,8 @@ let of_json j =
       tps = num "tps";
       mean_us = num "mean_us";
       p99_us = num "p99_us";
+      (* Absent in baselines written before the packet column existed. *)
+      pkts_per_txn = Option.map Json.to_float (Json.member "pkts_per_txn" e);
     }
   in
   List.map entry (Json.to_list (Json.member_exn "entries" j))
@@ -117,11 +160,13 @@ type verdict = {
   entry : entry;
   baseline_tps : float option;
   delta_pct : float option;  (* negative = regression *)
-  gated : bool;  (* part of the hard gate (debit-credit tps) *)
+  baseline_pkts : float option;
+  pkts_delta_pct : float option;  (* positive = more packets *)
+  gated : bool;  (* part of the hard gate (debit-credit tps + pkts) *)
   failed : bool;
 }
 
-let compare_to_baseline ?(tolerance_pct = 10.0) ~baseline current =
+let compare_to_baseline ?(tolerance_pct = 10.0) ?(pkts_tolerance_pct = 2.0) ~baseline current =
   let find e =
     List.find_opt
       (fun b -> b.engine = e.engine && b.workload = e.workload && b.mirrors = e.mirrors)
@@ -132,15 +177,37 @@ let compare_to_baseline ?(tolerance_pct = 10.0) ~baseline current =
       (fun e ->
         let gated = e.workload = "debit-credit" in
         match find e with
-        | None -> { entry = e; baseline_tps = None; delta_pct = None; gated; failed = false }
+        | None ->
+            {
+              entry = e;
+              baseline_tps = None;
+              delta_pct = None;
+              baseline_pkts = None;
+              pkts_delta_pct = None;
+              gated;
+              failed = false;
+            }
         | Some b ->
             let delta = 100.0 *. (e.tps -. b.tps) /. b.tps in
+            (* The packet gate only engages when both sides carry the
+               column — baselines written before it existed gate on tps
+               alone. *)
+            let pkts_delta =
+              match (e.pkts_per_txn, b.pkts_per_txn) with
+              | Some cur, Some base when base > 0.0 -> Some (100.0 *. (cur -. base) /. base)
+              | _ -> None
+            in
             {
               entry = e;
               baseline_tps = Some b.tps;
               delta_pct = Some delta;
+              baseline_pkts = b.pkts_per_txn;
+              pkts_delta_pct = pkts_delta;
               gated;
-              failed = gated && delta < -.tolerance_pct;
+              failed =
+                gated
+                && (delta < -.tolerance_pct
+                   || match pkts_delta with Some d -> d > pkts_tolerance_pct | None -> false);
             })
       current
   in
@@ -165,6 +232,8 @@ let compare_to_baseline ?(tolerance_pct = 10.0) ~baseline current =
             entry = b;
             baseline_tps = Some b.tps;
             delta_pct = None;
+            baseline_pkts = b.pkts_per_txn;
+            pkts_delta_pct = None;
             gated = true;
             failed = true;
           })
@@ -173,7 +242,10 @@ let compare_to_baseline ?(tolerance_pct = 10.0) ~baseline current =
   (verdicts, List.exists (fun v -> v.failed) verdicts)
 
 let print_verdicts ~tolerance_pct verdicts =
-  let header = [ "engine"; "workload"; "mirrors"; "baseline tps"; "tps"; "delta"; "gate" ] in
+  let header =
+    [ "engine"; "workload"; "mirrors"; "baseline tps"; "tps"; "delta"; "pkts/txn"; "pkts delta"; "gate" ]
+  in
+  let fmt_pkts = function Some p -> Printf.sprintf "%.2f" p | None -> "-" in
   let rows =
     List.map
       (fun v ->
@@ -185,6 +257,8 @@ let print_verdicts ~tolerance_pct verdicts =
           (match v.delta_pct with None when v.baseline_tps <> None -> "MISSING"
           | _ -> Table.fmt_tps v.entry.tps);
           (match v.delta_pct with Some d -> Printf.sprintf "%+.1f%%" d | None -> "-");
+          fmt_pkts v.entry.pkts_per_txn;
+          (match v.pkts_delta_pct with Some d -> Printf.sprintf "%+.1f%%" d | None -> "-");
           (if v.failed then "FAIL" else if v.gated then "ok" else "info");
         ])
       verdicts
@@ -192,6 +266,7 @@ let print_verdicts ~tolerance_pct verdicts =
   Table.print
     ~title:
       (Printf.sprintf
-         "Bench gate: debit-credit tps within %.0f%% of baseline (other cells informational)"
+         "Bench gate: debit-credit tps within %.0f%% of baseline, packets/txn not up (other \
+          cells informational)"
          tolerance_pct)
     ~header rows

@@ -14,6 +14,10 @@ type entry = {
   tps : float;
   mean_us : float;
   p99_us : float;
+  pkts_per_txn : float option;
+      (** PERSEAS cells only: SCI packets (64 B + 16 B) per transaction
+          over the warmup + measured window; [None] for single-node
+          baselines and for JSON written before this column existed. *)
 }
 
 val collect : unit -> entry list
@@ -30,17 +34,27 @@ type verdict = {
   entry : entry;
   baseline_tps : float option;  (** [None]: cell absent from baseline *)
   delta_pct : float option;  (** tps change vs baseline; negative = slower *)
+  baseline_pkts : float option;
+  pkts_delta_pct : float option;
+      (** packets/txn change vs baseline; positive = more packets.
+          [None] when either side lacks the column. *)
   gated : bool;  (** counted by the hard gate (debit-credit cells) *)
   failed : bool;
 }
 
 val compare_to_baseline :
-  ?tolerance_pct:float -> baseline:entry list -> entry list -> verdict list * bool
+  ?tolerance_pct:float ->
+  ?pkts_tolerance_pct:float ->
+  baseline:entry list ->
+  entry list ->
+  verdict list * bool
 (** Judge a fresh matrix against a baseline: a debit-credit cell more
-    than [tolerance_pct] (default 10) slower fails, as does a
-    debit-credit baseline cell missing from the fresh matrix.  Other
-    cells are informational.  Returns the per-cell verdicts and
-    whether anything failed. *)
+    than [tolerance_pct] (default 10) slower fails, as does one whose
+    packets/txn grew by more than [pkts_tolerance_pct] (default 2;
+    only when both sides carry the column), as does a debit-credit
+    baseline cell missing from the fresh matrix.  Other cells are
+    informational.  Returns the per-cell verdicts and whether anything
+    failed. *)
 
 val print_verdicts : tolerance_pct:float -> verdict list -> unit
 (** Aligned verdict table on stdout. *)

@@ -293,7 +293,7 @@ let seed_segment t name ~size =
 (* Cluster geometry shared by the canned scenarios: primary on node 0,
    mirrors on 1..m, then [extras] named nodes, then the spare last —
    every node on its own power supply so failures are independent. *)
-let make_cluster ~mirrors ~extras =
+let make_cluster ?(config = small_config) ~mirrors ~extras () =
   let clock = Clock.create () in
   let dram = 2 * 1024 * 1024 in
   let names =
@@ -303,7 +303,7 @@ let make_cluster ~mirrors ~extras =
   let cluster = Cluster.create ~clock specs in
   let servers = List.init mirrors (fun i -> Netram.Server.create (Cluster.node cluster (i + 1))) in
   let clients = List.map (fun server -> Netram.Client.create ~cluster ~local:0 ~server) servers in
-  (clock, cluster, servers, P.init_replicated ~config:small_config clients)
+  (clock, cluster, servers, P.init_replicated ~config clients)
 
 let commit_scenario ?(mirrors = 1) ?(ranges = 3) ?(range_len = 256) ?(seg_size = 16384) () =
   if mirrors < 1 then invalid_arg "Crashpoint.commit_scenario: at least one mirror";
@@ -311,7 +311,7 @@ let commit_scenario ?(mirrors = 1) ?(ranges = 3) ?(range_len = 256) ?(seg_size =
   if range_len < 1 || range_len + ((ranges - 1) / 3 * 1024) > seg_size then
     invalid_arg "Crashpoint.commit_scenario: ranges do not fit the segments";
   let make () =
-    let clock, cluster, servers, t = make_cluster ~mirrors ~extras:[] in
+    let clock, cluster, servers, t = make_cluster ~mirrors ~extras:[] () in
     List.iter (fun name -> ignore (seed_segment t name ~size:seg_size)) table_names;
     P.init_remote_db t;
     { clock; cluster; servers; primary = 0; spare = mirrors + 1; t }
@@ -331,10 +331,54 @@ let commit_scenario ?(mirrors = 1) ?(ranges = 3) ?(range_len = 256) ?(seg_size =
   in
   { label = Printf.sprintf "commit-%dm-%dr" mirrors ranges; make; script }
 
+(* Overlapping, adjacent and duplicate declarations under one commit:
+   the redundancy-elision stress scenario.  With [elision] (default)
+   the sweep proves first-write-only logging and coalesced propagation
+   recover to the same legal images as the naive path ([elision:false])
+   at every packet boundary — the two runs' image sets are identical
+   because elision never changes what a legal image {e is}, only how
+   many packets it takes to reach one. *)
+let overlap_scenario ?(mirrors = 1) ?(elision = true) ?(seg_size = 16384) () =
+  if mirrors < 1 then invalid_arg "Crashpoint.overlap_scenario: at least one mirror";
+  if seg_size < 2048 then invalid_arg "Crashpoint.overlap_scenario: segment too small";
+  let make () =
+    let config = { small_config with P.redundancy_elision = elision } in
+    let clock, cluster, servers, t = make_cluster ~config ~mirrors ~extras:[] () in
+    ignore (seed_segment t "db" ~size:seg_size);
+    P.init_remote_db t;
+    { clock; cluster; servers; primary = 0; spare = mirrors + 1; t }
+  in
+  let script env ~checkpoint =
+    let seg = Option.get (P.segment env.t "db") in
+    let declare txn ~off ~len fill =
+      P.set_range txn seg ~off ~len;
+      P.write env.t seg ~off (Bytes.make len fill)
+    in
+    (* A committed warm-up range, so crash points can also land between
+       two commits of the same epoch-tagged log. *)
+    let txn = P.begin_transaction env.t in
+    declare txn ~off:32 ~len:200 'w';
+    P.commit txn;
+    checkpoint ();
+    let txn = P.begin_transaction env.t in
+    declare txn ~off:0 ~len:256 'A';
+    declare txn ~off:128 ~len:256 'B' (* overlaps the first *);
+    declare txn ~off:384 ~len:64 'C' (* adjacent to the second *);
+    declare txn ~off:0 ~len:256 'D' (* exact duplicate declaration *);
+    declare txn ~off:100 ~len:100 'E' (* fully covered *);
+    declare txn ~off:1027 ~len:70 'F' (* disjoint, unaligned *);
+    P.commit txn
+  in
+  {
+    label = Printf.sprintf "overlap-%dm-%s" mirrors (if elision then "elided" else "naive");
+    make;
+    script;
+  }
+
 let attach_scenario ?(mirrors = 1) ?(seg_size = 8192) () =
   if mirrors < 1 then invalid_arg "Crashpoint.attach_scenario: at least one mirror";
   let make () =
-    let clock, cluster, mirror_servers, t = make_cluster ~mirrors ~extras:[ "joiner" ] in
+    let clock, cluster, mirror_servers, t = make_cluster ~mirrors ~extras:[ "joiner" ] () in
     let seg = seed_segment t "db" ~size:seg_size in
     P.init_remote_db t;
     (* A committed transaction, so old undo records exist when the

@@ -86,6 +86,16 @@ val commit_scenario :
     The sweep cuts both the per-range undo pushes and the commit
     propagation at every packet. *)
 
+val overlap_scenario : ?mirrors:int -> ?elision:bool -> ?seg_size:int -> unit -> scenario
+(** One committed warm-up range (declared as a checkpoint image), then
+    a transaction full of overlapping, adjacent, duplicate and
+    fully-covered [set_range] declarations under one commit — the
+    {!Perseas.config.redundancy_elision} stress case.  [elision]
+    selects the engine config (default [true]); sweeping both settings
+    must classify every crash point into the {e same} legal image set,
+    since elision changes the packet schedule, never the legal
+    images. *)
+
 val attach_scenario : ?mirrors:int -> ?seg_size:int -> unit -> scenario
 (** A live database (with one committed transaction behind it) brings
     a new mirror in with {!Perseas.attach_mirror}; the sweep cuts the

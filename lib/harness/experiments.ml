@@ -374,6 +374,100 @@ let ablation_memcpy () =
   Table.save_csv ~path:(csv_path "ablation_memcpy") ~header rows
 
 (* ------------------------------------------------------------------ *)
+(* R8: redundancy elision — first-write-only undo, coalesced commit    *)
+
+let elision () =
+  let warmup = 200 and iters = 2000 in
+  let txns = float_of_int (warmup + iters) in
+  (* Per-run harness: a fresh cluster per (workload, mode) cell, NIC
+     counters reset after setup so packets/txn covers exactly the
+     warmup + measured transactions. *)
+  let run ~elide workload =
+    let config = { Perseas.default_config with redundancy_elision = elide } in
+    let bed = Testbed.perseas_bed ~config () in
+    let inst : Testbed.instance =
+      (module struct
+        module E = Perseas.Engine
+
+        let engine = bed.Testbed.perseas
+        let clock = bed.Testbed.clock
+        let label = if elide then "elided" else "naive"
+        let finish () = ()
+      end)
+    in
+    let nic = Cluster.nic bed.Testbed.cluster in
+    let r = workload inst ~reset:(fun () -> Sci.Nic.reset_counters nic) in
+    let c = Sci.Nic.counters nic in
+    let st = Perseas.stats bed.Testbed.perseas in
+    let pkts = float_of_int (c.Sci.Nic.packets64 + c.Sci.Nic.packets16) /. txns in
+    (r, pkts, st)
+  in
+  let overlap_mix (module I : Testbed.INSTANCE) ~reset =
+    let module S = Workloads.Synthetic.Make (I.E) in
+    let db = S.setup I.engine ~db_size:(mb 1) in
+    let rng = Rng.create 97 in
+    reset ();
+    Measure.run ~clock:I.clock ~finish:I.finish ~warmup ~iters (fun _ ->
+        S.overlap_transaction db rng ~pieces:12 ~piece_len:64 ~window:512)
+  in
+  let order_mix (module I : Testbed.INSTANCE) ~reset =
+    let module W = Workloads.Order_entry.Make (I.E) in
+    let db = W.setup I.engine ~params:Workloads.Order_entry.default_params in
+    let rng = Rng.create 11 in
+    reset ();
+    let r =
+      Measure.run ~clock:I.clock ~finish:I.finish ~warmup ~iters (fun _ -> W.transaction db rng)
+    in
+    assert (W.consistent db);
+    r
+  in
+  let cell workload name ~elide =
+    let r, pkts, st = run ~elide workload in
+    let per x = float_of_int x /. txns in
+    ( [
+        name;
+        (if elide then "elided" else "naive");
+        Printf.sprintf "%.2f" pkts;
+        Printf.sprintf "%.1f" (per st.Perseas.undo_bytes_logged);
+        Printf.sprintf "%.1f" (per st.Perseas.elided_undo_bytes);
+        Printf.sprintf "%.1f" (per st.Perseas.commit_bytes_saved);
+        Table.fmt_us r.Measure.mean_us;
+        Table.fmt_tps r.Measure.tps;
+      ],
+      pkts,
+      st.Perseas.undo_bytes_logged )
+  in
+  let rows, verdicts =
+    List.split
+      (List.map
+         (fun (name, workload) ->
+           let naive_row, naive_pkts, naive_undo = cell workload name ~elide:false in
+           let elided_row, elided_pkts, elided_undo = cell workload name ~elide:true in
+           ( [ naive_row; elided_row ],
+             (name, naive_pkts, elided_pkts, naive_undo, elided_undo) ))
+         [ ("overlap-heavy", overlap_mix); ("order-entry", order_mix) ])
+  in
+  let rows = List.concat rows in
+  let header =
+    [ "workload"; "mode"; "pkts/txn"; "undo B/txn"; "elided B/txn"; "saved B/txn"; "mean (us)"; "tps" ]
+  in
+  Table.print ~title:"Redundancy elision: naive vs first-write-only + coalesced commit" ~header rows;
+  List.iter
+    (fun (name, naive_pkts, elided_pkts, naive_undo, elided_undo) ->
+      Printf.printf "%s: undo bytes x%.2f, packets x%.2f\n" name
+        (float_of_int elided_undo /. float_of_int naive_undo)
+        (elided_pkts /. naive_pkts))
+    verdicts;
+  Table.save_csv ~path:(csv_path "elision") ~header rows;
+  (* Acceptance: on the overlap mix, elision must save >=30% of the
+     undo bytes and strictly cut the packet schedule. *)
+  (match verdicts with
+  | (_, naive_pkts, elided_pkts, naive_undo, elided_undo) :: _ ->
+      assert (float_of_int elided_undo <= 0.7 *. float_of_int naive_undo);
+      assert (elided_pkts < naive_pkts)
+  | [] -> ())
+
+(* ------------------------------------------------------------------ *)
 (* A3: RVM group commit vs PERSEAS                                     *)
 
 let group_commit () =
@@ -679,6 +773,10 @@ let crash_sweep () =
       Crashpoint.sweep ~victim:(Crashpoint.Mirror 0) (Crashpoint.commit_scenario ~mirrors:2 ());
       Crashpoint.sweep ~victim:(Crashpoint.Mirror 0) (Crashpoint.commit_scenario ~mirrors:1 ());
       Crashpoint.sweep (Crashpoint.attach_scenario ~mirrors:1 ());
+      (* The elision stress mix, both packet schedules: crash points
+         differ but the legal images must not. *)
+      Crashpoint.sweep (Crashpoint.overlap_scenario ~elision:true ());
+      Crashpoint.sweep (Crashpoint.overlap_scenario ~elision:false ());
     ]
   in
   let header =
@@ -899,6 +997,7 @@ let names =
     ("churn", "Mirror churn with spare-pool self-healing, zero committed-data loss", churn);
     ("copy-counts", "Per-transaction copy and I/O counts", copy_counts);
     ("ablation-memcpy", "sci_memcpy alignment optimisation on/off", ablation_memcpy);
+    ("elision", "Redundancy elision: first-write-only undo + coalesced commit vs naive", elision);
     ("group-commit", "RVM group commit vs PERSEAS", group_commit);
     ("remote-wal-load", "Remote-memory WAL: burst vs sustained load", remote_wal_load);
     ("replication-degree", "PERSEAS throughput vs number of mirrors", replication_degree);

@@ -51,6 +51,14 @@ val ablation_memcpy : unit -> unit
 (** §4 ablation: the 64-byte-aligned [sci_memcpy] optimisation on and
     off. *)
 
+val elision : unit -> unit
+(** R8: {!Perseas.config.redundancy_elision} on and off for an
+    overlap-heavy synthetic mix and order-entry — packets, undo bytes
+    and latency per transaction.  Asserts the acceptance bar: on the
+    overlap mix the elided engine logs at least 30% fewer undo bytes
+    and plans strictly fewer commit packets.  Writes
+    [results/elision.csv]. *)
+
 val group_commit : unit -> unit
 (** §6: RVM with group commit (batch sizes 1–64) vs PERSEAS. *)
 

@@ -34,5 +34,28 @@ module Make (E : Perseas.Txn_intf.S) = struct
     E.write db.engine db.seg ~off fresh;
     E.commit txn
 
+  (** One overlap-heavy transaction: [pieces] set_range+write pairs of
+      [piece_len] bytes each, all drawn from one [window]-byte region at
+      a random offset — so declarations overlap, duplicate and adjoin
+      freely.  The redundancy-elision stress mix: a first-write-only
+      engine logs at most [window] undo bytes per transaction and ships
+      a handful of coalesced runs, while the naive path logs and ships
+      every declaration. *)
+  let overlap_transaction db rng ~pieces ~piece_len ~window =
+    if window <= 0 || window > db.db_size then
+      invalid_arg "Synthetic.overlap_transaction: bad window";
+    if piece_len <= 0 || piece_len > window then
+      invalid_arg "Synthetic.overlap_transaction: bad piece_len";
+    if pieces <= 0 then invalid_arg "Synthetic.overlap_transaction: bad pieces";
+    let base = Sim.Rng.int rng (db.db_size - window + 1) in
+    let txn = E.begin_transaction db.engine in
+    for k = 1 to pieces do
+      let off = base + Sim.Rng.int rng (window - piece_len + 1) in
+      E.set_range txn db.seg ~off ~len:piece_len;
+      let fresh = Bytes.init piece_len (fun i -> Char.chr ((off + i + k) land 0xff lxor 0xa5)) in
+      E.write db.engine db.seg ~off fresh
+    done;
+    E.commit txn
+
   let checksum db = Util.fnv64 (E.read db.engine db.seg ~off:0 ~len:db.db_size)
 end

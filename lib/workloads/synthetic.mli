@@ -14,6 +14,14 @@ module Make (E : Perseas.Txn_intf.S) : sig
       Raises [Invalid_argument] when [tx_size] is outside
       [\[1, db_size\]]. *)
 
+  val overlap_transaction : db -> Sim.Rng.t -> pieces:int -> piece_len:int -> window:int -> unit
+  (** One overlap-heavy transaction: [pieces] random [piece_len]-byte
+      set_range+write pairs inside one [window]-byte region at a random
+      offset, so declarations overlap, duplicate and adjoin — the
+      stress mix for {!Perseas.config.redundancy_elision}.  Raises
+      [Invalid_argument] unless
+      [0 < piece_len <= window <= db_size] and [pieces > 0]. *)
+
   val checksum : db -> int64
   (** Digest of the whole database (test oracle). *)
 end

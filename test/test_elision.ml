@@ -1,0 +1,192 @@
+(* Differential tests for redundancy elision: the elided engine must be
+   observably identical to the naive one — same committed images, same
+   mirror contents, same abort behaviour, same legal crash images —
+   while logging and shipping strictly less under overlap. *)
+
+open Sim
+module P = Perseas
+module Testbed = Harness.Testbed
+module Crashpoint = Harness.Crashpoint
+module Vista = Baselines.Vista
+module Device = Disk.Device
+
+let check = Alcotest.check
+let check_int = check Alcotest.int
+let check_bool = check Alcotest.bool
+let check_i64 = check Alcotest.int64
+let check_str = check Alcotest.string
+let seg_size = 4096
+
+(* ------------------------------------------------------------------ *)
+(* One transaction through a fresh PERSEAS cluster *)
+
+type outcome = {
+  pre : string;  (** image before the transaction *)
+  image : string;  (** image after commit/abort *)
+  mirror : int64;
+  undo : int;  (** undo bytes actually logged *)
+  elided : int;  (** undo bytes skipped as already covered *)
+  pkts : int;  (** [commit_packets] plan for the transaction *)
+}
+
+let run_trial ~elide ~commit_it ops =
+  let config = { P.default_config with P.redundancy_elision = elide } in
+  let bed = Testbed.perseas_bed ~config () in
+  let t = bed.Testbed.perseas in
+  let seg = P.malloc t ~name:"db" ~size:seg_size in
+  P.write t seg ~off:0 (Bytes.init seg_size (fun i -> Char.chr (i land 0xff)));
+  P.init_remote_db t;
+  let pre = Bytes.to_string (P.read t seg ~off:0 ~len:seg_size) in
+  let txn = P.begin_transaction t in
+  List.iteri
+    (fun k (off, len) ->
+      P.set_range txn seg ~off ~len;
+      P.write t seg ~off
+        (Bytes.init len (fun i -> Char.chr ((off + i + k) land 0xff lxor 0xc3))))
+    ops;
+  let pkts = P.commit_packets txn in
+  if commit_it then P.commit txn else P.abort txn;
+  check Alcotest.(list (pair string int)) "mirrors clean" [] (P.verify_mirrors t);
+  let st = P.stats t in
+  {
+    pre;
+    image = Bytes.to_string (P.read t seg ~off:0 ~len:seg_size);
+    mirror = P.mirror_checksum t seg;
+    undo = st.P.undo_bytes_logged;
+    elided = st.P.elided_undo_bytes;
+    pkts;
+  }
+
+(* Overlapping, adjacent, duplicate, covered and disjoint declarations:
+   1002 declared bytes whose union is 518. *)
+let overlap_ops = [ (0, 256); (128, 256); (384, 64); (0, 256); (100, 100); (1027, 70) ]
+
+let test_overlap_savings () =
+  let e = run_trial ~elide:true ~commit_it:true overlap_ops in
+  let n = run_trial ~elide:false ~commit_it:true overlap_ops in
+  check_str "committed images agree" n.image e.image;
+  check_i64 "mirror images agree" n.mirror e.mirror;
+  check_int "naive logs every declared byte" 1002 n.undo;
+  check_int "first-write-only logs the union" 518 e.undo;
+  check_int "elided + logged = declared" n.undo (e.undo + e.elided);
+  check_bool ">=30% fewer undo bytes" true (float_of_int e.undo <= 0.7 *. float_of_int n.undo);
+  check_bool "strictly fewer commit packets" true (e.pkts < n.pkts)
+
+let test_abort_restores_overlap () =
+  List.iter
+    (fun elide ->
+      let o = run_trial ~elide ~commit_it:false overlap_ops in
+      check_str
+        (Printf.sprintf "abort restores image (elision %b)" elide)
+        o.pre o.image)
+    [ true; false ]
+
+(* ------------------------------------------------------------------ *)
+(* Property: random overlap mixes agree between the two engines *)
+
+let gen_txn =
+  QCheck.(
+    pair bool
+      (pair
+         (int_bound (seg_size - 512))
+         (list_of_size (Gen.int_range 1 24) (pair (int_bound 447) (int_range 1 64)))))
+
+let prop_differential =
+  QCheck.Test.make ~name:"elided engine is observably identical to naive" ~count:40 gen_txn
+    (fun (commit_it, (base, rel)) ->
+      let ops = List.map (fun (o, l) -> (base + o, l)) rel in
+      let e = run_trial ~elide:true ~commit_it ops in
+      let n = run_trial ~elide:false ~commit_it ops in
+      if e.image <> n.image then QCheck.Test.fail_report "local images diverge";
+      if e.mirror <> n.mirror then QCheck.Test.fail_report "mirror images diverge";
+      if (not commit_it) && e.image <> e.pre then
+        QCheck.Test.fail_report "abort did not restore the pre-image";
+      if e.undo + e.elided <> n.undo then
+        QCheck.Test.fail_reportf "undo accounting: %d logged + %d elided <> %d declared"
+          e.undo e.elided n.undo;
+      if e.undo > n.undo then QCheck.Test.fail_report "elided logged more than naive";
+      if e.pkts > n.pkts then QCheck.Test.fail_report "elided planned more packets than naive";
+      true)
+
+(* ------------------------------------------------------------------ *)
+(* Crash at every packet, both settings *)
+
+let test_crash_sweep_both () =
+  let sweep elision = Crashpoint.sweep (Crashpoint.overlap_scenario ~elision ()) in
+  let e = sweep true and n = sweep false in
+  List.iter
+    (fun (r : Crashpoint.report) ->
+      check_int
+        (Printf.sprintf "%s: every point swept" r.Crashpoint.label)
+        (r.Crashpoint.total_packets + 1)
+        (List.length r.Crashpoint.points);
+      check_bool
+        (Printf.sprintf "%s: no mirror mismatches" r.Crashpoint.label)
+        true
+        (List.for_all (fun p -> p.Crashpoint.mismatches = 0) r.Crashpoint.points))
+    [ e; n ];
+  check_bool "elision cuts the packet schedule" true
+    (e.Crashpoint.total_packets < n.Crashpoint.total_packets)
+
+let test_crash_sweep_mirror_victim () =
+  let r =
+    Crashpoint.sweep ~victim:(Crashpoint.Mirror 0) (Crashpoint.overlap_scenario ~elision:true ())
+  in
+  check_bool "mirror-victim sweep completes" true (r.Crashpoint.total_packets > 0)
+
+(* ------------------------------------------------------------------ *)
+(* Vista gets the same first-write-only treatment *)
+
+let vista_db ~elide () =
+  let clock = Clock.create () in
+  let cluster = Cluster.create ~clock [ Cluster.spec ~dram_size:(8 * 1024 * 1024) "host" ] in
+  let node = Cluster.node cluster 0 in
+  let device =
+    Device.create ~clock
+      ~backend:(Device.Rio { Device.default_rio with Device.ups = true })
+      ~capacity:(16 * 1024 * 1024)
+  in
+  let config = { Vista.default_config with Vista.redundancy_elision = elide } in
+  let t = Vista.create ~config ~node ~device () in
+  let seg = Vista.Engine.malloc t ~name:"db" ~size:seg_size in
+  Vista.Engine.write t seg ~off:0 (Bytes.init seg_size (fun i -> Char.chr (i land 0xff)));
+  Vista.Engine.init_done t;
+  (t, seg)
+
+let vista_overlap_txn t seg =
+  let txn = Vista.Engine.begin_transaction t in
+  List.iteri
+    (fun k (off, len) ->
+      Vista.Engine.set_range txn seg ~off ~len;
+      Vista.Engine.write t seg ~off (Bytes.make len (Char.chr (Char.code 'a' + k))))
+    overlap_ops;
+  txn
+
+let test_vista_differential () =
+  let image elide =
+    let t, seg = vista_db ~elide () in
+    Vista.Engine.commit (vista_overlap_txn t seg);
+    Vista.checksum t seg
+  in
+  check_i64 "vista images agree" (image false) (image true)
+
+let test_vista_abort_overlap () =
+  List.iter
+    (fun elide ->
+      let t, seg = vista_db ~elide () in
+      let pre = Vista.checksum t seg in
+      Vista.Engine.abort (vista_overlap_txn t seg);
+      check_i64 (Printf.sprintf "vista abort restores (elision %b)" elide) pre
+        (Vista.checksum t seg))
+    [ true; false ]
+
+let suite =
+  [
+    ("overlap mix: >=30% undo savings, fewer packets", `Quick, test_overlap_savings);
+    ("abort restores overlapped image", `Quick, test_abort_restores_overlap);
+    ("crash at every packet, both settings", `Slow, test_crash_sweep_both);
+    ("crash sweep, mirror victim", `Slow, test_crash_sweep_mirror_victim);
+    ("vista differential", `Quick, test_vista_differential);
+    ("vista abort restores overlapped image", `Quick, test_vista_abort_overlap);
+    QCheck_alcotest.to_alcotest prop_differential;
+  ]

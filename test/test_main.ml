@@ -13,6 +13,8 @@ let () =
       ("replication", Test_replication.suite);
       ("churn", Test_churn.suite);
       ("crashpoint", Test_crashpoint.suite);
+      ("iset", Test_iset.suite);
+      ("elision", Test_elision.suite);
       ("baselines", Test_baselines.suite);
       ("remote-wal", Test_remote_wal.suite);
       ("workloads", Test_workloads.suite);

@@ -313,8 +313,8 @@ let test_degraded_agreement () =
 
 let test_bench_gate () =
   let module B = Harness.Bench_summary in
-  let e ?(engine = "PERSEAS") ?(workload = "debit-credit") ?(mirrors = 1) tps =
-    { B.engine; workload; mirrors; tps; mean_us = 43.5; p99_us = 46.25 }
+  let e ?(engine = "PERSEAS") ?(workload = "debit-credit") ?(mirrors = 1) ?pkts tps =
+    { B.engine; workload; mirrors; tps; mean_us = 43.5; p99_us = 46.25; pkts_per_txn = pkts }
   in
   let current = [ e 1000.0; e ~workload:"order-entry" 500.0; e ~engine:"Vista" ~mirrors:0 2000.0 ] in
   (* Round-trip through the writer and the parser. *)
@@ -341,7 +341,23 @@ let test_bench_gate () =
   let _, failed =
     B.compare_to_baseline ~baseline:(e ~mirrors:7 900.0 :: current) current
   in
-  check_bool "missing gated cell fails" true failed
+  check_bool "missing gated cell fails" true failed;
+  (* The packet column: round-trips, gates on growth, and a baseline
+     without it never engages the packet gate. *)
+  let with_pkts = [ e ~pkts:9.5 1000.0 ] in
+  let parsed = B.of_json (J.parse_exn (B.to_json with_pkts)) in
+  check_bool "pkts column round-trips" true (parsed = with_pkts);
+  let _, failed = B.compare_to_baseline ~baseline:[ e ~pkts:9.5 1000.0 ] with_pkts in
+  check_bool "same packets passes" false failed;
+  let _, failed = B.compare_to_baseline ~baseline:[ e ~pkts:8.0 1000.0 ] with_pkts in
+  check_bool "packet growth fails even with tps flat" true failed;
+  let _, failed = B.compare_to_baseline ~baseline:[ e 1000.0 ] with_pkts in
+  check_bool "old baseline without pkts does not gate packets" false failed;
+  let _, failed =
+    B.compare_to_baseline ~baseline:[ e ~workload:"order-entry" ~pkts:8.0 1000.0 ]
+      [ e ~workload:"order-entry" ~pkts:16.0 1000.0 ]
+  in
+  check_bool "packet gate only on debit-credit" false failed
 
 let suite =
   [
