@@ -237,7 +237,8 @@ let crash_sweep_cmd =
   let scenario_arg =
     let doc =
       "Scenario: commit (multi-range debit-credit), attach (mirror resync), overlap \
-       (redundancy-elision stress mix) or overlap-naive (same mix, elision off)."
+       (redundancy-elision stress mix), overlap-naive (same mix, elision off) or concurrent \
+       (a group-commit flush of three clients with a fourth transaction open across it)."
     in
     Arg.(
       value
@@ -248,6 +249,7 @@ let crash_sweep_cmd =
                ("attach", `Attach);
                ("overlap", `Overlap);
                ("overlap-naive", `Overlap_naive);
+               ("concurrent", `Concurrent);
              ])
           `Commit
       & info [ "scenario" ] ~doc)
@@ -288,6 +290,7 @@ let crash_sweep_cmd =
         | `Attach -> C.attach_scenario ~mirrors ()
         | `Overlap -> C.overlap_scenario ~mirrors ()
         | `Overlap_naive -> C.overlap_scenario ~mirrors ~elision:false ()
+        | `Concurrent -> C.concurrent_scenario ~mirrors ()
       in
       let victim = match victim with `Primary -> C.Primary | `Mirror -> C.Mirror mirror_index in
       match C.sweep ~victim scenario with

@@ -102,6 +102,25 @@ let glue t ~align =
       in
       go empty off0 (off0 + len0) rest
 
+let intersects a b =
+  (* Walk the smaller set, probing the larger with predecessor/successor
+     lookups — O(min cardinal · log max cardinal). *)
+  let small, large = if M.cardinal a <= M.cardinal b then (a, b) else (b, a) in
+  M.exists
+    (fun lo hi ->
+      (match M.find_last_opt (fun k -> k <= lo) large with
+      | Some (_, e) -> e > lo
+      | None -> false)
+      ||
+      match M.find_first_opt (fun k -> k > lo) large with
+      | Some (k, _) -> k < hi
+      | None -> false)
+    small
+
+let union a b =
+  let small, large = if M.cardinal a <= M.cardinal b then (a, b) else (b, a) in
+  M.fold (fun lo hi acc -> add acc ~off:lo ~len:(hi - lo)) small large
+
 let equal = M.equal Int.equal
 
 let pp fmt t =

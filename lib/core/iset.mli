@@ -61,6 +61,18 @@ val glue : t -> align:int -> t
     Safe for mirrored segments because the hull's gap bytes are
     identical on both sides (see DESIGN.md). *)
 
+val intersects : t -> t -> bool
+(** Whether the two sets share at least one byte.  Walks the smaller
+    set probing the larger, so disjointness checks between a
+    transaction's declaration and its peers' write-sets cost
+    O(min intervals · log max intervals).  This is the conflict test
+    {!Perseas.set_range} runs against every other open transaction. *)
+
+val union : t -> t -> t
+(** All bytes covered by either set, coalesced.  Group commit unions
+    the batch's per-segment write-sets to build one shared propagation
+    list. *)
+
 val equal : t -> t -> bool
 
 val pp : Format.formatter -> t -> unit

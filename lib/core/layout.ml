@@ -63,6 +63,9 @@ let undo_header_size = 24
 let align64 x = (x + 63) land lnot 63
 let undo_slot ~off ~payload_len = align64 (off + undo_header_size + payload_len)
 
+let align32 x = (x + 31) land lnot 31
+let undo_slot_packed ~off ~payload_len = align32 (off + undo_header_size + payload_len)
+
 let fnv32 seed data off len =
   let h = ref seed in
   for i = off to off + len - 1 do
@@ -75,15 +78,22 @@ let header_checksum_seed (h : undo_header) =
   (0x811c9dc5 lxor mix lxor (h.seg_index * 131) lxor (h.off * 31) lxor (h.len * 7))
   land 0xFFFFFFFF
 
-let encode_undo h ~payload =
-  if Bytes.length payload <> h.len then invalid_arg "Layout.encode_undo: payload length mismatch";
-  let b = Bytes.create (undo_header_size + h.len) in
+let encode_undo_header h ~payload =
+  if Bytes.length payload <> h.len then
+    invalid_arg "Layout.encode_undo_header: payload length mismatch";
+  let b = Bytes.create undo_header_size in
   Bytes.set_int64_le b 0 h.epoch;
   Bytes.set_int32_le b 8 (Int32.of_int h.seg_index);
   Bytes.set_int32_le b 12 (Int32.of_int h.off);
   Bytes.set_int32_le b 16 (Int32.of_int h.len);
   let crc = fnv32 (header_checksum_seed h) payload 0 h.len in
   Bytes.set_int32_le b 20 (Int32.of_int crc);
+  b
+
+let encode_undo h ~payload =
+  if Bytes.length payload <> h.len then invalid_arg "Layout.encode_undo: payload length mismatch";
+  let b = Bytes.create (undo_header_size + h.len) in
+  Bytes.blit (encode_undo_header h ~payload) 0 b 0 undo_header_size;
   Bytes.blit payload 0 b undo_header_size h.len;
   b
 

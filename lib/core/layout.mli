@@ -56,8 +56,10 @@ val read_table_entry : bytes -> index:int -> string * int
 
     A record is a 24-byte header followed by the before-image:
     epoch (8), segment index (4), offset (4), length (4), checksum (4,
-    over header fields and payload).  Records start on 64-byte
-    boundaries so each lands remotely as whole SCI buffers. *)
+    over header fields and payload).  Records start on aligned
+    boundaries — {!undo_slot} (64-byte: the baselines, and PERSEAS in
+    eager mode) or {!undo_slot_packed} (32-byte: PERSEAS under group
+    commit) — so a log convoy streams as dense whole SCI buffers. *)
 
 type undo_header = { epoch : int64; seg_index : int; off : int; len : int }
 
@@ -65,8 +67,24 @@ val undo_header_size : int
 val undo_slot : off:int -> payload_len:int -> int
 (** Offset of the next record given one at [off] with that payload. *)
 
+val undo_slot_packed : off:int -> payload_len:int -> int
+(** Like {!undo_slot} but on 32-byte boundaries: a small record (8-byte
+    payload) takes half a 64-byte SCI line instead of a whole one, so a
+    group-commit convoy streams the log twice as densely.  The engine
+    that writes a log must walk it with the same slot arithmetic it
+    appended with; PERSEAS picks the stride from [config.group_commit]
+    (eager engines keep the 64-byte stride, whose line-aligned starts
+    are what per-record pushes want), the baselines keep the
+    original. *)
+
 val encode_undo : undo_header -> payload:bytes -> bytes
 (** Header and payload as one buffer, checksummed. *)
+
+val encode_undo_header : undo_header -> payload:bytes -> bytes
+(** The 24-byte header alone, checksummed over [payload] (which is not
+    included in the result).  Group commit uses this to retag a staged
+    record's epoch in place — the payload bytes are already in the log,
+    only the header changes. *)
 
 val decode_undo_header : bytes -> off:int -> undo_header option
 (** [None] if the bytes at [off] cannot be a record header (bad sizes).

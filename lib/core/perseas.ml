@@ -19,6 +19,9 @@ type config = {
   redundancy_elision : bool;
   namespace : string;
   dirty_log_limit : int;
+  group_commit : int;
+      (* commits per shared flush; 1 = eager per-commit propagation
+         (the single-txn-era behaviour, byte-identical to it) *)
 }
 
 let default_config =
@@ -30,10 +33,13 @@ let default_config =
     redundancy_elision = true;
     namespace = Layout.default_namespace;
     dirty_log_limit = 4096;
+    group_commit = 1;
   }
 
 exception Undo_overflow
 exception All_mirrors_lost
+exception Conflict of { younger : int; older : int }
+exception Double_begin of string
 
 type mirror = {
   m_client : Client.t;
@@ -65,6 +71,9 @@ type stats = {
   mirrors_recruited : int;
   resync_bytes : int;
   degraded_us : int;
+  conflicts : int;
+  group_flushes : int;
+  group_commit_txns : int;
 }
 
 type resync_mode = Full | Incremental
@@ -86,7 +95,11 @@ type t = {
   mutable undo_local : Mem.Segment.t;
   mutable epoch : int64;
   mutable ready : bool;
-  mutable active : txn option;
+  mutable open_txns : txn list; (* newest first *)
+  mutable staged : txn list; (* group-commit queue, commit order *)
+  mutable next_txn_id : int;
+  mutable undo_tail : int; (* shared undo log tail, all transactions *)
+  mutable flushing : bool; (* a group flush is propagating right now *)
   mutable hook : (unit -> unit) option;
   mutable sink : Trace.Sink.t;
       (* Pure observer: span emission reads the clock but never
@@ -94,6 +107,7 @@ type t = {
   mutable tel : Trace.Timeseries.t;
       (* Gauge layer, same observer contract as the sink. *)
   mutable g_undo_tail : Trace.Gauge.t;
+  mutable g_group_size : Trace.Gauge.t;
   mutable repl_target : int;
       (* Mirror count below which the database counts as degraded; the
          supervisor aligns this with its own target. *)
@@ -119,18 +133,35 @@ type t = {
   mutable st_mirrors_lost : int;
   mutable st_mirrors_recruited : int;
   mutable st_resync_bytes : int;
+  mutable st_conflicts : int;
+  mutable st_group_flushes : int;
+  mutable st_group_txns : int;
 }
 
-and range = { r_seg : segment; r_off : int; r_len : int; staging_off : int (* payload offset in undo staging *) }
+and range = {
+  r_seg : segment;
+  r_off : int;
+  r_len : int;
+  mutable staging_off : int; (* payload offset in undo staging; compaction moves it *)
+  mutable r_tag : int64; (* epoch currently written in the record header *)
+}
+
+and txn_state =
+  | Open
+  | Staged (* committed, waiting in the group-commit queue *)
+  | Doomed (* lost a conflict to a younger declarer; rolled back, Conflict pending *)
+  | Closed
 
 and txn = {
   owner : t;
+  t_id : int; (* begin order: smaller = older, the conflict-policy age *)
+  t_client : string;
   mutable ranges : range list; (* logged undo fragments, newest first *)
   mutable wset : Iset.t Imap.t; (* write-set index: coalesced declared ranges per segment *)
   mutable declared : int; (* set_range calls this transaction, pre-coalescing *)
   mutable declared_bytes : int;
-  mutable tail : int;
-  mutable open_ : bool;
+  mutable state : txn_state;
+  mutable doomed_by : int; (* id of the older txn whose declaration doomed this one *)
 }
 
 type mirror_info = { node_id : int; alive : bool }
@@ -233,9 +264,14 @@ let set_telemetry t tel =
   t.tel <- tel;
   Sci.Nic.set_telemetry (Cluster.nic t.cluster) tel;
   t.g_undo_tail <- Trace.Timeseries.gauge tel "perseas.undo_tail";
+  t.g_group_size <- Trace.Timeseries.gauge tel "perseas.group_commit_size";
   Trace.Timeseries.on_sample tel (fun _at ->
       Trace.Timeseries.set tel "perseas.epoch" (Int64.to_int t.epoch);
       Trace.Timeseries.set tel "perseas.live_mirrors" (mirror_count t);
+      Trace.Timeseries.set tel "perseas.open_txns" (List.length t.open_txns);
+      Trace.Timeseries.set tel "perseas.staged_txns" (List.length t.staged);
+      Trace.Timeseries.set tel "perseas.conflicts" t.st_conflicts;
+      Trace.Timeseries.set tel "perseas.group_flushes" t.st_group_flushes;
       Trace.Timeseries.set tel "perseas.dirty_log" t.dirty_count;
       Trace.Timeseries.set tel "perseas.undo_hwm_bytes" t.st_undo_hwm;
       Trace.Timeseries.set tel "perseas.elided_undo_bytes" t.st_elided_bytes;
@@ -301,6 +337,7 @@ let init_replicated ?(config = default_config) clients =
   if clients = [] then invalid_arg "Perseas.init_replicated: at least one mirror required";
   if config.undo_capacity < 4096 then invalid_arg "Perseas.init: undo_capacity too small";
   if config.max_segments <= 0 then invalid_arg "Perseas.init: max_segments must be positive";
+  if config.group_commit < 1 then invalid_arg "Perseas.init: group_commit must be >= 1";
   if not (Layout.valid_namespace config.namespace) then invalid_arg "Perseas.init: invalid namespace";
   let first = List.hd clients in
   let cluster = Client.cluster first in
@@ -326,11 +363,16 @@ let init_replicated ?(config = default_config) clients =
       undo_local = Mem.Segment.v ~base:0 ~len:1;
       epoch = 0L;
       ready = false;
-      active = None;
+      open_txns = [];
+      staged = [];
+      next_txn_id = 1;
+      undo_tail = 0;
+      flushing = false;
       hook = None;
       sink = Trace.Sink.noop;
       tel = Trace.Timeseries.noop;
       g_undo_tail = Trace.Timeseries.gauge Trace.Timeseries.noop "";
+      g_group_size = Trace.Timeseries.gauge Trace.Timeseries.noop "";
       repl_target = List.length clients;
       degraded_since = None;
       st_degraded = Time.zero;
@@ -351,6 +393,9 @@ let init_replicated ?(config = default_config) clients =
       st_mirrors_lost = 0;
       st_mirrors_recruited = 0;
       st_resync_bytes = 0;
+      st_conflicts = 0;
+      st_group_flushes = 0;
+      st_group_txns = 0;
     }
   in
   t.meta_local <- alloc_local t (meta_size t) "metadata staging";
@@ -437,18 +482,47 @@ let plan_epoch_write t m =
     ~src_off:(Mem.Segment.base t.meta_local + Layout.epoch_offset)
     ~len:8
 
-let begin_transaction t =
+let begin_transaction ?(client = "default") t =
   if not t.ready then failwith "Perseas.begin_transaction: call init_remote_db first";
-  (match t.active with Some _ -> failwith "Perseas.begin_transaction: transaction already open" | None -> ());
-  traced t ~name:"begin" (fun () -> Clock.advance (clock t) t_begin);
+  if t.flushing then failwith "Perseas.begin_transaction: commit propagation in flight";
+  (* Double-begin from one client is a typed error; concurrent begins
+     from distinct clients are legal.  A client whose previous
+     transaction is merely Staged (committed, queued for the next
+     flush) may begin its next one — that pipelining is the point. *)
+  (match List.find_opt (fun x -> x.t_client = client) t.open_txns with
+  | Some _ -> raise (Double_begin client)
+  | None -> ());
+  traced t ~name:"begin" ~args:[ ("client", client) ] (fun () -> Clock.advance (clock t) t_begin);
+  let id = t.next_txn_id in
+  t.next_txn_id <- id + 1;
   let txn =
-    { owner = t; ranges = []; wset = Imap.empty; declared = 0; declared_bytes = 0; tail = 0; open_ = true }
+    {
+      owner = t;
+      t_id = id;
+      t_client = client;
+      ranges = [];
+      wset = Imap.empty;
+      declared = 0;
+      declared_bytes = 0;
+      state = Open;
+      doomed_by = id;
+    }
   in
-  t.active <- Some txn;
+  t.open_txns <- txn :: t.open_txns;
   t.st_begun <- t.st_begun + 1;
   txn
 
-let check_open txn op = if not txn.open_ then failwith (Printf.sprintf "Perseas.%s: transaction is closed" op)
+(* [Doomed] surfaces as the typed [Conflict] the loser would have seen
+   had it been the declarer: the rollback already happened at doom
+   time, so surfacing only closes the handle. *)
+let check_open txn op =
+  match txn.state with
+  | Open -> ()
+  | Doomed ->
+      txn.state <- Closed;
+      raise (Conflict { younger = txn.t_id; older = txn.doomed_by })
+  | Staged -> failwith (Printf.sprintf "Perseas.%s: transaction already committed (staged)" op)
+  | Closed -> failwith (Printf.sprintf "Perseas.%s: transaction is closed" op)
 
 let check_seg_range seg ~off ~len op =
   if off < 0 || len < 0 || off + len > seg.size then
@@ -456,10 +530,19 @@ let check_seg_range seg ~off ~len op =
       (Printf.sprintf "Perseas.%s: [%d,+%d) outside segment %S of %d bytes" op off len seg.seg_name
          seg.size)
 
+(* Closing the last in-flight transaction quiesces the shared undo log:
+   the tail rewinds to 0 exactly when nothing live references it, which
+   in sequential use is after every transaction — the single-txn-era
+   behaviour, byte for byte. *)
 let close txn =
-  txn.open_ <- false;
-  Trace.Gauge.set txn.owner.g_undo_tail 0;
-  txn.owner.active <- None
+  let t = txn.owner in
+  txn.state <- Closed;
+  t.open_txns <- List.filter (fun x -> x != txn) t.open_txns;
+  t.staged <- List.filter (fun x -> x != txn) t.staged;
+  if t.open_txns = [] && t.staged = [] then begin
+    t.undo_tail <- 0;
+    Trace.Gauge.set t.g_undo_tail 0
+  end
 
 (* The transaction's write-set index: one interval set per touched
    segment, keyed by segment index.  Maintained for every transaction
@@ -542,6 +625,19 @@ let guard_mirror_loss txn f =
           (if txn.ranges = [] then "operation" else "transaction"));
     raise All_mirrors_lost
 
+(* Undo-slot stride for this engine.  Eager mode keeps the seed's
+   64-byte-aligned slots: each record travels to the remote logs on its
+   own, so starting every push on an SCI line is what keeps large
+   records streaming as Full64 packets.  Group mode packs slots on the
+   32-byte stride instead: the batch travels as one coalesced chain per
+   flush, re-packed from remote offset 0, where only total chain bytes
+   matter and the eager stride's padding would be pure wire cost.  The
+   local log, the shipped chain and the recovery walker must all agree
+   on the stride; they do because it is a pure function of
+   [config.group_commit] and recovery receives the engine's config. *)
+let undo_slot_of t =
+  if t.config.group_commit <= 1 then Layout.undo_slot else Layout.undo_slot_packed
+
 (* Append one undo record — the before-image of [seg[off, off+len)] —
    to the local log and push it to every remote log (Figure 3, steps 1
    and 2).  The caller has already reserved the log space. *)
@@ -549,7 +645,7 @@ let log_undo_record txn seg ~off ~len =
   let t = txn.owner in
   let record_len = Layout.undo_header_size + len in
   let image = local_dram t in
-  let slot = txn.tail in
+  let slot = t.undo_tail in
   traced t ~name:"local_undo" (fun () ->
       let payload = Mem.Image.read_bytes image ~off:(Mem.Segment.base seg.local + off) ~len in
       let record =
@@ -557,50 +653,23 @@ let log_undo_record txn seg ~off ~len =
       in
       Mem.Image.write_bytes image ~off:(Mem.Segment.base t.undo_local + slot) record;
       charge_local_copy t record_len);
-  guard_mirror_loss txn (fun () ->
-      each_live_mirror t (fun i m ->
-          traced t ~name:"remote_undo" ~args:[ ("mirror", string_of_int i) ] (fun () ->
-              run_plan t
-                (Client.plan_write m.m_client ~widen:t.config.optimized_memcpy m.m_undo
-                   ~seg_off:slot ~src_off:(Mem.Segment.base t.undo_local + slot) ~len:record_len))));
+  (* Eager mode pipelines each record to the remote logs as it is cut
+     (Figure 3, step 2).  Group mode defers: the whole live log ships
+     as one convoy per mirror at flush time, so full packets and the
+     burst startup amortise across the batch. *)
+  if t.config.group_commit <= 1 then
+    guard_mirror_loss txn (fun () ->
+        each_live_mirror t (fun i m ->
+            traced t ~name:"remote_undo" ~args:[ ("mirror", string_of_int i) ] (fun () ->
+                run_plan t
+                  (Client.plan_write m.m_client ~widen:t.config.optimized_memcpy m.m_undo
+                     ~seg_off:slot ~src_off:(Mem.Segment.base t.undo_local + slot) ~len:record_len))));
   txn.ranges <-
-    { r_seg = seg; r_off = off; r_len = len; staging_off = slot + Layout.undo_header_size }
+    { r_seg = seg; r_off = off; r_len = len; staging_off = slot + Layout.undo_header_size; r_tag = t.epoch }
     :: txn.ranges;
-  txn.tail <- Layout.undo_slot ~off:slot ~payload_len:len;
-  if txn.tail > t.st_undo_hwm then t.st_undo_hwm <- txn.tail;
+  t.undo_tail <- undo_slot_of t ~off:slot ~payload_len:len;
+  if t.undo_tail > t.st_undo_hwm then t.st_undo_hwm <- t.undo_tail;
   t.st_undo_bytes <- t.st_undo_bytes + len
-
-let set_range txn seg ~off ~len =
-  check_open txn "set_range";
-  check_seg_range seg ~off ~len "set_range";
-  if len = 0 then invalid_arg "Perseas.set_range: empty range";
-  let t = txn.owner in
-  traced t ~name:"set_range" (fun () -> Clock.advance (clock t) t_set_range);
-  let prior = txn_iset txn seg in
-  (* First-write-only logging: a sub-range already declared this
-     transaction keeps its original before-image — the one recovery and
-     rollback must restore — so only the still-uncovered fragments need
-     undo records at all. *)
-  let fragments =
-    if t.config.redundancy_elision then Iset.uncovered prior ~off ~len else [ (off, len) ]
-  in
-  (* Reserve log space for the whole call up front so an overflow
-     leaves no half-logged fragment behind. *)
-  let rec fits tail = function
-    | [] -> true
-    | (_, flen) :: rest ->
-        tail + Layout.undo_header_size + flen <= t.config.undo_capacity
-        && fits (Layout.undo_slot ~off:tail ~payload_len:flen) rest
-  in
-  if not (fits txn.tail fragments) then raise Undo_overflow;
-  List.iter (fun (off, len) -> log_undo_record txn seg ~off ~len) fragments;
-  Trace.Gauge.set t.g_undo_tail txn.tail;
-  txn.wset <- Imap.add seg.index (Iset.add prior ~off ~len) txn.wset;
-  txn.declared <- txn.declared + 1;
-  txn.declared_bytes <- txn.declared_bytes + len;
-  t.st_set_ranges <- t.st_set_ranges + 1;
-  t.st_elided_bytes <-
-    t.st_elided_bytes + (len - List.fold_left (fun acc (_, flen) -> acc + flen) 0 fragments)
 
 (* The propagation list for one commit: with elision, the write-set's
    maximal contiguous runs — adjacent and overlapping declarations
@@ -644,55 +713,434 @@ let with_staged_epoch t e f =
   stage_epoch t e;
   Fun.protect ~finally:(fun () -> Mem.Image.write_u64 image addr saved) f
 
+(* ------------------------------------------------------------------ *)
+(* Group commit                                                         *)
+
+(* Rewrite a transaction's record headers so their epoch tag is
+   [t.epoch] — the value recovery will read from the remote metadata
+   before this flush's fence lands.  A local header rewrite only;
+   records still to be pushed (group mode) ship the fresh tag with the
+   convoy, already-pushed ones (eager mode after a concurrent epoch
+   bump) are re-pushed by the caller. *)
+let retag_records t txn =
+  let image = local_dram t in
+  List.iter
+    (fun r ->
+      if r.r_tag <> t.epoch then begin
+        let slot = r.staging_off - Layout.undo_header_size in
+        let payload =
+          Mem.Image.read_bytes image ~off:(Mem.Segment.base t.undo_local + r.staging_off) ~len:r.r_len
+        in
+        let header =
+          Layout.encode_undo_header
+            { Layout.epoch = t.epoch; seg_index = r.r_seg.index; off = r.r_off; len = r.r_len }
+            ~payload
+        in
+        Mem.Image.write_bytes image ~off:(Mem.Segment.base t.undo_local + slot) header;
+        charge_local_copy t Layout.undo_header_size;
+        r.r_tag <- t.epoch
+      end)
+    txn.ranges
+
+(* The batch's records, shipped from their scattered local slots to a
+   PACKED remote chain starting at offset 0 — where the recovery scan
+   starts.  Convoy chunks carry independent source and destination
+   offsets, so no local compaction (and no charged local copy) is
+   needed: records adjacent in the local log coalesce into one chunk —
+   a transaction's declarations are logged back-to-back, so chunks are
+   few — and the remote chain is walked with the same packed slot
+   arithmetic as the local one (all slot boundaries share the 32-byte
+   stride, so a record's span is the same at both ends).  Open
+   transactions' records stay local until their own flush: their data
+   never travels before commit, so a crash needs no remote pre-image
+   for them, and shipping them would make every flush pay for its
+   bystanders, growing with offered concurrency. *)
+let flush_undo_chunks batch =
+  let recs =
+    List.concat_map (fun txn -> txn.ranges) batch
+    |> List.sort (fun a b -> compare a.staging_off b.staging_off)
+  in
+  let chunks = ref [] and cur = ref None and dst = ref 0 in
+  List.iter
+    (fun r ->
+      let src_slot = r.staging_off - Layout.undo_header_size in
+      let span = Layout.undo_slot_packed ~off:!dst ~payload_len:r.r_len - !dst in
+      (match !cur with
+      | Some (d0, s0, len) when s0 + len = src_slot -> cur := Some (d0, s0, len + span)
+      | Some c ->
+          chunks := c :: !chunks;
+          cur := Some (!dst, src_slot, span)
+      | None -> cur := Some (!dst, src_slot, span));
+      dst := !dst + span)
+    recs;
+  (match !cur with Some c -> chunks := c :: !chunks | None -> ());
+  List.rev !chunks
+
+(* One merged convoy per mirror: the packed undo chain, then the
+   batch's merged data runs, then the epoch fence as the convoy's last
+   packet.  Packet order within a convoy is chunk order, so the
+   protocol's ordering (pre-images durable before any data byte lands,
+   fence strictly last) is preserved while the burst set-up and the
+   Full64 stream warm-up are paid once per mirror instead of three
+   times.  The fence chunk ships the staged epoch word, so the caller
+   must run the plan under [with_staged_epoch]. *)
+let flush_convoy_chunks t ~undo_chunks ~runs i m =
+  List.map
+    (fun (dst, src, len) ->
+      ("undo", t.config.optimized_memcpy, m.m_undo, dst, Mem.Segment.base t.undo_local + src, len))
+    undo_chunks
+  @ List.map
+      (fun (seg, off, len) ->
+        ( "data",
+          t.config.optimized_memcpy,
+          seg.remotes.(i),
+          off,
+          Mem.Segment.base seg.local + off,
+          len ))
+      runs
+  @ [
+      ( "fence",
+        false,
+        m.m_meta,
+        Layout.epoch_offset,
+        Mem.Segment.base t.meta_local + Layout.epoch_offset,
+        8 );
+    ]
+
+(* The batch's data propagation list: the per-segment union of every
+   staged write-set, glued like a single commit's runs.  Batch members
+   are line-disjoint by the conflict rules, so a cross-transaction hull
+   never ships a byte an open transaction has dirtied. *)
+let batch_data_runs t batch =
+  let merged =
+    List.fold_left
+      (fun acc txn -> Imap.union (fun _ a b -> Some (Iset.union a b)) acc txn.wset)
+      Imap.empty batch
+  in
+  List.rev
+    (Imap.fold
+       (fun index iset acc ->
+         let seg = List.find (fun s -> s.index = index) t.segs in
+         let iset = if t.config.optimized_memcpy then Iset.glue iset ~align:64 else iset in
+         List.fold_left (fun acc (off, len) -> (seg, off, len) :: acc) acc (Iset.intervals iset))
+       merged [])
+
+(* Overflow relief: flushed transactions leave dead records interleaved
+   with the open transactions' live ones, and the tail only resets when
+   the engine quiesces.  Under sustained concurrency the log eventually
+   fills with dead slots; sliding the survivors to the front (a local
+   move — group mode has not pushed them yet) reclaims it.  Called from
+   the [set_range] overflow path, not per flush: at ~one compaction per
+   log's worth of commits the copies amortise to noise, where per-flush
+   compaction would pay them on every batch. *)
+let compact_log t =
+  let image = local_dram t in
+  let base = Mem.Segment.base t.undo_local in
+  let live =
+    List.concat_map (fun txn -> txn.ranges) t.open_txns
+    |> List.sort (fun a b -> compare a.staging_off b.staging_off)
+  in
+  let tail = ref 0 in
+  List.iter
+    (fun r ->
+      let src_slot = r.staging_off - Layout.undo_header_size in
+      let record_len = Layout.undo_header_size + r.r_len in
+      if src_slot <> !tail then begin
+        Mem.Image.blit ~src:image ~src_off:(base + src_slot) ~dst:image ~dst_off:(base + !tail)
+          ~len:record_len;
+        charge_local_copy t record_len;
+        r.staging_off <- !tail + Layout.undo_header_size
+      end;
+      tail := undo_slot_of t ~off:!tail ~payload_len:r.r_len)
+    live;
+  t.undo_tail <- !tail;
+  Trace.Gauge.set t.g_undo_tail t.undo_tail
+
+(* Drain the group-commit queue: retag the batch's records to the
+   current epoch, then ship one convoy per mirror — packed undo chain,
+   merged data runs, epoch fence last — one shared commit point for
+   the whole batch.  Batch atomicity implies per-transaction
+   atomicity: a crash before the fence replays every record of the
+   current epoch, after it the whole batch is durable.  If the last
+   mirror dies mid-flush, every staged transaction rolls back locally
+   (open ones stay open — they roll back through their own abort
+   paths). *)
+let flush t =
+  if t.staged <> [] then begin
+    if t.flushing then failwith "Perseas.flush: reentrant flush";
+    t.flushing <- true;
+    Fun.protect ~finally:(fun () -> t.flushing <- false) @@ fun () ->
+    let batch = t.staged in
+    let n = List.length batch in
+    List.iter (fun txn -> retag_records t txn) batch;
+    let undo_chunks = flush_undo_chunks batch in
+    let runs = batch_data_runs t batch in
+    let args = [ ("txns", string_of_int n) ] in
+    (try
+       with_staged_epoch t (Int64.add t.epoch 1L) (fun () ->
+           each_live_mirror t (fun i m ->
+               traced t ~name:"flush_convoy" ~args:(("mirror", string_of_int i) :: args)
+                 (fun () ->
+                   run_plan t
+                     (Client.plan_convoy m.m_client (flush_convoy_chunks t ~undo_chunks ~runs i m)))))
+     with All_mirrors_lost ->
+       (* No fence landed anywhere: the batch is not durable.  Roll
+          every staged transaction back locally; byte overlap between
+          batch members is impossible, so per-transaction rollback
+          order does not matter. *)
+       List.iter
+         (fun txn ->
+           traced t ~name:"abort" ~args:[ ("reason", "all_mirrors_lost") ] (fun () ->
+               rollback_local txn))
+         (List.rev batch);
+       t.st_aborted <- t.st_aborted + n;
+       t.staged <- [];
+       List.iter close batch;
+       Log.warn (fun k -> k "all mirrors lost mid-flush: %d staged transaction(s) rolled back" n);
+       raise All_mirrors_lost);
+    t.epoch <- Int64.add t.epoch 1L;
+    List.iter (fun txn -> note_dirty t ~tag:t.epoch (dirty_runs txn)) batch;
+    t.st_committed <- t.st_committed + n;
+    t.st_group_flushes <- t.st_group_flushes + 1;
+    t.st_group_txns <- t.st_group_txns + n;
+    Trace.Gauge.set t.g_group_size n;
+    t.staged <- [];
+    List.iter close batch
+  end
+
+let set_range txn seg ~off ~len =
+  check_open txn "set_range";
+  check_seg_range seg ~off ~len "set_range";
+  if len = 0 then invalid_arg "Perseas.set_range: empty range";
+  let t = txn.owner in
+  traced t ~name:"set_range" ~args:[ ("txn", string_of_int txn.t_id) ] (fun () ->
+      Clock.advance (clock t) t_set_range);
+  (* Conflict detection at 64-byte-line granularity — the unit the NIC
+     widening and commit glue may ship margin bytes at, so line-level
+     disjointness is what makes cross-transaction batching safe.  The
+     declared lines are checked against every other in-flight
+     write-set:
+     - against a STAGED transaction the declarer wins by waiting: the
+       queue is flushed early and the declaration proceeds against
+       committed state;
+     - against an OPEN transaction the younger aborts — an older
+       transaction has done more work and is closer to committing, so
+       the cheaper loser retries (see DESIGN.md). *)
+  let line_limit = (seg.size + 63) / 64 * 64 in
+  let decl_lines =
+    let lo = off / 64 * 64 in
+    Iset.add Iset.empty ~off:lo ~len:(min line_limit ((off + len + 63) / 64 * 64) - lo)
+  in
+  let peer_lines peer =
+    match Imap.find_opt seg.index peer.wset with
+    | None -> Iset.empty
+    | Some is -> Iset.snap is ~align:64 ~limit:line_limit
+  in
+  if List.exists (fun p -> Iset.intersects decl_lines (peer_lines p)) t.staged then flush t;
+  let clashing =
+    List.filter (fun p -> p != txn && Iset.intersects decl_lines (peer_lines p)) t.open_txns
+  in
+  (match List.find_opt (fun p -> p.t_id < txn.t_id) clashing with
+  | Some older ->
+      (* The declarer is the younger party: roll it back and surface
+         the typed conflict to its client for a retry. *)
+      t.st_conflicts <- t.st_conflicts + 1;
+      t.st_aborted <- t.st_aborted + 1;
+      traced t ~name:"abort"
+        ~args:[ ("reason", "conflict"); ("txn", string_of_int txn.t_id) ]
+        (fun () -> rollback_local txn);
+      close txn;
+      raise (Conflict { younger = txn.t_id; older = older.t_id })
+  | None ->
+      (* Every clashing holder is younger: doom each one — roll it back
+         now, before this declaration's before-image is cut, and let
+         the loser learn of it at its next library call. *)
+      List.iter
+        (fun victim ->
+          t.st_conflicts <- t.st_conflicts + 1;
+          t.st_aborted <- t.st_aborted + 1;
+          traced t ~name:"abort"
+            ~args:[ ("reason", "conflict"); ("txn", string_of_int victim.t_id) ]
+            (fun () -> rollback_local victim);
+          victim.ranges <- [];
+          victim.wset <- Imap.empty;
+          victim.state <- Doomed;
+          victim.doomed_by <- txn.t_id;
+          t.open_txns <- List.filter (fun x -> x != victim) t.open_txns)
+        clashing);
+  let prior = txn_iset txn seg in
+  (* First-write-only logging: a sub-range already declared this
+     transaction keeps its original before-image — the one recovery and
+     rollback must restore — so only the still-uncovered fragments need
+     undo records at all. *)
+  let fragments =
+    if t.config.redundancy_elision then Iset.uncovered prior ~off ~len else [ (off, len) ]
+  in
+  (* Reserve log space for the whole call up front so an overflow
+     leaves no half-logged fragment behind. *)
+  let rec fits tail = function
+    | [] -> true
+    | (_, flen) :: rest ->
+        tail + Layout.undo_header_size + flen <= t.config.undo_capacity
+        && fits (undo_slot_of t ~off:tail ~payload_len:flen) rest
+  in
+  (* A full log first tries draining the group-commit queue (retiring
+     the batch's records), then compacting the survivors to the front.
+     Only if the log is still too small does the overflow surface — and
+     then only to the caller; staged transactions are already retired
+     and open peers untouched. *)
+  if (not (fits t.undo_tail fragments)) && t.staged <> [] then flush t;
+  if not (fits t.undo_tail fragments) then compact_log t;
+  if not (fits t.undo_tail fragments) then raise Undo_overflow;
+  List.iter (fun (off, len) -> log_undo_record txn seg ~off ~len) fragments;
+  Trace.Gauge.set t.g_undo_tail t.undo_tail;
+  txn.wset <- Imap.add seg.index (Iset.add prior ~off ~len) txn.wset;
+  txn.declared <- txn.declared + 1;
+  txn.declared_bytes <- txn.declared_bytes + len;
+  t.st_set_ranges <- t.st_set_ranges + 1;
+  t.st_elided_bytes <-
+    t.st_elided_bytes + (len - List.fold_left (fun acc (_, flen) -> acc + flen) 0 fragments)
+
+(* Eager-mode retag: records already pushed to the remote logs may
+   carry a stale epoch tag when concurrent peers bumped the epoch since
+   they were cut.  Rewrite them locally and re-push the full records —
+   a joiner recruited mid-transaction has no payload for them yet, so
+   a header-only push would leave its log torn.  Sequentially the tags
+   are always current and this is a no-op, packet for packet. *)
+let repush_stale txn =
+  let t = txn.owner in
+  let stale = List.filter (fun r -> r.r_tag <> t.epoch) txn.ranges in
+  if stale <> [] then begin
+    retag_records t txn;
+    guard_mirror_loss txn (fun () ->
+        each_live_mirror t (fun i m ->
+            traced t ~name:"remote_undo" ~args:[ ("mirror", string_of_int i) ] (fun () ->
+                List.iter
+                  (fun r ->
+                    let slot = r.staging_off - Layout.undo_header_size in
+                    run_plan t
+                      (Client.plan_write m.m_client ~widen:t.config.optimized_memcpy m.m_undo
+                         ~seg_off:slot ~src_off:(Mem.Segment.base t.undo_local + slot)
+                         ~len:(Layout.undo_header_size + r.r_len)))
+                  stale)))
+  end
+
 let commit txn =
   check_open txn "commit";
   let t = txn.owner in
-  traced t ~name:"commit" (fun () -> Clock.advance (clock t) t_commit);
-  (* Figure 3, step 3: propagate updated ranges to every mirror, then
-     bump the epoch everywhere — the per-mirror single-packet commit
-     point. *)
-  let runs = commit_runs txn in
+  traced t ~name:"commit" ~args:[ ("txn", string_of_int txn.t_id) ] (fun () ->
+      Clock.advance (clock t) t_commit);
   if t.config.redundancy_elision then begin
     let wset_total = Imap.fold (fun _ iset acc -> acc + Iset.total iset) txn.wset 0 in
-    t.st_coalesced_ranges <- t.st_coalesced_ranges + max 0 (txn.declared - List.length runs);
+    let runs_now = List.length (commit_runs txn) in
+    t.st_coalesced_ranges <- t.st_coalesced_ranges + max 0 (txn.declared - runs_now);
     t.st_commit_saved <- t.st_commit_saved + max 0 (txn.declared_bytes - wset_total)
   end;
-  guard_mirror_loss txn (fun () ->
-      each_live_mirror t (fun i m ->
-          traced t ~name:"commit_propagate" ~args:[ ("mirror", string_of_int i) ] (fun () ->
-              List.iter (run_plan t) (plans_for t runs i m)));
-      with_staged_epoch t (Int64.add t.epoch 1L) (fun () ->
-          each_live_mirror t (fun i m ->
-              traced t ~name:"commit_fence" ~args:[ ("mirror", string_of_int i) ] (fun () ->
-                  run_plan t (plan_epoch_write t m)))));
-  t.epoch <- Int64.add t.epoch 1L;
-  note_dirty t ~tag:t.epoch (dirty_runs txn);
-  t.st_committed <- t.st_committed + 1;
-  close txn
+  if t.config.group_commit <= 1 then begin
+    (* Figure 3, step 3: propagate updated ranges to every mirror, then
+       bump the epoch everywhere — the per-mirror single-packet commit
+       point. *)
+    let runs = commit_runs txn in
+    repush_stale txn;
+    guard_mirror_loss txn (fun () ->
+        each_live_mirror t (fun i m ->
+            traced t ~name:"commit_propagate" ~args:[ ("mirror", string_of_int i) ] (fun () ->
+                List.iter (run_plan t) (plans_for t runs i m)));
+        with_staged_epoch t (Int64.add t.epoch 1L) (fun () ->
+            each_live_mirror t (fun i m ->
+                traced t ~name:"commit_fence" ~args:[ ("mirror", string_of_int i) ] (fun () ->
+                    run_plan t (plan_epoch_write t m)))));
+    t.epoch <- Int64.add t.epoch 1L;
+    note_dirty t ~tag:t.epoch (dirty_runs txn);
+    t.st_committed <- t.st_committed + 1;
+    close txn
+  end
+  else begin
+    (* Group commit: stage the transaction and let the shared flush
+       carry it.  Durability — and the [committed] count — arrive with
+       the flush's fence, not here. *)
+    txn.state <- Staged;
+    t.open_txns <- List.filter (fun x -> x != txn) t.open_txns;
+    t.staged <- t.staged @ [ txn ];
+    if List.length t.staged >= t.config.group_commit then flush t
+  end
+
+(* How many flush packets the queue [batch] would cost right now: one
+   merged convoy per mirror (packed undo chain, merged data runs,
+   fence).  An empty batch flushes nothing and costs nothing.  The
+   chunk list is a pure function of the batch's records — a dry run
+   moves nothing — and matches what the real flush will ship. *)
+let flush_step_count t batch =
+  match batch with
+  | [] -> 0
+  | _ :: _ ->
+      let runs = batch_data_runs t batch in
+      let undo_chunks = flush_undo_chunks batch in
+      let count = ref 0 in
+      Array.iteri
+        (fun i m ->
+          if m.m_alive then
+            count :=
+              !count
+              + List.length
+                  (Sci.Nic.plan_steps
+                     (Client.plan_convoy m.m_client (flush_convoy_chunks t ~undo_chunks ~runs i m))))
+        t.mirrors;
+      !count
 
 let commit_packets txn =
   check_open txn "commit_packets";
   let t = txn.owner in
-  let runs = commit_runs txn in
-  with_staged_epoch t (Int64.add t.epoch 1L) (fun () ->
-      let count = ref 0 in
-      Array.iteri
-        (fun i m ->
-          if m.m_alive then begin
-            List.iter
-              (fun plan -> count := !count + List.length (Sci.Nic.plan_steps plan))
-              (plans_for t runs i m);
-            count := !count + List.length (Sci.Nic.plan_steps (plan_epoch_write t m))
-          end)
-        t.mirrors;
-      !count)
+  if t.config.group_commit <= 1 then begin
+    let runs = commit_runs txn in
+    let stale = List.filter (fun r -> r.r_tag <> t.epoch) txn.ranges in
+    with_staged_epoch t (Int64.add t.epoch 1L) (fun () ->
+        let count = ref 0 in
+        Array.iteri
+          (fun i m ->
+            if m.m_alive then begin
+              List.iter
+                (fun r ->
+                  let slot = r.staging_off - Layout.undo_header_size in
+                  count :=
+                    !count
+                    + List.length
+                        (Sci.Nic.plan_steps
+                           (Client.plan_write m.m_client ~widen:t.config.optimized_memcpy m.m_undo
+                              ~seg_off:slot ~src_off:(Mem.Segment.base t.undo_local + slot)
+                              ~len:(Layout.undo_header_size + r.r_len))))
+                stale;
+              List.iter
+                (fun plan -> count := !count + List.length (Sci.Nic.plan_steps plan))
+                (plans_for t runs i m);
+              count := !count + List.length (Sci.Nic.plan_steps (plan_epoch_write t m))
+            end)
+          t.mirrors;
+        !count)
+  end
+  else
+    (* The transaction's MARGINAL packets: what the flush costs with it
+       staged, minus what the already-staged queue costs alone — the
+       shared undo convoy and fence are charged to the first committer
+       of a batch and amortise to zero for the rest.  Summed over a
+       batch (with no interleaved declarations) the marginals telescope
+       to exactly the flush's packet count. *)
+    flush_step_count t (t.staged @ [ txn ]) - flush_step_count t t.staged
 
 let abort txn =
-  check_open txn "abort";
-  let t = txn.owner in
-  traced t ~name:"abort" (fun () -> rollback_local txn);
-  t.st_aborted <- t.st_aborted + 1;
-  close txn
+  match txn.state with
+  | Doomed ->
+      (* Already rolled back at doom time; aborting is what the loser
+         was going to do anyway, so closing silently is enough. *)
+      txn.state <- Closed
+  | Staged -> failwith "Perseas.abort: transaction already committed (staged)"
+  | Closed -> failwith "Perseas.abort: transaction is closed"
+  | Open ->
+      let t = txn.owner in
+      traced t ~name:"abort" ~args:[ ("txn", string_of_int txn.t_id) ] (fun () ->
+          rollback_local txn);
+      t.st_aborted <- t.st_aborted + 1;
+      close txn
 
 (* O(log n) on the coalesced index — and deliberately a touch more
    permissive than scanning the declared ranges: a write spanning two
@@ -704,10 +1152,16 @@ let write t seg ~off data =
   let len = Bytes.length data in
   check_seg_range seg ~off ~len "write";
   if t.ready && t.config.strict_updates then begin
-    match t.active with
-    | Some txn when covered txn seg ~off ~len -> ()
-    | Some _ -> failwith (Printf.sprintf "Perseas.write: [%d,+%d) of %S not covered by set_range" off len seg.seg_name)
-    | None -> failwith "Perseas.write: no open transaction"
+    (* Open write-sets are pairwise line-disjoint, so at most one
+       transaction can cover the range — find it. *)
+    match List.find_opt (fun txn -> covered txn seg ~off ~len) t.open_txns with
+    | Some _ -> ()
+    | None ->
+        if t.open_txns = [] then failwith "Perseas.write: no open transaction"
+        else
+          failwith
+            (Printf.sprintf "Perseas.write: [%d,+%d) of %S not covered by any open set_range" off
+               len seg.seg_name)
   end;
   Mem.Image.write_bytes (local_dram t) ~off:(Mem.Segment.base seg.local + off) data;
   traced t ~name:"in_place_write" (fun () -> charge_local_copy t len)
@@ -763,6 +1217,11 @@ let verify_mirrors t =
     t.segs
 
 let set_packet_hook t hook = t.hook <- hook
+let txn_id txn = txn.t_id
+let txn_client txn = txn.t_client
+let validate txn = match txn.state with Doomed -> check_open txn "validate" | _ -> ()
+let open_txn_count t = List.length t.open_txns
+let staged_count t = List.length t.staged
 
 let stats t =
   {
@@ -780,6 +1239,9 @@ let stats t =
     mirrors_recruited = t.st_mirrors_recruited;
     resync_bytes = t.st_resync_bytes;
     degraded_us = Time.to_ns (degraded_total t) / 1000;
+    conflicts = t.st_conflicts;
+    group_flushes = t.st_group_flushes;
+    group_commit_txns = t.st_group_txns;
   }
 
 let stats_fields (s : stats) =
@@ -798,6 +1260,9 @@ let stats_fields (s : stats) =
     ("mirrors_recruited", s.mirrors_recruited);
     ("resync_bytes", s.resync_bytes);
     ("degraded_us", s.degraded_us);
+    ("conflicts", s.conflicts);
+    ("group_flushes", s.group_flushes);
+    ("group_commit_txns", s.group_commit_txns);
   ]
 
 let pp_stats ppf s =
@@ -928,9 +1393,12 @@ let ranges_since t ~since =
     by_seg []
 
 let do_attach ~op ~allow_incremental t ~server =
-  (match t.active with
-  | Some _ -> failwith (Printf.sprintf "Perseas.%s: close the open transaction first" op)
-  | None -> ());
+  (* Membership changes no longer wait for "no open transaction" —
+     under concurrency that moment may never come.  They quiesce the
+     group-commit queue instead: drain the staged commits, refuse only
+     while a flush is actually propagating. *)
+  if t.flushing then failwith (Printf.sprintf "Perseas.%s: commit propagation in flight" op);
+  flush t;
   let node_id = Node.id (Netram.Server.node server) in
   let existing = Array.to_list t.mirrors |> List.exists (fun m -> m.m_alive && mirror_node_id m = node_id) in
   if existing then invalid_arg (Printf.sprintf "Perseas.%s: node already mirrors this database" op);
@@ -1012,6 +1480,21 @@ let do_attach ~op ~allow_incremental t ~server =
           let bytes = if t.ready then full_bytes t else 0 in
           { mode = Full; bytes_copied = bytes; full_bytes = full_bytes t }
     in
+    (* Scrub the joiner: the local image holds open transactions'
+       uncommitted bytes and the copy above shipped them verbatim.
+       Overwrite those ranges with the before-images from the local
+       undo staging, so the joiner starts from committed state only —
+       a range an open transaction has not written yet is rewritten
+       with identical bytes (a no-op). *)
+    List.iter
+      (fun txn ->
+        List.iter
+          (fun r ->
+            run_plan t
+              (Client.plan_write client ~widen:false r.r_seg.remotes.(n_before) ~seg_off:r.r_off
+                 ~src_off:(Mem.Segment.base t.undo_local + r.staging_off) ~len:r.r_len))
+          txn.ranges)
+      t.open_txns;
     Hashtbl.remove t.retired node_id;
     if t.ready then begin
       (* Bump the epoch so stale undo records (here and on every other
@@ -1037,9 +1520,8 @@ let attach_mirror t ~server =
 let recruit_mirror t ~server = do_attach ~op:"recruit_mirror" ~allow_incremental:true t ~server
 
 let detach_mirror t ~node_id =
-  (match t.active with
-  | Some _ -> failwith "Perseas.detach_mirror: close the open transaction first"
-  | None -> ());
+  if t.flushing then failwith "Perseas.detach_mirror: commit propagation in flight";
+  flush t;
   match Array.to_list t.mirrors |> List.find_opt (fun m -> m.m_alive && mirror_node_id m = node_id) with
   | None ->
       invalid_arg (Printf.sprintf "Perseas.detach_mirror: node %d is not a live mirror" node_id)
@@ -1051,9 +1533,8 @@ let detach_mirror t ~node_id =
       retire_mirror t m
 
 let remirror t ~server =
-  (match t.active with
-  | Some _ -> failwith "Perseas.remirror: close the open transaction first"
-  | None -> ());
+  if t.flushing then failwith "Perseas.remirror: commit propagation in flight";
+  flush t;
   Array.iter (fun m -> if m.m_alive then retire_mirror t m) t.mirrors;
   t.mirrors <- [||];
   List.iter (fun seg -> seg.remotes <- [||]) t.segs;
@@ -1183,19 +1664,34 @@ let recover_replicated ?(config = default_config) ?(sink = Trace.Sink.noop) ?on_
     end
   in
   (* Undo records of the current epoch, oldest-first with their
-     headers; the scan stops at the first stale or torn record. *)
+     headers.  The scan walks PAST intact records with a stale epoch
+     tag — under concurrency, open transactions' records (tagged with
+     the epoch they were cut in) sit interleaved with the batch being
+     flushed — and stops only at a torn or undecodable record: the
+     checksum covers the payload, so a crash mid-push can never leave a
+     verifiable record with garbage behind it.  A stale record can
+     never alias the current epoch because epochs only ever advance
+     past their fence. *)
+  (* The chain's slot stride is the one the crashed engine's config
+     chose (eager: 64-byte slots pushed in place; group: the packed
+     chain a flush ships) — recovery is handed that config, so the walk
+     and the writer can never disagree. *)
+  let slot_after =
+    if config.group_commit <= 1 then Layout.undo_slot else Layout.undo_slot_packed
+  in
   let records =
     let rec walk acc off =
       if off + Layout.undo_header_size > undo_len then List.rev acc
       else begin
         ensure_fetched (off + Layout.undo_header_size);
         match Layout.decode_undo_header undo_bytes ~off with
-        | Some h when h.Layout.epoch = current_epoch ->
+        | Some h ->
             ensure_fetched (off + Layout.undo_header_size + h.Layout.len);
             if Layout.verify_undo undo_bytes ~off h then
-              walk ((off, h) :: acc) (Layout.undo_slot ~off ~payload_len:h.Layout.len)
+              let acc = if h.Layout.epoch = current_epoch then (off, h) :: acc else acc in
+              walk acc (slot_after ~off ~payload_len:h.Layout.len)
             else List.rev acc
-        | _ -> List.rev acc
+        | None -> List.rev acc
       end
     in
     walk [] 0
@@ -1234,11 +1730,16 @@ let recover_replicated ?(config = default_config) ?(sink = Trace.Sink.noop) ?on_
       undo_local = Mem.Segment.v ~base:0 ~len:1;
       epoch = new_epoch;
       ready = true;
-      active = None;
+      open_txns = [];
+      staged = [];
+      next_txn_id = 1;
+      undo_tail = 0;
+      flushing = false;
       hook = None;
       sink;
       tel = Trace.Timeseries.noop;
       g_undo_tail = Trace.Timeseries.gauge Trace.Timeseries.noop "";
+      g_group_size = Trace.Timeseries.gauge Trace.Timeseries.noop "";
       repl_target = 1;
       degraded_since = None;
       st_degraded = Time.zero;
@@ -1259,6 +1760,9 @@ let recover_replicated ?(config = default_config) ?(sink = Trace.Sink.noop) ?on_
       st_mirrors_lost = 0;
       st_mirrors_recruited = 0;
       st_resync_bytes = 0;
+      st_conflicts = 0;
+      st_group_flushes = 0;
+      st_group_txns = 0;
     }
   in
   t.meta_local <- alloc_local t (meta_size t) "metadata staging";
@@ -1301,9 +1805,12 @@ let recover ?config ?sink ?on_repair ~cluster ~local ~server () =
    down, so the database writes itself out first). *)
 
 let archive t device =
-  (match t.active with
-  | Some _ -> failwith "Perseas.archive: close the open transaction first"
-  | None -> ());
+  if t.flushing then failwith "Perseas.archive: commit propagation in flight";
+  flush t;
+  (* Open transactions' uncommitted bytes live in the local image the
+     archive would copy out, so — unlike mirror membership changes —
+     archiving still insists on full quiescence. *)
+  if t.open_txns <> [] then failwith "Perseas.archive: close the open transactions first";
   if not t.ready then failwith "Perseas.archive: nothing to archive before init_remote_db";
   let image = local_dram t in
   let b = Bytes.make (meta_size t) '\000' in
@@ -1349,7 +1856,7 @@ module Engine = struct
   let malloc = malloc
   let find_segment = segment
   let init_done = init_remote_db
-  let begin_transaction = begin_transaction
+  let begin_transaction t = begin_transaction t
   let set_range txn seg ~off ~len = set_range txn seg ~off ~len
   let commit = commit
   let abort = abort

@@ -60,15 +60,49 @@ type config = {
           resync ({!recruit_mirror}).  When the log overflows, the
           oldest entries are dropped and mirrors that have been gone
           longer than the remaining window get a full copy instead. *)
+  group_commit : int;
+      (** Commits per shared flush.  [1] (default) is eager per-commit
+          propagation — the original single-transaction behaviour,
+          packet for packet.  [> 1] enables group commit: [commit]
+          stages the transaction and every [group_commit]-th commit (or
+          an explicit {!flush}, or a membership operation) drains the
+          queue with one undo convoy, one merged data convoy and one
+          single-packet fence per mirror — the burst startup and the
+          commit point amortise across the batch. *)
 }
 
 val default_config : config
 (** 1 MiB + slack of undo space, 64 segments, strict updates,
-    redundancy elision on, 4096 dirty-log entries. *)
+    redundancy elision on, 4096 dirty-log entries, eager commit
+    ([group_commit = 1]). *)
 
 exception Undo_overflow
 (** A transaction declared more before-image bytes than the undo log
-    holds; abort it and retry with a larger [undo_capacity]. *)
+    holds; abort it and retry with a larger [undo_capacity].  Under
+    group commit the library first drains the staged queue (freeing the
+    flushed records' log space) and only raises if the declaration
+    still does not fit — and then only at the caller: staged and open
+    peers are unaffected. *)
+
+exception Conflict of { younger : int; older : int }
+(** Two in-flight transactions declared overlapping 64-byte lines —
+    line granularity because packet widening and commit glue may ship
+    margin bytes of a declared range's boundary lines.  Policy: the
+    {e younger} transaction (higher {!txn_id}) aborts; it has done less
+    work and is the cheaper retry.  Raised by the loser's next library
+    call — immediately by [set_range] when the declarer is the younger
+    party, or deferred (the declarer dooms the younger holder, which
+    learns of it at its own next call).  The losing transaction is
+    already rolled back and closed when [Conflict] surfaces; the
+    harness {!module:Harness} retry helper catches it and re-runs the
+    transaction body. *)
+
+exception Double_begin of string
+(** [begin_transaction] while the same client name already has an open
+    transaction — the old single-transaction aliasing bug surfaced as a
+    typed error.  The payload is the client name.  Concurrent begins
+    from {e distinct} clients are legal, as is beginning while the
+    client's previous transaction is merely staged for flush. *)
 
 exception All_mirrors_lost
 (** Every mirror node has failed: the library refuses to continue,
@@ -143,14 +177,19 @@ val attach_mirror : t -> server:Netram.Server.t -> unit
     every segment plus metadata on [server] and copy the current
     database there (always a {e full} copy — see {!recruit_mirror} for
     the incremental path).  The epoch is bumped so stale undo records
-    can never replay against the fresh copy.  Raises [Invalid_argument]
-    if the node already mirrors this database, [Failure] with an open
-    transaction (a half-mirrored transaction could neither commit nor
-    abort coherently), and {!Netram.Client.Unreachable} if [server]
-    dies mid-resync — in which case the mirror set is left exactly as
-    it was, and the joiner's metadata header was zeroed {e before} any
-    copying so recovery can never mistake the torn copy for a sound
-    one. *)
+    can never replay against the fresh copy.  Any staged group-commit
+    batch is drained ({!flush}) first so the joiner starts from a
+    committed image; transactions that are merely {e open} do not block
+    the join — the joiner additionally receives their before-images
+    over its database copy, keeping it a replica of the {e committed}
+    state that their undo records restore.  Raises [Invalid_argument]
+    if the node already mirrors this database, [Failure] when called
+    from inside a flush in flight (a packet hook re-entering the
+    library mid-propagation), and {!Netram.Client.Unreachable} if
+    [server] dies mid-resync — in which case the mirror set is left
+    exactly as it was, and the joiner's metadata header was zeroed
+    {e before} any copying so recovery can never mistake the torn copy
+    for a sound one. *)
 
 type resync_mode = Full | Incremental
 
@@ -181,8 +220,9 @@ val probe_mirrors : t -> int list
     a mirror — callers decide what an empty set means for them. *)
 
 val detach_mirror : t -> node_id:int -> unit
-(** Remove a mirror from the set (e.g. planned maintenance).  Raises
-    [Failure] with an open transaction, and refuses — also [Failure] —
+(** Remove a mirror from the set (e.g. planned maintenance).  Drains
+    any staged group-commit batch first; raises [Failure] mid-flush,
+    and refuses — also [Failure] —
     to detach the {e last} live mirror, which would silently forfeit
     recoverability; attach a replacement first ({!attach_mirror}), or
     use {!remirror} to swap the whole set.  Raises [Invalid_argument]
@@ -190,7 +230,9 @@ val detach_mirror : t -> node_id:int -> unit
 
 val remirror : t -> server:Netram.Server.t -> unit
 (** Drop every current mirror and re-mirror on a single fresh server —
-    the "mirror died" recovery path for two-node setups. *)
+    the "mirror died" recovery path for two-node setups.  Gated like
+    {!attach_mirror}: staged commits are flushed first, open
+    transactions are scrubbed onto the joiner. *)
 
 val segment : t -> string -> segment option
 val segments : t -> segment list
@@ -199,9 +241,39 @@ val segment_size : segment -> int
 
 (** {1 Transactions} *)
 
-val begin_transaction : t -> txn
-(** Raises [Failure] before {!init_remote_db} or when a transaction is
-    already open (PERSEAS serves one sequential application). *)
+val begin_transaction : ?client:string -> t -> txn
+(** Open a transaction on behalf of [client] (default ["default"]).
+    Transactions from {e distinct} clients may be open concurrently —
+    the engine keeps one write-set per transaction and detects overlap
+    at {!set_range} ({!Conflict}).  Raises {!Double_begin} when the
+    same client already has an open transaction (a staged-but-unflushed
+    one does not count: a client may pipeline begins against its own
+    group-committed tail), and [Failure] before {!init_remote_db} or
+    mid-flush. *)
+
+val txn_id : txn -> int
+(** Monotone per-database id; lower id = older transaction ({!Conflict}
+    aborts the younger). *)
+
+val txn_client : txn -> string
+
+val validate : txn -> unit
+(** Surface a deferred {!Conflict} now: raises it (closing the
+    transaction — it was rolled back when the older peer doomed it) if
+    an older peer's declaration doomed this transaction; no-op
+    otherwise.  Call it between phases of a long transaction so the
+    loss is discovered before, not during, the apply work. *)
+
+val open_txn_count : t -> int
+val staged_count : t -> int
+(** Transactions committed but not yet propagated (group commit). *)
+
+val flush : t -> unit
+(** Drain the staged group-commit queue now: one undo convoy, one
+    merged data convoy and one single-packet epoch fence per mirror
+    commit the whole batch atomically-per-mirror.  No-op when nothing
+    is staged.  Membership operations and {!Undo_overflow} pressure
+    call this implicitly. *)
 
 val set_range : txn -> segment -> off:int -> len:int -> unit
 (** [PERSEAS_set_range]: log the before-image of
@@ -210,7 +282,15 @@ val set_range : txn -> segment -> off:int -> len:int -> unit
     already declared this transaction are skipped — only the uncovered
     fragments are logged, the first before-image being the one that
     matters — so re-declaring a hot range costs no copies and no
-    packets.  Raises {!Undo_overflow} or [Invalid_argument]. *)
+    packets.
+
+    Declaring a 64-byte line another in-flight transaction holds is a
+    conflict: the younger party aborts ({!Conflict}) — immediately when
+    that is the caller, else the holder is doomed and learns at its
+    next call.  Overlap with a merely {e staged} transaction forces a
+    {!flush} instead (the staged one already committed; it just had not
+    been propagated).  Raises {!Undo_overflow} (after attempting a
+    flush to free log space) or [Invalid_argument]. *)
 
 val commit : txn -> unit
 (** [PERSEAS_commit_transaction].  With [config.redundancy_elision] the
@@ -218,11 +298,19 @@ val commit : txn -> unit
     adjacent/overlapping declarations merged into maximal contiguous
     runs and, when [optimized_memcpy] is also set, runs sharing a
     64-byte packet line glued into one hull ({!Iset.glue}) — instead of
-    one plan per [set_range] call. *)
+    one plan per [set_range] call.
+
+    With [config.group_commit > 1] the transaction is {e staged}
+    instead of propagated: its durability is deferred until the batch
+    flushes (queue full, explicit {!flush}, a membership operation, or
+    a staged-range conflict).  The flush commits the batch in commit
+    order with shared convoys and one fence — see {!type-config}. *)
 
 val abort : txn -> unit
 (** [PERSEAS_abort_transaction]: restores declared ranges from the
-    local undo log (local memory copies only). *)
+    local undo log (local memory copies only).  Aborting a transaction
+    an older peer already doomed is a silent no-op (it was rolled back
+    at doom time); aborting a staged or closed one raises [Failure]. *)
 
 (** {1 Database access}
 
@@ -304,8 +392,10 @@ val recover_replicated :
 
 val archive : t -> Disk.Device.t -> unit
 (** Write the metadata and every segment to the device (synchronous,
-    charged).  Raises [Failure] with an open transaction, before
-    {!init_remote_db}, or if the device is too small. *)
+    charged).  Drains any staged batch first.  Raises [Failure] with an
+    open transaction (the local image holds its uncommitted bytes),
+    mid-flush, before {!init_remote_db}, or if the device is too
+    small. *)
 
 val restore_from_archive :
   ?config:config -> clients:Netram.Client.t list -> Disk.Device.t -> t
@@ -324,8 +414,14 @@ val restore_from_archive :
 val set_packet_hook : t -> (unit -> unit) option -> unit
 
 val commit_packets : txn -> int
-(** Number of remote packets {!commit} would send now (dry run):
-    data-propagation packets plus one epoch packet. *)
+(** Number of remote packets committing this transaction would add to
+    the wire now (dry run).  Eager mode: data-propagation packets plus
+    one epoch packet per mirror, exactly what {!commit} sends.  Group
+    mode: the transaction's {e marginal} packets — the flush cost of
+    the staged queue with it minus without it, so shared convoy
+    startup and the per-mirror fence are counted once per flush, not
+    once per transaction; summing it over a batch committed
+    back-to-back equals the flush's measured NIC packet delta. *)
 
 (** {1 Statistics} *)
 
@@ -358,6 +454,14 @@ type stats = {
       (** Total virtual microseconds spent below the replication target
           (see {!set_replication_target}; an open degraded window counts
           up to the current clock). *)
+  conflicts : int;
+      (** Transactions aborted because a concurrent peer declared an
+          overlapping 64-byte line (both the immediate and the doomed
+          flavour of {!Conflict}). *)
+  group_flushes : int;  (** Group-commit queue drains ({!flush}). *)
+  group_commit_txns : int;
+      (** Transactions committed through those flushes; divided by
+          [group_flushes] this is the achieved batch size. *)
 }
 
 val stats : t -> stats
@@ -399,15 +503,20 @@ val set_telemetry : t -> Trace.Timeseries.t -> unit
     stack.  The engine maintains, under the same pure-observer contract
     as the sink:
 
-    - [perseas.undo_tail] — undo-log tail of the open transaction,
-      updated per [set_range] and zeroed when the transaction closes;
-      its gauge high-water mark is the worst case between samples;
+    - [perseas.undo_tail] — shared undo-log tail across the in-flight
+      transactions, updated per [set_range] and reset when the engine
+      quiesces; its gauge high-water mark is the worst case between
+      samples;
+    - [perseas.group_commit_size] — transactions committed by the most
+      recent group flush;
     - a sample-time probe exporting [perseas.epoch],
       [perseas.live_mirrors], [perseas.dirty_log] (dirty-range log
       length), [perseas.undo_hwm_bytes], [perseas.elided_undo_bytes],
       [perseas.coalesced_ranges], [perseas.commit_bytes_saved],
       [perseas.committed], [perseas.aborts], [perseas.mirrors_lost],
-      [perseas.resync_bytes] and [perseas.degraded_us].
+      [perseas.resync_bytes], [perseas.degraded_us],
+      [perseas.open_txns], [perseas.staged_txns], [perseas.conflicts]
+      and [perseas.group_flushes].
 
     Defaults to {!Trace.Timeseries.noop}. *)
 

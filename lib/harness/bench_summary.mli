@@ -21,7 +21,13 @@ type entry = {
 }
 
 val collect : unit -> entry list
-(** Run the full matrix, a fresh testbed per cell. *)
+(** Run the full matrix, a fresh testbed per cell, plus the
+    ["PERSEAS-c8"] concurrency cell: debit-credit under 8 interleaved
+    clients at one mirror with group commit, whose latency columns
+    carry the amortized per-transaction cost (per-transaction
+    percentiles are undefined when commit returns before the batch
+    propagates).  Its packets/txn column puts the group-commit
+    schedule under the same CI gate as the eager cells. *)
 
 val to_json : entry list -> string
 val of_json : Json.t -> entry list

@@ -190,7 +190,11 @@ let probe env =
   | seg :: _ ->
       let txn = P.begin_transaction env.t in
       P.set_range txn seg ~off:0 ~len:64;
-      P.commit txn
+      P.commit txn;
+      (* Group-commit engines stage the probe instead of planning; the
+         drain forces the convoy so a mid-plan death surfaces here too
+         (no-op for eager engines — the queue is empty). *)
+      P.flush env.t
 
 let run_mirror_point scenario ~pre ~checkpoints ~post ~k ~mirror_index =
   let env = scenario.make () in
@@ -396,6 +400,65 @@ let attach_scenario ?(mirrors = 1) ?(seg_size = 8192) () =
   in
   let script env ~checkpoint:_ = P.attach_mirror env.t ~server:(List.hd env.servers) in
   { label = Printf.sprintf "attach-%dm" mirrors; make; script }
+
+let concurrent_scenario ?(mirrors = 1) ?(clients = 3) ?(seg_size = 16384) () =
+  if mirrors < 1 then invalid_arg "Crashpoint.concurrent_scenario: at least one mirror";
+  if clients < 2 then invalid_arg "Crashpoint.concurrent_scenario: at least two clients";
+  let config = { small_config with P.group_commit = clients } in
+  let make () =
+    let clock, cluster, servers, t = make_cluster ~config ~mirrors ~extras:[] () in
+    List.iter (fun name -> ignore (seed_segment t name ~size:seg_size)) table_names;
+    P.init_remote_db t;
+    { clock; cluster; servers; primary = 0; spare = mirrors + 1; t }
+  in
+  (* [clients] transactions from distinct clients flush as one batch
+     while one late client stays OPEN across that flush (declared but
+     not yet written — its bytes must not travel with its bystanders).
+     The late client then commits alone and the script drains, so the
+     sweep crosses two group flushes with ≥2 transactions in flight:
+     pre, the post-batch checkpoint and post are the only legal
+     images, which is exactly per-transaction atomicity under
+     concurrency.  Offsets start at 1024 so no line collides with the
+     mirror-victim probe's [0,64) range on the first table. *)
+  let script env ~checkpoint =
+    let seg j = Option.get (P.segment env.t (List.nth table_names (j mod 3))) in
+    let range c j = (seg (c + j), 1024 * (c + 1), 192) in
+    let payload c = Bytes.make 192 (Char.chr (Char.code 'a' + c)) in
+    let txns =
+      List.init clients (fun c -> P.begin_transaction ~client:(Printf.sprintf "c%d" c) env.t)
+    in
+    let late = P.begin_transaction ~client:"late" env.t in
+    (* Interleaved declarations: every client's first range, then the
+       late client's, then every client's second. *)
+    List.iteri
+      (fun c txn ->
+        let s, off, len = range c 0 in
+        P.set_range txn s ~off ~len)
+      txns;
+    let late_seg, late_off, late_len = (seg 0, 1024 * (clients + 1), 192) in
+    P.set_range late late_seg ~off:late_off ~len:late_len;
+    List.iteri
+      (fun c txn ->
+        let s, off, len = range c 1 in
+        P.set_range txn s ~off ~len)
+      txns;
+    List.iteri
+      (fun c _ ->
+        let s, off, len = range c 0 in
+        ignore len;
+        P.write env.t s ~off (payload c);
+        let s, off, len = range c 1 in
+        ignore len;
+        P.write env.t s ~off (payload c))
+      txns;
+    (* The batch flushes on the last commit; [late] rides across it. *)
+    List.iter P.commit txns;
+    checkpoint ();
+    P.write env.t late_seg ~off:late_off (payload clients);
+    P.commit late;
+    P.flush env.t
+  in
+  { label = Printf.sprintf "concurrent-%dm-%dc" mirrors clients; make; script }
 
 (* ------------------------------------------------------------------ *)
 (* CSV                                                                 *)

@@ -104,6 +104,16 @@ val attach_scenario : ?mirrors:int -> ?seg_size:int -> unit -> scenario
     epoch, unparseable segment table) must be skipped by recovery, not
     trusted or fatal. *)
 
+val concurrent_scenario : ?mirrors:int -> ?clients:int -> ?seg_size:int -> unit -> scenario
+(** [clients] (default 3) disjoint transactions from distinct clients
+    commit into one group flush while a late client's transaction stays
+    open across it, then the late one commits and the script drains —
+    two group flushes, ≥2 transactions in flight at every cut packet.
+    Legal images are exactly pre, the post-batch checkpoint and post:
+    a crash at any packet boundary must recover to one of them, which
+    is per-transaction atomicity under concurrency (no torn batch, no
+    bystander bytes). *)
+
 (** {1 CSV} *)
 
 val csv_header : string list

@@ -31,9 +31,10 @@ val recovery : unit -> unit
 
 val crash_sweep : unit -> unit
 (** §3 verified exhaustively: crash at {e every} packet boundary of a
-    multi-range commit (primary and mirror victims) and of an
-    [attach_mirror] resync, and hold recovery to the {!Crashpoint}
-    oracle.  Summary table on stdout; per-point rows in
+    multi-range commit (primary and mirror victims), of an
+    [attach_mirror] resync, and of a concurrent group-commit flush with
+    a bystander transaction open across it, and hold recovery to the
+    {!Crashpoint} oracle.  Summary table on stdout; per-point rows in
     [results/crash_sweep.csv]. *)
 
 val churn : unit -> unit
@@ -109,6 +110,15 @@ val telemetry : unit -> unit
     sampler; renders the {!Telemetry.top} dashboard, writes the full
     series to [results/telemetry_churn.csv] and cross-checks the
     sampled degraded windows against the supervisor's event log. *)
+
+val concurrency : unit -> unit
+(** R9: debit-credit under 1–32 interleaved clients at 1 and 3 mirrors
+    — one client runs the seed's eager protocol, concurrent runs batch
+    two client rounds per group-commit flush.  Reports tps, packets per
+    transaction, conflicts and flush counts to
+    [results/concurrency.csv], and asserts the acceptance bar: at one
+    mirror, 8 clients at least double the sequential throughput on
+    strictly fewer packets per transaction. *)
 
 val timeline : latency_mix -> unit
 (** One instrumented workload run: gauge samples on a 50 us virtual-

@@ -1,0 +1,87 @@
+(* A population of simulated clients multiplexed over one PERSEAS
+   instance.  The engine is single-threaded (the simulation is
+   deterministic virtual time), so "concurrency" means interleaving:
+   the driver round-robins the clients, each turn advancing one client
+   by one transaction phase — begin+declare on one turn, apply+commit
+   on a later one — so up to [clients] transactions are genuinely in
+   flight between turns, which is exactly the window group commit
+   batches over and conflict detection polices. *)
+
+type stats = { committed : int; conflicts : int; attempts : int }
+
+let client_name i = Printf.sprintf "client-%d" i
+
+(* ------------------------------------------------------------------ *)
+(* Retry helper: the whole transaction in one call, retried on loss. *)
+
+let with_retries ?(max_attempts = 16) t ~client body =
+  let conflicts = ref 0 in
+  let rec go attempt =
+    let txn = Perseas.begin_transaction ~client t in
+    match
+      body txn;
+      Perseas.commit txn
+    with
+    | () -> !conflicts
+    | exception Perseas.Conflict _ when attempt < max_attempts ->
+        (* The loser is already rolled back and closed; losing to an
+           older transaction means re-running the body is the cheap
+           side of the wound-wait coin. *)
+        incr conflicts;
+        go (attempt + 1)
+  in
+  go 1
+
+(* ------------------------------------------------------------------ *)
+(* Round-robin phase driver *)
+
+type 'a spec = {
+  prepare : int -> 'a;
+  declare : Perseas.txn -> 'a -> unit;
+  apply : 'a -> unit;
+}
+
+type 'a slot = Idle | Retry of 'a | Open of Perseas.txn * 'a
+
+let run t ~clients ~total (spec : 'a spec) =
+  if clients < 1 then invalid_arg "Multi_client.run: clients must be positive";
+  let state = Array.make clients Idle in
+  let committed = ref 0 and conflicts = ref 0 and attempts = ref 0 in
+  let i = ref 0 in
+  (* A client whose begin+declare succeeded leaves its transaction open
+     across the other clients' turns; it applies and commits when its
+     turn comes round again.  A conflicted client retries the same
+     drawn work next turn — by then the older holder has had a full
+     round to commit, which is all the backoff a round-robin world
+     needs. *)
+  while !committed < total do
+    let c = !i mod clients in
+    i := !i + 1;
+    (match state.(c) with
+    | Idle | Retry _ -> (
+        let d = match state.(c) with Retry d -> d | _ -> spec.prepare c in
+        incr attempts;
+        let txn = Perseas.begin_transaction ~client:(client_name c) t in
+        match spec.declare txn d with
+        | () -> state.(c) <- Open (txn, d)
+        | exception Perseas.Conflict _ ->
+            incr conflicts;
+            state.(c) <- Retry d)
+    | Open (txn, d) -> (
+        match Perseas.validate txn with
+        | () ->
+            spec.apply d;
+            Perseas.commit txn;
+            incr committed;
+            state.(c) <- Idle
+        | exception Perseas.Conflict _ ->
+            (* An older peer doomed us while we were parked; the
+               rollback already happened at doom time. *)
+            incr conflicts;
+            state.(c) <- Retry d))
+  done;
+  (* Drain: abort parked transactions and flush the staged tail so the
+     database quiesces at a committed state. *)
+  Array.iter (function Open (txn, _) -> (try Perseas.abort txn with Perseas.Conflict _ -> ()) | _ -> ()) state;
+  Perseas.flush t;
+  { committed = !committed; conflicts = !conflicts; attempts = !attempts }

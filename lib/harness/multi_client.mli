@@ -1,0 +1,41 @@
+(** Simulated multi-client load over one PERSEAS instance.
+
+    The simulation is single-threaded deterministic virtual time, so
+    "concurrent clients" means interleaved transaction {e phases}: the
+    round-robin driver advances one client per turn — begin + declare
+    on one turn, apply + commit on a later one — keeping up to
+    [clients] disjoint transactions genuinely in flight between turns.
+    That in-flight window is what group commit batches over and what
+    the {!Perseas.Conflict} machinery polices; losers retry with the
+    same drawn work a round later (wound-wait: the younger, cheaper
+    party re-runs). *)
+
+type stats = {
+  committed : int;  (** Transactions that reached commit. *)
+  conflicts : int;  (** {!Perseas.Conflict} losses (each one retried). *)
+  attempts : int;  (** Begins, i.e. [committed] + retried losses. *)
+}
+
+val client_name : int -> string
+(** ["client-<i>"] — the name the driver begins transactions under. *)
+
+val with_retries : ?max_attempts:int -> Perseas.t -> client:string -> (Perseas.txn -> unit) -> int
+(** Run [body] (declares and writes; no commit) under a fresh
+    transaction for [client] and commit it; on {!Perseas.Conflict} —
+    the transaction is already rolled back — begin again and re-run,
+    up to [max_attempts] (default 16) times.  Returns the number of
+    conflicts absorbed; the last attempt's [Conflict] propagates. *)
+
+type 'a spec = {
+  prepare : int -> 'a;
+      (** Draw one transaction's work for client [i] (consume the rng
+          here, once — retries reuse the draw). *)
+  declare : Perseas.txn -> 'a -> unit;  (** The [set_range] phase. *)
+  apply : 'a -> unit;  (** The in-place writes; runs just before commit. *)
+}
+
+val run : Perseas.t -> clients:int -> total:int -> 'a spec -> stats
+(** Drive [clients] round-robin until [total] transactions commit,
+    then abort any parked transactions and {!Perseas.flush} the staged
+    tail so the database quiesces committed.  Conflicted work is
+    retried (same draw) on the loser's next turn. *)

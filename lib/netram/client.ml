@@ -94,6 +94,22 @@ let plan_write t ?(widen = true) h ~seg_off ~src_off ~len =
   if widen then do_plan_write ~window:h.Remote_segment.seg t h ~seg_off ~src_off ~len
   else do_plan_write t h ~seg_off ~src_off ~len
 
+let plan_convoy t chunks =
+  let mk (tag, widen, (h : Remote_segment.t), seg_off, src_off, len) =
+    check_handle t h "write";
+    check_range h ~seg_off ~len "write";
+    {
+      Sci.Nic.ck_tag = tag;
+      ck_window = (if widen then Some h.Remote_segment.seg else None);
+      ck_src = Node.dram (local_node t);
+      ck_src_off = src_off;
+      ck_dst = remote_dram t;
+      ck_dst_off = Remote_segment.base h + seg_off;
+      ck_len = len;
+    }
+  in
+  Sci.Nic.plan_convoy (Cluster.nic t.cluster) ~hops:(max 1 (hops t)) (List.map mk chunks)
+
 let write t h ~seg_off ~src_off ~len =
   Sci.Nic.run (Cluster.nic t.cluster) (plan_write t h ~seg_off ~src_off ~len)
 

@@ -64,6 +64,14 @@ val write_raw : t -> Remote_segment.t -> seg_off:int -> src_off:int -> len:int -
 val plan_write : t -> ?widen:bool -> Remote_segment.t -> seg_off:int -> src_off:int -> len:int -> Sci.Nic.plan
 (** The packet-level plan of {!write}, for fault injection. *)
 
+val plan_convoy :
+  t -> (string * bool * Remote_segment.t * int * int * int) list -> Sci.Nic.plan
+(** Several writes to this client's server fused into one burst
+    ({!Sci.Nic.plan_convoy}): each element is
+    [(tag, widen, handle, seg_off, src_off, len)], checked like
+    {!write}.  Group commit ships a whole batch's undo records and
+    data runs to a mirror as two such convoys. *)
+
 val read : t -> Remote_segment.t -> seg_off:int -> dst_off:int -> len:int -> unit
 (** Remote→local copy (recovery path). *)
 

@@ -215,6 +215,94 @@ let plan_write t ?(hops = 1) ?(tag = "data") ?window ~src ~src_off ~dst ~dst_off
   make_plan t ~hops ~direction:Write ~tag ~src ~src_off:src_off' ~dst ~dst_off:dst_off'
     ~off:dst_off' ~len:len'
 
+type chunk = {
+  ck_tag : string;
+  ck_window : Mem.Segment.t option;
+  ck_src : Mem.Image.t;
+  ck_src_off : int;
+  ck_dst : Mem.Image.t;
+  ck_dst_off : int;
+  ck_len : int;
+}
+
+let plan_convoy t ?(hops = 1) chunks =
+  let p = t.params in
+  (* Per-chunk widening, exactly as [plan_write]. *)
+  let chunks =
+    List.filter_map
+      (fun c ->
+        if c.ck_len < 0 then invalid_arg "Nic.plan_convoy: negative length";
+        if c.ck_len = 0 then None
+        else
+          let dst_off', len' =
+            match c.ck_window with
+            | Some window
+              when c.ck_len > Params.memcpy_threshold p
+                   && c.ck_src_off mod p.buffer_bytes = c.ck_dst_off mod p.buffer_bytes ->
+                widen p ~window ~dst_off:c.ck_dst_off ~len:c.ck_len
+            | _ -> (c.ck_dst_off, c.ck_len)
+          in
+          Some
+            {
+              c with
+              ck_src_off = c.ck_src_off + (dst_off' - c.ck_dst_off);
+              ck_dst_off = dst_off';
+              ck_len = len';
+            })
+      chunks
+  in
+  match chunks with
+  | [] -> { steps = []; latency = Time.zero; bytes = 0 }
+  | _ :: _ ->
+      (* One burst: packetisation is per chunk (each in its own remote
+         address range) but costing is global — only the convoy's first
+         packet pays the base + hop latency, Full64 streaming carries
+         across chunk boundaries (the card's FIFO never drains between
+         back-to-back posted writes), and the last-word bonus applies
+         only to the final chunk. *)
+      let pkts =
+        List.concat_map
+          (fun c ->
+            List.map (fun pkt -> (c, pkt)) (Packet.of_range p ~off:c.ck_dst_off ~len:c.ck_len))
+          chunks
+      in
+      let last = List.nth chunks (List.length chunks - 1) in
+      let ends = Packet.ends_on_last_word p ~off:last.ck_dst_off ~len:last.ck_len in
+      let n = List.length pkts in
+      let hop_extra = (hops - 1) * p.t_hop in
+      let seen_full64 = ref false in
+      let steps =
+        List.mapi
+          (fun i (c, (pkt : Packet.t)) ->
+            let streamed, packet_cost =
+              match pkt.kind with
+              | Packet.Part16 -> (false, p.t_pkt16)
+              | Packet.Full64 ->
+                  let first = not !seen_full64 in
+                  seen_full64 := true;
+                  (not first, if first then p.t_pkt64_first else p.t_pkt64_stream)
+            in
+            let extra = if i = 0 then p.t_base + hop_extra else Time.zero in
+            let bonus = if i = n - 1 && ends then p.t_lastword_bonus else Time.zero in
+            let delta = pkt.addr - c.ck_dst_off in
+            {
+              src = c.ck_src;
+              src_off = c.ck_src_off + delta;
+              dst = c.ck_dst;
+              dst_off = c.ck_dst_off + delta;
+              len = pkt.len;
+              cost = max Time.zero (packet_cost + extra - bonus);
+              kind = pkt.kind;
+              direction = Write;
+              streamed;
+              tag = c.ck_tag;
+            })
+          pkts
+      in
+      let latency = List.fold_left (fun acc s -> acc + s.cost) Time.zero steps in
+      let bytes = List.fold_left (fun acc c -> acc + c.ck_len) 0 chunks in
+      { steps; latency; bytes }
+
 let plan_read t ?(hops = 1) ?(tag = "data") ~src ~src_off ~dst ~dst_off ~len () =
   make_plan t ~hops ~direction:Read ~tag ~src ~src_off ~dst ~dst_off ~off:src_off ~len
 

@@ -97,6 +97,30 @@ val plan_write :
     must be congruent modulo 64 for widening to apply (mirrored
     segments are 64-byte aligned, so they always are). *)
 
+type chunk = {
+  ck_tag : string;
+  ck_window : Mem.Segment.t option;
+      (** Pass the destination segment to enable the {!plan_write}
+          widening for this chunk; [None] = raw store. *)
+  ck_src : Mem.Image.t;
+  ck_src_off : int;
+  ck_dst : Mem.Image.t;
+  ck_dst_off : int;
+  ck_len : int;
+}
+(** One copy of a write convoy.  Packetised in destination address
+    space starting at [ck_dst_off], like {!plan_write}. *)
+
+val plan_convoy : t -> ?hops:int -> chunk list -> plan
+(** Several disjoint copies to ONE remote node fused into a single
+    burst: per-chunk packetisation, global costing.  Only the convoy's
+    first packet pays the base (+ hop) latency, Full64 streaming
+    carries across chunk boundaries — back-to-back posted writes keep
+    the card's FIFO busy — and the last-word bonus applies only to the
+    final chunk.  This is how group commit amortises the per-burst
+    startup cost across the batch's transactions.  Zero-length chunks
+    are dropped; an all-empty list yields the empty plan. *)
+
 val plan_read :
   t ->
   ?hops:int ->

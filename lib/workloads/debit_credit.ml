@@ -77,7 +77,16 @@ module Make (E : Perseas.Txn_intf.S) = struct
     let balance = Util.get_i64 (E.read db.engine seg ~off ~len:8) 0 in
     E.write db.engine seg ~off (Util.i64_bytes (Int64.add balance delta))
 
-  let transaction db rng =
+  type draw = {
+    account : int;
+    teller : int;
+    branch : int;
+    delta : int64;
+    slot : int;
+    tx_id : int;
+  }
+
+  let draw db rng =
     let account = Sim.Rng.int rng db.n_accounts in
     let teller = Sim.Rng.int rng db.n_tellers in
     let branch = Sim.Rng.int rng db.n_branches in
@@ -85,21 +94,31 @@ module Make (E : Perseas.Txn_intf.S) = struct
     let slot = db.hist_head in
     db.hist_head <- (db.hist_head + 1) mod db.params.history_slots;
     db.tx_counter <- db.tx_counter + 1;
-    let txn = E.begin_transaction db.engine in
-    E.set_range txn db.accounts ~off:(account * record_size) ~len:8;
-    E.set_range txn db.tellers ~off:(teller * record_size) ~len:8;
-    E.set_range txn db.branches ~off:(branch * record_size) ~len:8;
-    E.set_range txn db.history ~off:(slot * history_slot) ~len:history_slot;
-    add_balance db db.accounts account delta;
-    add_balance db db.tellers teller delta;
-    add_balance db db.branches branch delta;
+    { account; teller; branch; delta; slot; tx_id = db.tx_counter }
+
+  let declare db txn d =
+    E.set_range txn db.accounts ~off:(d.account * record_size) ~len:8;
+    E.set_range txn db.tellers ~off:(d.teller * record_size) ~len:8;
+    E.set_range txn db.branches ~off:(d.branch * record_size) ~len:8;
+    E.set_range txn db.history ~off:(d.slot * history_slot) ~len:history_slot
+
+  let apply db d =
+    add_balance db db.accounts d.account d.delta;
+    add_balance db db.tellers d.teller d.delta;
+    add_balance db db.branches d.branch d.delta;
     let entry = Bytes.make history_slot '\000' in
-    Bytes.set_int32_le entry 0 (Int32.of_int account);
-    Bytes.set_int32_le entry 4 (Int32.of_int teller);
-    Bytes.set_int32_le entry 8 (Int32.of_int branch);
-    Bytes.set_int64_le entry 12 delta;
-    Bytes.set_int64_le entry 20 (Int64.of_int db.tx_counter);
-    E.write db.engine db.history ~off:(slot * history_slot) entry;
+    Bytes.set_int32_le entry 0 (Int32.of_int d.account);
+    Bytes.set_int32_le entry 4 (Int32.of_int d.teller);
+    Bytes.set_int32_le entry 8 (Int32.of_int d.branch);
+    Bytes.set_int64_le entry 12 d.delta;
+    Bytes.set_int64_le entry 20 (Int64.of_int d.tx_id);
+    E.write db.engine db.history ~off:(d.slot * history_slot) entry
+
+  let transaction db rng =
+    let d = draw db rng in
+    let txn = E.begin_transaction db.engine in
+    declare db txn d;
+    apply db d;
     E.commit txn
 
   let sum_balances db seg n =

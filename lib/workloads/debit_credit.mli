@@ -40,7 +40,31 @@ module Make (E : Perseas.Txn_intf.S) : sig
       recovered engine. *)
 
   val setup : E.t -> params:params -> db
+
+  type draw = {
+    account : int;
+    teller : int;
+    branch : int;
+    delta : int64;
+    slot : int;
+    tx_id : int;
+  }
+  (** One transaction's random choices, fixed up front so a multi-client
+      driver can interleave several transactions' phases (and retry a
+      conflicted one) without perturbing the rng stream. *)
+
+  val draw : db -> Sim.Rng.t -> draw
+  (** Consume the rng (same draw order as {!transaction}) and claim a
+      history slot / tx id. *)
+
+  val declare : db -> E.txn -> draw -> unit
+  (** The four [set_range] declarations. *)
+
+  val apply : db -> draw -> unit
+  (** The balance updates and the history entry. *)
+
   val transaction : db -> Sim.Rng.t -> unit
+  (** [draw] + begin + [declare] + [apply] + commit, as one call. *)
 
   val consistent : db -> bool
   (** The TPC-B consistency condition: account, teller and branch

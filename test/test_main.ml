@@ -14,6 +14,7 @@ let () =
       ("churn", Test_churn.suite);
       ("crashpoint", Test_crashpoint.suite);
       ("iset", Test_iset.suite);
+      ("concurrency", Test_concurrency.suite);
       ("elision", Test_elision.suite);
       ("baselines", Test_baselines.suite);
       ("remote-wal", Test_remote_wal.suite);

@@ -63,12 +63,16 @@ let test_malloc_rules () =
 
 let test_transaction_rules () =
   let b, seg = with_db () in
-  (* No nested transactions. *)
+  (* The same client cannot double-begin; a distinct client can open
+     concurrently. *)
   let txn = P.begin_transaction b.t in
   (try
      ignore (P.begin_transaction b.t);
      Alcotest.fail "nested begin"
-   with Failure _ -> ());
+   with P.Double_begin "default" -> ());
+  let peer = P.begin_transaction ~client:"peer" b.t in
+  check_int "two clients open" 2 (P.open_txn_count b.t);
+  P.abort peer;
   P.set_range txn seg ~off:0 ~len:8;
   P.commit txn;
   (* Closed transactions reject everything. *)

@@ -176,33 +176,32 @@ let test_detach_mirror () =
   with Invalid_argument _ -> ()
 
 let test_membership_guards_during_txn () =
-  (* Changing the mirror set mid-transaction would resync an image
-     containing uncommitted bytes; all three membership operations must
-     refuse while a transaction is open, and work again after abort. *)
+  (* Membership changes no longer freeze for open transactions: the
+     join copies the local image and then scrubs the open transactions'
+     before-images over it, so the joiner replicates the committed
+     state — never the uncommitted bytes. *)
   let b, seg = with_db ~k:2 () in
   let spare = Netram.Server.create (Cluster.node b.cluster (spare_id b)) in
   let txn = P.begin_transaction b.t in
   P.set_range txn seg ~off:0 ~len:16;
   P.write b.t seg ~off:0 (Bytes.make 16 'u');
-  (try
-     P.attach_mirror b.t ~server:spare;
-     Alcotest.fail "attach_mirror during open transaction"
-   with Failure _ -> ());
-  (try
-     P.detach_mirror b.t ~node_id:1;
-     Alcotest.fail "detach_mirror during open transaction"
-   with Failure _ -> ());
-  (try
-     P.remirror b.t ~server:spare;
-     Alcotest.fail "remirror during open transaction"
-   with Failure _ -> ());
-  check_int "membership unchanged" 2 (P.mirror_count b.t);
-  P.abort txn;
   P.attach_mirror b.t ~server:spare;
-  check_int "attach works once the transaction is closed" 3 (P.mirror_count b.t);
+  check_int "attach during open transaction" 3 (P.mirror_count b.t);
+  P.abort txn;
+  (* After the abort, local == committed state; the joiner must match
+     even though the copy happened while 'u' was in the image. *)
+  List.iter
+    (fun (_, c) -> check_i64 "joiner holds committed state" (P.checksum b.t seg) c)
+    (P.mirror_checksums b.t seg);
+  let txn = P.begin_transaction b.t in
+  P.set_range txn seg ~off:64 ~len:16;
+  P.write b.t seg ~off:64 (Bytes.make 16 'd');
+  P.detach_mirror b.t ~node_id:1;
+  check_int "detach during open transaction" 2 (P.mirror_count b.t);
+  P.commit txn;
   commit_random b seg 'v';
   List.iter
-    (fun (_, c) -> check_i64 "all three in sync" (P.checksum b.t seg) c)
+    (fun (_, c) -> check_i64 "survivors in sync" (P.checksum b.t seg) c)
     (P.mirror_checksums b.t seg)
 
 let test_detach_last_mirror_refused () =
@@ -394,7 +393,7 @@ let suite =
     ("attach_mirror grows the set", `Quick, test_attach_mirror_grows_set);
     ("attach duplicate rejected", `Quick, test_attach_duplicate_rejected);
     ("detach_mirror", `Quick, test_detach_mirror);
-    ("membership frozen during open transaction", `Quick, test_membership_guards_during_txn);
+    ("membership changes scrub open transactions", `Quick, test_membership_guards_during_txn);
     ("last live mirror cannot be detached", `Quick, test_detach_last_mirror_refused);
     ("highest epoch wins at recovery", `Quick, test_highest_epoch_wins);
     ("recovery reattaches surviving mirrors", `Quick, test_recovery_reattaches_survivors);
