@@ -237,8 +237,9 @@ let crash_sweep_cmd =
   let scenario_arg =
     let doc =
       "Scenario: commit (multi-range debit-credit), attach (mirror resync), overlap \
-       (redundancy-elision stress mix), overlap-naive (same mix, elision off) or concurrent \
-       (a group-commit flush of three clients with a fourth transaction open across it)."
+       (redundancy-elision stress mix), overlap-naive (same mix, elision off), concurrent \
+       (a group-commit flush of three clients with a fourth transaction open across it) or \
+       checkpoint (commits interleaved with every phase of a fuzzy checkpoint)."
     in
     Arg.(
       value
@@ -250,15 +251,21 @@ let crash_sweep_cmd =
                ("overlap", `Overlap);
                ("overlap-naive", `Overlap_naive);
                ("concurrent", `Concurrent);
+               ("checkpoint", `Checkpoint);
              ])
           `Commit
       & info [ "scenario" ] ~doc)
   in
   let victim_arg =
-    let doc = "Who dies at each packet: primary (recover on the spare) or mirror." in
+    let doc =
+      "Who dies at each packet: primary (recover on the spare), mirror, or ckpt-target (the \
+       checkpoint scenario's target node; every commit must still land)."
+    in
     Arg.(
       value
-      & opt (enum [ ("primary", `Primary); ("mirror", `Mirror) ]) `Primary
+      & opt
+          (enum [ ("primary", `Primary); ("mirror", `Mirror); ("ckpt-target", `Ckpt_target) ])
+          `Primary
       & info [ "victim" ] ~doc)
   in
   let mirror_index_arg =
@@ -284,6 +291,7 @@ let crash_sweep_cmd =
       `Error (false, Printf.sprintf "mirror-index must be in [0, %d)" mirrors)
     else begin
       let module C = Harness.Crashpoint in
+      let scenario_name = scenario in
       let scenario =
         match scenario with
         | `Commit -> C.commit_scenario ~mirrors ~ranges ~range_len ()
@@ -291,8 +299,17 @@ let crash_sweep_cmd =
         | `Overlap -> C.overlap_scenario ~mirrors ()
         | `Overlap_naive -> C.overlap_scenario ~mirrors ~elision:false ()
         | `Concurrent -> C.concurrent_scenario ~mirrors ()
+        | `Checkpoint -> C.checkpoint_scenario ~mirrors ()
       in
-      let victim = match victim with `Primary -> C.Primary | `Mirror -> C.Mirror mirror_index in
+      if victim = `Ckpt_target && scenario_name <> `Checkpoint then
+        `Error (false, "--victim ckpt-target requires --scenario checkpoint")
+      else
+      let victim =
+        match victim with
+        | `Primary -> C.Primary
+        | `Mirror -> C.Mirror mirror_index
+        | `Ckpt_target -> C.Ckpt_target
+      in
       match C.sweep ~victim scenario with
       | report ->
           Harness.Table.print
@@ -319,6 +336,76 @@ let crash_sweep_cmd =
       ret
         (const run $ verbose $ scenario_arg $ victim_arg $ mirror_index_arg $ sweep_mirrors_arg
        $ ranges_arg $ range_len_arg $ csv_arg))
+
+(* ------------------------------------------------------------------ *)
+(* checkpoint                                                          *)
+
+let checkpoint_cmd =
+  let txns =
+    Arg.(value & opt int 2_000 & info [ "n"; "txns" ] ~doc:"Transactions before the checkpoint.")
+  in
+  let tail =
+    Arg.(
+      value
+      & opt int 200
+      & info [ "tail" ] ~doc:"Transactions after the checkpoint (recovered from the mirror tail).")
+  in
+  let run verbose txns tail =
+    setup_logs verbose;
+    if txns < 0 || tail < 0 then `Error (false, "txns and tail must be non-negative")
+    else begin
+      let clock = Sim.Clock.create () in
+      let specs =
+        List.mapi
+          (fun i n -> Cluster.spec ~dram_size:(64 * 1024 * 1024) ~power_supply:i n)
+          [ "primary"; "mirror"; "ckpt"; "spare" ]
+      in
+      let cluster = Cluster.create ~clock specs in
+      let server = Netram.Server.create (Cluster.node cluster 1) in
+      let client = Netram.Client.create ~cluster ~local:0 ~server in
+      let t = Perseas.init_replicated [ client ] in
+      let module W = Workloads.Debit_credit.Make (Perseas.Engine) in
+      let rng = Sim.Rng.create 7 in
+      let db = W.setup t ~params:Workloads.Debit_credit.default_params in
+      let ckpt_server = Netram.Server.create (Cluster.node cluster 2) in
+      Perseas.Checkpoint.set_ram_target t ~server:ckpt_server;
+      for _ = 1 to txns do
+        W.transaction db rng
+      done;
+      let hwm = (Perseas.stats t).Perseas.undo_hwm_bytes in
+      let cut, truncated = Perseas.Checkpoint.take t in
+      let st = Perseas.stats t in
+      Printf.printf
+        "checkpoint generation %Ld published at epoch %Ld: shipped %d B, truncated %d B of undo \
+         (high-water mark %d -> %d B)\n"
+        (Perseas.Checkpoint.generation t)
+        cut st.Perseas.checkpoint_bytes truncated hwm st.Perseas.undo_hwm_bytes;
+      for _ = 1 to tail do
+        W.transaction db rng
+      done;
+      ignore (Cluster.crash_node cluster 0 Cluster.Failure.Software_error);
+      let t0 = Sim.Clock.now clock in
+      let t2 =
+        Perseas.recover_replicated ~config:(Perseas.config t)
+          ~checkpoint:(Perseas.Ram_source ckpt_server) ~cluster ~local:2 ~servers:[ server ] ()
+      in
+      let us = Sim.Time.to_us (Sim.Clock.now clock - t0) in
+      if Perseas.verify_mirrors t2 <> [] then
+        `Error (false, "recovered database has divergent mirrors")
+      else begin
+        Printf.printf
+          "primary killed after %d more txns; recovered on the checkpoint target's node in %.1f \
+           us (epoch %Ld, mirrors clean)\n"
+          tail us (Perseas.epoch t2);
+        `Ok ()
+      end
+    end
+  in
+  let doc =
+    "Run a workload, publish a fuzzy checkpoint (truncating the undo log), then crash the \
+     primary and recover from the checkpoint plus the mirror tail."
+  in
+  Cmd.v (Cmd.info "checkpoint" ~doc) Term.(ret (const run $ verbose $ txns $ tail))
 
 (* ------------------------------------------------------------------ *)
 (* churn                                                               *)
@@ -576,6 +663,7 @@ let main =
       availability_cmd;
       crash_demo_cmd;
       crash_sweep_cmd;
+      checkpoint_cmd;
       churn_cmd;
       top_cmd;
       timeline_cmd;

@@ -26,6 +26,17 @@ let db_export_name ?(ns = default_namespace) name =
   if String.contains name '!' then invalid_arg "Layout.db_export_name: '!' is reserved";
   ns ^ "!db!" ^ name
 
+let ckpt_dir_name ~ns =
+  check_namespace ns;
+  ns ^ "!ckpt!dir"
+
+let ckpt_slot_name ~ns ~slot =
+  check_namespace ns;
+  if slot < 0 || slot > 1 then invalid_arg "Layout.ckpt_slot_name: slot must be 0 or 1";
+  ns ^ "!ckpt!" ^ string_of_int slot
+
+let ckpt_dir_size = 64
+
 let meta_magic = 0x5045525345415331L (* "PERSEAS1" *)
 let meta_header_size = 24
 let meta_table_entry_size = max_name_length + 16
@@ -39,14 +50,25 @@ let read_epoch b = Bytes.get_int64_le b epoch_offset
 let write_nsegs b n = Bytes.set_int64_le b 16 (Int64.of_int n)
 let read_nsegs b = Int64.to_int (Bytes.get_int64_le b 16)
 
-let table_off index = 64 + (index * meta_table_entry_size)
+(* One word of the 24..63 reserved header region: non-zero while the
+   primary maintains per-segment modification epochs (checkpoint target
+   set), so recovery knows whether the table's epoch column can be
+   trusted for roll-forward decisions. *)
+let ckpt_live_offset = 24
+let write_ckpt_live b v = Bytes.set_int64_le b ckpt_live_offset (if v then 1L else 0L)
+let read_ckpt_live b = Bytes.get_int64_le b ckpt_live_offset <> 0L
 
-let write_table_entry b ~index ~name ~size =
+let table_off index = 64 + (index * meta_table_entry_size)
+let table_epoch_off ~index = table_off index + max_name_length + 8
+
+let write_table_entry ?(last_mod = 0L) b ~index ~name ~size =
   let off = table_off index in
   Bytes.fill b off max_name_length '\000';
   Bytes.blit_string name 0 b off (String.length name);
   Bytes.set_int64_le b (off + max_name_length) (Int64.of_int size);
-  Bytes.set_int64_le b (off + max_name_length + 8) 0L
+  Bytes.set_int64_le b (off + max_name_length + 8) last_mod
+
+let read_table_entry_epoch b ~index = Bytes.get_int64_le b (table_epoch_off ~index)
 
 let read_table_entry b ~index =
   let off = table_off index in

@@ -28,6 +28,18 @@ val db_export_name : ?ns:string -> string -> string
 
 val max_name_length : int
 
+val ckpt_dir_name : ns:string -> string
+(** Export name of the checkpoint directory block on a checkpoint
+    target: {!ckpt_dir_size} bytes whose u64 word at offset 0 holds the
+    generation of the newest published checkpoint (0 = none). *)
+
+val ckpt_slot_name : ns:string -> slot:int -> string
+(** Export name of checkpoint slot 0 or 1.  Generations alternate
+    between the two slots so publishing a new checkpoint never corrupts
+    the previous valid one. *)
+
+val ckpt_dir_size : int
+
 (** {1 Metadata segment} *)
 
 val meta_magic : int64
@@ -48,9 +60,28 @@ val read_epoch : bytes -> int64
 val write_nsegs : bytes -> int -> unit
 val read_nsegs : bytes -> int
 
-val write_table_entry : bytes -> index:int -> name:string -> size:int -> unit
+val ckpt_live_offset : int
+(** Byte offset of the checkpoint-tracking flag word: non-zero while
+    the primary keeps the table's per-segment modification epochs
+    current (a checkpoint target is attached).  Recovery only trusts
+    those epochs for roll-forward when this word is set in the mirror's
+    meta — a meta written by a primary with no target carries stale
+    zeros there. *)
+
+val write_ckpt_live : bytes -> bool -> unit
+val read_ckpt_live : bytes -> bool
+
+val table_epoch_off : index:int -> int
+(** Byte offset of a table entry's last-modification epoch — the
+    8-byte column commit propagation updates in place. *)
+
+val write_table_entry : ?last_mod:int64 -> bytes -> index:int -> name:string -> size:int -> unit
 val read_table_entry : bytes -> index:int -> string * int
 (** Raises [Failure] on a corrupt entry. *)
+
+val read_table_entry_epoch : bytes -> index:int -> int64
+(** The entry's last-modification epoch column ([last_mod] as written;
+    0 when the primary was not tracking). *)
 
 (** {1 Undo records}
 
@@ -62,6 +93,10 @@ val read_table_entry : bytes -> index:int -> string * int
     commit) — so a log convoy streams as dense whole SCI buffers. *)
 
 type undo_header = { epoch : int64; seg_index : int; off : int; len : int }
+
+val align64 : int -> int
+(** Round up to the next 64-byte (SCI line) boundary — also the
+    alignment of segment images inside a checkpoint slot. *)
 
 val undo_header_size : int
 val undo_slot : off:int -> payload_len:int -> int

@@ -22,6 +22,9 @@ type config = {
   group_commit : int;
       (* commits per shared flush; 1 = eager per-commit propagation
          (the single-txn-era behaviour, byte-identical to it) *)
+  retired_limit : int;
+      (* max retired-epoch entries kept; beyond it the oldest retiree
+         is evicted (it falls back to a full resync on return) *)
 }
 
 let default_config =
@@ -34,6 +37,7 @@ let default_config =
     namespace = Layout.default_namespace;
     dirty_log_limit = 4096;
     group_commit = 1;
+    retired_limit = 64;
   }
 
 exception Undo_overflow
@@ -54,6 +58,10 @@ type segment = {
   size : int;
   mutable local : Mem.Segment.t;
   mutable remotes : Remote_segment.t array; (* parallel to t.mirrors *)
+  mutable last_mod : int64;
+      (* epoch of the last commit that touched this segment; written
+         into the remote metadata table only while a checkpoint target
+         is attached (so checkpoints-off metas stay byte-identical) *)
 }
 
 type stats = {
@@ -74,6 +82,9 @@ type stats = {
   conflicts : int;
   group_flushes : int;
   group_commit_txns : int;
+  checkpoints_taken : int;
+  checkpoint_bytes : int;
+  log_truncated_bytes : int;
 }
 
 type resync_mode = Full | Incremental
@@ -84,6 +95,31 @@ type resync_report = { mode : resync_mode; bytes_copied : int; full_bytes : int 
    need this range re-copied.  Entries are kept newest-first and their
    tags never decrease along the list. *)
 type dirty_range = { d_epoch : int64; d_seg : int; d_off : int; d_len : int }
+
+(* Where fuzzy checkpoints go: a remote server's RAM (two alternating
+   slot exports plus a directory word) or a disk device (same layout,
+   slots at fixed offsets past the directory block). *)
+type checkpoint_source = Ram_source of Netram.Server.t | Disk_source of Disk.Device.t
+
+type ckpt_target =
+  | Ram_target of {
+      c_client : Client.t;
+      c_dir : Remote_segment.t;
+      c_slots : Remote_segment.t array; (* the two alternating slots *)
+      c_scratch : Mem.Segment.t; (* local staging for slot headers and fence words *)
+    }
+  | Disk_target of Disk.Device.t
+
+(* An in-progress fuzzy checkpoint: segment images stream to the slot
+   between commits; [p_started_epoch] bounds the dirty ranges that must
+   be re-shipped at finalize time. *)
+type ckpt_progress = {
+  p_gen : int64;
+  p_slot : int;
+  p_started_epoch : int64;
+  mutable p_shipped : int; (* bytes of the segment concatenation shipped so far *)
+  p_total : int;
+}
 
 type t = {
   config : config;
@@ -120,6 +156,18 @@ type t = {
   mutable dirty_count : int;
   mutable dirty_floor : int64;
       (* the log is complete for resyncs "since e" iff e >= dirty_floor *)
+  mutable ckpt_target : ckpt_target option;
+  mutable ckpt_inflight : ckpt_progress option;
+  mutable ckpt_gen : int64; (* newest published generation; 0 = none *)
+  mutable ckpt_summary : Iset.t Imap.t;
+      (* per-segment union of the dirty entries truncated at the last
+         cut: [ranges_since] unions it in whenever the requested base
+         predates the truncation, keeping the dirty log complete for
+         incremental resync even after checkpoints empty it *)
+  mutable ckpt_summary_upto : int64; (* entries tagged <= this live in the summary *)
+  mutable st_ckpts : int;
+  mutable st_ckpt_bytes : int;
+  mutable st_log_truncated : int;
   mutable st_begun : int;
   mutable st_committed : int;
   mutable st_aborted : int;
@@ -274,6 +322,10 @@ let set_telemetry t tel =
       Trace.Timeseries.set tel "perseas.group_flushes" t.st_group_flushes;
       Trace.Timeseries.set tel "perseas.dirty_log" t.dirty_count;
       Trace.Timeseries.set tel "perseas.undo_hwm_bytes" t.st_undo_hwm;
+      Trace.Timeseries.set tel "perseas.checkpoints_taken" t.st_ckpts;
+      Trace.Timeseries.set tel "perseas.checkpoint_bytes" t.st_ckpt_bytes;
+      Trace.Timeseries.set tel "perseas.log_truncated_bytes" t.st_log_truncated;
+      Trace.Timeseries.set tel "perseas.retired_entries" (Hashtbl.length t.retired);
       Trace.Timeseries.set tel "perseas.elided_undo_bytes" t.st_elided_bytes;
       Trace.Timeseries.set tel "perseas.coalesced_ranges" t.st_coalesced_ranges;
       Trace.Timeseries.set tel "perseas.commit_bytes_saved" t.st_commit_saved;
@@ -294,7 +346,22 @@ let telemetry t = t.tel
 let retire_mirror t m =
   m.m_alive <- false;
   Hashtbl.replace t.retired (mirror_node_id m) t.epoch;
+  (* The table is bounded: churn used to grow it one entry per lost
+     mirror forever.  Past the limit the entry with the lowest epoch is
+     evicted — its owner was gone longest, so it loses the least if it
+     has to take a full resync on return. *)
+  while Hashtbl.length t.retired > t.config.retired_limit do
+    let victim =
+      Hashtbl.fold
+        (fun id e acc ->
+          match acc with Some (_, be) when be <= e -> acc | _ -> Some (id, e))
+        t.retired None
+    in
+    match victim with Some (id, _) -> Hashtbl.remove t.retired id | None -> ()
+  done;
   note_replication t
+
+let retired_count t = Hashtbl.length t.retired
 
 (* A mirror that fails during a remote operation is dropped from the
    set (degraded mode); when the last one goes, the library refuses to
@@ -338,6 +405,7 @@ let init_replicated ?(config = default_config) clients =
   if config.undo_capacity < 4096 then invalid_arg "Perseas.init: undo_capacity too small";
   if config.max_segments <= 0 then invalid_arg "Perseas.init: max_segments must be positive";
   if config.group_commit < 1 then invalid_arg "Perseas.init: group_commit must be >= 1";
+  if config.retired_limit < 1 then invalid_arg "Perseas.init: retired_limit must be >= 1";
   if not (Layout.valid_namespace config.namespace) then invalid_arg "Perseas.init: invalid namespace";
   let first = List.hd clients in
   let cluster = Client.cluster first in
@@ -380,6 +448,14 @@ let init_replicated ?(config = default_config) clients =
       dirty = [];
       dirty_count = 0;
       dirty_floor = 1L;
+      ckpt_target = None;
+      ckpt_inflight = None;
+      ckpt_gen = 0L;
+      ckpt_summary = Imap.empty;
+      ckpt_summary_upto = 0L;
+      st_ckpts = 0;
+      st_ckpt_bytes = 0;
+      st_log_truncated = 0;
       st_begun = 0;
       st_committed = 0;
       st_aborted = 0;
@@ -424,7 +500,7 @@ let malloc t ~name ~size =
   let remotes =
     Array.map (fun m -> Client.malloc m.m_client ~name:export_name ~size) t.mirrors
   in
-  let seg = { seg_name = name; index = List.length t.segs; size; local; remotes } in
+  let seg = { seg_name = name; index = List.length t.segs; size; local; remotes; last_mod = 0L } in
   t.segs <- seg :: t.segs;
   seg
 
@@ -437,13 +513,25 @@ let run_plan t plan =
       Sci.Nic.apply_step (Cluster.nic t.cluster) step)
     (Sci.Nic.plan_steps plan)
 
+(* Per-segment modification epochs are maintained locally for free but
+   written into the remote metadata only while a checkpoint target is
+   attached: with tracking off the table's epoch column and the
+   [ckpt_live] word stay zero, keeping every meta byte identical to the
+   pre-checkpoint engine. *)
+let tracking t = t.ckpt_target <> None
+
 let write_meta_staging t =
   let image = local_dram t in
   let b = Bytes.make (meta_size t) '\000' in
   Layout.write_meta_magic b;
   Layout.write_epoch b t.epoch;
   Layout.write_nsegs b (List.length t.segs);
-  List.iter (fun s -> Layout.write_table_entry b ~index:s.index ~name:s.seg_name ~size:s.size) t.segs;
+  if tracking t then Layout.write_ckpt_live b true;
+  List.iter
+    (fun s ->
+      let last_mod = if tracking t then s.last_mod else 0L in
+      Layout.write_table_entry ~last_mod b ~index:s.index ~name:s.seg_name ~size:s.size)
+    t.segs;
   Mem.Image.write_bytes image ~off:(Mem.Segment.base t.meta_local) b
 
 let push_meta_to t m =
@@ -481,6 +569,39 @@ let plan_epoch_write t m =
   Client.plan_write m.m_client m.m_meta ~seg_off:Layout.epoch_offset
     ~src_off:(Mem.Segment.base t.meta_local + Layout.epoch_offset)
     ~len:8
+
+(* Segment-epoch column maintenance (tracking mode only).  Each touched
+   segment's last-modification epoch is staged locally and pushed to
+   every mirror's metadata as one 8-byte store per segment, BEFORE the
+   commit fence: a crash between the column update and the fence leaves
+   the column ahead of the committed epoch, which recovery reads as
+   "modified after any cut" — a conservative mirror refetch, never a
+   stale checkpoint adoption. *)
+let seg_epoch_src t ~index = Mem.Segment.base t.meta_local + Layout.table_epoch_off ~index
+
+let stage_seg_epochs t e segs =
+  let image = local_dram t in
+  List.iter
+    (fun seg ->
+      seg.last_mod <- e;
+      Mem.Image.write_u64 image (seg_epoch_src t ~index:seg.index) e)
+    segs
+
+let plan_seg_epoch_write t m seg =
+  Client.plan_write m.m_client m.m_meta
+    ~seg_off:(Layout.table_epoch_off ~index:seg.index)
+    ~src_off:(seg_epoch_src t ~index:seg.index) ~len:8
+
+let touched_segs t wset =
+  List.rev (Imap.fold (fun index _ acc -> List.find (fun s -> s.index = index) t.segs :: acc) wset [])
+
+let batch_touched t batch =
+  let merged =
+    List.fold_left
+      (fun acc txn -> Imap.union (fun _ a b -> Some (Iset.union a b)) acc txn.wset)
+      Imap.empty batch
+  in
+  touched_segs t merged
 
 let begin_transaction ?(client = "default") t =
   if not t.ready then failwith "Perseas.begin_transaction: call init_remote_db first";
@@ -784,7 +905,7 @@ let flush_undo_chunks batch =
    Full64 stream warm-up are paid once per mirror instead of three
    times.  The fence chunk ships the staged epoch word, so the caller
    must run the plan under [with_staged_epoch]. *)
-let flush_convoy_chunks t ~undo_chunks ~runs i m =
+let flush_convoy_chunks t ~undo_chunks ~runs ~metasegs i m =
   List.map
     (fun (dst, src, len) ->
       ("undo", t.config.optimized_memcpy, m.m_undo, dst, Mem.Segment.base t.undo_local + src, len))
@@ -798,6 +919,18 @@ let flush_convoy_chunks t ~undo_chunks ~runs i m =
           Mem.Segment.base seg.local + off,
           len ))
       runs
+  (* Tracking mode rides the batch's segment-epoch column updates in
+     the same convoy, after the data and before the fence — the
+     convoy stays one burst and the fence stays strictly last. *)
+  @ List.map
+      (fun seg ->
+        ( "segmeta",
+          false,
+          m.m_meta,
+          Layout.table_epoch_off ~index:seg.index,
+          seg_epoch_src t ~index:seg.index,
+          8 ))
+      metasegs
   @ [
       ( "fence",
         false,
@@ -875,6 +1008,8 @@ let flush t =
     List.iter (fun txn -> retag_records t txn) batch;
     let undo_chunks = flush_undo_chunks batch in
     let runs = batch_data_runs t batch in
+    let metasegs = if tracking t then batch_touched t batch else [] in
+    if metasegs <> [] then stage_seg_epochs t (Int64.add t.epoch 1L) metasegs;
     let args = [ ("txns", string_of_int n) ] in
     (try
        with_staged_epoch t (Int64.add t.epoch 1L) (fun () ->
@@ -882,7 +1017,8 @@ let flush t =
                traced t ~name:"flush_convoy" ~args:(("mirror", string_of_int i) :: args)
                  (fun () ->
                    run_plan t
-                     (Client.plan_convoy m.m_client (flush_convoy_chunks t ~undo_chunks ~runs i m)))))
+                     (Client.plan_convoy m.m_client
+                        (flush_convoy_chunks t ~undo_chunks ~runs ~metasegs i m)))))
      with All_mirrors_lost ->
        (* No fence landed anywhere: the batch is not durable.  Roll
           every staged transaction back locally; byte overlap between
@@ -1046,6 +1182,13 @@ let commit txn =
         each_live_mirror t (fun i m ->
             traced t ~name:"commit_propagate" ~args:[ ("mirror", string_of_int i) ] (fun () ->
                 List.iter (run_plan t) (plans_for t runs i m)));
+        (if tracking t then begin
+           let segs = touched_segs t txn.wset in
+           stage_seg_epochs t (Int64.add t.epoch 1L) segs;
+           each_live_mirror t (fun i m ->
+               traced t ~name:"commit_segmeta" ~args:[ ("mirror", string_of_int i) ] (fun () ->
+                   List.iter (fun seg -> run_plan t (plan_seg_epoch_write t m seg)) segs))
+         end);
         with_staged_epoch t (Int64.add t.epoch 1L) (fun () ->
             each_live_mirror t (fun i m ->
                 traced t ~name:"commit_fence" ~args:[ ("mirror", string_of_int i) ] (fun () ->
@@ -1076,6 +1219,7 @@ let flush_step_count t batch =
   | _ :: _ ->
       let runs = batch_data_runs t batch in
       let undo_chunks = flush_undo_chunks batch in
+      let metasegs = if tracking t then batch_touched t batch else [] in
       let count = ref 0 in
       Array.iteri
         (fun i m ->
@@ -1084,7 +1228,8 @@ let flush_step_count t batch =
               !count
               + List.length
                   (Sci.Nic.plan_steps
-                     (Client.plan_convoy m.m_client (flush_convoy_chunks t ~undo_chunks ~runs i m))))
+                     (Client.plan_convoy m.m_client
+                        (flush_convoy_chunks t ~undo_chunks ~runs ~metasegs i m))))
         t.mirrors;
       !count
 
@@ -1113,6 +1258,11 @@ let commit_packets txn =
               List.iter
                 (fun plan -> count := !count + List.length (Sci.Nic.plan_steps plan))
                 (plans_for t runs i m);
+              if tracking t then
+                List.iter
+                  (fun seg ->
+                    count := !count + List.length (Sci.Nic.plan_steps (plan_seg_epoch_write t m seg)))
+                  (touched_segs t txn.wset);
               count := !count + List.length (Sci.Nic.plan_steps (plan_epoch_write t m))
             end)
           t.mirrors;
@@ -1242,6 +1392,9 @@ let stats t =
     conflicts = t.st_conflicts;
     group_flushes = t.st_group_flushes;
     group_commit_txns = t.st_group_txns;
+    checkpoints_taken = t.st_ckpts;
+    checkpoint_bytes = t.st_ckpt_bytes;
+    log_truncated_bytes = t.st_log_truncated;
   }
 
 let stats_fields (s : stats) =
@@ -1263,6 +1416,9 @@ let stats_fields (s : stats) =
     ("conflicts", s.conflicts);
     ("group_flushes", s.group_flushes);
     ("group_commit_txns", s.group_commit_txns);
+    ("checkpoints_taken", s.checkpoints_taken);
+    ("checkpoint_bytes", s.checkpoint_bytes);
+    ("log_truncated_bytes", s.log_truncated_bytes);
   ]
 
 let pp_stats ppf s =
@@ -1367,30 +1523,49 @@ let incremental_handles t client ~since =
    entry tagged later than [since], coalesced per segment (overlaps and
    adjacent runs merged) so each byte is copied at most once. *)
 let ranges_since t ~since =
-  let rec take acc = function
-    | d :: rest when d.d_epoch > since -> take (d :: acc) rest
-    | _ -> acc
-  in
-  let needed = take [] t.dirty in
-  let by_seg = Hashtbl.create 8 in
-  List.iter
-    (fun d ->
-      let prev = Option.value (Hashtbl.find_opt by_seg d.d_seg) ~default:[] in
-      Hashtbl.replace by_seg d.d_seg ((d.d_off, d.d_len) :: prev))
-    needed;
-  Hashtbl.fold
-    (fun seg_index ranges acc ->
-      let merged =
-        List.fold_left
-          (fun acc (off, len) ->
-            match acc with
-            | (o, l) :: rest when off <= o + l -> (o, max l (off + len - o)) :: rest
-            | _ -> (off, len) :: acc)
-          []
-          (List.sort compare ranges)
-      in
-      (seg_index, List.rev merged) :: acc)
-    by_seg []
+  if Imap.is_empty t.ckpt_summary || since >= t.ckpt_summary_upto then
+    (* No truncated prefix overlaps the request — the plain walk, kept
+       byte-identical to the pre-checkpoint engine. *)
+    let rec take acc = function
+      | d :: rest when d.d_epoch > since -> take (d :: acc) rest
+      | _ -> acc
+    in
+    let needed = take [] t.dirty in
+    let by_seg = Hashtbl.create 8 in
+    List.iter
+      (fun d ->
+        let prev = Option.value (Hashtbl.find_opt by_seg d.d_seg) ~default:[] in
+        Hashtbl.replace by_seg d.d_seg ((d.d_off, d.d_len) :: prev))
+      needed;
+    Hashtbl.fold
+      (fun seg_index ranges acc ->
+        let merged =
+          List.fold_left
+            (fun acc (off, len) ->
+              match acc with
+              | (o, l) :: rest when off <= o + l -> (o, max l (off + len - o)) :: rest
+              | _ -> (off, len) :: acc)
+            []
+            (List.sort compare ranges)
+        in
+        (seg_index, List.rev merged) :: acc)
+      by_seg []
+  else
+    (* A checkpoint truncated entries the caller may be missing.  The
+       summary is the union of everything truncated, so summary plus
+       the surviving entries newer than [since] is a superset of what
+       the full log would have returned — conservative over-copy, never
+       a missed byte. *)
+    let add acc d =
+      let prev = Option.value (Imap.find_opt d.d_seg acc) ~default:Iset.empty in
+      Imap.add d.d_seg (Iset.add prev ~off:d.d_off ~len:d.d_len) acc
+    in
+    let rec take acc = function
+      | d :: rest when d.d_epoch > since -> take (add acc d) rest
+      | _ -> acc
+    in
+    let merged = take t.ckpt_summary t.dirty in
+    List.rev (Imap.fold (fun seg_index iset acc -> (seg_index, Iset.intervals iset) :: acc) merged [])
 
 let do_attach ~op ~allow_incremental t ~server =
   (* Membership changes no longer wait for "no open transaction" —
@@ -1541,6 +1716,395 @@ let remirror t ~server =
   attach_mirror t ~server
 
 (* ------------------------------------------------------------------ *)
+(* Fuzzy checkpoints                                                    *)
+
+(* A checkpoint slot is laid out like an archive: a metadata-format
+   header (magic, cut epoch, segment table), then the segment images at
+   64-byte-aligned offsets.  [ckpt_offsets] is the one place that
+   arithmetic lives — the checkpointer and recovery both call it, so
+   writer and reader can never disagree on where a segment sits. *)
+let ckpt_offsets ~meta_size sizes =
+  let off = ref (Layout.align64 meta_size) in
+  let offs =
+    List.map
+      (fun size ->
+        let o = !off in
+        off := Layout.align64 (o + size);
+        o)
+      sizes
+  in
+  (offs, !off)
+
+module Checkpoint = struct
+  exception Target_lost of string
+
+  let seg_offsets t =
+    let segs = segments t in
+    let offs, total = ckpt_offsets ~meta_size:(meta_size t) (List.map (fun s -> s.size) segs) in
+    (List.combine segs offs, total)
+
+  let in_flight t = t.ckpt_inflight <> None
+  let generation t = t.ckpt_gen
+  let target_set t = t.ckpt_target <> None
+
+  (* Loss of the checkpoint target is a degraded-mode event like a
+     mirror loss, not a bug: drop the target, stop maintaining the
+     metadata epoch columns (the mirrors must stop claiming they are
+     live), and surface the typed error.  Published generations stay
+     intact on the target if its node survives, but this engine forgets
+     them — a fresh [set_ram_target] starts from generation 0. *)
+  let target_lost t msg =
+    t.ckpt_inflight <- None;
+    t.ckpt_target <- None;
+    t.ckpt_gen <- 0L;
+    (try push_meta t with All_mirrors_lost -> ());
+    raise (Target_lost msg)
+
+  let with_target t f = try f () with Client.Unreachable msg -> target_lost t msg
+
+  let require_target t op =
+    match t.ckpt_target with
+    | Some tg -> tg
+    | None -> failwith (Printf.sprintf "Perseas.Checkpoint.%s: no checkpoint target" op)
+
+  let require_inflight t op =
+    match t.ckpt_inflight with
+    | Some p -> p
+    | None -> failwith (Printf.sprintf "Perseas.Checkpoint.%s: no checkpoint in flight" op)
+
+  (* The disk layout mirrors the RAM one: the directory block
+     (generation word at 0, slot size at 8), then the two slots back to
+     back.  Every device write passes the packet hook first, so crash
+     sweeps can cut a disk checkpoint at the same boundaries as a RAM
+     one. *)
+  let disk_write t device ~off b =
+    (match t.hook with Some f -> f () | None -> ());
+    Disk.Device.write device ~off b
+
+  let disk_slot_base ~slot_size slot = Layout.ckpt_dir_size + (slot * slot_size)
+
+  (* Ship [len] bytes of local DRAM at [src_off] into slot [slot] at
+     [off].  RAM targets stream SCI packets through the fault-injection
+     hook; disk targets write 64 KiB chunks, hooked per chunk. *)
+  let slot_write t tg ~slot ~off ~src_off ~len =
+    match tg with
+    | Ram_target r ->
+        run_plan t
+          (Client.plan_write r.c_client ~widen:t.config.optimized_memcpy r.c_slots.(slot)
+             ~seg_off:off ~src_off ~len)
+    | Disk_target device ->
+        let _, slot_size = seg_offsets t in
+        let image = local_dram t in
+        let base = disk_slot_base ~slot_size slot in
+        let chunk = 64 * 1024 in
+        let pos = ref 0 in
+        while !pos < len do
+          let n = min chunk (len - !pos) in
+          disk_write t device ~off:(base + off + !pos)
+            (Mem.Image.read_bytes image ~off:(src_off + !pos) ~len:n);
+          pos := !pos + n
+        done
+
+  (* Zero the under-construction slot's magic word before any snapshot
+     byte lands (the fence_joiner idiom): a crash mid-checkpoint leaves
+     a slot recovery's probe refuses, never a torn snapshot it trusts. *)
+  let zero_slot_magic t tg slot =
+    match tg with
+    | Ram_target r ->
+        let image = local_dram t in
+        let base = Mem.Segment.base r.c_scratch in
+        Mem.Image.write_u64 image base 0L;
+        run_plan t
+          (Client.plan_write r.c_client ~widen:false r.c_slots.(slot) ~seg_off:0 ~src_off:base
+             ~len:8)
+    | Disk_target device ->
+        let _, slot_size = seg_offsets t in
+        disk_write t device ~off:(disk_slot_base ~slot_size slot) (Bytes.make 8 '\000')
+
+  (* Publish: header body first, the magic word second, the directory's
+     generation word (one atomic 8-byte store) strictly last.  A crash
+     at any packet of this sequence leaves either the previous
+     generation published or the new one — never a torn mix. *)
+  let publish t tg p ~cut =
+    let msize = meta_size t in
+    let b = Bytes.make msize '\000' in
+    Layout.write_meta_magic b;
+    Layout.write_epoch b cut;
+    Layout.write_nsegs b (List.length t.segs);
+    List.iter
+      (fun s -> Layout.write_table_entry b ~index:s.index ~name:s.seg_name ~size:s.size)
+      t.segs;
+    match tg with
+    | Ram_target r ->
+        let image = local_dram t in
+        let base = Mem.Segment.base r.c_scratch in
+        Mem.Image.write_bytes image ~off:base b;
+        charge_local_copy t msize;
+        run_plan t
+          (Client.plan_write r.c_client ~widen:t.config.optimized_memcpy r.c_slots.(p.p_slot)
+             ~seg_off:8 ~src_off:(base + 8) ~len:(msize - 8));
+        run_plan t
+          (Client.plan_write r.c_client ~widen:false r.c_slots.(p.p_slot) ~seg_off:0 ~src_off:base
+             ~len:8);
+        Mem.Image.write_u64 image base p.p_gen;
+        run_plan t (Client.plan_write r.c_client ~widen:false r.c_dir ~seg_off:0 ~src_off:base ~len:8)
+    | Disk_target device ->
+        let _, slot_size = seg_offsets t in
+        let base = disk_slot_base ~slot_size p.p_slot in
+        disk_write t device ~off:(base + 8) (Bytes.sub b 8 (msize - 8));
+        disk_write t device ~off:base (Bytes.sub b 0 8);
+        let dir = Bytes.create 8 in
+        Bytes.set_int64_le dir 0 p.p_gen;
+        disk_write t device ~off:0 dir
+
+  let set_ram_target t ~server =
+    if not t.ready then failwith "Perseas.Checkpoint.set_ram_target: call init_remote_db first";
+    if t.ckpt_inflight <> None then
+      failwith "Perseas.Checkpoint.set_ram_target: checkpoint in flight";
+    let node_id = Node.id (Netram.Server.node server) in
+    (* A target sharing the primary's node would checkpoint RAM into the
+       very failure domain it protects — and, after a recovery that
+       adopted a slot in place, would overwrite the live database. *)
+    if node_id = t.local_id then
+      invalid_arg "Perseas.Checkpoint.set_ram_target: target must live on a remote node";
+    let client = Client.create ~cluster:t.cluster ~local:t.local_id ~server in
+    (try
+       let _, slot_size = seg_offsets t in
+       let dir =
+         connect_or_export client
+           ~name:(Layout.ckpt_dir_name ~ns:t.config.namespace)
+           ~size:Layout.ckpt_dir_size
+       in
+       let slots =
+         Array.init 2 (fun slot ->
+             connect_or_export client
+               ~name:(Layout.ckpt_slot_name ~ns:t.config.namespace ~slot)
+               ~size:slot_size)
+       in
+       (* This engine starts from generation 0: invalidate any stale
+          directory a previous incarnation left behind. *)
+       Client.write_u64 client dir ~seg_off:0 0L;
+       let scratch = alloc_local t (meta_size t) "checkpoint staging" in
+       t.ckpt_target <-
+         Some (Ram_target { c_client = client; c_dir = dir; c_slots = slots; c_scratch = scratch });
+       t.ckpt_gen <- 0L
+     with Client.Unreachable msg ->
+       t.ckpt_target <- None;
+       raise (Target_lost msg));
+    (* From here commit propagation maintains the metadata epoch
+       columns: seed them and flip the live word on every mirror. *)
+    List.iter (fun seg -> seg.last_mod <- t.epoch) t.segs;
+    push_meta t
+
+  let set_disk_target t ~device =
+    if not t.ready then failwith "Perseas.Checkpoint.set_disk_target: call init_remote_db first";
+    if t.ckpt_inflight <> None then
+      failwith "Perseas.Checkpoint.set_disk_target: checkpoint in flight";
+    let _, slot_size = seg_offsets t in
+    let need = Layout.ckpt_dir_size + (2 * slot_size) in
+    if Disk.Device.capacity device < need then
+      invalid_arg
+        (Printf.sprintf "Perseas.Checkpoint.set_disk_target: device too small (%d < %d bytes)"
+           (Disk.Device.capacity device) need);
+    let dir = Bytes.make Layout.ckpt_dir_size '\000' in
+    Bytes.set_int64_le dir 8 (Int64.of_int slot_size);
+    Disk.Device.write device ~off:0 dir;
+    t.ckpt_target <- Some (Disk_target device);
+    t.ckpt_gen <- 0L;
+    List.iter (fun seg -> seg.last_mod <- t.epoch) t.segs;
+    push_meta t
+
+  let clear_target t =
+    if t.ckpt_inflight <> None then failwith "Perseas.Checkpoint.clear_target: checkpoint in flight";
+    if t.ckpt_target <> None then begin
+      t.ckpt_target <- None;
+      t.ckpt_gen <- 0L;
+      List.iter (fun seg -> seg.last_mod <- 0L) t.segs;
+      (* live word off, epoch columns zeroed: recovery must not trust
+         columns nobody maintains *)
+      push_meta t
+    end
+
+  let start t =
+    let tg = require_target t "start" in
+    if t.ckpt_inflight <> None then failwith "Perseas.Checkpoint.start: checkpoint already in flight";
+    if t.flushing then failwith "Perseas.Checkpoint.start: commit propagation in flight";
+    (* The cut boundary never splits a commit convoy: quiesce the
+       group-commit queue so every staged transaction is either fully
+       before this checkpoint or arrives as ordinary post-start dirt. *)
+    flush t;
+    with_target t @@ fun () ->
+    let gen = Int64.add t.ckpt_gen 1L in
+    let slot = Int64.to_int (Int64.rem gen 2L) in
+    zero_slot_magic t tg slot;
+    t.ckpt_inflight <-
+      Some { p_gen = gen; p_slot = slot; p_started_epoch = t.epoch; p_shipped = 0; p_total = full_bytes t }
+
+  (* Ship up to [budget] bytes of the segment concatenation, resuming
+     where the last step stopped.  Commits keep landing between steps —
+     that is the fuzzy part; whatever they dirty is re-shipped at
+     finalize time. *)
+  let ship t tg p ~budget =
+    let offs, _ = seg_offsets t in
+    let budget = ref budget in
+    let cum = ref 0 in
+    List.iter
+      (fun (seg, slot_off) ->
+        let seg_start = !cum in
+        cum := !cum + seg.size;
+        if !budget > 0 && p.p_shipped < !cum then begin
+          let pos = p.p_shipped - seg_start in
+          let len = min (seg.size - pos) !budget in
+          slot_write t tg ~slot:p.p_slot ~off:(slot_off + pos)
+            ~src_off:(Mem.Segment.base seg.local + pos) ~len;
+          p.p_shipped <- p.p_shipped + len;
+          t.st_ckpt_bytes <- t.st_ckpt_bytes + len;
+          budget := !budget - len
+        end)
+      offs;
+    p.p_shipped >= p.p_total
+
+  let step t ~budget =
+    if budget <= 0 then invalid_arg "Perseas.Checkpoint.step: budget must be positive";
+    let tg = require_target t "step" in
+    let p = require_inflight t "step" in
+    with_target t (fun () -> ship t tg p ~budget)
+
+  let abandon t = t.ckpt_inflight <- None
+
+  let finalize t =
+    let tg = require_target t "finalize" in
+    let p = require_inflight t "finalize" in
+    if t.flushing then failwith "Perseas.Checkpoint.finalize: commit propagation in flight";
+    flush t;
+    let cut, truncated =
+      with_target t @@ fun () ->
+      ignore (ship t tg p ~budget:max_int);
+      let offs, _ = seg_offsets t in
+      let slot_off_of =
+        let tbl = Hashtbl.create 8 in
+        List.iter (fun (seg, o) -> Hashtbl.replace tbl seg.index (seg, o)) offs;
+        fun index -> Hashtbl.find tbl index
+      in
+      let reship = ref 0 in
+      (* Bring the snapshot to the cut: re-ship every range committed
+         (or conservatively dirtied by an abort) since the snapshot
+         began.  If the dirty log's floor rose past the start epoch
+         (overflow), what changed is unknowable — re-ship the images
+         whole. *)
+      if p.p_started_epoch >= t.dirty_floor then
+        List.iter
+          (fun (seg_index, ranges) ->
+            let seg, slot_off = slot_off_of seg_index in
+            List.iter
+              (fun (off, len) ->
+                slot_write t tg ~slot:p.p_slot ~off:(slot_off + off)
+                  ~src_off:(Mem.Segment.base seg.local + off) ~len;
+                reship := !reship + len)
+              ranges)
+          (ranges_since t ~since:p.p_started_epoch)
+      else
+        List.iter
+          (fun (seg, slot_off) ->
+            slot_write t tg ~slot:p.p_slot ~off:slot_off ~src_off:(Mem.Segment.base seg.local)
+              ~len:seg.size;
+            reship := !reship + seg.size)
+          offs;
+      (* Scrub in-flight transactions out of the snapshot: overwrite
+         their declared ranges with the before-images from the undo
+         staging, so the slot holds committed state only (the in-flight
+         txn fence of the cut). *)
+      List.iter
+        (fun txn ->
+          List.iter
+            (fun r ->
+              let _, slot_off = slot_off_of r.r_seg.index in
+              slot_write t tg ~slot:p.p_slot ~off:(slot_off + r.r_off)
+                ~src_off:(Mem.Segment.base t.undo_local + r.staging_off) ~len:r.r_len;
+              reship := !reship + r.r_len)
+            txn.ranges)
+        t.open_txns;
+      t.st_ckpt_bytes <- t.st_ckpt_bytes + !reship;
+      let cut = t.epoch in
+      publish t tg p ~cut;
+      (* Publication done — truncate local recovery state up to the
+         cut, in that order: a crash between publish and truncation
+         only costs replaying state the checkpoint already covers. *)
+      let hwm_before = t.st_undo_hwm in
+      compact_log t;
+      let truncated = max 0 (hwm_before - t.undo_tail) in
+      t.st_log_truncated <- t.st_log_truncated + truncated;
+      t.st_undo_hwm <- t.undo_tail;
+      (cut, truncated)
+    in
+    (* Dirty log: fold entries at or before the cut into the summary
+       that keeps [ranges_since] complete for incremental resync. *)
+    let rec split kept = function
+      | d :: rest when d.d_epoch > cut -> split (d :: kept) rest
+      | old -> (List.rev kept, old)
+    in
+    let kept, old = split [] t.dirty in
+    if old <> [] then begin
+      t.dirty <- kept;
+      t.dirty_count <- List.length kept;
+      let add acc d =
+        let prev = Option.value (Imap.find_opt d.d_seg acc) ~default:Iset.empty in
+        Imap.add d.d_seg (Iset.add prev ~off:d.d_off ~len:d.d_len) acc
+      in
+      (* Bound the summary: glue to SCI lines and, past 64 intervals
+         per segment, collapse to the hull — over-copying on resync is
+         safe, an unbounded interval list is the bug being fixed. *)
+      let cap is =
+        let is = Iset.glue is ~align:64 in
+        if Iset.cardinal is <= 64 then is
+        else
+          match Iset.intervals is with
+          | [] -> is
+          | (o0, l0) :: rest ->
+              let last = List.fold_left (fun _ (o, l) -> o + l) (o0 + l0) rest in
+              Iset.add Iset.empty ~off:o0 ~len:(last - o0)
+      in
+      t.ckpt_summary <- Imap.map cap (List.fold_left add t.ckpt_summary old);
+      t.ckpt_summary_upto <- max t.ckpt_summary_upto cut
+    end;
+    (* Retired-epoch table: entries below the dirty floor can never be
+       resynced incrementally anyway — drop them. *)
+    let dead =
+      Hashtbl.fold (fun id e acc -> if e < t.dirty_floor then id :: acc else acc) t.retired []
+    in
+    List.iter (Hashtbl.remove t.retired) dead;
+    t.ckpt_gen <- p.p_gen;
+    t.ckpt_inflight <- None;
+    t.st_ckpts <- t.st_ckpts + 1;
+    Trace.Gauge.set t.g_undo_tail t.undo_tail;
+    (cut, truncated)
+
+  let take t =
+    start t;
+    finalize t
+
+  (* Background checkpointer, riding the event queue like the telemetry
+     sampler: each tick starts a checkpoint, ships one budget's worth
+     of bytes, or finalizes — so a full checkpoint spreads over many
+     ticks with commits interleaving (genuinely fuzzy).  A lost target
+     ends the loop's work silently (the typed error already cleared the
+     target); the ticks keep firing but find nothing to do. *)
+  let auto t ~events ~interval ~until ~budget =
+    if budget <= 0 then invalid_arg "Perseas.Checkpoint.auto: budget must be positive";
+    Events.every events ~interval ~until (fun _now ->
+        (* Skip ticks while every mirror is out: start/finalize quiesce
+           the group-commit queue, and flushing a staged convoy with no
+           mirror raises All_mirrors_lost — the checkpoint can wait for
+           the tick after the cluster heals. *)
+        if (not t.flushing) && t.ckpt_target <> None && live_mirror_list t <> [] then
+          try
+            match t.ckpt_inflight with
+            | None -> start t
+            | Some _ -> if step t ~budget then ignore (finalize t)
+          with Target_lost _ -> ())
+end
+
+(* ------------------------------------------------------------------ *)
 (* Recovery                                                             *)
 
 let required what = function
@@ -1563,8 +2127,8 @@ let probe_server ~cluster ~local ~ns server =
         if Layout.read_meta_magic header <> Layout.meta_magic then None
         else Some (client, meta, Layout.read_epoch header)
 
-let recover_replicated ?(config = default_config) ?(sink = Trace.Sink.noop) ?on_repair ~cluster
-    ~local ~servers () =
+let recover_replicated ?(config = default_config) ?(sink = Trace.Sink.noop) ?on_repair ?checkpoint
+    ?(helpers = []) ~cluster ~local ~servers () =
   if servers = [] then invalid_arg "Perseas.recover: no candidate servers";
   (* Recovery phases are traced as contiguous [recovery] spans: each
      [mark] closes the phase that began where the previous one ended,
@@ -1628,7 +2192,7 @@ let recover_replicated ?(config = default_config) ?(sink = Trace.Sink.noop) ?on_
             (name, size, h))
           table
       in
-      Some (client, server, hops, meta_remote, undo_remote, remote_image, current_epoch, remotes)
+      Some (client, server, hops, meta_remote, undo_remote, remote_image, current_epoch, meta_bytes, remotes)
     with Failure msg | Client.Unreachable msg ->
       Log.warn (fun k ->
           k "recovery: skipping candidate on node %d at epoch %Ld (%s)" node_id current_epoch msg);
@@ -1638,7 +2202,7 @@ let recover_replicated ?(config = default_config) ?(sink = Trace.Sink.noop) ?on_
     | [] -> failwith "Perseas.recover: no server holds a recoverable database"
     | c :: rest -> ( match validate c with Some v -> v | None -> first_usable rest)
   in
-  let client, server, hops, meta_remote, undo_remote, remote_image, current_epoch, remotes =
+  let client, server, hops, meta_remote, undo_remote, remote_image, current_epoch, meta_bytes, remotes =
     first_usable ranked
   in
   (* Repair a half-propagated commit: copy current-epoch before-images
@@ -1747,6 +2311,14 @@ let recover_replicated ?(config = default_config) ?(sink = Trace.Sink.noop) ?on_
       dirty = [];
       dirty_count = 0;
       dirty_floor = new_epoch;
+      ckpt_target = None;
+      ckpt_inflight = None;
+      ckpt_gen = 0L;
+      ckpt_summary = Imap.empty;
+      ckpt_summary_upto = 0L;
+      st_ckpts = 0;
+      st_ckpt_bytes = 0;
+      st_log_truncated = 0;
       st_begun = 0;
       st_committed = 0;
       st_aborted = 0;
@@ -1768,14 +2340,181 @@ let recover_replicated ?(config = default_config) ?(sink = Trace.Sink.noop) ?on_
   t.meta_local <- alloc_local t (meta_size t) "metadata staging";
   t.undo_local <- alloc_local t config.undo_capacity "undo log";
   write_meta_staging t;
-  t.segs <-
-    List.rev
-      (List.mapi
-         (fun index (name, size, handle) ->
-           let local = alloc_local t size (Printf.sprintf "segment %S" name) in
-           Client.read client handle ~seg_off:0 ~dst_off:(Mem.Segment.base local) ~len:size;
-           { seg_name = name; index; size; local; remotes = [| handle |] })
-         remotes);
+  let use_new = checkpoint <> None || helpers <> [] in
+  (if not use_new then
+     t.segs <-
+       List.rev
+         (List.mapi
+            (fun index (name, size, handle) ->
+              let local = alloc_local t size (Printf.sprintf "segment %S" name) in
+              Client.read client handle ~seg_off:0 ~dst_off:(Mem.Segment.base local) ~len:size;
+              { seg_name = name; index; size; local; remotes = [| handle |]; last_mod = 0L })
+            remotes)
+   else begin
+     let msize = Layout.meta_size ~max_segments:config.max_segments in
+     let seg_offs, slot_size =
+       ckpt_offsets ~meta_size:msize (List.map (fun (_, size, _) -> size) remotes)
+     in
+     let table_matches header =
+       List.for_all
+         (fun (index, name, size) ->
+           match Layout.read_table_entry header ~index with
+           | n, s -> n = name && s = size
+           | exception Failure _ -> false)
+         (List.mapi (fun i (n, s, _) -> (i, n, s)) remotes)
+     in
+     let nsegs_expected = List.length remotes in
+     (* Probe for the newest valid checkpoint slot: directory
+        generation, magic fence, a cut no newer than the chosen
+        mirror's epoch, and a segment table matching the mirror's
+        exactly.  A torn or stale slot (the magic word is zeroed before
+        the first snapshot byte and re-written strictly last) falls
+        back to the previous generation, and failing that to plain
+        mirror fetch. *)
+     let probe_ram cserver =
+       if not (Netram.Server.is_alive cserver) then None
+       else
+         let cnode = Node.id (Netram.Server.node cserver) in
+         let cimage = Node.dram (Netram.Server.node cserver) in
+         let chops =
+           if cnode = local then 0 else max 1 (Cluster.hops cluster ~src:local ~dst:cnode)
+         in
+         let charge ~off ~len =
+           if cnode = local then Clock.advance clk (Sci.Model.local_copy p len)
+           else Clock.advance clk (Sci.Model.read_range p ~hops:chops ~off ~len ())
+         in
+         match Netram.Server.lookup cserver ~name:(Layout.ckpt_dir_name ~ns:config.namespace) with
+         | None -> None
+         | Some dir ->
+             let dgen = Mem.Image.read_u64 cimage (Remote_segment.base dir) in
+             charge ~off:(Remote_segment.base dir) ~len:8;
+             let try_gen gen =
+               if gen <= 0L then None
+               else
+                 match
+                   Netram.Server.lookup cserver
+                     ~name:
+                       (Layout.ckpt_slot_name ~ns:config.namespace
+                          ~slot:(Int64.to_int (Int64.rem gen 2L)))
+                 with
+                 | Some h when Remote_segment.len h = slot_size ->
+                     let sbase = Remote_segment.base h in
+                     let header = Mem.Image.read_bytes cimage ~off:sbase ~len:msize in
+                     charge ~off:sbase ~len:msize;
+                     let cut = Layout.read_epoch header in
+                     if
+                       Layout.read_meta_magic header <> Layout.meta_magic
+                       || cut > current_epoch
+                       || Layout.read_nsegs header <> nsegs_expected
+                       || not (table_matches header)
+                     then None
+                     else Some (cut, `Ram (cnode, cimage, sbase, chops, dir))
+                 | _ -> None
+             in
+             (match try_gen dgen with Some r -> Some r | None -> try_gen (Int64.pred dgen))
+     in
+     let probe_disk device =
+       let dirb = Disk.Device.read device ~off:0 ~len:Layout.ckpt_dir_size in
+       let dgen = Bytes.get_int64_le dirb 0 in
+       if Int64.to_int (Bytes.get_int64_le dirb 8) <> slot_size then None
+       else
+         let try_gen gen =
+           if gen <= 0L then None
+           else
+             let sbase = Layout.ckpt_dir_size + (Int64.to_int (Int64.rem gen 2L) * slot_size) in
+             if sbase + slot_size > Disk.Device.capacity device then None
+             else
+               let header = Disk.Device.read device ~off:sbase ~len:msize in
+               let cut = Layout.read_epoch header in
+               if
+                 Layout.read_meta_magic header <> Layout.meta_magic
+                 || cut > current_epoch
+                 || Layout.read_nsegs header <> nsegs_expected
+                 || not (table_matches header)
+               then None
+               else Some (cut, `Disk (device, sbase))
+         in
+         (match try_gen dgen with Some r -> Some r | None -> try_gen (Int64.pred dgen))
+     in
+     (* The mirror's metadata says whether the per-segment modification
+        epochs were being maintained when the primary died; without the
+        live word no checkpoint can be proven current for any segment,
+        and recovery falls back to mirror fetch. *)
+     let ckpt =
+       if not (Layout.read_ckpt_live meta_bytes) then None
+       else
+         match checkpoint with
+         | Some (Ram_source s) -> probe_ram s
+         | Some (Disk_source d) -> probe_disk d
+         | None -> None
+     in
+     let last_mod index = Layout.read_table_entry_epoch meta_bytes ~index in
+     (* Parallel fetch: helper nodes each pull a share of the remote
+        reads, so segment fetch costs round-robin across 1 + N streams
+        and virtual time advances by the slowest stream plus one
+        coordination round trip per helper.  Stream costs are charged
+        at this node's hop count — a deliberate simplification: the
+        helpers sit on the same SCI ring. *)
+     let nstreams = 1 + List.length helpers in
+     let streams = Array.make nstreams Time.zero in
+     let cursor = ref 0 in
+     let assign cost =
+       streams.(!cursor) <- streams.(!cursor) + cost;
+       cursor := (!cursor + 1) mod nstreams
+     in
+     let local_image = local_dram t in
+     t.segs <-
+       List.rev
+         (List.mapi
+            (fun index ((name, size, handle), slot_off) ->
+              let use_ckpt =
+                (* The segment is current in the checkpoint iff nothing
+                   committed into it after the cut.  The epoch column is
+                   pushed before the commit fence, so a crash between
+                   the two leaves the column ahead — erring toward the
+                   mirror, never toward a stale snapshot. *)
+                match ckpt with Some (cut, _) -> last_mod index <= cut | None -> false
+              in
+              let local =
+                match (use_ckpt, ckpt) with
+                | true, Some (_, `Ram (cnode, _, sbase, _, _)) when cnode = local ->
+                    (* Zero-copy adoption: the slot lives in this node's
+                       DRAM, so the recovered database takes ownership
+                       of the bytes in place — O(1) per segment, which
+                       is what makes recovery time flat in the database
+                       size. *)
+                    Mem.Segment.v ~base:(sbase + slot_off) ~len:size
+                | true, Some (_, `Ram (_, cimage, sbase, chops, _)) ->
+                    let seg_local = alloc_local t size (Printf.sprintf "segment %S" name) in
+                    Mem.Image.blit ~src:cimage ~src_off:(sbase + slot_off) ~dst:local_image
+                      ~dst_off:(Mem.Segment.base seg_local) ~len:size;
+                    assign (Sci.Model.read_range p ~hops:chops ~off:(sbase + slot_off) ~len:size ());
+                    seg_local
+                | true, Some (_, `Disk (device, sbase)) ->
+                    let seg_local = alloc_local t size (Printf.sprintf "segment %S" name) in
+                    Mem.Image.write_bytes local_image ~off:(Mem.Segment.base seg_local)
+                      (Disk.Device.read device ~off:(sbase + slot_off) ~len:size);
+                    seg_local
+                | _ ->
+                    let seg_local = alloc_local t size (Printf.sprintf "segment %S" name) in
+                    Mem.Image.blit ~src:remote_image ~src_off:(Remote_segment.base handle)
+                      ~dst:local_image ~dst_off:(Mem.Segment.base seg_local) ~len:size;
+                    assign
+                      (Sci.Model.read_range p ~hops ~off:(Remote_segment.base handle) ~len:size ());
+                    seg_local
+              in
+              { seg_name = name; index; size; local; remotes = [| handle |]; last_mod = 0L })
+            (List.combine remotes seg_offs));
+     Clock.advance clk (Array.fold_left max Time.zero streams);
+     List.iter (fun _ -> Clock.advance clk (Client.rpc_time client)) helpers;
+     (* After in-place adoption the slot region IS the live database:
+        invalidate the local directory so no later recovery can mistake
+        it for a checkpoint again. *)
+     match ckpt with
+     | Some (_, `Ram (cnode, cimage, _, _, dir)) when cnode = local ->
+         Mem.Image.write_u64 cimage (Remote_segment.base dir) 0L
+     | _ -> ()
+   end);
   mark "fetch_db";
   (* Re-establish the remaining mirrors: the survivors may be behind
      (their epoch writes were cut by the crash), so they get a full
@@ -1796,8 +2535,9 @@ let recover_replicated ?(config = default_config) ?(sink = Trace.Sink.noop) ?on_
   t.repl_target <- max 1 (mirror_count t);
   t
 
-let recover ?config ?sink ?on_repair ~cluster ~local ~server () =
-  recover_replicated ?config ?sink ?on_repair ~cluster ~local ~servers:[ server ] ()
+let recover ?config ?sink ?on_repair ?checkpoint ?helpers ~cluster ~local ~server () =
+  recover_replicated ?config ?sink ?on_repair ?checkpoint ?helpers ~cluster ~local
+    ~servers:[ server ] ()
 
 (* ------------------------------------------------------------------ *)
 (* Archive: graceful shutdown to stable storage (paper, section 1:

@@ -69,12 +69,21 @@ type config = {
           queue with one undo convoy, one merged data convoy and one
           single-packet fence per mirror — the burst startup and the
           commit point amortise across the batch. *)
+  retired_limit : int;
+      (** Maximum entries of the retired-epoch table that remembers at
+          which epoch each ex-mirror was dropped (what makes
+          {!recruit_mirror}'s incremental path provably safe).  Beyond
+          the cap the entry with the {e oldest} epoch is evicted — that
+          node simply falls back to a full copy if it ever returns.
+          Before this cap the table grew without bound under mirror
+          churn.  Must be at least 1 ([Invalid_argument] from
+          {!init}). *)
 }
 
 val default_config : config
 (** 1 MiB + slack of undo space, 64 segments, strict updates,
     redundancy elision on, 4096 dirty-log entries, eager commit
-    ([group_commit = 1]). *)
+    ([group_commit = 1]), 64 retired-epoch entries. *)
 
 exception Undo_overflow
 (** A transaction declared more before-image bytes than the undo log
@@ -211,6 +220,10 @@ val recruit_mirror : t -> server:Netram.Server.t -> resync_report
     wipes them) or resized, or its metadata header is invalid or ahead
     of the retirement epoch.  Same exceptions as {!attach_mirror}. *)
 
+val retired_count : t -> int
+(** Entries currently in the retired-epoch table (bounded by
+    [config.retired_limit]). *)
+
 val probe_mirrors : t -> int list
 (** Liveness probe of every live mirror — one control round trip each
     (charged).  Unresponsive mirrors are dropped exactly as if a data
@@ -338,12 +351,122 @@ val verify_mirrors : t -> (string * int) list
     copy diverges from the local database.  Empty outside a commit.
     Charges no virtual time (an offline oracle). *)
 
+(** {1 Fuzzy checkpoints}
+
+    A checkpoint is a consistent database image on a {e third} failure
+    domain — a spare node's RAM or a disk — taken in the background
+    while transactions keep committing (fuzzy: the snapshot is shipped
+    in budgeted steps, then brought to a consistent {e cut} at finalize
+    time by re-shipping what committed meanwhile and scrubbing
+    in-flight transactions' bytes back to their before-images).  A
+    published checkpoint lets the engine {e truncate} its recovery
+    state — undo log, dirty-range log, retired-epoch table — and lets
+    {!recover_replicated} restore all segments unmodified since the cut
+    straight from the snapshot (on the target node itself: by adopting
+    the bytes in place, O(1) per segment) instead of copying the whole
+    database from a mirror: recovery time stops growing with database
+    size.
+
+    Two slots alternate on the target, and a slot's magic word is
+    zeroed before its first snapshot byte and re-written strictly last
+    (then the directory's generation word), so a crash at {e any}
+    packet of a checkpoint — the sweeps in {!Harness.Crashpoint} cut
+    every one — leaves either the previous valid generation or the new
+    one, never a torn snapshot recovery would trust. *)
+
+type checkpoint_source =
+  | Ram_source of Netram.Server.t
+  | Disk_source of Disk.Device.t
+      (** Where {!recover_replicated} should look for checkpoint slots:
+          a spare's memory server ({!Checkpoint.set_ram_target}) or a
+          disk device ({!Checkpoint.set_disk_target}). *)
+
+module Checkpoint : sig
+  exception Target_lost of string
+  (** The checkpoint target became unreachable.  The engine drops the
+      target (commits keep flowing — checkpointing is an optimisation,
+      not a durability requirement), stops maintaining the per-segment
+      modification epochs, and clears the live word on its mirrors so
+      recovery will not trust columns nobody maintains. *)
+
+  val set_ram_target : t -> server:Netram.Server.t -> unit
+  (** Attach a spare node's memory server as the checkpoint target:
+      export the directory block and both slots there, and start
+      maintaining per-segment modification epochs in the mirrored
+      metadata (pushed with every commit).  The server must live on a
+      node other than the primary's ([Invalid_argument]) — a checkpoint
+      in the primary's own failure domain protects nothing.  Raises
+      [Failure] before {!init_remote_db} or with a checkpoint in
+      flight, {!Target_lost} if the server is unreachable. *)
+
+  val set_disk_target : t -> device:Disk.Device.t -> unit
+  (** Same, but checkpoint to stable storage: directory block at device
+      offset 0, the two slots behind it.  Raises [Invalid_argument] if
+      the device cannot hold both slots. *)
+
+  val clear_target : t -> unit
+  (** Detach the target and stop maintaining modification epochs
+      (mirrors get a metadata push clearing the live word). *)
+
+  val target_set : t -> bool
+
+  val start : t -> unit
+  (** Begin a fuzzy checkpoint into the next slot: drain any staged
+      group-commit batch (the cut never splits a convoy), zero the
+      slot's magic word, and record the start epoch.  Raises [Failure]
+      with no target, a checkpoint already in flight, or mid-flush;
+      {!Target_lost} on an unreachable target. *)
+
+  val step : t -> budget:int -> bool
+  (** Ship up to [budget] more bytes of the segment images to the slot;
+      [true] once the full pass is shipped (commits between steps are
+      caught at {!finalize}).  Raises like {!start}, and
+      [Invalid_argument] on a non-positive budget. *)
+
+  val finalize : t -> int64 * int
+  (** Complete and publish the checkpoint, then truncate: ship whatever
+      the budget steps have not, re-ship every range committed since
+      {!start}, scrub open transactions back to their before-images,
+      write the slot header (cut epoch = the current commit point) with
+      the magic word second-to-last and the directory generation word
+      strictly last — and only then compact the undo log, reset
+      [stats.undo_hwm_bytes], fold the now-covered dirty-log entries
+      into the bounded resync summary, and prune unreachable
+      retired-epoch entries.  Returns (cut epoch, undo bytes
+      truncated). *)
+
+  val take : t -> int64 * int
+  (** {!start} + {!finalize} in one call: a non-fuzzy (stop-the-world
+      within one virtual instant) checkpoint. *)
+
+  val abandon : t -> unit
+  (** Drop the in-flight checkpoint, if any.  The slot under
+      construction was already fenced off (magic zeroed), the published
+      generation is untouched. *)
+
+  val auto :
+    t -> events:Events.t -> interval:Time.t -> until:Time.t -> budget:int -> unit
+  (** Background checkpointer riding the event queue (like the
+      telemetry sampler): each tick starts a checkpoint, ships one
+      [budget] of bytes, or finalizes — so checkpoints spread over many
+      ticks with commits interleaving.  A lost target ends the work
+      silently, and ticks are skipped while every mirror is out (the
+      cut would have to quiesce a convoy nobody can receive). *)
+
+  val in_flight : t -> bool
+
+  val generation : t -> int64
+  (** Newest published checkpoint generation (0 = none yet). *)
+end
+
 (** {1 Recovery} *)
 
 val recover :
   ?config:config ->
   ?sink:Trace.Sink.t ->
   ?on_repair:(name:string -> len:int -> unit) ->
+  ?checkpoint:checkpoint_source ->
+  ?helpers:int list ->
   cluster:Cluster.t ->
   local:int ->
   server:Netram.Server.t ->
@@ -364,6 +487,8 @@ val recover_replicated :
   ?config:config ->
   ?sink:Trace.Sink.t ->
   ?on_repair:(name:string -> len:int -> unit) ->
+  ?checkpoint:checkpoint_source ->
+  ?helpers:int list ->
   cluster:Cluster.t ->
   local:int ->
   servers:Netram.Server.t list ->
@@ -377,6 +502,23 @@ val recover_replicated :
     parsed (e.g. it died mid-[attach_mirror] resync) is skipped in
     favour of the next-best intact copy.  Raises [Failure] when no
     candidate holds a recoverable database.
+
+    [checkpoint] offers a place to look for checkpoint slots (see
+    {!module:Checkpoint}).  If the chosen mirror's metadata carries the
+    checkpoint-live word and a slot passes validation — magic fence
+    intact, cut no newer than the mirror's epoch, segment table
+    matching — every segment whose last modification epoch is at or
+    before the cut restores from the snapshot (adopted {e in place},
+    zero-copy, when the slot lives in this node's own DRAM — recover on
+    the checkpoint target for flat recovery time); segments modified
+    after the cut, or everything when no valid slot exists, fall back
+    to the repaired mirror as before.  A torn slot falls back to the
+    previous generation, then to plain mirror fetch — never trusted.
+
+    [helpers] are other cluster nodes recruited to pull segment fetches
+    in parallel: fetch costs spread round-robin across [1 + N] streams
+    and virtual time advances by the slowest stream plus one
+    coordination round trip per helper.
 
     [sink] traces recovery as four contiguous [recovery]-category spans
     — [probe], [repair], [fetch_db], [resync_mirrors] — partitioning
@@ -462,6 +604,15 @@ type stats = {
   group_commit_txns : int;
       (** Transactions committed through those flushes; divided by
           [group_flushes] this is the achieved batch size. *)
+  checkpoints_taken : int;  (** Checkpoints published ({!Checkpoint.finalize}). *)
+  checkpoint_bytes : int;
+      (** Segment-image bytes shipped to the checkpoint target,
+          including finalize-time re-ships and scrubs. *)
+  log_truncated_bytes : int;
+      (** Undo-log bytes reclaimed by checkpoint truncation; each
+          truncation also resets [undo_hwm_bytes] to the surviving
+          tail, so the telemetry dashboard shows the log footprint
+          actually shrinking. *)
 }
 
 val stats : t -> stats
@@ -515,8 +666,10 @@ val set_telemetry : t -> Trace.Timeseries.t -> unit
       [perseas.coalesced_ranges], [perseas.commit_bytes_saved],
       [perseas.committed], [perseas.aborts], [perseas.mirrors_lost],
       [perseas.resync_bytes], [perseas.degraded_us],
-      [perseas.open_txns], [perseas.staged_txns], [perseas.conflicts]
-      and [perseas.group_flushes].
+      [perseas.open_txns], [perseas.staged_txns], [perseas.conflicts],
+      [perseas.group_flushes], [perseas.checkpoints_taken],
+      [perseas.checkpoint_bytes], [perseas.log_truncated_bytes] and
+      [perseas.retired_entries].
 
     Defaults to {!Trace.Timeseries.noop}. *)
 

@@ -145,6 +145,53 @@ let concurrent_entry () =
         /. float_of_int s.Multi_client.committed);
   }
 
+(* Recovery-time cell: a checkpointed debit-credit database loses its
+   primary and is rebuilt on the checkpoint target's node from the slot
+   plus the mirror tail.  tps is recoveries/second and both latency
+   columns carry the recovery time itself, so the debit-credit tps gate
+   also fails CI when checkpointed recovery slows by more than the
+   tolerance. *)
+let checkpoint_entry () =
+  let clock = Sim.Clock.create () in
+  let specs =
+    List.mapi
+      (fun i n -> Cluster.spec ~dram_size:(64 * 1024 * 1024) ~power_supply:i n)
+      [ "primary"; "mirror"; "ckpt"; "spare" ]
+  in
+  let cluster = Cluster.create ~clock specs in
+  let server = Netram.Server.create (Cluster.node cluster 1) in
+  let client = Netram.Client.create ~cluster ~local:0 ~server in
+  let t = Perseas.init_replicated [ client ] in
+  let module W = Workloads.Debit_credit.Make (Perseas.Engine) in
+  let rng = Sim.Rng.create 7 in
+  let db = W.setup t ~params:Workloads.Debit_credit.default_params in
+  let ckpt_server = Netram.Server.create (Cluster.node cluster 2) in
+  Perseas.Checkpoint.set_ram_target t ~server:ckpt_server;
+  for _ = 1 to 2_000 do
+    W.transaction db rng
+  done;
+  ignore (Perseas.Checkpoint.take t);
+  for _ = 1 to 200 do
+    W.transaction db rng
+  done;
+  ignore (Cluster.crash_node cluster 0 Cluster.Failure.Software_error);
+  let t0 = Sim.Clock.now clock in
+  let t2 =
+    Perseas.recover_replicated ~config:(Perseas.config t)
+      ~checkpoint:(Perseas.Ram_source ckpt_server) ~cluster ~local:2 ~servers:[ server ] ()
+  in
+  let recovery_us = Sim.Time.to_us (Sim.Clock.now clock - t0) in
+  assert (Perseas.verify_mirrors t2 = []);
+  {
+    engine = "PERSEAS-ckpt";
+    workload = "debit-credit";
+    mirrors = 1;
+    tps = 1e6 /. recovery_us;
+    mean_us = recovery_us;
+    p99_us = recovery_us;
+    pkts_per_txn = None;
+  }
+
 let collect () =
   List.concat_map
     (fun (engine, mirrors, make) ->
@@ -162,7 +209,7 @@ let collect () =
           })
         workloads)
     engines
-  @ [ concurrent_entry () ]
+  @ [ concurrent_entry (); checkpoint_entry () ]
 
 let to_json entries =
   let cell e =

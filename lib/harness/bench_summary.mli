@@ -27,7 +27,14 @@ val collect : unit -> entry list
     carry the amortized per-transaction cost (per-transaction
     percentiles are undefined when commit returns before the batch
     propagates).  Its packets/txn column puts the group-commit
-    schedule under the same CI gate as the eager cells. *)
+    schedule under the same CI gate as the eager cells.
+
+    Also includes the ["PERSEAS-ckpt"] recovery cell: a checkpointed
+    debit-credit database loses its primary and is rebuilt on the
+    checkpoint target's node from the slot plus the mirror tail; tps is
+    recoveries/second and both latency columns carry the recovery time,
+    so the same debit-credit gate fails CI when checkpointed recovery
+    regresses. *)
 
 val to_json : entry list -> string
 val of_json : Json.t -> entry list

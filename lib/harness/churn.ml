@@ -23,6 +23,9 @@ type params = {
   outage : Time.t;  (* mean outage before the repair process acts *)
   pause_fraction : float;  (* P(transient pause) vs node crash *)
   policy : Sup.policy;
+  checkpoint_interval : Time.t option;
+      (* when set, a dedicated node holds a checkpoint target and the
+         background checkpointer truncates the logs every interval *)
 }
 
 let default_params =
@@ -35,6 +38,7 @@ let default_params =
     outage = Time.us 400.0;
     pause_fraction = 0.5;
     policy = Sup.default_policy;
+    checkpoint_interval = None;
   }
 
 type injection = { at : Time.t; node : int; kind : kind }
@@ -84,6 +88,12 @@ let run ?(params = default_params) ?telemetry () =
     ("primary" :: List.init params.mirrors (Printf.sprintf "mirror%d"))
     @ List.init params.spares (Printf.sprintf "spare%d")
     @ [ "observer" ]
+    (* The checkpoint target rides a node of its own, after the
+       observer so every id in the checkpoint-free layout is
+       unchanged.  It is never a churn victim (victims are drawn from
+       live mirrors only): losing it is Checkpoint's own concern,
+       exercised by the Crashpoint Ckpt_target sweep. *)
+    @ (if params.checkpoint_interval = None then [] else [ "ckpt" ])
   in
   let specs =
     List.mapi (fun i n -> Cluster.spec ~dram_size:(4 * 1024 * 1024) ~power_supply:i n) names
@@ -101,12 +111,28 @@ let run ?(params = default_params) ?telemetry () =
   in
   let t = P.init_replicated clients in
   let db = W.setup t ~params:Workloads.Debit_credit.small_params in
+  let ckpt_server =
+    Option.map
+      (fun _ ->
+        let s = Netram.Server.create (Cluster.node cluster (observer + 1)) in
+        P.Checkpoint.set_ram_target t ~server:s;
+        s)
+      params.checkpoint_interval
+  in
   let sup =
     Sup.create ~policy:params.policy ~target:params.mirrors
       ~spares:(List.init params.spares (fun i -> Hashtbl.find servers (params.mirrors + 1 + i)))
       t
   in
   let events = Events.create clock in
+  (* The checkpointer shares the main queue: its truncations interleave
+     with repairs and recruitments, so every incremental resync taken
+     after this point leans on the checkpoint summary where the dirty
+     log was cut. *)
+  Option.iter
+    (fun interval ->
+      P.Checkpoint.auto t ~events ~interval ~until:params.duration ~budget:(64 * 1024))
+    params.checkpoint_interval;
   (* Telemetry rides on its own event queue, pumped passively wherever
      the clock advances.  The main queue's [next_at] drives wake-up
      decisions in [ensure_service] and the quiesce drain; keeping the
@@ -275,7 +301,9 @@ let run ?(params = default_params) ?telemetry () =
   ignore (Cluster.crash_node cluster 0 Cluster.Failure.Software_error);
   let candidate_servers = List.init pool (fun i -> Hashtbl.find servers (i + 1)) in
   let t2 =
-    P.recover_replicated ~config:(P.config t) ~cluster ~local:observer ~servers:candidate_servers ()
+    P.recover_replicated ~config:(P.config t)
+      ?checkpoint:(Option.map (fun s -> P.Ram_source s) ckpt_server)
+      ~cluster ~local:observer ~servers:candidate_servers ()
   in
   let committed_data_preserved = signature t2 = pre in
   let db2 =

@@ -19,6 +19,15 @@ type params = {
   outage : Time.t;  (** mean outage before the repair process acts *)
   pause_fraction : float;  (** P(transient pause) vs node crash *)
   policy : Perseas.Supervisor.policy;
+  checkpoint_interval : Time.t option;
+      (** When set (default [None]), a dedicated extra node (appended
+          after the observer, so the checkpoint-free node layout is
+          unchanged) holds a {!Perseas.Checkpoint} RAM target and the
+          background checkpointer fires every interval of virtual time
+          while the churn schedule runs — so supervisor recruitments
+          resync incrementally across log truncations, and the final
+          kill-the-primary recovery restores from the checkpoint plus
+          the mirror tail. *)
 }
 
 val default_params : params

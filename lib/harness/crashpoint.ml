@@ -15,10 +15,11 @@ type env = {
   servers : Netram.Server.t list;
   primary : int;
   spare : int;
+  ckpt : Netram.Server.t option;
   t : P.t;
 }
 
-type victim = Primary | Mirror of int
+type victim = Primary | Mirror of int | Ckpt_target
 type image = Pre | Post | Checkpoint of int
 
 type point = {
@@ -61,6 +62,7 @@ let image_label = function
 let victim_label = function
   | Primary -> "primary"
   | Mirror i -> Printf.sprintf "mirror%d" i
+  | Ckpt_target -> "ckpt-target"
 
 (* The whole-database fingerprint an image is compared by. *)
 let signature t =
@@ -139,13 +141,21 @@ let run_primary_point scenario ~pre ~checkpoints ~post ~k ~total =
   else begin
     ignore (Cluster.crash_node env.cluster env.primary Cluster.Failure.Software_error);
     let replayed = ref 0 and bytes = ref 0 in
+    (* When the scenario maintains a checkpoint target, recovery gets
+       it as a restore source: the probe must reject slots the crash
+       left torn and fall back to the mirrors without losing a byte. *)
+    let checkpoint =
+      match env.ckpt with
+      | Some s when Netram.Server.is_alive s -> Some (P.Ram_source s)
+      | _ -> None
+    in
     let t0 = Clock.now env.clock in
     let t2 =
       P.recover_replicated ~config:(P.config env.t)
         ~on_repair:(fun ~name:_ ~len ->
           incr replayed;
           bytes := !bytes + len)
-        ~cluster:env.cluster ~local:env.spare ~servers:env.servers ()
+        ?checkpoint ~cluster:env.cluster ~local:env.spare ~servers:env.servers ()
     in
     let recovery_us = Time.to_us (Clock.now env.clock - t0) in
     let image =
@@ -261,6 +271,64 @@ let run_mirror_point scenario ~pre ~checkpoints ~post ~k ~mirror_index =
   }
 
 (* ------------------------------------------------------------------ *)
+(* Checkpoint-target-victim point: the node holding the checkpoint
+   slots dies just before packet [k].  Checkpointing is an optimisation,
+   never a durability requirement, so the script must run to completion
+   — checkpoint operations degrade to typed no-ops (Target_lost is
+   caught by the scenario) while every commit still lands. *)
+
+let run_ckpt_point scenario ~pre ~checkpoints ~post ~k =
+  let env = scenario.make () in
+  let victim_node =
+    match env.ckpt with
+    | Some s -> Node.id (Netram.Server.node s)
+    | None -> invalid_arg "Crashpoint.sweep: scenario has no checkpoint target"
+  in
+  let epoch_before = P.epoch env.t in
+  let sent = ref 0 in
+  let killed = ref false in
+  P.set_packet_hook env.t
+    (Some
+       (fun () ->
+         if !sent = k && not !killed then begin
+           killed := true;
+           ignore (Cluster.crash_node env.cluster victim_node Cluster.Failure.Hardware_error)
+         end;
+         incr sent));
+  scenario.script env ~checkpoint:(fun () -> ());
+  P.set_packet_hook env.t None;
+  probe env;
+  let image =
+    match classify ~pre ~checkpoints ~post (signature env.t) with
+    | Some img -> img
+    | None ->
+        violation "%s: checkpoint-target death at packet %d left the database in an illegal state"
+          scenario.label k
+  in
+  (* Losing the target must never cost committed data: the script ran
+     every commit, so the surviving database must be the post-image. *)
+  if !killed && image <> Post then
+    violation "%s: checkpoint-target death at packet %d lost committed data (image %s)"
+      scenario.label k (image_label image);
+  let epoch_after = P.epoch env.t in
+  check_epoch scenario.label ~epoch_before ~epoch_after;
+  let mismatches =
+    check_clean_mirrors scenario.label env.t
+      ~where:(Printf.sprintf "after checkpoint-target death at packet %d" k)
+  in
+  {
+    index = k;
+    crashed = !killed;
+    image;
+    replayed_records = 0;
+    replayed_bytes = 0;
+    recovery_us = 0.;
+    epoch_before;
+    epoch_after;
+    mismatches;
+  }
+
+(* ------------------------------------------------------------------ *)
 
 let sweep ?(victim = Primary) scenario =
   let total, pre, checkpoints, post = dry_run scenario in
@@ -268,7 +336,8 @@ let sweep ?(victim = Primary) scenario =
     List.init (total + 1) (fun k ->
         match victim with
         | Primary -> run_primary_point scenario ~pre ~checkpoints ~post ~k ~total
-        | Mirror i -> run_mirror_point scenario ~pre ~checkpoints ~post ~k ~mirror_index:i)
+        | Mirror i -> run_mirror_point scenario ~pre ~checkpoints ~post ~k ~mirror_index:i
+        | Ckpt_target -> run_ckpt_point scenario ~pre ~checkpoints ~post ~k)
   in
   let count f = List.length (List.filter f points) in
   {
@@ -318,7 +387,7 @@ let commit_scenario ?(mirrors = 1) ?(ranges = 3) ?(range_len = 256) ?(seg_size =
     let clock, cluster, servers, t = make_cluster ~mirrors ~extras:[] () in
     List.iter (fun name -> ignore (seed_segment t name ~size:seg_size)) table_names;
     P.init_remote_db t;
-    { clock; cluster; servers; primary = 0; spare = mirrors + 1; t }
+    { clock; cluster; servers; primary = 0; spare = mirrors + 1; ckpt = None; t }
   in
   (* One debit-credit-style transaction: update a slice of each table
      under a single commit, so the sweep cuts both the undo pushes and
@@ -350,7 +419,7 @@ let overlap_scenario ?(mirrors = 1) ?(elision = true) ?(seg_size = 16384) () =
     let clock, cluster, servers, t = make_cluster ~config ~mirrors ~extras:[] () in
     ignore (seed_segment t "db" ~size:seg_size);
     P.init_remote_db t;
-    { clock; cluster; servers; primary = 0; spare = mirrors + 1; t }
+    { clock; cluster; servers; primary = 0; spare = mirrors + 1; ckpt = None; t }
   in
   let script env ~checkpoint =
     let seg = Option.get (P.segment env.t "db") in
@@ -396,7 +465,7 @@ let attach_scenario ?(mirrors = 1) ?(seg_size = 8192) () =
        during its resync can leave it with a valid magic and an
        epoch tied with the settled mirrors but a torn segment table,
        and recovery must skip such a candidate, not abort on it. *)
-    { clock; cluster; servers = joiner :: mirror_servers; primary = 0; spare = mirrors + 2; t }
+    { clock; cluster; servers = joiner :: mirror_servers; primary = 0; spare = mirrors + 2; ckpt = None; t }
   in
   let script env ~checkpoint:_ = P.attach_mirror env.t ~server:(List.hd env.servers) in
   { label = Printf.sprintf "attach-%dm" mirrors; make; script }
@@ -409,7 +478,7 @@ let concurrent_scenario ?(mirrors = 1) ?(clients = 3) ?(seg_size = 16384) () =
     let clock, cluster, servers, t = make_cluster ~config ~mirrors ~extras:[] () in
     List.iter (fun name -> ignore (seed_segment t name ~size:seg_size)) table_names;
     P.init_remote_db t;
-    { clock; cluster; servers; primary = 0; spare = mirrors + 1; t }
+    { clock; cluster; servers; primary = 0; spare = mirrors + 1; ckpt = None; t }
   in
   (* [clients] transactions from distinct clients flush as one batch
      while one late client stays OPEN across that flush (declared but
@@ -459,6 +528,60 @@ let concurrent_scenario ?(mirrors = 1) ?(clients = 3) ?(seg_size = 16384) () =
     P.flush env.t
   in
   { label = Printf.sprintf "concurrent-%dm-%dc" mirrors clients; make; script }
+
+(* Commits interleaved with every phase of a fuzzy checkpoint — a full
+   take, then a second checkpoint cut open across three commits (start,
+   a budgeted step, finalize).  The sweep thus crashes its victim at
+   every packet of slot zeroing, image shipping, finalize re-ship and
+   scrub, the header/magic/directory publication sequence, and the
+   commit traffic in between — and the checkpointed engine's recovery
+   (the primary sweep passes the surviving target as a restore source)
+   must hold the same zero-committed-data-loss oracle as the seed
+   scenarios.  Commits rotate across the three tables so at any cut
+   some segments are restorable from the checkpoint while others must
+   come from the repaired mirror. *)
+let checkpoint_scenario ?(mirrors = 1) ?(seg_size = 8192) () =
+  if mirrors < 1 then invalid_arg "Crashpoint.checkpoint_scenario: at least one mirror";
+  if seg_size < 4096 then invalid_arg "Crashpoint.checkpoint_scenario: segment too small";
+  let make () =
+    let clock, cluster, servers, t = make_cluster ~mirrors ~extras:[ "ckpt" ] () in
+    List.iter (fun name -> ignore (seed_segment t name ~size:seg_size)) table_names;
+    P.init_remote_db t;
+    let ckpt = Netram.Server.create (Cluster.node cluster (mirrors + 1)) in
+    P.Checkpoint.set_ram_target t ~server:ckpt;
+    { clock; cluster; servers; primary = 0; spare = mirrors + 2; ckpt = Some ckpt; t }
+  in
+  let script env ~checkpoint =
+    (* Checkpoint operations degrade, commits do not: a dead target
+       surfaces as Target_lost (swallowed here) and later phases of the
+       same checkpoint are skipped — the guards make the script total
+       for the target-victim sweep. *)
+    let ck f = try f () with P.Checkpoint.Target_lost _ -> () in
+    let have () = P.Checkpoint.target_set env.t in
+    let inflight () = P.Checkpoint.in_flight env.t in
+    let put j fill =
+      let seg = Option.get (P.segment env.t (List.nth table_names (j mod 3))) in
+      let off = 1024 * ((j / 3) + 1) in
+      let txn = P.begin_transaction env.t in
+      P.set_range txn seg ~off ~len:192;
+      P.write env.t seg ~off (Bytes.make 192 fill);
+      P.commit txn
+    in
+    put 0 'a';
+    checkpoint ();
+    if have () then ck (fun () -> ignore (P.Checkpoint.take env.t));
+    put 1 'b';
+    checkpoint ();
+    if have () then ck (fun () -> P.Checkpoint.start env.t);
+    put 2 'c';
+    checkpoint ();
+    if inflight () then ck (fun () -> ignore (P.Checkpoint.step env.t ~budget:4096));
+    put 3 'd';
+    checkpoint ();
+    if inflight () then ck (fun () -> ignore (P.Checkpoint.finalize env.t));
+    put 4 'e'
+  in
+  { label = Printf.sprintf "checkpoint-%dm" mirrors; make; script }
 
 (* ------------------------------------------------------------------ *)
 (* CSV                                                                 *)

@@ -26,6 +26,10 @@ type env = {
           are not yet mirrors, e.g. {!attach_scenario}'s joiner). *)
   primary : int;  (** Node id the library runs on. *)
   spare : int;  (** Free node: recovery target, or replacement mirror. *)
+  ckpt : Netram.Server.t option;
+      (** Checkpoint-target server, when the scenario maintains one:
+          the primary sweep hands it to recovery as a restore source,
+          and the {!Ckpt_target} sweep kills its node. *)
   t : Perseas.t;
 }
 
@@ -34,6 +38,11 @@ type victim =
   | Mirror of int
       (** Kill the mirror with this index (into {!Perseas.mirrors});
           the primary lives and must finish degraded or roll back. *)
+  | Ckpt_target
+      (** Kill the checkpoint-target node; the primary lives, every
+          commit must land (the post-image is the only legal outcome of
+          a kill) and checkpoint operations degrade to typed no-ops
+          ({!Perseas.Checkpoint.Target_lost}). *)
 
 type image = Pre | Post | Checkpoint of int
 
@@ -113,6 +122,19 @@ val concurrent_scenario : ?mirrors:int -> ?clients:int -> ?seg_size:int -> unit 
     a crash at any packet boundary must recover to one of them, which
     is per-transaction atomicity under concurrency (no torn batch, no
     bystander bytes). *)
+
+val checkpoint_scenario : ?mirrors:int -> ?seg_size:int -> unit -> scenario
+(** Five single-range commits rotating across the three tables,
+    interleaved with every phase of fuzzy checkpointing to a RAM target
+    on its own node: a full {!Perseas.Checkpoint.take}, then a second
+    checkpoint held open across three commits ([start], one budgeted
+    [step], [finalize] — slot zeroing, image shipping, finalize re-ship
+    and scrub, and the header/magic/directory publication all get their
+    packets cut).  [checkpoint] images are declared after every commit,
+    so any crash point must recover to a committed state.  Sweep it
+    with every victim: {!Primary} (recovery gets the surviving target
+    as a restore source and must reject torn slots), a {!Mirror}, and
+    {!Ckpt_target} (all commits must still land). *)
 
 (** {1 CSV} *)
 

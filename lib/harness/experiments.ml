@@ -249,6 +249,110 @@ let recovery () =
   Table.save_csv ~path:(csv_path "recovery") ~header rows
 
 (* ------------------------------------------------------------------ *)
+(* R10: fuzzy checkpoints keep recovery time flat vs database size     *)
+
+let checkpoint () =
+  (* Primary (0), mirror (1), checkpoint target (2), spare (3).  Every
+     segment is dirtied before the checkpoint; after the cut only one
+     segment is touched, so the post-checkpoint recovery work is
+     constant while the database grows.  Without a checkpoint the whole
+     database streams over from the mirror. *)
+  let run ~nsegs ~mode =
+    let clock = Clock.create () in
+    let specs =
+      List.mapi
+        (fun i n -> Cluster.spec ~dram_size:(mb 64) ~power_supply:i n)
+        [ "primary"; "mirror"; "ckpt"; "spare" ]
+    in
+    let cluster = Cluster.create ~clock specs in
+    let server = Netram.Server.create (Cluster.node cluster 1) in
+    let client = Netram.Client.create ~cluster ~local:0 ~server in
+    let t = Perseas.init_replicated [ client ] in
+    let seg_size = kb 128 in
+    let segs =
+      List.init nsegs (fun i ->
+          let seg = Perseas.malloc t ~name:(Printf.sprintf "seg%d" i) ~size:seg_size in
+          Perseas.write t seg ~off:0
+            (Bytes.init seg_size (fun j -> Char.chr ((i + j) land 0xff)));
+          seg)
+    in
+    Perseas.init_remote_db t;
+    let ckpt_server = Netram.Server.create (Cluster.node cluster 2) in
+    let touch seg ~off fill =
+      let txn = Perseas.begin_transaction t in
+      Perseas.set_range txn seg ~off ~len:256;
+      Perseas.write t seg ~off (Bytes.make 256 fill);
+      Perseas.commit txn
+    in
+    List.iteri (fun i seg -> touch seg ~off:(64 * (i mod 16)) 'a') segs;
+    if mode <> `Off then begin
+      Perseas.Checkpoint.set_ram_target t ~server:ckpt_server;
+      ignore (Perseas.Checkpoint.take t)
+    end;
+    (* A short, size-independent tail of commits after the cut. *)
+    touch (List.hd segs) ~off:4096 'z';
+    let committed =
+      List.map (fun s -> (Perseas.segment_name s, Perseas.checksum t s)) segs
+    in
+    ignore (Cluster.crash_node cluster 0 Cluster.Failure.Software_error);
+    let local, checkpoint, helpers =
+      match mode with
+      | `Off -> (3, None, [])
+      | `Off_helper -> (3, None, [ 2 ])
+      | `On -> (2, Some (Perseas.Ram_source ckpt_server), [])
+    in
+    let t0 = Clock.now clock in
+    let t2 =
+      Perseas.recover_replicated ?checkpoint ~helpers ~cluster ~local ~servers:[ server ] ()
+    in
+    let elapsed = Clock.now clock - t0 in
+    (* Zero committed-data loss however the image was rebuilt. *)
+    List.iter
+      (fun (name, sum) ->
+        let s = Option.get (Perseas.segment t2 name) in
+        assert (Perseas.checksum t2 s = sum))
+      committed;
+    assert (Perseas.verify_mirrors t2 = []);
+    elapsed
+  in
+  let sizes = [ 4; 8; 16; 32 ] in
+  let modes = [ `Off; `Off_helper; `On ] in
+  let times =
+    List.map (fun nsegs -> (nsegs, List.map (fun mode -> run ~nsegs ~mode) modes)) sizes
+  in
+  let header =
+    [ "segments"; "db (KB)"; "off (us)"; "off + helper (us)"; "checkpoint (us)" ]
+  in
+  let rows =
+    List.map
+      (fun (nsegs, ts) ->
+        string_of_int nsegs :: string_of_int (nsegs * 128)
+        :: List.map (fun e -> Table.fmt_us (Time.to_us e)) ts)
+      times
+  in
+  Table.print
+    ~title:
+      "Checkpointed recovery: rebuild time vs database size (flat with a checkpoint, linear \
+       without)"
+    ~header rows;
+  Table.save_csv ~path:(csv_path "checkpoint") ~header rows;
+  (* The acceptance bar: smallest -> largest database, checkpointed
+     recovery grows by at most 1.5x while plain mirror recovery at
+     least doubles. *)
+  let column i =
+    let first = List.nth (snd (List.hd times)) i in
+    let last = List.nth (snd (List.nth times (List.length times - 1))) i in
+    float_of_int last /. float_of_int first
+  in
+  let off_ratio = column 0 and on_ratio = column 2 in
+  Printf.printf
+    "recovery time smallest -> largest: %.2fx without a checkpoint, %.2fx with (bar: >= 2.0 vs \
+     <= 1.5)\n"
+    off_ratio on_ratio;
+  assert (off_ratio >= 2.0);
+  assert (on_ratio <= 1.5)
+
+(* ------------------------------------------------------------------ *)
 (* A1: per-transaction copy and I/O counts                             *)
 
 let copy_counts () =
@@ -782,6 +886,12 @@ let crash_sweep () =
          with ≥2 in flight at every cut packet. *)
       Crashpoint.sweep (Crashpoint.concurrent_scenario ~mirrors:1 ());
       Crashpoint.sweep ~victim:(Crashpoint.Mirror 0) (Crashpoint.concurrent_scenario ~mirrors:2 ());
+      (* Fuzzy checkpointing: commits interleaved with every phase of a
+         checkpoint (slot zeroing, shipping, publication, truncation);
+         each victim in turn, including the checkpoint target itself. *)
+      Crashpoint.sweep (Crashpoint.checkpoint_scenario ());
+      Crashpoint.sweep ~victim:(Crashpoint.Mirror 0) (Crashpoint.checkpoint_scenario ~mirrors:2 ());
+      Crashpoint.sweep ~victim:Crashpoint.Ckpt_target (Crashpoint.checkpoint_scenario ());
     ]
   in
   let header =
@@ -1116,6 +1226,7 @@ let names =
     ("latency-breakdown", "Per-phase transaction latency from traces", latency_breakdown);
     ("telemetry", "Gauge time-series under churn, checked against the supervisor log", telemetry);
     ("concurrency", "Concurrent disjoint clients: tps and pkts/txn vs offered load", concurrency);
+    ("checkpoint", "Fuzzy checkpoints: recovery time flat vs database size", checkpoint);
   ]
 
 let all () = List.iter (fun (_, _, run) -> run ()) names

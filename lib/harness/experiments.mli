@@ -120,6 +120,16 @@ val concurrency : unit -> unit
     mirror, 8 clients at least double the sequential throughput on
     strictly fewer packets per transaction. *)
 
+val checkpoint : unit -> unit
+(** R10: fuzzy checkpoints and parallel recovery — recovery time vs
+    database size with checkpointing off, off with a helper node
+    fetching mirror segments in parallel, and on (recovering on the
+    checkpoint target's node, adopting the slot in place).  Asserts the
+    acceptance bar:
+    smallest to largest database, checkpointed recovery grows ≤ 1.5x
+    while plain mirror recovery at least doubles.  Writes
+    [results/checkpoint.csv]. *)
+
 val timeline : latency_mix -> unit
 (** One instrumented workload run: gauge samples on a 50 us virtual-
     time grid to [results/timeline_<mix>.csv], plus a Chrome trace

@@ -1,0 +1,483 @@
+(* Fuzzy checkpoints: unit tests for the take/truncate lifecycle, torn
+   slots, target loss, the bounded retired-epoch table, post-truncation
+   incremental recruiting — plus the QCheck differential oracle pitting
+   recover-from-checkpoint against plain undo-replay recovery from the
+   same crash, and the crash sweeps over an in-progress checkpoint. *)
+
+open Sim
+module P = Perseas
+module Ckpt = Perseas.Checkpoint
+module Crashpoint = Harness.Crashpoint
+module Device = Disk.Device
+
+let check = Alcotest.check
+let check_int = check Alcotest.int
+let check_bool = check Alcotest.bool
+let check_i64 = check Alcotest.int64
+
+type bed = {
+  clock : Clock.t;
+  cluster : Cluster.t;
+  servers : Netram.Server.t list; (* mirrors, node ids 1..k *)
+  ckpt_server : Netram.Server.t; (* node k+1 *)
+  ckpt_node : int;
+  spare : int; (* node k+2, no server *)
+  t : P.t;
+}
+
+(* Primary on node 0, [k] mirrors on 1..k, the checkpoint target's node
+   at k+1, a free spare last — independent power supplies throughout. *)
+let bed ?(config = P.default_config) ?(k = 1) () =
+  let clock = Clock.create () in
+  let dram = 4 * 1024 * 1024 in
+  let names =
+    ("primary" :: List.init k (Printf.sprintf "mirror%d")) @ [ "ckpt"; "spare" ]
+  in
+  let specs = List.mapi (fun i n -> Cluster.spec ~dram_size:dram ~power_supply:i n) names in
+  let cluster = Cluster.create ~clock specs in
+  let servers = List.init k (fun i -> Netram.Server.create (Cluster.node cluster (i + 1))) in
+  let clients = List.map (fun server -> Netram.Client.create ~cluster ~local:0 ~server) servers in
+  let t = P.init_replicated ~config clients in
+  {
+    clock;
+    cluster;
+    servers;
+    ckpt_server = Netram.Server.create (Cluster.node cluster (k + 1));
+    ckpt_node = k + 1;
+    spare = k + 2;
+    t;
+  }
+
+let seg_size = 4096
+
+let with_db ?config ?k () =
+  let b = bed ?config ?k () in
+  List.iter
+    (fun name ->
+      let seg = P.malloc b.t ~name ~size:seg_size in
+      let salt = String.length name * 97 in
+      P.write b.t seg ~off:0 (Bytes.init seg_size (fun i -> Char.chr ((i * 13 + salt) land 0xff))))
+    [ "x"; "y" ];
+  P.init_remote_db b.t;
+  b
+
+let seg b name = Option.get (P.segment b.t name)
+
+let commit_fill b name ~off fill =
+  let s = seg b name in
+  let txn = P.begin_transaction b.t in
+  P.set_range txn s ~off ~len:128;
+  P.write b.t s ~off (Bytes.make 128 fill);
+  P.commit txn
+
+let signature t =
+  List.sort compare (List.map (fun s -> (P.segment_name s, P.checksum t s)) (P.segments t))
+
+(* ------------------------------------------------------------------ *)
+(* take / truncation / stats                                           *)
+
+let test_take_truncates () =
+  let b = with_db () in
+  P.Checkpoint.set_ram_target b.t ~server:b.ckpt_server;
+  commit_fill b "x" ~off:64 'a';
+  commit_fill b "y" ~off:64 'b';
+  let hwm_before = (P.stats b.t).P.undo_hwm_bytes in
+  check_bool "commits grew the undo log" true (hwm_before > 0);
+  let cut, truncated = Ckpt.take b.t in
+  check_i64 "cut is the commit point" (P.epoch b.t) cut;
+  check_bool "undo bytes were reclaimed" true (truncated > 0);
+  let st = P.stats b.t in
+  check_int "one checkpoint taken" 1 st.P.checkpoints_taken;
+  check_int "truncation accounted" truncated st.P.log_truncated_bytes;
+  check_int "high-water mark reset" 0 st.P.undo_hwm_bytes;
+  check_bool "whole database shipped" true (st.P.checkpoint_bytes >= 2 * seg_size);
+  check_i64 "generation published" 1L (Ckpt.generation b.t);
+  (* The engine stays fully usable after truncation. *)
+  commit_fill b "x" ~off:512 'c';
+  check Alcotest.(list (pair string int)) "mirrors clean" [] (P.verify_mirrors b.t)
+
+let test_lifecycle_guards () =
+  let b = with_db () in
+  Alcotest.check_raises "take without a target"
+    (Failure "Perseas.Checkpoint.start: no checkpoint target") (fun () -> ignore (Ckpt.take b.t));
+  (* A target on the primary's own node protects nothing. *)
+  let self = Netram.Server.create (Cluster.node b.cluster 0) in
+  Alcotest.check_raises "refuses a local-node target"
+    (Invalid_argument "Perseas.Checkpoint.set_ram_target: target must live on a remote node")
+    (fun () -> Ckpt.set_ram_target b.t ~server:self);
+  Ckpt.set_ram_target b.t ~server:b.ckpt_server;
+  Ckpt.start b.t;
+  Alcotest.check_raises "no concurrent checkpoints"
+    (Failure "Perseas.Checkpoint.start: checkpoint already in flight") (fun () -> Ckpt.start b.t);
+  Alcotest.check_raises "step wants a positive budget"
+    (Invalid_argument "Perseas.Checkpoint.step: budget must be positive") (fun () ->
+      ignore (Ckpt.step b.t ~budget:0));
+  Ckpt.abandon b.t;
+  check_bool "abandon clears the in-flight state" false (Ckpt.in_flight b.t);
+  check_i64 "abandon publishes nothing" 0L (Ckpt.generation b.t)
+
+(* ------------------------------------------------------------------ *)
+(* Fuzzy cut: commits landing mid-checkpoint are in the snapshot        *)
+
+let test_fuzzy_cut_consistent () =
+  let b = with_db () in
+  Ckpt.set_ram_target b.t ~server:b.ckpt_server;
+  commit_fill b "x" ~off:64 'a';
+  Ckpt.start b.t;
+  commit_fill b "x" ~off:1024 'm' (* lands after the slot pass begins *);
+  let done_ = Ckpt.step b.t ~budget:2048 in
+  check_bool "2 KiB budget cannot finish 8 KiB" false done_;
+  commit_fill b "y" ~off:1024 'n';
+  ignore (Ckpt.finalize b.t);
+  let committed = signature b.t in
+  ignore (Cluster.crash_node b.cluster 0 Cluster.Failure.Software_error);
+  let t2 =
+    P.recover_replicated ~config:(P.config b.t) ~checkpoint:(P.Ram_source b.ckpt_server)
+      ~cluster:b.cluster ~local:b.ckpt_node ~servers:b.servers ()
+  in
+  check
+    Alcotest.(list (pair string int64))
+    "restored image equals the committed one" committed (signature t2);
+  check Alcotest.(list (pair string int)) "mirrors clean" [] (P.verify_mirrors t2)
+
+let test_open_txn_scrubbed_out () =
+  let b = with_db () in
+  Ckpt.set_ram_target b.t ~server:b.ckpt_server;
+  commit_fill b "x" ~off:64 'a';
+  (* An uncommitted transaction is dirty in the local image while the
+     snapshot ships; its bytes must be scrubbed back to before-images. *)
+  let s = seg b "x" in
+  let txn = P.begin_transaction b.t in
+  P.set_range txn s ~off:2048 ~len:128;
+  P.write b.t s ~off:2048 (Bytes.make 128 '!');
+  ignore (Ckpt.take b.t);
+  P.abort txn;
+  let committed = signature b.t in
+  ignore (Cluster.crash_node b.cluster 0 Cluster.Failure.Software_error);
+  let t2 =
+    P.recover_replicated ~config:(P.config b.t) ~checkpoint:(P.Ram_source b.ckpt_server)
+      ~cluster:b.cluster ~local:b.ckpt_node ~servers:b.servers ()
+  in
+  check
+    Alcotest.(list (pair string int64))
+    "no uncommitted byte survived" committed (signature t2)
+
+(* ------------------------------------------------------------------ *)
+(* Torn slots fall back                                                *)
+
+let test_torn_slot_falls_back () =
+  let b = with_db () in
+  Ckpt.set_ram_target b.t ~server:b.ckpt_server;
+  commit_fill b "x" ~off:64 'a';
+  ignore (Ckpt.take b.t) (* generation 1: valid *);
+  commit_fill b "y" ~off:64 'b';
+  Ckpt.start b.t;
+  ignore (Ckpt.step b.t ~budget:1024) (* generation 2: torn — never finalized *);
+  let committed = signature b.t in
+  ignore (Cluster.crash_node b.cluster 0 Cluster.Failure.Software_error);
+  let t2 =
+    P.recover_replicated ~config:(P.config b.t) ~checkpoint:(P.Ram_source b.ckpt_server)
+      ~cluster:b.cluster ~local:b.ckpt_node ~servers:b.servers ()
+  in
+  check
+    Alcotest.(list (pair string int64))
+    "torn slot never trusted" committed (signature t2);
+  check Alcotest.(list (pair string int)) "mirrors clean" [] (P.verify_mirrors t2)
+
+(* ------------------------------------------------------------------ *)
+(* Target loss: typed error, engine keeps committing                    *)
+
+let test_target_lost () =
+  let b = with_db () in
+  Ckpt.set_ram_target b.t ~server:b.ckpt_server;
+  commit_fill b "x" ~off:64 'a';
+  ignore (Cluster.crash_node b.cluster b.ckpt_node Cluster.Failure.Hardware_error);
+  (match Ckpt.take b.t with
+  | _ -> Alcotest.fail "expected Target_lost"
+  | exception Ckpt.Target_lost _ -> ());
+  check_bool "target dropped" false (Ckpt.target_set b.t);
+  check_bool "nothing left in flight" false (Ckpt.in_flight b.t);
+  (* Checkpointing is an optimisation: commits must keep flowing. *)
+  commit_fill b "y" ~off:64 'b';
+  check Alcotest.(list (pair string int)) "mirrors clean" [] (P.verify_mirrors b.t);
+  (* A replacement target starts over from generation 0. *)
+  let fresh = Netram.Server.create (Cluster.node b.cluster b.spare) in
+  Ckpt.set_ram_target b.t ~server:fresh;
+  let _cut, _ = Ckpt.take b.t in
+  check_i64 "fresh target, fresh generations" 1L (Ckpt.generation b.t)
+
+(* ------------------------------------------------------------------ *)
+(* Bounded retired-epoch table (the independent satellite fix)          *)
+
+let test_retired_table_bounded () =
+  let config = { P.default_config with P.retired_limit = 2 } in
+  let b = with_db ~config ~k:5 () in
+  commit_fill b "x" ~off:64 'a';
+  (* Four distinct mirrors leave, one at a time: the old engine grew a
+     retired entry per departure forever; the cap must hold it at 2,
+     evicting the oldest epoch first. *)
+  let paused = [ 0; 1; 2; 3 ] in
+  List.iteri
+    (fun i idx ->
+      Netram.Server.pause (List.nth b.servers idx);
+      commit_fill b "x" ~off:(128 * (i + 2)) (Char.chr (Char.code 'b' + i));
+      check_bool
+        (Printf.sprintf "cap holds after loss %d" (i + 1))
+        true
+        (P.retired_count b.t <= 2))
+    paused;
+  check_int "exactly the cap survives" 2 (P.retired_count b.t);
+  (* The oldest retiree was evicted: its comeback is a full copy.  The
+     newest is still remembered: its comeback is incremental. *)
+  Netram.Server.resume (List.nth b.servers 0);
+  let r_old = P.recruit_mirror b.t ~server:(List.nth b.servers 0) in
+  check_bool "evicted retiree falls back to a full copy" true (r_old.P.mode = P.Full);
+  Netram.Server.resume (List.nth b.servers 3);
+  let r_new = P.recruit_mirror b.t ~server:(List.nth b.servers 3) in
+  check_bool "remembered retiree resyncs incrementally" true (r_new.P.mode = P.Incremental);
+  check Alcotest.(list (pair string int)) "mirrors clean" [] (P.verify_mirrors b.t)
+
+let test_retired_limit_validated () =
+  Alcotest.check_raises "retired_limit must be positive"
+    (Invalid_argument "Perseas.init: retired_limit must be >= 1") (fun () ->
+      ignore (with_db ~config:{ P.default_config with P.retired_limit = 0 } ()))
+
+(* ------------------------------------------------------------------ *)
+(* Post-truncation incremental recruit (Supervisor path)                *)
+
+let test_incremental_recruit_after_truncation () =
+  let b = with_db ~k:2 () in
+  Ckpt.set_ram_target b.t ~server:b.ckpt_server;
+  commit_fill b "x" ~off:64 'a';
+  (* Mirror 1 leaves mid-life... *)
+  Netram.Server.pause (List.nth b.servers 1);
+  commit_fill b "x" ~off:512 'b';
+  check_int "loss noticed" 1 (P.mirror_count b.t);
+  (* ...a checkpoint truncates the dirty-range log it will need... *)
+  ignore (Ckpt.take b.t);
+  commit_fill b "y" ~off:512 'c';
+  (* ...and its comeback must still be provably-safe incremental: the
+     truncated entries live on in the checkpoint summary. *)
+  Netram.Server.resume (List.nth b.servers 1);
+  let r = P.recruit_mirror b.t ~server:(List.nth b.servers 1) in
+  check_bool "incremental despite truncation" true (r.P.mode = P.Incremental);
+  check_bool "and cheaper than a full copy" true (r.P.bytes_copied < r.P.full_bytes);
+  check Alcotest.(list (pair string int)) "resynced mirror is clean" []
+    (P.verify_mirrors b.t)
+
+(* ------------------------------------------------------------------ *)
+(* Disk target                                                          *)
+
+let test_disk_checkpoint () =
+  let b = with_db () in
+  let device =
+    Device.create ~clock:b.clock
+      ~backend:(Device.Rio { Device.default_rio with Device.ups = true })
+      ~capacity:(1024 * 1024)
+  in
+  Ckpt.set_disk_target b.t ~device;
+  commit_fill b "x" ~off:64 'a';
+  commit_fill b "y" ~off:64 'b';
+  ignore (Ckpt.take b.t);
+  commit_fill b "x" ~off:1024 'c' (* x is newer than the cut, y is not *);
+  let committed = signature b.t in
+  ignore (Cluster.crash_node b.cluster 0 Cluster.Failure.Software_error);
+  let t2 =
+    P.recover_replicated ~config:(P.config b.t) ~checkpoint:(P.Disk_source device)
+      ~cluster:b.cluster ~local:b.spare ~servers:b.servers ()
+  in
+  check
+    Alcotest.(list (pair string int64))
+    "disk slot + mirror tail agree" committed (signature t2);
+  check Alcotest.(list (pair string int)) "mirrors clean" [] (P.verify_mirrors t2)
+
+let test_disk_too_small () =
+  let b = with_db () in
+  let device =
+    Device.create ~clock:b.clock
+      ~backend:(Device.Rio { Device.default_rio with Device.ups = true })
+      ~capacity:512
+  in
+  check_bool "rejects an undersized device" true
+    (match Ckpt.set_disk_target b.t ~device with
+    | () -> false
+    | exception Invalid_argument _ -> true)
+
+(* ------------------------------------------------------------------ *)
+(* Background checkpointer                                              *)
+
+let test_auto_checkpoints () =
+  let b = with_db () in
+  Ckpt.set_ram_target b.t ~server:b.ckpt_server;
+  let events = Events.create b.clock in
+  Ckpt.auto b.t ~events ~interval:(Time.us 50.) ~until:(Time.ms 10.) ~budget:4096;
+  for i = 0 to 39 do
+    commit_fill b "x" ~off:(64 * ((i mod 8) + 1)) (Char.chr (Char.code 'a' + (i mod 26)));
+    Clock.advance b.clock (Time.us 50.);
+    Events.run_due events
+  done;
+  let st = P.stats b.t in
+  check_bool "checkpoints published in the background" true (st.P.checkpoints_taken >= 1);
+  check_bool "and the log was truncated" true (st.P.log_truncated_bytes > 0);
+  check Alcotest.(list (pair string int)) "mirrors clean" [] (P.verify_mirrors b.t)
+
+(* ------------------------------------------------------------------ *)
+(* Churn integration: the supervisor heals across log truncations       *)
+
+let test_churn_with_checkpoints () =
+  (* Full snapshots every 4 ms of virtual time: frequent enough for
+     several truncations inside the 40 ms horizon, spaced enough that
+     shipping the whole database does not crowd out the workload. *)
+  let params =
+    { Harness.Churn.default_params with checkpoint_interval = Some (Time.ms 4.) }
+  in
+  let r = Harness.Churn.run ~params () in
+  Harness.Churn.check r (* zero committed-data loss, mirrors clean *);
+  let st = r.Harness.Churn.stats in
+  check_bool "checkpoints fired under churn" true (st.P.checkpoints_taken >= 1);
+  check_bool "and truncated the log" true (st.P.log_truncated_bytes > 0)
+
+(* ------------------------------------------------------------------ *)
+(* Parallel recovery cost model                                         *)
+
+let test_helpers_cut_recovery_time () =
+  let recovery ~helpers =
+    let b = with_db () in
+    commit_fill b "x" ~off:64 'a';
+    ignore (Cluster.crash_node b.cluster 0 Cluster.Failure.Software_error);
+    let t0 = Clock.now b.clock in
+    let t2 =
+      P.recover_replicated ~config:(P.config b.t) ~helpers ~cluster:b.cluster ~local:b.spare
+        ~servers:b.servers ()
+    in
+    (signature t2, Time.to_us (Clock.now b.clock - t0))
+  in
+  let sig1, solo = recovery ~helpers:[] in
+  let sig2, helped = recovery ~helpers:[ 1 ] in
+  check Alcotest.(list (pair string int64)) "helpers change time, not bytes" sig1 sig2;
+  check_bool "a helper stream shortens recovery" true (helped < solo)
+
+(* ------------------------------------------------------------------ *)
+(* QCheck differential oracle: checkpoint recovery vs plain replay      *)
+
+(* Deterministic pseudo-random stream (QCheck shrinks the seed, the
+   stream derives everything else). *)
+let lcg seed =
+  let s = ref ((abs seed * 2) + 1) in
+  fun n ->
+    s := ((!s * 1103515245) + 12345) land 0x3FFFFFFF;
+    !s mod n
+
+exception Crash
+
+(* One universe: build, run [ncommits] random transactions interleaved
+   with a checkpoint lifecycle, optionally crashing the primary just
+   before packet [k].  Returns the bed (crashed or not). *)
+let universe ~elision ~group ~seed ~crash_at () =
+  let config =
+    { P.default_config with P.redundancy_elision = elision; P.group_commit = group }
+  in
+  let b = with_db ~config () in
+  Ckpt.set_ram_target b.t ~server:b.ckpt_server;
+  let rand = lcg seed in
+  let sent = ref 0 in
+  let hook () =
+    (match crash_at with Some k when !sent >= k -> raise Crash | _ -> ());
+    incr sent
+  in
+  P.set_packet_hook b.t (Some hook);
+  let ck f = try f () with Ckpt.Target_lost _ -> () in
+  (try
+     for i = 0 to 5 do
+       let txn = P.begin_transaction b.t in
+       for _ = 0 to rand 3 do
+         let s = seg b (if rand 2 = 0 then "x" else "y") in
+         let off = 64 * rand 40 in
+         let len = 32 + rand 96 in
+         P.set_range txn s ~off ~len;
+         P.write b.t s ~off (Bytes.make len (Char.chr (33 + rand 90)))
+       done;
+       P.commit txn;
+       match i with
+       | 1 -> ck (fun () -> ignore (Ckpt.take b.t))
+       | 3 -> ck (fun () -> Ckpt.start b.t)
+       | 4 -> if Ckpt.in_flight b.t then ck (fun () -> ignore (Ckpt.step b.t ~budget:2048))
+       | 5 -> if Ckpt.in_flight b.t then ck (fun () -> ignore (Ckpt.finalize b.t))
+       | _ -> ()
+     done
+   with Crash -> ());
+  P.set_packet_hook b.t None;
+  (b, !sent)
+
+let prop_ckpt_recovery_differential =
+  QCheck.Test.make ~name:"checkpoint recovery == plain undo-replay recovery" ~count:12
+    QCheck.(pair (pair bool (int_range 1 3)) (pair small_nat small_nat))
+    (fun ((elision, group), (seed, kpick)) ->
+      (* Dry run measures the packet schedule; the two crashing
+         universes are byte-identical up to the same cut. *)
+      let _, total = universe ~elision ~group ~seed ~crash_at:None () in
+      let k = kpick mod (total + 1) in
+      let crashed () =
+        let b, _ = universe ~elision ~group ~seed ~crash_at:(Some k) () in
+        ignore (Cluster.crash_node b.cluster 0 Cluster.Failure.Software_error);
+        b
+      in
+      let a = crashed () in
+      let ta =
+        P.recover_replicated ~config:(P.config a.t) ~checkpoint:(P.Ram_source a.ckpt_server)
+          ~cluster:a.cluster ~local:a.ckpt_node ~servers:a.servers ()
+      in
+      let bb = crashed () in
+      let tb =
+        P.recover_replicated ~config:(P.config bb.t) ~cluster:bb.cluster ~local:bb.spare
+          ~servers:bb.servers ()
+      in
+      if signature ta <> signature tb then
+        QCheck.Test.fail_reportf
+          "images diverge at k=%d/%d (elision %b, group %d): checkpoint path != replay path" k
+          total elision group;
+      if P.epoch ta <> P.epoch tb then QCheck.Test.fail_report "epochs diverge";
+      if P.verify_mirrors ta <> [] then QCheck.Test.fail_report "checkpoint path: dirty mirrors";
+      if P.verify_mirrors tb <> [] then QCheck.Test.fail_report "replay path: dirty mirrors";
+      true)
+
+(* ------------------------------------------------------------------ *)
+(* Crash sweeps: every packet of an in-progress checkpoint              *)
+
+let sweep_ok victim =
+  let r = Crashpoint.sweep ~victim (Crashpoint.checkpoint_scenario ()) in
+  check_bool
+    (Printf.sprintf "%s: sweep covers every packet" (Crashpoint.victim_label victim))
+    true
+    (r.Crashpoint.total_packets > 0
+    && List.length r.Crashpoint.points = r.Crashpoint.total_packets + 1);
+  check_bool
+    (Printf.sprintf "%s: no mirror mismatches" (Crashpoint.victim_label victim))
+    true
+    (List.for_all (fun p -> p.Crashpoint.mismatches = 0) r.Crashpoint.points)
+
+let test_sweep_primary () = sweep_ok Crashpoint.Primary
+let test_sweep_mirror () = sweep_ok (Crashpoint.Mirror 0)
+let test_sweep_ckpt_target () = sweep_ok Crashpoint.Ckpt_target
+
+let suite =
+  [
+    ("take truncates undo, dirty and hwm", `Quick, test_take_truncates);
+    ("lifecycle guards", `Quick, test_lifecycle_guards);
+    ("fuzzy cut is consistent", `Quick, test_fuzzy_cut_consistent);
+    ("open transaction scrubbed out of the snapshot", `Quick, test_open_txn_scrubbed_out);
+    ("torn slot falls back to the previous generation", `Quick, test_torn_slot_falls_back);
+    ("target loss is survivable and typed", `Quick, test_target_lost);
+    ("retired-epoch table is bounded", `Quick, test_retired_table_bounded);
+    ("retired_limit is validated", `Quick, test_retired_limit_validated);
+    ("incremental recruit survives truncation", `Quick, test_incremental_recruit_after_truncation);
+    ("disk checkpoint restores", `Quick, test_disk_checkpoint);
+    ("undersized disk target rejected", `Quick, test_disk_too_small);
+    ("background checkpointer", `Quick, test_auto_checkpoints);
+    ("churn heals across truncations", `Slow, test_churn_with_checkpoints);
+    ("helper nodes shorten recovery", `Quick, test_helpers_cut_recovery_time);
+    ("crash sweep: primary victim", `Slow, test_sweep_primary);
+    ("crash sweep: mirror victim", `Slow, test_sweep_mirror);
+    ("crash sweep: checkpoint-target victim", `Slow, test_sweep_ckpt_target);
+    QCheck_alcotest.to_alcotest prop_ckpt_recovery_differential;
+  ]

@@ -13,6 +13,7 @@ let () =
       ("replication", Test_replication.suite);
       ("churn", Test_churn.suite);
       ("crashpoint", Test_crashpoint.suite);
+      ("checkpoint", Test_checkpoint.suite);
       ("iset", Test_iset.suite);
       ("concurrency", Test_concurrency.suite);
       ("elision", Test_elision.suite);
