@@ -8,7 +8,7 @@
      dune exec bench/main.exe -- --latency    # BENCH_latency.json only
      dune exec bench/main.exe -- --bechamel   # wall-clock micro-benches
      dune exec bench/main.exe -- --all        # engine x workload matrix -> BENCH_summary.json
-     dune exec bench/main.exe -- compare --against BENCH_summary.json [--tolerance PCT]
+     dune exec bench/main.exe -- compare --against BENCH_summary.json [--tolerance PCT] [--p99-tolerance PCT]
                                               # re-measure the matrix, exit 1 on regression *)
 
 let list_experiments () =
@@ -66,7 +66,7 @@ let bench_all ?(path = "BENCH_summary.json") () =
 
 (* Measure the matrix fresh and judge it against a committed baseline;
    exits 1 on any gate failure so CI can block the merge. *)
-let bench_compare ~against ~tolerance_pct =
+let bench_compare ~against ~tolerance_pct ~p99_tolerance_pct =
   let baseline =
     try Harness.Bench_summary.load against
     with e ->
@@ -74,24 +74,34 @@ let bench_compare ~against ~tolerance_pct =
       exit 2
   in
   let verdicts, failed =
-    Harness.Bench_summary.compare_to_baseline ~tolerance_pct ~baseline
+    Harness.Bench_summary.compare_to_baseline ~tolerance_pct ~p99_tolerance_pct ~baseline
       (Harness.Bench_summary.collect ())
   in
   Harness.Bench_summary.print_verdicts ~tolerance_pct verdicts;
   if failed then begin
-    Printf.eprintf "bench gate FAILED: debit-credit tps regressed more than %.0f%%\n" tolerance_pct;
+    Printf.eprintf
+      "bench gate FAILED: debit-credit tps regressed more than %.0f%% or p99 grew more than %.0f%%\n"
+      tolerance_pct p99_tolerance_pct;
     exit 1
   end
-  else Printf.printf "bench gate passed (tolerance %.0f%%)\n" tolerance_pct
+  else
+    Printf.printf "bench gate passed (tps tolerance %.0f%%, p99 tolerance %.0f%%)\n" tolerance_pct
+      p99_tolerance_pct
 
-let rec parse_compare_args against tolerance = function
-  | [] -> (against, tolerance)
-  | "--against" :: path :: rest -> parse_compare_args (Some path) tolerance rest
+let rec parse_compare_args against tolerance p99_tolerance = function
+  | [] -> (against, tolerance, p99_tolerance)
+  | "--against" :: path :: rest -> parse_compare_args (Some path) tolerance p99_tolerance rest
   | "--tolerance" :: pct :: rest -> (
       match float_of_string_opt pct with
-      | Some p when p >= 0.0 -> parse_compare_args against (Some p) rest
+      | Some p when p >= 0.0 -> parse_compare_args against (Some p) p99_tolerance rest
       | _ ->
           Printf.eprintf "compare: bad --tolerance %S\n" pct;
+          exit 2)
+  | "--p99-tolerance" :: pct :: rest -> (
+      match float_of_string_opt pct with
+      | Some p when p >= 0.0 -> parse_compare_args against tolerance (Some p) rest
+      | _ ->
+          Printf.eprintf "compare: bad --p99-tolerance %S\n" pct;
           exit 2)
   | arg :: _ ->
       Printf.eprintf "compare: unknown argument %S\n" arg;
@@ -109,9 +119,11 @@ let () =
   | [ "--bechamel" ] -> Bechamel_suite.run ()
   | [ "--all" ] -> bench_all ()
   | "compare" :: rest ->
-      let against, tolerance = parse_compare_args None None rest in
+      let against, tolerance, p99_tolerance = parse_compare_args None None None rest in
       let against = Option.value against ~default:"BENCH_summary.json" in
-      bench_compare ~against ~tolerance_pct:(Option.value tolerance ~default:10.0)
+      bench_compare ~against
+        ~tolerance_pct:(Option.value tolerance ~default:10.0)
+        ~p99_tolerance_pct:(Option.value p99_tolerance ~default:20.0)
   | names ->
       List.iter
         (fun name ->

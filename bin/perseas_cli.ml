@@ -650,6 +650,86 @@ let timeline_cmd =
   Cmd.v (Cmd.info "timeline" ~doc) Term.(ret (const run $ verbose $ mix_arg))
 
 (* ------------------------------------------------------------------ *)
+(* postmortem: flight recorder + protocol monitor, dumped on demand    *)
+
+let postmortem_cmd =
+  let out_arg =
+    Arg.(
+      value
+      & opt string (Filename.concat "results" (Filename.concat "postmortem" "cli"))
+      & info [ "o"; "out" ] ~doc:"Bundle output directory.")
+  in
+  let pm_txns =
+    Arg.(value & opt int 200 & info [ "n"; "txns" ] ~doc:"Transactions to record before the dump.")
+  in
+  let inject_arg =
+    Arg.(
+      value
+      & flag
+      & info [ "inject" ]
+          ~doc:
+            "Replay an undo packet for an already-committed transaction into the monitor — a \
+             protocol violation the engine never commits, demonstrating the typed alert and the \
+             offending transaction's causal timeline in the bundle.")
+  in
+  let run verbose mirrors txns inject out =
+    setup_logs verbose;
+    if txns <= 0 then `Error (false, "txns must be positive")
+    else if mirrors < 1 then `Error (false, "mirrors must be positive")
+    else begin
+      let f = Harness.Forensics.create () in
+      let bed = Harness.Testbed.replicated_bed ~mirrors () in
+      let t = bed.perseas in
+      Harness.Forensics.attach f t;
+      let module W = Workloads.Debit_credit.Make (Perseas.Engine) in
+      let rng = Sim.Rng.create 7 in
+      let db = W.setup t ~params:Workloads.Debit_credit.small_params in
+      for _ = 1 to txns do
+        W.transaction db rng
+      done;
+      let offending = "2" in
+      let cause =
+        if inject then begin
+          Trace.Monitor.event (Harness.Forensics.monitor f)
+            {
+              Trace.Event.name = "pkt.full64";
+              cat = "sci";
+              at = Sim.Clock.now bed.clock;
+              args = [ ("op", "remote_undo"); ("node", "1"); ("txn", offending) ];
+            };
+          "seeded violation: undo replayed for committed txn " ^ offending
+        end
+        else "manual post-mortem dump"
+      in
+      let dir = Harness.Forensics.dump f ~dir:out ~cause ~stats:(Perseas.stats t) () in
+      Printf.printf "recorded %d txns on %d mirror(s); %d monitor alert(s)\n" txns mirrors
+        (Harness.Forensics.alert_count f);
+      List.iter
+        (fun a -> Format.printf "  %a@." Trace.Monitor.pp_alert a)
+        (Harness.Forensics.alerts f);
+      let timelines = Harness.Forensics.timelines f in
+      (match Trace.Causal.find timelines ~txn:offending with
+      | Some tl when inject ->
+          print_endline "causal timeline of the offending transaction:";
+          print_string (Trace.Causal.render tl)
+      | _ ->
+          Printf.printf "%d transaction timeline(s) in the ring; full set in %s\n"
+            (List.length timelines)
+            (Filename.concat dir "causal.txt"));
+      Printf.printf "bundle: %s (header.json, trace.json, causal.txt, stats.json)\n" dir;
+      if inject && Harness.Forensics.alert_count f = 0 then
+        `Error (false, "injected violation produced no monitor alert")
+      else `Ok ()
+    end
+  in
+  let doc =
+    "Run a replicated workload with the flight recorder and protocol monitor attached, then \
+     dump the post-mortem bundle (Perfetto trace, causal cross-node timelines, engine stats)."
+  in
+  Cmd.v (Cmd.info "postmortem" ~doc)
+    Term.(ret (const run $ verbose $ mirrors_arg $ pm_txns $ inject_arg $ out_arg))
+
+(* ------------------------------------------------------------------ *)
 
 let main =
   let doc = "PERSEAS: lightweight transactions on networks of workstations (ICDCS 1998)" in
@@ -667,6 +747,7 @@ let main =
       churn_cmd;
       top_cmd;
       timeline_cmd;
+      postmortem_cmd;
     ]
 
 let () = exit (Cmd.eval main)

@@ -136,6 +136,10 @@ type t = {
   mutable next_txn_id : int;
   mutable undo_tail : int; (* shared undo log tail, all transactions *)
   mutable flushing : bool; (* a group flush is propagating right now *)
+  mutable convoy_seq : int;
+      (* Serial number for group-commit convoys, carried as a causal
+         tag on their packets.  Trace metadata only: never read by the
+         protocol, so on/off runs stay byte-identical. *)
   mutable hook : (unit -> unit) option;
   mutable sink : Trace.Sink.t;
       (* Pure observer: span emission reads the clock but never
@@ -252,6 +256,23 @@ let traced t ?(cat = "txn") ?args ~name f =
     | exception e ->
         Trace.Sink.span ?args t.sink ~cat ~name ~start ~stop:(Clock.now (clock t));
         raise e
+  end
+
+(* Bracket [f] with causal-context tags on the cluster NIC: every
+   packet instant emitted inside [f] then carries the operation /
+   transaction / convoy / destination-node identity, which is what
+   {!Trace.Causal} stitches cross-node timelines from and what
+   {!Trace.Monitor} checks protocol ordering against.  The tag list is
+   built lazily and only while the sink is live, so with tracing off
+   this is the usual single branch; the tags are trace metadata the
+   transfer machinery never reads, preserving byte-identity. *)
+let with_ctx t args f =
+  if not (Trace.Sink.enabled t.sink) then f ()
+  else begin
+    let nic = Cluster.nic t.cluster in
+    let saved = Sci.Nic.ctx nic in
+    Sci.Nic.set_ctx nic (args ());
+    Fun.protect ~finally:(fun () -> Sci.Nic.set_ctx nic saved) f
   end
 
 let alloc_local t ?(align = 64) size what =
@@ -372,6 +393,12 @@ let retired_count t = Hashtbl.length t.retired
 let drop_mirror t m msg =
   retire_mirror t m;
   t.st_mirrors_lost <- t.st_mirrors_lost + 1;
+  (* Tell the stream a transfer to this node may have been cut short:
+     the protocol monitor uses this to close the node's open commit
+     unit instead of flagging the interruption as a violation. *)
+  if Trace.Sink.enabled t.sink then
+    Trace.Sink.instant t.sink ~cat:"mirror" ~name:"dropped" ~at:(Clock.now (clock t))
+      ~args:[ ("node", string_of_int (mirror_node_id m)) ];
   Log.warn (fun k ->
       k "mirror on node %d lost (%s); continuing degraded with %d mirror(s)" (mirror_node_id m)
         msg (mirror_count t))
@@ -436,6 +463,7 @@ let init_replicated ?(config = default_config) clients =
       next_txn_id = 1;
       undo_tail = 0;
       flushing = false;
+      convoy_seq = 0;
       hook = None;
       sink = Trace.Sink.noop;
       tel = Trace.Timeseries.noop;
@@ -541,7 +569,10 @@ let push_meta_to t m =
 
 let push_meta t =
   write_meta_staging t;
-  each_live_mirror t (fun _ m -> push_meta_to t m)
+  each_live_mirror t (fun _ m ->
+      with_ctx t
+        (fun () -> [ ("op", "push_meta"); ("node", string_of_int (mirror_node_id m)) ])
+        (fun () -> push_meta_to t m))
 
 let push_segment_to t m seg handle =
   run_plan t
@@ -782,9 +813,19 @@ let log_undo_record txn seg ~off ~len =
     guard_mirror_loss txn (fun () ->
         each_live_mirror t (fun i m ->
             traced t ~name:"remote_undo" ~args:[ ("mirror", string_of_int i) ] (fun () ->
-                run_plan t
-                  (Client.plan_write m.m_client ~widen:t.config.optimized_memcpy m.m_undo
-                     ~seg_off:slot ~src_off:(Mem.Segment.base t.undo_local + slot) ~len:record_len))));
+                with_ctx t
+                  (fun () ->
+                    [
+                      ("op", "remote_undo");
+                      ("txn", string_of_int txn.t_id);
+                      ("mirror", string_of_int i);
+                      ("node", string_of_int (mirror_node_id m));
+                    ])
+                  (fun () ->
+                    run_plan t
+                      (Client.plan_write m.m_client ~widen:t.config.optimized_memcpy m.m_undo
+                         ~seg_off:slot ~src_off:(Mem.Segment.base t.undo_local + slot)
+                         ~len:record_len)))));
   txn.ranges <-
     { r_seg = seg; r_off = off; r_len = len; staging_off = slot + Layout.undo_header_size; r_tag = t.epoch }
     :: txn.ranges;
@@ -1010,15 +1051,29 @@ let flush t =
     let runs = batch_data_runs t batch in
     let metasegs = if tracking t then batch_touched t batch else [] in
     if metasegs <> [] then stage_seg_epochs t (Int64.add t.epoch 1L) metasegs;
-    let args = [ ("txns", string_of_int n) ] in
+    t.convoy_seq <- t.convoy_seq + 1;
+    let convoy_key = "c" ^ string_of_int t.convoy_seq in
+    let batch_ids = String.concat "+" (List.map (fun x -> string_of_int x.t_id) batch) in
+    let args = [ ("txns", string_of_int n); ("batch", batch_ids) ] in
     (try
        with_staged_epoch t (Int64.add t.epoch 1L) (fun () ->
            each_live_mirror t (fun i m ->
                traced t ~name:"flush_convoy" ~args:(("mirror", string_of_int i) :: args)
                  (fun () ->
-                   run_plan t
-                     (Client.plan_convoy m.m_client
-                        (flush_convoy_chunks t ~undo_chunks ~runs ~metasegs i m)))))
+                   with_ctx t
+                     (fun () ->
+                       [
+                         ("op", "flush_convoy");
+                         ("batch", batch_ids);
+                         ("convoy", convoy_key);
+                         ("mirror", string_of_int i);
+                         ("node", string_of_int (mirror_node_id m));
+                         ("epoch", Int64.to_string (Int64.add t.epoch 1L));
+                       ])
+                     (fun () ->
+                       run_plan t
+                         (Client.plan_convoy m.m_client
+                            (flush_convoy_chunks t ~undo_chunks ~runs ~metasegs i m))))))
      with All_mirrors_lost ->
        (* No fence landed anywhere: the batch is not durable.  Roll
           every staged transaction back locally; byte overlap between
@@ -1151,14 +1206,23 @@ let repush_stale txn =
     guard_mirror_loss txn (fun () ->
         each_live_mirror t (fun i m ->
             traced t ~name:"remote_undo" ~args:[ ("mirror", string_of_int i) ] (fun () ->
-                List.iter
-                  (fun r ->
-                    let slot = r.staging_off - Layout.undo_header_size in
-                    run_plan t
-                      (Client.plan_write m.m_client ~widen:t.config.optimized_memcpy m.m_undo
-                         ~seg_off:slot ~src_off:(Mem.Segment.base t.undo_local + slot)
-                         ~len:(Layout.undo_header_size + r.r_len)))
-                  stale)))
+                with_ctx t
+                  (fun () ->
+                    [
+                      ("op", "remote_undo");
+                      ("txn", string_of_int txn.t_id);
+                      ("mirror", string_of_int i);
+                      ("node", string_of_int (mirror_node_id m));
+                    ])
+                  (fun () ->
+                    List.iter
+                      (fun r ->
+                        let slot = r.staging_off - Layout.undo_header_size in
+                        run_plan t
+                          (Client.plan_write m.m_client ~widen:t.config.optimized_memcpy m.m_undo
+                             ~seg_off:slot ~src_off:(Mem.Segment.base t.undo_local + slot)
+                             ~len:(Layout.undo_header_size + r.r_len)))
+                      stale))))
   end
 
 let commit txn =
@@ -1177,22 +1241,39 @@ let commit txn =
        bump the epoch everywhere — the per-mirror single-packet commit
        point. *)
     let runs = commit_runs txn in
+    (* Causal tags for the commit unit: the eager propagate / segmeta /
+       fence burst to one node is one "convoy" (key [t<id>]) as far as
+       the ordering invariants go. *)
+    let unit_ctx op ?epoch i m () =
+      [
+        ("op", op);
+        ("txn", string_of_int txn.t_id);
+        ("convoy", "t" ^ string_of_int txn.t_id);
+        ("mirror", string_of_int i);
+        ("node", string_of_int (mirror_node_id m));
+      ]
+      @ match epoch with Some e -> [ ("epoch", Int64.to_string e) ] | None -> []
+    in
     repush_stale txn;
     guard_mirror_loss txn (fun () ->
         each_live_mirror t (fun i m ->
             traced t ~name:"commit_propagate" ~args:[ ("mirror", string_of_int i) ] (fun () ->
-                List.iter (run_plan t) (plans_for t runs i m)));
+                with_ctx t (unit_ctx "commit_propagate" i m) (fun () ->
+                    List.iter (run_plan t) (plans_for t runs i m))));
         (if tracking t then begin
            let segs = touched_segs t txn.wset in
            stage_seg_epochs t (Int64.add t.epoch 1L) segs;
            each_live_mirror t (fun i m ->
                traced t ~name:"commit_segmeta" ~args:[ ("mirror", string_of_int i) ] (fun () ->
-                   List.iter (fun seg -> run_plan t (plan_seg_epoch_write t m seg)) segs))
+                   with_ctx t (unit_ctx "commit_segmeta" i m) (fun () ->
+                       List.iter (fun seg -> run_plan t (plan_seg_epoch_write t m seg)) segs)))
          end);
         with_staged_epoch t (Int64.add t.epoch 1L) (fun () ->
             each_live_mirror t (fun i m ->
                 traced t ~name:"commit_fence" ~args:[ ("mirror", string_of_int i) ] (fun () ->
-                    run_plan t (plan_epoch_write t m)))));
+                    with_ctx t
+                      (unit_ctx "commit_fence" ~epoch:(Int64.add t.epoch 1L) i m)
+                      (fun () -> run_plan t (plan_epoch_write t m))))));
     t.epoch <- Int64.add t.epoch 1L;
     note_dirty t ~tag:t.epoch (dirty_runs txn);
     t.st_committed <- t.st_committed + 1;
@@ -1604,6 +1685,7 @@ let do_attach ~op ~allow_incremental t ~server =
   in
   try
     traced t ~cat:"mirror" ~name:"resync" ~args:[ ("node", string_of_int node_id) ] @@ fun () ->
+    with_ctx t (fun () -> [ ("op", "resync"); ("node", string_of_int node_id) ]) @@ fun () ->
     let report =
       match incremental with
       | Some (s, (meta, undo, handles)) ->
@@ -1786,12 +1868,17 @@ module Checkpoint = struct
   (* Ship [len] bytes of local DRAM at [src_off] into slot [slot] at
      [off].  RAM targets stream SCI packets through the fault-injection
      hook; disk targets write 64 KiB chunks, hooked per chunk. *)
+  let ram_target_node client = Node.id (Netram.Server.node (Client.server client))
+
   let slot_write t tg ~slot ~off ~src_off ~len =
     match tg with
     | Ram_target r ->
-        run_plan t
-          (Client.plan_write r.c_client ~widen:t.config.optimized_memcpy r.c_slots.(slot)
-             ~seg_off:off ~src_off ~len)
+        with_ctx t
+          (fun () -> [ ("op", "ckpt_ship"); ("node", string_of_int (ram_target_node r.c_client)) ])
+          (fun () ->
+            run_plan t
+              (Client.plan_write r.c_client ~widen:t.config.optimized_memcpy r.c_slots.(slot)
+                 ~seg_off:off ~src_off ~len))
     | Disk_target device ->
         let _, slot_size = seg_offsets t in
         let image = local_dram t in
@@ -1814,9 +1901,12 @@ module Checkpoint = struct
         let image = local_dram t in
         let base = Mem.Segment.base r.c_scratch in
         Mem.Image.write_u64 image base 0L;
-        run_plan t
-          (Client.plan_write r.c_client ~widen:false r.c_slots.(slot) ~seg_off:0 ~src_off:base
-             ~len:8)
+        with_ctx t
+          (fun () -> [ ("op", "ckpt_ship"); ("node", string_of_int (ram_target_node r.c_client)) ])
+          (fun () ->
+            run_plan t
+              (Client.plan_write r.c_client ~widen:false r.c_slots.(slot) ~seg_off:0 ~src_off:base
+                 ~len:8))
     | Disk_target device ->
         let _, slot_size = seg_offsets t in
         disk_write t device ~off:(disk_slot_base ~slot_size slot) (Bytes.make 8 '\000')
@@ -1840,6 +1930,9 @@ module Checkpoint = struct
         let base = Mem.Segment.base r.c_scratch in
         Mem.Image.write_bytes image ~off:base b;
         charge_local_copy t msize;
+        with_ctx t
+          (fun () -> [ ("op", "ckpt_publish"); ("node", string_of_int (ram_target_node r.c_client)) ])
+        @@ fun () ->
         run_plan t
           (Client.plan_write r.c_client ~widen:t.config.optimized_memcpy r.c_slots.(p.p_slot)
              ~seg_off:8 ~src_off:(base + 8) ~len:(msize - 8));
@@ -1933,6 +2026,9 @@ module Checkpoint = struct
        group-commit queue so every staged transaction is either fully
        before this checkpoint or arrives as ordinary post-start dirt. *)
     flush t;
+    if Trace.Sink.enabled t.sink then
+      Trace.Sink.instant t.sink ~cat:"ckpt" ~name:"cut" ~at:(Clock.now (clock t))
+        ~args:[ ("phase", "start") ];
     with_target t @@ fun () ->
     let gen = Int64.add t.ckpt_gen 1L in
     let slot = Int64.to_int (Int64.rem gen 2L) in
@@ -1977,6 +2073,9 @@ module Checkpoint = struct
     let p = require_inflight t "finalize" in
     if t.flushing then failwith "Perseas.Checkpoint.finalize: commit propagation in flight";
     flush t;
+    if Trace.Sink.enabled t.sink then
+      Trace.Sink.instant t.sink ~cat:"ckpt" ~name:"cut" ~at:(Clock.now (clock t))
+        ~args:[ ("phase", "finalize") ];
     let cut, truncated =
       with_target t @@ fun () ->
       ignore (ship t tg p ~budget:max_int);
@@ -2299,6 +2398,7 @@ let recover_replicated ?(config = default_config) ?(sink = Trace.Sink.noop) ?on_
       next_txn_id = 1;
       undo_tail = 0;
       flushing = false;
+      convoy_seq = 0;
       hook = None;
       sink;
       tel = Trace.Timeseries.noop;

@@ -264,11 +264,14 @@ type verdict = {
   delta_pct : float option;  (* negative = regression *)
   baseline_pkts : float option;
   pkts_delta_pct : float option;  (* positive = more packets *)
-  gated : bool;  (* part of the hard gate (debit-credit tps + pkts) *)
+  baseline_p99 : float option;
+  p99_delta_pct : float option;  (* positive = slower tail *)
+  gated : bool;  (* part of the hard gate (debit-credit tps + pkts + p99) *)
   failed : bool;
 }
 
-let compare_to_baseline ?(tolerance_pct = 10.0) ?(pkts_tolerance_pct = 2.0) ~baseline current =
+let compare_to_baseline ?(tolerance_pct = 10.0) ?(pkts_tolerance_pct = 2.0)
+    ?(p99_tolerance_pct = 20.0) ~baseline current =
   let find e =
     List.find_opt
       (fun b -> b.engine = e.engine && b.workload = e.workload && b.mirrors = e.mirrors)
@@ -286,6 +289,8 @@ let compare_to_baseline ?(tolerance_pct = 10.0) ?(pkts_tolerance_pct = 2.0) ~bas
               delta_pct = None;
               baseline_pkts = None;
               pkts_delta_pct = None;
+              baseline_p99 = None;
+              p99_delta_pct = None;
               gated;
               failed = false;
             }
@@ -299,17 +304,27 @@ let compare_to_baseline ?(tolerance_pct = 10.0) ?(pkts_tolerance_pct = 2.0) ~bas
               | Some cur, Some base when base > 0.0 -> Some (100.0 *. (cur -. base) /. base)
               | _ -> None
             in
+            (* Tail-latency gate: a tps-neutral change can still push
+               the p99 out (a longer worst-case convoy, a new stall in
+               one phase), so the debit-credit tail is held to its own
+               tolerance. *)
+            let p99_delta =
+              if b.p99_us > 0.0 then Some (100.0 *. (e.p99_us -. b.p99_us) /. b.p99_us) else None
+            in
             {
               entry = e;
               baseline_tps = Some b.tps;
               delta_pct = Some delta;
               baseline_pkts = b.pkts_per_txn;
               pkts_delta_pct = pkts_delta;
+              baseline_p99 = Some b.p99_us;
+              p99_delta_pct = p99_delta;
               gated;
               failed =
                 gated
                 && (delta < -.tolerance_pct
-                   || match pkts_delta with Some d -> d > pkts_tolerance_pct | None -> false);
+                   || (match pkts_delta with Some d -> d > pkts_tolerance_pct | None -> false)
+                   || match p99_delta with Some d -> d > p99_tolerance_pct | None -> false);
             })
       current
   in
@@ -336,6 +351,8 @@ let compare_to_baseline ?(tolerance_pct = 10.0) ?(pkts_tolerance_pct = 2.0) ~bas
             delta_pct = None;
             baseline_pkts = b.pkts_per_txn;
             pkts_delta_pct = None;
+            baseline_p99 = Some b.p99_us;
+            p99_delta_pct = None;
             gated = true;
             failed = true;
           })
@@ -345,7 +362,8 @@ let compare_to_baseline ?(tolerance_pct = 10.0) ?(pkts_tolerance_pct = 2.0) ~bas
 
 let print_verdicts ~tolerance_pct verdicts =
   let header =
-    [ "engine"; "workload"; "mirrors"; "baseline tps"; "tps"; "delta"; "pkts/txn"; "pkts delta"; "gate" ]
+    [ "engine"; "workload"; "mirrors"; "baseline tps"; "tps"; "delta"; "pkts/txn"; "pkts delta";
+      "p99 (us)"; "p99 delta"; "gate" ]
   in
   let fmt_pkts = function Some p -> Printf.sprintf "%.2f" p | None -> "-" in
   let rows =
@@ -361,6 +379,8 @@ let print_verdicts ~tolerance_pct verdicts =
           (match v.delta_pct with Some d -> Printf.sprintf "%+.1f%%" d | None -> "-");
           fmt_pkts v.entry.pkts_per_txn;
           (match v.pkts_delta_pct with Some d -> Printf.sprintf "%+.1f%%" d | None -> "-");
+          Table.fmt_us v.entry.p99_us;
+          (match v.p99_delta_pct with Some d -> Printf.sprintf "%+.1f%%" d | None -> "-");
           (if v.failed then "FAIL" else if v.gated then "ok" else "info");
         ])
       verdicts
@@ -368,7 +388,7 @@ let print_verdicts ~tolerance_pct verdicts =
   Table.print
     ~title:
       (Printf.sprintf
-         "Bench gate: debit-credit tps within %.0f%% of baseline, packets/txn not up (other \
-          cells informational)"
+         "Bench gate: debit-credit tps within %.0f%% of baseline, packets/txn not up, p99 not \
+          blown (other cells informational)"
          tolerance_pct)
     ~header rows

@@ -51,6 +51,10 @@ type verdict = {
   pkts_delta_pct : float option;
       (** packets/txn change vs baseline; positive = more packets.
           [None] when either side lacks the column. *)
+  baseline_p99 : float option;
+  p99_delta_pct : float option;
+      (** p99 latency change vs baseline; positive = slower tail.
+          [None] when the baseline p99 is zero or the cell is new. *)
   gated : bool;  (** counted by the hard gate (debit-credit cells) *)
   failed : bool;
 }
@@ -58,16 +62,19 @@ type verdict = {
 val compare_to_baseline :
   ?tolerance_pct:float ->
   ?pkts_tolerance_pct:float ->
+  ?p99_tolerance_pct:float ->
   baseline:entry list ->
   entry list ->
   verdict list * bool
 (** Judge a fresh matrix against a baseline: a debit-credit cell more
     than [tolerance_pct] (default 10) slower fails, as does one whose
     packets/txn grew by more than [pkts_tolerance_pct] (default 2;
-    only when both sides carry the column), as does a debit-credit
-    baseline cell missing from the fresh matrix.  Other cells are
-    informational.  Returns the per-cell verdicts and whether anything
-    failed. *)
+    only when both sides carry the column), as does one whose p99
+    latency grew by more than [p99_tolerance_pct] (default 20 — the
+    tail is noisier than the mean, so it gets more headroom but is
+    still gated), as does a debit-credit baseline cell missing from
+    the fresh matrix.  Other cells are informational.  Returns the
+    per-cell verdicts and whether anything failed. *)
 
 val print_verdicts : tolerance_pct:float -> verdict list -> unit
 (** Aligned verdict table on stdout. *)

@@ -78,7 +78,16 @@ exception Oracle_violation of string
 
 let kind_label = function Pause -> "pause" | Crash -> "crash"
 
-let run ?(params = default_params) ?telemetry () =
+let check r =
+  let fail fmt = Printf.ksprintf (fun m -> raise (Oracle_violation m)) fmt in
+  if not r.factor_restored then fail "replication factor not restored at quiesce";
+  if not r.consistent_under_churn then fail "TPC-B invariant broken under churn";
+  if not r.verify_clean then fail "verify_mirrors found divergent mirrors at quiesce";
+  if not r.committed_data_preserved then
+    fail "committed data lost: the image recovered after killing the primary differs";
+  if not r.recovered_consistent then fail "recovered database violates the TPC-B invariant"
+
+let run ?(params = default_params) ?telemetry ?postmortem () =
   if params.mirrors < 1 then invalid_arg "Churn.run: at least one mirror";
   if params.spares < 1 then invalid_arg "Churn.run: at least one spare";
   let clock = Clock.create () in
@@ -110,6 +119,12 @@ let run ?(params = default_params) ?telemetry () =
         Netram.Client.create ~cluster ~local:0 ~server:(Hashtbl.find servers (i + 1)))
   in
   let t = P.init_replicated clients in
+  (* The flight recorder watches the whole run — workload, failures,
+     repairs, the final recovery — through one bounded ring + monitor.
+     A pure observer: postmortem-on runs are byte-identical to
+     postmortem-off ones. *)
+  let forensics = Option.map (fun dir -> (Forensics.create (), dir)) postmortem in
+  Option.iter (fun (f, _) -> Forensics.attach f t) forensics;
   let db = W.setup t ~params:Workloads.Debit_credit.small_params in
   let ckpt_server =
     Option.map
@@ -302,6 +317,7 @@ let run ?(params = default_params) ?telemetry () =
   let candidate_servers = List.init pool (fun i -> Hashtbl.find servers (i + 1)) in
   let t2 =
     P.recover_replicated ~config:(P.config t)
+      ?sink:(Option.map (fun (f, _) -> Forensics.sink f) forensics)
       ?checkpoint:(Option.map (fun s -> P.Ram_source s) ckpt_server)
       ~cluster ~local:observer ~servers:candidate_servers ()
   in
@@ -368,6 +384,7 @@ let run ?(params = default_params) ?telemetry () =
   let incremental = List.filter (fun r -> r.P.mode = P.Incremental) recruits in
   let fulls = List.filter (fun r -> r.P.mode = P.Full) recruits in
   let sum_bytes = List.fold_left (fun a (r : P.resync_report) -> a + r.bytes_copied) 0 in
+  let report =
   {
     committed = !committed;
     outage_retries = !outage_retries;
@@ -390,15 +407,27 @@ let run ?(params = default_params) ?telemetry () =
     recovered_consistent;
     supervisor_events = sup_events;
   }
-
-let check r =
-  let fail fmt = Printf.ksprintf (fun m -> raise (Oracle_violation m)) fmt in
-  if not r.factor_restored then fail "replication factor not restored at quiesce";
-  if not r.consistent_under_churn then fail "TPC-B invariant broken under churn";
-  if not r.verify_clean then fail "verify_mirrors found divergent mirrors at quiesce";
-  if not r.committed_data_preserved then
-    fail "committed data lost: the image recovered after killing the primary differs";
-  if not r.recovered_consistent then fail "recovered database violates the TPC-B invariant"
+  in
+  (match forensics with
+  | None -> ()
+  | Some (f, dir) ->
+      let dump cause = ignore (Forensics.dump f ~dir ~cause ~stats ()) in
+      (match Forensics.alerts f with
+      | a :: _ ->
+          let msg =
+            Printf.sprintf "protocol monitor alert under churn: %s"
+              (Format.asprintf "%a" Trace.Monitor.pp_alert a)
+          in
+          dump msg;
+          raise (Oracle_violation msg)
+      | [] -> ());
+      (* A failed oracle leaves its evidence behind before re-raising;
+         [check] stays idempotent for callers that run it again. *)
+      (try check report
+       with Oracle_violation msg as e ->
+         dump msg;
+         raise e));
+  report
 
 (* ------------------------------------------------------------------ *)
 (* CSV                                                                 *)

@@ -72,12 +72,20 @@ type report = {
 
 exception Oracle_violation of string
 
-val run : ?params:params -> ?telemetry:Trace.Timeseries.t * Time.t -> unit -> report
+val run :
+  ?params:params -> ?telemetry:Trace.Timeseries.t * Time.t -> ?postmortem:string -> unit -> report
 (** Build a cluster of primary + mirrors + spares + an observer node
     (each on its own power supply), run the seeded churn schedule, then
     quiesce, scrub, kill the primary and recover on the observer.
     Returns the full report without judging it; {!check} enforces the
     oracle.
+
+    [postmortem] (a directory) attaches a {!Forensics.t} flight
+    recorder for the whole run, including the final recovery.  A
+    {!Trace.Monitor} alert — or a failed {!check}, which [run] then
+    performs itself — dumps the post-mortem bundle into the directory
+    and raises {!Oracle_violation}.  The recorder is a pure observer:
+    postmortem-on runs are byte-identical to postmortem-off ones.
 
     [telemetry:(series, interval)] instruments the whole stack — the
     engine, the supervisor, every memory server (including ones respawned

@@ -110,8 +110,10 @@ let check_epoch label ~epoch_before ~epoch_after =
 
 exception Crash
 
-let run_primary_point scenario ~pre ~checkpoints ~post ~k ~total =
+let run_primary_point ?(attach = fun (_ : env) -> ()) ?(recovery_sink = Trace.Sink.noop) scenario
+    ~pre ~checkpoints ~post ~k ~total =
   let env = scenario.make () in
+  attach env;
   let epoch_before = P.epoch env.t in
   let sent = ref 0 in
   P.set_packet_hook env.t (Some (fun () -> if !sent >= k then raise Crash else incr sent));
@@ -151,7 +153,7 @@ let run_primary_point scenario ~pre ~checkpoints ~post ~k ~total =
     in
     let t0 = Clock.now env.clock in
     let t2 =
-      P.recover_replicated ~config:(P.config env.t)
+      P.recover_replicated ~config:(P.config env.t) ~sink:recovery_sink
         ~on_repair:(fun ~name:_ ~len ->
           incr replayed;
           bytes := !bytes + len)
@@ -206,8 +208,10 @@ let probe env =
          (no-op for eager engines — the queue is empty). *)
       P.flush env.t
 
-let run_mirror_point scenario ~pre ~checkpoints ~post ~k ~mirror_index =
+let run_mirror_point ?(attach = fun (_ : env) -> ()) scenario ~pre ~checkpoints ~post ~k
+    ~mirror_index =
   let env = scenario.make () in
+  attach env;
   let victim_node =
     match List.nth_opt (P.mirrors env.t) mirror_index with
     | Some mi -> mi.P.node_id
@@ -277,8 +281,9 @@ let run_mirror_point scenario ~pre ~checkpoints ~post ~k ~mirror_index =
    — checkpoint operations degrade to typed no-ops (Target_lost is
    caught by the scenario) while every commit still lands. *)
 
-let run_ckpt_point scenario ~pre ~checkpoints ~post ~k =
+let run_ckpt_point ?(attach = fun (_ : env) -> ()) scenario ~pre ~checkpoints ~post ~k =
   let env = scenario.make () in
+  attach env;
   let victim_node =
     match env.ckpt with
     | Some s -> Node.id (Netram.Server.node s)
@@ -330,14 +335,56 @@ let run_ckpt_point scenario ~pre ~checkpoints ~post ~k =
 
 (* ------------------------------------------------------------------ *)
 
-let sweep ?(victim = Primary) scenario =
+let sweep ?(victim = Primary) ?postmortem scenario =
   let total, pre, checkpoints, post = dry_run scenario in
+  let run_point ?attach ?recovery_sink k =
+    match victim with
+    | Primary -> run_primary_point ?attach ?recovery_sink scenario ~pre ~checkpoints ~post ~k ~total
+    | Mirror i -> run_mirror_point ?attach scenario ~pre ~checkpoints ~post ~k ~mirror_index:i
+    | Ckpt_target -> run_ckpt_point ?attach scenario ~pre ~checkpoints ~post ~k
+  in
   let points =
     List.init (total + 1) (fun k ->
-        match victim with
-        | Primary -> run_primary_point scenario ~pre ~checkpoints ~post ~k ~total
-        | Mirror i -> run_mirror_point scenario ~pre ~checkpoints ~post ~k ~mirror_index:i
-        | Ckpt_target -> run_ckpt_point scenario ~pre ~checkpoints ~post ~k)
+        match postmortem with
+        | None -> run_point k
+        | Some dir ->
+            (* Each point flies its own recorder: a fresh ring and a
+               fresh monitor (the engine is rebuilt from scratch, so
+               carried-over monitor state would be stale), dumped only
+               when this point's oracle — or the monitor itself —
+               trips. *)
+            let f = Forensics.create () in
+            let engine = ref None in
+            let attach env =
+              engine := Some env.t;
+              Forensics.attach f env.t
+            in
+            let dump cause =
+              ignore
+                (Forensics.dump f
+                   ~dir:
+                     (Filename.concat dir
+                        (Printf.sprintf "%s-%s-p%d" scenario.label (victim_label victim) k))
+                   ~cause
+                   ?stats:(Option.map P.stats !engine)
+                   ())
+            in
+            let point =
+              try run_point ~attach ~recovery_sink:(Forensics.sink f) k
+              with Oracle_violation msg as e ->
+                dump msg;
+                raise e
+            in
+            (match Forensics.alerts f with
+            | [] -> ()
+            | a :: _ ->
+                let msg =
+                  Printf.sprintf "%s: protocol monitor alert at point %d: %s" scenario.label k
+                    (Format.asprintf "%a" Trace.Monitor.pp_alert a)
+                in
+                dump msg;
+                raise (Oracle_violation msg));
+            point)
   in
   let count f = List.length (List.filter f points) in
   {

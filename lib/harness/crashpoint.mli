@@ -83,9 +83,18 @@ type scenario = {
 
 exception Oracle_violation of string
 
-val sweep : ?victim:victim -> scenario -> report
+val sweep : ?victim:victim -> ?postmortem:string -> scenario -> report
 (** Run the full sweep.  [victim] defaults to {!Primary}.  Raises
-    {!Oracle_violation} on the first point that breaks the oracle. *)
+    {!Oracle_violation} on the first point that breaks the oracle.
+
+    With [postmortem] (a directory), every point flies a
+    {!Forensics.t} flight recorder: the engine under test (and, for
+    primary sweeps, the recovery) streams into a bounded ring and the
+    online {!Trace.Monitor}.  A monitor alert is itself an oracle
+    violation, and any violation dumps a post-mortem bundle under
+    [postmortem/<scenario>-<victim>-p<K>/] before re-raising.  The
+    recorder is a pure observer: sweeps with and without it visit
+    byte-identical points. *)
 
 val commit_scenario :
   ?mirrors:int -> ?ranges:int -> ?range_len:int -> ?seg_size:int -> unit -> scenario

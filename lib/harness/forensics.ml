@@ -1,0 +1,91 @@
+(* Flight recorder: a bounded ring of recent spans and events plus the
+   online protocol monitor, teed into the one sink an engine under test
+   carries.  The ring makes observation affordable on long runs (old
+   history falls off the back; the drop counters say how much), and the
+   monitor turns the same stream into typed protocol alerts.  When an
+   oracle trips, [dump] freezes what the ring still holds into a
+   post-mortem bundle — Perfetto trace, per-transaction causal
+   timelines, the alert list, an engine stats snapshot — so a failed
+   crash-sweep point or churn run leaves enough evidence to diagnose
+   offline. *)
+
+module P = Perseas
+
+type t = {
+  ring : Trace.Sink.t;  (* always a [Trace.Sink.memory] *)
+  monitor : Trace.Monitor.t;
+  sink : Trace.Sink.t;  (* the tee handed to the engine *)
+}
+
+(* Events dominate: one per packet, vs one span per txn phase.  64k
+   events is a few thousand commits of lookback at the canned scenario
+   sizes — plenty to cover the window between fault injection and
+   oracle detection. *)
+let default_span_capacity = 4096
+let default_event_capacity = 65536
+
+let create ?(span_capacity = default_span_capacity) ?(event_capacity = default_event_capacity)
+    ?on_alert () =
+  let ring = Trace.Sink.memory ~span_capacity ~event_capacity () in
+  let monitor = Trace.Monitor.create ?on_alert () in
+  { ring; monitor; sink = Trace.Sink.tee [ ring; Trace.Monitor.sink monitor ] }
+
+let sink t = t.sink
+let monitor t = t.monitor
+let alerts t = Trace.Monitor.alerts t.monitor
+let alert_count t = Trace.Monitor.alert_count t.monitor
+let attach t engine = P.set_sink engine t.sink
+
+let rec mkdirs dir =
+  if dir <> "" && dir <> "." && dir <> "/" && not (Sys.file_exists dir) then begin
+    mkdirs (Filename.dirname dir);
+    try Sys.mkdir dir 0o755 with Sys_error _ -> ()
+  end
+
+let json_escape s =
+  let b = Buffer.create (String.length s + 8) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string b "\\\""
+      | '\\' -> Buffer.add_string b "\\\\"
+      | '\n' -> Buffer.add_string b "\\n"
+      | '\t' -> Buffer.add_string b "\\t"
+      | c when Char.code c < 0x20 -> Buffer.add_string b (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char b c)
+    s;
+  Buffer.contents b
+
+let dump t ~dir ~cause ?stats () =
+  mkdirs dir;
+  let spans = Trace.Sink.spans t.ring in
+  let events = Trace.Sink.events t.ring in
+  let write name s =
+    let oc = open_out (Filename.concat dir name) in
+    output_string oc s;
+    close_out oc
+  in
+  let alert_json a =
+    Printf.sprintf "%S" (json_escape (Format.asprintf "%a" Trace.Monitor.pp_alert a))
+  in
+  (* Separate span/event drop counts: a full event ring with an empty
+     span ring (or vice versa) says which half of the story the bundle
+     is missing. *)
+  write "header.json"
+    (Printf.sprintf
+       "{\"cause\": \"%s\",\n\
+       \ \"spans\": %d, \"events\": %d,\n\
+       \ \"dropped_spans\": %d, \"dropped_events\": %d,\n\
+       \ \"alerts\": [%s]}\n"
+       (json_escape cause)
+       (List.length spans) (List.length events)
+       (Trace.Sink.dropped_spans t.ring)
+       (Trace.Sink.dropped_events t.ring)
+       (String.concat ", " (List.map alert_json (alerts t))));
+  Trace.Export.chrome_json_to_file ~path:(Filename.concat dir "trace.json") ~spans ~events ();
+  write "causal.txt" (Trace.Causal.render_all (Trace.Causal.build ~spans ~events));
+  (match stats with Some s -> write "stats.json" (P.stats_to_json s ^ "\n") | None -> ());
+  dir
+
+let timelines t =
+  Trace.Causal.build ~spans:(Trace.Sink.spans t.ring) ~events:(Trace.Sink.events t.ring)

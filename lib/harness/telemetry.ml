@@ -150,9 +150,16 @@ let top (r : Churn.report) tel =
     (v "perseas.live_mirrors") r.factor_restored (v "sup.spares") (List.length r.windows)
     (Time.to_us r.degraded_time)
     (100.0 *. Time.to_s r.degraded_time /. Time.to_s r.run_time);
-  line "  workload      %d committed, %d aborts, %.0f tps under churn   undo hwm %d B   dirty ranges %d"
-    stats.Perseas.committed stats.Perseas.aborts r.tps stats.Perseas.undo_hwm_bytes
-    (v "perseas.dirty_log");
+  line "  workload      %d committed, %d aborts (%d conflicts, %d other), %.0f tps under churn   undo hwm %d B   dirty ranges %d"
+    stats.Perseas.committed stats.Perseas.aborts stats.Perseas.conflicts
+    (stats.Perseas.aborts - stats.Perseas.conflicts)
+    r.tps stats.Perseas.undo_hwm_bytes (v "perseas.dirty_log");
+  if stats.Perseas.checkpoints_taken > 0 || v "perseas.checkpoints_taken" > 0 then
+    line "  checkpoints   %d published, %s B shipped   log truncated %s B   undo tail %d B"
+      stats.Perseas.checkpoints_taken
+      (Table.fmt_int stats.Perseas.checkpoint_bytes)
+      (Table.fmt_int stats.Perseas.log_truncated_bytes)
+      (v "perseas.undo_tail");
   line "  healing       %d mirrors lost   %d incr + %d full resyncs, %s B moved (full copy: %s B)"
     stats.Perseas.mirrors_lost r.incremental_resyncs r.full_resyncs
     (Table.fmt_int (r.incremental_bytes + r.full_resync_bytes))
@@ -188,5 +195,8 @@ let top (r : Churn.report) tel =
     (fun name ->
       if List.mem name (Ts.names tel) then
         line "  %-22s %s  (peak %s)" name (sparkline tel name) (Table.fmt_int (Ts.hwm tel name)))
-    [ "rate.tps"; "rate.bytes_per_s"; "perseas.live_mirrors"; "sup.spares"; "perseas.degraded_us" ];
+    [
+      "rate.tps"; "rate.bytes_per_s"; "perseas.live_mirrors"; "sup.spares"; "perseas.degraded_us";
+      "perseas.undo_tail"; "perseas.checkpoint_bytes";
+    ];
   Buffer.contents b

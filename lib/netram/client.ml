@@ -39,10 +39,13 @@ let charge_rpc t op =
   let clock = Cluster.clock t.cluster in
   Clock.advance clock (rpc_time t);
   Sci.Nic.note_rpc (Cluster.nic t.cluster);
-  let sink = Sci.Nic.sink (Cluster.nic t.cluster) in
+  let nic = Cluster.nic t.cluster in
+  let sink = Sci.Nic.sink nic in
   if Trace.Sink.enabled sink then
     Trace.Sink.instant sink ~cat:"netram" ~name:"rpc" ~at:(Clock.now clock)
-      ~args:[ ("tag", "rpc"); ("op", op); ("server", string_of_int (Node.id (Server.node t.server))) ]
+      ~args:
+        ([ ("tag", "rpc"); ("op", op); ("server", string_of_int (Node.id (Server.node t.server))) ]
+        @ List.filter (fun (k, _) -> k <> "tag" && k <> "op") (Sci.Nic.ctx nic))
 
 (* One control round trip that answers "is the server there?" instead
    of raising: the cost is charged whether the reply comes back or the

@@ -12,6 +12,12 @@ type t = {
   mutable sink : Trace.Sink.t;
       (* Pure observer: event emission never touches the clock or the
          packet stream, so sink on/off runs are byte-identical. *)
+  mutable ctx : (string * string) list;
+      (* Causal tags appended to every packet instant while set —
+         PERSEAS wraps each plan run with the transaction / convoy /
+         destination-node identity so per-node streams can be stitched
+         back into cross-node timelines.  Trace metadata only: never
+         read by the transfer machinery. *)
   mutable tel : Trace.Timeseries.t;
       (* Same contract as the sink: gauges observe the transfer
          machinery, never steer it. *)
@@ -44,6 +50,7 @@ let create ?(params = Params.default) clock =
     bytes_written = 0;
     bytes_read = 0;
     sink = Trace.Sink.noop;
+    ctx = [];
     tel = Trace.Timeseries.noop;
     g_burst_bytes = inert;
     g_burst_pkts = inert;
@@ -55,6 +62,8 @@ let params (t : t) = t.params
 let clock (t : t) = t.clock
 let set_sink (t : t) sink = t.sink <- sink
 let sink (t : t) = t.sink
+let set_ctx (t : t) ctx = t.ctx <- ctx
+let ctx (t : t) = t.ctx
 
 let set_telemetry (t : t) tel =
   t.tel <- tel;
@@ -327,12 +336,13 @@ let apply_step (t : t) step =
       ~name:(match step.kind with Packet.Full64 -> "pkt.full64" | Packet.Part16 -> "pkt.part16")
       ~at:(Clock.now t.clock)
       ~args:
-        [
-          ("tag", step.tag);
-          ("len", string_of_int step.len);
-          ("streamed", if step.streamed then "true" else "false");
-          ("dir", match step.direction with Write -> "write" | Read -> "read");
-        ]
+        ([
+           ("tag", step.tag);
+           ("len", string_of_int step.len);
+           ("streamed", if step.streamed then "true" else "false");
+           ("dir", (match step.direction with Write -> "write" | Read -> "read"));
+         ]
+        @ t.ctx)
 
 let run (t : t) plan =
   if plan.steps <> [] then begin

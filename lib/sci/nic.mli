@@ -38,6 +38,18 @@ val set_sink : t -> Trace.Sink.t -> unit
 
 val sink : t -> Trace.Sink.t
 
+val set_ctx : t -> (string * string) list -> unit
+(** Set the causal-context tags appended to every packet instant until
+    the next [set_ctx] (clear with [[]]).  PERSEAS brackets each plan
+    run with the operation / transaction / convoy / destination-node
+    identity so the per-packet stream carries enough to reconstruct
+    cross-node timelines ({!Trace.Causal}) and to check protocol
+    ordering online ({!Trace.Monitor}).  Trace metadata only: the
+    transfer machinery never reads it, so runs with and without context
+    stay byte-identical. *)
+
+val ctx : t -> (string * string) list
+
 val set_telemetry : t -> Trace.Timeseries.t -> unit
 (** Attach a gauge timeseries.  The NIC then maintains, with the same
     pure-observer contract as the sink:

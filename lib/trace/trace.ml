@@ -70,43 +70,409 @@ module Sink = struct
     s.total <- 0
 
   type mem = { sp : Span.t store; ev : Event.t store }
-  type t = Noop | Memory of mem
+  type obs = { on_span : Span.t -> unit; on_event : Event.t -> unit }
+
+  type t = Noop | Memory of mem | Observer of obs | Tee of t list
 
   let noop = Noop
 
-  let memory ?capacity () =
-    let cap =
-      match capacity with
-      | None -> 0
-      | Some c when c > 0 -> c
-      | Some c -> invalid_arg (Printf.sprintf "Trace.Sink.memory: capacity %d not positive" c)
+  let positive what = function
+    | None -> None
+    | Some c when c > 0 -> Some c
+    | Some c -> invalid_arg (Printf.sprintf "Trace.Sink.memory: %s %d not positive" what c)
+
+  (* [capacity] caps both rings; [span_capacity] / [event_capacity]
+     override it per ring, so a flight recorder can keep few spans but
+     many packet events (events outnumber spans ~20:1 under load). *)
+  let memory ?capacity ?span_capacity ?event_capacity () =
+    let shared = positive "capacity" capacity in
+    let pick what specific =
+      match positive what specific with Some c -> c | None -> Option.value shared ~default:0
     in
-    Memory { sp = store cap; ev = store cap }
+    Memory
+      { sp = store (pick "span_capacity" span_capacity); ev = store (pick "event_capacity" event_capacity) }
 
-  let enabled = function Noop -> false | Memory _ -> true
+  let observer ~on_span ~on_event = Observer { on_span; on_event }
 
-  let span ?(args = []) t ~cat ~name ~start ~stop =
+  let tee sinks =
+    match List.filter (function Noop -> false | _ -> true) sinks with
+    | [] -> Noop
+    | [ s ] -> s
+    | ss -> Tee ss
+
+  let enabled = function Noop -> false | Memory _ | Observer _ | Tee _ -> true
+
+  let rec span ?(args = []) t ~cat ~name ~start ~stop =
     match t with
     | Noop -> ()
     | Memory m -> store_add m.sp { Span.name; cat; start; stop; args }
+    | Observer o -> o.on_span { Span.name; cat; start; stop; args }
+    | Tee ss -> List.iter (fun s -> span ~args s ~cat ~name ~start ~stop) ss
 
-  let instant ?(args = []) t ~cat ~name ~at =
-    match t with Noop -> () | Memory m -> store_add m.ev { Event.name; cat; at; args }
-
-  let spans = function Noop -> [] | Memory m -> store_list m.sp
-  let events = function Noop -> [] | Memory m -> store_list m.ev
-  let span_count = function Noop -> 0 | Memory m -> m.sp.total
-  let event_count = function Noop -> 0 | Memory m -> m.ev.total
-  let dropped_spans = function Noop -> 0 | Memory m -> store_dropped m.sp
-  let dropped_events = function Noop -> 0 | Memory m -> store_dropped m.ev
-  let spans_since t n = match t with Noop -> [] | Memory m -> store_since m.sp ~n
-  let events_since t n = match t with Noop -> [] | Memory m -> store_since m.ev ~n
-
-  let clear = function
+  let rec instant ?(args = []) t ~cat ~name ~at =
+    match t with
     | Noop -> ()
+    | Memory m -> store_add m.ev { Event.name; cat; at; args }
+    | Observer o -> o.on_event { Event.name; cat; at; args }
+    | Tee ss -> List.iter (fun s -> instant ~args s ~cat ~name ~at) ss
+
+  (* Read-side accessors on a tee delegate to its first memory child:
+     the tee reads as the recording it carries, with any observers
+     (monitors) transparent. *)
+  let rec first_mem = function
+    | Noop | Observer _ -> None
+    | Memory m -> Some m
+    | Tee ss -> List.find_map first_mem ss
+
+  let spans t = match first_mem t with Some m -> store_list m.sp | None -> []
+  let events t = match first_mem t with Some m -> store_list m.ev | None -> []
+  let span_count t = match first_mem t with Some m -> m.sp.total | None -> 0
+  let event_count t = match first_mem t with Some m -> m.ev.total | None -> 0
+  let dropped_spans t = match first_mem t with Some m -> store_dropped m.sp | None -> 0
+  let dropped_events t = match first_mem t with Some m -> store_dropped m.ev | None -> 0
+  let spans_since t n = match first_mem t with Some m -> store_since m.sp ~n | None -> []
+  let events_since t n = match first_mem t with Some m -> store_since m.ev ~n | None -> []
+
+  let rec clear = function
+    | Noop | Observer _ -> ()
     | Memory m ->
         store_clear m.sp;
         store_clear m.ev
+    | Tee ss -> List.iter clear ss
+end
+
+(* ------------------------------------------------------------------ *)
+(* Online protocol-invariant monitor                                    *)
+
+module Monitor = struct
+  type violation =
+    | Undo_after_data of { txn : string; node : int; at : Time.t }
+    | Fence_not_last of { node : int; convoy : string; at : Time.t }
+    | Epoch_regressed of { node : int; prev : int64; next : int64; at : Time.t }
+    | Convoy_interleaved of { node : int; convoy : string; intruder : string; at : Time.t }
+    | Checkpoint_split_convoy of { node : int; convoy : string; at : Time.t }
+
+  type alert = { violation : violation; event : Event.t }
+
+  (* One commit unit in flight to one node: an eager commit's
+     propagate/segmeta/fence burst or a group-commit convoy.  [u_rank]
+     is the highest chunk class seen so far — undo(0) < data(1) <
+     segmeta(2) < fence(3); the protocol promises the classes arrive in
+     that order with the fence strictly last. *)
+  type unit_state = { u_key : string; mutable u_rank : int }
+
+  type node_state = {
+    mutable open_unit : unit_state option;
+    mutable closed : string list; (* recently fenced unit keys, newest first, capped *)
+    mutable last_fence_epoch : int64 option;
+    data_seen : (string, unit) Hashtbl.t; (* txns whose commit data reached this node *)
+  }
+
+  type t = {
+    nodes : (int, node_state) Hashtbl.t;
+    mutable alerts : alert list; (* newest first *)
+    mutable nalerts : int;
+    mutable nevents : int;
+    on_alert : alert -> unit;
+  }
+
+  let closed_keep = 16
+
+  let create ?(on_alert = fun _ -> ()) () =
+    { nodes = Hashtbl.create 8; alerts = []; nalerts = 0; nevents = 0; on_alert }
+
+  let node_state t n =
+    match Hashtbl.find_opt t.nodes n with
+    | Some s -> s
+    | None ->
+        let s =
+          { open_unit = None; closed = []; last_fence_epoch = None; data_seen = Hashtbl.create 64 }
+        in
+        Hashtbl.add t.nodes n s;
+        s
+
+  let raise_alert t violation (ev : Event.t) =
+    let a = { violation; event = ev } in
+    t.alerts <- a :: t.alerts;
+    t.nalerts <- t.nalerts + 1;
+    t.on_alert a
+
+  let rank_of ~op ~tag =
+    match op with
+    | "commit_propagate" -> Some 1
+    | "commit_segmeta" -> Some 2
+    | "commit_fence" -> Some 3
+    | "flush_convoy" -> (
+        match tag with
+        | Some "undo" -> Some 0
+        | Some "data" -> Some 1
+        | Some "segmeta" -> Some 2
+        | Some "fence" -> Some 3
+        | _ -> None)
+    | _ -> None
+
+  let txns_of args =
+    match List.assoc_opt "txn" args with
+    | Some id -> [ id ]
+    | None -> (
+        match List.assoc_opt "batch" args with
+        | Some s -> String.split_on_char '+' s
+        | None -> [])
+
+  let close_unit ns key =
+    ns.open_unit <- None;
+    ns.closed <- key :: ns.closed;
+    if List.length ns.closed > closed_keep then
+      ns.closed <- List.filteri (fun i _ -> i < closed_keep) ns.closed
+
+  (* A write packet attributed to a commit unit: enforce unit ordering,
+     fence finality and epoch monotonicity on this node's stream. *)
+  let unit_packet t ns ~node ~key ~rank (ev : Event.t) =
+    (match ns.open_unit with
+    | Some u when u.u_key <> key ->
+        raise_alert t (Convoy_interleaved { node; convoy = u.u_key; intruder = key; at = ev.at }) ev;
+        ns.open_unit <- Some { u_key = key; u_rank = rank }
+    | Some _ -> ()
+    | None ->
+        if List.mem key ns.closed then
+          raise_alert t (Fence_not_last { node; convoy = key; at = ev.at }) ev
+        else ns.open_unit <- Some { u_key = key; u_rank = rank });
+    (match ns.open_unit with
+    | Some u when u.u_key = key ->
+        if rank = 0 && u.u_rank >= 1 then begin
+          let txn = String.concat "+" (txns_of ev.args) in
+          raise_alert t (Undo_after_data { txn; node; at = ev.at }) ev
+        end;
+        if rank > u.u_rank then u.u_rank <- rank
+    | _ -> ());
+    if rank >= 1 && rank <= 2 then
+      List.iter (fun id -> Hashtbl.replace ns.data_seen id ()) (txns_of ev.args);
+    if rank = 3 then begin
+      (match List.assoc_opt "epoch" ev.args with
+      | Some e -> (
+          match Int64.of_string_opt e with
+          | Some next ->
+              (match ns.last_fence_epoch with
+              | Some prev when next <= prev ->
+                  raise_alert t (Epoch_regressed { node; prev; next; at = ev.at }) ev
+              | _ -> ());
+              ns.last_fence_epoch <-
+                Some (match ns.last_fence_epoch with Some p when p > next -> p | _ -> next)
+          | None -> ())
+      | None -> ());
+      close_unit ns key
+    end
+
+  let packet t (ev : Event.t) =
+    match List.assoc_opt "node" ev.args with
+    | None -> () (* unattributed traffic: nothing to check against *)
+    | Some node_s -> (
+        match int_of_string_opt node_s with
+        | None -> ()
+        | Some node -> (
+            let ns = node_state t node in
+            let op = Option.value ~default:"" (List.assoc_opt "op" ev.args) in
+            match rank_of ~op ~tag:(List.assoc_opt "tag" ev.args) with
+            | Some rank ->
+                let key =
+                  Option.value ~default:("op:" ^ op) (List.assoc_opt "convoy" ev.args)
+                in
+                unit_packet t ns ~node ~key ~rank ev
+            | None ->
+                if op = "remote_undo" then
+                  List.iter
+                    (fun id ->
+                      if Hashtbl.mem ns.data_seen id then
+                        raise_alert t (Undo_after_data { txn = id; node; at = ev.at }) ev)
+                    (txns_of ev.args);
+                (* Free traffic (resync, metadata push, checkpoint
+                   streaming) legally reaches a node only between
+                   commit units — or after a crash truncated one, which
+                   is exactly when the truncated unit must stop being
+                   "open".  Either way the unit is over; forget it
+                   without declaring it fenced. *)
+                ns.open_unit <- None))
+
+  let ckpt_cut t (ev : Event.t) =
+    Hashtbl.iter
+      (fun node ns ->
+        match ns.open_unit with
+        | Some u ->
+            raise_alert t (Checkpoint_split_convoy { node; convoy = u.u_key; at = ev.at }) ev
+        | None -> ())
+      t.nodes
+
+  let event t (ev : Event.t) =
+    t.nevents <- t.nevents + 1;
+    match (ev.cat, ev.name) with
+    | "sci", _ -> packet t ev
+    | "ckpt", "cut" -> ckpt_cut t ev
+    | "supervisor", "mirror_lost" | "mirror", "dropped" -> (
+        (* A transfer to this node may have been cut short by its loss:
+           close the unit rather than flag the interruption. *)
+        match Option.bind (List.assoc_opt "node" ev.args) int_of_string_opt with
+        | Some node -> (node_state t node).open_unit <- None
+        | None -> ())
+    | _ -> ()
+
+  (* A recovery span means a fresh engine took over: transaction ids
+     restart and every in-flight unit died with the old primary, so the
+     per-txn and per-unit state resets.  Fence epochs survive — the
+     recovered epoch is strictly above every fenced one. *)
+  let span t (s : Span.t) =
+    if s.cat = "recovery" then
+      Hashtbl.iter
+        (fun _ ns ->
+          ns.open_unit <- None;
+          ns.closed <- [];
+          Hashtbl.reset ns.data_seen)
+        t.nodes
+
+  let sink t = Sink.observer ~on_span:(span t) ~on_event:(event t)
+  let alerts t = List.rev t.alerts
+  let alert_count t = t.nalerts
+  let events_seen t = t.nevents
+
+  let describe = function
+    | Undo_after_data { txn; node; at } ->
+        Printf.sprintf "undo for txn %s reached node %d after its data (t=%.3fus)" txn node
+          (Time.to_us at)
+    | Fence_not_last { node; convoy; at } ->
+        Printf.sprintf "packet for unit %s on node %d after its epoch fence (t=%.3fus)" convoy
+          node (Time.to_us at)
+    | Epoch_regressed { node; prev; next; at } ->
+        Printf.sprintf "fence epoch regressed on node %d: %Ld after %Ld (t=%.3fus)" node next
+          prev (Time.to_us at)
+    | Convoy_interleaved { node; convoy; intruder; at } ->
+        Printf.sprintf "unit %s interleaved into open unit %s on node %d (t=%.3fus)" intruder
+          convoy node (Time.to_us at)
+    | Checkpoint_split_convoy { node; convoy; at } ->
+        Printf.sprintf "checkpoint cut landed inside open unit %s on node %d (t=%.3fus)" convoy
+          node (Time.to_us at)
+
+  let pp_alert ppf a = Format.pp_print_string ppf (describe a.violation)
+end
+
+(* ------------------------------------------------------------------ *)
+(* Causal cross-node timeline reconstruction                            *)
+
+module Causal = struct
+  (* One step of a transaction's cross-node story.  Packet instants are
+     coalesced: a run of packets with the same (node, what, unit)
+     becomes a single hop spanning [h_start, h_stop] with [h_pkts]
+     counting the run. *)
+  type hop = {
+    h_start : Time.t;
+    h_stop : Time.t;
+    h_node : int option; (* None: on the primary itself *)
+    h_what : string;
+    h_detail : string;
+    h_pkts : int; (* 0 for span hops *)
+  }
+
+  type timeline = { c_txn : string; c_hops : hop list (* oldest first *) }
+
+  let txns_of args =
+    match List.assoc_opt "txn" args with
+    | Some id -> [ id ]
+    | None -> (
+        match List.assoc_opt "batch" args with
+        | Some s -> String.split_on_char '+' s
+        | None -> [])
+
+  let node_of args = Option.bind (List.assoc_opt "node" args) int_of_string_opt
+
+  let detail_of args =
+    let keep = [ "mirror"; "epoch"; "convoy"; "reason"; "tag"; "mode" ] in
+    List.filter_map
+      (fun k -> Option.map (fun v -> k ^ "=" ^ v) (List.assoc_opt k args))
+      keep
+    |> String.concat " "
+
+  let build ~spans ~events =
+    let tbl : (string, hop list ref) Hashtbl.t = Hashtbl.create 16 in
+    let order = ref [] in
+    let bucket txn =
+      match Hashtbl.find_opt tbl txn with
+      | Some r -> r
+      | None ->
+          let r = ref [] in
+          Hashtbl.add tbl txn r;
+          order := txn :: !order;
+          r
+    in
+    let add txn hop =
+      let r = bucket txn in
+      match !r with
+      | prev :: rest
+        when hop.h_pkts > 0 && prev.h_pkts > 0 && prev.h_node = hop.h_node
+             && prev.h_what = hop.h_what && prev.h_detail = hop.h_detail ->
+          r := { prev with h_stop = hop.h_stop; h_pkts = prev.h_pkts + hop.h_pkts } :: rest
+      | _ -> r := hop :: !r
+    in
+    List.iter
+      (fun (s : Span.t) ->
+        match txns_of s.args with
+        | [] -> ()
+        | txns ->
+            let hop =
+              {
+                h_start = s.start;
+                h_stop = s.stop;
+                h_node = node_of s.args;
+                h_what = s.cat ^ "/" ^ s.name;
+                h_detail = detail_of s.args;
+                h_pkts = 0;
+              }
+            in
+            List.iter (fun txn -> add txn hop) txns)
+      spans;
+    List.iter
+      (fun (e : Event.t) ->
+        match txns_of e.args with
+        | [] -> ()
+        | txns ->
+            let what =
+              match List.assoc_opt "op" e.args with
+              | Some op -> "pkt/" ^ op
+              | None -> e.cat ^ "/" ^ e.name
+            in
+            let hop =
+              {
+                h_start = e.at;
+                h_stop = e.at;
+                h_node = node_of e.args;
+                h_what = what;
+                h_detail = detail_of e.args;
+                h_pkts = (if e.cat = "sci" then 1 else 0);
+              }
+            in
+            List.iter (fun txn -> add txn hop) txns)
+      events;
+    List.rev_map
+      (fun txn ->
+        let hops =
+          List.rev !(Hashtbl.find tbl txn)
+          |> List.stable_sort (fun a b -> compare a.h_start b.h_start)
+        in
+        { c_txn = txn; c_hops = hops })
+      !order
+
+  let find timelines ~txn = List.find_opt (fun c -> c.c_txn = txn) timelines
+
+  let render_hop h =
+    let site = match h.h_node with Some n -> Printf.sprintf "node %d" n | None -> "primary" in
+    let pkts = if h.h_pkts > 1 then Printf.sprintf " x%d pkts" h.h_pkts else "" in
+    let detail = if h.h_detail = "" then "" else " [" ^ h.h_detail ^ "]" in
+    Printf.sprintf "  %10.3f..%10.3f us  %-9s %s%s%s" (Time.to_us h.h_start)
+      (Time.to_us h.h_stop) site h.h_what pkts detail
+
+  let render c =
+    String.concat "\n"
+      (Printf.sprintf "txn %s: %d hops" c.c_txn (List.length c.c_hops)
+      :: List.map render_hop c.c_hops)
+
+  let render_all timelines = String.concat "\n" (List.map render timelines)
 end
 
 (* ------------------------------------------------------------------ *)

@@ -60,15 +60,29 @@ module Sink : sig
       sites skip even the clock reads.  This is the default wired into
       every component. *)
 
-  val memory : ?capacity:int -> unit -> t
-  (** Records spans and events in order.  Without [capacity] the sink
+  val memory : ?capacity:int -> ?span_capacity:int -> ?event_capacity:int -> unit -> t
+  (** Records spans and events in order.  Without any capacity the sink
       is unbounded (the default, and what the tests rely on); with
       [capacity] it keeps the most recent [capacity] spans and the most
       recent [capacity] events in a ring, silently dropping the oldest
-      — {!dropped_spans} / {!dropped_events} count the casualties, and
-      {!span_count} / {!event_count} keep counting everything ever
-      recorded so cursors survive the wrap.  Raises [Invalid_argument]
-      on a non-positive capacity. *)
+      — {!dropped_spans} / {!dropped_events} count the casualties {e
+      separately per ring}, and {!span_count} / {!event_count} keep
+      counting everything ever recorded so cursors survive the wrap.
+      [span_capacity] / [event_capacity] override [capacity] per ring —
+      packet events outnumber spans by an order of magnitude, so a
+      flight recorder sizes the two independently.  Raises
+      [Invalid_argument] on a non-positive capacity. *)
+
+  val observer : on_span:(Span.t -> unit) -> on_event:(Event.t -> unit) -> t
+  (** A sink that forwards everything to callbacks and stores nothing —
+      how {!Monitor} taps the stream.  Read accessors below return
+      empty/zero for it. *)
+
+  val tee : t list -> t
+  (** Fan one stream out to several sinks (a recording ring plus an
+      online monitor, typically).  Read accessors delegate to the first
+      {!memory} child, so the tee reads as the recording it carries;
+      [noop] children are dropped, and an empty tee is [noop]. *)
 
   val enabled : t -> bool
 
@@ -98,6 +112,107 @@ module Sink : sig
 
   val events_since : t -> int -> Event.t list
   val clear : t -> unit
+end
+
+(** {1 Online protocol-invariant monitor} *)
+
+module Monitor : sig
+  (** A pure observer over the event stream that continuously checks
+      the ordering invariants PERSEAS's recoverability rests on.  Feed
+      it by wiring {!sink} into a {!Sink.tee} next to the recording
+      ring — it reads the same instants the ring records, keeps a tiny
+      per-node state machine, and raises a typed {!alert} the moment a
+      packet contradicts the protocol.
+
+      The checked invariants, per destination node:
+
+      - {b undo before data}: a transaction's undo records must reach a
+        mirror before any of its commit data does ({!Undo_after_data});
+      - {b fence strictly last}: no packet of a commit unit (an eager
+        commit's propagate/segmeta/fence burst, or a group-commit
+        convoy) may follow that unit's epoch-fence packet
+        ({!Fence_not_last});
+      - {b epoch monotonicity}: successive fence epochs on one node
+        strictly increase ({!Epoch_regressed});
+      - {b convoy integrity}: two commit units never interleave on one
+        node ({!Convoy_interleaved});
+      - {b checkpoint cut outside convoys}: a checkpoint cut instant
+        must not land while any commit unit is open
+        ({!Checkpoint_split_convoy}).
+
+      The monitor relies on the causal tags ([op], [node], [convoy],
+      [txn]/[txns], [epoch], [tag]) that {!Perseas} threads through the
+      NIC's packet instants; untagged traffic is ignored.  Like every
+      trace-layer component it never advances the clock or touches the
+      packet stream. *)
+
+  type violation =
+    | Undo_after_data of { txn : string; node : int; at : Time.t }
+    | Fence_not_last of { node : int; convoy : string; at : Time.t }
+    | Epoch_regressed of { node : int; prev : int64; next : int64; at : Time.t }
+    | Convoy_interleaved of { node : int; convoy : string; intruder : string; at : Time.t }
+    | Checkpoint_split_convoy of { node : int; convoy : string; at : Time.t }
+
+  type alert = { violation : violation; event : Event.t }
+  (** The violation plus the exact instant that triggered it. *)
+
+  type t
+
+  val create : ?on_alert:(alert -> unit) -> unit -> t
+  (** [on_alert] fires synchronously on every violation — the flight
+      recorder hooks its dump trigger here. *)
+
+  val sink : t -> Sink.t
+  (** An {!Sink.observer} feeding this monitor; combine with
+      {!Sink.tee} to watch a stream that is also being recorded. *)
+
+  val event : t -> Event.t -> unit
+  (** Feed one instant by hand.  This is the seeding hook the mutation
+      tests use to replay deliberately corrupted streams. *)
+
+  val span : t -> Span.t -> unit
+  (** Feed one span.  A [recovery]-category span resets per-transaction
+      and per-unit state (a fresh engine restarts transaction ids);
+      fence-epoch floors survive recovery on purpose. *)
+
+  val alerts : t -> alert list
+  (** Oldest first. *)
+
+  val alert_count : t -> int
+  val events_seen : t -> int
+
+  val describe : violation -> string
+  val pp_alert : Format.formatter -> alert -> unit
+end
+
+(** {1 Causal cross-node timelines} *)
+
+module Causal : sig
+  (** Stitches the per-node span/event streams back into one
+      per-transaction story: primary-side phases, then each mirror's
+      undo/data/fence arrivals, then checkpoint traffic — ordered by
+      virtual time.  Transactions are identified by the [txn] arg (or
+      membership in a convoy's [+]-separated [txns] arg); packets
+      coalesce into one hop per (node, operation) run so a 64-packet
+      data burst reads as one line. *)
+
+  type hop = {
+    h_start : Time.t;
+    h_stop : Time.t;
+    h_node : int option;  (** [None]: on the primary itself. *)
+    h_what : string;  (** ["txn/commit"], ["pkt/flush_convoy"], ... *)
+    h_detail : string;  (** Selected args, rendered [k=v]. *)
+    h_pkts : int;  (** Packets coalesced into this hop; 0 for spans. *)
+  }
+
+  type timeline = { c_txn : string; c_hops : hop list (* oldest first *) }
+
+  val build : spans:Span.t list -> events:Event.t list -> timeline list
+  (** Timelines in first-appearance order. *)
+
+  val find : timeline list -> txn:string -> timeline option
+  val render : timeline -> string
+  val render_all : timeline list -> string
 end
 
 (** {1 Metrics registry} *)

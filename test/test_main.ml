@@ -26,6 +26,7 @@ let () =
       ("pqueue", Test_pqueue.suite);
       ("engines-generic", Test_engines_generic.suite);
       ("trace", Test_trace.suite);
+      ("forensics", Test_forensics.suite);
       ("telemetry", Test_telemetry.suite);
       ("harness", Test_harness.suite);
       ("availability", Test_availability.suite);

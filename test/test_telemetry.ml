@@ -313,8 +313,8 @@ let test_degraded_agreement () =
 
 let test_bench_gate () =
   let module B = Harness.Bench_summary in
-  let e ?(engine = "PERSEAS") ?(workload = "debit-credit") ?(mirrors = 1) ?pkts tps =
-    { B.engine; workload; mirrors; tps; mean_us = 43.5; p99_us = 46.25; pkts_per_txn = pkts }
+  let e ?(engine = "PERSEAS") ?(workload = "debit-credit") ?(mirrors = 1) ?pkts ?(p99 = 46.25) tps =
+    { B.engine; workload; mirrors; tps; mean_us = 43.5; p99_us = p99; pkts_per_txn = pkts }
   in
   let current = [ e 1000.0; e ~workload:"order-entry" 500.0; e ~engine:"Vista" ~mirrors:0 2000.0 ] in
   (* Round-trip through the writer and the parser. *)
@@ -357,7 +357,24 @@ let test_bench_gate () =
     B.compare_to_baseline ~baseline:[ e ~workload:"order-entry" ~pkts:8.0 1000.0 ]
       [ e ~workload:"order-entry" ~pkts:16.0 1000.0 ]
   in
-  check_bool "packet gate only on debit-credit" false failed
+  check_bool "packet gate only on debit-credit" false failed;
+  (* The p99 gate: a tps-flat run whose tail blew past the 20%
+     tolerance fails; growth inside the tolerance passes; non
+     debit-credit tails are informational. *)
+  let _, failed = B.compare_to_baseline ~baseline:[ e ~p99:40.0 1000.0 ] [ e ~p99:50.0 1000.0 ] in
+  check_bool "25% p99 growth fails with tps flat" true failed;
+  let _, failed = B.compare_to_baseline ~baseline:[ e ~p99:40.0 1000.0 ] [ e ~p99:46.0 1000.0 ] in
+  check_bool "15% p99 growth passes" false failed;
+  let _, failed =
+    B.compare_to_baseline ~p99_tolerance_pct:30.0 ~baseline:[ e ~p99:40.0 1000.0 ]
+      [ e ~p99:50.0 1000.0 ]
+  in
+  check_bool "p99 tolerance is adjustable" false failed;
+  let _, failed =
+    B.compare_to_baseline ~baseline:[ e ~workload:"order-entry" ~p99:40.0 1000.0 ]
+      [ e ~workload:"order-entry" ~p99:80.0 1000.0 ]
+  in
+  check_bool "p99 gate only on debit-credit" false failed
 
 let suite =
   [
