@@ -23,17 +23,29 @@ let bench_latency ?(path = "BENCH_latency.json") () =
   let entries =
     List.map
       (fun mix ->
-        let r, _sink = Harness.Experiments.traced_run ~mix ~mirrors:1 ~warmup:200 ~iters:2000 in
+        let tail = Trace.Tail.create () in
+        let r, _sink =
+          Harness.Experiments.traced_run ~tail ~mix ~mirrors:1 ~warmup:200 ~iters:2000 ()
+        in
         let phases =
           String.concat ", "
             (List.map
                (fun (p : Trace.phase_stat) -> Printf.sprintf "%S: %.4f" p.phase p.mean_us)
                r.Harness.Measure.phases)
         in
+        (* Additive column: per-phase p99 from the live Tail histograms.
+           Old baselines without it still parse and gate. *)
+        let phase_p99 =
+          String.concat ", "
+            (List.map
+               (fun (name, p) -> Printf.sprintf "%S: %.4f" name p)
+               (Trace.Tail.phase_p99s tail))
+        in
         Printf.sprintf
-          "  %S: { \"tps\": %.1f, \"mean_us\": %.4f, \"p99_us\": %.4f, \"phase_mean_us\": { %s } }"
+          "  %S: { \"tps\": %.1f, \"mean_us\": %.4f, \"p99_us\": %.4f, \"phase_mean_us\": { %s }, \
+           \"phase_p99_us\": { %s } }"
           (Harness.Experiments.mix_label mix)
-          r.Harness.Measure.tps r.Harness.Measure.mean_us r.Harness.Measure.p99_us phases)
+          r.Harness.Measure.tps r.Harness.Measure.mean_us r.Harness.Measure.p99_us phases phase_p99)
       Harness.Experiments.latency_mixes
   in
   let oc = open_out path in

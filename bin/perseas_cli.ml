@@ -113,7 +113,7 @@ let workload_cmd =
         if engine = "perseas" && mirrors > 1 then Harness.Testbed.replicated_instance ~mirrors ()
         else instance_of engine
       in
-      let hist = Sim.Stats.Histogram.create ~buckets_per_decade:3 () in
+      let hist = Sim.Stats.Histogram.create ~sub_buckets:1 () in
       let observed tx i =
         let t0 = Sim.Clock.now I.clock in
         tx i;
@@ -515,11 +515,25 @@ let trace_cmd =
     else if mirrors < 1 then `Error (false, "mirrors must be positive")
     else begin
       let label = Harness.Experiments.mix_label mix in
-      let r, sink = Harness.Experiments.traced_run ~mix ~mirrors ~warmup ~iters in
+      let tail = Trace.Tail.create () in
+      let r, sink = Harness.Experiments.traced_run ~tail ~mix ~mirrors ~warmup ~iters () in
       let json_path =
         Option.value out ~default:(Filename.concat "results" ("trace_" ^ label ^ ".json"))
       in
-      Trace.Export.chrome_json_to_file ~path:json_path ~spans:(Trace.Sink.spans sink)
+      (* Worst-K exemplars ride along as named flow events, so the
+         outliers read as arrow chains across the Perfetto tracks. *)
+      let flows =
+        List.concat_map
+          (fun (e : Trace.Tail.exemplar) ->
+            let name =
+              Printf.sprintf "worst txn %s (%.1fus)"
+                (Option.value ~default:"?" (Trace.Tail.exemplar_txn e))
+                e.Trace.Tail.e_latency_us
+            in
+            List.map (fun tl -> (name, tl)) (Trace.Tail.timelines e))
+          (Trace.Tail.exemplars tail)
+      in
+      Trace.Export.chrome_json_to_file ~flows ~path:json_path ~spans:(Trace.Sink.spans sink)
         ~events:(Trace.Sink.events sink) ();
       let header = Trace.Export.phase_csv_header in
       let rows = Trace.Export.phase_csv_rows r.Harness.Measure.phases in
@@ -554,6 +568,130 @@ let trace_cmd =
     Term.(
       ret (const run $ verbose $ mix_arg $ mirrors_arg $ trace_iters $ trace_warmup $ out_arg
          $ csv_out_arg))
+
+(* ------------------------------------------------------------------ *)
+(* explain: tail attribution + cost-model accounting for one mix       *)
+
+let explain_cmd =
+  let ex_iters = Arg.(value & opt int 2000 & info [ "n"; "iters" ] ~doc:"Measured transactions.") in
+  let ex_warmup =
+    Arg.(value & opt int 200 & info [ "warmup" ] ~doc:"Unmeasured warmup transactions.")
+  in
+  let ex_exemplars =
+    Arg.(value & opt int 3 & info [ "exemplars" ] ~doc:"Worst exemplar timelines to render.")
+  in
+  let run verbose mix mirrors iters warmup n_exemplars =
+    setup_logs verbose;
+    if iters <= 0 || warmup < 0 then `Error (false, "iters must be positive")
+    else if mirrors < 1 then `Error (false, "mirrors must be positive")
+    else begin
+      let module E = Harness.Experiments in
+      let module Cm = Harness.Costmodel in
+      let x = E.explain_run ~mix ~mirrors ~warmup ~iters () in
+      let r = x.E.ex_result in
+      let tail = x.E.ex_tail in
+      let model = x.E.ex_model in
+      let p99 = r.Harness.Measure.p99_us in
+      Printf.printf "%s, %d mirror(s): %.0f tps, mean %.2f us, p99 %.2f us over %d txns\n\n"
+        x.E.ex_label mirrors r.Harness.Measure.tps r.Harness.Measure.mean_us p99
+        r.Harness.Measure.iters;
+      (* Per-phase (and per-mirror) tail: who owns the p99. *)
+      let phase_rows =
+        List.filter_map
+          (fun (name, h) ->
+            if Sim.Stats.Histogram.count h = 0 then None
+            else
+              let pp99 = Sim.Stats.Histogram.percentile h 99. in
+              Some
+                [
+                  name;
+                  string_of_int (Sim.Stats.Histogram.count h);
+                  Printf.sprintf "%.2f" (Sim.Stats.Histogram.percentile h 50.);
+                  Printf.sprintf "%.2f" pp99;
+                  Printf.sprintf "%.1f%%" (100. *. pp99 /. p99);
+                ])
+          (Trace.Tail.phases tail)
+        @ List.filter_map
+            (fun ((name, mirror), h) ->
+              if Sim.Stats.Histogram.count h = 0 then None
+              else
+                let pp99 = Sim.Stats.Histogram.percentile h 99. in
+                Some
+                  [
+                    Printf.sprintf "  %s[m%d]" name mirror;
+                    string_of_int (Sim.Stats.Histogram.count h);
+                    Printf.sprintf "%.2f" (Sim.Stats.Histogram.percentile h 50.);
+                    Printf.sprintf "%.2f" pp99;
+                    Printf.sprintf "%.1f%%" (100. *. pp99 /. p99);
+                  ])
+            (Trace.Tail.mirror_phases tail)
+      in
+      Harness.Table.print
+        ~title:"Tail attribution: per-phase latency percentiles (share = phase p99 / e2e p99)"
+        ~header:[ "phase"; "count"; "p50_us"; "p99_us"; "share" ]
+        phase_rows;
+      let attribution =
+        List.fold_left (fun acc (_, p) -> acc +. p) 0. (Trace.Tail.phase_p99s tail) /. p99
+      in
+      Printf.printf "named phases attribute %.1f%% of the measured p99\n\n" (100. *. attribution);
+      (* Cost model: predicted vs measured per packet class. *)
+      Harness.Table.print ~title:"Analytic cost model vs NIC packet stream (settled commit units)"
+        ~header:[ "class"; "pred 64B"; "meas 64B"; "pred 16B"; "meas 16B"; "pred B"; "meas B" ]
+        (List.map
+           (fun (cls, (p : Cm.cost), (m : Cm.cost)) ->
+             [
+               cls;
+               string_of_int p.Cm.pkts64;
+               string_of_int m.Cm.pkts64;
+               string_of_int p.Cm.pkts16;
+               string_of_int m.Cm.pkts16;
+               string_of_int p.Cm.bytes;
+               string_of_int m.Cm.bytes;
+             ])
+           (Cm.classes model));
+      let pred = Cm.predicted_total model in
+      Printf.printf
+        "settled %d commit units: predicted %d pkts / %d B, NIC counted %d pkts / %d B, %d drift \
+         alert(s), %d unattributed pkt(s)\n"
+        (Cm.units_checked model) (Cm.cost_packets pred) pred.Cm.bytes
+        (x.E.ex_pkts64 + x.E.ex_pkts16) x.E.ex_bytes (Cm.drift_count model)
+        (Cm.cost_packets (Cm.unattributed model));
+      List.iter (fun a -> Printf.printf "  DRIFT %s\n" (Cm.describe a)) (Cm.alerts model);
+      (* Worst-K exemplars, stitched cross-node. *)
+      let exemplars = Trace.Tail.exemplars tail in
+      Printf.printf "\nworst-%d exemplar transactions (of %d retained):\n"
+        (min n_exemplars (List.length exemplars))
+        (List.length exemplars);
+      List.iteri
+        (fun i (e : Trace.Tail.exemplar) ->
+          if i < n_exemplars then begin
+            Printf.printf "-- exemplar %d: txn %s, iteration %d, %.2f us (%.1f%% phase-covered)\n"
+              (i + 1)
+              (Option.value ~default:"?" (Trace.Tail.exemplar_txn e))
+              e.Trace.Tail.e_seq e.Trace.Tail.e_latency_us
+              (100. *. E.exemplar_coverage e);
+            List.iter
+              (fun tl ->
+                print_string (Trace.Causal.render tl);
+                print_newline ())
+              (Trace.Tail.timelines e)
+          end)
+        exemplars;
+      if attribution < 0.95 then
+        `Error (false, "named phases attribute < 95% of the measured p99")
+      else if exemplars = [] then `Error (false, "no exemplar transaction retained")
+      else if Cm.drift_count model > 0 then
+        `Error (false, "cost model drifted from the NIC packet stream")
+      else `Ok ()
+    end
+  in
+  let doc =
+    "Explain where the tail goes: per-phase/per-mirror p99 attribution, worst-K exemplar \
+     timelines, and the paper's analytic packet cost model checked live against the NIC counters."
+  in
+  Cmd.v (Cmd.info "explain" ~doc)
+    Term.(
+      ret (const run $ verbose $ mix_arg $ mirrors_arg $ ex_iters $ ex_warmup $ ex_exemplars))
 
 (* ------------------------------------------------------------------ *)
 (* stats                                                                *)
@@ -620,10 +758,11 @@ let top_cmd =
       let params =
         { C.default_params with seed; mirrors; spares; duration = Sim.Time.ms duration_ms }
       in
+      let tail = Trace.Tail.create () in
       let r, tel =
-        Harness.Telemetry.instrumented_churn ~params ~interval:(Sim.Time.us interval_us) ()
+        Harness.Telemetry.instrumented_churn ~params ~interval:(Sim.Time.us interval_us) ~tail ()
       in
-      print_string (Harness.Telemetry.top r tel);
+      print_string (Harness.Telemetry.top ~tail r tel);
       `Ok ()
     end
   in
@@ -739,6 +878,7 @@ let main =
       experiments_cmd;
       workload_cmd;
       trace_cmd;
+      explain_cmd;
       stats_cmd;
       availability_cmd;
       crash_demo_cmd;

@@ -1104,8 +1104,20 @@ let set_range txn seg ~off ~len =
   check_seg_range seg ~off ~len "set_range";
   if len = 0 then invalid_arg "Perseas.set_range: empty range";
   let t = txn.owner in
-  traced t ~name:"set_range" ~args:[ ("txn", string_of_int txn.t_id) ] (fun () ->
-      Clock.advance (clock t) t_set_range);
+  (* The declaration's coordinates ride on the span so trace observers
+     (the cost model, notably) can replay the write-set arithmetic
+     without participating in the run. *)
+  traced t ~name:"set_range"
+    ~args:
+      [
+        ("txn", string_of_int txn.t_id);
+        ("seg", seg.seg_name);
+        ("idx", string_of_int seg.index);
+        ("off", string_of_int off);
+        ("len", string_of_int len);
+        ("size", string_of_int seg.size);
+      ]
+    (fun () -> Clock.advance (clock t) t_set_range);
   (* Conflict detection at 64-byte-line granularity — the unit the NIC
      widening and commit glue may ship margin bytes at, so line-level
      disjointness is what makes cross-transaction batching safe.  The

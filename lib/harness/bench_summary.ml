@@ -16,6 +16,9 @@ type entry = {
   mean_us : float;
   p99_us : float;
   pkts_per_txn : float option;  (* PERSEAS cells only: NIC packets / txn *)
+  phase_p99 : (string * float) list;
+      (* PERSEAS cells only: p99 virtual us per txn phase from the live
+         Trace.Tail histograms; [] for baselines and older schemas. *)
 }
 
 let workload_label = function `Debit_credit -> "debit-credit" | `Order_entry -> "order-entry"
@@ -36,7 +39,15 @@ let perseas_cell mirrors () =
       let finish () = ()
     end)
   in
-  (inst, Some (Cluster.nic bed.T.cluster))
+  (* The tail attaches only after setup (inside [measure]'s reset), so
+     the per-phase histograms cover the warmup + measured window, not
+     database creation. *)
+  let attach_tail () =
+    let tail = Trace.Tail.create () in
+    Perseas.set_sink bed.T.perseas (Trace.Tail.sink tail);
+    tail
+  in
+  (inst, Some (Cluster.nic bed.T.cluster), Some attach_tail)
 
 (* Fresh instance per cell — engines accumulate state. *)
 let engines =
@@ -44,19 +55,23 @@ let engines =
     ("PERSEAS", 1, perseas_cell 1);
     ("PERSEAS", 2, perseas_cell 2);
     ("PERSEAS", 3, perseas_cell 3);
-    ("RVM", 0, fun () -> (T.rvm_instance (), None));
-    ("RVM-Rio", 0, fun () -> (T.rvm_instance ~rio:true (), None));
-    ("Vista", 0, fun () -> (T.vista_instance (), None));
-    ("RemoteWAL", 0, fun () -> (T.remote_wal_instance (), None));
+    ("RVM", 0, fun () -> (T.rvm_instance (), None, None));
+    ("RVM-Rio", 0, fun () -> (T.rvm_instance ~rio:true (), None, None));
+    ("Vista", 0, fun () -> (T.vista_instance (), None, None));
+    ("RemoteWAL", 0, fun () -> (T.remote_wal_instance (), None, None));
   ]
 
-let measure (inst, nic) workload =
+let measure (inst, nic, attach_tail) workload =
   let (module I : T.INSTANCE) = inst in
   let iters = if T.label inst = "RVM" then 2_000 else 10_000 in
   let warmup = iters / 10 in
+  let tail = ref None in
   (* Counters are reset after setup, so packets/txn covers exactly the
-     warmup + measured transactions. *)
-  let reset () = Option.iter Sci.Nic.reset_counters nic in
+     warmup + measured transactions (the tail histograms likewise). *)
+  let reset () =
+    Option.iter Sci.Nic.reset_counters nic;
+    tail := Option.map (fun f -> f ()) attach_tail
+  in
   let r =
     match workload with
     | `Debit_credit ->
@@ -89,7 +104,8 @@ let measure (inst, nic) workload =
         float_of_int (c.Sci.Nic.packets64 + c.Sci.Nic.packets16) /. float_of_int (warmup + iters))
       nic
   in
-  (r, pkts)
+  let phase_p99 = match !tail with Some t -> Trace.Tail.phase_p99s t | None -> [] in
+  (r, pkts, phase_p99)
 
 (* Concurrency cell: debit-credit under 8 interleaved clients at one
    mirror, batching two client rounds per group-commit flush (the R9
@@ -143,6 +159,9 @@ let concurrent_entry () =
       Some
         (float_of_int (c.Sci.Nic.packets64 + c.Sci.Nic.packets16)
         /. float_of_int s.Multi_client.committed);
+    (* Per-phase percentiles are as undefined as the latency columns
+       here: phases of staged transactions land in the convoy's window. *)
+    phase_p99 = [];
   }
 
 (* Recovery-time cell: a checkpointed debit-credit database loses its
@@ -190,6 +209,7 @@ let checkpoint_entry () =
     mean_us = recovery_us;
     p99_us = recovery_us;
     pkts_per_txn = None;
+    phase_p99 = [];
   }
 
 let collect () =
@@ -197,7 +217,7 @@ let collect () =
     (fun (engine, mirrors, make) ->
       List.map
         (fun w ->
-          let r, pkts = measure (make ()) w in
+          let r, pkts, phase_p99 = measure (make ()) w in
           {
             engine;
             workload = workload_label w;
@@ -206,6 +226,7 @@ let collect () =
             mean_us = r.Measure.mean_us;
             p99_us = r.Measure.p99_us;
             pkts_per_txn = pkts;
+            phase_p99;
           })
         workloads)
     engines
@@ -218,10 +239,18 @@ let to_json entries =
       | Some p -> Printf.sprintf ", \"pkts_per_txn\": %.2f" p
       | None -> ""
     in
+    let phases =
+      match e.phase_p99 with
+      | [] -> ""
+      | ps ->
+          Printf.sprintf ", \"phase_p99_us\": { %s }"
+            (String.concat ", "
+               (List.map (fun (name, p) -> Printf.sprintf "%S: %.4f" name p) ps))
+    in
     Printf.sprintf
       "    { \"engine\": %S, \"workload\": %S, \"mirrors\": %d, \"tps\": %.1f, \"mean_us\": \
-       %.4f, \"p99_us\": %.4f%s }"
-      e.engine e.workload e.mirrors e.tps e.mean_us e.p99_us pkts
+       %.4f, \"p99_us\": %.4f%s%s }"
+      e.engine e.workload e.mirrors e.tps e.mean_us e.p99_us pkts phases
   in
   "{\n  \"schema\": \"perseas-bench-summary/1\",\n  \"entries\": [\n"
   ^ String.concat ",\n" (List.map cell entries)
@@ -239,6 +268,13 @@ let of_json j =
       p99_us = num "p99_us";
       (* Absent in baselines written before the packet column existed. *)
       pkts_per_txn = Option.map Json.to_float (Json.member "pkts_per_txn" e);
+      (* Likewise absent before the per-phase tail column; an old
+         baseline still gates on tps/pkts/p99, just without
+         attribution. *)
+      phase_p99 =
+        (match Json.member "phase_p99_us" e with
+        | None -> []
+        | Some o -> List.map (fun (k, v) -> (k, Json.to_float v)) (Json.to_obj o));
     }
   in
   List.map entry (Json.to_list (Json.member_exn "entries" j))
@@ -266,6 +302,7 @@ type verdict = {
   pkts_delta_pct : float option;  (* positive = more packets *)
   baseline_p99 : float option;
   p99_delta_pct : float option;  (* positive = slower tail *)
+  baseline_phase_p99 : (string * float) list;  (* [] when the baseline predates it *)
   gated : bool;  (* part of the hard gate (debit-credit tps + pkts + p99) *)
   failed : bool;
 }
@@ -291,6 +328,7 @@ let compare_to_baseline ?(tolerance_pct = 10.0) ?(pkts_tolerance_pct = 2.0)
               pkts_delta_pct = None;
               baseline_p99 = None;
               p99_delta_pct = None;
+              baseline_phase_p99 = [];
               gated;
               failed = false;
             }
@@ -319,6 +357,7 @@ let compare_to_baseline ?(tolerance_pct = 10.0) ?(pkts_tolerance_pct = 2.0)
               pkts_delta_pct = pkts_delta;
               baseline_p99 = Some b.p99_us;
               p99_delta_pct = p99_delta;
+              baseline_phase_p99 = b.phase_p99;
               gated;
               failed =
                 gated
@@ -353,6 +392,7 @@ let compare_to_baseline ?(tolerance_pct = 10.0) ?(pkts_tolerance_pct = 2.0)
             pkts_delta_pct = None;
             baseline_p99 = Some b.p99_us;
             p99_delta_pct = None;
+            baseline_phase_p99 = b.phase_p99;
             gated = true;
             failed = true;
           })
@@ -391,4 +431,31 @@ let print_verdicts ~tolerance_pct verdicts =
          "Bench gate: debit-credit tps within %.0f%% of baseline, packets/txn not up, p99 not \
           blown (other cells informational)"
          tolerance_pct)
-    ~header rows
+    ~header rows;
+  (* A failed cell gets its tail attributed: which phase's p99 moved,
+     so the gate's verdict names a suspect instead of just a number. *)
+  List.iter
+    (fun v ->
+      if v.failed && v.entry.phase_p99 <> [] then begin
+        Printf.printf "%s %s x%d p99 attribution (phase: now vs baseline):\n" v.entry.engine
+          v.entry.workload v.entry.mirrors;
+        if v.baseline_phase_p99 = [] then
+          print_endline "  no per-phase baseline (older schema) - current p99 per phase only";
+        let moved =
+          List.map
+            (fun (name, p) ->
+              let base = List.assoc_opt name v.baseline_phase_p99 in
+              let delta = match base with Some b when b > 0. -> Some (p -. b) | _ -> None in
+              (name, p, base, delta))
+            v.entry.phase_p99
+        in
+        let key = function _, _, _, Some d -> -.abs_float d | _, p, _, None -> -.p in
+        List.iter
+          (fun (name, p, base, delta) ->
+            Printf.printf "  %-18s %8.2f us%s\n" name p
+              (match (base, delta) with
+              | Some b, Some d -> Printf.sprintf " vs %8.2f us (%+.2f us)" b d
+              | _ -> ""))
+          (List.sort (fun a b -> compare (key a) (key b)) moved)
+      end)
+    verdicts

@@ -18,6 +18,11 @@ type entry = {
       (** PERSEAS cells only: SCI packets (64 B + 16 B) per transaction
           over the warmup + measured window; [None] for single-node
           baselines and for JSON written before this column existed. *)
+  phase_p99 : (string * float) list;
+      (** PERSEAS eager cells only: p99 virtual microseconds per [txn]
+          phase over the same window, from a live {!Trace.Tail}; [[]]
+          for baselines, group-commit/recovery cells, and JSON written
+          before the [phase_p99_us] field existed. *)
 }
 
 val collect : unit -> entry list
@@ -55,6 +60,9 @@ type verdict = {
   p99_delta_pct : float option;
       (** p99 latency change vs baseline; positive = slower tail.
           [None] when the baseline p99 is zero or the cell is new. *)
+  baseline_phase_p99 : (string * float) list;
+      (** Baseline per-phase p99s; [[]] when the baseline predates the
+          column (the gate still judges, without attribution). *)
   gated : bool;  (** counted by the hard gate (debit-credit cells) *)
   failed : bool;
 }
@@ -77,4 +85,7 @@ val compare_to_baseline :
     per-cell verdicts and whether anything failed. *)
 
 val print_verdicts : tolerance_pct:float -> verdict list -> unit
-(** Aligned verdict table on stdout. *)
+(** Aligned verdict table on stdout.  A failed cell carrying per-phase
+    p99s is followed by its tail attribution — each phase's p99 now vs
+    baseline, biggest mover first — so a blown gate names the phase
+    that moved, not just the number. *)

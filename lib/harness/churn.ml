@@ -87,7 +87,7 @@ let check r =
     fail "committed data lost: the image recovered after killing the primary differs";
   if not r.recovered_consistent then fail "recovered database violates the TPC-B invariant"
 
-let run ?(params = default_params) ?telemetry ?postmortem () =
+let run ?(params = default_params) ?telemetry ?postmortem ?sink () =
   if params.mirrors < 1 then invalid_arg "Churn.run: at least one mirror";
   if params.spares < 1 then invalid_arg "Churn.run: at least one spare";
   let clock = Clock.create () in
@@ -124,7 +124,11 @@ let run ?(params = default_params) ?telemetry ?postmortem () =
      A pure observer: postmortem-on runs are byte-identical to
      postmortem-off ones. *)
   let forensics = Option.map (fun dir -> (Forensics.create (), dir)) postmortem in
-  Option.iter (fun (f, _) -> Forensics.attach f t) forensics;
+  (* Flight recorder and any caller sink (a live Trace.Tail, say) share
+     the stream via a tee; both stay pure observers. *)
+  (match Option.to_list sink @ List.map (fun (f, _) -> Forensics.sink f) (Option.to_list forensics) with
+  | [] -> ()
+  | ss -> P.set_sink t (Trace.Sink.tee ss));
   let db = W.setup t ~params:Workloads.Debit_credit.small_params in
   let ckpt_server =
     Option.map

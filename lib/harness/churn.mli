@@ -73,7 +73,12 @@ type report = {
 exception Oracle_violation of string
 
 val run :
-  ?params:params -> ?telemetry:Trace.Timeseries.t * Time.t -> ?postmortem:string -> unit -> report
+  ?params:params ->
+  ?telemetry:Trace.Timeseries.t * Time.t ->
+  ?postmortem:string ->
+  ?sink:Trace.Sink.t ->
+  unit ->
+  report
 (** Build a cluster of primary + mirrors + spares + an observer node
     (each on its own power supply), run the seeded churn schedule, then
     quiesce, scrub, kill the primary and recover on the observer.
@@ -86,6 +91,10 @@ val run :
     performs itself — dumps the post-mortem bundle into the directory
     and raises {!Oracle_violation}.  The recorder is a pure observer:
     postmortem-on runs are byte-identical to postmortem-off ones.
+
+    [sink] is tee'd next to the flight recorder on the engine's span
+    stream for the churn portion of the run (an observer feeding a
+    {!Trace.Tail}, typically) — same purity contract.
 
     [telemetry:(series, interval)] instruments the whole stack — the
     engine, the supervisor, every memory server (including ones respawned

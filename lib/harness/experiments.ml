@@ -1061,28 +1061,29 @@ type latency_mix = Debit_credit_mix | Large_update_mix
 let latency_mixes = [ Debit_credit_mix; Large_update_mix ]
 let mix_label = function Debit_credit_mix -> "debit-credit" | Large_update_mix -> "large-update"
 
-let traced_run ~mix ~mirrors ~warmup ~iters =
+let mix_tx ~mix t =
+  match mix with
+  | Debit_credit_mix ->
+      let module W = Workloads.Debit_credit.Make (Perseas.Engine) in
+      let rng = Rng.create 7 in
+      let db = W.setup t ~params:Workloads.Debit_credit.small_params in
+      fun _ -> W.transaction db rng
+  | Large_update_mix ->
+      let module S = Workloads.Synthetic.Make (Perseas.Engine) in
+      let rng = Rng.create 42 in
+      let db = S.setup t ~db_size:(mb 8) in
+      fun _ -> S.transaction db rng ~tx_size:(kb 16)
+
+let traced_run ?tail ~mix ~mirrors ~warmup ~iters () =
   let bed = Testbed.replicated_bed ~mirrors () in
   let t = bed.perseas in
-  let tx =
-    match mix with
-    | Debit_credit_mix ->
-        let module W = Workloads.Debit_credit.Make (Perseas.Engine) in
-        let rng = Rng.create 7 in
-        let db = W.setup t ~params:Workloads.Debit_credit.small_params in
-        fun _ -> W.transaction db rng
-    | Large_update_mix ->
-        let module S = Workloads.Synthetic.Make (Perseas.Engine) in
-        let rng = Rng.create 42 in
-        let db = S.setup t ~db_size:(mb 8) in
-        fun _ -> S.transaction db rng ~tx_size:(kb 16)
-  in
+  let tx = mix_tx ~mix t in
   (* Attach the sink only after setup, so its memory holds the run
      itself; Measure's cursor then scopes the breakdown to the
      measured window. *)
   let sink = Trace.Sink.memory () in
   Perseas.set_sink t sink;
-  (Measure.run ~clock:bed.clock ~sink ~warmup ~iters tx, sink)
+  (Measure.run ~clock:bed.clock ~sink ?tail ~warmup ~iters tx, sink)
 
 let latency_breakdown () =
   let header = "workload" :: "mirrors" :: "tps" :: Trace.Export.phase_csv_header in
@@ -1091,7 +1092,7 @@ let latency_breakdown () =
       (fun mix ->
         List.concat_map
           (fun mirrors ->
-            let r, _sink = traced_run ~mix ~mirrors ~warmup:200 ~iters:2000 in
+            let r, _sink = traced_run ~mix ~mirrors ~warmup:200 ~iters:2000 () in
             List.map
               (fun row -> mix_label mix :: string_of_int mirrors :: Table.fmt_tps r.Measure.tps :: row)
               (Trace.Export.phase_csv_rows r.Measure.phases))
@@ -1253,6 +1254,126 @@ let audit () =
      bundle under results/postmortem/"
 
 (* ------------------------------------------------------------------ *)
+(* R12: tail attribution and the analytic cost model *)
+
+type explained = {
+  ex_label : string;
+  ex_mirrors : int;
+  ex_result : Measure.result;
+  ex_tail : Trace.Tail.t;
+  ex_model : Costmodel.t;
+  ex_pkts64 : int;  (** NIC 64-byte packet delta over the whole traced window. *)
+  ex_pkts16 : int;
+  ex_bytes : int;  (** NIC bytes written over the window. *)
+}
+
+let explain_run ?config ~mix ~mirrors ~warmup ~iters () =
+  let bed = Testbed.replicated_bed ?config ~mirrors () in
+  let t = bed.perseas in
+  let tx = mix_tx ~mix t in
+  let nic = Cluster.nic bed.cluster in
+  let model = Costmodel.create ~config:(Perseas.config t) ~params:(Sci.Nic.params nic) () in
+  let tail = Trace.Tail.create () in
+  (* Ring + model tee'd on one stream, attached after setup; the NIC
+     counters reset at the same instant so the model's settled total is
+     comparable to the hardware delta over the whole traced window
+     (warmup included — the model watches every fence, not just the
+     measured ones). *)
+  let sink = Trace.Sink.tee [ Trace.Sink.memory (); Costmodel.sink model ] in
+  Perseas.set_sink t sink;
+  Sci.Nic.reset_counters nic;
+  let result = Measure.run ~clock:bed.clock ~sink ~tail ~warmup ~iters tx in
+  let c = Sci.Nic.counters nic in
+  {
+    ex_label = mix_label mix;
+    ex_mirrors = mirrors;
+    ex_result = result;
+    ex_tail = tail;
+    ex_model = model;
+    ex_pkts64 = c.Sci.Nic.packets64;
+    ex_pkts16 = c.Sci.Nic.packets16;
+    ex_bytes = c.Sci.Nic.bytes_written;
+  }
+
+(* Fraction of an exemplar's end-to-end latency covered by named [txn]
+   phases — the spans partition the transaction, so anything below 1.0
+   is clock charge no phase claims. *)
+let exemplar_coverage (e : Trace.Tail.exemplar) =
+  if e.Trace.Tail.e_latency_us <= 0. then 1.
+  else
+    let covered =
+      List.fold_left
+        (fun acc (s : Trace.Span.t) ->
+          if s.Trace.Span.cat = "txn" then acc +. Trace.Span.duration_us s else acc)
+        0. e.Trace.Tail.e_spans
+    in
+    covered /. e.Trace.Tail.e_latency_us
+
+let explain () =
+  let cells =
+    List.map
+      (fun mirrors -> explain_run ~mix:Debit_credit_mix ~mirrors ~warmup:200 ~iters:2000 ())
+      [ 1; 2; 3 ]
+  in
+  let header = [ "workload"; "mirrors"; "phase"; "count"; "p99_us"; "share_p99" ] in
+  let rows =
+    List.concat_map
+      (fun x ->
+        let p99 = x.ex_result.Measure.p99_us in
+        let prefix = [ x.ex_label; string_of_int x.ex_mirrors ] in
+        (prefix @ [ "end-to-end"; string_of_int x.ex_result.Measure.iters; Table.fmt_us p99; "" ])
+        :: List.map
+             (fun (name, h) ->
+               prefix
+               @ [
+                   name;
+                   string_of_int (Stats.Histogram.count h);
+                   Table.fmt_us (Stats.Histogram.percentile h 99.);
+                   Printf.sprintf "%.3f" (Stats.Histogram.percentile h 99. /. p99);
+                 ])
+             (List.filter (fun (_, h) -> Stats.Histogram.count h > 0) (Trace.Tail.phases x.ex_tail)))
+      cells
+  in
+  Table.print ~title:"Tail attribution: per-phase p99 share of end-to-end p99 (debit-credit)"
+    ~header rows;
+  Table.save_csv ~path:(csv_path "tail_attribution") ~header rows;
+  List.iter
+    (fun x ->
+      let m = x.ex_model in
+      let pred = Costmodel.predicted_total m in
+      Printf.printf
+        "%s x%d: cost model settled %d commit units, drift %d; predicted %d pkts / %d B vs NIC %d \
+         pkts / %d B\n"
+        x.ex_label x.ex_mirrors (Costmodel.units_checked m) (Costmodel.drift_count m)
+        (Costmodel.cost_packets pred) pred.Costmodel.bytes (x.ex_pkts64 + x.ex_pkts16) x.ex_bytes;
+      List.iter
+        (fun a -> Printf.printf "  DRIFT %s\n" (Costmodel.describe a))
+        (Costmodel.alerts m);
+      (* The R12 contract: exact accounting, every packet attributed. *)
+      if Costmodel.drift_count m <> 0 then failwith "explain: cost-model drift on an eager cell";
+      if Costmodel.pending m <> 0 then failwith "explain: unfenced commit units at end of run";
+      if Costmodel.cost_packets (Costmodel.unattributed m) <> 0 then
+        failwith "explain: unattributed packets in a steady-state window";
+      if pred.Costmodel.pkts64 <> x.ex_pkts64 || pred.Costmodel.pkts16 <> x.ex_pkts16 then
+        failwith "explain: settled predictions do not sum to the NIC counter delta";
+      (* Attribution: named phases must explain >= 95% of the p99. *)
+      let phase_sum =
+        List.fold_left (fun acc (_, p) -> acc +. p) 0. (Trace.Tail.phase_p99s x.ex_tail)
+      in
+      if phase_sum < 0.95 *. x.ex_result.Measure.p99_us then
+        failwith "explain: phases attribute < 95% of measured p99";
+      match Trace.Tail.exemplars x.ex_tail with
+      | [] -> failwith "explain: no exemplar retained"
+      | worst :: _ ->
+          Printf.printf "  worst exemplar: txn %s, %.2f us, %.1f%% phase-covered\n"
+            (Option.value ~default:"?" (Trace.Tail.exemplar_txn worst))
+            worst.Trace.Tail.e_latency_us
+            (100. *. exemplar_coverage worst))
+    cells;
+  print_endline
+    "explain green: zero cost-model drift, all packets attributed, worst-K exemplars retained"
+
+(* ------------------------------------------------------------------ *)
 
 let names =
   [
@@ -1280,6 +1401,7 @@ let names =
     ("concurrency", "Concurrent disjoint clients: tps and pkts/txn vs offered load", concurrency);
     ("checkpoint", "Fuzzy checkpoints: recovery time flat vs database size", checkpoint);
     ("audit", "Online protocol-invariant monitor over crash sweeps and churn", audit);
+    ("explain", "Tail attribution + analytic cost model vs NIC counters", explain);
   ]
 
 let all () = List.iter (fun (_, _, run) -> run ()) names

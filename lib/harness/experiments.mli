@@ -93,11 +93,55 @@ val latency_mixes : latency_mix list
 val mix_label : latency_mix -> string
 
 val traced_run :
-  mix:latency_mix -> mirrors:int -> warmup:int -> iters:int -> Measure.result * Trace.Sink.t
+  ?tail:Trace.Tail.t ->
+  mix:latency_mix ->
+  mirrors:int ->
+  warmup:int ->
+  iters:int ->
+  unit ->
+  Measure.result * Trace.Sink.t
 (** Run one workload mix on a fresh [mirrors]-way testbed with a memory
     trace sink attached; [result.phases] holds the per-phase breakdown
     of the measured window, and the returned sink holds every span and
-    event of the run (warmup included) for export. *)
+    event of the run (warmup included) for export.  Pass [tail] to feed
+    each measured transaction's latency, spans and events into a
+    {!Trace.Tail} (per-phase percentiles, worst-K exemplars). *)
+
+type explained = {
+  ex_label : string;
+  ex_mirrors : int;
+  ex_result : Measure.result;
+  ex_tail : Trace.Tail.t;
+  ex_model : Costmodel.t;
+  ex_pkts64 : int;  (** NIC 64-byte packet delta over the whole traced window. *)
+  ex_pkts16 : int;
+  ex_bytes : int;  (** NIC bytes written over the window. *)
+}
+
+val explain_run :
+  ?config:Perseas.config ->
+  mix:latency_mix ->
+  mirrors:int ->
+  warmup:int ->
+  iters:int ->
+  unit ->
+  explained
+(** One fully-instrumented cell: a fresh [mirrors]-way testbed with a
+    recording ring, a {!Trace.Tail}, and a {!Costmodel} tee'd on the
+    engine's span stream, NIC counters reset at attach time so the
+    model's settled totals are comparable to the hardware deltas. *)
+
+val exemplar_coverage : Trace.Tail.exemplar -> float
+(** Fraction of the exemplar's end-to-end latency covered by named
+    [txn] phase spans (1.0 = fully attributed). *)
+
+val explain : unit -> unit
+(** R12: tail attribution + the analytic cost model on eager
+    debit-credit at 1–3 mirrors.  Prints the per-phase p99 share table
+    and the model-vs-NIC packet accounting, writes
+    [results/tail_attribution.csv], and fails on any cost-model drift,
+    unattributed packet, missing exemplar, or phase attribution below
+    95% of the measured p99. *)
 
 val latency_breakdown : unit -> unit
 (** R6: where the microseconds of a transaction go — per-phase virtual

@@ -82,8 +82,36 @@ let dump t ~dir ~cause ?stats () =
        (Trace.Sink.dropped_spans t.ring)
        (Trace.Sink.dropped_events t.ring)
        (String.concat ", " (List.map alert_json (alerts t))));
-  Trace.Export.chrome_json_to_file ~path:(Filename.concat dir "trace.json") ~spans ~events ();
-  write "causal.txt" (Trace.Causal.render_all (Trace.Causal.build ~spans ~events));
+  (* Worst-K outliers as named flow events: rank each stitched timeline
+     by wall extent and arrow the slowest through the Perfetto tracks,
+     so the bundle shows where the bad transactions went, not just
+     everything that happened. *)
+  let timelines = Trace.Causal.build ~spans ~events in
+  let extent (tl : Trace.Causal.timeline) =
+    match tl.Trace.Causal.c_hops with
+    | [] -> Sim.Time.zero
+    | first :: _ ->
+        let stop =
+          List.fold_left (fun acc h -> max acc h.Trace.Causal.h_stop) first.Trace.Causal.h_stop
+            tl.Trace.Causal.c_hops
+        in
+        stop - first.Trace.Causal.h_start
+  in
+  let flows =
+    List.filteri
+      (fun i _ -> i < 8)
+      (List.sort
+         (fun a b -> compare (extent b) (extent a))
+         (List.filter (fun tl -> tl.Trace.Causal.c_hops <> []) timelines))
+    |> List.map (fun tl ->
+           ( Printf.sprintf "worst txn %s (%.1fus)" tl.Trace.Causal.c_txn
+               (Sim.Time.to_us (extent tl)),
+             tl ))
+  in
+  Trace.Export.chrome_json_to_file ~flows
+    ~path:(Filename.concat dir "trace.json")
+    ~spans ~events ();
+  write "causal.txt" (Trace.Causal.render_all timelines);
   (match stats with Some s -> write "stats.json" (P.stats_to_json s ^ "\n") | None -> ());
   dir
 

@@ -10,7 +10,7 @@ type result = {
   phases : Trace.phase_stat list;
 }
 
-let run ~clock ?(sink = Trace.Sink.noop) ?(finish = fun () -> ()) ~warmup ~iters tx =
+let run ~clock ?(sink = Trace.Sink.noop) ?tail ?(finish = fun () -> ()) ~warmup ~iters tx =
   if iters <= 0 then invalid_arg "Measure.run: iters must be positive";
   for i = 0 to warmup - 1 do
     tx i
@@ -20,11 +20,25 @@ let run ~clock ?(sink = Trace.Sink.noop) ?(finish = fun () -> ()) ~warmup ~iters
   (* Cursor into the sink so the breakdown covers exactly the measured
      window — warmup spans are excluded. *)
   let mark = Trace.Sink.span_count sink in
+  let feed_tail = tail <> None && Trace.Sink.enabled sink in
   let t0 = Clock.now clock in
   for i = 0 to iters - 1 do
+    let sp_mark = if feed_tail then Trace.Sink.span_count sink else 0 in
+    let ev_mark = if feed_tail then Trace.Sink.event_count sink else 0 in
     let s = Clock.now clock in
     tx (warmup + i);
-    Stats.Series.add series (Time.to_us (Clock.now clock - s))
+    let lat = Time.to_us (Clock.now clock - s) in
+    Stats.Series.add series lat;
+    match tail with
+    | Some tail when feed_tail ->
+        (* Per-transaction window by cursor: spans into the per-phase
+           histograms, the whole window into the exemplar reservoir
+           when the latency clears the admission bar. *)
+        Trace.Tail.observe tail ~latency_us:lat
+          ~spans:(Trace.Sink.spans_since sink sp_mark)
+          ~events:(Trace.Sink.events_since sink ev_mark)
+    | Some tail -> Trace.Tail.observe tail ~latency_us:lat ~spans:[] ~events:[]
+    | None -> ()
   done;
   finish ();
   let elapsed = Clock.now clock - t0 in

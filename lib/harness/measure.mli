@@ -20,6 +20,7 @@ type result = {
 val run :
   clock:Clock.t ->
   ?sink:Trace.Sink.t ->
+  ?tail:Trace.Tail.t ->
   ?finish:(unit -> unit) ->
   warmup:int ->
   iters:int ->
@@ -31,6 +32,10 @@ val run :
     buffered work (group commit) is accounted.  Pass a memory [sink]
     (already attached to the engine, e.g. via {!Perseas.set_sink}) to
     get the per-phase breakdown of the measured window in [phases];
-    warmup spans are excluded by cursor, not by clearing the sink. *)
+    warmup spans are excluded by cursor, not by clearing the sink.
+    Pass [tail] to feed every measured transaction — latency, its span
+    window, its packet events — into a {!Trace.Tail} for per-phase
+    percentiles and worst-K exemplar retention (window scoping needs
+    the same memory [sink]; without one only latencies are fed). *)
 
 val pp_result : Format.formatter -> result -> unit

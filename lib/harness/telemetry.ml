@@ -10,9 +10,10 @@ module Ts = Trace.Timeseries
 
 let default_interval = Time.us 100.0
 
-let instrumented_churn ?(params = Churn.default_params) ?(interval = default_interval) () =
+let instrumented_churn ?(params = Churn.default_params) ?(interval = default_interval) ?tail () =
   let tel = Ts.create () in
-  let r = Churn.run ~params ~telemetry:(tel, interval) () in
+  let sink = Option.map Trace.Tail.sink tail in
+  let r = Churn.run ~params ~telemetry:(tel, interval) ?sink () in
   (r, tel)
 
 (* ------------------------------------------------------------------ *)
@@ -138,7 +139,7 @@ let sparkline ?(width = 60) tel name =
     Buffer.contents buf
   end
 
-let top (r : Churn.report) tel =
+let top ?tail (r : Churn.report) tel =
   let b = Buffer.create 1024 in
   let line fmt = Printf.ksprintf (fun s -> Buffer.add_string b s; Buffer.add_char b '\n') fmt in
   let v name = Ts.value tel name in
@@ -169,6 +170,20 @@ let top (r : Churn.report) tel =
     (Table.fmt_int (v "nic.bytes"))
     (Table.fmt_int (v "netram.rpc_ops"))
     (Ts.hwm tel "nic.burst_bytes") (Ts.hwm tel "nic.burst_pkts");
+  (* Live per-phase tail, when a Trace.Tail rode along on the span
+     stream: where the p99 microseconds of a transaction go. *)
+  Option.iter
+    (fun tail ->
+      match Trace.Tail.phase_p99s tail with
+      | [] -> ()
+      | ps ->
+          line "  phase p99     %s   (%d txn-phase samples)"
+            (String.concat "   "
+               (List.map (fun (n, p) -> Printf.sprintf "%s %.1fus" n p) ps))
+            (List.fold_left
+               (fun acc (_, h) -> acc + Sim.Stats.Histogram.count h)
+               0 (Trace.Tail.phases tail)))
+    tail;
   (* Per-server liveness, from the netram.<label>.alive gauges. *)
   let servers =
     List.filter_map

@@ -9,9 +9,15 @@ val default_interval : Time.t
 (** 100 us of virtual time between samples. *)
 
 val instrumented_churn :
-  ?params:Churn.params -> ?interval:Time.t -> unit -> Churn.report * Trace.Timeseries.t
+  ?params:Churn.params ->
+  ?interval:Time.t ->
+  ?tail:Trace.Tail.t ->
+  unit ->
+  Churn.report * Trace.Timeseries.t
 (** {!Churn.run} with a live timeseries attached; deterministic per
-    seed, and byte-identical in behaviour to an uninstrumented run. *)
+    seed, and byte-identical in behaviour to an uninstrumented run.
+    [tail]'s observer sink is tee'd onto the engine span stream, so
+    its per-phase histograms cover the whole churn run live. *)
 
 type agreement = {
   windows_total : int;  (** degraded windows in the supervisor log *)
@@ -55,7 +61,7 @@ val sparkline : ?width:int -> Trace.Timeseries.t -> string -> string
 (** Eight-level block sparkline of one gauge over the run; each column
     is the max over its bucket so narrow spikes survive. *)
 
-val top : Churn.report -> Trace.Timeseries.t -> string
+val top : ?tail:Trace.Tail.t -> Churn.report -> Trace.Timeseries.t -> string
 (** The dashboard: replication health, workload and healing totals,
     network counters, per-server liveness and sparklines, rendered
     from a finished instrumented run. *)

@@ -99,19 +99,31 @@ module Series = struct
 end
 
 module Histogram = struct
+  (* Log2 buckets with linear sub-buckets per octave: x = m * 2^e with
+     m in [0.5, 1) lands in octave e, sub-bucket floor((m-0.5)*2*sub).
+     Bucket bounds are 2^(e-1)*(1 + s/sub) .. 2^(e-1)*(1 + (s+1)/sub),
+     so every bucket's relative width is at most 1/sub and a percentile
+     read off the bucket midpoint is within 1/(2*sub) of the exact
+     nearest-rank sample — 3.125% at the default 16 sub-buckets. *)
   type t = {
-    buckets_per_decade : int;
+    sub : int;
     counts : (int, int ref) Hashtbl.t;
     mutable total : int;
   }
 
-  let create ?(buckets_per_decade = 5) () =
-    if buckets_per_decade <= 0 then invalid_arg "Histogram.create";
-    { buckets_per_decade; counts = Hashtbl.create 32; total = 0 }
+  let create ?(sub_buckets = 16) () =
+    if sub_buckets <= 0 then invalid_arg "Histogram.create";
+    { sub = sub_buckets; counts = Hashtbl.create 64; total = 0 }
+
+  let sub_buckets t = t.sub
 
   let bucket_of t x =
     if x <= 0. then min_int
-    else int_of_float (floor (log10 x *. float_of_int t.buckets_per_decade))
+    else
+      let m, e = Float.frexp x in
+      let s = int_of_float ((m -. 0.5) *. 2. *. float_of_int t.sub) in
+      let s = if s >= t.sub then t.sub - 1 else if s < 0 then 0 else s in
+      (e * t.sub) + s
 
   let add t x =
     let b = bucket_of t x in
@@ -125,8 +137,12 @@ module Histogram = struct
   let bounds t b =
     if b = min_int then (0., 0.)
     else
-      let k = float_of_int t.buckets_per_decade in
-      (10. ** (float_of_int b /. k), 10. ** (float_of_int (b + 1) /. k))
+      (* Euclidean split b = e * sub + s with s in [0, sub). *)
+      let e = if b >= 0 then b / t.sub else ((b + 1) / t.sub) - 1 in
+      let s = b - (e * t.sub) in
+      let base = Float.ldexp 1. (e - 1) in
+      let edge i = base *. (1. +. (float_of_int i /. float_of_int t.sub)) in
+      (edge s, edge (s + 1))
 
   let buckets t =
     Hashtbl.fold (fun b r acc -> (b, !r) :: acc) t.counts []
@@ -134,6 +150,20 @@ module Histogram = struct
     |> List.map (fun (b, n) ->
            let lo, hi = bounds t b in
            (lo, hi, n))
+
+  let tolerance t = 1. /. (2. *. float_of_int t.sub)
+
+  let percentile t p =
+    if t.total = 0 then invalid_arg "Stats.Histogram.percentile: empty";
+    if p < 0. || p > 100. then invalid_arg "Stats.Histogram.percentile: p out of range";
+    (* Upper nearest-rank: the ceil(p/100 * (n-1))-th smallest sample
+       (0-based), reported as its bucket's midpoint. *)
+    let target = int_of_float (ceil (p /. 100. *. float_of_int (t.total - 1))) in
+    let rec walk cum = function
+      | [] -> assert false
+      | (lo, hi, n) :: rest -> if cum + n > target then (lo +. hi) /. 2. else walk (cum + n) rest
+    in
+    walk 0 (buckets t)
 
   let pp ppf t =
     List.iter

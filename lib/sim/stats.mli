@@ -44,12 +44,30 @@ end
 
 module Histogram : sig
   type t
-  (** Log-scaled histogram of non-negative values, for latency
-      distributions spanning several orders of magnitude. *)
+  (** Log2-bucketed histogram with linear sub-buckets per octave, for
+      latency distributions spanning several orders of magnitude.
+      Every bucket's relative width is at most [1/sub_buckets], so
+      percentiles can be extracted with a known relative tolerance
+      without keeping samples.  Non-positive samples are counted in a
+      sentinel underflow bucket with bounds [(0, 0)]. *)
 
-  val create : ?buckets_per_decade:int -> unit -> t
+  val create : ?sub_buckets:int -> unit -> t
+  (** [sub_buckets] linear sub-buckets per power of two (default 16).
+      Raises [Invalid_argument] when non-positive. *)
+
   val add : t -> float -> unit
   val count : t -> int
+
+  val sub_buckets : t -> int
+
+  val percentile : t -> float -> float
+  (** [percentile t p] with [p] in [\[0,100\]]: the upper nearest-rank
+      sample's bucket midpoint — within {!tolerance} (relative) of the
+      exact sorted-array nearest-rank answer.  Raises
+      [Invalid_argument] when empty or [p] out of range. *)
+
+  val tolerance : t -> float
+  (** Maximum relative error of {!percentile}: [1 / (2 * sub_buckets)]. *)
 
   val buckets : t -> (float * float * int) list
   (** Non-empty buckets as [(lo, hi, count)], ascending. *)

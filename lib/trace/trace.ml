@@ -727,6 +727,170 @@ let register_spans reg spans =
     spans
 
 (* ------------------------------------------------------------------ *)
+(* Tail attribution                                                     *)
+
+module Tail = struct
+  (* Cheap always-on tail attribution: one log2 histogram per [txn]
+     phase (and per (phase, mirror) pair), one for end-to-end latency,
+     plus a worst-K exemplar reservoir with threshold admission — a
+     transaction is retained, with its full span/event window, only
+     when it is slower than the fastest exemplar already held.  Like
+     every trace-layer component this is a pure observer: it reads
+     completed spans and never touches the clock, and when the engine's
+     sink is [noop] nothing reaches it at all. *)
+
+  type exemplar = {
+    e_seq : int;  (* measured-iteration index, 0-based *)
+    e_latency_us : float;
+    e_spans : Span.t list;
+    e_events : Event.t list;
+  }
+
+  type t = {
+    k : int;
+    latency : Stats.Histogram.t;
+    by_phase : (string, Stats.Histogram.t) Hashtbl.t;
+    by_phase_mirror : (string * int, Stats.Histogram.t) Hashtbl.t;
+    mutable phase_order : string list; (* first-seen, reversed *)
+    mutable worst : exemplar list; (* ascending latency, length <= k *)
+    mutable seq : int;
+    sub : int;
+  }
+
+  let create ?(k = 8) ?(sub_buckets = 16) () =
+    if k <= 0 then invalid_arg "Tail.create";
+    {
+      k;
+      latency = Stats.Histogram.create ~sub_buckets ();
+      by_phase = Hashtbl.create 16;
+      by_phase_mirror = Hashtbl.create 16;
+      phase_order = [];
+      worst = [];
+      seq = 0;
+      sub = sub_buckets;
+    }
+
+  let hist_of t name =
+    match Hashtbl.find_opt t.by_phase name with
+    | Some h -> h
+    | None ->
+        let h = Stats.Histogram.create ~sub_buckets:t.sub () in
+        Hashtbl.add t.by_phase name h;
+        t.phase_order <- name :: t.phase_order;
+        h
+
+  let mirror_hist_of t key =
+    match Hashtbl.find_opt t.by_phase_mirror key with
+    | Some h -> h
+    | None ->
+        let h = Stats.Histogram.create ~sub_buckets:t.sub () in
+        Hashtbl.add t.by_phase_mirror key h;
+        h
+
+  let note_span t (s : Span.t) =
+    if s.Span.cat = "txn" then begin
+      let d = Span.duration_us s in
+      Stats.Histogram.add (hist_of t s.name) d;
+      match Option.bind (List.assoc_opt "mirror" s.args) int_of_string_opt with
+      | None -> ()
+      | Some m -> Stats.Histogram.add (mirror_hist_of t (s.name, m)) d
+    end
+
+  let sink t = Sink.observer ~on_span:(note_span t) ~on_event:(fun _ -> ())
+
+  let threshold_us t =
+    if List.length t.worst < t.k then 0.
+    else match t.worst with [] -> 0. | e :: _ -> e.e_latency_us
+
+  let rec insert_asc e = function
+    | [] -> [ e ]
+    | x :: rest when x.e_latency_us < e.e_latency_us -> x :: insert_asc e rest
+    | l -> e :: l
+
+  (* Feed one measured transaction: its end-to-end latency always, its
+     span window into the per-phase histograms, and — when it beats the
+     admission threshold — the full window into the reservoir.  The
+     window is aggregated per phase before it reaches the histograms: a
+     transaction that enters a phase several times (one [remote_undo]
+     per declared range per mirror, one [commit_propagate] per mirror)
+     contributes its *total* time in that phase as one sample, so the
+     per-phase p99s stack up against the end-to-end p99 — that is what
+     lets `explain` attribute the tail to named phases.  Use either
+     this (measurement loops, where the caller scopes the
+     per-transaction window by sink cursors) or {!sink} (live streams,
+     per-span samples), not both, or phases double-count. *)
+  let observe t ~latency_us ~spans ~events =
+    let seq = t.seq in
+    t.seq <- seq + 1;
+    Stats.Histogram.add t.latency latency_us;
+    let totals = Hashtbl.create 8 in
+    let mirror_totals = Hashtbl.create 8 in
+    let bump tbl key d =
+      Hashtbl.replace tbl key (d +. try Hashtbl.find tbl key with Not_found -> 0.)
+    in
+    List.iter
+      (fun (s : Span.t) ->
+        if s.Span.cat = "txn" then begin
+          let d = Span.duration_us s in
+          bump totals s.name d;
+          match Option.bind (List.assoc_opt "mirror" s.args) int_of_string_opt with
+          | None -> ()
+          | Some m -> bump mirror_totals (s.name, m) d
+        end)
+      spans;
+    (* Walk the window again so phases register in first-seen stream
+       order (hash-table order would shuffle the report). *)
+    List.iter
+      (fun (s : Span.t) ->
+        match Hashtbl.find_opt totals s.Span.name with
+        | None -> ()
+        | Some d ->
+            Hashtbl.remove totals s.Span.name;
+            Stats.Histogram.add (hist_of t s.Span.name) d)
+      spans;
+    Hashtbl.iter
+      (fun key d -> Stats.Histogram.add (mirror_hist_of t key) d)
+      mirror_totals;
+    if List.length t.worst < t.k then
+      t.worst <- insert_asc { e_seq = seq; e_latency_us = latency_us; e_spans = spans; e_events = events } t.worst
+    else
+      match t.worst with
+      | fastest :: rest when latency_us > fastest.e_latency_us ->
+          t.worst <-
+            insert_asc
+              { e_seq = seq; e_latency_us = latency_us; e_spans = spans; e_events = events }
+              rest
+      | _ -> ()
+
+  let count t = t.seq
+  let latency t = t.latency
+
+  let phases t =
+    List.rev t.phase_order |> List.map (fun n -> (n, Hashtbl.find t.by_phase n))
+
+  let phase_hist t name = Hashtbl.find_opt t.by_phase name
+
+  let mirror_phases t =
+    Hashtbl.fold (fun k h acc -> (k, h) :: acc) t.by_phase_mirror []
+    |> List.sort (fun ((a, i), _) ((b, j), _) -> compare (a, i) (b, j))
+
+  let phase_p99s t =
+    phases t
+    |> List.filter_map (fun (n, h) ->
+           if Stats.Histogram.count h = 0 then None
+           else Some (n, Stats.Histogram.percentile h 99.))
+
+  let exemplars t = List.rev t.worst (* slowest first *)
+
+  let timelines (e : exemplar) = Causal.build ~spans:e.e_spans ~events:e.e_events
+
+  (* The transaction id an exemplar's window belongs to, from the first
+     span that names one — for labelling flows and reports. *)
+  let exemplar_txn (e : exemplar) =
+    List.find_map (fun (s : Span.t) -> List.assoc_opt "txn" s.Span.args) e.e_spans
+end
+
+(* ------------------------------------------------------------------ *)
 (* Exporters                                                            *)
 
 module Export = struct
@@ -748,7 +912,7 @@ module Export = struct
     | Some m -> ( match int_of_string_opt m with Some i -> i + 2 | None -> 1)
     | None -> 1
 
-  let chrome_json ?(series = []) ~spans ~events () =
+  let chrome_json ?(series = []) ?(flows = []) ~spans ~events () =
     let b = Buffer.create 4096 in
     Buffer.add_string b "{\"traceEvents\":[";
     let first = ref true in
@@ -782,6 +946,40 @@ module Export = struct
                  (escape name) (Time.to_us s.at) v))
           s.values)
       series;
+    (* Named flow events: one flow per exemplar timeline, stepping
+       through its hops so the worst-K outliers read as arrows across
+       the primary and mirror tracks.  Packet hops on node n land on
+       the mirror track tid n+1 (mirror m lives on node m+1, and
+       mirror spans use tid m+2). *)
+    List.iteri
+      (fun i (name, (tl : Causal.timeline)) ->
+        let emit ph extra at tid =
+          sep ();
+          Buffer.add_string b
+            (Printf.sprintf
+               "{\"name\":\"%s\",\"cat\":\"flow\",\"ph\":\"%s\"%s,\"id\":%d,\"ts\":%.3f,\"pid\":1,\"tid\":%d}"
+               (escape name) ph extra (i + 1) (Time.to_us at) tid)
+        in
+        let tid_of_hop (h : Causal.hop) =
+          match h.Causal.h_node with Some n -> n + 1 | None -> 1
+        in
+        match tl.Causal.c_hops with
+        | [] -> ()
+        | [ h ] ->
+            emit "s" "" h.Causal.h_start (tid_of_hop h);
+            emit "f" ",\"bp\":\"e\"" h.Causal.h_stop (tid_of_hop h)
+        | hops ->
+            let last = List.length hops - 1 in
+            List.iteri
+              (fun j (h : Causal.hop) ->
+                let ph, extra =
+                  if j = 0 then ("s", "")
+                  else if j = last then ("f", ",\"bp\":\"e\"")
+                  else ("t", "")
+                in
+                emit ph extra h.Causal.h_start (tid_of_hop h))
+              hops)
+      flows;
     Buffer.add_string b "],\"displayTimeUnit\":\"ns\"}";
     Buffer.contents b
 
@@ -791,12 +989,12 @@ module Export = struct
       Sys.mkdir dir 0o755
     end
 
-  let chrome_json_to_file ?series ~path ~spans ~events () =
+  let chrome_json_to_file ?series ?flows ~path ~spans ~events () =
     mkdir_p (Filename.dirname path);
     let oc = open_out path in
     Fun.protect
       ~finally:(fun () -> close_out oc)
-      (fun () -> output_string oc (chrome_json ?series ~spans ~events ()))
+      (fun () -> output_string oc (chrome_json ?series ?flows ~spans ~events ()))
 
   let phase_csv_header = [ "phase"; "count"; "total (us)"; "mean (us)"; "share" ]
 

@@ -338,11 +338,81 @@ val register_spans : Registry.t -> Span.t list -> unit
 (** Fold spans into a registry: counter ["<cat>.<name>.count"] and
     histogram ["<cat>.<name>.us"] per span. *)
 
+(** {1 Tail attribution} *)
+
+module Tail : sig
+  (** Cheap always-on tail attribution: a log2 sub-bucketed
+      {!Stats.Histogram} per [txn]-category phase (and per
+      (phase, mirror) pair), one for end-to-end latency, and a worst-K
+      exemplar reservoir with threshold admission that retains the full
+      span/event window — hence the {!Causal} cross-node timeline — of
+      the slowest transactions seen.  A pure observer: it never reads
+      or advances the clock, and with the engine sink at [noop] it
+      costs nothing at all. *)
+
+  type exemplar = {
+    e_seq : int;  (** Measured-iteration index (0-based). *)
+    e_latency_us : float;
+    e_spans : Span.t list;
+    e_events : Event.t list;
+  }
+
+  type t
+
+  val create : ?k:int -> ?sub_buckets:int -> unit -> t
+  (** [k] exemplars retained (default 8); [sub_buckets] per octave for
+      every histogram (default 16, i.e. percentile tolerance 3.125%). *)
+
+  val sink : t -> Sink.t
+  (** An {!Sink.observer} feeding the per-phase histograms from a live
+      span stream — one sample per span, no exemplars: a stream has no
+      transaction window to aggregate or retain.  Tee next to the
+      recording ring; do not combine with {!observe} on the same stream
+      or phases double-count. *)
+
+  val observe : t -> latency_us:float -> spans:Span.t list -> events:Event.t list -> unit
+  (** Feed one measured transaction: latency into the end-to-end
+      histogram, [spans] — aggregated to the transaction's {e total}
+      time per phase, so per-phase p99s stack up against the end-to-end
+      p99 — into the per-phase histograms, and — when [latency_us]
+      beats {!threshold_us} — the whole window into the reservoir,
+      evicting the fastest exemplar. *)
+
+  val count : t -> int
+  (** Transactions fed through {!observe}. *)
+
+  val latency : t -> Stats.Histogram.t
+  val phases : t -> (string * Stats.Histogram.t) list
+  (** First-seen order. *)
+
+  val phase_hist : t -> string -> Stats.Histogram.t option
+  val mirror_phases : t -> ((string * int) * Stats.Histogram.t) list
+  (** Per (phase, mirror) histograms, sorted. *)
+
+  val phase_p99s : t -> (string * float) list
+  (** p99 per non-empty phase, first-seen order. *)
+
+  val threshold_us : t -> float
+  (** Current admission bar: the fastest retained exemplar's latency
+      once the reservoir is full, 0 before. *)
+
+  val exemplars : t -> exemplar list
+  (** Slowest first; at most [k]. *)
+
+  val timelines : exemplar -> Causal.timeline list
+  (** The exemplar's window stitched into cross-node timelines. *)
+
+  val exemplar_txn : exemplar -> string option
+  (** The transaction id named by the window's spans, if any. *)
+end
+
 (** {1 Exporters} *)
 
 module Export : sig
   val chrome_json :
-    ?series:Timeseries.sample list -> spans:Span.t list -> events:Event.t list -> unit -> string
+    ?series:Timeseries.sample list ->
+    ?flows:(string * Causal.timeline) list ->
+    spans:Span.t list -> events:Event.t list -> unit -> string
   (** Chrome [trace_event] JSON (one [{"traceEvents": [...]}] object):
       spans as complete ([ph:"X"]) events, instants as [ph:"i"], with
       microsecond timestamps.  Loads directly in Perfetto
@@ -351,10 +421,14 @@ module Export : sig
       a per-mirror track (tid = mirror + 2) so the per-mirror undo and
       propagation phases line up visually.  [series] samples are
       emitted as [ph:"C"] counter events — Perfetto draws one counter
-      track per gauge name. *)
+      track per gauge name.  [flows] are named {!Causal} timelines
+      (worst-K exemplars, typically) emitted as flow events
+      ([ph:"s"/"t"/"f"]) stepping through their hops, so each outlier
+      reads as one arrow chain across the tracks. *)
 
   val chrome_json_to_file :
     ?series:Timeseries.sample list ->
+    ?flows:(string * Causal.timeline) list ->
     path:string -> spans:Span.t list -> events:Event.t list -> unit -> unit
   (** Creates parent directories as needed. *)
 

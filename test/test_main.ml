@@ -26,6 +26,8 @@ let () =
       ("pqueue", Test_pqueue.suite);
       ("engines-generic", Test_engines_generic.suite);
       ("trace", Test_trace.suite);
+      ("tail", Test_tail.suite);
+      ("costmodel", Test_costmodel.suite);
       ("forensics", Test_forensics.suite);
       ("telemetry", Test_telemetry.suite);
       ("harness", Test_harness.suite);

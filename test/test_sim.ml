@@ -133,17 +133,18 @@ let test_series_grows () =
   check (Alcotest.float 1e-9) "max" 96. (Stats.Series.max s)
 
 let test_histogram () =
-  let h = Stats.Histogram.create ~buckets_per_decade:1 () in
+  let h = Stats.Histogram.create ~sub_buckets:1 () in
   List.iter (Stats.Histogram.add h) [ 1.5; 2.; 15.; 150.; 1500. ];
   check_int "count" 5 (Stats.Histogram.count h);
   let buckets = Stats.Histogram.buckets h in
-  check_int "4 decades" 4 (List.length buckets);
+  (* One sub-bucket per octave: [1,2) [2,4) [8,16) [128,256) [1024,2048). *)
+  check_int "5 octaves" 5 (List.length buckets);
   List.iter (fun (lo, hi, _) -> check_bool "ordered" true (lo < hi)) buckets
 
 (* Zero and negative samples go to the sentinel underflow bucket with
-   bounds (0, 0) rather than exploding in log10. *)
+   bounds (0, 0) rather than exploding in the log. *)
 let test_histogram_nonpositive () =
-  let h = Stats.Histogram.create ~buckets_per_decade:1 () in
+  let h = Stats.Histogram.create ~sub_buckets:1 () in
   Stats.Histogram.add h 0.;
   Stats.Histogram.add h (-3.5);
   check_int "both counted" 2 (Stats.Histogram.count h);
@@ -166,22 +167,52 @@ let test_histogram_single_sample () =
       check_bool "sample inside bounds" true (lo <= 42. && 42. < hi)
   | l -> Alcotest.failf "expected one bucket, got %d" (List.length l)
 
-(* Decade boundaries: with one bucket per decade, 10.0 belongs to
-   [10, 100), not [1, 10), and counts are conserved across buckets. *)
+(* Octave boundaries: with one sub-bucket per octave, 2.0 belongs to
+   [2, 4), not [1, 2), sub-buckets stay below 1/sub relative width, and
+   counts are conserved across buckets. *)
 let test_histogram_boundaries () =
-  let h = Stats.Histogram.create ~buckets_per_decade:1 () in
-  List.iter (Stats.Histogram.add h) [ 1.; 9.999; 10.; 99.; 100. ];
+  let h = Stats.Histogram.create ~sub_buckets:1 () in
+  List.iter (Stats.Histogram.add h) [ 1.; 1.999; 2.; 3.999; 4. ];
   let buckets = Stats.Histogram.buckets h in
-  check_int "three decades" 3 (List.length buckets);
+  check_int "three octaves" 3 (List.length buckets);
   List.iter
     (fun (lo, hi, n) ->
-      if lo >= 9.99 && lo <= 10.01 then begin
-        check (Alcotest.float 1e-6) "decade upper bound" 100. hi;
-        check_int "10.0 lands in [10,100)" 2 n
+      if lo >= 1.99 && lo <= 2.01 then begin
+        check (Alcotest.float 1e-6) "octave upper bound" 4. hi;
+        check_int "2.0 lands in [2,4)" 2 n
       end)
     buckets;
   check_int "counts conserved" (Stats.Histogram.count h)
-    (List.fold_left (fun acc (_, _, n) -> acc + n) 0 buckets)
+    (List.fold_left (fun acc (_, _, n) -> acc + n) 0 buckets);
+  (* Sub-buckets: with 4 per octave the bucket around 100 is
+     [96, 112) — relative width 1/6 <= 1/4. *)
+  let h4 = Stats.Histogram.create ~sub_buckets:4 () in
+  Stats.Histogram.add h4 100.;
+  (match Stats.Histogram.buckets h4 with
+  | [ (lo, hi, _) ] ->
+      check (Alcotest.float 1e-6) "sub lo" 96. lo;
+      check (Alcotest.float 1e-6) "sub hi" 112. hi
+  | l -> Alcotest.failf "expected one bucket, got %d" (List.length l));
+  check_bool "tolerance" true (Stats.Histogram.tolerance h4 = 0.125)
+
+(* Histogram percentile vs the exact nearest-rank answer on a known
+   arithmetic sequence: the bucket midpoint must be within the
+   histogram's advertised relative tolerance. *)
+let test_histogram_percentile () =
+  let h = Stats.Histogram.create () in
+  for i = 1 to 1000 do
+    Stats.Histogram.add h (float_of_int i)
+  done;
+  List.iter
+    (fun p ->
+      let exact = ceil (p /. 100. *. 999.) +. 1. in
+      let got = Stats.Histogram.percentile h p in
+      let tol = Stats.Histogram.tolerance h in
+      check_bool
+        (Printf.sprintf "p%.0f within tolerance (got %.2f, exact %.0f)" p got exact)
+        true
+        (abs_float (got -. exact) <= (tol *. exact) +. 1e-9))
+    [ 0.; 50.; 90.; 99.; 100. ]
 
 (* ------------------------------------------------------------------ *)
 (* Events *)
@@ -305,7 +336,8 @@ let suite =
     ("histogram buckets", `Quick, test_histogram);
     ("histogram non-positive samples", `Quick, test_histogram_nonpositive);
     ("histogram single sample", `Quick, test_histogram_single_sample);
-    ("histogram decade boundaries", `Quick, test_histogram_boundaries);
+    ("histogram octave boundaries", `Quick, test_histogram_boundaries);
+    ("histogram percentile tolerance", `Quick, test_histogram_percentile);
     ("events fire in time order", `Quick, test_events_order);
     ("events same-time fifo", `Quick, test_events_same_time_fifo);
     ("events cancel", `Quick, test_events_cancel);

@@ -313,8 +313,18 @@ let test_degraded_agreement () =
 
 let test_bench_gate () =
   let module B = Harness.Bench_summary in
-  let e ?(engine = "PERSEAS") ?(workload = "debit-credit") ?(mirrors = 1) ?pkts ?(p99 = 46.25) tps =
-    { B.engine; workload; mirrors; tps; mean_us = 43.5; p99_us = p99; pkts_per_txn = pkts }
+  let e ?(engine = "PERSEAS") ?(workload = "debit-credit") ?(mirrors = 1) ?pkts ?(p99 = 46.25)
+      ?(phases = []) tps =
+    {
+      B.engine;
+      workload;
+      mirrors;
+      tps;
+      mean_us = 43.5;
+      p99_us = p99;
+      pkts_per_txn = pkts;
+      phase_p99 = phases;
+    }
   in
   let current = [ e 1000.0; e ~workload:"order-entry" 500.0; e ~engine:"Vista" ~mirrors:0 2000.0 ] in
   (* Round-trip through the writer and the parser. *)
@@ -374,7 +384,23 @@ let test_bench_gate () =
     B.compare_to_baseline ~baseline:[ e ~workload:"order-entry" ~p99:40.0 1000.0 ]
       [ e ~workload:"order-entry" ~p99:80.0 1000.0 ]
   in
-  check_bool "p99 gate only on debit-credit" false failed
+  check_bool "p99 gate only on debit-credit" false failed;
+  (* The per-phase tail column: round-trips through JSON, an old
+     baseline without it still gates, and a failed verdict carries the
+     baseline attribution when present. *)
+  let phases = [ ("set_range", 5.5); ("commit_fence", 12.25) ] in
+  let with_phases = [ e ~phases 1000.0 ] in
+  let parsed = B.of_json (J.parse_exn (B.to_json with_phases)) in
+  check_bool "phase_p99 column round-trips" true (parsed = with_phases);
+  let _, failed = B.compare_to_baseline ~baseline:[ e 1000.0 ] with_phases in
+  check_bool "old baseline without phase_p99 still gates" false failed;
+  let verdicts, failed =
+    B.compare_to_baseline ~baseline:[ e ~phases ~p99:30.0 1000.0 ] [ e ~phases ~p99:50.0 1000.0 ]
+  in
+  check_bool "blown p99 with phases fails" true failed;
+  (match List.find_opt (fun v -> v.B.failed) verdicts with
+  | Some v -> check_bool "verdict carries baseline attribution" true (v.B.baseline_phase_p99 = phases)
+  | None -> Alcotest.fail "expected a failed verdict")
 
 let suite =
   [
