@@ -238,8 +238,11 @@ let crash_sweep_cmd =
     let doc =
       "Scenario: commit (multi-range debit-credit), attach (mirror resync), overlap \
        (redundancy-elision stress mix), overlap-naive (same mix, elision off), concurrent \
-       (a group-commit flush of three clients with a fourth transaction open across it) or \
-       checkpoint (commits interleaved with every phase of a fuzzy checkpoint)."
+       (a group-commit flush of three clients with a fourth transaction open across it), \
+       checkpoint (commits interleaved with every phase of a fuzzy checkpoint), shard-commit \
+       (a single-shard commit with a bystander shard committing alongside) or shard-fence (a \
+       phase-switch fence draining a cross-shard transaction; the victim shard's primary or \
+       mirror dies at each packet)."
     in
     Arg.(
       value
@@ -252,6 +255,8 @@ let crash_sweep_cmd =
                ("overlap-naive", `Overlap_naive);
                ("concurrent", `Concurrent);
                ("checkpoint", `Checkpoint);
+               ("shard-commit", `Shard_commit);
+               ("shard-fence", `Shard_fence);
              ])
           `Commit
       & info [ "scenario" ] ~doc)
@@ -300,6 +305,8 @@ let crash_sweep_cmd =
         | `Overlap_naive -> C.overlap_scenario ~mirrors ~elision:false ()
         | `Concurrent -> C.concurrent_scenario ~mirrors ()
         | `Checkpoint -> C.checkpoint_scenario ~mirrors ()
+        | `Shard_commit -> C.shard_commit_scenario ~mirrors ()
+        | `Shard_fence -> C.shard_fence_scenario ~mirrors ()
       in
       if victim = `Ckpt_target && scenario_name <> `Checkpoint then
         `Error (false, "--victim ckpt-target requires --scenario checkpoint")
@@ -869,6 +876,104 @@ let postmortem_cmd =
     Term.(ret (const run $ verbose $ mirrors_arg $ pm_txns $ inject_arg $ out_arg))
 
 (* ------------------------------------------------------------------ *)
+(* sharding                                                            *)
+
+let sharding_cmd =
+  let shards_arg =
+    Arg.(value & opt int 4 & info [ "shards" ] ~doc:"Number of shards (independent primaries).")
+  in
+  let mirrors_arg =
+    Arg.(value & opt int 1 & info [ "m"; "mirrors" ] ~doc:"Mirrors per shard.")
+  in
+  let cross_arg =
+    Arg.(value & opt int 5 & info [ "cross" ] ~doc:"Cross-shard transfers per 100 singles.")
+  in
+  let clients_arg =
+    Arg.(value & opt int 4 & info [ "clients" ] ~doc:"Clients per shard.")
+  in
+  let total_arg =
+    Arg.(value & opt int 4_000 & info [ "n"; "txns" ] ~doc:"Measured single-shard commits.")
+  in
+  let scale_arg =
+    Arg.(
+      value
+      & opt int 10
+      & info [ "scale" ] ~doc:"TPC-style scale of the whole bank, split across shards.")
+  in
+  let failover_arg =
+    Arg.(
+      value
+      & flag
+      & info [ "failover" ]
+          ~doc:
+            "Instead of the scaling cell, crash one shard's primary under mixed traffic, \
+             rebuild it on the spare and check the zero-committed-data-loss oracle.")
+  in
+  let run verbose shards mirrors cross clients total scale failover =
+    setup_logs verbose;
+    if shards < 1 || mirrors < 1 || clients < 1 || total < 1 || scale < 1 then
+      `Error (false, "shards, mirrors, clients, txns and scale must be positive")
+    else if cross < 0 then `Error (false, "cross must be non-negative")
+    else begin
+      let module S = Harness.Sharding in
+      let module DC = Workloads.Debit_credit in
+      let base = DC.scaled_params ~tps:10_000 () in
+      let params = { base with DC.scale = max 1 (scale / shards) } in
+      if failover then begin
+        let f = S.failover ~shards:(max 2 shards) ~mirrors ~clients ~params () in
+        Printf.printf
+          "before crash: %d committed (%d cross); after heal: %d committed (%d cross)\n"
+          f.S.f_before.Harness.Multi_client.ss_committed
+          f.S.f_before.Harness.Multi_client.ss_cross_committed
+          f.S.f_after.Harness.Multi_client.ss_committed
+          f.S.f_after.Harness.Multi_client.ss_cross_committed;
+        Printf.printf "data preserved: %b  consistent: %b  monitor alerts: %d\n"
+          f.S.f_data_preserved f.S.f_consistent f.S.f_alerts;
+        if f.S.f_data_preserved && f.S.f_consistent && f.S.f_alerts = 0 then begin
+          print_endline "failover oracle green: committed data survived the primary crash";
+          `Ok ()
+        end
+        else `Error (false, "failover oracle violated")
+      end
+      else begin
+        let c =
+          S.run_cell ~mirrors ~clients
+            ~dram_mb:(64 + (params.DC.scale * 16))
+            ~params ~total ~shards ~cross_per_100:cross ()
+        in
+        Harness.Table.print ~title:"Sharded debit-credit"
+          ~header:
+            [ "shards"; "cross/100"; "singles"; "cross"; "switches"; "elapsed (us)"; "tps";
+              "pkts/txn" ]
+          [
+            [
+              string_of_int c.S.c_shards;
+              string_of_int c.S.c_cross_per_100;
+              string_of_int c.S.c_committed;
+              string_of_int c.S.c_cross;
+              string_of_int c.S.c_switches;
+              Printf.sprintf "%.0f" c.S.c_elapsed_us;
+              Printf.sprintf "%.0f" c.S.c_tps;
+              Printf.sprintf "%.1f" c.S.c_pkts_per_txn;
+            ];
+          ];
+        Printf.printf "%d shard(s), %d mirror(s) each: %.0f aggregate tps on the frontier clock\n"
+          c.S.c_shards mirrors c.S.c_tps;
+        `Ok ()
+      end
+    end
+  in
+  let doc =
+    "Partition the bank across multiple primaries and measure aggregate throughput, or crash a \
+     shard's primary under traffic and check failover (--failover)."
+  in
+  Cmd.v (Cmd.info "sharding" ~doc)
+    Term.(
+      ret
+        (const run $ verbose $ shards_arg $ mirrors_arg $ cross_arg $ clients_arg $ total_arg
+       $ scale_arg $ failover_arg))
+
+(* ------------------------------------------------------------------ *)
 
 let main =
   let doc = "PERSEAS: lightweight transactions on networks of workstations (ICDCS 1998)" in
@@ -885,6 +990,7 @@ let main =
       crash_sweep_cmd;
       checkpoint_cmd;
       churn_cmd;
+      sharding_cmd;
       top_cmd;
       timeline_cmd;
       postmortem_cmd;

@@ -1,6 +1,8 @@
 open Sim
 module Failure = Failure
 module Node = Node
+module Shard_map = Shard_map
+module Phase = Phase
 
 type t = { clock : Clock.t; nic : Sci.Nic.t; nodes : Node.t array }
 

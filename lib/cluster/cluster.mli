@@ -11,6 +11,12 @@ open Sim
 module Failure = Failure
 module Node = Node
 
+module Shard_map = Shard_map
+(** Key -> shard-owner routing for the partitioned cluster. *)
+
+module Phase = Phase
+(** STAR-style partitioned / single-master phase controller. *)
+
 type t
 
 type node_spec = {

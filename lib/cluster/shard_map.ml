@@ -1,0 +1,57 @@
+(* Key -> shard-owner map for the partitioned cluster.  Pure
+   arithmetic: the map never talks to nodes, so the router in
+   [Perseas.Shard] and the harness drivers can share one instance and
+   agree on ownership by construction. *)
+
+type strategy =
+  | Hash
+  | Range of { span : int }  (* keys in [0, span) split into contiguous runs *)
+
+type t = { shards : int; strategy : strategy }
+
+let create ?(strategy = Hash) ~shards () =
+  if shards < 1 then invalid_arg "Shard_map.create: at least one shard";
+  (match strategy with
+  | Range { span } when span < shards ->
+      invalid_arg "Shard_map.create: range span smaller than shard count"
+  | _ -> ());
+  { shards; strategy }
+
+let shards t = t.shards
+let strategy t = t.strategy
+
+(* splitmix64 finalizer: cheap, well-mixed, and stable across runs —
+   the shard map is part of the durable layout, so the function must
+   never change silently. *)
+let mix64 k =
+  let open Int64 in
+  let z = add (of_int k) 0x9e3779b97f4a7c15L in
+  let z = mul (logxor z (shift_right_logical z 30)) 0xbf58476d1ce4e5b9L in
+  let z = mul (logxor z (shift_right_logical z 27)) 0x94d049bb133111ebL in
+  logxor z (shift_right_logical z 31)
+
+let owner t ~key =
+  if key < 0 then invalid_arg "Shard_map.owner: negative key";
+  match t.strategy with
+  | Hash -> Int64.to_int (Int64.rem (Int64.logand (mix64 key) Int64.max_int) (Int64.of_int t.shards))
+  | Range { span } ->
+      if key >= span then invalid_arg "Shard_map.owner: key outside range span";
+      min (t.shards - 1) (key * t.shards / span)
+
+(* Local slot of [key] on its owner: a dense 0-based index within the
+   shard, so per-shard tables can be sized [capacity] without holes.
+   Hash mode uses the quotient (dense when callers stride the key
+   space); range mode subtracts the shard's first key. *)
+let local_index t ~key =
+  match t.strategy with
+  | Hash -> key / t.shards
+  | Range { span } ->
+      let s = owner t ~key in
+      let first = ((s * span) + t.shards - 1) / t.shards in
+      key - first
+
+let capacity t ~span =
+  (span + t.shards - 1) / t.shards
+
+let strategy_label t =
+  match t.strategy with Hash -> "hash" | Range { span } -> Printf.sprintf "range/%d" span

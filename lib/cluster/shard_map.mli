@@ -1,0 +1,44 @@
+(** Key -> shard-owner map for the partitioned cluster.
+
+    Pure arithmetic — the map never talks to nodes — so the
+    [Perseas.Shard] router and the harness drivers share one instance
+    and agree on ownership by construction.  Two strategies:
+
+    - {!Hash}: splitmix64-mixed modulo, spreading any key distribution
+      (including a Zipf-skewed hot branch) evenly across shards;
+    - {!Range}: contiguous runs of a bounded key space, the layout a
+      range-scan workload would want.
+
+    The mapping is part of the durable layout (recovery must route a
+    key to the same owner), so both functions are fixed and
+    seed-free. *)
+
+type strategy =
+  | Hash
+  | Range of { span : int }
+      (** Keys in [\[0, span)] split into [shards] contiguous runs. *)
+
+type t
+
+val create : ?strategy:strategy -> shards:int -> unit -> t
+(** Default strategy: {!Hash}.  Raises [Invalid_argument] on a
+    non-positive shard count or a range span below the shard count. *)
+
+val shards : t -> int
+val strategy : t -> strategy
+
+val owner : t -> key:int -> int
+(** Owning shard of [key], in [\[0, shards)].  Raises
+    [Invalid_argument] on a negative key or (range mode) a key outside
+    the span. *)
+
+val local_index : t -> key:int -> int
+(** Dense 0-based slot of [key] within its owner's tables: the
+    quotient for hash mode (dense when callers stride the key space),
+    offset from the shard's first key for range mode. *)
+
+val capacity : t -> span:int -> int
+(** Upper bound on keys per shard for a [span]-key space. *)
+
+val strategy_label : t -> string
+(** ["hash"] or ["range/<span>"], for tables and CSV. *)

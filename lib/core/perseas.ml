@@ -2888,3 +2888,241 @@ module Supervisor = struct
         Trace.Timeseries.set tel "sup.deficit" (max 0 (sup.target - mirror_count sup.db));
         Trace.Timeseries.set tel "sup.gave_up" (if sup.gave_up then 1 else 0))
 end
+
+(* ------------------------------------------------------------------ *)
+(* Sharded multi-primary router with STAR-style phase switching *)
+
+module Shard = struct
+  module Map = Cluster.Shard_map
+  module Phase = Cluster.Phase
+
+  type member = {
+    sh_id : int;
+    mutable sh_db : db;
+    mutable sh_committed : int; (* single-shard transactions routed here *)
+  }
+
+  type cross = {
+    x_id : int;
+    x_shards : int list; (* sorted, distinct *)
+    x_run : (int -> db * txn) -> unit;
+  }
+
+  type router = {
+    members : member array;
+    map : Map.t;
+    phase : Phase.t;
+    mutable queue : cross list; (* FIFO: head drains first *)
+    mutable next_xid : int;
+    mutable st_cross : int; (* cross-shard transactions committed *)
+    mutable st_cross_conflicts : int; (* drain attempts bounced by a conflict *)
+  }
+
+  type nonrec t = router
+
+  type shard_stats = {
+    per_shard : int array;
+    cross_committed : int;
+    cross_conflicts : int;
+    backlog : int;
+    switches : int; (* single-master phases entered *)
+    phase_epoch : int;
+  }
+
+  let create ?strategy ?interval ?(master = 0) dbs =
+    let n = Array.length dbs in
+    if n < 1 then invalid_arg "Shard.create: at least one shard";
+    if master < 0 || master >= n then invalid_arg "Shard.create: master out of range";
+    {
+      members = Array.mapi (fun i d -> { sh_id = i; sh_db = d; sh_committed = 0 }) dbs;
+      map = Map.create ?strategy ~shards:n ();
+      phase = Phase.create ?interval ~master ();
+      queue = [];
+      next_xid = 0;
+      st_cross = 0;
+      st_cross_conflicts = 0;
+    }
+
+  let shards sh = Array.length sh.members
+  let db sh i = sh.members.(i).sh_db
+  let replace sh ~shard d = sh.members.(shard).sh_db <- d
+  let owner sh ~key = Map.owner sh.map ~key
+  let map sh = sh.map
+  let phase sh = sh.phase
+  let master sh = Phase.master sh.phase
+  let backlog sh = List.length sh.queue
+  let epochs sh = Array.map (fun m -> m.sh_db.epoch) sh.members
+
+  (* Each shard's primary runs on its own cluster and therefore its own
+     virtual clock: between fences the clocks advance independently,
+     which is exactly the model of [shards] workstations committing in
+     parallel.  Cluster time is the frontier — the farthest any shard
+     has gotten. *)
+  let now sh =
+    Array.fold_left (fun acc m -> max acc (Clock.now (clock m.sh_db))) Time.zero sh.members
+
+  let sync_clocks sh =
+    let frontier = now sh in
+    Array.iter (fun m -> Clock.advance_to (clock m.sh_db) frontier) sh.members
+
+  (* The phase fence: drain every shard's group-commit convoy (the
+     existing [flush] path — epoch fence strictly last per mirror),
+     then line the clocks up on the frontier.  After a fence every
+     committed transaction on every shard is durable and no shard is
+     mid-convoy, which is the quiescence the single-master phase
+     needs. *)
+  let fence sh =
+    Array.iter (fun m -> flush m.sh_db) sh.members;
+    sync_clocks sh
+
+  let each_sink sh f =
+    Array.iter (fun m -> if Trace.Sink.enabled m.sh_db.sink then f m.sh_db) sh.members
+
+  let phase_instant sh kind =
+    each_sink sh (fun d ->
+        Trace.Sink.instant d.sink ~cat:"cluster" ~name:"phase_switch"
+          ~at:(Clock.now (clock d))
+          ~args:
+            [
+              ("phase", Phase.kind_label kind);
+              ("pepoch", string_of_int (Phase.epoch sh.phase));
+              ("master", string_of_int (Phase.master sh.phase));
+            ])
+
+  let cross_instant sh x =
+    let shards_arg = String.concat "+" (List.map string_of_int x.x_shards) in
+    List.iter
+      (fun sid ->
+        let d = sh.members.(sid).sh_db in
+        if Trace.Sink.enabled d.sink then
+          Trace.Sink.instant d.sink ~cat:"cluster" ~name:"cross_commit"
+            ~at:(Clock.now (clock d))
+            ~args:[ ("xid", string_of_int x.x_id); ("shards", shards_arg) ])
+      x.x_shards
+
+  (* Run one queued cross-shard transaction: open a sub-transaction on
+     each involved shard on demand, run the body, then commit the
+     sub-transactions in shard order.  A conflict with a still-open
+     single-shard transaction aborts the opened subs and reports
+     [`Conflicted] — the cross transaction stays queued for the next
+     drain, by which point the older holder has committed. *)
+  let run_cross sh x =
+    let opened = ref [] in
+    let get sid =
+      if not (List.mem sid x.x_shards) then
+        invalid_arg "Shard.submit_cross: body touched an undeclared shard";
+      match List.assoc_opt sid !opened with
+      | Some txn -> (sh.members.(sid).sh_db, txn)
+      | None ->
+          let txn =
+            begin_transaction ~client:(Printf.sprintf "cross-%d" x.x_id) sh.members.(sid).sh_db
+          in
+          opened := (sid, txn) :: !opened;
+          (sh.members.(sid).sh_db, txn)
+    in
+    match
+      x.x_run get;
+      List.iter
+        (fun sid -> match List.assoc_opt sid !opened with Some txn -> commit txn | None -> ())
+        x.x_shards
+    with
+    | () ->
+        cross_instant sh x;
+        `Committed
+    | exception Conflict _ ->
+        List.iter
+          (fun (_, txn) -> match txn.state with Open -> abort txn | _ -> ())
+          !opened;
+        `Conflicted
+
+  (* The single-master phase: fence into quiescence, declare the switch
+     on every shard's trace stream, run the backlog serially on the
+     synchronized clocks (the designated master executes; the involved
+     shards' engines apply), fence the resulting convoys out, and
+     switch back.  Commits of cross-shard transactions therefore land
+     strictly inside the single-master window — the invariant
+     {!Trace.Monitor} checks from the instants. *)
+  let drain sh =
+    if sh.queue = [] then 0
+    else begin
+      fence sh;
+      Phase.begin_single_master sh.phase ~at:(now sh);
+      phase_instant sh Phase.Single_master;
+      let q = sh.queue in
+      sh.queue <- [];
+      let committed = ref 0 and requeued = ref [] in
+      List.iter
+        (fun x ->
+          sync_clocks sh;
+          match run_cross sh x with
+          | `Committed -> incr committed
+          | `Conflicted ->
+              sh.st_cross_conflicts <- sh.st_cross_conflicts + 1;
+              requeued := x :: !requeued)
+        q;
+      sh.st_cross <- sh.st_cross + !committed;
+      sh.queue <- List.rev !requeued;
+      fence sh;
+      Phase.end_single_master sh.phase ~drained:!committed ~at:(now sh);
+      phase_instant sh Phase.Partitioned;
+      !committed
+    end
+
+  let tick sh = if Phase.due sh.phase ~now:(now sh) then ignore (drain sh)
+
+  (* Single-shard fast path: route to the owner, commit on its primary.
+     No other shard's clock moves — full parallelism in virtual time. *)
+  let submit sh ~key body =
+    tick sh;
+    let s = owner sh ~key in
+    let m = sh.members.(s) in
+    let txn = begin_transaction m.sh_db in
+    body m.sh_db txn;
+    commit txn;
+    m.sh_committed <- m.sh_committed + 1;
+    s
+
+  (* Cross-shard transactions queue for the next single-master phase
+     rather than coordinating 2PC over network RAM. *)
+  let submit_cross sh ~shards:involved body =
+    let involved = List.sort_uniq compare involved in
+    if involved = [] then invalid_arg "Shard.submit_cross: no shards";
+    List.iter
+      (fun s ->
+        if s < 0 || s >= Array.length sh.members then
+          invalid_arg "Shard.submit_cross: shard out of range")
+      involved;
+    let x = { x_id = sh.next_xid; x_shards = involved; x_run = body } in
+    sh.next_xid <- sh.next_xid + 1;
+    sh.queue <- sh.queue @ [ x ];
+    Phase.enqueue sh.phase;
+    tick sh;
+    x.x_id
+
+  let stats sh =
+    {
+      per_shard = Array.map (fun m -> m.sh_committed) sh.members;
+      cross_committed = sh.st_cross;
+      cross_conflicts = sh.st_cross_conflicts;
+      backlog = List.length sh.queue;
+      switches = Phase.single_master_phases sh.phase;
+      phase_epoch = Phase.epoch sh.phase;
+    }
+
+  (* Per-shard and cluster-level gauges, refreshed at sample time only
+     (pure observer, same contract as the engine's own telemetry). *)
+  let set_telemetry sh tel =
+    Trace.Timeseries.on_sample tel (fun _at ->
+        Trace.Timeseries.set tel "cluster.backlog" (List.length sh.queue);
+        Trace.Timeseries.set tel "cluster.phase"
+          (match Phase.kind sh.phase with Phase.Partitioned -> 0 | Phase.Single_master -> 1);
+        Trace.Timeseries.set tel "cluster.cross_committed" sh.st_cross;
+        Trace.Timeseries.set tel "cluster.switches" (Phase.single_master_phases sh.phase);
+        Array.iter
+          (fun m ->
+            let pfx = Printf.sprintf "shard%d." m.sh_id in
+            Trace.Timeseries.set tel (pfx ^ "committed") m.sh_committed;
+            Trace.Timeseries.set tel (pfx ^ "epoch") (Int64.to_int m.sh_db.epoch);
+            Trace.Timeseries.set tel (pfx ^ "live_mirrors") (mirror_count m.sh_db))
+          sh.members)
+end

@@ -759,3 +759,113 @@ end
 
 module Engine :
   Txn_intf.S with type t = t and type segment = segment and type txn = txn
+
+(** {1 Sharded multi-primary cluster}
+
+    The paper's engine replicates for availability, not for scale:
+    every transaction funnels through one primary.  {!Shard} partitions
+    the key space across a set of independent primaries — each with its
+    own cluster, clock and mirror set on distinct power supplies — and
+    routes single-shard transactions to their owner, so disjoint shards
+    commit in full parallelism (each on its own virtual clock; cluster
+    time is the frontier across shards).
+
+    Cross-shard transactions do not run 2PC over network RAM.  Instead
+    the router adopts STAR-style epoch alternation
+    ({!Cluster.Phase}): during the {e partitioned} phase only
+    single-shard transactions execute and cross-shard submissions
+    queue; periodically the router fences every shard into quiescence
+    (reusing the group-commit convoy {!flush} and the epoch machinery —
+    fence strictly last per mirror), runs the backlog serially as a
+    designated {e single master} on the synchronized clocks, fences the
+    convoys out, and switches back.  Both switches emit
+    [cluster]/[phase_switch] instants and every cross-shard commit a
+    [cluster]/[cross_commit] instant on the involved shards' sinks, so
+    {!Trace.Monitor} can check that no cross-shard commit lands inside
+    a partitioned phase.
+
+    Crash semantics: single-shard transactions keep the engine's
+    per-shard atomicity (the single-packet epoch fence), and a lost
+    shard primary recovers from its own mirror set exactly as an
+    unsharded engine does ({!recover_replicated} + {!Shard.replace}).
+    Cross-shard transactions are atomic under the fence discipline in
+    failure-free phases; a crash {e during} a single-master phase can
+    commit one shard's half without the other — the documented STAR
+    trade against 2PC's blocking and per-transaction round trips. *)
+
+module Shard : sig
+  type t
+
+  type shard_stats = {
+    per_shard : int array;  (** Single-shard commits routed per shard. *)
+    cross_committed : int;
+    cross_conflicts : int;
+        (** Drain attempts bounced off a still-open single-shard
+            transaction's declaration; the cross transaction stays
+            queued for the next drain. *)
+    backlog : int;  (** Cross-shard transactions still queued. *)
+    switches : int;  (** Single-master phases entered. *)
+    phase_epoch : int;
+  }
+
+  val create : ?strategy:Cluster.Shard_map.strategy -> ?interval:Sim.Time.t -> ?master:int -> db array -> t
+  (** One engine per shard, each expected to run on its own cluster
+      (own clock, own mirror set).  [strategy] defaults to hash
+      routing, [interval] to {!Cluster.Phase.create}'s default, and
+      [master] (the shard that runs single-master phases) to 0. *)
+
+  val shards : t -> int
+  val db : t -> int -> db
+
+  val replace : t -> shard:int -> db -> unit
+  (** Swap a recovered engine in after shard failover. *)
+
+  val owner : t -> key:int -> int
+  val map : t -> Cluster.Shard_map.t
+  val phase : t -> Cluster.Phase.t
+  val master : t -> int
+  val backlog : t -> int
+  val epochs : t -> int64 array
+  (** Per-shard owner epochs (each shard's commit-fence epoch). *)
+
+  val now : t -> Sim.Time.t
+  (** Cluster time: the frontier (max) across shard clocks. *)
+
+  val fence : t -> unit
+  (** Flush every shard's group-commit convoy and synchronize every
+      shard clock to the frontier. *)
+
+  val submit : t -> key:int -> (db -> txn -> unit) -> int
+  (** Route a single-shard transaction to [key]'s owner and commit it
+      there: begin, run the body (which declares with {!set_range} and
+      writes), commit.  Returns the owner shard.  Also ticks the phase
+      controller first, so a due single-master drain runs before the
+      transaction. *)
+
+  val submit_cross : t -> shards:int list -> ((int -> db * txn) -> unit) -> int
+  (** Queue a cross-shard transaction for the next single-master phase
+      and return its xid.  At drain time the body runs with an accessor
+      that opens (on first use) and returns the sub-transaction on each
+      involved shard; the router then commits the sub-transactions in
+      shard order.  Raises [Invalid_argument] on an empty or
+      out-of-range shard list, and the body's accessor raises if asked
+      for an undeclared shard. *)
+
+  val drain : t -> int
+  (** Force a single-master phase now (no-op on an empty backlog):
+      fence, run the backlog serially, fence, switch back.  Returns the
+      number of cross-shard transactions committed; conflicted ones
+      remain queued. *)
+
+  val tick : t -> unit
+  (** Run {!drain} iff the phase controller says one is due
+      ({!Cluster.Phase.due}). *)
+
+  val stats : t -> shard_stats
+
+  val set_telemetry : t -> Trace.Timeseries.t -> unit
+  (** Sample-time gauges: [cluster.backlog], [cluster.phase] (0 =
+      partitioned, 1 = single-master), [cluster.cross_committed],
+      [cluster.switches], and per shard [shardN.committed],
+      [shardN.epoch], [shardN.live_mirrors]. *)
+end

@@ -631,6 +631,128 @@ let checkpoint_scenario ?(mirrors = 1) ?(seg_size = 8192) () =
   { label = Printf.sprintf "checkpoint-%dm" mirrors; make; script }
 
 (* ------------------------------------------------------------------ *)
+(* Shard scenarios: the same sweeps, pointed at one shard of a sharded
+   cluster.  The env carries the VICTIM shard's world (its clock,
+   cluster, mirrors, spare and engine — the hook and the crash land
+   there); the script reaches the rest of the cluster through the
+   router captured by [make]. *)
+
+let shard_world = "Crashpoint: shard scenario script ran before make"
+
+(* Seed the three tables on every shard of a fresh 2-shard bed and
+   commit one warm-up transaction per shard, so each shard has undo
+   history and a published epoch before the swept work starts. *)
+let make_shard_bed ~config ~mirrors ~seg_size =
+  let bed = Sharding.make_bed ~config ~dram_mb:2 ~mirrors ~shards:2 () in
+  for s = 0 to 1 do
+    let t = P.Shard.db bed.Sharding.router s in
+    List.iter (fun name -> ignore (seed_segment t name ~size:seg_size)) table_names;
+    P.init_remote_db t;
+    let seg = Option.get (P.segment t "accounts") in
+    let txn = P.begin_transaction t in
+    P.set_range txn seg ~off:0 ~len:128;
+    P.write t seg ~off:0 (Bytes.make 128 (Char.chr (Char.code 'w' + s)));
+    P.commit txn
+  done;
+  (* Group-commit configs staged the warm-ups; land them so the swept
+     script starts from a quiesced, fenced cluster. *)
+  P.Shard.fence bed.Sharding.router;
+  bed
+
+let shard_env bed ~victim =
+  let vb = bed.Sharding.shard_beds.(victim) in
+  {
+    clock = vb.Sharding.sb_clock;
+    cluster = vb.Sharding.sb_cluster;
+    servers = vb.Sharding.sb_servers;
+    primary = 0;
+    spare = vb.Sharding.sb_spare;
+    ckpt = None;
+    t = P.Shard.db bed.Sharding.router victim;
+  }
+
+(* A single-shard commit swept at every packet while the OTHER shard
+   also commits: the other shard's packets never hit the victim's hook
+   (distinct clusters, distinct NICs), so the sweep proves a shard
+   primary's death at any packet of its own commit is recovered from
+   its own mirrors with no committed byte lost — and without the other
+   shard's traffic ever entering the blast radius. *)
+let shard_commit_scenario ?(mirrors = 1) ?(seg_size = 8192) () =
+  if mirrors < 1 then invalid_arg "Crashpoint.shard_commit_scenario: at least one mirror";
+  let world = ref None in
+  let victim = 1 in
+  let make () =
+    let bed = make_shard_bed ~config:small_config ~mirrors ~seg_size in
+    world := Some bed.Sharding.router;
+    shard_env bed ~victim
+  in
+  let script env ~checkpoint =
+    let sh = match !world with Some sh -> sh | None -> failwith shard_world in
+    (* The bystander shard commits first — zero packets on the hook. *)
+    let t0 = P.Shard.db sh 0 in
+    let seg = Option.get (P.segment t0 "branches") in
+    let txn = P.begin_transaction t0 in
+    P.set_range txn seg ~off:1024 ~len:192;
+    P.write t0 seg ~off:1024 (Bytes.make 192 'o');
+    P.commit txn;
+    checkpoint ();
+    (* The swept transaction: a multi-range commit on the victim. *)
+    let txn = P.begin_transaction env.t in
+    List.iteri
+      (fun j name ->
+        let s = Option.get (P.segment env.t name) in
+        let off = 1024 * (j + 1) in
+        P.set_range txn s ~off ~len:256;
+        P.write env.t s ~off (Bytes.make 256 (Char.chr (Char.code 'A' + j))))
+      table_names;
+    P.commit txn
+  in
+  { label = Printf.sprintf "shard-commit-%dm" mirrors; make; script }
+
+(* The phase-switch fence swept at every packet: two staged commits on
+   the victim ride a group-commit convoy out through [Shard.fence],
+   then a queued cross-shard transaction drains through a single-master
+   phase (fence, sub-commits on both shards, fence).  Cutting the
+   victim's packets anywhere across that sequence must recover to pre,
+   the post-convoy checkpoint, or post — convoys and the drained cross
+   transaction's victim half are atomic at every boundary. *)
+let shard_fence_scenario ?(mirrors = 1) ?(seg_size = 8192) () =
+  if mirrors < 1 then invalid_arg "Crashpoint.shard_fence_scenario: at least one mirror";
+  let world = ref None in
+  let victim = 1 in
+  let make () =
+    let config = { small_config with P.group_commit = 4 } in
+    let bed = make_shard_bed ~config ~mirrors ~seg_size in
+    world := Some bed.Sharding.router;
+    shard_env bed ~victim
+  in
+  let script env ~checkpoint =
+    let sh = match !world with Some sh -> sh | None -> failwith shard_world in
+    let stage name fill =
+      let seg = Option.get (P.segment env.t name) in
+      let txn = P.begin_transaction env.t in
+      P.set_range txn seg ~off:2048 ~len:192;
+      P.write env.t seg ~off:2048 (Bytes.make 192 fill);
+      P.commit txn (* staged: group commit holds it for the convoy *)
+    in
+    stage "accounts" 'p';
+    stage "branches" 'q';
+    P.Shard.fence sh;
+    checkpoint ();
+    ignore
+      (P.Shard.submit_cross sh ~shards:[ 0; 1 ] (fun get ->
+           List.iter
+             (fun sid ->
+               let db, txn = get sid in
+               let seg = Option.get (P.segment db "history") in
+               P.set_range txn seg ~off:4096 ~len:128;
+               P.write db seg ~off:4096 (Bytes.make 128 'x'))
+             [ 0; 1 ]));
+    ignore (P.Shard.drain sh)
+  in
+  { label = Printf.sprintf "shard-fence-%dm" mirrors; make; script }
+
+(* ------------------------------------------------------------------ *)
 (* CSV                                                                 *)
 
 let outcome p = image_label p.image ^ if p.replayed_records > 0 then "+repair" else ""

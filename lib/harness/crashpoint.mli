@@ -145,6 +145,26 @@ val checkpoint_scenario : ?mirrors:int -> ?seg_size:int -> unit -> scenario
     as a restore source and must reject torn slots), a {!Mirror}, and
     {!Ckpt_target} (all commits must still land). *)
 
+val shard_commit_scenario : ?mirrors:int -> ?seg_size:int -> unit -> scenario
+(** The single-shard commit sweep on a 2-shard {!Sharding.make_bed}
+    cluster: the bystander shard commits first (its packets never hit
+    the victim's hook — distinct clusters, distinct NICs), then a
+    multi-range commit on the victim shard is cut at every packet.
+    The env is the victim shard's world; recovery rebuilds it on that
+    shard's spare from its own mirrors.  Legal images: pre, the
+    post-bystander checkpoint (identical to pre on the victim) and
+    post. *)
+
+val shard_fence_scenario : ?mirrors:int -> ?seg_size:int -> unit -> scenario
+(** The phase-switch fence sweep: two commits staged on the victim
+    shard (group commit 4) ride a convoy out through
+    {!Perseas.Shard.fence}, then a queued cross-shard transaction
+    drains through a single-master phase — fence, sub-commits on both
+    shards, fence.  Every victim-side packet of the convoy, the fences
+    and the cross transaction's victim half is cut; recovery must land
+    on pre, the post-convoy checkpoint or post (convoys and the
+    drained victim half are atomic at every boundary). *)
+
 (** {1 CSV} *)
 
 val csv_header : string list

@@ -958,7 +958,12 @@ let churn () =
    draw the same 64-byte line; the occasional collision exercises the
    younger-aborts path and is retried by the driver. *)
 let concurrency_params =
-  { Workloads.Debit_credit.scale = 1024; accounts_per_branch = 250; history_slots = 8192 }
+  {
+    Workloads.Debit_credit.scale = 1024;
+    accounts_per_branch = 250;
+    history_slots = 8192;
+    skew = Workloads.Debit_credit.Uniform;
+  }
 
 let concurrency_levels = [ 1; 2; 4; 8; 16; 32 ]
 
@@ -1222,6 +1227,11 @@ let audit () =
       C.sweep ~victim:(C.Mirror 0) ~postmortem:dir (C.commit_scenario ~mirrors:2 ());
       C.sweep ~postmortem:dir (C.concurrent_scenario ~mirrors:1 ());
       C.sweep ~postmortem:dir (C.checkpoint_scenario ());
+      (* Shard failover: a shard primary dies at every packet of its
+         own commit and of a phase-switch fence + cross-shard drain,
+         with the monitor checking the STAR rule live. *)
+      C.sweep ~postmortem:dir (C.shard_commit_scenario ());
+      C.sweep ~postmortem:dir (C.shard_fence_scenario ());
     ]
   in
   (* Churn with background checkpointing: recruitment resyncs, log
@@ -1374,6 +1384,90 @@ let explain () =
     "explain green: zero cost-model drift, all packets attributed, worst-K exemplars retained"
 
 (* ------------------------------------------------------------------ *)
+(* R13: sharding scale-out *)
+
+let sharding () =
+  (* Aggregate debit-credit throughput vs shard count at a fixed mirror
+     factor, under three cross-shard mixes.  One TPC-scaled bank —
+     10 branches = 10^6 accounts, Zipf-hot — is split evenly across the
+     shards (floored at one branch group per shard, so the 8- and
+     16-shard points grow the bank the way TPC scaling would).  Each
+     shard is a full replicated world on its own clock; aggregate tps
+     is measured on the frontier clock, so the parallel-phase speedup
+     and the single-master drain stalls both land in the number. *)
+  let shard_counts = [ 1; 2; 4; 8; 16 ] in
+  let mixes = [ 0; 5; 20 ] in
+  let params_for shards =
+    let base = Workloads.Debit_credit.scaled_params ~tps:10_000 () in
+    { base with Workloads.Debit_credit.scale = max 1 (base.Workloads.Debit_credit.scale / shards) }
+  in
+  let cells =
+    List.concat_map
+      (fun cross ->
+        List.map
+          (fun shards ->
+            let params = params_for shards in
+            Sharding.run_cell
+              ~dram_mb:(64 + (params.Workloads.Debit_credit.scale * 16))
+              ~params ~warmup:400 ~total:4000 ~shards ~cross_per_100:cross ())
+          shard_counts)
+      mixes
+  in
+  let tps_at ~shards ~cross =
+    match
+      List.find_opt
+        (fun c -> c.Sharding.c_shards = shards && c.Sharding.c_cross_per_100 = cross)
+        cells
+    with
+    | Some c -> c.Sharding.c_tps
+    | None -> failwith "sharding: missing cell"
+  in
+  let header =
+    [
+      "shards";
+      "cross/100";
+      "singles";
+      "cross";
+      "switches";
+      "conflicts";
+      "elapsed (us)";
+      "tps";
+      "speedup";
+      "pkts/txn";
+    ]
+  in
+  let rows =
+    List.map
+      (fun (c : Sharding.cell) ->
+        [
+          string_of_int c.Sharding.c_shards;
+          string_of_int c.Sharding.c_cross_per_100;
+          string_of_int c.Sharding.c_committed;
+          string_of_int c.Sharding.c_cross;
+          string_of_int c.Sharding.c_switches;
+          string_of_int c.Sharding.c_conflicts;
+          Printf.sprintf "%.0f" c.Sharding.c_elapsed_us;
+          Table.fmt_tps c.Sharding.c_tps;
+          Table.fmt_ratio (c.Sharding.c_tps /. tps_at ~shards:1 ~cross:c.Sharding.c_cross_per_100);
+          Printf.sprintf "%.1f" c.Sharding.c_pkts_per_txn;
+        ])
+      cells
+  in
+  Table.print
+    ~title:"Sharding: aggregate debit-credit tps vs shard count (1 mirror/shard, Zipf 0.8)" ~header
+    rows;
+  Table.save_csv ~path:(csv_path "sharding") ~header rows;
+  (* The scale-out acceptance bar: with no cross-shard traffic, four
+     primaries must buy at least 3x one primary at equal mirror
+     factor. *)
+  let s1 = tps_at ~shards:1 ~cross:0 and s4 = tps_at ~shards:4 ~cross:0 in
+  if s4 < 3.0 *. s1 then
+    failwith
+      (Printf.sprintf "sharding: 4-shard tps %.0f is under 3x the 1-shard %.0f" s4 s1);
+  Printf.printf "sharding green: 4 shards = %.2fx of 1 shard at 0%% cross-shard\n"
+    (s4 /. s1)
+
+(* ------------------------------------------------------------------ *)
 
 let names =
   [
@@ -1402,6 +1496,7 @@ let names =
     ("checkpoint", "Fuzzy checkpoints: recovery time flat vs database size", checkpoint);
     ("audit", "Online protocol-invariant monitor over crash sweeps and churn", audit);
     ("explain", "Tail attribution + analytic cost model vs NIC counters", explain);
+    ("sharding", "Multi-primary sharding: aggregate tps vs shard count and cross-shard mix", sharding);
   ]
 
 let all () = List.iter (fun (_, _, run) -> run ()) names

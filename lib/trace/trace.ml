@@ -151,6 +151,7 @@ module Monitor = struct
     | Epoch_regressed of { node : int; prev : int64; next : int64; at : Time.t }
     | Convoy_interleaved of { node : int; convoy : string; intruder : string; at : Time.t }
     | Checkpoint_split_convoy of { node : int; convoy : string; at : Time.t }
+    | Cross_shard_in_partitioned of { xid : string; at : Time.t }
 
   type alert = { violation : violation; event : Event.t }
 
@@ -173,13 +174,26 @@ module Monitor = struct
     mutable alerts : alert list; (* newest first *)
     mutable nalerts : int;
     mutable nevents : int;
+    mutable phase : string;
+        (* the cluster phase as declared by [cluster]/[phase_switch]
+           instants; cross-shard commits are only legal while it reads
+           "single_master".  Streams without phase instants stay in the
+           default partitioned phase, where any cross-shard commit is a
+           violation — exactly the STAR rule. *)
     on_alert : alert -> unit;
   }
 
   let closed_keep = 16
 
   let create ?(on_alert = fun _ -> ()) () =
-    { nodes = Hashtbl.create 8; alerts = []; nalerts = 0; nevents = 0; on_alert }
+    {
+      nodes = Hashtbl.create 8;
+      alerts = [];
+      nalerts = 0;
+      nevents = 0;
+      phase = "partitioned";
+      on_alert;
+    }
 
   let node_state t n =
     match Hashtbl.find_opt t.nodes n with
@@ -307,6 +321,15 @@ module Monitor = struct
     match (ev.cat, ev.name) with
     | "sci", _ -> packet t ev
     | "ckpt", "cut" -> ckpt_cut t ev
+    | "cluster", "phase_switch" -> (
+        match List.assoc_opt "phase" ev.args with
+        | Some p -> t.phase <- p
+        | None -> ())
+    | "cluster", "cross_commit" ->
+        if t.phase <> "single_master" then begin
+          let xid = Option.value ~default:"?" (List.assoc_opt "xid" ev.args) in
+          raise_alert t (Cross_shard_in_partitioned { xid; at = ev.at }) ev
+        end
     | "supervisor", "mirror_lost" | "mirror", "dropped" -> (
         (* A transfer to this node may have been cut short by its loss:
            close the unit rather than flag the interruption. *)
@@ -349,6 +372,9 @@ module Monitor = struct
     | Checkpoint_split_convoy { node; convoy; at } ->
         Printf.sprintf "checkpoint cut landed inside open unit %s on node %d (t=%.3fus)" convoy
           node (Time.to_us at)
+    | Cross_shard_in_partitioned { xid; at } ->
+        Printf.sprintf "cross-shard transaction %s committed inside a partitioned phase (t=%.3fus)"
+          xid (Time.to_us at)
 
   let pp_alert ppf a = Format.pp_print_string ppf (describe a.violation)
 end

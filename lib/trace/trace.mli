@@ -138,7 +138,14 @@ module Monitor : sig
         node ({!Convoy_interleaved});
       - {b checkpoint cut outside convoys}: a checkpoint cut instant
         must not land while any commit unit is open
-        ({!Checkpoint_split_convoy}).
+        ({!Checkpoint_split_convoy});
+      - {b cross-shard commits only in single-master phases}: a
+        [cluster]/[cross_commit] instant is legal only while the most
+        recent [cluster]/[phase_switch] instant declared the
+        [single_master] phase — the STAR rule the sharded router lives
+        by ({!Cross_shard_in_partitioned}).  Streams without phase
+        instants sit in the default partitioned phase, where any
+        cross-shard commit alerts.
 
       The monitor relies on the causal tags ([op], [node], [convoy],
       [txn]/[txns], [epoch], [tag]) that {!Perseas} threads through the
@@ -152,6 +159,7 @@ module Monitor : sig
     | Epoch_regressed of { node : int; prev : int64; next : int64; at : Time.t }
     | Convoy_interleaved of { node : int; convoy : string; intruder : string; at : Time.t }
     | Checkpoint_split_convoy of { node : int; convoy : string; at : Time.t }
+    | Cross_shard_in_partitioned of { xid : string; at : Time.t }
 
   type alert = { violation : violation; event : Event.t }
   (** The violation plus the exact instant that triggered it. *)

@@ -14,13 +14,33 @@ val history_slot : int
 val accounts_per_branch : int
 val tellers_per_branch : int
 
-type params = { scale : int; accounts_per_branch : int; history_slots : int }
+type skew =
+  | Uniform
+      (** Uniform, independent account/teller/branch picks, in the
+          historical rng order — byte-identical to every pre-skew run,
+          which the existing bench cells gate on. *)
+  | Zipf of float
+      (** Gray-style realistic mix: branches drawn Zipf([theta])-hot
+          (rank 0 hottest), teller within the branch, account within
+          the branch with probability {!home_account_fraction} (else
+          uniform anywhere). *)
+
+type params = { scale : int; accounts_per_branch : int; history_slots : int; skew : skew }
 
 val default_params : params
-(** TPC-B scale 1: 100 000 accounts (~10 MB). *)
+(** TPC-B scale 1: 100 000 accounts (~10 MB), uniform selection. *)
 
 val small_params : params
 (** A reduced schema for unit tests and quick runs. *)
+
+val home_account_fraction : float
+(** Probability a Zipf-mix account lives in the drawn branch (0.85). *)
+
+val scaled_params : ?skew:skew -> ?max_scale:int -> tps:int -> unit -> params
+(** TPC's rule ties database size to rated throughput; compressed
+    1000x here (one branch per 1 000 tps), floored at 10 branches =
+    10⁶ accounts — the million-user mix — and capped at [max_scale]
+    (default 64) to bound DRAM.  [skew] defaults to [Zipf 0.8]. *)
 
 module Make (E : Perseas.Txn_intf.S) : sig
   type db = {

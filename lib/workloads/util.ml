@@ -20,3 +20,22 @@ let u32_bytes v =
   let b = Bytes.create 4 in
   Bytes.set_int32_le b 0 (Int32.of_int v);
   b
+
+(* Approximate Zipf(theta) rank in [0, n): inverse CDF of the
+   continuous power law p(x) ∝ x^-theta on [1, n+1), one uniform draw
+   per sample.  Rank 0 is the hottest; theta -> 0 degenerates to
+   uniform, theta near 1 is the classic web/TPC skew.  Exact discrete
+   Zipf needs a per-n harmonic table; the continuous inverse keeps the
+   sampler allocation-free and deterministic, which is what the scaled
+   workloads need. *)
+let zipf rng ~n ~theta =
+  if n <= 0 then invalid_arg "Util.zipf: n must be positive";
+  if theta < 0.0 then invalid_arg "Util.zipf: negative theta";
+  if n = 1 then 0
+  else begin
+    let theta = if abs_float (theta -. 1.0) < 1e-9 then 1.0 -. 1e-9 else theta in
+    let e = 1.0 -. theta in
+    let u = Sim.Rng.float rng 1.0 in
+    let x = ((((float_of_int (n + 1) ** e) -. 1.0) *. u) +. 1.0) ** (1.0 /. e) in
+    min (n - 1) (max 0 (int_of_float x - 1))
+  end

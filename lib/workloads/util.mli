@@ -6,3 +6,10 @@ val fnv64 : bytes -> int64
 val get_i64 : bytes -> int -> int64
 val i64_bytes : int64 -> bytes
 val u32_bytes : int -> bytes
+
+val zipf : Sim.Rng.t -> n:int -> theta:float -> int
+(** Approximate Zipf([theta]) rank in [\[0, n)], rank 0 hottest: the
+    inverse CDF of the continuous power law [x^-theta], one uniform
+    draw per sample.  [theta = 0] is uniform; values near 1 give the
+    classic hot-spot skew.  Raises [Invalid_argument] on [n <= 0] or a
+    negative [theta]. *)

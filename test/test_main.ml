@@ -32,5 +32,6 @@ let () =
       ("telemetry", Test_telemetry.suite);
       ("harness", Test_harness.suite);
       ("availability", Test_availability.suite);
+      ("sharding", Test_sharding.suite);
       ("integration", Test_integration.suite);
     ]
